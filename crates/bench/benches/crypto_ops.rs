@@ -1,0 +1,42 @@
+//! Criterion microbenchmarks for the crypto substrate: ChaCha20, SHA-256,
+//! HMAC and the sealed-block envelope (the per-slot cost behind the
+//! `ParallelCrypto` series of Figure 10a).
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use obladi_crypto::{ChaCha20, Envelope, HmacSha256, KeyMaterial, Sha256};
+
+fn bench_crypto(c: &mut Criterion) {
+    let keys = KeyMaterial::for_tests(1);
+    let payload = vec![0xA5u8; 256];
+
+    let mut group = c.benchmark_group("crypto");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+
+    group.bench_function("chacha20_encrypt_256B", |b| {
+        let cipher = ChaCha20::new(keys.enc_key());
+        b.iter(|| cipher.encrypt(&[7u8; 12], &payload))
+    });
+    group.bench_function("sha256_256B", |b| b.iter(|| Sha256::digest(&payload)));
+    group.bench_function("hmac_sha256_256B", |b| {
+        let hmac = HmacSha256::new(keys.mac_key());
+        b.iter(|| hmac.mac(&payload))
+    });
+    group.bench_function("envelope_seal_256B", |b| {
+        let envelope = Envelope::new(&keys);
+        b.iter(|| envelope.seal(1, 2, &payload, 256).unwrap())
+    });
+    group.bench_function("envelope_seal_open_256B", |b| {
+        let envelope = Envelope::new(&keys);
+        b.iter(|| {
+            let sealed = envelope.seal(1, 2, &payload, 256).unwrap();
+            envelope.open(1, 2, &sealed).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_crypto
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion microbenchmarks for the MVTSO concurrency control unit.
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use obladi_core::MvtsoManager;
+
+fn bench_mvtso(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvtso");
+
+    group.bench_function("read_write_commit_cycle", |b| {
+        b.iter_batched(
+            || {
+                let mut m = MvtsoManager::new();
+                for key in 0..64u64 {
+                    m.register_base(key, Some(vec![0u8; 16]));
+                }
+                m
+            },
+            |mut m| {
+                for txn in 1..=32u64 {
+                    m.begin(txn);
+                    let key = txn % 64;
+                    let _ = m.read(txn, key);
+                    let _ = m.write(txn, key, vec![1u8; 16]);
+                    let _ = m.request_commit(txn);
+                }
+                m.finalize()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("epoch_finalize_with_dependencies", |b| {
+        b.iter_batched(
+            || {
+                let mut m = MvtsoManager::new();
+                m.register_base(0, Some(vec![0u8; 8]));
+                for txn in 1..=64u64 {
+                    m.begin(txn);
+                    let _ = m.read(txn, 0);
+                    let _ = m.write(txn, 0, vec![txn as u8; 8]);
+                    let _ = m.request_commit(txn);
+                }
+                m
+            },
+            |mut m| m.finalize(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_mvtso
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks for the Ring ORAM client over zero-latency
+//! in-memory storage: batched reads, dummiless writes and epoch flushes.
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use obladi_common::config::OramConfig;
+use obladi_common::rng::DetRng;
+use obladi_crypto::KeyMaterial;
+use obladi_oram::{ExecOptions, NoopPathLogger, RingOram};
+use obladi_storage::InMemoryStore;
+use std::sync::Arc;
+
+fn build_oram(parallel: bool) -> RingOram {
+    let config = OramConfig::for_capacity(4_096, 8).with_block_size(64);
+    let keys = KeyMaterial::for_tests(3);
+    let store = Arc::new(InMemoryStore::new());
+    let exec = if parallel {
+        ExecOptions::parallel(8)
+    } else {
+        ExecOptions::sequential()
+    };
+    let mut oram = RingOram::new(config, &keys, store, exec.with_fast_init(), 3).unwrap();
+    let writes: Vec<(u64, Vec<u8>)> = (0..1024).map(|k| (k, vec![k as u8; 32])).collect();
+    for chunk in writes.chunks(256) {
+        oram.write_batch(chunk, &NoopPathLogger).unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+    }
+    oram
+}
+
+fn bench_oram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oram");
+
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("read_batch_64_parallel", |b| {
+        let mut oram = build_oram(true);
+        let mut rng = DetRng::new(9);
+        b.iter_batched(
+            || (0..64).map(|_| Some(rng.below(1024))).collect::<Vec<_>>(),
+            |reads| {
+                oram.read_batch(&reads, &NoopPathLogger).unwrap();
+                oram.flush_writes(&NoopPathLogger).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("sequential_access", |b| {
+        let mut oram = build_oram(false);
+        let mut rng = DetRng::new(10);
+        b.iter(|| {
+            let key = rng.below(1024);
+            oram.read_batch(&[Some(key)], &NoopPathLogger).unwrap()
+        })
+    });
+
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("dummiless_write_batch_64", |b| {
+        let mut oram = build_oram(true);
+        let mut rng = DetRng::new(11);
+        b.iter_batched(
+            || {
+                (0..64)
+                    .map(|_| {
+                        let k = rng.below(1024);
+                        (k, vec![k as u8; 32])
+                    })
+                    .collect::<Vec<_>>()
+            },
+            |writes| {
+                oram.write_batch(&writes, &NoopPathLogger).unwrap();
+                oram.flush_writes(&NoopPathLogger).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_oram
+}
+criterion_main!(benches);

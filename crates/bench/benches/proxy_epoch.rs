@@ -1,0 +1,35 @@
+//! Criterion benchmark for end-to-end transaction cost on the Obladi proxy
+//! over a zero-latency backend (epoch overhead in isolation).
+use criterion::{criterion_group, criterion_main, Criterion};
+use obladi_common::config::ObladiConfig;
+use obladi_core::proxy::ObladiDb;
+use std::time::Duration;
+
+fn bench_proxy(c: &mut Criterion) {
+    let mut config = ObladiConfig::small_for_tests(4_096);
+    config.epoch.read_batch_size = 32;
+    config.epoch.write_batch_size = 32;
+    config.epoch.batch_interval = Duration::from_millis(1);
+    let db = ObladiDb::open(config).unwrap();
+
+    let mut group = c.benchmark_group("proxy");
+    group.sample_size(20);
+    group.bench_function("single_txn_commit", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key += 1;
+            let mut txn = db.begin().unwrap();
+            txn.write(key % 1024, vec![7u8; 16]).unwrap();
+            txn.commit().unwrap()
+        })
+    });
+    group.finish();
+    db.shutdown();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_proxy
+}
+criterion_main!(benches);

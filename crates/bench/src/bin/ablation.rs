@@ -1,0 +1,6 @@
+//! Runs the ablation table over Obladi's proxy mechanisms (see
+//! `obladi_bench::ablation` and EXPERIMENTS.md).
+fn main() {
+    let opts = obladi_bench::BenchOpts::from_args();
+    obladi_bench::ablation::run_ablation(&opts);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 9 (application throughput and latency).
+fn main() {
+    let opts = obladi_bench::BenchOpts::from_args();
+    obladi_bench::fig09::run_fig09(&opts);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 10b (batch size vs throughput).
+fn main() {
+    let opts = obladi_bench::BenchOpts::from_args();
+    obladi_bench::fig10::run_fig10bc(&opts, false);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 10d (delayed visibility / buffered write-back).
+fn main() {
+    let opts = obladi_bench::BenchOpts::from_args();
+    obladi_bench::fig10::run_fig10d(&opts);
+}

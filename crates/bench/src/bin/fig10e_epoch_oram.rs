@@ -1,0 +1,5 @@
+//! Regenerates Figure 10e (epoch size impact on the ORAM).
+fn main() {
+    let opts = obladi_bench::BenchOpts::from_args();
+    obladi_bench::fig10::run_fig10e(&opts);
+}

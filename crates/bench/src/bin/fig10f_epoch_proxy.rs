@@ -1,0 +1,5 @@
+//! Regenerates Figure 10f (epoch duration vs application throughput).
+fn main() {
+    let opts = obladi_bench::BenchOpts::from_args();
+    obladi_bench::fig10::run_fig10f(&opts);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 11a (checkpoint frequency vs throughput).
+fn main() {
+    let opts = obladi_bench::BenchOpts::from_args();
+    obladi_bench::fig11::run_fig11a(&opts);
+}

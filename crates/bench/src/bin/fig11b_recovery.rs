@@ -1,0 +1,5 @@
+//! Regenerates Table 11b (recovery time breakdown).
+fn main() {
+    let opts = obladi_bench::BenchOpts::from_args();
+    obladi_bench::fig11::run_fig11b(&opts);
+}

@@ -1,0 +1,304 @@
+//! Figure 9: end-to-end application performance (§11.1).
+//!
+//! Runs TPC-C, SmallBank and FreeHealth on five engines — MySQL-like 2PL,
+//! NoPriv (local and WAN) and Obladi (local and WAN) — and prints throughput
+//! (Figure 9a) and latency (Figure 9b) rows.
+//!
+//! Scale notes: the default (quick) mode uses reduced table cardinalities
+//! and scaled-down storage latencies so the whole figure regenerates in a
+//! few minutes; the comparisons the paper makes (Obladi within roughly an
+//! order of magnitude of NoPriv's throughput, latency one to two orders of
+//! magnitude higher, FreeHealth closest because of its small write batches)
+//! are preserved.  `--full` increases cardinalities, client counts and
+//! latencies.
+
+use crate::harness::{app_obladi_config, build_store, fmt1, print_header, print_row};
+use crate::opts::BenchOpts;
+use obladi_common::config::BackendKind;
+use obladi_common::stats::RunStats;
+use obladi_core::{NoPrivDb, ObladiDb, TwoPhaseLockingDb};
+use obladi_crypto::KeyMaterial;
+use obladi_storage::TrustedCounter;
+use obladi_workloads::{
+    run_closed_loop, FreeHealthConfig, FreeHealthWorkload, SmallBankConfig, SmallBankWorkload,
+    TpccConfig, TpccWorkload, Workload,
+};
+use std::time::Duration;
+
+/// Closed-loop client count used for Obladi runs of an application (bounded
+/// by the application's epoch read capacity so transactions fit).
+fn obladi_clients(app: &str, opts: &BenchOpts) -> usize {
+    let base = match app {
+        "tpcc" => 16,
+        "smallbank" => 48,
+        _ => 32,
+    };
+    if opts.full {
+        base * 4
+    } else {
+        base
+    }
+}
+
+/// One engine's measurement.
+#[derive(Debug, Clone)]
+pub struct EngineResult {
+    /// Engine label as used in the paper's legends.
+    pub engine: &'static str,
+    /// Committed transactions per second.
+    pub throughput: f64,
+    /// Mean latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_latency_ms: f64,
+    /// Abort rate (fraction).
+    pub abort_rate: f64,
+}
+
+fn result(engine: &'static str, stats: &RunStats) -> EngineResult {
+    EngineResult {
+        engine,
+        throughput: stats.throughput(),
+        mean_latency_ms: stats.latency.mean().as_secs_f64() * 1000.0,
+        p99_latency_ms: stats.latency.p99().as_secs_f64() * 1000.0,
+        abort_rate: stats.abort_rate(),
+    }
+}
+
+/// Runs one workload on the MySQL-like 2PL engine.
+fn bench_mysql<W: Workload>(workload: &W, opts: &BenchOpts) -> EngineResult {
+    let db = TwoPhaseLockingDb::new();
+    workload.setup(&db).expect("2PL setup failed");
+    let stats = run_closed_loop(&db, workload, opts.clients, opts.duration, opts.seed);
+    result("MySQL(2PL)", &stats)
+}
+
+/// Runs one workload on NoPriv over the given backend.
+fn bench_nopriv<W: Workload>(
+    workload: &W,
+    backend: BackendKind,
+    engine: &'static str,
+    opts: &BenchOpts,
+) -> EngineResult {
+    let store = build_store(backend, opts);
+    let db = NoPrivDb::new(store);
+    workload.setup(&db).expect("NoPriv setup failed");
+    let stats = run_closed_loop(&db, workload, opts.clients, opts.duration, opts.seed);
+    result(engine, &stats)
+}
+
+/// Runs one workload on Obladi over the given backend.
+fn bench_obladi<W: Workload>(
+    app: &str,
+    workload: &W,
+    rows: u64,
+    backend: BackendKind,
+    engine: &'static str,
+    opts: &BenchOpts,
+) -> EngineResult {
+    let config = app_obladi_config(app, rows, backend, opts);
+    let store = build_store(backend, opts);
+    let db = ObladiDb::open_with(
+        config,
+        store,
+        TrustedCounter::new(),
+        KeyMaterial::for_tests(opts.seed),
+    )
+    .expect("failed to open Obladi");
+    workload.setup(&db).expect("Obladi setup failed");
+    let stats = run_closed_loop(
+        &db,
+        workload,
+        obladi_clients(app, opts),
+        opts.duration,
+        opts.seed,
+    );
+    db.shutdown();
+    result(engine, &stats)
+}
+
+/// Runs Obladi only, with an explicit batch interval, and returns throughput
+/// (used by the Figure 10f epoch-duration sweep).
+pub fn bench_obladi_only<W: Workload>(
+    app: &str,
+    workload: &W,
+    rows: u64,
+    batch_interval_ms: u64,
+    opts: &BenchOpts,
+) -> f64 {
+    let mut config = app_obladi_config(app, rows, BackendKind::Server, opts);
+    config.epoch.batch_interval = Duration::from_millis(batch_interval_ms);
+    let store = build_store(BackendKind::Server, opts);
+    let db = ObladiDb::open_with(
+        config,
+        store,
+        TrustedCounter::new(),
+        KeyMaterial::for_tests(opts.seed),
+    )
+    .expect("failed to open Obladi");
+    workload.setup(&db).expect("Obladi setup failed");
+    let stats = run_closed_loop(
+        &db,
+        workload,
+        obladi_clients(app, opts),
+        opts.duration,
+        opts.seed,
+    );
+    db.shutdown();
+    stats.throughput()
+}
+
+/// Benchmarks one application on all five engines and prints both the
+/// throughput and latency rows.
+pub fn bench_app<W: Workload>(app: &'static str, workload: &W, rows: u64, opts: &BenchOpts) {
+    let results = vec![
+        bench_obladi(app, workload, rows, BackendKind::Server, "Obladi", opts),
+        bench_nopriv(workload, BackendKind::Server, "NoPriv", opts),
+        bench_mysql(workload, opts),
+        bench_obladi(app, workload, rows, BackendKind::ServerWan, "ObladiW", opts),
+        bench_nopriv(workload, BackendKind::ServerWan, "NoPrivW", opts),
+    ];
+
+    print_header(
+        &format!("Figure 9 — {app}: throughput and latency"),
+        &["engine", "throughput_txn_s", "mean_latency_ms", "p99_latency_ms", "abort_rate"],
+    );
+    for r in &results {
+        print_row(&[
+            r.engine.to_string(),
+            fmt1(r.throughput),
+            fmt1(r.mean_latency_ms),
+            fmt1(r.p99_latency_ms),
+            format!("{:.3}", r.abort_rate),
+        ]);
+    }
+    // Summary ratios the paper quotes.
+    let obladi = &results[0];
+    let nopriv = &results[1];
+    if obladi.throughput > 0.0 && nopriv.throughput > 0.0 {
+        println!(
+            "# {app}: NoPriv/Obladi throughput ratio = {:.1}x, Obladi/NoPriv latency ratio = {:.1}x",
+            nopriv.throughput / obladi.throughput,
+            obladi.mean_latency_ms / nopriv.mean_latency_ms.max(1e-6),
+        );
+    }
+}
+
+/// Workload sizes for the quick and full modes.
+pub fn tpcc_workload(opts: &BenchOpts) -> (TpccWorkload, u64) {
+    let config = if opts.full {
+        TpccConfig::benchmark(10)
+    } else {
+        TpccConfig {
+            warehouses: 2,
+            districts_per_warehouse: 4,
+            customers_per_district: 30,
+            items: 200,
+            last_names: 8,
+            stock_level_orders: 3,
+            max_order_lines: 6,
+        }
+    };
+    let rows = config.items
+        + config.warehouses
+            * (1 + config.items
+                + config.districts_per_warehouse
+                    * (1 + config.customers_per_district + config.last_names));
+    (TpccWorkload::new(config), rows)
+}
+
+/// SmallBank workload for the current mode.
+pub fn smallbank_workload(opts: &BenchOpts) -> (SmallBankWorkload, u64) {
+    let config = if opts.full {
+        SmallBankConfig {
+            num_accounts: 20_000,
+            hotspot_fraction: 0.01,
+            hotspot_probability: 0.25,
+        }
+    } else {
+        SmallBankConfig {
+            num_accounts: 600,
+            hotspot_fraction: 0.05,
+            hotspot_probability: 0.25,
+        }
+    };
+    let rows = config.num_accounts * 2;
+    (SmallBankWorkload::new(config), rows)
+}
+
+/// FreeHealth workload for the current mode.
+pub fn freehealth_workload(opts: &BenchOpts) -> (FreeHealthWorkload, u64) {
+    let config = if opts.full {
+        FreeHealthConfig::benchmark()
+    } else {
+        FreeHealthConfig {
+            users: 8,
+            patients: 150,
+            drugs: 50,
+            episodes_per_patient: 2,
+            list_limit: 3,
+        }
+    };
+    let rows =
+        config.users + config.drugs + config.patients * (2 + config.episodes_per_patient * 2);
+    (FreeHealthWorkload::new(config), rows)
+}
+
+/// Runs the complete Figure 9 experiment (all three applications).
+pub fn run_fig09(opts: &BenchOpts) {
+    {
+        let (workload, rows) = tpcc_workload(opts);
+        bench_app("tpcc", &workload, rows, opts);
+    }
+    {
+        let (workload, rows) = smallbank_workload(opts);
+        bench_app("smallbank", &workload, rows, opts);
+    }
+    {
+        let (workload, rows) = freehealth_workload(opts);
+        bench_app("freehealth", &workload, rows, opts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mysql_and_nopriv_engines_run_smallbank_smoke() {
+        let mut opts = BenchOpts::smoke();
+        opts.duration = Duration::from_millis(200);
+        let workload = SmallBankWorkload::new(SmallBankConfig {
+            num_accounts: 40,
+            hotspot_fraction: 0.1,
+            hotspot_probability: 0.25,
+        });
+        let mysql = bench_mysql(&workload, &opts);
+        assert!(mysql.throughput > 0.0);
+        let nopriv = bench_nopriv(&workload, BackendKind::Dummy, "NoPriv", &opts);
+        assert!(nopriv.throughput > 0.0);
+    }
+
+    #[test]
+    fn obladi_engine_runs_smallbank_smoke() {
+        let mut opts = BenchOpts::smoke();
+        opts.duration = Duration::from_millis(400);
+        let workload = SmallBankWorkload::new(SmallBankConfig {
+            num_accounts: 32,
+            hotspot_fraction: 0.1,
+            hotspot_probability: 0.2,
+        });
+        let result = bench_obladi(
+            "smallbank",
+            &workload,
+            64,
+            BackendKind::Dummy,
+            "Obladi",
+            &opts,
+        );
+        assert!(
+            result.throughput > 0.0,
+            "Obladi must commit transactions in the smoke benchmark"
+        );
+    }
+}

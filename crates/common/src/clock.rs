@@ -1,0 +1,168 @@
+//! Pluggable clock abstraction.
+//!
+//! The proxy's epoch machinery is driven by time (`Δ`-spaced read batches,
+//! fixed-length epochs).  Tests need to drive that machinery without real
+//! sleeps, and the simulated storage backends need a way to "charge" latency
+//! that can be disabled.  [`Clock`] abstracts both: [`RealClock`] sleeps on
+//! the OS clock, [`TestClock`] advances a virtual time counter instantly.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A source of time plus the ability to wait.
+pub trait Clock: Send + Sync + 'static {
+    /// Nanoseconds since the clock's epoch.
+    fn now_nanos(&self) -> u64;
+
+    /// Blocks the calling thread for `d` (really or virtually).
+    fn sleep(&self, d: Duration);
+
+    /// Convenience: the current time as a [`Duration`] since the clock's
+    /// epoch.
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.now_nanos())
+    }
+}
+
+/// Wall-clock implementation backed by [`Instant`] and `thread::sleep`.
+#[derive(Debug)]
+pub struct RealClock {
+    origin: Instant,
+}
+
+impl RealClock {
+    /// Creates a real clock whose epoch is "now".
+    pub fn new() -> Self {
+        RealClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        RealClock::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now_nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// A manually-advanced virtual clock for deterministic tests.
+///
+/// `sleep` blocks until another thread advances the clock far enough (or
+/// returns immediately when the requested duration is zero).  Tests that are
+/// single-threaded should use [`TestClock::advance`] before the sleeping
+/// call, or configure components with zero intervals.
+#[derive(Debug, Clone)]
+pub struct TestClock {
+    inner: Arc<TestClockInner>,
+}
+
+#[derive(Debug)]
+struct TestClockInner {
+    now_nanos: Mutex<u64>,
+    advanced: Condvar,
+}
+
+impl TestClock {
+    /// Creates a virtual clock starting at time zero.
+    pub fn new() -> Self {
+        TestClock {
+            inner: Arc::new(TestClockInner {
+                now_nanos: Mutex::new(0),
+                advanced: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Advances the virtual time by `d`, waking any sleepers whose deadline
+    /// has passed.
+    pub fn advance(&self, d: Duration) {
+        let mut now = self.inner.now_nanos.lock();
+        *now += d.as_nanos() as u64;
+        self.inner.advanced.notify_all();
+    }
+}
+
+impl Default for TestClock {
+    fn default() -> Self {
+        TestClock::new()
+    }
+}
+
+impl Clock for TestClock {
+    fn now_nanos(&self) -> u64 {
+        *self.inner.now_nanos.lock()
+    }
+
+    fn sleep(&self, d: Duration) {
+        if d.is_zero() {
+            return;
+        }
+        let deadline = self.now_nanos() + d.as_nanos() as u64;
+        let mut now = self.inner.now_nanos.lock();
+        while *now < deadline {
+            self.inner.advanced.wait(&mut now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn real_clock_monotonic() {
+        let clock = RealClock::new();
+        let a = clock.now_nanos();
+        let b = clock.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn real_clock_sleep_zero_returns_immediately() {
+        let clock = RealClock::new();
+        clock.sleep(Duration::ZERO);
+    }
+
+    #[test]
+    fn test_clock_starts_at_zero_and_advances() {
+        let clock = TestClock::new();
+        assert_eq!(clock.now_nanos(), 0);
+        clock.advance(Duration::from_millis(5));
+        assert_eq!(clock.now(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn test_clock_sleep_wakes_on_advance() {
+        let clock = TestClock::new();
+        let sleeper = clock.clone();
+        let handle = thread::spawn(move || {
+            sleeper.sleep(Duration::from_millis(10));
+            sleeper.now()
+        });
+        // Give the sleeper a moment to block, then advance past its deadline.
+        thread::sleep(Duration::from_millis(20));
+        clock.advance(Duration::from_millis(15));
+        let woke_at = handle.join().unwrap();
+        assert!(woke_at >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn test_clock_zero_sleep_is_nonblocking() {
+        let clock = TestClock::new();
+        clock.sleep(Duration::ZERO);
+    }
+}

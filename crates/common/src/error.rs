@@ -1,0 +1,107 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Convenience alias used across the Obladi crates.
+pub type Result<T> = std::result::Result<T, ObladiError>;
+
+/// Errors that can be produced by any layer of the system.
+///
+/// The variants deliberately mirror the failure modes discussed in the
+/// paper: storage faults, integrity violations (Appendix A), transaction
+/// aborts (§6.1), epoch overflow (§6.2) and crash/recovery conditions (§8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObladiError {
+    /// The untrusted storage server failed to serve a request.
+    Storage(String),
+    /// A block failed MAC verification or freshness checking.
+    Integrity(String),
+    /// The requested key does not exist in the database.
+    KeyNotFound(u64),
+    /// The transaction was aborted by concurrency control or by the epoch
+    /// machinery; the string describes the reason.
+    TxnAborted(String),
+    /// A batch or epoch capacity limit was exceeded.
+    BatchFull(String),
+    /// The ORAM stash exceeded its configured maximum; this indicates a
+    /// mis-configured tree (Z too small for N).
+    StashOverflow {
+        /// Number of blocks currently in the stash.
+        len: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// The proxy is currently crashed / not serving requests.
+    ProxyUnavailable,
+    /// Recovery could not complete, e.g. because the write-ahead log is
+    /// corrupt or the trusted counter disagrees with storage.
+    Recovery(String),
+    /// A configuration parameter was invalid (e.g. `Z = 0`).
+    Config(String),
+    /// Serialization / deserialization of an on-storage structure failed.
+    Codec(String),
+    /// An internal invariant was violated; indicates a bug.
+    Internal(String),
+}
+
+impl fmt::Display for ObladiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObladiError::Storage(msg) => write!(f, "storage error: {msg}"),
+            ObladiError::Integrity(msg) => write!(f, "integrity violation: {msg}"),
+            ObladiError::KeyNotFound(key) => write!(f, "key not found: {key}"),
+            ObladiError::TxnAborted(msg) => write!(f, "transaction aborted: {msg}"),
+            ObladiError::BatchFull(msg) => write!(f, "batch full: {msg}"),
+            ObladiError::StashOverflow { len, max } => {
+                write!(f, "stash overflow: {len} blocks exceeds maximum {max}")
+            }
+            ObladiError::ProxyUnavailable => write!(f, "proxy unavailable (crashed)"),
+            ObladiError::Recovery(msg) => write!(f, "recovery failed: {msg}"),
+            ObladiError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            ObladiError::Codec(msg) => write!(f, "encoding error: {msg}"),
+            ObladiError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ObladiError {}
+
+impl ObladiError {
+    /// Returns `true` if the error represents a transaction abort that the
+    /// application may retry.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ObladiError::TxnAborted(_) | ObladiError::BatchFull(_) | ObladiError::ProxyUnavailable
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = ObladiError::Storage("connection reset".into());
+        assert!(e.to_string().contains("connection reset"));
+        let e = ObladiError::StashOverflow { len: 10, max: 4 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(ObladiError::TxnAborted("conflict".into()).is_retryable());
+        assert!(ObladiError::BatchFull("read batch".into()).is_retryable());
+        assert!(ObladiError::ProxyUnavailable.is_retryable());
+        assert!(!ObladiError::KeyNotFound(3).is_retryable());
+        assert!(!ObladiError::Integrity("bad mac".into()).is_retryable());
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        let e: Box<dyn std::error::Error> = Box::new(ObladiError::ProxyUnavailable);
+        assert!(e.to_string().contains("proxy"));
+    }
+}

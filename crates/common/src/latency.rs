@@ -1,0 +1,180 @@
+//! Latency models for the simulated storage backends.
+//!
+//! The paper's evaluation (§11.2) compares four storage backends that differ
+//! only in access latency and client behaviour:
+//!
+//! * `dummy` — a local object that stores nothing (measures CPU cost only);
+//! * `server` — a remote in-memory hashmap with a 0.3 ms ping;
+//! * `server WAN` — the same with a 10 ms ping;
+//! * `dynamo` — DynamoDB with ~1 ms reads, ~3 ms writes and a blocking
+//!   HTTP client that limits per-connection parallelism.
+//!
+//! This module models those profiles as injected latencies.  A global
+//! `scale` factor shrinks the latencies so the benchmark harness can run in
+//! CI-sized time budgets without changing the *relative* behaviour that the
+//! figures demonstrate (parallelism pays off more as latency grows).
+
+use crate::config::BackendKind;
+use crate::rng::DetRng;
+use std::time::Duration;
+
+/// A distribution of service latencies for one operation type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Mean service latency.
+    pub mean: Duration,
+    /// Uniform jitter applied around the mean (+/- jitter/2).
+    pub jitter: Duration,
+}
+
+impl LatencyModel {
+    /// A latency model with no delay at all.
+    pub const ZERO: LatencyModel = LatencyModel {
+        mean: Duration::ZERO,
+        jitter: Duration::ZERO,
+    };
+
+    /// Creates a model with the given mean and ±10% jitter.
+    pub fn with_mean(mean: Duration) -> Self {
+        LatencyModel {
+            mean,
+            jitter: mean / 5,
+        }
+    }
+
+    /// Samples a concrete latency.
+    pub fn sample(&self, rng: &mut DetRng) -> Duration {
+        if self.mean.is_zero() {
+            return Duration::ZERO;
+        }
+        if self.jitter.is_zero() {
+            return self.mean;
+        }
+        let jitter_ns = self.jitter.as_nanos() as u64;
+        let offset = rng.below(jitter_ns.max(1));
+        let base = self.mean.as_nanos() as u64;
+        // Centre the jitter around the mean, saturating at zero.
+        let low = base.saturating_sub(jitter_ns / 2);
+        Duration::from_nanos(low + offset)
+    }
+
+    /// Scales the model by `factor` (0 disables latency entirely).
+    pub fn scaled(&self, factor: f64) -> LatencyModel {
+        let scale = |d: Duration| -> Duration {
+            Duration::from_nanos(((d.as_nanos() as f64) * factor).round() as u64)
+        };
+        LatencyModel {
+            mean: scale(self.mean),
+            jitter: scale(self.jitter),
+        }
+    }
+}
+
+/// Read/write latency profile plus client-side concurrency limits for one
+/// backend kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyProfile {
+    /// Which backend this profile describes.
+    pub kind: BackendKind,
+    /// Latency of a bucket / metadata read.
+    pub read: LatencyModel,
+    /// Latency of a bucket / metadata write.
+    pub write: LatencyModel,
+    /// Maximum number of in-flight requests the backend's client library
+    /// allows (`None` = unbounded).  The paper notes that the DynamoDB
+    /// client uses blocking HTTP calls, which caps its effective
+    /// parallelism.
+    pub max_in_flight: Option<usize>,
+}
+
+impl LatencyProfile {
+    /// The latency profile for `kind` at the paper's nominal latencies.
+    pub fn for_backend(kind: BackendKind) -> Self {
+        match kind {
+            BackendKind::Dummy => LatencyProfile {
+                kind,
+                read: LatencyModel::ZERO,
+                write: LatencyModel::ZERO,
+                max_in_flight: None,
+            },
+            BackendKind::Server => LatencyProfile {
+                kind,
+                read: LatencyModel::with_mean(Duration::from_micros(300)),
+                write: LatencyModel::with_mean(Duration::from_micros(300)),
+                max_in_flight: None,
+            },
+            BackendKind::ServerWan => LatencyProfile {
+                kind,
+                read: LatencyModel::with_mean(Duration::from_millis(10)),
+                write: LatencyModel::with_mean(Duration::from_millis(10)),
+                max_in_flight: None,
+            },
+            BackendKind::Dynamo => LatencyProfile {
+                kind,
+                read: LatencyModel::with_mean(Duration::from_millis(1)),
+                write: LatencyModel::with_mean(Duration::from_millis(3)),
+                max_in_flight: Some(64),
+            },
+        }
+    }
+
+    /// The profile scaled by `factor`; a factor of `0.0` turns the backend
+    /// into a pure in-memory store (useful for unit tests).
+    pub fn scaled(&self, factor: f64) -> LatencyProfile {
+        LatencyProfile {
+            kind: self.kind,
+            read: self.read.scaled(factor),
+            write: self.write.scaled(factor),
+            max_in_flight: self.max_in_flight,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_never_sleeps() {
+        let mut rng = DetRng::new(1);
+        assert_eq!(LatencyModel::ZERO.sample(&mut rng), Duration::ZERO);
+    }
+
+    #[test]
+    fn samples_stay_near_mean() {
+        let mut rng = DetRng::new(2);
+        let model = LatencyModel::with_mean(Duration::from_millis(10));
+        for _ in 0..200 {
+            let s = model.sample(&mut rng);
+            assert!(s >= Duration::from_millis(8), "sample {s:?} too small");
+            assert!(s <= Duration::from_millis(12), "sample {s:?} too large");
+        }
+    }
+
+    #[test]
+    fn scaling_to_zero_disables_latency() {
+        let profile = LatencyProfile::for_backend(BackendKind::ServerWan).scaled(0.0);
+        assert_eq!(profile.read.mean, Duration::ZERO);
+        assert_eq!(profile.write.mean, Duration::ZERO);
+    }
+
+    #[test]
+    fn profiles_reflect_paper_latencies() {
+        let wan = LatencyProfile::for_backend(BackendKind::ServerWan);
+        let server = LatencyProfile::for_backend(BackendKind::Server);
+        let dynamo = LatencyProfile::for_backend(BackendKind::Dynamo);
+        assert!(wan.read.mean > server.read.mean);
+        assert!(dynamo.write.mean > dynamo.read.mean);
+        assert!(dynamo.max_in_flight.is_some());
+        assert_eq!(
+            LatencyProfile::for_backend(BackendKind::Dummy).read.mean,
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn scaled_halves_mean() {
+        let m = LatencyModel::with_mean(Duration::from_millis(10)).scaled(0.5);
+        assert_eq!(m.mean, Duration::from_millis(5));
+    }
+}

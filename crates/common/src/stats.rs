@@ -1,0 +1,207 @@
+//! Lightweight latency / throughput statistics used by the load driver and
+//! the benchmark harness.
+//!
+//! The evaluation reports average throughput (transactions or operations per
+//! second) and latency (average and tail).  [`LatencyRecorder`] collects raw
+//! samples and computes percentiles; [`RunStats`] summarises a whole run.
+
+use std::time::Duration;
+
+/// Collects latency samples and derives summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples_us: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder {
+            samples_us: Vec::new(),
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples_us.push(latency.as_micros() as u64);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// Merges another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_us.extend_from_slice(&other.samples_us);
+    }
+
+    /// Mean latency, or zero if empty.
+    pub fn mean(&self) -> Duration {
+        if self.samples_us.is_empty() {
+            return Duration::ZERO;
+        }
+        let sum: u64 = self.samples_us.iter().sum();
+        Duration::from_micros(sum / self.samples_us.len() as u64)
+    }
+
+    /// The `p`-th percentile latency (`0.0 <= p <= 100.0`), or zero if empty.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.samples_us.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        Duration::from_micros(sorted[rank.min(sorted.len() - 1)])
+    }
+
+    /// Median latency.
+    pub fn median(&self) -> Duration {
+        self.percentile(50.0)
+    }
+
+    /// 99th percentile latency.
+    pub fn p99(&self) -> Duration {
+        self.percentile(99.0)
+    }
+
+    /// Maximum latency observed.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.samples_us.iter().copied().max().unwrap_or(0))
+    }
+}
+
+/// Summary of a benchmark run: how many operations completed / aborted over
+/// what wall-clock duration, plus the latency distribution.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Number of successfully committed transactions (or completed ops).
+    pub committed: u64,
+    /// Number of aborted transactions.
+    pub aborted: u64,
+    /// Wall-clock duration of the measured window.
+    pub elapsed: Duration,
+    /// Latency distribution of committed transactions.
+    pub latency: LatencyRecorder,
+}
+
+impl RunStats {
+    /// Creates a summary from raw counters.
+    pub fn new(committed: u64, aborted: u64, elapsed: Duration, latency: LatencyRecorder) -> Self {
+        RunStats {
+            committed,
+            aborted,
+            elapsed,
+            latency,
+        }
+    }
+
+    /// Committed operations per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.committed as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Fraction of attempts that aborted.
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.committed + self.aborted;
+        if total == 0 {
+            return 0.0;
+        }
+        self.aborted as f64 / total as f64
+    }
+
+    /// Merges two run summaries (e.g. from different client threads).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.committed += other.committed;
+        self.aborted += other.aborted;
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.latency.merge(&other.latency);
+    }
+
+    /// Renders a one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:.1} ops/s, {} committed, {} aborted ({:.1}% aborts), mean {:?}, p99 {:?}",
+            self.throughput(),
+            self.committed,
+            self.aborted,
+            self.abort_rate() * 100.0,
+            self.latency.mean(),
+            self.latency.p99(),
+        )
+    }
+}
+
+impl Default for RunStats {
+    fn default() -> Self {
+        RunStats {
+            committed: 0,
+            aborted: 0,
+            elapsed: Duration::ZERO,
+            latency: LatencyRecorder::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_is_zeroed() {
+        let r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.mean(), Duration::ZERO);
+        assert_eq!(r.p99(), Duration::ZERO);
+        assert_eq!(r.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let mut r = LatencyRecorder::new();
+        for ms in 1..=100u64 {
+            r.record(Duration::from_millis(ms));
+        }
+        let median = r.median();
+        assert!(median >= Duration::from_millis(50) && median <= Duration::from_millis(51));
+        assert_eq!(r.percentile(100.0), Duration::from_millis(100));
+        assert_eq!(r.percentile(0.0), Duration::from_millis(1));
+        assert!(r.p99() >= Duration::from_millis(98));
+        assert_eq!(r.max(), Duration::from_millis(100));
+        assert_eq!(r.mean(), Duration::from_micros(50500));
+    }
+
+    #[test]
+    fn throughput_and_abort_rate() {
+        let stats = RunStats::new(100, 25, Duration::from_secs(2), LatencyRecorder::new());
+        assert!((stats.throughput() - 50.0).abs() < 1e-9);
+        assert!((stats.abort_rate() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RunStats::new(10, 1, Duration::from_secs(1), LatencyRecorder::new());
+        let b = RunStats::new(20, 2, Duration::from_secs(2), LatencyRecorder::new());
+        a.merge(&b);
+        assert_eq!(a.committed, 30);
+        assert_eq!(a.aborted, 3);
+        assert_eq!(a.elapsed, Duration::from_secs(2));
+    }
+
+    #[test]
+    fn zero_elapsed_does_not_divide_by_zero() {
+        let stats = RunStats::default();
+        assert_eq!(stats.throughput(), 0.0);
+        assert_eq!(stats.abort_rate(), 0.0);
+        assert!(!stats.summary().is_empty());
+    }
+}

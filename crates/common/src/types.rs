@@ -1,0 +1,232 @@
+//! Core identifier and value types shared by all Obladi crates.
+//!
+//! Obladi is a transactional *key-value* store layered on top of a Ring ORAM.
+//! At the logical level applications manipulate [`Key`]s and [`Value`]s; the
+//! ORAM maps each key to a [`Leaf`] of its tree and stores the encrypted
+//! value in one of the buckets ([`BucketId`]) along the path to that leaf.
+//! The proxy stamps transactions with [`Timestamp`]s (MVTSO) and groups them
+//! into epochs ([`EpochId`]) that consist of read/write batches ([`BatchId`]).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Logical key of an object stored in the database.
+///
+/// Workloads encode table identifiers and primary keys into this 64-bit
+/// space (see `obladi-workloads::encoding`).
+pub type Key = u64;
+
+/// Opaque value bytes associated with a [`Key`].
+pub type Value = Vec<u8>;
+
+/// Transaction identifier assigned by the proxy when a transaction begins.
+///
+/// In MVTSO the transaction identifier doubles as its serialization
+/// timestamp, so `TxnId` ordering *is* the serialization order within an
+/// epoch.
+pub type TxnId = u64;
+
+/// MVTSO timestamp; identical to [`TxnId`] in this implementation.
+pub type Timestamp = u64;
+
+/// Epoch counter. Epochs are the granularity of durability and commit
+/// visibility (§6 of the paper).
+pub type EpochId = u64;
+
+/// Index of a read batch within an epoch (`0..R`), or `u32::MAX` for the
+/// write batch.
+pub type BatchId = u32;
+
+/// Identifier of a bucket in the ORAM tree, numbered heap-style:
+/// the root is bucket `0`, the children of bucket `i` are `2i + 1` and
+/// `2i + 2`.
+pub type BucketId = u64;
+
+/// Leaf label of the ORAM tree in `0..num_leaves`.
+pub type Leaf = u64;
+
+/// Version number of a shadow-paged bucket on untrusted storage.
+///
+/// Every physical write of a bucket creates a new version rather than
+/// updating in place, which is what allows crash recovery to revert the
+/// ORAM to the state of the last durable epoch (§8).
+pub type Version = u64;
+
+/// The kind of a logical operation submitted by a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A read of a key.
+    Read,
+    /// A write (insert or update) of a key.
+    Write,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Read => write!(f, "read"),
+            OpKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// A logical request as seen by the data handler: a key plus the kind of
+/// access, and for writes the new value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalOp {
+    /// The key being accessed.
+    pub key: Key,
+    /// Whether this is a read or a write.
+    pub kind: OpKind,
+    /// The value written (empty for reads).
+    pub value: Option<Value>,
+}
+
+impl LogicalOp {
+    /// Creates a logical read of `key`.
+    pub fn read(key: Key) -> Self {
+        LogicalOp {
+            key,
+            kind: OpKind::Read,
+            value: None,
+        }
+    }
+
+    /// Creates a logical write of `value` to `key`.
+    pub fn write(key: Key, value: Value) -> Self {
+        LogicalOp {
+            key,
+            kind: OpKind::Write,
+            value: Some(value),
+        }
+    }
+}
+
+/// Outcome of a transaction, reported to the client at the epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnOutcome {
+    /// The transaction committed; its writes are durable.
+    Committed,
+    /// The transaction aborted (conflict, cascading abort, epoch overflow or
+    /// crash); none of its writes are visible.
+    Aborted(AbortReason),
+}
+
+impl TxnOutcome {
+    /// Returns `true` if the transaction committed.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, TxnOutcome::Committed)
+    }
+}
+
+/// Why a transaction aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// MVTSO write rejected because a later transaction already read the
+    /// preceding version.
+    WriteTooLate,
+    /// A write-read dependency aborted, so this transaction had to abort too
+    /// (cascading abort).
+    Cascading,
+    /// The transaction did not finish before the epoch ended.
+    EpochEnd,
+    /// The epoch's read or write batches were full.
+    BatchFull,
+    /// The proxy crashed during the transaction's epoch.
+    Crash,
+    /// The application itself requested the abort.
+    UserRequested,
+    /// The storage server returned data that failed integrity verification.
+    IntegrityViolation,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbortReason::WriteTooLate => "mvtso write rejected",
+            AbortReason::Cascading => "cascading abort",
+            AbortReason::EpochEnd => "epoch ended before completion",
+            AbortReason::BatchFull => "epoch batches were full",
+            AbortReason::Crash => "proxy crashed",
+            AbortReason::UserRequested => "user requested abort",
+            AbortReason::IntegrityViolation => "integrity verification failed",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A physical slot address inside the ORAM tree: a bucket plus the index of
+/// one of its `Z + S` slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotAddr {
+    /// The bucket holding the slot.
+    pub bucket: BucketId,
+    /// Physical slot index within the bucket, in `0..(Z + S)`.
+    pub slot: u32,
+}
+
+impl SlotAddr {
+    /// Creates a slot address.
+    pub fn new(bucket: BucketId, slot: u32) -> Self {
+        SlotAddr { bucket, slot }
+    }
+}
+
+impl fmt::Display for SlotAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bucket {} slot {}", self.bucket, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_op_constructors() {
+        let r = LogicalOp::read(7);
+        assert_eq!(r.kind, OpKind::Read);
+        assert_eq!(r.key, 7);
+        assert!(r.value.is_none());
+
+        let w = LogicalOp::write(9, vec![1, 2, 3]);
+        assert_eq!(w.kind, OpKind::Write);
+        assert_eq!(w.value.as_deref(), Some(&[1u8, 2, 3][..]));
+    }
+
+    #[test]
+    fn outcome_committed_helper() {
+        assert!(TxnOutcome::Committed.is_committed());
+        assert!(!TxnOutcome::Aborted(AbortReason::EpochEnd).is_committed());
+    }
+
+    #[test]
+    fn abort_reason_display_is_human_readable() {
+        let all = [
+            AbortReason::WriteTooLate,
+            AbortReason::Cascading,
+            AbortReason::EpochEnd,
+            AbortReason::BatchFull,
+            AbortReason::Crash,
+            AbortReason::UserRequested,
+            AbortReason::IntegrityViolation,
+        ];
+        for reason in all {
+            assert!(!reason.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn slot_addr_ordering_groups_by_bucket() {
+        let a = SlotAddr::new(1, 5);
+        let b = SlotAddr::new(2, 0);
+        assert!(a < b);
+        assert_eq!(SlotAddr::new(3, 3), SlotAddr::new(3, 3));
+    }
+
+    #[test]
+    fn op_kind_display() {
+        assert_eq!(OpKind::Read.to_string(), "read");
+        assert_eq!(OpKind::Write.to_string(), "write");
+    }
+}

@@ -1,0 +1,168 @@
+//! Zipfian distribution sampler used by the YCSB workload generator.
+//!
+//! YCSB's canonical key-choice distribution is a Zipfian with exponent
+//! `theta ≈ 0.99`.  This implementation uses the standard rejection-free
+//! formula from Gray et al. ("Quickly generating billion-record synthetic
+//! databases"), the same method used by the original YCSB generator.
+
+use crate::rng::DetRng;
+
+/// A Zipfian sampler over the range `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with skew `theta` (`0.0 <= theta < 1.0`;
+    /// larger is more skewed; YCSB uses 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipf distribution needs a non-empty range");
+        let theta = theta.clamp(0.0, 0.9999);
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        // `zeta2` only feeds into `eta` below.
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// A uniform sampler over `0..n` (theta = 0).
+    pub fn uniform(n: u64) -> Self {
+        Zipf::new(n, 0.0)
+    }
+
+    /// Number of items in the range.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws a sample in `0..n`; rank 0 is the most popular item.
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        if self.n == 1 {
+            return 0;
+        }
+        let u = rng.unit();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let raw = (self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        (raw as u64).min(self.n - 1)
+    }
+
+    /// Harmonic-like normalisation constant `zeta(n, theta)`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // For very large n this sum is expensive; cap the exact sum and
+        // approximate the tail with an integral, which is accurate enough
+        // for workload generation purposes.
+        const EXACT_LIMIT: u64 = 1_000_000;
+        let exact_n = n.min(EXACT_LIMIT);
+        let mut sum = 0.0;
+        for i in 1..=exact_n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > EXACT_LIMIT && theta < 1.0 {
+            // Integral of x^-theta from EXACT_LIMIT to n.
+            let a = EXACT_LIMIT as f64;
+            let b = n as f64;
+            sum += (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta);
+        }
+        let _ = self_check(sum);
+        sum
+    }
+}
+
+/// Debug helper asserting the normalisation constant is finite.
+fn self_check(v: f64) -> f64 {
+    debug_assert!(v.is_finite() && v > 0.0);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_in_range() {
+        let zipf = Zipf::new(1000, 0.99);
+        let mut rng = DetRng::new(5);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn skewed_distribution_prefers_low_ranks() {
+        let zipf = Zipf::new(10_000, 0.99);
+        let mut rng = DetRng::new(6);
+        let mut head = 0u64;
+        let total = 20_000;
+        for _ in 0..total {
+            if zipf.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // With theta=0.99, the hottest 1% of keys should receive far more
+        // than 1% of accesses.
+        assert!(
+            head as f64 / total as f64 > 0.3,
+            "hot keys got only {head}/{total}"
+        );
+    }
+
+    #[test]
+    fn uniform_distribution_is_flat() {
+        let zipf = Zipf::uniform(100);
+        let mut rng = DetRng::new(7);
+        let mut counts = vec![0u64; 100];
+        let total = 100_000;
+        for _ in 0..total {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        let expected = total as f64 / 100.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > expected * 0.5 && (c as f64) < expected * 1.5,
+                "bucket {i} had {c} samples, expected about {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_range_always_returns_zero() {
+        let zipf = Zipf::new(1, 0.99);
+        let mut rng = DetRng::new(8);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_range_panics() {
+        let _ = Zipf::new(0, 0.5);
+    }
+}

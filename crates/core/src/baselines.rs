@@ -1,0 +1,650 @@
+//! Non-private baselines used by the evaluation (§10–§11).
+//!
+//! * [`NoPrivDb`] — the paper's *NoPriv* baseline: the same MVTSO
+//!   concurrency-control logic as Obladi, but the data handler is replaced
+//!   by plain (non-oblivious, per-key) remote storage.  It neither batches
+//!   nor delays operations: reads go straight to storage, writes are
+//!   buffered at the proxy and flushed at commit, and commit decisions are
+//!   taken immediately.
+//! * [`TwoPhaseLockingDb`] — a conventional strict two-phase-locking engine
+//!   over a local in-memory table, standing in for the MySQL reference
+//!   point: exclusive locks are held for the duration of the transaction,
+//!   so writers block readers (the behaviour the paper contrasts with
+//!   MVTSO's pipelining).
+
+use crate::api::{KvDatabase, KvTransaction};
+use crate::concurrency::MvtsoManager;
+use obladi_common::error::{ObladiError, Result};
+use obladi_common::types::{AbortReason, Key, TxnId, Value};
+use obladi_storage::UntrustedStore;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ----------------------------------------------------------------------
+// NoPriv
+// ----------------------------------------------------------------------
+
+/// The NoPriv baseline: MVTSO over non-oblivious remote storage.
+pub struct NoPrivDb {
+    store: Arc<dyn UntrustedStore>,
+    mvtso: Mutex<MvtsoManager>,
+    commit_wakeup: Condvar,
+    next_ts: AtomicU64,
+    committed: AtomicU64,
+    aborted: AtomicU64,
+}
+
+impl NoPrivDb {
+    /// Creates a NoPriv instance over the given (latency-modelled) store.
+    pub fn new(store: Arc<dyn UntrustedStore>) -> Self {
+        NoPrivDb {
+            store,
+            mvtso: Mutex::new(MvtsoManager::new()),
+            commit_wakeup: Condvar::new(),
+            next_ts: AtomicU64::new(1),
+            committed: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of committed transactions.
+    pub fn committed(&self) -> u64 {
+        self.committed.load(Ordering::Relaxed)
+    }
+
+    /// Number of aborted transactions.
+    pub fn aborted(&self) -> u64 {
+        self.aborted.load(Ordering::Relaxed)
+    }
+
+    /// The storage backend.
+    pub fn store(&self) -> &Arc<dyn UntrustedStore> {
+        &self.store
+    }
+
+    /// Begins a transaction.
+    pub fn begin(&self) -> NoPrivTxn<'_> {
+        let ts = self.next_ts.fetch_add(1, Ordering::SeqCst) + 1;
+        self.mvtso.lock().begin(ts);
+        NoPrivTxn {
+            db: self,
+            id: ts,
+            writes: HashMap::new(),
+            finished: false,
+        }
+    }
+
+    fn storage_key(key: Key) -> String {
+        format!("kv/{key}")
+    }
+
+    fn fetch_from_storage(&self, key: Key) -> Result<Option<Value>> {
+        Ok(self
+            .store
+            .get_meta(&Self::storage_key(key))?
+            .map(|bytes| bytes.to_vec()))
+    }
+
+    fn flush_to_storage(&self, writes: &HashMap<Key, Value>) -> Result<()> {
+        for (key, value) in writes {
+            self.store
+                .put_meta(&Self::storage_key(*key), bytes::Bytes::from(value.clone()))?;
+        }
+        Ok(())
+    }
+}
+
+/// A NoPriv transaction.
+pub struct NoPrivTxn<'db> {
+    db: &'db NoPrivDb,
+    id: TxnId,
+    writes: HashMap<Key, Value>,
+    finished: bool,
+}
+
+impl NoPrivTxn<'_> {
+    /// The transaction timestamp.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Reads a key: from the local write buffer, from the shared version
+    /// cache, or from storage.
+    pub fn read(&mut self, key: Key) -> Result<Option<Value>> {
+        if let Some(value) = self.writes.get(&key) {
+            return Ok(Some(value.clone()));
+        }
+        {
+            let mut mvtso = self.db.mvtso.lock();
+            match mvtso.read(self.id, key)? {
+                crate::concurrency::ReadOutcome::Value { value, .. } => return Ok(value),
+                crate::concurrency::ReadOutcome::NeedsFetch => {}
+            }
+        }
+        // Fetch outside the lock (this is the remote storage round trip).
+        let fetched = self.db.fetch_from_storage(key)?;
+        let mut mvtso = self.db.mvtso.lock();
+        mvtso.register_base(key, fetched);
+        match mvtso.read(self.id, key)? {
+            crate::concurrency::ReadOutcome::Value { value, .. } => Ok(value),
+            crate::concurrency::ReadOutcome::NeedsFetch => Err(ObladiError::Internal(
+                "base version vanished after registration".into(),
+            )),
+        }
+    }
+
+    /// Buffers a write locally and publishes it to the version cache so
+    /// concurrent transactions can observe it (MVTSO immediate visibility).
+    pub fn write(&mut self, key: Key, value: Value) -> Result<()> {
+        {
+            let mut mvtso = self.db.mvtso.lock();
+            if let Err(err) = mvtso.write(self.id, key, value.clone()) {
+                self.finished = true;
+                return Err(err);
+            }
+        }
+        self.writes.insert(key, value);
+        Ok(())
+    }
+
+    /// Commits immediately (no delayed visibility): waits for write-read
+    /// dependencies to resolve, then flushes buffered writes to storage.
+    pub fn commit(mut self) -> Result<()> {
+        self.finished = true;
+        {
+            let mut mvtso = self.db.mvtso.lock();
+            mvtso.request_commit(self.id)?;
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut mvtso = self.db.mvtso.lock();
+            match mvtso.try_commit_now(self.id) {
+                Ok(true) => {
+                    drop(mvtso);
+                    self.db.flush_to_storage(&self.writes)?;
+                    self.db.committed.fetch_add(1, Ordering::Relaxed);
+                    self.db.commit_wakeup.notify_all();
+                    // Periodic garbage collection keeps version chains short.
+                    if self.id % 256 == 0 {
+                        let horizon = self.id.saturating_sub(1024);
+                        self.db.mvtso.lock().garbage_collect(horizon);
+                    }
+                    return Ok(());
+                }
+                Ok(false) => {
+                    if Instant::now() > deadline {
+                        mvtso.abort(self.id, AbortReason::Cascading);
+                        self.db.aborted.fetch_add(1, Ordering::Relaxed);
+                        return Err(ObladiError::TxnAborted(
+                            "dependency did not resolve in time".into(),
+                        ));
+                    }
+                    self.db
+                        .commit_wakeup
+                        .wait_for(&mut mvtso, Duration::from_millis(10));
+                }
+                Err(err) => {
+                    self.db.aborted.fetch_add(1, Ordering::Relaxed);
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    /// Aborts the transaction.
+    pub fn rollback(mut self) {
+        self.abort_internal();
+    }
+
+    fn abort_internal(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.db
+            .mvtso
+            .lock()
+            .abort(self.id, AbortReason::UserRequested);
+        self.db.aborted.fetch_add(1, Ordering::Relaxed);
+        self.db.commit_wakeup.notify_all();
+    }
+}
+
+impl Drop for NoPrivTxn<'_> {
+    fn drop(&mut self) {
+        self.abort_internal();
+    }
+}
+
+impl KvTransaction for NoPrivTxn<'_> {
+    fn read(&mut self, key: Key) -> Result<Option<Value>> {
+        NoPrivTxn::read(self, key)
+    }
+
+    fn write(&mut self, key: Key, value: Value) -> Result<()> {
+        NoPrivTxn::write(self, key, value)
+    }
+
+    fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl KvDatabase for NoPrivDb {
+    fn execute<T>(&self, body: &mut dyn FnMut(&mut dyn KvTransaction) -> Result<T>) -> Result<T> {
+        let mut txn = self.begin();
+        match body(&mut txn) {
+            Ok(value) => {
+                txn.commit()?;
+                Ok(value)
+            }
+            Err(err) => {
+                txn.rollback();
+                Err(err)
+            }
+        }
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "nopriv"
+    }
+}
+
+// ----------------------------------------------------------------------
+// Strict two-phase locking ("MySQL-like") baseline
+// ----------------------------------------------------------------------
+
+#[derive(Default)]
+struct LockTable {
+    /// Keys currently locked exclusively, with the owning transaction.
+    locks: HashMap<Key, TxnId>,
+}
+
+/// A conventional strict-2PL engine over a local in-memory table.
+pub struct TwoPhaseLockingDb {
+    data: Mutex<HashMap<Key, Value>>,
+    locks: Mutex<LockTable>,
+    lock_released: Condvar,
+    next_ts: AtomicU64,
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    /// How long a transaction waits for a lock before aborting (deadlock
+    /// avoidance by timeout).
+    lock_timeout: Duration,
+}
+
+impl TwoPhaseLockingDb {
+    /// Creates an empty 2PL engine.
+    pub fn new() -> Self {
+        TwoPhaseLockingDb {
+            data: Mutex::new(HashMap::new()),
+            locks: Mutex::new(LockTable::default()),
+            lock_released: Condvar::new(),
+            next_ts: AtomicU64::new(1),
+            committed: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+            lock_timeout: Duration::from_millis(100),
+        }
+    }
+
+    /// Number of committed transactions.
+    pub fn committed(&self) -> u64 {
+        self.committed.load(Ordering::Relaxed)
+    }
+
+    /// Number of aborted transactions.
+    pub fn aborted(&self) -> u64 {
+        self.aborted.load(Ordering::Relaxed)
+    }
+
+    /// Begins a transaction.
+    pub fn begin(&self) -> TwoPhaseLockingTxn<'_> {
+        let id = self.next_ts.fetch_add(1, Ordering::SeqCst) + 1;
+        TwoPhaseLockingTxn {
+            db: self,
+            id,
+            held: HashSet::new(),
+            undo: HashMap::new(),
+            writes: HashMap::new(),
+            finished: false,
+        }
+    }
+
+    fn acquire(&self, txn: TxnId, key: Key) -> Result<()> {
+        let deadline = Instant::now() + self.lock_timeout;
+        let mut table = self.locks.lock();
+        loop {
+            match table.locks.get(&key) {
+                None => {
+                    table.locks.insert(key, txn);
+                    return Ok(());
+                }
+                Some(owner) if *owner == txn => return Ok(()),
+                Some(_) => {
+                    if Instant::now() > deadline {
+                        return Err(ObladiError::TxnAborted(format!(
+                            "lock wait timeout on key {key}"
+                        )));
+                    }
+                    self.lock_released
+                        .wait_for(&mut table, Duration::from_millis(5));
+                }
+            }
+        }
+    }
+
+    fn release_all(&self, txn: TxnId, held: &HashSet<Key>) {
+        let mut table = self.locks.lock();
+        for key in held {
+            if table.locks.get(key) == Some(&txn) {
+                table.locks.remove(key);
+            }
+        }
+        drop(table);
+        self.lock_released.notify_all();
+    }
+}
+
+impl Default for TwoPhaseLockingDb {
+    fn default() -> Self {
+        TwoPhaseLockingDb::new()
+    }
+}
+
+/// A strict-2PL transaction.
+pub struct TwoPhaseLockingTxn<'db> {
+    db: &'db TwoPhaseLockingDb,
+    id: TxnId,
+    held: HashSet<Key>,
+    undo: HashMap<Key, Option<Value>>,
+    writes: HashMap<Key, Value>,
+    finished: bool,
+}
+
+impl TwoPhaseLockingTxn<'_> {
+    /// Reads a key under an exclusive lock (simplified strict 2PL).
+    pub fn read(&mut self, key: Key) -> Result<Option<Value>> {
+        self.lock(key)?;
+        if let Some(value) = self.writes.get(&key) {
+            return Ok(Some(value.clone()));
+        }
+        Ok(self.db.data.lock().get(&key).cloned())
+    }
+
+    /// Writes a key under an exclusive lock.
+    pub fn write(&mut self, key: Key, value: Value) -> Result<()> {
+        self.lock(key)?;
+        if !self.undo.contains_key(&key) {
+            self.undo
+                .insert(key, self.db.data.lock().get(&key).cloned());
+        }
+        self.writes.insert(key, value);
+        Ok(())
+    }
+
+    /// Commits: applies buffered writes and releases all locks.
+    pub fn commit(mut self) -> Result<()> {
+        self.finished = true;
+        {
+            let mut data = self.db.data.lock();
+            for (key, value) in &self.writes {
+                data.insert(*key, value.clone());
+            }
+        }
+        self.db.release_all(self.id, &self.held);
+        self.db.committed.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Aborts and releases all locks.
+    pub fn rollback(mut self) {
+        self.abort_internal();
+    }
+
+    fn abort_internal(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.db.release_all(self.id, &self.held);
+        self.db.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn lock(&mut self, key: Key) -> Result<()> {
+        if self.held.contains(&key) {
+            return Ok(());
+        }
+        match self.db.acquire(self.id, key) {
+            Ok(()) => {
+                self.held.insert(key);
+                Ok(())
+            }
+            Err(err) => {
+                self.abort_internal();
+                Err(err)
+            }
+        }
+    }
+}
+
+impl Drop for TwoPhaseLockingTxn<'_> {
+    fn drop(&mut self) {
+        self.abort_internal();
+    }
+}
+
+impl KvTransaction for TwoPhaseLockingTxn<'_> {
+    fn read(&mut self, key: Key) -> Result<Option<Value>> {
+        TwoPhaseLockingTxn::read(self, key)
+    }
+
+    fn write(&mut self, key: Key, value: Value) -> Result<()> {
+        TwoPhaseLockingTxn::write(self, key, value)
+    }
+
+    fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl KvDatabase for TwoPhaseLockingDb {
+    fn execute<T>(&self, body: &mut dyn FnMut(&mut dyn KvTransaction) -> Result<T>) -> Result<T> {
+        let mut txn = self.begin();
+        match body(&mut txn) {
+            Ok(value) => {
+                txn.commit()?;
+                Ok(value)
+            }
+            Err(err) => {
+                txn.rollback();
+                Err(err)
+            }
+        }
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "mysql-2pl"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obladi_storage::InMemoryStore;
+
+    fn val(v: u64) -> Value {
+        v.to_le_bytes().to_vec()
+    }
+
+    fn nopriv() -> NoPrivDb {
+        NoPrivDb::new(Arc::new(InMemoryStore::new()))
+    }
+
+    #[test]
+    fn nopriv_commit_and_read_back() {
+        let db = nopriv();
+        let mut t1 = db.begin();
+        assert_eq!(t1.read(1).unwrap(), None);
+        t1.write(1, val(5)).unwrap();
+        assert_eq!(t1.read(1).unwrap(), Some(val(5)));
+        t1.commit().unwrap();
+
+        let mut t2 = db.begin();
+        assert_eq!(t2.read(1).unwrap(), Some(val(5)));
+        t2.commit().unwrap();
+        assert_eq!(db.committed(), 2);
+    }
+
+    #[test]
+    fn nopriv_rollback_discards_writes() {
+        let db = nopriv();
+        let mut t1 = db.begin();
+        t1.write(9, val(1)).unwrap();
+        t1.rollback();
+        let mut t2 = db.begin();
+        assert_eq!(t2.read(9).unwrap(), None);
+        t2.commit().unwrap();
+        assert_eq!(db.aborted(), 1);
+    }
+
+    #[test]
+    fn nopriv_writes_survive_in_storage() {
+        let store: Arc<dyn UntrustedStore> = Arc::new(InMemoryStore::new());
+        {
+            let db = NoPrivDb::new(store.clone());
+            let mut txn = db.begin();
+            txn.write(3, val(3)).unwrap();
+            txn.commit().unwrap();
+        }
+        // A fresh proxy over the same storage still sees the data.
+        let db = NoPrivDb::new(store);
+        let mut txn = db.begin();
+        assert_eq!(txn.read(3).unwrap(), Some(val(3)));
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn nopriv_mvtso_conflict_aborts_late_writer() {
+        let db = nopriv();
+        let mut t1 = db.begin();
+        let mut t2 = db.begin();
+        assert_eq!(t2.read(5).unwrap(), None);
+        let err = t1.write(5, val(1)).unwrap_err();
+        assert!(matches!(err, ObladiError::TxnAborted(_)));
+        t2.commit().unwrap();
+    }
+
+    #[test]
+    fn nopriv_execute_api() {
+        let db = nopriv();
+        let out = db
+            .execute(&mut |txn| {
+                txn.write(7, val(70))?;
+                txn.read(7)
+            })
+            .unwrap();
+        assert_eq!(out, Some(val(70)));
+        assert_eq!(db.engine_name(), "nopriv");
+    }
+
+    #[test]
+    fn nopriv_concurrent_threads() {
+        let db = Arc::new(nopriv());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25u64 {
+                    let key = t * 1000 + i;
+                    let mut txn = db.begin();
+                    txn.write(key, val(key)).unwrap();
+                    txn.commit().unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.committed(), 100);
+    }
+
+    #[test]
+    fn twopl_basic_roundtrip() {
+        let db = TwoPhaseLockingDb::new();
+        let mut t1 = db.begin();
+        t1.write(1, val(1)).unwrap();
+        t1.commit().unwrap();
+        let mut t2 = db.begin();
+        assert_eq!(t2.read(1).unwrap(), Some(val(1)));
+        t2.commit().unwrap();
+        assert_eq!(db.committed(), 2);
+    }
+
+    #[test]
+    fn twopl_conflicting_access_blocks_then_aborts_on_timeout() {
+        let db = Arc::new(TwoPhaseLockingDb::new());
+        let mut t1 = db.begin();
+        t1.write(5, val(5)).unwrap();
+        // A second transaction cannot acquire the lock while t1 holds it.
+        let db2 = db.clone();
+        let handle = std::thread::spawn(move || {
+            let mut t2 = db2.begin();
+            t2.read(5)
+        });
+        let result = handle.join().unwrap();
+        assert!(result.is_err(), "lock wait must time out while t1 holds it");
+        t1.commit().unwrap();
+        // Now the key is accessible again.
+        let mut t3 = db.begin();
+        assert_eq!(t3.read(5).unwrap(), Some(val(5)));
+        t3.commit().unwrap();
+    }
+
+    #[test]
+    fn twopl_rollback_releases_locks_and_discards_writes() {
+        let db = TwoPhaseLockingDb::new();
+        let mut t1 = db.begin();
+        t1.write(2, val(9)).unwrap();
+        t1.rollback();
+        let mut t2 = db.begin();
+        assert_eq!(t2.read(2).unwrap(), None);
+        t2.commit().unwrap();
+    }
+
+    #[test]
+    fn twopl_execute_api() {
+        let db = TwoPhaseLockingDb::new();
+        let out = db
+            .execute(&mut |txn| {
+                txn.write(11, val(1))?;
+                txn.read(11)
+            })
+            .unwrap();
+        assert_eq!(out, Some(val(1)));
+        assert_eq!(db.engine_name(), "mysql-2pl");
+    }
+
+    #[test]
+    fn twopl_concurrent_disjoint_transactions() {
+        let db = Arc::new(TwoPhaseLockingDb::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25u64 {
+                    let key = t * 1000 + i;
+                    let mut txn = db.begin();
+                    txn.write(key, val(key)).unwrap();
+                    txn.commit().unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.committed(), 100);
+    }
+}

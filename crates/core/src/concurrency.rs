@@ -1,0 +1,747 @@
+//! Multiversioned timestamp ordering (MVTSO) concurrency control (§6.1).
+//!
+//! Obladi uses MVTSO because it lets uncommitted writes be visible to
+//! concurrently executing transactions, which is what makes delaying commit
+//! decisions to the end of an epoch cheap: transactions within an epoch see
+//! each other's effects immediately and only the *decision* is deferred.
+//!
+//! The rules implemented here follow the description in the paper:
+//!
+//! * every transaction receives a unique timestamp that fixes its position
+//!   in the serialization order;
+//! * a write creates a new version tagged with the writer's timestamp and is
+//!   rejected ("write too late") if a transaction with a *larger* timestamp
+//!   has already read the version that immediately precedes it;
+//! * a read returns the latest non-aborted version with a timestamp smaller
+//!   than or equal to the reader's, records the reader in the version's read
+//!   marker, and — if that version is uncommitted — registers a write-read
+//!   dependency: the reader can only commit if the writer commits
+//!   (cascading aborts otherwise);
+//! * at the end of an epoch, transactions that requested commit are decided
+//!   in timestamp order; everything else aborts.
+//!
+//! The same manager also powers the NoPriv baseline, which decides commits
+//! immediately instead of at epoch boundaries.
+
+use obladi_common::error::{ObladiError, Result};
+use obladi_common::types::{AbortReason, Key, Timestamp, TxnId, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Outcome of a read against the version store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The value (possibly a deletion / absent base) together with the
+    /// uncommitted writer the reader now depends on, if any.
+    Value {
+        /// The value observed (`None` = key does not exist).
+        value: Option<Value>,
+        /// Uncommitted transaction whose write was observed.
+        dependency: Option<TxnId>,
+    },
+    /// No version is available yet: the base version must be fetched from
+    /// the ORAM (or backing store) and registered with
+    /// [`MvtsoManager::register_base`].
+    NeedsFetch,
+}
+
+/// Status of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Still executing.
+    Active,
+    /// The client requested commit; the decision is pending (epoch end).
+    CommitRequested,
+    /// Committed.
+    Committed,
+    /// Aborted.
+    Aborted(AbortReason),
+}
+
+#[derive(Debug, Clone)]
+struct VersionEntry {
+    ts: Timestamp,
+    value: Option<Value>,
+    writer: Option<TxnId>,
+    committed: bool,
+    aborted: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct VersionChain {
+    /// Versions sorted by timestamp (base version has timestamp 0).
+    versions: Vec<VersionEntry>,
+    /// Largest timestamp of any reader of each version, keyed by version ts.
+    read_markers: HashMap<Timestamp, Timestamp>,
+}
+
+impl VersionChain {
+    fn latest_visible(&self, ts: Timestamp) -> Option<&VersionEntry> {
+        self.versions
+            .iter()
+            .rev()
+            .find(|v| v.ts <= ts && !v.aborted)
+    }
+
+    fn insert_version(&mut self, entry: VersionEntry) {
+        let pos = self
+            .versions
+            .iter()
+            .position(|v| v.ts > entry.ts)
+            .unwrap_or(self.versions.len());
+        self.versions.insert(pos, entry);
+    }
+
+    /// The version that would immediately precede a write at `ts`.
+    fn preceding(&self, ts: Timestamp) -> Option<&VersionEntry> {
+        self.versions.iter().rev().find(|v| v.ts < ts && !v.aborted)
+    }
+
+    fn record_read(&mut self, version_ts: Timestamp, reader_ts: Timestamp) {
+        let marker = self.read_markers.entry(version_ts).or_insert(0);
+        *marker = (*marker).max(reader_ts);
+    }
+
+    fn read_marker(&self, version_ts: Timestamp) -> Timestamp {
+        self.read_markers.get(&version_ts).copied().unwrap_or(0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TxnRecord {
+    status: TxnStatus,
+    /// Transactions whose uncommitted writes this transaction observed.
+    dependencies: HashSet<TxnId>,
+    /// Keys written by this transaction.
+    write_set: Vec<Key>,
+    /// Keys read by this transaction.
+    read_set: Vec<Key>,
+}
+
+impl TxnRecord {
+    fn new() -> Self {
+        TxnRecord {
+            status: TxnStatus::Active,
+            dependencies: HashSet::new(),
+            write_set: Vec::new(),
+            read_set: Vec::new(),
+        }
+    }
+}
+
+/// The MVTSO concurrency control unit.
+#[derive(Debug, Default)]
+pub struct MvtsoManager {
+    chains: HashMap<Key, VersionChain>,
+    txns: HashMap<TxnId, TxnRecord>,
+}
+
+impl MvtsoManager {
+    /// Creates an empty manager (one per epoch in Obladi; long-lived in the
+    /// NoPriv baseline).
+    pub fn new() -> Self {
+        MvtsoManager::default()
+    }
+
+    /// Registers a transaction with its pre-assigned timestamp.
+    pub fn begin(&mut self, txn: TxnId) {
+        self.txns.insert(txn, TxnRecord::new());
+    }
+
+    /// Number of transactions the manager currently tracks.
+    pub fn txn_count(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Whether a base version for `key` has been registered (i.e. the ORAM
+    /// value for the key is already cached in the version chain).
+    pub fn has_base(&self, key: Key) -> bool {
+        self.chains
+            .get(&key)
+            .map(|c| !c.versions.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Installs the base version of a key fetched from the ORAM.  The base
+    /// carries timestamp 0 and is considered committed (it is the state of
+    /// the previous epoch).
+    pub fn register_base(&mut self, key: Key, value: Option<Value>) {
+        let chain = self.chains.entry(key).or_default();
+        if chain.versions.iter().any(|v| v.ts == 0) {
+            return;
+        }
+        chain.insert_version(VersionEntry {
+            ts: 0,
+            value,
+            writer: None,
+            committed: true,
+            aborted: false,
+        });
+    }
+
+    /// Current status of a transaction.
+    pub fn status(&self, txn: TxnId) -> Option<TxnStatus> {
+        self.txns.get(&txn).map(|t| t.status)
+    }
+
+    /// Attempts to read `key` on behalf of `txn`.
+    pub fn read(&mut self, txn: TxnId, key: Key) -> Result<ReadOutcome> {
+        self.check_active(txn)?;
+        let chain = self.chains.entry(key).or_default();
+        let Some(version) = chain.latest_visible(txn).cloned() else {
+            return Ok(ReadOutcome::NeedsFetch);
+        };
+        chain.record_read(version.ts, txn);
+        let record = self.txns.get_mut(&txn).expect("checked active");
+        record.read_set.push(key);
+        let mut dependency = None;
+        if let Some(writer) = version.writer {
+            if writer != txn && !version.committed {
+                record.dependencies.insert(writer);
+                dependency = Some(writer);
+            }
+        }
+        Ok(ReadOutcome::Value {
+            value: version.value,
+            dependency,
+        })
+    }
+
+    /// Attempts to write `key = value` on behalf of `txn`.
+    ///
+    /// Fails with a `TxnAborted` error (and aborts `txn`, cascading) when the
+    /// version preceding `txn`'s timestamp has already been read by a
+    /// transaction with a larger timestamp.
+    pub fn write(&mut self, txn: TxnId, key: Key, value: Value) -> Result<()> {
+        self.check_active(txn)?;
+        let rejection = {
+            let chain = self.chains.entry(key).or_default();
+            chain.preceding(txn).and_then(|prev| {
+                let marker = chain.read_marker(prev.ts);
+                (marker > txn).then_some((prev.ts, marker))
+            })
+        };
+        if let Some((prev_ts, marker)) = rejection {
+            self.abort(txn, AbortReason::WriteTooLate);
+            return Err(ObladiError::TxnAborted(format!(
+                "write to key {key} rejected: version {prev_ts} already read by txn {marker}"
+            )));
+        }
+        let chain = self.chains.entry(key).or_default();
+        // Replace an earlier write by the same transaction, if any.
+        if let Some(existing) = chain
+            .versions
+            .iter_mut()
+            .find(|v| v.ts == txn && !v.aborted)
+        {
+            existing.value = Some(value);
+        } else {
+            chain.insert_version(VersionEntry {
+                ts: txn,
+                value: Some(value),
+                writer: Some(txn),
+                committed: false,
+                aborted: false,
+            });
+        }
+        let record = self.txns.get_mut(&txn).expect("checked active");
+        if !record.write_set.contains(&key) {
+            record.write_set.push(key);
+        }
+        Ok(())
+    }
+
+    /// Marks a transaction as having requested commit; the decision is made
+    /// by [`MvtsoManager::finalize`] (Obladi) or
+    /// [`MvtsoManager::try_commit_now`] (NoPriv).
+    pub fn request_commit(&mut self, txn: TxnId) -> Result<()> {
+        self.check_active(txn)?;
+        let record = self.txns.get_mut(&txn).expect("checked active");
+        record.status = TxnStatus::CommitRequested;
+        Ok(())
+    }
+
+    /// Aborts a transaction and cascades the abort to every transaction that
+    /// observed its writes.  Returns the set of transactions aborted.
+    pub fn abort(&mut self, txn: TxnId, reason: AbortReason) -> Vec<TxnId> {
+        let mut aborted = Vec::new();
+        let mut queue = vec![(txn, reason)];
+        while let Some((current, why)) = queue.pop() {
+            let Some(record) = self.txns.get_mut(&current) else {
+                continue;
+            };
+            if matches!(record.status, TxnStatus::Aborted(_) | TxnStatus::Committed) {
+                continue;
+            }
+            record.status = TxnStatus::Aborted(why);
+            aborted.push(current);
+            let write_set = record.write_set.clone();
+            for key in write_set {
+                if let Some(chain) = self.chains.get_mut(&key) {
+                    for version in chain.versions.iter_mut() {
+                        if version.writer == Some(current) {
+                            version.aborted = true;
+                        }
+                    }
+                }
+            }
+            // Cascade to dependents.
+            let dependents: Vec<TxnId> = self
+                .txns
+                .iter()
+                .filter(|(_, r)| {
+                    r.dependencies.contains(&current)
+                        && !matches!(r.status, TxnStatus::Aborted(_) | TxnStatus::Committed)
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            for dependent in dependents {
+                queue.push((dependent, AbortReason::Cascading));
+            }
+        }
+        aborted
+    }
+
+    /// Tries to commit a transaction immediately (NoPriv).  Succeeds only if
+    /// every dependency has already committed; returns
+    /// `Ok(false)` if some dependency is still pending, and an error if a
+    /// dependency aborted (in which case this transaction aborts too).
+    pub fn try_commit_now(&mut self, txn: TxnId) -> Result<bool> {
+        let record = self
+            .txns
+            .get(&txn)
+            .ok_or_else(|| ObladiError::Internal(format!("unknown transaction {txn}")))?;
+        match record.status {
+            TxnStatus::Committed => return Ok(true),
+            TxnStatus::Aborted(reason) => {
+                return Err(ObladiError::TxnAborted(reason.to_string()))
+            }
+            _ => {}
+        }
+        let deps: Vec<TxnId> = record.dependencies.iter().copied().collect();
+        for dep in deps {
+            match self.txns.get(&dep).map(|r| r.status) {
+                Some(TxnStatus::Committed) | None => {}
+                Some(TxnStatus::Aborted(_)) => {
+                    self.abort(txn, AbortReason::Cascading);
+                    return Err(ObladiError::TxnAborted(
+                        AbortReason::Cascading.to_string(),
+                    ));
+                }
+                Some(_) => return Ok(false),
+            }
+        }
+        self.mark_committed(txn);
+        Ok(true)
+    }
+
+    /// Epoch-end decision (Obladi): every transaction that requested commit
+    /// is committed provided all its dependencies commit; everything else
+    /// (still-active transactions and cascading victims) aborts.
+    ///
+    /// Returns `(committed, aborted)` transaction ids.
+    pub fn finalize(&mut self) -> (Vec<TxnId>, Vec<TxnId>) {
+        // Abort transactions that never requested commit (epoch ended under
+        // them).
+        let unfinished: Vec<TxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, r)| matches!(r.status, TxnStatus::Active))
+            .map(|(id, _)| *id)
+            .collect();
+        for txn in unfinished {
+            self.abort(txn, AbortReason::EpochEnd);
+        }
+
+        // Decide the rest in timestamp order so dependencies are resolved
+        // before their dependents.
+        let mut pending: Vec<TxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, r)| matches!(r.status, TxnStatus::CommitRequested))
+            .map(|(id, _)| *id)
+            .collect();
+        pending.sort_unstable();
+        for txn in pending {
+            if !matches!(
+                self.txns.get(&txn).map(|r| r.status),
+                Some(TxnStatus::CommitRequested)
+            ) {
+                continue; // already aborted by a cascade
+            }
+            let deps: Vec<TxnId> = self.txns[&txn].dependencies.iter().copied().collect();
+            let all_committed = deps.iter().all(|dep| {
+                matches!(
+                    self.txns.get(dep).map(|r| r.status),
+                    Some(TxnStatus::Committed) | None
+                )
+            });
+            if all_committed {
+                self.mark_committed(txn);
+            } else {
+                self.abort(txn, AbortReason::Cascading);
+            }
+        }
+
+        let mut committed = Vec::new();
+        let mut aborted = Vec::new();
+        for (id, record) in &self.txns {
+            match record.status {
+                TxnStatus::Committed => committed.push(*id),
+                TxnStatus::Aborted(_) => aborted.push(*id),
+                _ => {}
+            }
+        }
+        committed.sort_unstable();
+        aborted.sort_unstable();
+        (committed, aborted)
+    }
+
+    /// The last committed value of every key written this epoch: exactly the
+    /// set of writes that must go into the epoch's write batch (§6.2,
+    /// intermediate versions are discarded).
+    pub fn committed_tail_writes(&self) -> Vec<(Key, Value)> {
+        let mut writes: Vec<(Key, Value)> = Vec::new();
+        for (key, chain) in &self.chains {
+            let tail = chain
+                .versions
+                .iter()
+                .rev()
+                .find(|v| v.committed && !v.aborted && v.writer.is_some());
+            if let Some(entry) = tail {
+                if let Some(value) = &entry.value {
+                    writes.push((*key, value.clone()));
+                }
+            }
+        }
+        writes.sort_unstable_by_key(|(k, _)| *k);
+        writes
+    }
+
+    /// Transactions that have requested commit, in timestamp order.
+    pub fn commit_requested_txns(&self) -> Vec<TxnId> {
+        let mut txns: Vec<TxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, r)| matches!(r.status, TxnStatus::CommitRequested))
+            .map(|(id, _)| *id)
+            .collect();
+        txns.sort_unstable();
+        txns
+    }
+
+    /// The keys written by a transaction.
+    pub fn write_set(&self, txn: TxnId) -> Vec<Key> {
+        self.txns
+            .get(&txn)
+            .map(|r| r.write_set.clone())
+            .unwrap_or_default()
+    }
+
+    /// Read/write set sizes of a transaction (test helper).
+    pub fn footprint(&self, txn: TxnId) -> Option<(usize, usize)> {
+        self.txns
+            .get(&txn)
+            .map(|r| (r.read_set.len(), r.write_set.len()))
+    }
+
+    /// Drops state for committed / aborted transactions older than `horizon`
+    /// and trims version chains to their latest committed version (NoPriv
+    /// garbage collection).
+    pub fn garbage_collect(&mut self, horizon: Timestamp) {
+        self.txns.retain(|id, record| {
+            *id >= horizon || matches!(record.status, TxnStatus::Active | TxnStatus::CommitRequested)
+        });
+        for chain in self.chains.values_mut() {
+            if let Some(last_committed_ts) = chain
+                .versions
+                .iter()
+                .rev()
+                .find(|v| v.committed && !v.aborted)
+                .map(|v| v.ts)
+            {
+                chain
+                    .versions
+                    .retain(|v| v.ts >= last_committed_ts || (!v.committed && !v.aborted));
+                chain.read_markers.retain(|ts, _| *ts >= last_committed_ts);
+            }
+        }
+    }
+
+    fn mark_committed(&mut self, txn: TxnId) {
+        if let Some(record) = self.txns.get_mut(&txn) {
+            record.status = TxnStatus::Committed;
+            let write_set = record.write_set.clone();
+            for key in write_set {
+                if let Some(chain) = self.chains.get_mut(&key) {
+                    for version in chain.versions.iter_mut() {
+                        if version.writer == Some(txn) {
+                            version.committed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_active(&self, txn: TxnId) -> Result<()> {
+        match self.txns.get(&txn).map(|r| r.status) {
+            Some(TxnStatus::Active) | Some(TxnStatus::CommitRequested) => Ok(()),
+            Some(TxnStatus::Aborted(reason)) => {
+                Err(ObladiError::TxnAborted(reason.to_string()))
+            }
+            Some(TxnStatus::Committed) => Err(ObladiError::Internal(format!(
+                "transaction {txn} already committed"
+            ))),
+            None => Err(ObladiError::Internal(format!("unknown transaction {txn}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(v: u64) -> Value {
+        v.to_le_bytes().to_vec()
+    }
+
+    fn read_value(m: &mut MvtsoManager, txn: TxnId, key: Key) -> Option<Value> {
+        match m.read(txn, key).unwrap() {
+            ReadOutcome::Value { value, .. } => value,
+            ReadOutcome::NeedsFetch => panic!("expected cached value"),
+        }
+    }
+
+    #[test]
+    fn read_needs_fetch_until_base_registered() {
+        let mut m = MvtsoManager::new();
+        m.begin(1);
+        assert_eq!(m.read(1, 10).unwrap(), ReadOutcome::NeedsFetch);
+        m.register_base(10, Some(val(7)));
+        assert_eq!(read_value(&mut m, 1, 10), Some(val(7)));
+        assert!(m.has_base(10));
+    }
+
+    #[test]
+    fn uncommitted_writes_are_visible_and_create_dependencies() {
+        let mut m = MvtsoManager::new();
+        m.begin(1);
+        m.begin(2);
+        m.register_base(5, Some(val(0)));
+        m.write(1, 5, val(11)).unwrap();
+        match m.read(2, 5).unwrap() {
+            ReadOutcome::Value { value, dependency } => {
+                assert_eq!(value, Some(val(11)));
+                assert_eq!(dependency, Some(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_too_late_is_rejected() {
+        // Figure 5: t3 reads d0, then t2 (smaller timestamp) tries to write d.
+        let mut m = MvtsoManager::new();
+        m.begin(2);
+        m.begin(3);
+        m.register_base(4, Some(val(0)));
+        assert_eq!(read_value(&mut m, 3, 4), Some(val(0)));
+        let err = m.write(2, 4, val(9)).unwrap_err();
+        assert!(matches!(err, ObladiError::TxnAborted(_)));
+        assert!(matches!(m.status(2), Some(TxnStatus::Aborted(_))));
+    }
+
+    #[test]
+    fn writes_by_earlier_reader_are_fine() {
+        let mut m = MvtsoManager::new();
+        m.begin(1);
+        m.begin(2);
+        m.register_base(4, Some(val(0)));
+        assert_eq!(read_value(&mut m, 1, 4), Some(val(0)));
+        // A later transaction can still write.
+        m.write(2, 4, val(5)).unwrap();
+        // And the earlier reader still sees the base version.
+        assert_eq!(read_value(&mut m, 1, 4), Some(val(0)));
+        assert_eq!(read_value(&mut m, 2, 4), Some(val(5)));
+    }
+
+    #[test]
+    fn cascading_abort_propagates_to_readers() {
+        let mut m = MvtsoManager::new();
+        m.begin(1);
+        m.begin(2);
+        m.begin(3);
+        m.register_base(7, Some(val(0)));
+        m.write(1, 7, val(1)).unwrap();
+        // t2 and t3 read t1's uncommitted write.
+        read_value(&mut m, 2, 7);
+        read_value(&mut m, 3, 7);
+        let aborted = m.abort(1, AbortReason::UserRequested);
+        assert_eq!(aborted.len(), 3);
+        assert!(matches!(
+            m.status(2),
+            Some(TxnStatus::Aborted(AbortReason::Cascading))
+        ));
+        assert!(matches!(
+            m.status(3),
+            Some(TxnStatus::Aborted(AbortReason::Cascading))
+        ));
+    }
+
+    #[test]
+    fn aborted_writes_are_not_visible() {
+        let mut m = MvtsoManager::new();
+        m.begin(1);
+        m.begin(2);
+        m.register_base(3, Some(val(10)));
+        m.write(1, 3, val(99)).unwrap();
+        m.abort(1, AbortReason::UserRequested);
+        assert_eq!(read_value(&mut m, 2, 3), Some(val(10)));
+    }
+
+    #[test]
+    fn finalize_commits_requested_and_aborts_unfinished() {
+        let mut m = MvtsoManager::new();
+        m.begin(1);
+        m.begin(2);
+        m.begin(3);
+        m.register_base(1, None);
+        m.write(1, 1, val(1)).unwrap();
+        m.write(3, 1, val(3)).unwrap();
+        m.request_commit(1).unwrap();
+        m.request_commit(3).unwrap();
+        // t2 never finishes.
+        let (committed, aborted) = m.finalize();
+        assert_eq!(committed, vec![1, 3]);
+        assert_eq!(aborted, vec![2]);
+        assert!(matches!(
+            m.status(2),
+            Some(TxnStatus::Aborted(AbortReason::EpochEnd))
+        ));
+    }
+
+    #[test]
+    fn finalize_cascades_through_dependencies() {
+        let mut m = MvtsoManager::new();
+        m.begin(1);
+        m.begin(2);
+        m.register_base(5, None);
+        m.write(1, 5, val(1)).unwrap();
+        read_value(&mut m, 2, 5);
+        // Only t2 requests commit; t1 never does, so t1 aborts and drags t2
+        // down with it.
+        m.request_commit(2).unwrap();
+        let (committed, aborted) = m.finalize();
+        assert!(committed.is_empty());
+        assert_eq!(aborted, vec![1, 2]);
+    }
+
+    #[test]
+    fn committed_tail_writes_keeps_only_last_version() {
+        let mut m = MvtsoManager::new();
+        m.begin(1);
+        m.begin(2);
+        m.register_base(9, Some(val(0)));
+        m.write(1, 9, val(1)).unwrap();
+        m.write(2, 9, val(2)).unwrap();
+        m.write(2, 11, val(3)).unwrap();
+        m.request_commit(1).unwrap();
+        m.request_commit(2).unwrap();
+        m.finalize();
+        let writes = m.committed_tail_writes();
+        assert_eq!(writes, vec![(9, val(2)), (11, val(3))]);
+    }
+
+    #[test]
+    fn tail_writes_skip_aborted_transactions() {
+        let mut m = MvtsoManager::new();
+        m.begin(1);
+        m.begin(2);
+        m.register_base(9, Some(val(0)));
+        m.write(1, 9, val(1)).unwrap();
+        m.write(2, 9, val(2)).unwrap();
+        m.request_commit(1).unwrap();
+        // t2 aborts; the tail committed write is t1's.
+        m.abort(2, AbortReason::UserRequested);
+        m.finalize();
+        assert_eq!(m.committed_tail_writes(), vec![(9, val(1))]);
+    }
+
+    #[test]
+    fn try_commit_now_waits_for_dependencies() {
+        let mut m = MvtsoManager::new();
+        m.begin(1);
+        m.begin(2);
+        m.register_base(4, None);
+        m.write(1, 4, val(1)).unwrap();
+        read_value(&mut m, 2, 4);
+        m.request_commit(2).unwrap();
+        assert!(!m.try_commit_now(2).unwrap(), "dependency still pending");
+        m.request_commit(1).unwrap();
+        assert!(m.try_commit_now(1).unwrap());
+        assert!(m.try_commit_now(2).unwrap());
+    }
+
+    #[test]
+    fn try_commit_now_fails_when_dependency_aborts() {
+        let mut m = MvtsoManager::new();
+        m.begin(1);
+        m.begin(2);
+        m.register_base(4, None);
+        m.write(1, 4, val(1)).unwrap();
+        read_value(&mut m, 2, 4);
+        m.abort(1, AbortReason::UserRequested);
+        assert!(m.try_commit_now(2).is_err());
+    }
+
+    #[test]
+    fn operations_on_aborted_transactions_fail() {
+        let mut m = MvtsoManager::new();
+        m.begin(1);
+        m.abort(1, AbortReason::UserRequested);
+        assert!(m.read(1, 1).is_err());
+        assert!(m.write(1, 1, val(1)).is_err());
+        assert!(m.request_commit(1).is_err());
+    }
+
+    #[test]
+    fn same_transaction_overwrites_its_own_write() {
+        let mut m = MvtsoManager::new();
+        m.begin(1);
+        m.register_base(2, None);
+        m.write(1, 2, val(1)).unwrap();
+        m.write(1, 2, val(2)).unwrap();
+        assert_eq!(read_value(&mut m, 1, 2), Some(val(2)));
+        m.request_commit(1).unwrap();
+        m.finalize();
+        assert_eq!(m.committed_tail_writes(), vec![(2, val(2))]);
+    }
+
+    #[test]
+    fn garbage_collection_keeps_latest_committed_state() {
+        let mut m = MvtsoManager::new();
+        for txn in 1..=10u64 {
+            m.begin(txn);
+            m.register_base(1, Some(val(0)));
+            m.write(txn, 1, val(txn)).unwrap();
+            m.request_commit(txn).unwrap();
+            m.try_commit_now(txn).unwrap();
+        }
+        m.garbage_collect(11);
+        assert_eq!(m.txn_count(), 0);
+        m.begin(11);
+        assert_eq!(read_value(&mut m, 11, 1), Some(val(10)));
+    }
+
+    #[test]
+    fn footprint_tracks_read_and_write_sets() {
+        let mut m = MvtsoManager::new();
+        m.begin(1);
+        m.register_base(1, None);
+        m.register_base(2, None);
+        read_value(&mut m, 1, 1);
+        read_value(&mut m, 1, 2);
+        m.write(1, 2, val(1)).unwrap();
+        assert_eq!(m.footprint(1), Some((2, 1)));
+    }
+}

@@ -1,0 +1,493 @@
+//! Durability and crash recovery (§8, Appendix A).
+//!
+//! The durability manager owns everything the proxy must persist to survive
+//! a crash without losing committed epochs or leaking information during
+//! recovery:
+//!
+//! * **Path logs** — before any batch of physical reads executes, the exact
+//!   set of `(bucket, slot)` pairs is encrypted and appended to the
+//!   write-ahead log.  After a crash, recovery replays those reads so the
+//!   adversary observes the same access pattern whether or not the epoch
+//!   aborted.
+//! * **Checkpoints** — at the end of every epoch the proxy metadata
+//!   (position map delta, permutation/validity metadata of dirty buckets,
+//!   the padded stash, and the access/eviction counters) is encrypted and
+//!   logged.  Every `checkpoint_every` epochs a *full* checkpoint replaces
+//!   the delta chain (Figure 11a sweeps this frequency).
+//! * **Epoch-commit records and the trusted counter** — an epoch becomes
+//!   durable only once its commit record is logged and the trusted counter
+//!   `F_epc` advances; recovery reverts everything newer.
+//!
+//! Bucket data itself needs no undo log: storage shadow-pages bucket writes,
+//! so recovery simply reverts each bucket to the version recorded in the
+//! recovered metadata (the version is a deterministic function of the
+//! eviction schedule, as the paper observes).
+
+use obladi_common::config::{EpochConfig, OramConfig};
+use obladi_common::error::{ObladiError, Result};
+use obladi_common::types::EpochId;
+use obladi_crypto::{Envelope, KeyMaterial, SealedBlock};
+use obladi_oram::client::{PathLogger, SlotRead};
+use obladi_oram::{ExecOptions, MetaDelta, OramMeta, RingOram};
+use obladi_storage::wal::{WalRecordKind, WriteAheadLog};
+use obladi_storage::{TrustedCounter, UntrustedStore};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Distinguished "location" tags binding checkpoint ciphertexts to their
+/// record kind (the WAL sequence number provides uniqueness; the location
+/// tag prevents cross-kind substitution).
+const LOC_PATH_LOG: u64 = 0xA001;
+const LOC_DELTA: u64 = 0xA002;
+const LOC_FULL: u64 = 0xA003;
+
+/// Timing breakdown of one recovery, mirroring the rows of Table 11b.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Total wall-clock recovery time in milliseconds.
+    pub total_ms: f64,
+    /// Time spent reading recovery data from storage.
+    pub network_ms: f64,
+    /// Time spent decrypting / decoding position-map state.
+    pub position_ms: f64,
+    /// Time spent decrypting / decoding permutation (bucket) state.
+    pub permutation_ms: f64,
+    /// Time spent replaying logged read paths.
+    pub paths_ms: f64,
+    /// Number of buckets reverted on storage.
+    pub buckets_reverted: u64,
+    /// Number of physical reads replayed.
+    pub reads_replayed: u64,
+    /// Epoch the system recovered to.
+    pub recovered_epoch: EpochId,
+}
+
+/// Durable state handling for the Obladi proxy.
+pub struct DurabilityManager {
+    wal: WriteAheadLog,
+    envelope: Envelope,
+    counter: Arc<TrustedCounter>,
+    store: Arc<dyn UntrustedStore>,
+    enabled: bool,
+    checkpoint_every: u32,
+    max_position_delta: usize,
+    current_epoch: AtomicU64,
+}
+
+impl DurabilityManager {
+    /// Creates a durability manager.
+    pub fn new(
+        keys: &KeyMaterial,
+        store: Arc<dyn UntrustedStore>,
+        counter: Arc<TrustedCounter>,
+        epoch_config: &EpochConfig,
+    ) -> Self {
+        DurabilityManager {
+            wal: WriteAheadLog::new(store.clone()),
+            envelope: Envelope::new(keys),
+            counter,
+            store,
+            enabled: epoch_config.durability,
+            checkpoint_every: epoch_config.checkpoint_every.max(1),
+            max_position_delta: epoch_config.max_position_delta(),
+            current_epoch: AtomicU64::new(1),
+        }
+    }
+
+    /// Whether durability logging is enabled.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Tells the manager which epoch is currently executing (bound into
+    /// path-log records).
+    pub fn set_current_epoch(&self, epoch: EpochId) {
+        self.current_epoch.store(epoch, Ordering::SeqCst);
+    }
+
+    /// The trusted counter.
+    pub fn counter(&self) -> &Arc<TrustedCounter> {
+        &self.counter
+    }
+
+    /// Records that a read batch is about to execute (advances the trusted
+    /// batch counter, Appendix A).
+    pub fn begin_read_batch(&self) {
+        if self.enabled {
+            self.counter.advance_batch();
+        }
+    }
+
+    /// Checkpoints the proxy metadata for `epoch` and marks the epoch
+    /// durable.  Every `checkpoint_every`-th epoch writes a full checkpoint,
+    /// others write deltas.
+    pub fn commit_epoch(&self, epoch: EpochId, oram: &mut RingOram) -> Result<()> {
+        if !self.enabled {
+            return Ok(());
+        }
+        // The first epoch is always a full checkpoint (it is the base every
+        // later delta applies to); afterwards every `checkpoint_every`-th
+        // epoch refreshes the base.
+        let full = epoch == 1 || epoch % self.checkpoint_every as u64 == 0;
+        if full {
+            let payload = oram.checkpoint_full();
+            let sealed = self
+                .envelope
+                .seal(LOC_FULL, epoch, &payload, payload.len())?;
+            self.wal
+                .append(WalRecordKind::CheckpointFull, epoch, &sealed.bytes)?;
+        } else {
+            let delta = oram.checkpoint_delta(self.max_position_delta);
+            let payload = delta.encode();
+            let sealed = self
+                .envelope
+                .seal(LOC_DELTA, epoch, &payload, payload.len())?;
+            self.wal
+                .append(WalRecordKind::CheckpointDelta, epoch, &sealed.bytes)?;
+        }
+        self.wal.append(WalRecordKind::EpochCommit, epoch, &[])?;
+        self.counter.advance_epoch();
+        Ok(())
+    }
+
+    /// Recovers the proxy's ORAM state after a crash.
+    ///
+    /// Steps (§8): find the last durable epoch from the trusted counter,
+    /// rebuild the client metadata from the latest full checkpoint plus the
+    /// delta chain, revert shadow-paged buckets that the aborted epoch wrote,
+    /// and replay the aborted epoch's logged read paths so the adversary
+    /// observes a deterministic pattern.
+    pub fn recover(
+        &self,
+        fallback_config: OramConfig,
+        keys: &KeyMaterial,
+        options: ExecOptions,
+        seed: u64,
+    ) -> Result<(RingOram, EpochId, RecoveryReport)> {
+        let mut report = RecoveryReport::default();
+        let recovery_start = std::time::Instant::now();
+        let durable_epochs = self.counter.epoch();
+        report.recovered_epoch = durable_epochs;
+
+        // ---- Read everything we need from the recovery unit. ----
+        let net_start = std::time::Instant::now();
+        let records = self.wal.read_from(0)?;
+        report.network_ms = net_start.elapsed().as_secs_f64() * 1000.0;
+
+        // ---- Rebuild metadata from checkpoints. ----
+        let mut meta: Option<OramMeta> = None;
+        let mut base_epoch = 0u64;
+        let pos_start = std::time::Instant::now();
+        for record in records
+            .iter()
+            .filter(|r| r.kind == WalRecordKind::CheckpointFull && r.epoch <= durable_epochs)
+        {
+            let sealed = SealedBlock {
+                bytes: record.payload.to_vec(),
+            };
+            let plain = self.envelope.open(LOC_FULL, record.epoch, &sealed)?;
+            meta = Some(OramMeta::decode_full(&plain)?);
+            base_epoch = record.epoch;
+        }
+        let mut meta = match meta {
+            Some(m) => m,
+            None => {
+                if durable_epochs > 0 {
+                    return Err(ObladiError::Recovery(
+                        "no full checkpoint found although epochs have committed".into(),
+                    ));
+                }
+                // Nothing ever committed: rebuild a freshly initialised tree,
+                // exactly as opening a new database would, so the client
+                // metadata and the storage contents agree.  (Recovering fresh
+                // metadata *without* re-initialising storage would leave the
+                // two permuted differently, and every later access would keep
+                // failing verification.)  There are no durable paths worth
+                // replaying either: the position map is regenerated, so
+                // post-recovery accesses are independent of anything the
+                // adversary observed before the crash.
+                let mut init_options = options;
+                init_options.fast_init = fallback_config.num_objects > 50_000;
+                let oram = RingOram::new(
+                    fallback_config,
+                    keys,
+                    self.store.clone(),
+                    init_options,
+                    seed,
+                )?;
+                report.position_ms = pos_start.elapsed().as_secs_f64() * 1000.0;
+                report.total_ms = recovery_start.elapsed().as_secs_f64() * 1000.0;
+                self.set_current_epoch(1);
+                return Ok((oram, 1, report));
+            }
+        };
+        report.position_ms = pos_start.elapsed().as_secs_f64() * 1000.0;
+
+        let perm_start = std::time::Instant::now();
+        for record in records
+            .iter()
+            .filter(|r| r.kind == WalRecordKind::CheckpointDelta)
+            .filter(|r| r.epoch > base_epoch && r.epoch <= durable_epochs)
+        {
+            let sealed = SealedBlock {
+                bytes: record.payload.to_vec(),
+            };
+            let plain = self.envelope.open(LOC_DELTA, record.epoch, &sealed)?;
+            let delta = MetaDelta::decode(&plain)?;
+            meta.apply_delta(&delta);
+        }
+        report.permutation_ms = perm_start.elapsed().as_secs_f64() * 1000.0;
+
+        // ---- Rebuild the ORAM client and undo the aborted epoch. ----
+        let mut oram = RingOram::from_meta(meta, keys, self.store.clone(), options, seed);
+        let revert_start = std::time::Instant::now();
+        oram.revert_storage_to_meta()?;
+        report.network_ms += revert_start.elapsed().as_secs_f64() * 1000.0;
+
+        // ---- Replay the aborted epoch's read paths. ----
+        let paths_start = std::time::Instant::now();
+        let aborted_epoch = durable_epochs + 1;
+        for record in records
+            .iter()
+            .filter(|r| r.kind == WalRecordKind::PathLog && r.epoch == aborted_epoch)
+        {
+            let sealed = SealedBlock {
+                bytes: record.payload.to_vec(),
+            };
+            let plain = self.envelope.open(LOC_PATH_LOG, record.epoch, &sealed)?;
+            let reads = SlotRead::decode_list(&plain)?;
+            report.reads_replayed += reads.len() as u64;
+            oram.replay_reads(&reads)?;
+        }
+        report.paths_ms = paths_start.elapsed().as_secs_f64() * 1000.0;
+        report.total_ms = recovery_start.elapsed().as_secs_f64() * 1000.0;
+
+        self.set_current_epoch(aborted_epoch);
+        Ok((oram, aborted_epoch, report))
+    }
+
+    /// Truncates WAL records that precede the most recent full checkpoint
+    /// (log compaction; keeps recovery bounded).
+    pub fn compact(&self) -> Result<()> {
+        if let Some(full) = self.wal.latest_of_kind(WalRecordKind::CheckpointFull)? {
+            self.wal.truncate(full.seq)?;
+        }
+        Ok(())
+    }
+}
+
+impl PathLogger for DurabilityManager {
+    fn log_reads(&self, reads: &[SlotRead]) -> Result<()> {
+        if !self.enabled || reads.is_empty() {
+            return Ok(());
+        }
+        let epoch = self.current_epoch.load(Ordering::SeqCst);
+        let payload = SlotRead::encode_list(reads);
+        let sealed = self
+            .envelope
+            .seal(LOC_PATH_LOG, epoch, &payload, payload.len())?;
+        self.wal
+            .append(WalRecordKind::PathLog, epoch, &sealed.bytes)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obladi_common::config::ObladiConfig;
+    use obladi_oram::NoopPathLogger;
+    use obladi_storage::InMemoryStore;
+
+    fn setup(durability: bool) -> (DurabilityManager, RingOram, Arc<dyn UntrustedStore>) {
+        let mut config = ObladiConfig::small_for_tests(128);
+        config.epoch.durability = durability;
+        let keys = KeyMaterial::for_tests(3);
+        let store: Arc<dyn UntrustedStore> = Arc::new(InMemoryStore::new());
+        let counter = TrustedCounter::new();
+        let manager = DurabilityManager::new(&keys, store.clone(), counter, &config.epoch);
+        let oram = RingOram::new(
+            config.oram,
+            &keys,
+            store.clone(),
+            ExecOptions::default(),
+            7,
+        )
+        .unwrap();
+        (manager, oram, store)
+    }
+
+    fn keys() -> KeyMaterial {
+        KeyMaterial::for_tests(3)
+    }
+
+    #[test]
+    fn disabled_durability_is_a_noop() {
+        let (manager, mut oram, store) = setup(false);
+        manager.commit_epoch(1, &mut oram).unwrap();
+        manager
+            .log_reads(&[SlotRead {
+                bucket: 0,
+                slot: 0,
+                version: 1,
+            }])
+            .unwrap();
+        assert_eq!(
+            WriteAheadLog::new(store).read_from(0).unwrap().len(),
+            0,
+            "nothing may be logged when durability is off"
+        );
+    }
+
+    #[test]
+    fn commit_epoch_advances_counter_and_logs() {
+        let (manager, mut oram, store) = setup(true);
+        assert_eq!(manager.counter().epoch(), 0);
+        manager.commit_epoch(1, &mut oram).unwrap();
+        assert_eq!(manager.counter().epoch(), 1);
+        let records = WriteAheadLog::new(store).read_from(0).unwrap();
+        assert!(records
+            .iter()
+            .any(|r| r.kind == WalRecordKind::EpochCommit && r.epoch == 1));
+    }
+
+    #[test]
+    fn recovery_restores_committed_data_and_discards_uncommitted() {
+        let (manager, mut oram, _store) = setup(true);
+        manager.set_current_epoch(1);
+
+        // Epoch 1: write keys 0..16 and commit durably.
+        let writes: Vec<(u64, Vec<u8>)> = (0..16).map(|k| (k, vec![k as u8; 8])).collect();
+        oram.write_batch(&writes, &manager).unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+        manager.commit_epoch(1, &mut oram).unwrap();
+
+        // Epoch 2: more writes that never commit (the proxy will crash).
+        manager.set_current_epoch(2);
+        let doomed: Vec<(u64, Vec<u8>)> = (0..16).map(|k| (k, vec![0xEE; 8])).collect();
+        oram.write_batch(&doomed, &manager).unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+        // Crash: drop the ORAM client (volatile state lost).
+        let config = *oram.config();
+        drop(oram);
+
+        let (mut recovered, next_epoch, report) = manager
+            .recover(config, &keys(), ExecOptions::default(), 11)
+            .unwrap();
+        assert_eq!(next_epoch, 2, "system resumes at the aborted epoch");
+        assert_eq!(report.recovered_epoch, 1);
+        for k in 0..16u64 {
+            let result = recovered.read_batch(&[Some(k)], &NoopPathLogger).unwrap();
+            assert_eq!(
+                result[0],
+                Some(vec![k as u8; 8]),
+                "key {k} must have epoch-1 value after recovery"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_with_nothing_durable_yields_a_working_empty_tree() {
+        // Crash before any epoch commits: recovery must hand back a client
+        // whose metadata matches the (re-initialised) storage, so that
+        // subsequent epochs commit and their data stays readable.  This is
+        // the regression test for acknowledged writes vanishing after a
+        // crash at the very start of a run.
+        let (manager, oram, _store) = setup(true);
+        let config = *oram.config();
+        drop(oram); // the crash loses the volatile client state
+
+        let (mut recovered, next_epoch, report) = manager
+            .recover(config, &keys(), ExecOptions::default(), 23)
+            .unwrap();
+        assert_eq!(next_epoch, 1, "nothing durable: the system restarts at epoch 1");
+        assert_eq!(report.recovered_epoch, 0);
+
+        let writes: Vec<(u64, Vec<u8>)> = (0..24).map(|k| (k, vec![k as u8; 8])).collect();
+        recovered.write_batch(&writes, &manager).unwrap();
+        recovered.flush_writes(&NoopPathLogger).unwrap();
+        manager.commit_epoch(1, &mut recovered).unwrap();
+        for k in 0..24u64 {
+            let result = recovered.read_batch(&[Some(k)], &NoopPathLogger).unwrap();
+            assert_eq!(
+                result[0],
+                Some(vec![k as u8; 8]),
+                "key {k} unreadable after recovering an empty tree"
+            );
+            recovered.flush_writes(&NoopPathLogger).unwrap();
+        }
+    }
+
+    #[test]
+    fn recovery_replays_logged_paths() {
+        let (manager, mut oram, store) = setup(true);
+        manager.set_current_epoch(1);
+        let writes: Vec<(u64, Vec<u8>)> = (0..8).map(|k| (k, vec![k as u8; 4])).collect();
+        oram.write_batch(&writes, &manager).unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+        manager.commit_epoch(1, &mut oram).unwrap();
+
+        // Epoch 2 issues some reads (logged), then the proxy crashes.
+        manager.set_current_epoch(2);
+        oram.read_batch(&[Some(1), Some(2), None], &manager).unwrap();
+        let config = *oram.config();
+        drop(oram);
+
+        store.reset_stats();
+        let (_recovered, _epoch, report) = manager
+            .recover(config, &keys(), ExecOptions::default(), 13)
+            .unwrap();
+        assert!(
+            report.reads_replayed > 0,
+            "the aborted epoch's reads must be replayed"
+        );
+        assert!(store.stats().slot_reads >= report.reads_replayed);
+    }
+
+    #[test]
+    fn delta_and_full_checkpoints_compose() {
+        let (manager, mut oram, _store) = setup(true);
+        // checkpoint_every = 4 in the small test config: epoch 4 is full,
+        // epochs 5..6 are deltas.
+        for epoch in 1..=6u64 {
+            manager.set_current_epoch(epoch);
+            let writes: Vec<(u64, Vec<u8>)> =
+                vec![(epoch, vec![epoch as u8; 8]), (100 + epoch, vec![1; 8])];
+            oram.write_batch(&writes, &manager).unwrap();
+            oram.flush_writes(&NoopPathLogger).unwrap();
+            manager.commit_epoch(epoch, &mut oram).unwrap();
+        }
+        let config = *oram.config();
+        drop(oram);
+        let (mut recovered, next_epoch, _report) = manager
+            .recover(config, &keys(), ExecOptions::default(), 17)
+            .unwrap();
+        assert_eq!(next_epoch, 7);
+        for epoch in 1..=6u64 {
+            let result = recovered
+                .read_batch(&[Some(epoch)], &NoopPathLogger)
+                .unwrap();
+            assert_eq!(result[0], Some(vec![epoch as u8; 8]), "epoch {epoch} write");
+        }
+    }
+
+    #[test]
+    fn compaction_keeps_recovery_working() {
+        let (manager, mut oram, _store) = setup(true);
+        for epoch in 1..=8u64 {
+            manager.set_current_epoch(epoch);
+            oram.write_batch(&[(epoch, vec![epoch as u8; 4])], &manager)
+                .unwrap();
+            oram.flush_writes(&NoopPathLogger).unwrap();
+            manager.commit_epoch(epoch, &mut oram).unwrap();
+        }
+        manager.compact().unwrap();
+        let config = *oram.config();
+        drop(oram);
+        let (mut recovered, _epoch, _report) = manager
+            .recover(config, &keys(), ExecOptions::default(), 19)
+            .unwrap();
+        let result = recovered.read_batch(&[Some(8)], &NoopPathLogger).unwrap();
+        assert_eq!(result[0], Some(vec![8u8; 4]));
+    }
+}

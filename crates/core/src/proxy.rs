@@ -1,0 +1,923 @@
+//! The Obladi proxy: epochs, batching, delayed visibility (§5–§6).
+//!
+//! [`ObladiDb`] is the trusted proxy.  Client threads begin transactions,
+//! issue reads and writes, and request commit; a background *epoch driver*
+//! thread partitions time into fixed-size epochs of `R` read batches
+//! (shipped to the ORAM executor every `Δ`) followed by a single write
+//! batch, and only notifies clients of commit decisions at the epoch
+//! boundary.
+//!
+//! The data flow mirrors Figure 4 and Figure 5 of the paper:
+//!
+//! * **Reads** first consult the epoch's version cache (the MVTSO version
+//!   chains, which hold both values fetched from the ORAM this epoch and
+//!   uncommitted writes of concurrent transactions).  Missing keys are
+//!   queued, deduplicated, padded to the fixed batch size and executed by
+//!   the parallel ORAM executor.  The calling thread blocks until the batch
+//!   containing its key has executed.
+//! * **Writes** are buffered in the version cache; only the last committed
+//!   version of each key is written to the ORAM at the epoch boundary
+//!   (write deduplication), padded to the fixed write-batch size.
+//! * **Commit requests** park the caller until the epoch ends; epoch
+//!   finalisation applies MVTSO's commit/abort decisions (including
+//!   cascading aborts), enforces the write-batch capacity, flushes the
+//!   ORAM's buffered buckets, checkpoints proxy metadata and only then
+//!   reports outcomes (epoch fate sharing).
+//! * **Crashes** wipe all volatile state; [`ObladiDb::recover`] rebuilds the
+//!   proxy from the recovery unit and resumes at the epoch after the last
+//!   durable one, replaying the aborted epoch's read paths.
+
+use crate::api::{KvDatabase, KvTransaction};
+use crate::concurrency::{MvtsoManager, ReadOutcome, TxnStatus};
+use crate::durability::{DurabilityManager, RecoveryReport};
+use obladi_common::config::ObladiConfig;
+use obladi_common::error::{ObladiError, Result};
+use obladi_common::types::{AbortReason, EpochId, Key, TxnId, TxnOutcome, Value};
+use obladi_crypto::KeyMaterial;
+use obladi_oram::{ExecOptions, RingOram};
+use obladi_storage::{build_backend, TrustedCounter, UntrustedStore};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Aggregate proxy statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProxyStats {
+    /// Epochs finalised since the proxy started.
+    pub epochs: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted (any reason).
+    pub aborted: u64,
+    /// Read batches executed.
+    pub read_batches: u64,
+    /// Real (non-padding) read slots used across all batches.
+    pub real_reads: u64,
+    /// Padding read slots across all batches.
+    pub padded_reads: u64,
+    /// Real writes shipped in write batches.
+    pub real_writes: u64,
+}
+
+struct EpochState {
+    epoch: EpochId,
+    generation: u64,
+    mvtso: MvtsoManager,
+    pending_fetch: Vec<Key>,
+    pending_set: HashSet<Key>,
+    in_flight: HashSet<Key>,
+    batches_issued: u32,
+    active_txns: HashSet<TxnId>,
+    outcomes: HashMap<TxnId, TxnOutcome>,
+}
+
+impl EpochState {
+    fn new(epoch: EpochId, generation: u64) -> Self {
+        EpochState {
+            epoch,
+            generation,
+            mvtso: MvtsoManager::new(),
+            pending_fetch: Vec::new(),
+            pending_set: HashSet::new(),
+            in_flight: HashSet::new(),
+            batches_issued: 0,
+            active_txns: HashSet::new(),
+            outcomes: HashMap::new(),
+        }
+    }
+}
+
+struct ProxyInner {
+    config: ObladiConfig,
+    keys: KeyMaterial,
+    store: Arc<dyn UntrustedStore>,
+    durability: DurabilityManager,
+    oram: Mutex<Option<RingOram>>,
+    state: Mutex<EpochState>,
+    /// Wakes client threads waiting for read results or commit outcomes.
+    client_wakeup: Condvar,
+    /// Wakes the epoch driver early (full batch, shutdown, recovery).
+    driver_wakeup: Condvar,
+    next_ts: AtomicU64,
+    shutdown: AtomicBool,
+    crashed: AtomicBool,
+    stats: Mutex<ProxyStats>,
+}
+
+/// The Obladi database handle (the trusted proxy).
+pub struct ObladiDb {
+    inner: Arc<ProxyInner>,
+    driver: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ObladiDb {
+    /// Opens a proxy over a freshly built storage backend chosen by the
+    /// configuration.
+    pub fn open(config: ObladiConfig) -> Result<ObladiDb> {
+        let store = build_backend(config.backend, config.latency_scale, config.seed);
+        let counter = TrustedCounter::new();
+        let keys = KeyMaterial::for_tests(config.seed);
+        ObladiDb::open_with(config, store, counter, keys)
+    }
+
+    /// Opens a proxy over an existing storage backend, trusted counter and
+    /// key material (used by tests, recovery scenarios and benchmarks that
+    /// need to share the backend with a baseline).
+    pub fn open_with(
+        config: ObladiConfig,
+        store: Arc<dyn UntrustedStore>,
+        counter: Arc<TrustedCounter>,
+        keys: KeyMaterial,
+    ) -> Result<ObladiDb> {
+        let mut config = config;
+        // The stash must be able to absorb a whole epoch's worth of targets
+        // between evictions plus the write batch (the executor runs
+        // maintenance at batch boundaries), so raise a too-small bound.
+        let stash_floor = config.epoch.reads_per_epoch()
+            + config.epoch.write_batch_size
+            + 4 * config.oram.z as usize;
+        config.oram.max_stash = config.oram.max_stash.max(stash_floor);
+        config.validate()?;
+        let durability = DurabilityManager::new(&keys, store.clone(), counter, &config.epoch);
+        let exec = ExecOptions {
+            parallel: true,
+            threads: config.epoch.executor_threads,
+            deferred_writes: true,
+            encrypt: true,
+            fast_init: config.oram.num_objects > 50_000,
+        };
+        let oram = RingOram::new(config.oram, &keys, store.clone(), exec, config.seed)?;
+        durability.set_current_epoch(1);
+
+        let inner = Arc::new(ProxyInner {
+            config,
+            keys,
+            store,
+            durability,
+            oram: Mutex::new(Some(oram)),
+            state: Mutex::new(EpochState::new(1, 0)),
+            client_wakeup: Condvar::new(),
+            driver_wakeup: Condvar::new(),
+            next_ts: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
+            stats: Mutex::new(ProxyStats::default()),
+        });
+        let driver_inner = inner.clone();
+        let driver = std::thread::Builder::new()
+            .name("obladi-epoch-driver".into())
+            .spawn(move || epoch_driver(driver_inner))
+            .map_err(|e| ObladiError::Internal(format!("failed to spawn epoch driver: {e}")))?;
+        Ok(ObladiDb {
+            inner,
+            driver: Mutex::new(Some(driver)),
+        })
+    }
+
+    /// The configuration this proxy runs with.
+    pub fn config(&self) -> &ObladiConfig {
+        &self.inner.config
+    }
+
+    /// The underlying untrusted store (benchmarks read its counters).
+    pub fn store(&self) -> &Arc<dyn UntrustedStore> {
+        &self.inner.store
+    }
+
+    /// Proxy statistics snapshot.
+    pub fn stats(&self) -> ProxyStats {
+        *self.inner.stats.lock()
+    }
+
+    /// ORAM statistics snapshot (physical requests, evictions, …).
+    pub fn oram_stats(&self) -> Option<obladi_oram::OramStats> {
+        self.inner.oram.lock().as_ref().map(|o| o.stats())
+    }
+
+    /// Begins a transaction.
+    pub fn begin(&self) -> Result<ObladiTxn<'_>> {
+        if self.inner.crashed.load(Ordering::SeqCst) {
+            return Err(ObladiError::ProxyUnavailable);
+        }
+        let ts = self.inner.next_ts.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut state = self.inner.state.lock();
+        state.mvtso.begin(ts);
+        state.active_txns.insert(ts);
+        let generation = state.generation;
+        Ok(ObladiTxn {
+            db: self,
+            id: ts,
+            generation,
+            finished: false,
+        })
+    }
+
+    /// Simulates a proxy crash: all volatile state (epoch state, version
+    /// cache, ORAM client metadata, stash) is dropped and every in-flight
+    /// transaction aborts.  The trusted counter and cloud storage survive.
+    pub fn crash(&self) {
+        self.inner.crashed.store(true, Ordering::SeqCst);
+        // Volatile ORAM client state is lost.
+        *self.inner.oram.lock() = None;
+        let mut state = self.inner.state.lock();
+        let active: Vec<TxnId> = state.active_txns.drain().collect();
+        for txn in active {
+            state
+                .outcomes
+                .insert(txn, TxnOutcome::Aborted(AbortReason::Crash));
+        }
+        let epoch = state.epoch;
+        let generation = state.generation + 1;
+        // Preserve already-decided outcomes so clients waiting on them can
+        // still observe the verdict after the crash.
+        let outcomes_carry = std::mem::take(&mut state.outcomes);
+        *state = EpochState::new(epoch, generation);
+        state.outcomes = outcomes_carry;
+        drop(state);
+        self.inner.client_wakeup.notify_all();
+        self.inner.driver_wakeup.notify_all();
+    }
+
+    /// Recovers from a crash using the recovery unit (§8) and resumes
+    /// processing.  Returns the timing breakdown reported in Table 11b.
+    pub fn recover(&self) -> Result<RecoveryReport> {
+        if !self.inner.crashed.load(Ordering::SeqCst) {
+            return Err(ObladiError::Recovery("proxy has not crashed".into()));
+        }
+        let exec = ExecOptions {
+            parallel: true,
+            threads: self.inner.config.epoch.executor_threads,
+            deferred_writes: true,
+            encrypt: true,
+            fast_init: false,
+        };
+        let (oram, next_epoch, report) = self.inner.durability.recover(
+            self.inner.config.oram,
+            &self.inner.keys,
+            exec,
+            self.inner.config.seed,
+        )?;
+        *self.inner.oram.lock() = Some(oram);
+        {
+            let mut state = self.inner.state.lock();
+            let generation = state.generation + 1;
+            let outcomes_carry = std::mem::take(&mut state.outcomes);
+            *state = EpochState::new(next_epoch, generation);
+            state.outcomes = outcomes_carry;
+        }
+        self.inner.crashed.store(false, Ordering::SeqCst);
+        self.inner.driver_wakeup.notify_all();
+        Ok(report)
+    }
+
+    /// Whether the proxy is currently crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.inner.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Stops the epoch driver and releases resources.  Outstanding
+    /// transactions abort.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.driver_wakeup.notify_all();
+        self.inner.client_wakeup.notify_all();
+        if let Some(handle) = self.driver.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ObladiDb {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl KvDatabase for ObladiDb {
+    fn execute<T>(&self, body: &mut dyn FnMut(&mut dyn KvTransaction) -> Result<T>) -> Result<T> {
+        let mut txn = self.begin()?;
+        let result = body(&mut txn);
+        match result {
+            Ok(value) => {
+                txn.commit()?;
+                Ok(value)
+            }
+            Err(err) => {
+                txn.rollback();
+                Err(err)
+            }
+        }
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "obladi"
+    }
+}
+
+/// A transaction handle on the Obladi proxy.
+pub struct ObladiTxn<'db> {
+    db: &'db ObladiDb,
+    id: TxnId,
+    generation: u64,
+    finished: bool,
+}
+
+impl ObladiTxn<'_> {
+    /// The transaction's MVTSO timestamp.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Reads a key, blocking until the read batch containing it has executed
+    /// if the value is not already cached for this epoch.
+    pub fn read(&mut self, key: Key) -> Result<Option<Value>> {
+        let inner = &self.db.inner;
+        let mut state = inner.state.lock();
+        loop {
+            self.check_epoch(&state)?;
+            match state.mvtso.read(self.id, key)? {
+                ReadOutcome::Value { value, .. } => return Ok(value),
+                ReadOutcome::NeedsFetch => {
+                    if inner.shutdown.load(Ordering::SeqCst) {
+                        self.finished = true;
+                        return Err(ObladiError::ProxyUnavailable);
+                    }
+                    if !state.pending_set.contains(&key) && !state.in_flight.contains(&key) {
+                        // Will the request fit into any remaining batch of
+                        // this epoch?
+                        let config = &inner.config.epoch;
+                        let remaining_batches =
+                            config.read_batches.saturating_sub(state.batches_issued) as usize;
+                        let capacity = remaining_batches * config.read_batch_size;
+                        if state.pending_fetch.len() >= capacity {
+                            state.mvtso.abort(self.id, AbortReason::BatchFull);
+                            self.finished = true;
+                            state.active_txns.remove(&self.id);
+                            return Err(ObladiError::BatchFull(format!(
+                                "read of key {key} does not fit in the epoch's remaining batches"
+                            )));
+                        }
+                        state.pending_fetch.push(key);
+                        state.pending_set.insert(key);
+                        if state.pending_fetch.len() >= config.read_batch_size {
+                            inner.driver_wakeup.notify_all();
+                        }
+                    }
+                    // Wait for the batch to execute (or the epoch to end).
+                    inner
+                        .client_wakeup
+                        .wait_for(&mut state, Duration::from_secs(10));
+                }
+            }
+        }
+    }
+
+    /// Buffers a write in the epoch's version cache.
+    pub fn write(&mut self, key: Key, value: Value) -> Result<()> {
+        let inner = &self.db.inner;
+        let mut state = inner.state.lock();
+        self.check_epoch(&state)?;
+        match state.mvtso.write(self.id, key, value) {
+            Ok(()) => Ok(()),
+            Err(err) => {
+                self.finished = true;
+                state.active_txns.remove(&self.id);
+                Err(err)
+            }
+        }
+    }
+
+    /// Requests commit and blocks until the epoch ends, returning the
+    /// commit/abort decision (delayed visibility).
+    pub fn commit(mut self) -> Result<TxnOutcome> {
+        let inner = &self.db.inner;
+        let mut state = inner.state.lock();
+        self.finished = true;
+        if state.generation == self.generation {
+            state.mvtso.request_commit(self.id)?;
+        }
+        loop {
+            // The outcome map is the source of truth; it is populated once
+            // the transaction's epoch has been made durable.
+            if let Some(outcome) = state.outcomes.remove(&self.id) {
+                return Ok(outcome);
+            }
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return Ok(TxnOutcome::Aborted(AbortReason::EpochEnd));
+            }
+            // If our epoch's successor has itself finished and no outcome
+            // was ever published, this transaction's state was lost (e.g. a
+            // crash wiped the epoch) — report the abort rather than waiting
+            // forever.
+            if state.generation > self.generation + 1 {
+                return Ok(TxnOutcome::Aborted(AbortReason::EpochEnd));
+            }
+            inner
+                .client_wakeup
+                .wait_for(&mut state, Duration::from_secs(10));
+        }
+    }
+
+    /// Aborts the transaction.
+    pub fn rollback(mut self) {
+        self.abort_internal();
+    }
+
+    fn abort_internal(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let inner = &self.db.inner;
+        let mut state = inner.state.lock();
+        if state.generation == self.generation {
+            state.mvtso.abort(self.id, AbortReason::UserRequested);
+            state.active_txns.remove(&self.id);
+        }
+        // The client observed the abort through an error; its epoch-end
+        // outcome (if recorded) will never be collected, so drop it.
+        state.outcomes.remove(&self.id);
+    }
+
+    fn check_epoch(&mut self, state: &MutexGuard<'_, EpochState>) -> Result<()> {
+        if self.db.inner.crashed.load(Ordering::SeqCst) {
+            self.finished = true;
+            return Err(ObladiError::ProxyUnavailable);
+        }
+        if state.generation != self.generation {
+            self.finished = true;
+            return Err(ObladiError::TxnAborted(
+                AbortReason::EpochEnd.to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl KvTransaction for ObladiTxn<'_> {
+    fn read(&mut self, key: Key) -> Result<Option<Value>> {
+        ObladiTxn::read(self, key)
+    }
+
+    fn write(&mut self, key: Key, value: Value) -> Result<()> {
+        ObladiTxn::write(self, key, value)
+    }
+
+    fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for ObladiTxn<'_> {
+    fn drop(&mut self) {
+        self.abort_internal();
+    }
+}
+
+impl ObladiTxn<'_> {
+    /// Consumes the transaction, committing it and mapping aborts to errors.
+    pub fn commit_or_err(self) -> Result<()> {
+        crate::api::outcome_to_result(self.commit()?)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Epoch driver
+// ----------------------------------------------------------------------
+
+fn epoch_driver(inner: Arc<ProxyInner>) {
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            // Wake anyone still parked, then exit.
+            inner.client_wakeup.notify_all();
+            return;
+        }
+        if inner.crashed.load(Ordering::SeqCst) {
+            // Park until recovery or shutdown.
+            let mut state = inner.state.lock();
+            inner
+                .driver_wakeup
+                .wait_for(&mut state, Duration::from_millis(50));
+            continue;
+        }
+        let epoch = { inner.state.lock().epoch };
+        inner.durability.set_current_epoch(epoch);
+
+        // ---- R read batches, shipped every Δ. ----
+        let read_batches = inner.config.epoch.read_batches;
+        for _ in 0..read_batches {
+            wait_for_batch(&inner);
+            if inner.shutdown.load(Ordering::SeqCst) || inner.crashed.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Err(err) = execute_read_batch(&inner) {
+                // Storage failure mid-epoch: abort the epoch (fate sharing).
+                abort_epoch(&inner, &err);
+                break;
+            }
+        }
+        if inner.shutdown.load(Ordering::SeqCst) || inner.crashed.load(Ordering::SeqCst) {
+            continue;
+        }
+
+        // ---- Finalise the epoch: write batch, commit decisions. ----
+        // A failure here has already been reflected in the published
+        // outcomes (epoch fate sharing), so there is nothing further to do.
+        let _ = finalize_epoch(&inner);
+    }
+}
+
+/// Sleeps until the batch interval elapses or a full batch is queued.
+fn wait_for_batch(inner: &Arc<ProxyInner>) {
+    let interval = inner.config.epoch.batch_interval;
+    let batch_size = inner.config.epoch.read_batch_size;
+    let mut state = inner.state.lock();
+    if state.pending_fetch.len() >= batch_size {
+        return;
+    }
+    inner.driver_wakeup.wait_for(&mut state, interval);
+}
+
+fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
+    let batch_size = inner.config.epoch.read_batch_size;
+    // Take up to `b_read` pending keys (deduplicated at enqueue time).
+    let keys: Vec<Key> = {
+        let mut state = inner.state.lock();
+        let take = state.pending_fetch.len().min(batch_size);
+        let keys: Vec<Key> = state.pending_fetch.drain(..take).collect();
+        for key in &keys {
+            state.pending_set.remove(key);
+            state.in_flight.insert(*key);
+        }
+        state.batches_issued += 1;
+        keys
+    };
+
+    inner.durability.begin_read_batch();
+
+    // Pad the batch to its fixed size with dummy requests.
+    let mut requests: Vec<Option<Key>> = keys.iter().copied().map(Some).collect();
+    requests.resize(batch_size, None);
+
+    let values = {
+        let mut oram_guard = inner.oram.lock();
+        let oram = oram_guard
+            .as_mut()
+            .ok_or(ObladiError::ProxyUnavailable)?;
+        oram.read_batch(&requests, &inner.durability)?
+    };
+
+    {
+        let mut stats = inner.stats.lock();
+        stats.read_batches += 1;
+        stats.real_reads += keys.len() as u64;
+        stats.padded_reads += (batch_size - keys.len()) as u64;
+    }
+
+    let mut state = inner.state.lock();
+    for (key, value) in keys.iter().zip(values.into_iter()) {
+        state.mvtso.register_base(*key, value);
+        state.in_flight.remove(key);
+    }
+    drop(state);
+    inner.client_wakeup.notify_all();
+    Ok(())
+}
+
+fn finalize_epoch(inner: &Arc<ProxyInner>) -> Result<()> {
+    let write_capacity = inner.config.epoch.write_batch_size;
+
+    // Phase 1 (under the state lock): decide commits, collect the write
+    // batch, and immediately roll the epoch over so that transactions that
+    // begin or request commit while the write-back is in flight land in the
+    // *next* epoch instead of being silently dropped with the old state.
+    // Outcomes are only published (phase 3) after the epoch is durable, so
+    // delayed visibility is preserved.
+    let (epoch, writes, outcomes) = {
+        let mut state = inner.state.lock();
+
+        // Enforce the write-batch capacity: commit-requested transactions
+        // are admitted in timestamp order until their combined (deduplicated)
+        // write set no longer fits; the rest abort with `BatchFull`.
+        let mut planned: HashSet<Key> = HashSet::new();
+        for txn in state.mvtso.commit_requested_txns() {
+            let write_set = state.mvtso.write_set(txn);
+            let new_keys = write_set
+                .iter()
+                .filter(|k| !planned.contains(*k))
+                .count();
+            if planned.len() + new_keys > write_capacity {
+                state.mvtso.abort(txn, AbortReason::BatchFull);
+            } else {
+                planned.extend(write_set);
+            }
+        }
+
+        let (committed, aborted) = state.mvtso.finalize();
+        let writes = state.mvtso.committed_tail_writes();
+
+        let mut outcomes: Vec<(TxnId, TxnOutcome)> = Vec::new();
+        for txn in &committed {
+            outcomes.push((*txn, TxnOutcome::Committed));
+        }
+        for txn in &aborted {
+            let reason = match state.mvtso.status(*txn) {
+                Some(TxnStatus::Aborted(reason)) => reason,
+                _ => AbortReason::EpochEnd,
+            };
+            outcomes.push((*txn, TxnOutcome::Aborted(reason)));
+        }
+
+        let epoch = state.epoch;
+        let next_epoch = state.epoch + 1;
+        let generation = state.generation + 1;
+        let outcomes_carry = std::mem::take(&mut state.outcomes);
+        *state = EpochState::new(next_epoch, generation);
+        state.outcomes = outcomes_carry;
+        (epoch, writes, outcomes)
+    };
+
+    // Phase 2 (no locks held on the epoch state): apply the write batch
+    // (padded to its fixed size), flush all buffered bucket writes, then
+    // checkpoint (§8 ordering).  If this fails, the epoch's transactions
+    // are reported as aborted (epoch fate sharing).
+    let io_result = (|| -> Result<()> {
+        let mut oram_guard = inner.oram.lock();
+        let oram = oram_guard
+            .as_mut()
+            .ok_or(ObladiError::ProxyUnavailable)?;
+        oram.write_batch_padded(&writes, write_capacity, &inner.durability)?;
+        oram.flush_writes(&inner.durability)?;
+        inner.durability.commit_epoch(epoch, oram)?;
+        Ok(())
+    })();
+
+    // Phase 3: publish outcomes (downgraded to aborts if the write-back or
+    // checkpoint failed) and wake every waiting client.
+    let mut state = inner.state.lock();
+    let mut committed_count = 0u64;
+    let mut aborted_count = 0u64;
+    for (txn, outcome) in outcomes {
+        let outcome = if io_result.is_ok() {
+            outcome
+        } else {
+            TxnOutcome::Aborted(AbortReason::Crash)
+        };
+        if outcome.is_committed() {
+            committed_count += 1;
+        } else {
+            aborted_count += 1;
+        }
+        state.outcomes.insert(txn, outcome);
+        state.active_txns.remove(&txn);
+    }
+    drop(state);
+
+    {
+        let mut stats = inner.stats.lock();
+        stats.epochs += 1;
+        stats.committed += committed_count;
+        stats.aborted += aborted_count;
+        stats.real_writes += writes.len() as u64;
+    }
+    inner.client_wakeup.notify_all();
+    io_result
+}
+
+/// Aborts the current epoch after an unrecoverable error (storage failure):
+/// every transaction aborts and a fresh epoch starts.  Mirrors epoch fate
+/// sharing without making the failure durable.
+fn abort_epoch(inner: &Arc<ProxyInner>, err: &ObladiError) {
+    let mut state = inner.state.lock();
+    let active: Vec<TxnId> = state.active_txns.drain().collect();
+    for txn in active {
+        state
+            .outcomes
+            .insert(txn, TxnOutcome::Aborted(AbortReason::Crash));
+    }
+    let next_epoch = state.epoch + 1;
+    let generation = state.generation + 1;
+    let outcomes_carry = std::mem::take(&mut state.outcomes);
+    *state = EpochState::new(next_epoch, generation);
+    state.outcomes = outcomes_carry;
+    drop(state);
+    let mut stats = inner.stats.lock();
+    stats.aborted += 1;
+    drop(stats);
+    let _ = err;
+    inner.client_wakeup.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obladi_common::config::ObladiConfig;
+
+    fn test_db() -> ObladiDb {
+        let mut config = ObladiConfig::small_for_tests(512);
+        config.epoch.batch_interval = Duration::from_millis(1);
+        ObladiDb::open(config).unwrap()
+    }
+
+    fn val(v: u64) -> Value {
+        v.to_le_bytes().to_vec()
+    }
+
+    #[test]
+    fn single_transaction_commit_and_read_back() {
+        let db = test_db();
+        let mut txn = db.begin().unwrap();
+        assert_eq!(txn.read(1).unwrap(), None);
+        txn.write(1, val(10)).unwrap();
+        assert_eq!(txn.read(1).unwrap(), Some(val(10)));
+        let outcome = txn.commit().unwrap();
+        assert!(outcome.is_committed());
+
+        let mut txn = db.begin().unwrap();
+        assert_eq!(txn.read(1).unwrap(), Some(val(10)));
+        txn.commit().unwrap();
+        db.shutdown();
+    }
+
+    #[test]
+    fn writes_are_not_visible_until_commit_epoch_ends() {
+        let db = test_db();
+        // Write in one transaction, read in a later one (after its epoch).
+        let mut t1 = db.begin().unwrap();
+        t1.write(7, val(70)).unwrap();
+        assert!(t1.commit().unwrap().is_committed());
+        let mut t2 = db.begin().unwrap();
+        assert_eq!(t2.read(7).unwrap(), Some(val(70)));
+        t2.commit().unwrap();
+        db.shutdown();
+    }
+
+    #[test]
+    fn rolled_back_transaction_leaves_no_trace() {
+        let db = test_db();
+        let mut t1 = db.begin().unwrap();
+        t1.write(3, val(33)).unwrap();
+        t1.rollback();
+        let mut t2 = db.begin().unwrap();
+        assert_eq!(t2.read(3).unwrap(), None);
+        t2.commit().unwrap();
+        db.shutdown();
+    }
+
+    #[test]
+    fn concurrent_transactions_in_one_epoch_see_uncommitted_writes() {
+        // Long batch interval so the whole scenario fits in one epoch.
+        let mut config = ObladiConfig::small_for_tests(512);
+        config.epoch.batch_interval = Duration::from_millis(100);
+        let db = Arc::new(ObladiDb::open(config).unwrap());
+
+        // Transaction A writes, transaction B (started later, larger
+        // timestamp) reads the uncommitted value, both commit concurrently.
+        // The pair may straddle an epoch boundary (in which case B cannot
+        // see A's buffered write); retry on a fresh key until both land in
+        // the same epoch — with 300 ms epochs this succeeds immediately in
+        // practice.
+        let mut succeeded = false;
+        for attempt in 0..10u64 {
+            let key = 1000 + attempt;
+            let mut a = db.begin().unwrap();
+            a.write(key, val(1)).unwrap();
+            let mut b = db.begin().unwrap();
+            // MVTSO makes A's uncommitted write immediately visible to B.
+            let seen = b.read(key).unwrap();
+            if seen != Some(val(1)) {
+                a.rollback();
+                b.rollback();
+                continue;
+            }
+            let (ra, rb) = std::thread::scope(|scope| {
+                let committer = scope.spawn(move || a.commit().unwrap());
+                let rb = b.commit().unwrap();
+                (committer.join().unwrap(), rb)
+            });
+            assert!(ra.is_committed());
+            assert!(
+                rb.is_committed(),
+                "B read A's write and A committed, so B must commit too (got {rb:?})"
+            );
+            succeeded = true;
+            break;
+        }
+        assert!(succeeded, "could not fit the scenario inside one epoch");
+        db.shutdown();
+    }
+
+    #[test]
+    fn execute_api_commits_and_retries() {
+        let db = test_db();
+        let result = db
+            .execute(&mut |txn| {
+                txn.write(9, val(99))?;
+                txn.read(9)
+            })
+            .unwrap();
+        assert_eq!(result, Some(val(99)));
+        assert_eq!(db.engine_name(), "obladi");
+        db.shutdown();
+    }
+
+    #[test]
+    fn many_threads_commit_disjoint_keys() {
+        let db = Arc::new(test_db());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5u64 {
+                    let key = t * 100 + i;
+                    let mut txn = db.begin().unwrap();
+                    txn.write(key, val(key)).unwrap();
+                    assert!(txn.commit().unwrap().is_committed());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Verify all writes landed.
+        for t in 0..4u64 {
+            for i in 0..5u64 {
+                let key = t * 100 + i;
+                let mut txn = db.begin().unwrap();
+                assert_eq!(txn.read(key).unwrap(), Some(val(key)), "key {key}");
+                txn.commit().unwrap();
+            }
+        }
+        let stats = db.stats();
+        assert!(stats.committed >= 20);
+        db.shutdown();
+    }
+
+    #[test]
+    fn write_conflict_aborts_via_mvtso() {
+        let db = test_db();
+        // t2 (later ts) reads key 5; t1 (earlier ts) then tries to write it.
+        let mut t1 = db.begin().unwrap();
+        let mut t2 = db.begin().unwrap();
+        assert_eq!(t2.read(5).unwrap(), None);
+        let err = t1.write(5, val(1)).unwrap_err();
+        assert!(matches!(err, ObladiError::TxnAborted(_)));
+        assert!(t2.commit().unwrap().is_committed());
+        db.shutdown();
+    }
+
+    #[test]
+    fn crash_aborts_inflight_and_recovery_preserves_committed() {
+        let db = test_db();
+        // Commit an epoch's worth of data.
+        for k in 0..8u64 {
+            let mut txn = db.begin().unwrap();
+            txn.write(k, val(k + 1)).unwrap();
+            assert!(txn.commit().unwrap().is_committed());
+        }
+        // Crash with a transaction in flight.
+        let mut doomed = db.begin().unwrap();
+        doomed.write(100, val(1)).unwrap();
+        db.crash();
+        assert!(db.is_crashed());
+        // The in-flight transaction aborts (reason is Crash unless its epoch
+        // happened to end just before the crash).
+        assert!(!doomed.commit().unwrap().is_committed());
+        assert!(db.begin().is_err(), "crashed proxy rejects new transactions");
+
+        let report = db.recover().unwrap();
+        assert!(report.recovered_epoch >= 1);
+        for k in 0..8u64 {
+            let mut txn = db.begin().unwrap();
+            assert_eq!(txn.read(k).unwrap(), Some(val(k + 1)), "key {k}");
+            txn.commit().unwrap();
+        }
+        // The uncommitted write must be gone.
+        let mut txn = db.begin().unwrap();
+        assert_eq!(txn.read(100).unwrap(), None);
+        txn.commit().unwrap();
+        db.shutdown();
+    }
+
+    #[test]
+    fn epoch_padding_keeps_batches_fixed_size() {
+        let db = test_db();
+        // Commit a couple of transactions, then check that padded reads were
+        // issued (batches are always full-size).
+        for k in 0..3u64 {
+            let mut txn = db.begin().unwrap();
+            txn.read(k).unwrap();
+            txn.write(k, val(k)).unwrap();
+            txn.commit().unwrap();
+        }
+        let stats = db.stats();
+        assert!(stats.read_batches > 0);
+        assert!(
+            stats.padded_reads > 0,
+            "read batches must be padded to their fixed size"
+        );
+        db.shutdown();
+    }
+}

@@ -1,0 +1,246 @@
+//! Authenticated, location-bound encryption envelopes for ORAM blocks.
+//!
+//! Every piece of data Obladi sends to untrusted storage — bucket contents,
+//! checkpoint deltas, the padded stash, read-path logs — is wrapped in an
+//! envelope that provides:
+//!
+//! 1. **Confidentiality**: ChaCha20 with a fresh random nonce per seal, so
+//!    re-encrypting the same plaintext yields an unrelated ciphertext
+//!    ("randomized encryption", §4).
+//! 2. **Indistinguishability**: plaintexts are padded to a fixed size before
+//!    sealing, so real and dummy blocks produce byte-identical-length
+//!    ciphertexts.
+//! 3. **Integrity and freshness** (Appendix A): an HMAC over
+//!    `location || counter || nonce || ciphertext` lets the proxy detect a
+//!    malicious server substituting stale or relocated data.  `location`
+//!    identifies the storage slot (bucket id / log record id), `counter` is
+//!    the epoch or read-batch counter from the trusted counter `F_epc`.
+
+use crate::chacha20::ChaCha20;
+use crate::hmac::HmacSha256;
+use crate::keys::KeyMaterial;
+use obladi_common::error::{ObladiError, Result};
+use rand::RngCore;
+
+/// Length of the MAC tag appended to each envelope.
+pub const TAG_LEN: usize = 32;
+/// Length of the nonce prepended to each envelope.
+pub const NONCE_LEN: usize = 12;
+/// Length prefix encoding the true payload size inside the padded plaintext.
+const LEN_PREFIX: usize = 4;
+
+/// A sealed (encrypted + authenticated) block as stored on the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedBlock {
+    /// Raw envelope bytes: `nonce || ciphertext || tag`.
+    pub bytes: Vec<u8>,
+}
+
+impl SealedBlock {
+    /// Total size of the sealed representation.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the envelope is empty (never true for well-formed blocks).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// Seals and opens blocks with the proxy's [`KeyMaterial`].
+#[derive(Clone)]
+pub struct Envelope {
+    cipher: ChaCha20,
+    hmac: HmacSha256,
+}
+
+impl Envelope {
+    /// Creates an envelope codec from key material.
+    pub fn new(keys: &KeyMaterial) -> Self {
+        Envelope {
+            cipher: ChaCha20::new(keys.enc_key()),
+            hmac: HmacSha256::new(keys.mac_key()),
+        }
+    }
+
+    /// Sealed size for a given padded plaintext capacity.
+    pub fn sealed_len(padded_capacity: usize) -> usize {
+        NONCE_LEN + LEN_PREFIX + padded_capacity + TAG_LEN
+    }
+
+    /// Seals `plaintext`, padding it to `padded_capacity` bytes and binding
+    /// the ciphertext to `(location, counter)`.
+    ///
+    /// Returns an error if the plaintext does not fit in the capacity.
+    pub fn seal(
+        &self,
+        location: u64,
+        counter: u64,
+        plaintext: &[u8],
+        padded_capacity: usize,
+    ) -> Result<SealedBlock> {
+        if plaintext.len() > padded_capacity {
+            return Err(ObladiError::Codec(format!(
+                "plaintext of {} bytes exceeds padded capacity {}",
+                plaintext.len(),
+                padded_capacity
+            )));
+        }
+        let mut nonce = [0u8; NONCE_LEN];
+        rand::thread_rng().fill_bytes(&mut nonce);
+
+        // length prefix || payload || zero padding
+        let mut body = Vec::with_capacity(LEN_PREFIX + padded_capacity);
+        body.extend_from_slice(&(plaintext.len() as u32).to_le_bytes());
+        body.extend_from_slice(plaintext);
+        body.resize(LEN_PREFIX + padded_capacity, 0);
+
+        self.cipher.apply_keystream(&nonce, 1, &mut body);
+
+        let tag = self.hmac.mac_parts(&[
+            &location.to_le_bytes(),
+            &counter.to_le_bytes(),
+            &nonce,
+            &body,
+        ]);
+
+        let mut bytes = Vec::with_capacity(Self::sealed_len(padded_capacity));
+        bytes.extend_from_slice(&nonce);
+        bytes.extend_from_slice(&body);
+        bytes.extend_from_slice(&tag);
+        Ok(SealedBlock { bytes })
+    }
+
+    /// Opens a sealed block, verifying the MAC against `(location, counter)`.
+    pub fn open(&self, location: u64, counter: u64, sealed: &SealedBlock) -> Result<Vec<u8>> {
+        let bytes = &sealed.bytes;
+        if bytes.len() < NONCE_LEN + LEN_PREFIX + TAG_LEN {
+            return Err(ObladiError::Codec(format!(
+                "sealed block too short: {} bytes",
+                bytes.len()
+            )));
+        }
+        let (nonce_bytes, rest) = bytes.split_at(NONCE_LEN);
+        let (body, tag) = rest.split_at(rest.len() - TAG_LEN);
+
+        let ok = self.hmac.verify_parts(
+            &[
+                &location.to_le_bytes(),
+                &counter.to_le_bytes(),
+                nonce_bytes,
+                body,
+            ],
+            tag,
+        );
+        if !ok {
+            return Err(ObladiError::Integrity(format!(
+                "MAC verification failed for location {location} counter {counter}"
+            )));
+        }
+
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce.copy_from_slice(nonce_bytes);
+        let mut plain = body.to_vec();
+        self.cipher.apply_keystream(&nonce, 1, &mut plain);
+
+        let len = u32::from_le_bytes([plain[0], plain[1], plain[2], plain[3]]) as usize;
+        if len > plain.len() - LEN_PREFIX {
+            return Err(ObladiError::Codec(format!(
+                "corrupt length prefix {len} for body of {}",
+                plain.len() - LEN_PREFIX
+            )));
+        }
+        Ok(plain[LEN_PREFIX..LEN_PREFIX + len].to_vec())
+    }
+}
+
+impl std::fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Envelope").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn envelope() -> Envelope {
+        Envelope::new(&KeyMaterial::for_tests(42))
+    }
+
+    #[test]
+    fn roundtrip_preserves_plaintext() {
+        let env = envelope();
+        let sealed = env.seal(5, 9, b"hello obladi", 64).unwrap();
+        let opened = env.open(5, 9, &sealed).unwrap();
+        assert_eq!(opened, b"hello obladi");
+    }
+
+    #[test]
+    fn sealed_size_is_independent_of_payload_length() {
+        let env = envelope();
+        let a = env.seal(1, 1, b"", 128).unwrap();
+        let b = env.seal(1, 1, &vec![7u8; 128], 128).unwrap();
+        let c = env.seal(1, 1, b"short", 128).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(b.len(), c.len());
+        assert_eq!(a.len(), Envelope::sealed_len(128));
+    }
+
+    #[test]
+    fn sealing_is_randomized() {
+        let env = envelope();
+        let a = env.seal(3, 3, b"same plaintext", 64).unwrap();
+        let b = env.seal(3, 3, b"same plaintext", 64).unwrap();
+        assert_ne!(a, b, "two seals of identical data must differ");
+    }
+
+    #[test]
+    fn oversized_plaintext_is_rejected() {
+        let env = envelope();
+        assert!(env.seal(0, 0, &vec![0u8; 65], 64).is_err());
+    }
+
+    #[test]
+    fn wrong_location_or_counter_fails_verification() {
+        let env = envelope();
+        let sealed = env.seal(10, 20, b"secret", 32).unwrap();
+        assert!(env.open(10, 20, &sealed).is_ok());
+        assert!(matches!(
+            env.open(11, 20, &sealed),
+            Err(ObladiError::Integrity(_))
+        ));
+        assert!(matches!(
+            env.open(10, 21, &sealed),
+            Err(ObladiError::Integrity(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_ciphertext_is_rejected() {
+        let env = envelope();
+        let mut sealed = env.seal(1, 2, b"payload", 32).unwrap();
+        let mid = sealed.bytes.len() / 2;
+        sealed.bytes[mid] ^= 0xff;
+        assert!(matches!(
+            env.open(1, 2, &sealed),
+            Err(ObladiError::Integrity(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_key_cannot_open() {
+        let env = envelope();
+        let other = Envelope::new(&KeyMaterial::for_tests(43));
+        let sealed = env.seal(1, 1, b"data", 32).unwrap();
+        assert!(other.open(1, 1, &sealed).is_err());
+    }
+
+    #[test]
+    fn truncated_envelope_is_rejected_gracefully() {
+        let env = envelope();
+        let sealed = SealedBlock { bytes: vec![0u8; 10] };
+        assert!(matches!(env.open(0, 0, &sealed), Err(ObladiError::Codec(_))));
+    }
+}

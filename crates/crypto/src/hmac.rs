@@ -1,0 +1,155 @@
+//! HMAC-SHA-256 (RFC 2104 / RFC 4231).
+//!
+//! Appendix A of the paper extends Obladi to a malicious storage server by
+//! attaching a MAC to every value written to the cloud, keyed by a secret
+//! only the proxy knows and covering the value, its location and a freshness
+//! counter.  This module provides that MAC.
+
+use crate::sha256::Sha256;
+
+const BLOCK_SIZE: usize = 64;
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// HMAC-SHA-256 instance bound to one key.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    ipad_key: [u8; BLOCK_SIZE],
+    opad_key: [u8; BLOCK_SIZE],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance from an arbitrary-length key.
+    pub fn new(key: &[u8]) -> Self {
+        let mut normalized = [0u8; BLOCK_SIZE];
+        if key.len() > BLOCK_SIZE {
+            let digest = Sha256::digest(key);
+            normalized[..32].copy_from_slice(&digest);
+        } else {
+            normalized[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad_key = [0u8; BLOCK_SIZE];
+        let mut opad_key = [0u8; BLOCK_SIZE];
+        for i in 0..BLOCK_SIZE {
+            ipad_key[i] = normalized[i] ^ IPAD;
+            opad_key[i] = normalized[i] ^ OPAD;
+        }
+        HmacSha256 { ipad_key, opad_key }
+    }
+
+    /// Computes the MAC over `parts` concatenated in order.
+    ///
+    /// Accepting multiple parts avoids allocating a contiguous buffer for
+    /// `location || counter || ciphertext` on every bucket write.
+    pub fn mac_parts(&self, parts: &[&[u8]]) -> [u8; 32] {
+        let mut inner = Sha256::new();
+        inner.update(&self.ipad_key);
+        for part in parts {
+            inner.update(part);
+        }
+        let inner_digest = inner.finalize();
+
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// Computes the MAC of a single message.
+    pub fn mac(&self, message: &[u8]) -> [u8; 32] {
+        self.mac_parts(&[message])
+    }
+
+    /// Verifies a MAC in constant time with respect to the tag contents.
+    pub fn verify(&self, message: &[u8], tag: &[u8]) -> bool {
+        self.verify_parts(&[message], tag)
+    }
+
+    /// Verifies a MAC computed over multiple parts.
+    pub fn verify_parts(&self, parts: &[&[u8]], tag: &[u8]) -> bool {
+        let expected = self.mac_parts(parts);
+        constant_time_eq(&expected, tag)
+    }
+}
+
+/// Constant-time byte-slice comparison (length leaks, contents do not).
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(digest: &[u8]) -> String {
+        digest.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let mac = HmacSha256::new(&key).mac(b"Hi There");
+        assert_eq!(
+            hex(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let mac = HmacSha256::new(b"Jefe").mac(b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3_long_data() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let mac = HmacSha256::new(&key).mac(&data);
+        assert_eq!(
+            hex(&mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let mac = HmacSha256::new(&key)
+            .mac(b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn parts_equivalent_to_concatenation() {
+        let hmac = HmacSha256::new(b"key material");
+        let whole = hmac.mac(b"abcdef");
+        let parts = hmac.mac_parts(&[b"ab", b"cd", b"ef"]);
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn verify_accepts_valid_and_rejects_tampered() {
+        let hmac = HmacSha256::new(b"secret");
+        let tag = hmac.mac(b"payload");
+        assert!(hmac.verify(b"payload", &tag));
+        assert!(!hmac.verify(b"payl0ad", &tag));
+        let mut bad_tag = tag;
+        bad_tag[0] ^= 1;
+        assert!(!hmac.verify(b"payload", &bad_tag));
+        assert!(!hmac.verify(b"payload", &tag[..31]));
+    }
+}

@@ -1,0 +1,1431 @@
+//! The Ring ORAM client and Obladi's batched / parallel executor (§4, §6.3, §7).
+//!
+//! [`RingOram`] owns all client-side state (position map, per-bucket
+//! metadata, stash) and talks to an [`UntrustedStore`].  It exposes the
+//! batch-oriented interface the Obladi proxy needs:
+//!
+//! * [`RingOram::read_batch`] — executes one read batch: a metadata-only
+//!   planning pass chooses exactly one slot per non-buffered bucket on each
+//!   request's path, the physical reads are issued concurrently on a worker
+//!   pool (intra- *and* inter-request parallelism), values are ingested into
+//!   the stash, and any evictions that have come due (every `A` accesses)
+//!   are performed with their bucket write-backs *deferred* into a local
+//!   buffer;
+//! * [`RingOram::write_batch`] — applies the epoch's write batch using
+//!   dummiless writes (§6.3): new versions go straight to the stash, with no
+//!   physical reads, while still advancing the eviction schedule;
+//! * [`RingOram::flush_writes`] — seals and writes every buffered bucket
+//!   back to storage, once per bucket (write deduplication), which is the
+//!   only moment physical writes happen;
+//! * [`RingOram::access`] — a sequential single-operation interface used by
+//!   the non-batched baseline of Figure 10a.
+//!
+//! Two deliberate deviations from canonical Ring ORAM, both documented in
+//! DESIGN.md, keep the batched implementation tractable without changing the
+//! behaviour the evaluation measures: evictions owed in the middle of a
+//! batch are performed at the end of that batch (the paper itself defers all
+//! physical writes to the epoch boundary), and buckets that have already
+//! been logically rewritten during the epoch are served from the local
+//! buffer instead of being physically re-read (the paper's "reads are served
+//! locally from the buffered buckets", §7).
+
+use crate::block::Block;
+use crate::bucket::BucketMeta;
+use crate::codec::{Decoder, Encoder};
+use crate::metadata::{MetaDelta, OramMeta};
+use crate::pool::ThreadPool;
+use crate::tree::TreeGeometry;
+use obladi_common::config::OramConfig;
+use obladi_common::error::{ObladiError, Result};
+use obladi_common::rng::DetRng;
+use obladi_common::types::{BucketId, Key, Leaf, Value, Version};
+use obladi_crypto::{Envelope, KeyMaterial};
+use obladi_storage::UntrustedStore;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// How the executor runs physical I/O and write-back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Issue physical reads/writes concurrently on a worker pool.
+    pub parallel: bool,
+    /// Worker pool size (ignored when `parallel` is false).
+    pub threads: usize,
+    /// Defer bucket write-back to [`RingOram::flush_writes`] (delayed
+    /// visibility).  When false every eviction writes its buckets
+    /// immediately, as canonical Ring ORAM does.
+    pub deferred_writes: bool,
+    /// Seal blocks with ChaCha20 + HMAC.  Disabling isolates the ORAM's
+    /// scheduling cost from its crypto cost (the `Parallel` vs
+    /// `ParallelCrypto` series of Figure 10a).
+    pub encrypt: bool,
+    /// Initialise the tree by cloning a single sealed dummy per bucket
+    /// instead of sealing every slot individually.  Initialisation is a
+    /// one-off, offline step in a real deployment; this flag only shortens
+    /// benchmark start-up and never affects steady-state behaviour.
+    pub fast_init: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            parallel: true,
+            threads: 8,
+            deferred_writes: true,
+            encrypt: true,
+            fast_init: false,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Canonical sequential Ring ORAM: no parallelism, immediate writes.
+    pub fn sequential() -> Self {
+        ExecOptions {
+            parallel: false,
+            threads: 1,
+            deferred_writes: false,
+            encrypt: true,
+            fast_init: false,
+        }
+    }
+
+    /// Parallel executor with `threads` workers and deferred writes.
+    pub fn parallel(threads: usize) -> Self {
+        ExecOptions {
+            parallel: true,
+            threads,
+            deferred_writes: true,
+            encrypt: true,
+            fast_init: false,
+        }
+    }
+
+    /// Disables encryption (the `Parallel` series of Figure 10a).
+    pub fn without_crypto(mut self) -> Self {
+        self.encrypt = false;
+        self
+    }
+
+    /// Enables fast tree initialisation.
+    pub fn with_fast_init(mut self) -> Self {
+        self.fast_init = true;
+        self
+    }
+
+    /// Enables or disables deferred (buffered) bucket write-back.
+    pub fn with_deferred_writes(mut self, deferred: bool) -> Self {
+        self.deferred_writes = deferred;
+        self
+    }
+}
+
+/// Operation counters exposed for benchmarks and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OramStats {
+    /// Logical read requests processed (including padded dummy requests).
+    pub logical_reads: u64,
+    /// Logical write requests processed.
+    pub logical_writes: u64,
+    /// Physical slot reads issued to storage.
+    pub physical_reads: u64,
+    /// Physical bucket writes issued to storage.
+    pub physical_writes: u64,
+    /// `evict_path` operations performed.
+    pub evictions: u64,
+    /// Early reshuffles performed.
+    pub early_reshuffles: u64,
+    /// Bucket reads served from the epoch-local buffer instead of storage.
+    pub buffered_reads: u64,
+    /// Largest stash occupancy observed.
+    pub stash_peak: u64,
+}
+
+/// One physical slot read: which bucket, which physical slot, and the bucket
+/// version expected (bound into the envelope MAC for freshness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotRead {
+    /// Bucket to read from.
+    pub bucket: BucketId,
+    /// Physical slot index.
+    pub slot: u32,
+    /// Expected bucket version.
+    pub version: Version,
+}
+
+impl SlotRead {
+    /// Encodes a list of slot reads (for the durability path log).
+    pub fn encode_list(reads: &[SlotRead]) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(8 + reads.len() * 20);
+        enc.put_u64(reads.len() as u64);
+        for r in reads {
+            enc.put_u64(r.bucket);
+            enc.put_u32(r.slot);
+            enc.put_u64(r.version);
+        }
+        enc.finish()
+    }
+
+    /// Decodes a list written by [`SlotRead::encode_list`].
+    pub fn decode_list(bytes: &[u8]) -> Result<Vec<SlotRead>> {
+        let mut dec = Decoder::new(bytes);
+        let count = dec.get_u64()? as usize;
+        let mut reads = Vec::with_capacity(count);
+        for _ in 0..count {
+            reads.push(SlotRead {
+                bucket: dec.get_u64()?,
+                slot: dec.get_u32()?,
+                version: dec.get_u64()?,
+            });
+        }
+        dec.expect_end()?;
+        Ok(reads)
+    }
+}
+
+/// Receives the physical read set of a batch *before* it executes, so the
+/// proxy can durably log it (§8: recovery replays the logged paths).
+pub trait PathLogger: Send + Sync {
+    /// Called with every physical read about to be issued.
+    fn log_reads(&self, reads: &[SlotRead]) -> Result<()>;
+}
+
+/// A [`PathLogger`] that does nothing (durability disabled).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopPathLogger;
+
+impl PathLogger for NoopPathLogger {
+    fn log_reads(&self, _reads: &[SlotRead]) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Where an access will obtain its target block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TargetSource {
+    /// The block arrives in the physical read at this index.
+    Physical(usize),
+    /// The block is already in the stash.
+    Stash,
+    /// The block sits in an epoch-buffered bucket.
+    Buffered(BucketId),
+    /// The key does not exist (or the request is a padding dummy).
+    Absent,
+}
+
+/// Per-request plan produced by the metadata pass.
+#[derive(Debug, Clone)]
+struct OpPlan {
+    key: Option<Key>,
+    new_leaf: Leaf,
+    exists: bool,
+    target: TargetSource,
+}
+
+/// The Ring ORAM client plus Obladi's batched executor.
+pub struct RingOram {
+    config: OramConfig,
+    geometry: TreeGeometry,
+    store: Arc<dyn UntrustedStore>,
+    envelope: Envelope,
+    options: ExecOptions,
+    pool: ThreadPool,
+    meta: OramMeta,
+    /// Buckets logically rewritten this epoch, awaiting flush: real blocks
+    /// placed in each (metadata lives in `meta.buckets`).
+    buffer: HashMap<BucketId, Vec<Block>>,
+    /// Buckets that ran out of valid dummy slots and need an early
+    /// reshuffle before they can be accessed again.
+    needs_reshuffle: HashSet<BucketId>,
+    rng: DetRng,
+    stats: OramStats,
+}
+
+impl RingOram {
+    /// Creates a client over `store`, initialising the tree on storage if it
+    /// has never been written.
+    pub fn new(
+        config: OramConfig,
+        keys: &KeyMaterial,
+        store: Arc<dyn UntrustedStore>,
+        options: ExecOptions,
+        seed: u64,
+    ) -> Result<Self> {
+        config.validate()?;
+        let mut rng = DetRng::new(seed ^ 0x0ead_cafe);
+        let meta = OramMeta::new(config, &mut rng);
+        let mut oram = RingOram {
+            config,
+            geometry: TreeGeometry::new(&config),
+            store,
+            envelope: Envelope::new(keys),
+            pool: ThreadPool::new(if options.parallel { options.threads } else { 1 }),
+            options,
+            meta,
+            buffer: HashMap::new(),
+            needs_reshuffle: HashSet::new(),
+            rng,
+            stats: OramStats::default(),
+        };
+        oram.init_tree()?;
+        Ok(oram)
+    }
+
+    /// Restores a client from previously checkpointed metadata without
+    /// re-initialising storage (used by crash recovery).
+    pub fn from_meta(
+        meta: OramMeta,
+        keys: &KeyMaterial,
+        store: Arc<dyn UntrustedStore>,
+        options: ExecOptions,
+        seed: u64,
+    ) -> Self {
+        let config = meta.config;
+        RingOram {
+            config,
+            geometry: TreeGeometry::new(&config),
+            store,
+            envelope: Envelope::new(keys),
+            pool: ThreadPool::new(if options.parallel { options.threads } else { 1 }),
+            options,
+            meta,
+            buffer: HashMap::new(),
+            needs_reshuffle: HashSet::new(),
+            rng: DetRng::new(seed ^ 0x5eed_0bad),
+            stats: OramStats::default(),
+        }
+    }
+
+    /// The tree configuration.
+    pub fn config(&self) -> &OramConfig {
+        &self.config
+    }
+
+    /// The tree geometry helper.
+    pub fn geometry(&self) -> TreeGeometry {
+        self.geometry
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> OramStats {
+        let mut stats = self.stats;
+        stats.stash_peak = self.meta.stash.peak() as u64;
+        stats
+    }
+
+    /// Resets the operation counters (between benchmark phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = OramStats::default();
+    }
+
+    /// Current stash occupancy.
+    pub fn stash_len(&self) -> usize {
+        self.meta.stash.len()
+    }
+
+    /// Number of buckets currently buffered locally (awaiting flush).
+    pub fn buffered_buckets(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Access to the underlying store (for stats in benches).
+    pub fn store(&self) -> &Arc<dyn UntrustedStore> {
+        &self.store
+    }
+
+    /// Borrows the client metadata (tests and durability).
+    pub fn meta(&self) -> &OramMeta {
+        &self.meta
+    }
+
+    /// Produces a delta checkpoint of the client metadata.
+    pub fn checkpoint_delta(&mut self, max_position_delta: usize) -> MetaDelta {
+        self.meta.take_delta(max_position_delta)
+    }
+
+    /// Produces a full checkpoint of the client metadata.
+    pub fn checkpoint_full(&self) -> Vec<u8> {
+        self.meta.encode_full()
+    }
+
+    // ------------------------------------------------------------------
+    // Initialisation
+    // ------------------------------------------------------------------
+
+    fn init_tree(&mut self) -> Result<()> {
+        // The tree is written unconditionally: a freshly constructed client
+        // has fresh permutations and an empty position map, so any blocks a
+        // previous client left on this store are unreadable garbage to it.
+        // Re-initialising keeps the client metadata and the storage contents
+        // consistent (a recovering proxy that wants to *keep* storage
+        // contents uses `from_meta` with checkpointed metadata instead).
+        let slots_per_bucket = self.config.slots_per_bucket() as usize;
+        let capacity = Block::padded_capacity(self.config.block_size);
+        let encrypt = self.options.encrypt;
+        let envelope = self.envelope.clone();
+        let fast = self.options.fast_init;
+
+        let buckets: Vec<BucketId> = self.geometry.all_buckets().collect();
+        let store = self.store.clone();
+        let results: Vec<Result<(BucketId, Version)>> = self.pool.map(buckets, move |bucket| {
+            let slots: Vec<bytes::Bytes> = if fast {
+                let sealed = seal_block(&envelope, encrypt, bucket, 0, 1, &Block::dummy(), capacity)?;
+                vec![sealed; slots_per_bucket]
+            } else {
+                let mut slots = Vec::with_capacity(slots_per_bucket);
+                for slot in 0..slots_per_bucket {
+                    slots.push(seal_block(
+                        &envelope,
+                        encrypt,
+                        bucket,
+                        slot as u32,
+                        1,
+                        &Block::dummy(),
+                        capacity,
+                    )?);
+                }
+                slots
+            };
+            let version = store.write_bucket(bucket, slots)?;
+            Ok((bucket, version))
+        });
+        for result in results {
+            let (bucket, version) = result?;
+            self.meta.buckets[bucket as usize].version = version;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Batched interface used by the Obladi proxy
+    // ------------------------------------------------------------------
+
+    /// Executes one read batch.  `requests[i] == None` denotes a padding
+    /// (dummy) request that reads a uniformly random path.
+    pub fn read_batch(
+        &mut self,
+        requests: &[Option<Key>],
+        logger: &dyn PathLogger,
+    ) -> Result<Vec<Option<Value>>> {
+        // Phase 1: metadata pass — choose slots, collect physical reads.
+        let mut physical: Vec<SlotRead> = Vec::new();
+        let mut plans: Vec<OpPlan> = Vec::with_capacity(requests.len());
+        for request in requests {
+            let plan = self.plan_access(*request, &mut physical)?;
+            plans.push(plan);
+        }
+
+        // Phase 2: log then issue the physical reads.
+        logger.log_reads(&physical)?;
+        let targets: HashSet<usize> = plans
+            .iter()
+            .filter_map(|p| match p.target {
+                TargetSource::Physical(idx) => Some(idx),
+                _ => None,
+            })
+            .collect();
+        let raw = self.fetch_slots(&physical, &targets)?;
+
+        // Phase 3: ingest values and move target blocks to the stash.
+        let mut results = Vec::with_capacity(requests.len());
+        for plan in &plans {
+            results.push(self.ingest_access(plan, &raw)?);
+        }
+
+        // Phase 4: run any evictions / reshuffles that have come due.
+        self.run_pending_maintenance(logger)?;
+        if !self.options.deferred_writes {
+            self.flush_writes(logger)?;
+        }
+        Ok(results)
+    }
+
+    /// Applies a write batch using dummiless writes (§6.3): the new version
+    /// of each object goes directly to the stash; no physical reads are
+    /// issued, but the eviction schedule still advances.
+    pub fn write_batch(
+        &mut self,
+        writes: &[(Key, Value)],
+        logger: &dyn PathLogger,
+    ) -> Result<()> {
+        self.write_batch_padded(writes, writes.len(), logger)
+    }
+
+    /// Like [`RingOram::write_batch`], but pads the batch to `padded_to`
+    /// logical writes so the eviction schedule (which advances once per `A`
+    /// logical accesses) is independent of how many real writes the epoch
+    /// produced — the workload-independence requirement of §6.2.
+    pub fn write_batch_padded(
+        &mut self,
+        writes: &[(Key, Value)],
+        padded_to: usize,
+        logger: &dyn PathLogger,
+    ) -> Result<()> {
+        // Validate every value first so a single oversized value cannot
+        // leave the batch half-applied.
+        for (key, value) in writes {
+            if value.len() > self.config.block_size {
+                return Err(ObladiError::Codec(format!(
+                    "value for key {key} of {} bytes exceeds block size {}",
+                    value.len(),
+                    self.config.block_size
+                )));
+            }
+        }
+        for (key, value) in writes {
+            self.dummiless_write(*key, value.clone())?;
+            // Interleave evictions with large write batches so the stash
+            // stays within its canonical Ring ORAM bound even when the
+            // write batch is larger than `A`.
+            if self.meta.access_count % self.config.a as u64 == 0 {
+                self.run_pending_maintenance(logger)?;
+            }
+        }
+        // Padded (dummy) writes contribute to the access count only.
+        let padding = padded_to.saturating_sub(writes.len()) as u64;
+        self.meta.access_count += padding;
+        self.stats.logical_writes += padding;
+        self.run_pending_maintenance(logger)?;
+        if !self.options.deferred_writes {
+            self.flush_writes(logger)?;
+        }
+        Ok(())
+    }
+
+    /// Seals and writes every buffered bucket back to storage (one write per
+    /// bucket — the last version wins) and clears the buffer.
+    pub fn flush_writes(&mut self, _logger: &dyn PathLogger) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let capacity = Block::padded_capacity(self.config.block_size);
+        let encrypt = self.options.encrypt;
+        let envelope = self.envelope.clone();
+        let store = self.store.clone();
+
+        let mut jobs: Vec<(BucketId, BucketMeta, Vec<Block>)> = Vec::with_capacity(self.buffer.len());
+        for (bucket, blocks) in self.buffer.drain() {
+            jobs.push((bucket, self.meta.buckets[bucket as usize].clone(), blocks));
+        }
+        jobs.sort_by_key(|(b, _, _)| *b);
+
+        let results: Vec<Result<(BucketId, Version)>> =
+            self.pool.map(jobs, move |(bucket, meta, blocks)| {
+                let slots = build_bucket_slots(&envelope, encrypt, bucket, &meta, &blocks, capacity)?;
+                let version = store.write_bucket(bucket, slots)?;
+                Ok((bucket, version))
+            });
+        for result in results {
+            let (bucket, version) = result?;
+            self.meta.buckets[bucket as usize].version = version;
+            self.meta.mark_bucket_dirty(bucket);
+            self.stats.physical_writes += 1;
+        }
+        Ok(())
+    }
+
+    /// Convenience sequential interface: a single read or write, with
+    /// maintenance and write-back applied immediately.  Used by the
+    /// sequential Ring ORAM baseline of Figure 10a.
+    pub fn access(&mut self, key: Key, value: Option<Value>) -> Result<Option<Value>> {
+        match value {
+            Some(v) => {
+                // A canonical Ring ORAM write performs a full path access;
+                // we reproduce that here (the batched proxy path uses
+                // dummiless writes instead).
+                let previous = self.read_batch(&[Some(key)], &NoopPathLogger)?;
+                self.write_batch(&[(key, v)], &NoopPathLogger)?;
+                if !self.options.deferred_writes {
+                    self.flush_writes(&NoopPathLogger)?;
+                }
+                Ok(previous.into_iter().next().flatten())
+            }
+            None => Ok(self
+                .read_batch(&[Some(key)], &NoopPathLogger)?
+                .into_iter()
+                .next()
+                .flatten()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery support
+    // ------------------------------------------------------------------
+
+    /// Re-issues a previously logged set of physical reads, discarding the
+    /// results.  Recovery replays the read paths of the aborted epoch so the
+    /// adversary observes a deterministic pattern (§8).
+    pub fn replay_reads(&mut self, reads: &[SlotRead]) -> Result<()> {
+        // Results (and MAC failures) are deliberately ignored: the buckets
+        // may have moved on since the log was written; only the access
+        // pattern matters.
+        let store = self.store.clone();
+        let _ = self.pool.map(reads.to_vec(), move |read| {
+            let _ = store.read_slot(read.bucket, read.slot);
+        });
+        self.stats.physical_reads += reads.len() as u64;
+        Ok(())
+    }
+
+    /// Reverts every bucket on storage to the version recorded in the client
+    /// metadata (shadow paging, §8).  Used by recovery to discard bucket
+    /// writes from an epoch that did not commit.
+    pub fn revert_storage_to_meta(&self) -> Result<()> {
+        for bucket in self.geometry.all_buckets() {
+            let expected = self.meta.buckets[bucket as usize].version;
+            let current = self.store.bucket_version(bucket)?;
+            if current != expected {
+                self.store.revert_bucket(bucket, expected)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Discards all epoch-local buffered state (aborting the epoch).
+    pub fn discard_buffered(&mut self) {
+        self.buffer.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Planning & ingestion
+    // ------------------------------------------------------------------
+
+    fn plan_access(
+        &mut self,
+        request: Option<Key>,
+        physical: &mut Vec<SlotRead>,
+    ) -> Result<OpPlan> {
+        self.stats.logical_reads += 1;
+        self.meta.access_count += 1;
+
+        let num_leaves = self.geometry.num_leaves();
+        let (key, exists, old_leaf) = match request {
+            Some(key) => match self.meta.position.get(key) {
+                Some(leaf) => (Some(key), true, leaf),
+                None => (Some(key), false, self.rng.below(num_leaves)),
+            },
+            None => (None, false, self.rng.below(num_leaves)),
+        };
+        let new_leaf = self.rng.below(num_leaves);
+
+        // Remap immediately; the block itself moves to the stash at ingest.
+        if exists {
+            if let Some(k) = key {
+                self.meta.position.set(k, new_leaf);
+                self.meta.stash.remap(k, new_leaf);
+            }
+        }
+
+        let mut target = if exists {
+            if self.meta.stash.contains(key.expect("exists implies key")) {
+                TargetSource::Stash
+            } else {
+                TargetSource::Absent // refined below if found in the tree
+            }
+        } else {
+            TargetSource::Absent
+        };
+
+        for &bucket in &self.geometry.path(old_leaf) {
+            let is_buffered = self.buffer.contains_key(&bucket);
+            let meta = &mut self.meta.buckets[bucket as usize];
+            let key_slot = match (key, exists) {
+                (Some(k), true) => meta.find_key(k),
+                _ => None,
+            };
+
+            if is_buffered {
+                // Served locally from the buffered bucket; no physical read.
+                self.stats.buffered_reads += 1;
+                if key_slot.is_some() && matches!(target, TargetSource::Absent) {
+                    target = TargetSource::Buffered(bucket);
+                }
+                continue;
+            }
+
+            if let Some(logical) = key_slot {
+                if matches!(target, TargetSource::Absent) {
+                    let slot = meta.mark_read(logical);
+                    meta.clear_real(logical);
+                    let version = meta.version;
+                    self.meta.mark_bucket_dirty(bucket);
+                    physical.push(SlotRead {
+                        bucket,
+                        slot,
+                        version,
+                    });
+                    target = TargetSource::Physical(physical.len() - 1);
+                    if self.meta.buckets[bucket as usize].needs_early_reshuffle() {
+                        self.needs_reshuffle.insert(bucket);
+                    }
+                    continue;
+                }
+            }
+
+            // Dummy read from this bucket.
+            match meta.pick_valid_dummy(&mut self.rng) {
+                Some(logical) => {
+                    let slot = meta.mark_read(logical);
+                    let version = meta.version;
+                    self.meta.mark_bucket_dirty(bucket);
+                    physical.push(SlotRead {
+                        bucket,
+                        slot,
+                        version,
+                    });
+                    if self.meta.buckets[bucket as usize].needs_early_reshuffle() {
+                        self.needs_reshuffle.insert(bucket);
+                    }
+                }
+                None => {
+                    // The bucket has no valid dummies left; it will be
+                    // reshuffled during maintenance.  Skipping the physical
+                    // read here is the recovery action canonical Ring ORAM
+                    // avoids by reshuffling earlier.
+                    self.needs_reshuffle.insert(bucket);
+                }
+            }
+        }
+
+        Ok(OpPlan {
+            key,
+            new_leaf,
+            exists,
+            target,
+        })
+    }
+
+    fn ingest_access(&mut self, plan: &OpPlan, raw: &[Option<Block>]) -> Result<Option<Value>> {
+        let key = match plan.key {
+            Some(key) if plan.exists => key,
+            // Padding request or a read of a key that has never been
+            // written: nothing to ingest.
+            _ => return Ok(None),
+        };
+
+        let value: Option<Value> = match plan.target {
+            TargetSource::Physical(idx) => {
+                let block = raw
+                    .get(idx)
+                    .and_then(|b| b.clone())
+                    .ok_or_else(|| ObladiError::Internal("missing physical target block".into()))?;
+                if block.key != key {
+                    return Err(ObladiError::Integrity(format!(
+                        "expected block for key {key}, found {}",
+                        block.key
+                    )));
+                }
+                Some(block.value)
+            }
+            TargetSource::Stash => self.meta.stash.get(key).map(|(_, v)| v.clone()),
+            TargetSource::Buffered(bucket) => {
+                let blocks = self.buffer.get_mut(&bucket).ok_or_else(|| {
+                    ObladiError::Internal(format!("buffered bucket {bucket} vanished"))
+                })?;
+                match blocks.iter().position(|b| b.key == key) {
+                    Some(pos) => {
+                        let block = blocks.remove(pos);
+                        // The block leaves the buffered bucket and moves to
+                        // the stash (same as leaving the tree).
+                        if let Some(logical) = self.meta.buckets[bucket as usize].find_key(key) {
+                            self.meta.buckets[bucket as usize].clear_real(logical);
+                            self.meta.mark_bucket_dirty(bucket);
+                        }
+                        Some(block.value)
+                    }
+                    None => None,
+                }
+            }
+            TargetSource::Absent => None,
+        };
+
+        match value {
+            Some(v) => {
+                self.meta
+                    .stash
+                    .insert(key, plan.new_leaf, v.clone(), self.config.max_stash)?;
+                Ok(Some(v))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn dummiless_write(&mut self, key: Key, value: Value) -> Result<()> {
+        if value.len() > self.config.block_size {
+            return Err(ObladiError::Codec(format!(
+                "value of {} bytes exceeds block size {}",
+                value.len(),
+                self.config.block_size
+            )));
+        }
+        self.stats.logical_writes += 1;
+        self.meta.access_count += 1;
+
+        let new_leaf = self.rng.below(self.geometry.num_leaves());
+        let old_leaf = self.meta.position.set(key, new_leaf);
+
+        // Remove any stale copy so at most one copy of the key exists.
+        if let Some(old_leaf) = old_leaf {
+            if self.meta.stash.remove(key).is_none() {
+                for &bucket in &self.geometry.path(old_leaf) {
+                    let meta = &mut self.meta.buckets[bucket as usize];
+                    if let Some(logical) = meta.find_key(key) {
+                        meta.clear_real(logical);
+                        self.meta.mark_bucket_dirty(bucket);
+                        if let Some(blocks) = self.buffer.get_mut(&bucket) {
+                            blocks.retain(|b| b.key != key);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+
+        self.meta
+            .stash
+            .insert(key, new_leaf, value, self.config.max_stash)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Evictions, early reshuffles and write-back
+    // ------------------------------------------------------------------
+
+    fn run_pending_maintenance(&mut self, logger: &dyn PathLogger) -> Result<()> {
+        // Evictions owed: one per `A` logical accesses.
+        let owed = self.meta.access_count / self.config.a as u64;
+        while self.meta.evict_count < owed {
+            let target = self.geometry.evict_target(self.meta.evict_count);
+            self.evict_path(target, logger)?;
+            self.meta.evict_count += 1;
+            self.stats.evictions += 1;
+        }
+        // Early reshuffles for exhausted buckets.
+        let pending: Vec<BucketId> = {
+            let mut v: Vec<BucketId> = self.needs_reshuffle.drain().collect();
+            v.sort_unstable();
+            v
+        };
+        for bucket in pending {
+            // A bucket freshly rewritten by an eviction no longer needs it.
+            if self.buffer.contains_key(&bucket)
+                || !self.meta.buckets[bucket as usize].needs_early_reshuffle()
+            {
+                continue;
+            }
+            self.early_reshuffle(bucket, logger)?;
+            self.stats.early_reshuffles += 1;
+        }
+        Ok(())
+    }
+
+    fn evict_path(&mut self, target_leaf: Leaf, logger: &dyn PathLogger) -> Result<()> {
+        let path = self.geometry.path(target_leaf);
+
+        // ----- Read phase -----
+        let mut physical: Vec<SlotRead> = Vec::new();
+        let mut expected_real: Vec<usize> = Vec::new();
+        for &bucket in &path {
+            if let Some(blocks) = self.buffer.remove(&bucket) {
+                // The bucket's current contents live locally; pull them back
+                // into the stash without physical reads.
+                self.stats.buffered_reads += 1;
+                for block in blocks {
+                    self.ingest_evicted_block(block)?;
+                }
+                let meta = &mut self.meta.buckets[bucket as usize];
+                for logical in 0..meta.z() {
+                    meta.clear_real(logical);
+                }
+                continue;
+            }
+            let meta = &mut self.meta.buckets[bucket as usize];
+            let reals = meta.valid_reals();
+            let real_count = reals.len();
+            for logical in reals {
+                let slot = meta.mark_read(logical);
+                let version = meta.version;
+                physical.push(SlotRead {
+                    bucket,
+                    slot,
+                    version,
+                });
+                expected_real.push(physical.len() - 1);
+            }
+            // Pad to Z reads with valid dummies, as canonical Ring ORAM does.
+            let dummies_needed = (meta.z()).saturating_sub(real_count);
+            for _ in 0..dummies_needed {
+                match meta.pick_valid_dummy(&mut self.rng) {
+                    Some(logical) => {
+                        let slot = meta.mark_read(logical);
+                        let version = meta.version;
+                        physical.push(SlotRead {
+                            bucket,
+                            slot,
+                            version,
+                        });
+                    }
+                    None => break,
+                }
+            }
+            self.meta.mark_bucket_dirty(bucket);
+        }
+
+        logger.log_reads(&physical)?;
+        let targets: HashSet<usize> = expected_real.iter().copied().collect();
+        let raw = self.fetch_slots(&physical, &targets)?;
+        for idx in expected_real {
+            if let Some(Some(block)) = raw.get(idx).map(|b| b.clone()) {
+                self.ingest_evicted_block(block)?;
+            }
+        }
+
+        // ----- Write phase (deepest bucket first) -----
+        for &bucket in path.iter().rev() {
+            let level = self.geometry.level_of(bucket);
+            let geometry = self.geometry;
+            let eligible = self
+                .meta
+                .stash
+                .eligible_for(|leaf| geometry.bucket_at(leaf, level) == bucket);
+            let chosen: Vec<Key> = eligible.into_iter().take(self.config.z as usize).collect();
+            let mut placed: Vec<Block> = Vec::with_capacity(chosen.len());
+            for key in chosen {
+                if let Some((leaf, value)) = self.meta.stash.remove(key) {
+                    placed.push(Block::real(key, leaf, value));
+                }
+            }
+            self.rewrite_bucket(bucket, placed)?;
+        }
+        Ok(())
+    }
+
+    fn early_reshuffle(&mut self, bucket: BucketId, logger: &dyn PathLogger) -> Result<()> {
+        // Read the remaining valid real blocks of the bucket.
+        let mut physical: Vec<SlotRead> = Vec::new();
+        {
+            let meta = &mut self.meta.buckets[bucket as usize];
+            let reals = meta.valid_reals();
+            let real_count = reals.len();
+            for logical in reals {
+                let slot = meta.mark_read(logical);
+                let version = meta.version;
+                physical.push(SlotRead {
+                    bucket,
+                    slot,
+                    version,
+                });
+            }
+            let dummies_needed = meta.z().saturating_sub(real_count);
+            for _ in 0..dummies_needed {
+                match meta.pick_valid_dummy(&mut self.rng) {
+                    Some(logical) => {
+                        let slot = meta.mark_read(logical);
+                        let version = meta.version;
+                        physical.push(SlotRead {
+                            bucket,
+                            slot,
+                            version,
+                        });
+                    }
+                    None => break,
+                }
+            }
+        }
+        self.meta.mark_bucket_dirty(bucket);
+        logger.log_reads(&physical)?;
+        // Every read that corresponds to a real slot is a target.
+        let targets: HashSet<usize> = (0..physical.len()).collect();
+        let raw = self.fetch_slots(&physical, &targets)?;
+        for block in raw.into_iter().flatten() {
+            if !block.is_dummy() {
+                self.ingest_evicted_block(block)?;
+            }
+        }
+
+        // Re-place eligible stash blocks into the bucket (this includes the
+        // blocks just read, whose paths necessarily pass through it).
+        let level = self.geometry.level_of(bucket);
+        let geometry = self.geometry;
+        let eligible = self
+            .meta
+            .stash
+            .eligible_for(|leaf| geometry.bucket_at(leaf, level) == bucket);
+        let chosen: Vec<Key> = eligible.into_iter().take(self.config.z as usize).collect();
+        let mut placed = Vec::with_capacity(chosen.len());
+        for key in chosen {
+            if let Some((leaf, value)) = self.meta.stash.remove(key) {
+                placed.push(Block::real(key, leaf, value));
+            }
+        }
+        self.rewrite_bucket(bucket, placed)?;
+        Ok(())
+    }
+
+    /// Installs fresh metadata for a logically rewritten bucket and either
+    /// buffers or immediately writes its contents.
+    fn rewrite_bucket(&mut self, bucket: BucketId, blocks: Vec<Block>) -> Result<()> {
+        let assignment: Vec<(Key, Leaf)> = blocks.iter().map(|b| (b.key, b.leaf)).collect();
+        self.meta.buckets[bucket as usize].rewrite(&assignment, &mut self.rng);
+        self.meta.mark_bucket_dirty(bucket);
+        self.needs_reshuffle.remove(&bucket);
+
+        if self.options.deferred_writes {
+            self.buffer.insert(bucket, blocks);
+            return Ok(());
+        }
+
+        let capacity = Block::padded_capacity(self.config.block_size);
+        let meta = self.meta.buckets[bucket as usize].clone();
+        let slots = build_bucket_slots(
+            &self.envelope,
+            self.options.encrypt,
+            bucket,
+            &meta,
+            &blocks,
+            capacity,
+        )?;
+        let version = self.store.write_bucket(bucket, slots)?;
+        self.meta.buckets[bucket as usize].version = version;
+        self.stats.physical_writes += 1;
+        Ok(())
+    }
+
+    /// Puts a block read during eviction back into the stash, discarding it
+    /// if it is stale (superseded by a dummiless write in this epoch).
+    fn ingest_evicted_block(&mut self, block: Block) -> Result<()> {
+        if block.is_dummy() {
+            return Ok(());
+        }
+        if self.meta.stash.contains(block.key) {
+            // A newer version already lives in the stash.
+            return Ok(());
+        }
+        match self.meta.position.get(block.key) {
+            Some(leaf) if leaf == block.leaf => {
+                self.meta
+                    .stash
+                    .insert(block.key, block.leaf, block.value, self.config.max_stash)?;
+                Ok(())
+            }
+            // Stale copy (remapped since) or deleted key: drop it.
+            _ => Ok(()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Physical I/O
+    // ------------------------------------------------------------------
+
+    /// Fetches the given slots.  Only indices in `targets` are decrypted;
+    /// dummy reads are fetched (for obliviousness) but their payloads are
+    /// discarded.
+    fn fetch_slots(
+        &mut self,
+        reads: &[SlotRead],
+        targets: &HashSet<usize>,
+    ) -> Result<Vec<Option<Block>>> {
+        self.stats.physical_reads += reads.len() as u64;
+        if reads.is_empty() {
+            return Ok(Vec::new());
+        }
+        let envelope = self.envelope.clone();
+        let encrypt = self.options.encrypt;
+        let store = self.store.clone();
+        let jobs: Vec<(usize, SlotRead, bool)> = reads
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, *r, targets.contains(&i)))
+            .collect();
+
+        let run = move |(idx, read, is_target): (usize, SlotRead, bool)| -> Result<(usize, Option<Block>)> {
+            let bytes = store.read_slot(read.bucket, read.slot)?;
+            if !is_target {
+                return Ok((idx, None));
+            }
+            let block = open_block(&envelope, encrypt, read, &bytes)?;
+            Ok((idx, Some(block)))
+        };
+
+        let results: Vec<Result<(usize, Option<Block>)>> = if self.options.parallel {
+            self.pool.map(jobs, run)
+        } else {
+            jobs.into_iter().map(run).collect()
+        };
+
+        let mut out: Vec<Option<Block>> = vec![None; reads.len()];
+        for result in results {
+            let (idx, block) = result?;
+            out[idx] = block;
+        }
+        Ok(out)
+    }
+}
+
+/// Seals a block for `(bucket, slot)` at `version`.
+fn seal_block(
+    envelope: &Envelope,
+    encrypt: bool,
+    bucket: BucketId,
+    slot: u32,
+    version: Version,
+    block: &Block,
+    capacity: usize,
+) -> Result<bytes::Bytes> {
+    let plain = block.encode();
+    if encrypt {
+        let location = slot_location(bucket, slot);
+        let sealed = envelope.seal(location, version, &plain, capacity)?;
+        Ok(bytes::Bytes::from(sealed.bytes))
+    } else {
+        // Unencrypted mode still pads to a fixed size so dummy and real
+        // slots remain the same length on storage.
+        let mut padded = Vec::with_capacity(capacity + 4);
+        padded.extend_from_slice(&(plain.len() as u32).to_le_bytes());
+        padded.extend_from_slice(&plain);
+        padded.resize(capacity + 4, 0);
+        Ok(bytes::Bytes::from(padded))
+    }
+}
+
+/// Opens a slot payload fetched from storage.
+fn open_block(
+    envelope: &Envelope,
+    encrypt: bool,
+    read: SlotRead,
+    bytes: &bytes::Bytes,
+) -> Result<Block> {
+    if encrypt {
+        let location = slot_location(read.bucket, read.slot);
+        let sealed = obladi_crypto::SealedBlock {
+            bytes: bytes.to_vec(),
+        };
+        let plain = envelope.open(location, read.version, &sealed)?;
+        Block::decode(&plain)
+    } else {
+        if bytes.len() < 4 {
+            return Err(ObladiError::Codec("slot payload too short".into()));
+        }
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        if bytes.len() < 4 + len {
+            return Err(ObladiError::Codec("slot payload truncated".into()));
+        }
+        Block::decode(&bytes[4..4 + len])
+    }
+}
+
+/// Builds the full physical slot array of a bucket from its metadata and the
+/// real blocks placed in it.
+fn build_bucket_slots(
+    envelope: &Envelope,
+    encrypt: bool,
+    bucket: BucketId,
+    meta: &BucketMeta,
+    blocks: &[Block],
+    capacity: usize,
+) -> Result<Vec<bytes::Bytes>> {
+    let total = meta.perm.len();
+    let next_version = meta.version + 1;
+    let by_key: HashMap<Key, &Block> = blocks.iter().map(|b| (b.key, b)).collect();
+    let dummy = Block::dummy();
+    let mut slots: Vec<bytes::Bytes> = vec![bytes::Bytes::new(); total];
+    for logical in 0..total {
+        let physical = meta.perm[logical] as usize;
+        let block: &Block = if logical < meta.z() {
+            match &meta.real[logical] {
+                Some((key, _)) => by_key.get(key).copied().unwrap_or(&dummy),
+                None => &dummy,
+            }
+        } else {
+            &dummy
+        };
+        slots[physical] = seal_block(
+            envelope,
+            encrypt,
+            bucket,
+            physical as u32,
+            next_version,
+            block,
+            capacity,
+        )?;
+    }
+    Ok(slots)
+}
+
+/// Location tag binding a sealed slot to its bucket and physical position.
+fn slot_location(bucket: BucketId, slot: u32) -> u64 {
+    (bucket << 12) | slot as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obladi_storage::InMemoryStore;
+
+    fn new_oram(num_objects: u64, options: ExecOptions) -> RingOram {
+        let config = OramConfig::small_for_tests(num_objects);
+        let keys = KeyMaterial::for_tests(1);
+        let store: Arc<dyn UntrustedStore> = Arc::new(InMemoryStore::new());
+        RingOram::new(config, &keys, store, options, 99).unwrap()
+    }
+
+    fn value(tag: u64) -> Value {
+        tag.to_le_bytes().to_vec()
+    }
+
+    #[test]
+    fn constructing_a_client_reinitialises_a_previously_used_store() {
+        // A fresh client has a fresh position map and fresh permutations, so
+        // it must rewrite the tree it finds on storage; anything a previous
+        // client stored there is gone, and the new client's own writes work.
+        let config = OramConfig::small_for_tests(128);
+        let keys = KeyMaterial::for_tests(1);
+        let store: Arc<dyn UntrustedStore> = Arc::new(InMemoryStore::new());
+
+        let mut first =
+            RingOram::new(config, &keys, store.clone(), ExecOptions::default(), 7).unwrap();
+        first.write_batch(&[(1, value(111))], &NoopPathLogger).unwrap();
+        first.flush_writes(&NoopPathLogger).unwrap();
+        drop(first);
+
+        let mut second =
+            RingOram::new(config, &keys, store, ExecOptions::default(), 8).unwrap();
+        let results = second.read_batch(&[Some(1)], &NoopPathLogger).unwrap();
+        assert_eq!(results[0], None, "old client's data must not survive re-init");
+
+        // The second client is fully functional: write, flush, evict, read.
+        let writes: Vec<(Key, Value)> = (0..32).map(|k| (k, value(k + 500))).collect();
+        second.write_batch(&writes, &NoopPathLogger).unwrap();
+        second.flush_writes(&NoopPathLogger).unwrap();
+        for k in 0..32u64 {
+            let results = second.read_batch(&[Some(k)], &NoopPathLogger).unwrap();
+            assert_eq!(results[0], Some(value(k + 500)), "key {k} lost after re-init");
+            second.flush_writes(&NoopPathLogger).unwrap();
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut oram = new_oram(100, ExecOptions::default());
+        oram.write_batch(&[(1, value(11)), (2, value(22))], &NoopPathLogger)
+            .unwrap();
+        let results = oram
+            .read_batch(&[Some(1), Some(2), Some(3)], &NoopPathLogger)
+            .unwrap();
+        assert_eq!(results[0], Some(value(11)));
+        assert_eq!(results[1], Some(value(22)));
+        assert_eq!(results[2], None, "unwritten key reads as absent");
+    }
+
+    #[test]
+    fn values_survive_flush_and_many_evictions() {
+        let mut oram = new_oram(200, ExecOptions::default());
+        let writes: Vec<(Key, Value)> = (0..64).map(|k| (k, value(k * 7))).collect();
+        oram.write_batch(&writes, &NoopPathLogger).unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+
+        // Drive many accesses (and therefore evictions) and re-check.
+        for round in 0..6 {
+            let reads: Vec<Option<Key>> = (0..64).map(Some).collect();
+            let results = oram.read_batch(&reads, &NoopPathLogger).unwrap();
+            for (k, result) in results.iter().enumerate() {
+                assert_eq!(
+                    result.as_ref(),
+                    Some(&value(k as u64 * 7)),
+                    "round {round} key {k}"
+                );
+            }
+            oram.flush_writes(&NoopPathLogger).unwrap();
+        }
+        assert!(oram.stats().evictions > 0);
+    }
+
+    #[test]
+    fn overwrites_return_latest_value() {
+        let mut oram = new_oram(100, ExecOptions::default());
+        oram.write_batch(&[(5, value(1))], &NoopPathLogger).unwrap();
+        oram.write_batch(&[(5, value(2))], &NoopPathLogger).unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+        let results = oram.read_batch(&[Some(5)], &NoopPathLogger).unwrap();
+        assert_eq!(results[0], Some(value(2)));
+        oram.write_batch(&[(5, value(3))], &NoopPathLogger).unwrap();
+        let results = oram.read_batch(&[Some(5)], &NoopPathLogger).unwrap();
+        assert_eq!(results[0], Some(value(3)));
+    }
+
+    #[test]
+    fn dummy_requests_read_full_paths_but_return_nothing() {
+        let mut oram = new_oram(100, ExecOptions::default());
+        oram.write_batch(&[(1, value(1))], &NoopPathLogger).unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+        let before = oram.stats().physical_reads;
+        let results = oram.read_batch(&[None, None], &NoopPathLogger).unwrap();
+        assert_eq!(results, vec![None, None]);
+        let after = oram.stats().physical_reads;
+        assert!(
+            after > before,
+            "padding requests must still touch storage ({before} -> {after})"
+        );
+    }
+
+    #[test]
+    fn sequential_mode_matches_parallel_results() {
+        let mut seq = new_oram(100, ExecOptions::sequential());
+        let mut par = new_oram(100, ExecOptions::parallel(4));
+        let writes: Vec<(Key, Value)> = (0..32).map(|k| (k, value(k + 100))).collect();
+        seq.write_batch(&writes, &NoopPathLogger).unwrap();
+        par.write_batch(&writes, &NoopPathLogger).unwrap();
+        par.flush_writes(&NoopPathLogger).unwrap();
+        for k in 0..32 {
+            let a = seq.read_batch(&[Some(k)], &NoopPathLogger).unwrap();
+            let b = par.read_batch(&[Some(k)], &NoopPathLogger).unwrap();
+            assert_eq!(a, b, "key {k}");
+        }
+    }
+
+    #[test]
+    fn access_api_reads_and_writes() {
+        let mut oram = new_oram(100, ExecOptions::sequential());
+        assert_eq!(oram.access(9, None).unwrap(), None);
+        assert_eq!(oram.access(9, Some(value(5))).unwrap(), None);
+        assert_eq!(oram.access(9, None).unwrap(), Some(value(5)));
+        let old = oram.access(9, Some(value(6))).unwrap();
+        assert_eq!(old, Some(value(5)));
+        assert_eq!(oram.access(9, None).unwrap(), Some(value(6)));
+    }
+
+    #[test]
+    fn unencrypted_mode_roundtrips() {
+        let mut oram = new_oram(100, ExecOptions::default().without_crypto());
+        oram.write_batch(&[(3, value(33))], &NoopPathLogger).unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+        let results = oram.read_batch(&[Some(3)], &NoopPathLogger).unwrap();
+        assert_eq!(results[0], Some(value(33)));
+    }
+
+    #[test]
+    fn deferred_mode_buffers_until_flush() {
+        let mut oram = new_oram(200, ExecOptions::parallel(2));
+        // Enough accesses to trigger at least one eviction.
+        let writes: Vec<(Key, Value)> = (0..20).map(|k| (k, value(k))).collect();
+        oram.write_batch(&writes, &NoopPathLogger).unwrap();
+        assert!(oram.stats().evictions > 0);
+        assert!(oram.buffered_buckets() > 0, "evictions should be buffered");
+        let writes_before = oram.stats().physical_writes;
+        assert_eq!(writes_before, 0, "no physical writes before flush");
+        oram.flush_writes(&NoopPathLogger).unwrap();
+        assert!(oram.stats().physical_writes > 0);
+        assert_eq!(oram.buffered_buckets(), 0);
+    }
+
+    #[test]
+    fn immediate_mode_never_buffers() {
+        let mut oram = new_oram(200, ExecOptions::sequential());
+        let writes: Vec<(Key, Value)> = (0..20).map(|k| (k, value(k))).collect();
+        oram.write_batch(&writes, &NoopPathLogger).unwrap();
+        assert_eq!(oram.buffered_buckets(), 0);
+        assert!(oram.stats().physical_writes > 0);
+    }
+
+    #[test]
+    fn stash_stays_bounded_under_load() {
+        let mut oram = new_oram(256, ExecOptions::default());
+        let mut rng = DetRng::new(5);
+        for round in 0..20 {
+            let writes: Vec<(Key, Value)> = (0..16)
+                .map(|_| {
+                    let k = rng.below(256);
+                    (k, value(k))
+                })
+                .collect();
+            oram.write_batch(&writes, &NoopPathLogger).unwrap();
+            let reads: Vec<Option<Key>> = (0..16).map(|_| Some(rng.below(256))).collect();
+            oram.read_batch(&reads, &NoopPathLogger).unwrap();
+            oram.flush_writes(&NoopPathLogger).unwrap();
+            assert!(
+                oram.stash_len() <= oram.config().max_stash,
+                "round {round}: stash {} exceeds bound {}",
+                oram.stash_len(),
+                oram.config().max_stash
+            );
+        }
+    }
+
+    #[test]
+    fn path_logger_sees_all_physical_reads() {
+        use parking_lot::Mutex;
+        #[derive(Default)]
+        struct CountingLogger {
+            count: Mutex<usize>,
+        }
+        impl PathLogger for CountingLogger {
+            fn log_reads(&self, reads: &[SlotRead]) -> Result<()> {
+                *self.count.lock() += reads.len();
+                Ok(())
+            }
+        }
+
+        let mut oram = new_oram(100, ExecOptions::default());
+        let logger = CountingLogger::default();
+        oram.write_batch(&[(1, value(1)), (2, value(2))], &logger)
+            .unwrap();
+        oram.read_batch(&[Some(1), Some(2)], &logger).unwrap();
+        let logged = *logger.count.lock();
+        let issued = oram.stats().physical_reads as usize;
+        assert_eq!(logged, issued, "every physical read must be logged first");
+    }
+
+    #[test]
+    fn slot_read_list_roundtrip() {
+        let reads = vec![
+            SlotRead {
+                bucket: 1,
+                slot: 2,
+                version: 3,
+            },
+            SlotRead {
+                bucket: 100,
+                slot: 0,
+                version: 7,
+            },
+        ];
+        let decoded = SlotRead::decode_list(&SlotRead::encode_list(&reads)).unwrap();
+        assert_eq!(decoded, reads);
+        assert!(SlotRead::decode_list(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_and_restore_preserve_data() {
+        let mut oram = new_oram(128, ExecOptions::default());
+        let writes: Vec<(Key, Value)> = (0..32).map(|k| (k, value(k + 7))).collect();
+        oram.write_batch(&writes, &NoopPathLogger).unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+
+        let checkpoint = oram.checkpoint_full();
+        let store = oram.store().clone();
+        let keys = KeyMaterial::for_tests(1);
+        drop(oram);
+
+        let meta = OramMeta::decode_full(&checkpoint).unwrap();
+        let mut recovered = RingOram::from_meta(meta, &keys, store, ExecOptions::default(), 123);
+        for k in 0..32 {
+            let result = recovered.read_batch(&[Some(k)], &NoopPathLogger).unwrap();
+            assert_eq!(result[0], Some(value(k + 7)), "key {k} after restore");
+        }
+    }
+
+    #[test]
+    fn replay_reads_touches_storage_without_failing() {
+        let mut oram = new_oram(100, ExecOptions::default());
+        oram.write_batch(&[(1, value(1))], &NoopPathLogger).unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+        let reads = vec![SlotRead {
+            bucket: 0,
+            slot: 0,
+            version: 1,
+        }];
+        let before = oram.store().stats().slot_reads;
+        oram.replay_reads(&reads).unwrap();
+        assert!(oram.store().stats().slot_reads > before);
+    }
+}

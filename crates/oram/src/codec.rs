@@ -1,0 +1,212 @@
+//! Minimal binary encoding helpers.
+//!
+//! Checkpoints, path logs and block payloads are serialized with a small
+//! hand-rolled codec (length-prefixed little-endian fields) rather than an
+//! external serialization crate, keeping the on-storage format explicit and
+//! the dependency set within the allowed list.
+
+use obladi_common::error::{ObladiError, Result};
+
+/// Append-only encoder.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Creates an encoder with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a boolean as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Consumes the encoder and returns the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Sequential decoder over a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(ObladiError::Codec(format!(
+                "decode overrun: need {n} bytes at offset {} of {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a boolean.
+    pub fn get_bool(&mut self) -> Result<bool> {
+        Ok(self.get_u8()? != 0)
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.get_u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Number of bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns an error unless the buffer has been fully consumed.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(ObladiError::Codec(format!(
+                "{} trailing bytes after decode",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut enc = Encoder::new();
+        enc.put_u64(0xDEAD_BEEF_1234_5678);
+        enc.put_u32(77);
+        enc.put_u8(3);
+        enc.put_bool(true);
+        enc.put_bool(false);
+        enc.put_bytes(b"hello");
+        enc.put_bytes(b"");
+        let bytes = enc.finish();
+
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u64().unwrap(), 0xDEAD_BEEF_1234_5678);
+        assert_eq!(dec.get_u32().unwrap(), 77);
+        assert_eq!(dec.get_u8().unwrap(), 3);
+        assert!(dec.get_bool().unwrap());
+        assert!(!dec.get_bool().unwrap());
+        assert_eq!(dec.get_bytes().unwrap(), b"hello");
+        assert_eq!(dec.get_bytes().unwrap(), b"");
+        dec.expect_end().unwrap();
+    }
+
+    #[test]
+    fn overrun_is_detected() {
+        let mut enc = Encoder::new();
+        enc.put_u32(5);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        assert!(dec.get_u64().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_detected() {
+        let mut enc = Encoder::new();
+        enc.put_u32(1);
+        enc.put_u32(2);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        dec.get_u32().unwrap();
+        assert!(dec.expect_end().is_err());
+        dec.get_u32().unwrap();
+        dec.expect_end().unwrap();
+    }
+
+    #[test]
+    fn corrupt_length_prefix_fails_cleanly() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(b"abc");
+        let mut bytes = enc.finish();
+        // Claim a huge length.
+        bytes[0] = 0xff;
+        bytes[1] = 0xff;
+        let mut dec = Decoder::new(&bytes);
+        assert!(dec.get_bytes().is_err());
+    }
+
+    #[test]
+    fn encoder_capacity_and_len() {
+        let mut enc = Encoder::with_capacity(64);
+        assert!(enc.is_empty());
+        enc.put_u8(1);
+        assert_eq!(enc.len(), 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Ring ORAM and Obladi's batched / parallel ORAM executor.
+//!
+//! This crate implements the oblivious-storage substrate of the paper:
+//!
+//! * [`tree`] — binary tree geometry, deterministic reverse-lexicographic
+//!   eviction order;
+//! * [`block`] — real/dummy block representation and fixed-size encoding;
+//! * [`bucket`] — client-side per-bucket metadata (permutation map, validity
+//!   bits, real-slot assignments);
+//! * [`position_map`] / [`stash`] — the remaining client-side state, with
+//!   padded serialization used by durability checkpoints;
+//! * [`metadata`] — aggregate client state plus full/delta checkpoints;
+//! * [`pool`] — the worker pool used for intra- and inter-request
+//!   parallelism;
+//! * [`client`] — [`client::RingOram`], the batched executor with dummiless
+//!   writes, epoch-local bucket buffering (delayed visibility), early
+//!   reshuffles, path logging hooks and recovery support.
+//!
+//! See DESIGN.md at the repository root for how these pieces map onto the
+//! sections of the paper and for the two documented deviations from
+//! canonical Ring ORAM (batch-boundary evictions and buffer-served reads).
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod bucket;
+pub mod client;
+pub mod codec;
+pub mod metadata;
+pub mod pool;
+pub mod position_map;
+pub mod stash;
+pub mod tree;
+
+pub use block::Block;
+pub use bucket::BucketMeta;
+pub use client::{ExecOptions, NoopPathLogger, OramStats, PathLogger, RingOram, SlotRead};
+pub use metadata::{MetaDelta, OramMeta};
+pub use pool::ThreadPool;
+pub use position_map::PositionMap;
+pub use stash::Stash;
+pub use tree::TreeGeometry;

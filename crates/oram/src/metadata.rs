@@ -1,0 +1,361 @@
+//! Aggregate client-side ORAM state and its (delta) serialization.
+//!
+//! Obladi's recovery design (§8) hinges on being able to persist and restore
+//! everything the Ring ORAM client keeps in memory: the position map, the
+//! per-bucket permutation / validity metadata, the stash, and the access /
+//! eviction counters.  [`OramMeta`] gathers that state; full and delta
+//! checkpoints are produced here and encrypted / logged by
+//! `obladi-core::durability`.
+
+use crate::bucket::BucketMeta;
+use crate::codec::{Decoder, Encoder};
+use crate::position_map::PositionMap;
+use crate::stash::Stash;
+use obladi_common::config::OramConfig;
+use obladi_common::error::{ObladiError, Result};
+use obladi_common::rng::DetRng;
+use obladi_common::types::{BucketId, Key, Leaf};
+use std::collections::HashSet;
+
+/// All client-side Ring ORAM state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OramMeta {
+    /// Tree configuration.
+    pub config: OramConfig,
+    /// Key → leaf map.
+    pub position: PositionMap,
+    /// Per-bucket metadata, indexed by bucket id.
+    pub buckets: Vec<BucketMeta>,
+    /// The client stash.
+    pub stash: Stash,
+    /// Number of logical accesses performed (reads + writes); evictions are
+    /// owed every `A` accesses.
+    pub access_count: u64,
+    /// Number of `evict_path` operations performed so far (`G`).
+    pub evict_count: u64,
+    /// Buckets whose metadata changed since the last delta checkpoint.
+    dirty_buckets: HashSet<BucketId>,
+}
+
+impl OramMeta {
+    /// Creates fresh metadata for an empty tree.
+    pub fn new(config: OramConfig, rng: &mut DetRng) -> Self {
+        let num_buckets = config.num_buckets() as usize;
+        let buckets = (0..num_buckets)
+            .map(|_| BucketMeta::fresh(config.z, config.s, rng))
+            .collect();
+        OramMeta {
+            config,
+            position: PositionMap::new(),
+            buckets,
+            stash: Stash::new(),
+            access_count: 0,
+            evict_count: 0,
+            dirty_buckets: HashSet::new(),
+        }
+    }
+
+    /// Marks a bucket's metadata as modified since the last checkpoint.
+    pub fn mark_bucket_dirty(&mut self, bucket: BucketId) {
+        self.dirty_buckets.insert(bucket);
+    }
+
+    /// Number of dirty buckets.
+    pub fn dirty_bucket_count(&self) -> usize {
+        self.dirty_buckets.len()
+    }
+
+    /// Serialises the complete state (full checkpoint).
+    pub fn encode_full(&self) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(1024 + self.buckets.len() * 64);
+        enc.put_u64(self.config.num_objects);
+        enc.put_u32(self.config.z);
+        enc.put_u32(self.config.s);
+        enc.put_u32(self.config.a);
+        enc.put_u32(self.config.levels);
+        enc.put_u64(self.config.block_size as u64);
+        enc.put_u64(self.config.max_stash as u64);
+        enc.put_u64(self.access_count);
+        enc.put_u64(self.evict_count);
+        enc.put_bytes(&self.position.encode());
+        enc.put_bytes(&self.stash.encode_padded(
+            self.config.max_stash,
+            self.config.block_size,
+        ));
+        enc.put_u64(self.buckets.len() as u64);
+        for bucket in &self.buckets {
+            bucket.encode(&mut enc);
+        }
+        enc.finish()
+    }
+
+    /// Restores state from a full checkpoint.
+    pub fn decode_full(bytes: &[u8]) -> Result<Self> {
+        let mut dec = Decoder::new(bytes);
+        let num_objects = dec.get_u64()?;
+        let z = dec.get_u32()?;
+        let s = dec.get_u32()?;
+        let a = dec.get_u32()?;
+        let levels = dec.get_u32()?;
+        let block_size = dec.get_u64()? as usize;
+        let max_stash = dec.get_u64()? as usize;
+        let config = OramConfig {
+            num_objects,
+            z,
+            s,
+            a,
+            levels,
+            block_size,
+            max_stash,
+        };
+        let access_count = dec.get_u64()?;
+        let evict_count = dec.get_u64()?;
+        let position = PositionMap::decode(&dec.get_bytes()?)?;
+        let stash = Stash::decode_padded(&dec.get_bytes()?)?;
+        let bucket_count = dec.get_u64()? as usize;
+        if bucket_count != config.num_buckets() as usize {
+            return Err(ObladiError::Codec(format!(
+                "checkpoint has {bucket_count} buckets, config implies {}",
+                config.num_buckets()
+            )));
+        }
+        let mut buckets = Vec::with_capacity(bucket_count);
+        for _ in 0..bucket_count {
+            buckets.push(BucketMeta::decode(&mut dec)?);
+        }
+        dec.expect_end()?;
+        Ok(OramMeta {
+            config,
+            position,
+            buckets,
+            stash,
+            access_count,
+            evict_count,
+            dirty_buckets: HashSet::new(),
+        })
+    }
+
+    /// Produces a delta checkpoint: the position-map delta (padded to
+    /// `max_position_delta` entries), the metadata of dirty buckets, the
+    /// full (padded) stash and the counters.  Clears the dirty sets.
+    pub fn take_delta(&mut self, max_position_delta: usize) -> MetaDelta {
+        let position_delta = self.position.take_delta();
+        let mut dirty: Vec<BucketId> = self.dirty_buckets.drain().collect();
+        dirty.sort_unstable();
+        let buckets = dirty
+            .iter()
+            .map(|&b| (b, self.buckets[b as usize].clone()))
+            .collect();
+        MetaDelta {
+            access_count: self.access_count,
+            evict_count: self.evict_count,
+            position_delta,
+            max_position_delta,
+            buckets,
+            stash: self.stash.clone(),
+            stash_pad: self.config.max_stash,
+            block_size: self.config.block_size,
+        }
+    }
+
+    /// Applies a delta checkpoint on top of the current state.
+    pub fn apply_delta(&mut self, delta: &MetaDelta) {
+        self.access_count = delta.access_count;
+        self.evict_count = delta.evict_count;
+        self.position.apply_delta(&delta.position_delta);
+        for (bucket, meta) in &delta.buckets {
+            self.buckets[*bucket as usize] = meta.clone();
+        }
+        self.stash = delta.stash.clone();
+    }
+
+    /// Sanity check: every key in the position map is present in exactly one
+    /// of stash or its path's buckets (used by invariant tests).
+    pub fn locate_key(&self, key: Key, path: &[BucketId]) -> KeyLocation {
+        if self.stash.contains(key) {
+            return KeyLocation::Stash;
+        }
+        for &bucket in path {
+            if self.buckets[bucket as usize].find_key(key).is_some() {
+                return KeyLocation::Bucket(bucket);
+            }
+        }
+        KeyLocation::Missing
+    }
+}
+
+/// Where a key currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyLocation {
+    /// In the client stash.
+    Stash,
+    /// In the given bucket.
+    Bucket(BucketId),
+    /// Nowhere (not yet written, or lost — a bug if the key exists).
+    Missing,
+}
+
+/// A delta checkpoint of the proxy's ORAM metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetaDelta {
+    /// Logical access counter at checkpoint time.
+    pub access_count: u64,
+    /// Eviction counter at checkpoint time.
+    pub evict_count: u64,
+    /// Position-map changes since the previous checkpoint.
+    pub position_delta: Vec<(Key, Option<Leaf>)>,
+    /// Number of entries the position delta is padded to when encoded.
+    pub max_position_delta: usize,
+    /// Metadata of buckets touched since the previous checkpoint.
+    pub buckets: Vec<(BucketId, BucketMeta)>,
+    /// Full stash at checkpoint time.
+    pub stash: Stash,
+    /// Number of entries the stash is padded to when encoded.
+    pub stash_pad: usize,
+    /// Block size used for stash padding.
+    pub block_size: usize,
+}
+
+impl MetaDelta {
+    /// Serialises the delta.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u64(self.access_count);
+        enc.put_u64(self.evict_count);
+        enc.put_bytes(&PositionMap::encode_delta(
+            &self.position_delta,
+            self.max_position_delta,
+        ));
+        enc.put_u64(self.buckets.len() as u64);
+        for (bucket, meta) in &self.buckets {
+            enc.put_u64(*bucket);
+            meta.encode(&mut enc);
+        }
+        enc.put_bytes(&self.stash.encode_padded(self.stash_pad, self.block_size));
+        enc.put_u64(self.stash_pad as u64);
+        enc.put_u64(self.block_size as u64);
+        enc.put_u64(self.max_position_delta as u64);
+        enc.finish()
+    }
+
+    /// Deserialises a delta.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut dec = Decoder::new(bytes);
+        let access_count = dec.get_u64()?;
+        let evict_count = dec.get_u64()?;
+        let position_delta = PositionMap::decode_delta(&dec.get_bytes()?)?;
+        let bucket_count = dec.get_u64()? as usize;
+        let mut buckets = Vec::with_capacity(bucket_count);
+        for _ in 0..bucket_count {
+            let id = dec.get_u64()?;
+            buckets.push((id, BucketMeta::decode(&mut dec)?));
+        }
+        let stash = Stash::decode_padded(&dec.get_bytes()?)?;
+        let stash_pad = dec.get_u64()? as usize;
+        let block_size = dec.get_u64()? as usize;
+        let max_position_delta = dec.get_u64()? as usize;
+        dec.expect_end()?;
+        Ok(MetaDelta {
+            access_count,
+            evict_count,
+            position_delta,
+            max_position_delta,
+            buckets,
+            stash,
+            stash_pad,
+            block_size,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_meta() -> OramMeta {
+        let config = OramConfig::small_for_tests(64);
+        let mut rng = DetRng::new(3);
+        OramMeta::new(config, &mut rng)
+    }
+
+    #[test]
+    fn new_meta_has_fresh_buckets() {
+        let meta = small_meta();
+        assert_eq!(meta.buckets.len() as u64, meta.config.num_buckets());
+        assert!(meta.position.is_empty());
+        assert!(meta.stash.is_empty());
+        assert_eq!(meta.access_count, 0);
+    }
+
+    #[test]
+    fn full_checkpoint_roundtrip() {
+        let mut meta = small_meta();
+        meta.position.set(4, 2);
+        meta.position.set(9, 1);
+        meta.stash.insert(9, 1, vec![5; 8], 100).unwrap();
+        meta.buckets[0].real[0] = Some((4, 2));
+        meta.access_count = 17;
+        meta.evict_count = 2;
+
+        let restored = OramMeta::decode_full(&meta.encode_full()).unwrap();
+        assert_eq!(restored.config, meta.config);
+        assert_eq!(restored.access_count, 17);
+        assert_eq!(restored.evict_count, 2);
+        assert_eq!(restored.position.get(4), Some(2));
+        assert_eq!(restored.stash.get(9), Some((1, &vec![5; 8])));
+        assert_eq!(restored.buckets[0].real[0], Some((4, 2)));
+    }
+
+    #[test]
+    fn delta_roundtrip_restores_changes() {
+        let mut meta = small_meta();
+        let mut replica = meta.clone();
+
+        meta.position.set(1, 3);
+        meta.buckets[2].real[0] = Some((1, 3));
+        meta.mark_bucket_dirty(2);
+        meta.stash.insert(5, 0, vec![1], 100).unwrap();
+        meta.access_count = 9;
+
+        let delta = meta.take_delta(16);
+        let decoded = MetaDelta::decode(&delta.encode()).unwrap();
+        assert_eq!(decoded, delta);
+
+        replica.apply_delta(&decoded);
+        assert_eq!(replica.position.get(1), Some(3));
+        assert_eq!(replica.buckets[2].real[0], Some((1, 3)));
+        assert!(replica.stash.contains(5));
+        assert_eq!(replica.access_count, 9);
+    }
+
+    #[test]
+    fn delta_is_cleared_after_take() {
+        let mut meta = small_meta();
+        meta.position.set(1, 1);
+        meta.mark_bucket_dirty(0);
+        let first = meta.take_delta(8);
+        assert_eq!(first.buckets.len(), 1);
+        assert_eq!(first.position_delta.len(), 1);
+        let second = meta.take_delta(8);
+        assert!(second.buckets.is_empty());
+        assert!(second.position_delta.is_empty());
+    }
+
+    #[test]
+    fn locate_key_distinguishes_stash_bucket_missing() {
+        let mut meta = small_meta();
+        meta.stash.insert(10, 0, vec![], 100).unwrap();
+        meta.buckets[1].real[0] = Some((11, 0));
+        assert_eq!(meta.locate_key(10, &[0, 1]), KeyLocation::Stash);
+        assert_eq!(meta.locate_key(11, &[0, 1]), KeyLocation::Bucket(1));
+        assert_eq!(meta.locate_key(12, &[0, 1]), KeyLocation::Missing);
+    }
+
+    #[test]
+    fn corrupt_full_checkpoint_is_rejected() {
+        let meta = small_meta();
+        let mut bytes = meta.encode_full();
+        bytes.truncate(bytes.len() / 2);
+        assert!(OramMeta::decode_full(&bytes).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! A small persistent worker pool used by the parallel ORAM executor (§7).
+//!
+//! Physical slot reads of a batch are independent of each other (Ring ORAM
+//! never reads the same physical slot twice between reshuffles, and write
+//! deduplication guarantees each bucket is written at most once per epoch),
+//! so they can all be issued concurrently.  Workers are plain OS threads:
+//! most of their time is spent blocked on simulated storage latency, so a
+//! generous thread count is cheap and models the asynchronous I/O of the
+//! original Java implementation.
+
+use crossbeam::channel::{unbounded, Sender};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads with a scatter/gather helper.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `size` workers (at least 1).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (sender, receiver) = unbounded::<Job>();
+        let mut workers = Vec::with_capacity(size);
+        for i in 0..size {
+            let receiver = receiver.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("oram-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = receiver.recv() {
+                        job();
+                    }
+                })
+                .expect("failed to spawn ORAM worker thread");
+            workers.push(handle);
+        }
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+            size,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Runs `f` over every item of `items` on the pool and returns the
+    /// results in input order.  Blocks until all items have completed.
+    ///
+    /// `f` must be cheap to clone (it is shared by reference through an
+    /// `Arc` internally); items are moved to the workers.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        // For a single item (or a single worker) avoid the scatter/gather
+        // overhead entirely.
+        if items.len() == 1 {
+            let mut items = items;
+            return vec![f(items.pop().expect("len checked"))];
+        }
+
+        let shared = std::sync::Arc::new(f);
+        let (result_tx, result_rx) = mpsc::channel::<(usize, R)>();
+        let count = items.len();
+        let sender = self.sender.as_ref().expect("pool not shut down");
+        for (idx, item) in items.into_iter().enumerate() {
+            let f = shared.clone();
+            let tx = result_tx.clone();
+            let job: Job = Box::new(move || {
+                let result = f(item);
+                // The receiver only disappears if the caller panicked.
+                let _ = tx.send((idx, result));
+            });
+            sender.send(job).expect("worker pool channel closed");
+        }
+        drop(result_tx);
+
+        let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
+        for _ in 0..count {
+            let (idx, result) = result_rx.recv().expect("worker dropped result");
+            slots[idx] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("all results received"))
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel makes the workers exit their recv loop.
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = ThreadPool::new(4);
+        let results = pool.map((0..100).collect(), |x: i32| x * 2);
+        assert_eq!(results, (0..100).map(|x| x * 2).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = ThreadPool::new(2);
+        let empty: Vec<i32> = pool.map(Vec::<i32>::new(), |x| x);
+        assert!(empty.is_empty());
+        assert_eq!(pool.map(vec![5], |x: i32| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn work_actually_runs_concurrently() {
+        let pool = ThreadPool::new(8);
+        let start = Instant::now();
+        pool.map((0..8).collect(), |_x: i32| {
+            std::thread::sleep(Duration::from_millis(50));
+        });
+        // Eight 50 ms sleeps on eight workers should take well under 400 ms.
+        assert!(
+            start.elapsed() < Duration::from_millis(200),
+            "elapsed {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn all_items_processed_exactly_once() {
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        pool.map((0..500).collect(), move |_x: i32| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 500);
+    }
+
+    #[test]
+    fn pool_of_size_zero_is_clamped_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+        assert_eq!(pool.map(vec![1, 2, 3], |x: i32| x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pool_can_be_reused_across_many_batches() {
+        let pool = ThreadPool::new(4);
+        for round in 0..20 {
+            let results = pool.map((0..50).collect(), move |x: i32| x + round);
+            assert_eq!(results.len(), 50);
+            assert_eq!(results[0], round);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Geometry of the Ring ORAM binary tree.
+//!
+//! Buckets are numbered heap-style: the root is bucket `0`, the children of
+//! bucket `i` are `2i + 1` and `2i + 2`.  A tree with `levels` levels has
+//! `2^(levels-1)` leaves and `2^levels - 1` buckets.  Leaves are labelled
+//! `0..num_leaves` from left to right; the *path* to leaf `l` is the list of
+//! buckets from the root down to the leaf bucket.
+//!
+//! Eviction targets follow Ring ORAM's deterministic reverse-lexicographic
+//! order: the `g`-th eviction touches the path whose leaf label is the
+//! bit-reversal of `g mod num_leaves`.  This determinism is what Obladi's
+//! recovery exploits to recompute bucket versions without logging them (§8).
+
+use obladi_common::config::OramConfig;
+use obladi_common::types::{BucketId, Leaf};
+
+/// Tree geometry helper derived from an [`OramConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeGeometry {
+    /// Number of levels (root is level 0).
+    pub levels: u32,
+}
+
+impl TreeGeometry {
+    /// Builds the geometry for a configuration.
+    pub fn new(config: &OramConfig) -> Self {
+        TreeGeometry {
+            levels: config.levels,
+        }
+    }
+
+    /// Builds a geometry directly from a level count (tests).
+    pub fn with_levels(levels: u32) -> Self {
+        assert!(levels >= 1 && levels <= 40);
+        TreeGeometry { levels }
+    }
+
+    /// Number of leaves (`2^(levels-1)`).
+    pub fn num_leaves(&self) -> u64 {
+        1u64 << (self.levels - 1)
+    }
+
+    /// Number of buckets (`2^levels - 1`).
+    pub fn num_buckets(&self) -> u64 {
+        (1u64 << self.levels) - 1
+    }
+
+    /// The bucket at `level` on the path from the root to `leaf`.
+    ///
+    /// `level` 0 is the root; `level == levels - 1` is the leaf bucket.
+    pub fn bucket_at(&self, leaf: Leaf, level: u32) -> BucketId {
+        debug_assert!(leaf < self.num_leaves());
+        debug_assert!(level < self.levels);
+        let first_of_level = (1u64 << level) - 1;
+        let offset = leaf >> (self.levels - 1 - level);
+        first_of_level + offset
+    }
+
+    /// All buckets on the path from root to `leaf`, root first.
+    pub fn path(&self, leaf: Leaf) -> Vec<BucketId> {
+        (0..self.levels).map(|lvl| self.bucket_at(leaf, lvl)).collect()
+    }
+
+    /// The level of a bucket (root = 0).
+    pub fn level_of(&self, bucket: BucketId) -> u32 {
+        debug_assert!(bucket < self.num_buckets());
+        (64 - (bucket + 1).leading_zeros() - 1) as u32
+    }
+
+    /// Deepest level at which the paths to `a` and `b` share a bucket.
+    ///
+    /// Level 0 (the root) is always shared; the result is `levels - 1` when
+    /// `a == b`.
+    pub fn shared_depth(&self, a: Leaf, b: Leaf) -> u32 {
+        let width = self.levels - 1;
+        if width == 0 {
+            return 0;
+        }
+        let diff = a ^ b;
+        if diff == 0 {
+            return width;
+        }
+        // Number of identical leading bits among the `width`-bit labels.
+        let highest = 63 - diff.leading_zeros() as u64;
+        (width as u64 - 1 - highest) as u32
+    }
+
+    /// Whether `bucket` lies on the path to `leaf`.
+    pub fn on_path(&self, bucket: BucketId, leaf: Leaf) -> bool {
+        let level = self.level_of(bucket);
+        self.bucket_at(leaf, level) == bucket
+    }
+
+    /// The deterministic eviction target for the `g`-th `evict_path`
+    /// (reverse-lexicographic order).
+    pub fn evict_target(&self, g: u64) -> Leaf {
+        let width = self.levels - 1;
+        if width == 0 {
+            return 0;
+        }
+        let index = g % self.num_leaves();
+        // Bit-reverse `index` within `width` bits.
+        let mut reversed = 0u64;
+        for bit in 0..width {
+            if (index >> bit) & 1 == 1 {
+                reversed |= 1 << (width - 1 - bit);
+            }
+        }
+        reversed
+    }
+
+    /// Iterator over all bucket ids.
+    pub fn all_buckets(&self) -> impl Iterator<Item = BucketId> {
+        0..self.num_buckets()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn geo(levels: u32) -> TreeGeometry {
+        TreeGeometry::with_levels(levels)
+    }
+
+    #[test]
+    fn counts_match_formulae() {
+        let g = geo(4);
+        assert_eq!(g.num_leaves(), 8);
+        assert_eq!(g.num_buckets(), 15);
+        let g1 = geo(1);
+        assert_eq!(g1.num_leaves(), 1);
+        assert_eq!(g1.num_buckets(), 1);
+    }
+
+    #[test]
+    fn path_walks_root_to_leaf() {
+        let g = geo(4);
+        // Leaf 0 is the leftmost path.
+        assert_eq!(g.path(0), vec![0, 1, 3, 7]);
+        // Leaf 7 is the rightmost path.
+        assert_eq!(g.path(7), vec![0, 2, 6, 14]);
+        // Leaf 5 = binary 101: root, right, left, right.
+        assert_eq!(g.path(5), vec![0, 2, 5, 12]);
+    }
+
+    #[test]
+    fn level_of_inverts_bucket_at() {
+        let g = geo(5);
+        for leaf in 0..g.num_leaves() {
+            for level in 0..g.levels {
+                let bucket = g.bucket_at(leaf, level);
+                assert_eq!(g.level_of(bucket), level);
+                assert!(g.on_path(bucket, leaf));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_depth_properties() {
+        let g = geo(4);
+        assert_eq!(g.shared_depth(3, 3), 3);
+        assert_eq!(g.shared_depth(0, 7), 0);
+        // Leaves 0 (000) and 1 (001) share the first two branches.
+        assert_eq!(g.shared_depth(0, 1), 2);
+        // Leaves 0 (000) and 2 (010) share only the first branch.
+        assert_eq!(g.shared_depth(0, 2), 1);
+        // Symmetric.
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(g.shared_depth(a, b), g.shared_depth(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_depth_matches_path_intersection() {
+        let g = geo(5);
+        for a in 0..g.num_leaves() {
+            for b in 0..g.num_leaves() {
+                let pa = g.path(a);
+                let pb = g.path(b);
+                let common = pa.iter().zip(pb.iter()).take_while(|(x, y)| x == y).count() as u32;
+                assert_eq!(g.shared_depth(a, b), common - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn evict_targets_cycle_through_all_leaves() {
+        let g = geo(4);
+        let targets: HashSet<Leaf> = (0..g.num_leaves()).map(|i| g.evict_target(i)).collect();
+        assert_eq!(targets.len() as u64, g.num_leaves());
+        // The order is the reverse-lexicographic order: consecutive targets
+        // alternate between left and right subtrees.
+        assert_eq!(g.evict_target(0), 0);
+        assert_eq!(g.evict_target(1), 4);
+        assert_eq!(g.evict_target(2), 2);
+        assert_eq!(g.evict_target(3), 6);
+        // The sequence repeats with period num_leaves.
+        assert_eq!(g.evict_target(8), g.evict_target(0));
+    }
+
+    #[test]
+    fn single_level_tree_is_degenerate_but_valid() {
+        let g = geo(1);
+        assert_eq!(g.path(0), vec![0]);
+        assert_eq!(g.evict_target(5), 0);
+        assert_eq!(g.shared_depth(0, 0), 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Fault-injection wrapper for integrity and recovery testing.
+//!
+//! Appendix A reduces a malicious storage server to denial of service by
+//! MACing every value with a freshness counter.  To test that the proxy
+//! really detects substitution, staleness and corruption, [`FaultyStore`]
+//! wraps any [`UntrustedStore`] and misbehaves according to a [`FaultPlan`]:
+//! it can corrupt read payloads, replay stale bucket versions, or fail
+//! operations outright after a configurable number of successes.
+
+use crate::traits::{BucketSnapshot, StoreStats, UntrustedStore};
+use bytes::Bytes;
+use obladi_common::error::{ObladiError, Result};
+use obladi_common::rng::DetRng;
+use obladi_common::types::{BucketId, Version};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What kind of misbehaviour to inject and how often.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Probability that a slot read returns corrupted bytes.
+    pub corrupt_read_prob: f64,
+    /// Probability that a slot read is served from a stale version of the
+    /// bucket (if one is retained).
+    pub stale_read_prob: f64,
+    /// Fail every operation after this many successful ones
+    /// (`u64::MAX` = never).
+    pub fail_after: u64,
+}
+
+impl FaultPlan {
+    /// A plan that never injects faults.
+    pub fn none() -> Self {
+        FaultPlan {
+            corrupt_read_prob: 0.0,
+            stale_read_prob: 0.0,
+            fail_after: u64::MAX,
+        }
+    }
+
+    /// A plan that corrupts reads with probability `p`.
+    pub fn corrupt(p: f64) -> Self {
+        FaultPlan {
+            corrupt_read_prob: p,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// A plan that serves stale data with probability `p`.
+    pub fn stale(p: f64) -> Self {
+        FaultPlan {
+            stale_read_prob: p,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// A plan that makes every operation fail after `n` successes.
+    pub fn fail_after(n: u64) -> Self {
+        FaultPlan {
+            fail_after: n,
+            ..FaultPlan::none()
+        }
+    }
+}
+
+/// An [`UntrustedStore`] wrapper that misbehaves on purpose.
+pub struct FaultyStore {
+    inner: Arc<dyn UntrustedStore>,
+    plan: Mutex<FaultPlan>,
+    rng: Mutex<DetRng>,
+    ops: AtomicU64,
+    injected: AtomicU64,
+    stale_cache: Mutex<std::collections::HashMap<BucketId, Vec<Bytes>>>,
+}
+
+impl FaultyStore {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: Arc<dyn UntrustedStore>, plan: FaultPlan, seed: u64) -> Self {
+        FaultyStore {
+            inner,
+            plan: Mutex::new(plan),
+            rng: Mutex::new(DetRng::new(seed ^ 0xfa17)),
+            ops: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            stale_cache: Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected_faults(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Replaces the fault plan.
+    ///
+    /// Tests use this to behave correctly while the database is loaded and
+    /// only then start misbehaving — the scenario Appendix A cares about,
+    /// where an initially honest server turns malicious.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.plan.lock() = plan;
+    }
+
+    /// The currently active fault plan.
+    pub fn plan(&self) -> FaultPlan {
+        *self.plan.lock()
+    }
+
+    fn check_hard_failure(&self) -> Result<()> {
+        let fail_after = self.plan.lock().fail_after;
+        let n = self.ops.fetch_add(1, Ordering::SeqCst);
+        if n >= fail_after {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(ObladiError::Storage(
+                "injected hard failure (fail_after reached)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn maybe_corrupt(&self, data: Bytes) -> Bytes {
+        let corrupt = {
+            let probability = self.plan.lock().corrupt_read_prob;
+            let mut rng = self.rng.lock();
+            rng.chance(probability)
+        };
+        if corrupt && !data.is_empty() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            let mut owned = data.to_vec();
+            let mid = owned.len() / 2;
+            owned[mid] ^= 0xa5;
+            Bytes::from(owned)
+        } else {
+            data
+        }
+    }
+}
+
+impl UntrustedStore for FaultyStore {
+    fn read_slot(&self, bucket: BucketId, slot: u32) -> Result<Bytes> {
+        self.check_hard_failure()?;
+        let serve_stale = {
+            let probability = self.plan.lock().stale_read_prob;
+            let mut rng = self.rng.lock();
+            rng.chance(probability)
+        };
+        if serve_stale {
+            if let Some(old) = self
+                .stale_cache
+                .lock()
+                .get(&bucket)
+                .and_then(|slots| slots.get(slot as usize).cloned())
+            {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return Ok(old);
+            }
+        }
+        let data = self.inner.read_slot(bucket, slot)?;
+        Ok(self.maybe_corrupt(data))
+    }
+
+    fn read_bucket(&self, bucket: BucketId) -> Result<BucketSnapshot> {
+        self.check_hard_failure()?;
+        self.inner.read_bucket(bucket)
+    }
+
+    fn write_bucket(&self, bucket: BucketId, slots: Vec<Bytes>) -> Result<Version> {
+        self.check_hard_failure()?;
+        // Remember the previous version so stale reads can replay it later.
+        if self.plan.lock().stale_read_prob > 0.0 {
+            if let Ok(snapshot) = self.inner.read_bucket(bucket) {
+                if !snapshot.slots.is_empty() {
+                    self.stale_cache.lock().insert(bucket, snapshot.slots);
+                }
+            }
+        }
+        self.inner.write_bucket(bucket, slots)
+    }
+
+    fn bucket_version(&self, bucket: BucketId) -> Result<Version> {
+        self.inner.bucket_version(bucket)
+    }
+
+    fn revert_bucket(&self, bucket: BucketId, version: Version) -> Result<()> {
+        self.check_hard_failure()?;
+        self.inner.revert_bucket(bucket, version)
+    }
+
+    fn put_meta(&self, key: &str, value: Bytes) -> Result<()> {
+        self.check_hard_failure()?;
+        self.inner.put_meta(key, value)
+    }
+
+    fn get_meta(&self, key: &str) -> Result<Option<Bytes>> {
+        self.check_hard_failure()?;
+        match self.inner.get_meta(key)? {
+            Some(v) => Ok(Some(self.maybe_corrupt(v))),
+            None => Ok(None),
+        }
+    }
+
+    fn append_log(&self, record: Bytes) -> Result<u64> {
+        self.check_hard_failure()?;
+        self.inner.append_log(record)
+    }
+
+    fn read_log_from(&self, from: u64) -> Result<Vec<(u64, Bytes)>> {
+        self.check_hard_failure()?;
+        self.inner.read_log_from(from)
+    }
+
+    fn truncate_log(&self, up_to: u64) -> Result<()> {
+        self.inner.truncate_log(up_to)
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryStore;
+
+    fn base() -> Arc<InMemoryStore> {
+        let store = Arc::new(InMemoryStore::new());
+        store
+            .write_bucket(0, vec![Bytes::from_static(b"original")])
+            .unwrap();
+        store
+    }
+
+    #[test]
+    fn no_faults_is_transparent() {
+        let store = FaultyStore::new(base(), FaultPlan::none(), 1);
+        for _ in 0..50 {
+            assert_eq!(&store.read_slot(0, 0).unwrap()[..], b"original");
+        }
+        assert_eq!(store.injected_faults(), 0);
+    }
+
+    #[test]
+    fn corruption_is_injected_at_roughly_the_requested_rate() {
+        let store = FaultyStore::new(base(), FaultPlan::corrupt(0.5), 2);
+        let mut corrupted = 0;
+        for _ in 0..200 {
+            if &store.read_slot(0, 0).unwrap()[..] != b"original" {
+                corrupted += 1;
+            }
+        }
+        assert!(corrupted > 50 && corrupted < 150, "corrupted {corrupted}");
+        assert_eq!(store.injected_faults(), corrupted);
+    }
+
+    #[test]
+    fn stale_reads_replay_previous_version() {
+        let store = FaultyStore::new(base(), FaultPlan::stale(1.0), 3);
+        store
+            .write_bucket(0, vec![Bytes::from_static(b"updated!")])
+            .unwrap();
+        // With probability 1.0 every read now replays the stale version.
+        assert_eq!(&store.read_slot(0, 0).unwrap()[..], b"original");
+        assert!(store.injected_faults() > 0);
+    }
+
+    #[test]
+    fn plan_can_be_swapped_at_runtime() {
+        let store = FaultyStore::new(base(), FaultPlan::none(), 9);
+        assert_eq!(&store.read_slot(0, 0).unwrap()[..], b"original");
+        store.set_plan(FaultPlan::corrupt(1.0));
+        assert_eq!(store.plan().corrupt_read_prob, 1.0);
+        assert_ne!(&store.read_slot(0, 0).unwrap()[..], b"original");
+        store.set_plan(FaultPlan::none());
+        assert_eq!(&store.read_slot(0, 0).unwrap()[..], b"original");
+    }
+
+    #[test]
+    fn hard_failure_kicks_in_after_n_operations() {
+        let store = FaultyStore::new(base(), FaultPlan::fail_after(5), 4);
+        let mut failures = 0;
+        for _ in 0..10 {
+            if store.read_slot(0, 0).is_err() {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 5);
+    }
+}

@@ -1,0 +1,374 @@
+//! In-memory reference implementation of [`UntrustedStore`].
+//!
+//! The paper's `server` backends are remote in-memory hashmaps; this module
+//! provides the hashmap.  Latency is added separately by
+//! [`crate::latency::LatencyStore`], so this type can also serve directly as
+//! the zero-latency `dummy` backend.
+//!
+//! Buckets are *versioned*: every [`UntrustedStore::write_bucket`] appends a
+//! new version instead of overwriting, keeping a bounded history so the
+//! recovery logic can revert the ORAM to the state of the last durable epoch
+//! (shadow paging, §8).
+
+use crate::traits::{BucketSnapshot, StoreStats, UntrustedStore};
+use bytes::Bytes;
+use obladi_common::error::{ObladiError, Result};
+use obladi_common::types::{BucketId, Version};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How many historical versions of each bucket are retained.
+///
+/// Recovery only ever reverts to the previous durable epoch, and a bucket is
+/// written at most a handful of times per epoch (once, after write
+/// deduplication), so a small history suffices.
+const VERSION_HISTORY: usize = 8;
+
+#[derive(Debug, Default)]
+struct VersionedBucket {
+    /// `(version, slots)` pairs, oldest first, at most [`VERSION_HISTORY`].
+    versions: Vec<(Version, Vec<Bytes>)>,
+}
+
+impl VersionedBucket {
+    fn current(&self) -> Option<&(Version, Vec<Bytes>)> {
+        self.versions.last()
+    }
+
+    fn push(&mut self, slots: Vec<Bytes>) -> Version {
+        let next = self.current().map(|(v, _)| v + 1).unwrap_or(1);
+        self.versions.push((next, slots));
+        if self.versions.len() > VERSION_HISTORY {
+            self.versions.remove(0);
+        }
+        next
+    }
+
+    fn revert_to(&mut self, version: Version) -> Result<()> {
+        if version == 0 {
+            self.versions.clear();
+            return Ok(());
+        }
+        if let Some(pos) = self.versions.iter().position(|(v, _)| *v == version) {
+            self.versions.truncate(pos + 1);
+            Ok(())
+        } else {
+            Err(ObladiError::Storage(format!(
+                "cannot revert to version {version}: not in retained history"
+            )))
+        }
+    }
+}
+
+/// Thread-safe in-memory storage server.
+#[derive(Default)]
+pub struct InMemoryStore {
+    buckets: RwLock<HashMap<BucketId, VersionedBucket>>,
+    meta: RwLock<HashMap<String, Bytes>>,
+    log: Mutex<BTreeMap<u64, Bytes>>,
+    next_log_seq: AtomicU64,
+    slot_reads: AtomicU64,
+    bucket_writes: AtomicU64,
+    meta_reads: AtomicU64,
+    meta_writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl InMemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        InMemoryStore::default()
+    }
+
+    /// Number of buckets that have been written at least once.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.read().len()
+    }
+
+    /// Number of log records currently retained.
+    pub fn log_len(&self) -> usize {
+        self.log.lock().len()
+    }
+}
+
+impl UntrustedStore for InMemoryStore {
+    fn read_slot(&self, bucket: BucketId, slot: u32) -> Result<Bytes> {
+        self.slot_reads.fetch_add(1, Ordering::Relaxed);
+        let buckets = self.buckets.read();
+        let versioned = buckets.get(&bucket).ok_or_else(|| {
+            ObladiError::Storage(format!("bucket {bucket} has never been written"))
+        })?;
+        let (_, slots) = versioned
+            .current()
+            .ok_or_else(|| ObladiError::Storage(format!("bucket {bucket} is empty")))?;
+        let data = slots.get(slot as usize).ok_or_else(|| {
+            ObladiError::Storage(format!(
+                "slot {slot} out of range for bucket {bucket} ({} slots)",
+                slots.len()
+            ))
+        })?;
+        self.bytes_read
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(data.clone())
+    }
+
+    fn read_bucket(&self, bucket: BucketId) -> Result<BucketSnapshot> {
+        self.meta_reads.fetch_add(1, Ordering::Relaxed);
+        let buckets = self.buckets.read();
+        match buckets.get(&bucket).and_then(|b| b.current()) {
+            Some((version, slots)) => {
+                let total: usize = slots.iter().map(|s| s.len()).sum();
+                self.bytes_read.fetch_add(total as u64, Ordering::Relaxed);
+                Ok(BucketSnapshot {
+                    version: *version,
+                    slots: slots.clone(),
+                })
+            }
+            None => Ok(BucketSnapshot {
+                version: 0,
+                slots: Vec::new(),
+            }),
+        }
+    }
+
+    fn write_bucket(&self, bucket: BucketId, slots: Vec<Bytes>) -> Result<Version> {
+        self.bucket_writes.fetch_add(1, Ordering::Relaxed);
+        let total: usize = slots.iter().map(|s| s.len()).sum();
+        self.bytes_written
+            .fetch_add(total as u64, Ordering::Relaxed);
+        let mut buckets = self.buckets.write();
+        Ok(buckets.entry(bucket).or_default().push(slots))
+    }
+
+    fn bucket_version(&self, bucket: BucketId) -> Result<Version> {
+        let buckets = self.buckets.read();
+        Ok(buckets
+            .get(&bucket)
+            .and_then(|b| b.current())
+            .map(|(v, _)| *v)
+            .unwrap_or(0))
+    }
+
+    fn revert_bucket(&self, bucket: BucketId, version: Version) -> Result<()> {
+        let mut buckets = self.buckets.write();
+        match buckets.get_mut(&bucket) {
+            Some(b) => b.revert_to(version),
+            None if version == 0 => Ok(()),
+            None => Err(ObladiError::Storage(format!(
+                "cannot revert unknown bucket {bucket} to version {version}"
+            ))),
+        }
+    }
+
+    fn put_meta(&self, key: &str, value: Bytes) -> Result<()> {
+        self.meta_writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(value.len() as u64, Ordering::Relaxed);
+        self.meta.write().insert(key.to_string(), value);
+        Ok(())
+    }
+
+    fn get_meta(&self, key: &str) -> Result<Option<Bytes>> {
+        self.meta_reads.fetch_add(1, Ordering::Relaxed);
+        let value = self.meta.read().get(key).cloned();
+        if let Some(v) = &value {
+            self.bytes_read.fetch_add(v.len() as u64, Ordering::Relaxed);
+        }
+        Ok(value)
+    }
+
+    fn append_log(&self, record: Bytes) -> Result<u64> {
+        self.meta_writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(record.len() as u64, Ordering::Relaxed);
+        let seq = self.next_log_seq.fetch_add(1, Ordering::SeqCst);
+        self.log.lock().insert(seq, record);
+        Ok(seq)
+    }
+
+    fn read_log_from(&self, from: u64) -> Result<Vec<(u64, Bytes)>> {
+        self.meta_reads.fetch_add(1, Ordering::Relaxed);
+        let log = self.log.lock();
+        let records: Vec<(u64, Bytes)> = log
+            .range(from..)
+            .map(|(seq, data)| (*seq, data.clone()))
+            .collect();
+        let total: usize = records.iter().map(|(_, d)| d.len()).sum();
+        self.bytes_read.fetch_add(total as u64, Ordering::Relaxed);
+        Ok(records)
+    }
+
+    fn truncate_log(&self, up_to: u64) -> Result<()> {
+        let mut log = self.log.lock();
+        let keep = log.split_off(&up_to);
+        *log = keep;
+        Ok(())
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            slot_reads: self.slot_reads.load(Ordering::Relaxed),
+            bucket_writes: self.bucket_writes.load(Ordering::Relaxed),
+            meta_reads: self.meta_reads.load(Ordering::Relaxed),
+            meta_writes: self.meta_writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset_stats(&self) {
+        self.slot_reads.store(0, Ordering::Relaxed);
+        self.bucket_writes.store(0, Ordering::Relaxed);
+        self.meta_reads.store(0, Ordering::Relaxed);
+        self.meta_writes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slots(tag: u8, n: usize) -> Vec<Bytes> {
+        (0..n).map(|i| Bytes::from(vec![tag, i as u8])).collect()
+    }
+
+    #[test]
+    fn write_then_read_slot() {
+        let store = InMemoryStore::new();
+        store.write_bucket(5, slots(1, 4)).unwrap();
+        assert_eq!(&store.read_slot(5, 2).unwrap()[..], &[1, 2]);
+        assert!(store.read_slot(5, 9).is_err());
+        assert!(store.read_slot(6, 0).is_err());
+    }
+
+    #[test]
+    fn versions_increment_and_revert() {
+        let store = InMemoryStore::new();
+        assert_eq!(store.bucket_version(1).unwrap(), 0);
+        let v1 = store.write_bucket(1, slots(1, 2)).unwrap();
+        let v2 = store.write_bucket(1, slots(2, 2)).unwrap();
+        assert_eq!((v1, v2), (1, 2));
+        assert_eq!(&store.read_slot(1, 0).unwrap()[..], &[2, 0]);
+
+        store.revert_bucket(1, v1).unwrap();
+        assert_eq!(store.bucket_version(1).unwrap(), v1);
+        assert_eq!(&store.read_slot(1, 0).unwrap()[..], &[1, 0]);
+    }
+
+    #[test]
+    fn revert_to_zero_clears_bucket() {
+        let store = InMemoryStore::new();
+        store.write_bucket(7, slots(1, 1)).unwrap();
+        store.revert_bucket(7, 0).unwrap();
+        assert_eq!(store.bucket_version(7).unwrap(), 0);
+        assert!(store.read_slot(7, 0).is_err());
+    }
+
+    #[test]
+    fn revert_to_unknown_version_errors() {
+        let store = InMemoryStore::new();
+        store.write_bucket(2, slots(1, 1)).unwrap();
+        assert!(store.revert_bucket(2, 99).is_err());
+        assert!(store.revert_bucket(3, 5).is_err());
+    }
+
+    #[test]
+    fn version_history_is_bounded() {
+        let store = InMemoryStore::new();
+        for _ in 0..50 {
+            store.write_bucket(4, slots(9, 1)).unwrap();
+        }
+        // Old versions beyond the retained window cannot be reverted to.
+        assert!(store.revert_bucket(4, 1).is_err());
+        assert_eq!(store.bucket_version(4).unwrap(), 50);
+    }
+
+    #[test]
+    fn meta_roundtrip() {
+        let store = InMemoryStore::new();
+        assert_eq!(store.get_meta("checkpoint").unwrap(), None);
+        store
+            .put_meta("checkpoint", Bytes::from_static(b"state"))
+            .unwrap();
+        assert_eq!(
+            store.get_meta("checkpoint").unwrap().unwrap(),
+            Bytes::from_static(b"state")
+        );
+    }
+
+    #[test]
+    fn log_append_read_truncate() {
+        let store = InMemoryStore::new();
+        for i in 0..5u8 {
+            let seq = store.append_log(Bytes::from(vec![i])).unwrap();
+            assert_eq!(seq, i as u64);
+        }
+        let all = store.read_log_from(0).unwrap();
+        assert_eq!(all.len(), 5);
+        let tail = store.read_log_from(3).unwrap();
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].0, 3);
+
+        store.truncate_log(3).unwrap();
+        let after = store.read_log_from(0).unwrap();
+        assert_eq!(after.len(), 2);
+        assert_eq!(after[0].0, 3);
+        // Sequence numbers keep increasing after truncation.
+        assert_eq!(store.append_log(Bytes::from_static(b"x")).unwrap(), 5);
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let store = InMemoryStore::new();
+        store.write_bucket(1, slots(1, 3)).unwrap();
+        store.read_slot(1, 0).unwrap();
+        store.put_meta("k", Bytes::from_static(b"v")).unwrap();
+        store.get_meta("k").unwrap();
+        store.append_log(Bytes::from_static(b"r")).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.slot_reads, 1);
+        assert_eq!(stats.bucket_writes, 1);
+        assert!(stats.meta_writes >= 2);
+        assert!(stats.bytes_written > 0);
+        store.reset_stats();
+        assert_eq!(store.stats().total_requests(), 0);
+    }
+
+    #[test]
+    fn never_written_bucket_reads_as_empty_snapshot() {
+        let store = InMemoryStore::new();
+        let snap = store.read_bucket(42).unwrap();
+        assert_eq!(snap.version, 0);
+        assert!(snap.slots.is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_updates() {
+        use std::sync::Arc;
+        let store = Arc::new(InMemoryStore::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    store
+                        .write_bucket(t, vec![Bytes::from(i.to_le_bytes().to_vec())])
+                        .unwrap();
+                    store.append_log(Bytes::from_static(b"rec")).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.stats().bucket_writes, 800);
+        assert_eq!(store.log_len(), 800);
+        for t in 0..8u64 {
+            assert_eq!(store.bucket_version(t).unwrap(), 100);
+        }
+    }
+}

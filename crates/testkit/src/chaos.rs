@@ -1,0 +1,241 @@
+//! Crash-point injection harness for durability tests (§8).
+//!
+//! The paper's recovery guarantee is epoch fate sharing: a transaction whose
+//! commit was acknowledged is durable, a transaction whose commit was not
+//! acknowledged may disappear, and nothing else.  The harness in this module
+//! drives a scripted sequence of single-key writes against an [`ObladiDb`],
+//! crashes and recovers the proxy at a chosen point in the script, and
+//! reports which writes were acknowledged so tests (including property
+//! tests over *all* crash points) can verify exactly that guarantee.
+
+use obladi_common::config::ObladiConfig;
+use obladi_common::error::{ObladiError, Result};
+use obladi_common::types::{Key, Value};
+use obladi_core::proxy::ObladiDb;
+use std::collections::HashMap;
+
+/// Result of one scripted run with an injected crash.
+pub struct CrashRun {
+    /// The recovered database, ready for post-crash assertions.
+    pub db: ObladiDb,
+    /// Writes whose commit was acknowledged before the run ended, in
+    /// acknowledgement order.
+    pub acknowledged: Vec<(Key, Value)>,
+    /// Writes that were attempted but not acknowledged (aborted, failed, or
+    /// swallowed by the crash).
+    pub unacknowledged: Vec<(Key, Value)>,
+    /// Index in the script at which the crash was injected.
+    pub crash_point: usize,
+}
+
+impl CrashRun {
+    /// The last acknowledged value of every key, i.e. what recovery must
+    /// preserve.
+    pub fn expected_state(&self) -> HashMap<Key, Value> {
+        let mut state = HashMap::new();
+        for (key, value) in &self.acknowledged {
+            state.insert(*key, value.clone());
+        }
+        state
+    }
+
+    /// Verifies that every acknowledged write survived recovery and that no
+    /// key whose writes were all unacknowledged has resurfaced with an
+    /// unacknowledged value.
+    pub fn verify_durability(&self) -> std::result::Result<(), String> {
+        let expected = self.expected_state();
+        for (key, value) in &expected {
+            match read_with_retries(&self.db, *key, 20) {
+                Ok(Some(found)) if &found == value => {}
+                Ok(found) => {
+                    return Err(format!(
+                        "key {key}: expected acknowledged value {value:?}, found {found:?}"
+                    ));
+                }
+                Err(err) => return Err(format!("key {key}: read failed after recovery: {err}")),
+            }
+        }
+        // Keys that only ever saw unacknowledged writes must either be
+        // absent or hold nothing at all (they can never hold a value, since
+        // no other writer exists in the script).
+        for (key, value) in &self.unacknowledged {
+            if expected.contains_key(key) {
+                continue;
+            }
+            match read_with_retries(&self.db, *key, 20) {
+                Ok(None) => {}
+                Ok(Some(found)) if &found == value => {
+                    return Err(format!(
+                        "key {key}: unacknowledged write {value:?} resurfaced after recovery"
+                    ));
+                }
+                Ok(Some(_)) | Err(_) => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reads `key` in its own transaction, retrying reads that abort because
+/// they straddle an epoch boundary.
+pub fn read_with_retries(db: &ObladiDb, key: Key, retries: usize) -> Result<Option<Value>> {
+    let mut last_err = ObladiError::Internal("no read attempt made".into());
+    for attempt in 0..retries.max(1) {
+        if attempt > 0 {
+            // Reads abort when they straddle an epoch boundary; give the
+            // next epoch a moment to open before retrying so a small retry
+            // budget is not burned within a single boundary.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let mut txn = match db.begin() {
+            Ok(txn) => txn,
+            Err(err) => {
+                last_err = err;
+                continue;
+            }
+        };
+        match txn.read(key) {
+            Ok(value) => {
+                let _ = txn.commit();
+                return Ok(value);
+            }
+            Err(err) if err.is_retryable() => {
+                last_err = err;
+                continue;
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    Err(last_err)
+}
+
+/// Writes `value` to `key` in its own transaction and reports whether the
+/// commit was acknowledged.
+pub fn put_acknowledged(db: &ObladiDb, key: Key, value: &[u8]) -> bool {
+    let mut txn = match db.begin() {
+        Ok(txn) => txn,
+        Err(_) => return false,
+    };
+    if txn.write(key, value.to_vec()).is_err() {
+        return false;
+    }
+    match txn.commit() {
+        Ok(outcome) => outcome.is_committed(),
+        Err(_) => false,
+    }
+}
+
+/// Runs `script` (a list of key/value writes, one transaction each) against
+/// a fresh database built from `config`, crashing and recovering the proxy
+/// after `crash_after` writes have been attempted.
+///
+/// A `crash_after` at or past the script length crashes after the final
+/// write.  The returned [`CrashRun`] still owns the (recovered) database so
+/// the caller can perform further assertions; call
+/// [`CrashRun::verify_durability`] for the standard epoch-fate-sharing
+/// check.
+pub fn run_script_with_crash(
+    config: ObladiConfig,
+    script: &[(Key, Value)],
+    crash_after: usize,
+) -> Result<CrashRun> {
+    let db = ObladiDb::open(config)?;
+    let crash_point = crash_after.min(script.len());
+    let mut acknowledged = Vec::new();
+    let mut unacknowledged = Vec::new();
+
+    let run_slice = |db: &ObladiDb,
+                         slice: &[(Key, Value)],
+                         acknowledged: &mut Vec<(Key, Value)>,
+                         unacknowledged: &mut Vec<(Key, Value)>| {
+        for (key, value) in slice {
+            if put_acknowledged(db, *key, value) {
+                acknowledged.push((*key, value.clone()));
+            } else {
+                unacknowledged.push((*key, value.clone()));
+            }
+        }
+    };
+
+    run_slice(
+        &db,
+        &script[..crash_point],
+        &mut acknowledged,
+        &mut unacknowledged,
+    );
+    db.crash();
+    db.recover()?;
+    run_slice(
+        &db,
+        &script[crash_point..],
+        &mut acknowledged,
+        &mut unacknowledged,
+    );
+
+    Ok(CrashRun {
+        db,
+        acknowledged,
+        unacknowledged,
+        crash_point,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn config() -> ObladiConfig {
+        let mut config = ObladiConfig::small_for_tests(1_024);
+        config.epoch.read_batches = 2;
+        config.epoch.read_batch_size = 8;
+        config.epoch.write_batch_size = 16;
+        config.epoch.batch_interval = Duration::from_millis(1);
+        config.epoch.checkpoint_every = 2;
+        config
+    }
+
+    fn script(len: u64) -> Vec<(Key, Value)> {
+        (0..len).map(|i| (i % 7, format!("value-{i}").into_bytes())).collect()
+    }
+
+    #[test]
+    fn crash_in_the_middle_preserves_acknowledged_writes() {
+        let run = run_script_with_crash(config(), &script(12), 6).unwrap();
+        assert_eq!(run.crash_point, 6);
+        assert_eq!(
+            run.acknowledged.len() + run.unacknowledged.len(),
+            12,
+            "every scripted write must be classified"
+        );
+        run.verify_durability().unwrap();
+        run.db.shutdown();
+    }
+
+    #[test]
+    fn crash_before_any_write_leaves_an_empty_database() {
+        let run = run_script_with_crash(config(), &script(4), 0).unwrap();
+        run.verify_durability().unwrap();
+        run.db.shutdown();
+    }
+
+    #[test]
+    fn crash_after_the_last_write_preserves_everything_acknowledged() {
+        let run = run_script_with_crash(config(), &script(5), 64).unwrap();
+        assert_eq!(run.crash_point, 5);
+        run.verify_durability().unwrap();
+        run.db.shutdown();
+    }
+
+    #[test]
+    fn read_with_retries_surfaces_missing_keys_as_none() {
+        let db = ObladiDb::open(config()).unwrap();
+        assert_eq!(read_with_retries(&db, 999, 5).unwrap(), None);
+        assert!(put_acknowledged(&db, 1, b"present"));
+        assert_eq!(
+            read_with_retries(&db, 1, 5).unwrap(),
+            Some(b"present".to_vec())
+        );
+        db.shutdown();
+    }
+}

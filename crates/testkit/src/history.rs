@@ -1,0 +1,772 @@
+//! Transaction histories and a black-box serializability oracle.
+//!
+//! The integration tests in this repository run concurrent workloads against
+//! the Obladi proxy (and against the NoPriv / 2PL baselines) and need a way
+//! to decide, from the *observed* reads and writes alone, whether the
+//! execution was serializable.  This module implements the standard
+//! direct-serialization-graph (DSG) construction of Adya: every committed
+//! transaction is a node, and edges record write-read, write-write and
+//! read-write (anti-) dependencies.  The history is serializable iff the
+//! graph is acyclic; the topological order is then a witness serial order.
+//!
+//! The oracle requires two things from the harness that records the history:
+//!
+//! * **Unique written values.**  Every write must install a value that no
+//!   other write installs, so a read can be attributed to exactly one
+//!   writer.  [`tag_value`] produces such values (and leaves room for an
+//!   application payload).
+//! * **A per-key version order.**  The checker orders the committed writes
+//!   of each key by the transactions' `commit_ts`.  For the MVTSO-based
+//!   engines the transaction timestamp is the serialization order, so the
+//!   recorded transaction id is the right value; for the 2PL baseline the
+//!   harness records a global commit sequence number instead.
+//!
+//! In addition to the cycle check the oracle reports anomalies that are
+//! violations on their own: committed transactions that observed a value
+//! written by an aborted transaction (the cascading-abort guarantee of
+//! §6.1), reads of values no writer ever produced, and non-repeatable reads
+//! inside a single transaction.
+
+use obladi_common::types::{Key, TxnId, Value};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Identifies a write: the transaction that performed it and the position of
+/// the write among that transaction's operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WriteTag {
+    /// Writer transaction id.
+    pub txn: TxnId,
+    /// Sequence number of the write within the transaction.
+    pub seq: u32,
+}
+
+const TAG_MAGIC: [u8; 4] = *b"OTKv";
+
+/// Encodes a unique value for `(txn, seq)` with an optional payload suffix.
+///
+/// The encoding is stable and self-describing so [`parse_tag`] can recover
+/// the writer from any value observed by a later read.
+pub fn tag_value(txn: TxnId, seq: u32, payload: &[u8]) -> Value {
+    let mut value = Vec::with_capacity(16 + payload.len());
+    value.extend_from_slice(&TAG_MAGIC);
+    value.extend_from_slice(&txn.to_le_bytes());
+    value.extend_from_slice(&seq.to_le_bytes());
+    value.extend_from_slice(payload);
+    value
+}
+
+/// Recovers the [`WriteTag`] from a value produced by [`tag_value`].
+///
+/// Returns `None` for values that were not produced by the tagging helper
+/// (for example, initial values loaded outside the recorded phase).
+pub fn parse_tag(value: &[u8]) -> Option<WriteTag> {
+    if value.len() < 16 || value[..4] != TAG_MAGIC {
+        return None;
+    }
+    let mut txn = [0u8; 8];
+    txn.copy_from_slice(&value[4..12]);
+    let mut seq = [0u8; 4];
+    seq.copy_from_slice(&value[12..16]);
+    Some(WriteTag {
+        txn: TxnId::from_le_bytes(txn),
+        seq: u32::from_le_bytes(seq),
+    })
+}
+
+/// One operation observed by the recording harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoryOp {
+    /// A read of `key` that observed `observed` (`None` = key absent).
+    Read {
+        /// Key read.
+        key: Key,
+        /// Value the transaction saw.
+        observed: Option<Value>,
+    },
+    /// A write of `value` to `key`.
+    Write {
+        /// Key written.
+        key: Key,
+        /// Value installed.
+        value: Value,
+    },
+}
+
+/// The recorded footprint and outcome of one transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnRecord {
+    /// Transaction identifier (unique within the history).
+    pub id: TxnId,
+    /// Whether the transaction committed.
+    pub committed: bool,
+    /// Position of the transaction in the engine's serialization order.
+    ///
+    /// Must be present (and unique) for every committed transaction that
+    /// performed a write; the checker uses it as the per-key version order.
+    pub commit_ts: Option<u64>,
+    /// The operations, in program order.
+    pub ops: Vec<HistoryOp>,
+}
+
+impl TxnRecord {
+    /// Creates an empty record for transaction `id`.
+    pub fn new(id: TxnId) -> Self {
+        TxnRecord {
+            id,
+            committed: false,
+            commit_ts: None,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Records a read.
+    pub fn read(&mut self, key: Key, observed: Option<Value>) {
+        self.ops.push(HistoryOp::Read { key, observed });
+    }
+
+    /// Records a write.
+    pub fn write(&mut self, key: Key, value: Value) {
+        self.ops.push(HistoryOp::Write { key, value });
+    }
+
+    /// Marks the transaction committed with the given serialization position.
+    pub fn commit(&mut self, commit_ts: u64) {
+        self.committed = true;
+        self.commit_ts = Some(commit_ts);
+    }
+
+    /// Marks the transaction aborted.
+    pub fn abort(&mut self) {
+        self.committed = false;
+        self.commit_ts = None;
+    }
+
+    fn write_keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.ops.iter().filter_map(|op| match op {
+            HistoryOp::Write { key, .. } => Some(*key),
+            HistoryOp::Read { .. } => None,
+        })
+    }
+}
+
+/// A complete recorded history: initial database contents plus one record
+/// per transaction the harness ran.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    initial: HashMap<Key, Value>,
+    txns: Vec<TxnRecord>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Declares the value `key` held before the recorded phase started.
+    pub fn set_initial(&mut self, key: Key, value: Value) {
+        self.initial.insert(key, value);
+    }
+
+    /// Adds a finished transaction record.
+    pub fn push(&mut self, record: TxnRecord) {
+        self.txns.push(record);
+    }
+
+    /// Number of recorded transactions.
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Whether the history contains no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// The recorded transactions.
+    pub fn transactions(&self) -> &[TxnRecord] {
+        &self.txns
+    }
+
+    /// Number of committed transactions.
+    pub fn committed_count(&self) -> usize {
+        self.txns.iter().filter(|t| t.committed).count()
+    }
+}
+
+/// The source of the value a read observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum VersionId {
+    /// The initial database state.
+    Initial,
+    /// A committed transaction in the history.
+    Txn(TxnId),
+}
+
+/// Why a history failed the serializability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A committed transaction observed a value written by an aborted
+    /// transaction (dirty read that should have cascaded, §6.1).
+    DirtyReadOfAborted {
+        /// The committed reader.
+        reader: TxnId,
+        /// The aborted writer whose value it saw.
+        writer: TxnId,
+        /// Key on which the anomaly occurred.
+        key: Key,
+    },
+    /// A committed transaction observed a value that no recorded write and
+    /// no initial value produced.
+    ReadFromUnknownWriter {
+        /// The reader.
+        reader: TxnId,
+        /// Key on which the anomaly occurred.
+        key: Key,
+    },
+    /// Two reads of the same key inside one transaction observed different
+    /// values, and the transaction wrote nothing in between.
+    NonRepeatableRead {
+        /// The reader.
+        reader: TxnId,
+        /// Key on which the anomaly occurred.
+        key: Key,
+    },
+    /// A committed writing transaction is missing its `commit_ts`.
+    MissingCommitTimestamp {
+        /// The offending transaction.
+        txn: TxnId,
+    },
+    /// Two committed transactions share the same `commit_ts`.
+    DuplicateCommitTimestamp {
+        /// The shared timestamp.
+        commit_ts: u64,
+    },
+    /// The direct serialization graph contains a cycle.
+    CycleDetected {
+        /// Transactions on the cycle, in edge order.
+        cycle: Vec<TxnId>,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DirtyReadOfAborted {
+                reader,
+                writer,
+                key,
+            } => write!(
+                f,
+                "committed txn {reader} read key {key} from aborted txn {writer}"
+            ),
+            Violation::ReadFromUnknownWriter { reader, key } => write!(
+                f,
+                "txn {reader} read a value of key {key} that no writer produced"
+            ),
+            Violation::NonRepeatableRead { reader, key } => {
+                write!(f, "txn {reader} observed two versions of key {key}")
+            }
+            Violation::MissingCommitTimestamp { txn } => {
+                write!(f, "committed writer {txn} has no commit timestamp")
+            }
+            Violation::DuplicateCommitTimestamp { commit_ts } => {
+                write!(f, "two committed transactions share commit_ts {commit_ts}")
+            }
+            Violation::CycleDetected { cycle } => {
+                write!(f, "serialization graph cycle: {cycle:?}")
+            }
+        }
+    }
+}
+
+/// Summary of a successful serializability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerializabilityReport {
+    /// Committed transactions examined.
+    pub committed: usize,
+    /// Aborted transactions ignored (after checking no one read from them).
+    pub aborted: usize,
+    /// Number of dependency edges in the serialization graph.
+    pub edges: usize,
+    /// A witness serial order (topological order of the graph).
+    pub serial_order: Vec<TxnId>,
+}
+
+/// Checks that the committed transactions of `history` form a serializable
+/// execution and that no committed transaction depends on an aborted one.
+pub fn check_serializable(history: &History) -> Result<SerializabilityReport, Violation> {
+    let committed: Vec<&TxnRecord> = history.txns.iter().filter(|t| t.committed).collect();
+    let aborted: HashSet<TxnId> = history
+        .txns
+        .iter()
+        .filter(|t| !t.committed)
+        .map(|t| t.id)
+        .collect();
+
+    // Attribute every written value to its writer.
+    let mut value_writer: HashMap<(Key, Value), TxnId> = HashMap::new();
+    for txn in &history.txns {
+        for op in &txn.ops {
+            if let HistoryOp::Write { key, value } = op {
+                value_writer.insert((*key, value.clone()), txn.id);
+            }
+        }
+    }
+
+    // Version order per key: initial value first, then committed writers by
+    // commit_ts.
+    let mut commit_ts: HashMap<TxnId, u64> = HashMap::new();
+    let mut seen_ts: HashSet<u64> = HashSet::new();
+    for txn in &committed {
+        let writes: Vec<Key> = txn.write_keys().collect();
+        if writes.is_empty() {
+            continue;
+        }
+        let ts = txn
+            .commit_ts
+            .ok_or(Violation::MissingCommitTimestamp { txn: txn.id })?;
+        if !seen_ts.insert(ts) {
+            return Err(Violation::DuplicateCommitTimestamp { commit_ts: ts });
+        }
+        commit_ts.insert(txn.id, ts);
+    }
+
+    let mut versions: HashMap<Key, Vec<VersionId>> = HashMap::new();
+    for key in history.initial.keys() {
+        versions.entry(*key).or_default().push(VersionId::Initial);
+    }
+    let mut writers_by_key: HashMap<Key, Vec<(u64, TxnId)>> = HashMap::new();
+    for txn in &committed {
+        for key in txn.write_keys() {
+            let ts = commit_ts[&txn.id];
+            let entry = writers_by_key.entry(key).or_default();
+            if entry.last().map(|(_, id)| *id) != Some(txn.id) {
+                entry.push((ts, txn.id));
+            }
+        }
+    }
+    for (key, mut writers) in writers_by_key {
+        writers.sort_unstable();
+        let chain = versions.entry(key).or_insert_with(|| vec![VersionId::Initial]);
+        chain.extend(writers.into_iter().map(|(_, id)| VersionId::Txn(id)));
+    }
+
+    // Resolve which version each committed read observed.
+    let resolve = |key: Key, observed: &Option<Value>, reader: TxnId| -> Result<VersionId, Violation> {
+        match observed {
+            None => Ok(VersionId::Initial),
+            Some(value) => {
+                if let Some(writer) = value_writer.get(&(key, value.clone())) {
+                    if aborted.contains(writer) {
+                        return Err(Violation::DirtyReadOfAborted {
+                            reader,
+                            writer: *writer,
+                            key,
+                        });
+                    }
+                    Ok(VersionId::Txn(*writer))
+                } else if history.initial.get(&key) == Some(value) {
+                    Ok(VersionId::Initial)
+                } else {
+                    Err(Violation::ReadFromUnknownWriter { reader, key })
+                }
+            }
+        }
+    };
+
+    // Graph: adjacency over committed transaction ids.
+    let ids: Vec<TxnId> = committed.iter().map(|t| t.id).collect();
+    let index: HashMap<TxnId, usize> = ids.iter().copied().enumerate().map(|(i, id)| (id, i)).collect();
+    let mut adj: Vec<HashSet<usize>> = vec![HashSet::new(); ids.len()];
+    let mut edges = 0usize;
+    let mut add_edge = |adj: &mut Vec<HashSet<usize>>, from: VersionId, to: VersionId| {
+        if let (VersionId::Txn(a), VersionId::Txn(b)) = (from, to) {
+            if a != b {
+                if adj[index[&a]].insert(index[&b]) {
+                    edges += 1;
+                }
+            }
+        }
+    };
+
+    // ww edges: consecutive versions of each key.
+    for chain in versions.values() {
+        for pair in chain.windows(2) {
+            add_edge(&mut adj, pair[0], pair[1]);
+        }
+    }
+
+    // wr and rw edges from committed reads.
+    for txn in &committed {
+        let mut last_seen: HashMap<Key, Option<Value>> = HashMap::new();
+        let mut self_wrote: HashSet<Key> = HashSet::new();
+        for op in &txn.ops {
+            match op {
+                HistoryOp::Write { key, .. } => {
+                    self_wrote.insert(*key);
+                }
+                HistoryOp::Read { key, observed } => {
+                    // Repeatable-read check (only meaningful before the
+                    // transaction overwrites the key itself).
+                    if !self_wrote.contains(key) {
+                        if let Some(previous) = last_seen.get(key) {
+                            if previous != observed {
+                                return Err(Violation::NonRepeatableRead {
+                                    reader: txn.id,
+                                    key: *key,
+                                });
+                            }
+                        }
+                        last_seen.insert(*key, observed.clone());
+                    }
+                    let source = resolve(*key, observed, txn.id)?;
+                    // Reads of the transaction's own writes create no edge.
+                    if source == VersionId::Txn(txn.id) {
+                        continue;
+                    }
+                    // wr edge: writer happens before reader.
+                    add_edge(&mut adj, source, VersionId::Txn(txn.id));
+                    // rw edge: reader happens before the writer of the next
+                    // version of the key.
+                    if let Some(chain) = versions.get(key) {
+                        if let Some(pos) = chain.iter().position(|v| *v == source) {
+                            for next in chain.iter().skip(pos + 1) {
+                                if *next != VersionId::Txn(txn.id) {
+                                    add_edge(&mut adj, VersionId::Txn(txn.id), *next);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection + topological witness (iterative DFS, three colours).
+    let n = ids.len();
+    let mut colour = vec![0u8; n]; // 0 = white, 1 = grey, 2 = black
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    for start in 0..n {
+        if colour[start] != 0 {
+            continue;
+        }
+        // Stack of (node, iterator position over its successors).
+        let mut stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let succ: Vec<usize> = adj[start].iter().copied().collect();
+        colour[start] = 1;
+        stack.push((start, succ, 0));
+        while let Some((node, succ, cursor)) = stack.last_mut() {
+            if *cursor < succ.len() {
+                let next = succ[*cursor];
+                *cursor += 1;
+                match colour[next] {
+                    0 => {
+                        colour[next] = 1;
+                        let next_succ: Vec<usize> = adj[next].iter().copied().collect();
+                        stack.push((next, next_succ, 0));
+                    }
+                    1 => {
+                        // Grey successor: found a cycle.  Reconstruct it from
+                        // the grey stack.
+                        let mut cycle: Vec<TxnId> =
+                            stack.iter().map(|(i, _, _)| ids[*i]).collect();
+                        if let Some(pos) = cycle.iter().position(|id| *id == ids[next]) {
+                            cycle.drain(..pos);
+                        }
+                        return Err(Violation::CycleDetected { cycle });
+                    }
+                    _ => {}
+                }
+            } else {
+                colour[*node] = 2;
+                order.push(*node);
+                stack.pop();
+            }
+        }
+    }
+    order.reverse();
+    let serial_order: Vec<TxnId> = order.into_iter().map(|i| ids[i]).collect();
+
+    Ok(SerializabilityReport {
+        committed: committed.len(),
+        aborted: aborted.len(),
+        edges,
+        serial_order,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn committed(id: TxnId, ts: u64, ops: Vec<HistoryOp>) -> TxnRecord {
+        TxnRecord {
+            id,
+            committed: true,
+            commit_ts: Some(ts),
+            ops,
+        }
+    }
+
+    #[test]
+    fn tag_roundtrip_and_rejects_foreign_values() {
+        let value = tag_value(42, 7, b"payload");
+        assert_eq!(parse_tag(&value), Some(WriteTag { txn: 42, seq: 7 }));
+        assert_eq!(parse_tag(b"unrelated"), None);
+        assert_eq!(parse_tag(&[]), None);
+    }
+
+    #[test]
+    fn serial_history_is_accepted() {
+        let mut history = History::new();
+        history.set_initial(1, b"init".to_vec());
+        history.push(committed(
+            10,
+            10,
+            vec![
+                HistoryOp::Read {
+                    key: 1,
+                    observed: Some(b"init".to_vec()),
+                },
+                HistoryOp::Write {
+                    key: 1,
+                    value: tag_value(10, 0, b""),
+                },
+            ],
+        ));
+        history.push(committed(
+            11,
+            11,
+            vec![HistoryOp::Read {
+                key: 1,
+                observed: Some(tag_value(10, 0, b"")),
+            }],
+        ));
+        let report = check_serializable(&history).unwrap();
+        assert_eq!(report.committed, 2);
+        assert_eq!(report.serial_order, vec![10, 11]);
+    }
+
+    #[test]
+    fn lost_update_cycle_is_rejected() {
+        // Both transactions read the initial value and both commit a write:
+        // each must precede the other (rw then ww), which is a cycle.
+        let mut history = History::new();
+        history.set_initial(1, b"init".to_vec());
+        for (id, ts) in [(1u64, 1u64), (2, 2)] {
+            history.push(committed(
+                id,
+                ts,
+                vec![
+                    HistoryOp::Read {
+                        key: 1,
+                        observed: Some(b"init".to_vec()),
+                    },
+                    HistoryOp::Write {
+                        key: 1,
+                        value: tag_value(id, 0, b""),
+                    },
+                ],
+            ));
+        }
+        let err = check_serializable(&history).unwrap_err();
+        assert!(matches!(err, Violation::CycleDetected { .. }), "{err}");
+    }
+
+    #[test]
+    fn write_skew_cycle_is_rejected() {
+        // T1 reads y then writes x; T2 reads x then writes y; both see the
+        // initial values.  The two rw anti-dependencies form a cycle.
+        let mut history = History::new();
+        history.set_initial(1, b"x0".to_vec());
+        history.set_initial(2, b"y0".to_vec());
+        history.push(committed(
+            1,
+            1,
+            vec![
+                HistoryOp::Read {
+                    key: 2,
+                    observed: Some(b"y0".to_vec()),
+                },
+                HistoryOp::Write {
+                    key: 1,
+                    value: tag_value(1, 0, b""),
+                },
+            ],
+        ));
+        history.push(committed(
+            2,
+            2,
+            vec![
+                HistoryOp::Read {
+                    key: 1,
+                    observed: Some(b"x0".to_vec()),
+                },
+                HistoryOp::Write {
+                    key: 2,
+                    value: tag_value(2, 0, b""),
+                },
+            ],
+        ));
+        let err = check_serializable(&history).unwrap_err();
+        assert!(matches!(err, Violation::CycleDetected { .. }), "{err}");
+    }
+
+    #[test]
+    fn dirty_read_of_aborted_writer_is_rejected() {
+        let mut history = History::new();
+        let mut aborted = TxnRecord::new(7);
+        aborted.write(3, tag_value(7, 0, b""));
+        aborted.abort();
+        history.push(aborted);
+        history.push(committed(
+            8,
+            8,
+            vec![HistoryOp::Read {
+                key: 3,
+                observed: Some(tag_value(7, 0, b"")),
+            }],
+        ));
+        let err = check_serializable(&history).unwrap_err();
+        assert_eq!(
+            err,
+            Violation::DirtyReadOfAborted {
+                reader: 8,
+                writer: 7,
+                key: 3
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_value_and_missing_timestamp_are_rejected() {
+        let mut history = History::new();
+        history.push(committed(
+            1,
+            1,
+            vec![HistoryOp::Read {
+                key: 9,
+                observed: Some(b"from nowhere".to_vec()),
+            }],
+        ));
+        assert_eq!(
+            check_serializable(&history).unwrap_err(),
+            Violation::ReadFromUnknownWriter { reader: 1, key: 9 }
+        );
+
+        let mut history = History::new();
+        let mut txn = TxnRecord::new(2);
+        txn.write(1, tag_value(2, 0, b""));
+        txn.committed = true; // but no commit_ts
+        history.push(txn);
+        assert_eq!(
+            check_serializable(&history).unwrap_err(),
+            Violation::MissingCommitTimestamp { txn: 2 }
+        );
+    }
+
+    #[test]
+    fn non_repeatable_read_is_rejected() {
+        let mut history = History::new();
+        history.set_initial(4, b"a".to_vec());
+        history.push(committed(
+            1,
+            1,
+            vec![HistoryOp::Write {
+                key: 4,
+                value: tag_value(1, 0, b""),
+            }],
+        ));
+        history.push(committed(
+            2,
+            2,
+            vec![
+                HistoryOp::Read {
+                    key: 4,
+                    observed: Some(b"a".to_vec()),
+                },
+                HistoryOp::Read {
+                    key: 4,
+                    observed: Some(tag_value(1, 0, b"")),
+                },
+            ],
+        ));
+        assert_eq!(
+            check_serializable(&history).unwrap_err(),
+            Violation::NonRepeatableRead { reader: 2, key: 4 }
+        );
+    }
+
+    #[test]
+    fn reading_own_write_creates_no_edge_and_is_accepted() {
+        let mut history = History::new();
+        history.push(committed(
+            1,
+            1,
+            vec![
+                HistoryOp::Write {
+                    key: 1,
+                    value: tag_value(1, 0, b""),
+                },
+                HistoryOp::Read {
+                    key: 1,
+                    observed: Some(tag_value(1, 0, b"")),
+                },
+            ],
+        ));
+        let report = check_serializable(&history).unwrap();
+        assert_eq!(report.edges, 0);
+    }
+
+    #[test]
+    fn long_committed_chain_is_ordered_by_timestamp() {
+        let mut history = History::new();
+        history.set_initial(1, b"v0".to_vec());
+        // Writers committing in timestamp order, each reading the previous
+        // value — the witness order must follow the chain.
+        let mut previous = b"v0".to_vec();
+        for id in 1..=20u64 {
+            let value = tag_value(id, 0, b"");
+            history.push(committed(
+                id,
+                id,
+                vec![
+                    HistoryOp::Read {
+                        key: 1,
+                        observed: Some(previous.clone()),
+                    },
+                    HistoryOp::Write {
+                        key: 1,
+                        value: value.clone(),
+                    },
+                ],
+            ));
+            previous = value;
+        }
+        let report = check_serializable(&history).unwrap();
+        assert_eq!(report.serial_order, (1..=20u64).collect::<Vec<_>>());
+        assert!(report.edges >= 19);
+    }
+
+    #[test]
+    fn duplicate_commit_timestamps_are_rejected() {
+        let mut history = History::new();
+        for id in [1u64, 2] {
+            history.push(committed(
+                id,
+                5,
+                vec![HistoryOp::Write {
+                    key: id,
+                    value: tag_value(id, 0, b""),
+                }],
+            ));
+        }
+        assert_eq!(
+            check_serializable(&history).unwrap_err(),
+            Violation::DuplicateCommitTimestamp { commit_ts: 5 }
+        );
+    }
+}

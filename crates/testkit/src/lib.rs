@@ -1,0 +1,41 @@
+//! Test oracles and harnesses for the Obladi reproduction.
+//!
+//! This crate is not part of the system itself; it packages the machinery
+//! the integration tests and benchmarks use to *judge* the system:
+//!
+//! * [`history`] — recorded transaction histories and a black-box
+//!   serializability checker (Adya-style direct serialization graph with
+//!   cycle detection), plus value-tagging helpers that make every write
+//!   attributable to its writer;
+//! * [`recorder`] — thread-safe collection of per-transaction traces from
+//!   concurrent client threads;
+//! * [`trace`] — a [`obladi_oram::client::PathLogger`] that records the
+//!   physical access trace the storage server observes, with helpers for
+//!   the path-uniformity and bucket-invariant checks of §4/§9;
+//! * [`stats`] — chi-square uniformity and total-variation distance used to
+//!   compare adversary-visible traces across workloads;
+//! * [`chaos`] — a crash-point injection harness for the epoch fate-sharing
+//!   durability guarantee of §8.
+//!
+//! Keeping these oracles in a dedicated crate keeps the system crates free
+//! of test-only code while letting every test target (and the benches)
+//! share one implementation of the checks.
+
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod history;
+pub mod recorder;
+pub mod stats;
+pub mod trace;
+
+pub use chaos::{put_acknowledged, read_with_retries, run_script_with_crash, CrashRun};
+pub use history::{
+    check_serializable, parse_tag, tag_value, History, HistoryOp, SerializabilityReport,
+    TxnRecord, Violation, WriteTag,
+};
+pub use recorder::{HistoryRecorder, TxnTrace};
+pub use stats::{
+    chi_square_critical, chi_square_uniform, is_plausibly_uniform, total_variation_distance,
+};
+pub use trace::{leaf_histogram_of, TraceRecorder};

@@ -1,0 +1,189 @@
+//! Distributional checks used by the obliviousness tests.
+//!
+//! The security argument of §9 says the adversary's view of a run is a
+//! sequence of uniformly random paths.  Tests cannot prove uniformity, but
+//! they can reject gross violations: a hot-key workload whose trace piles up
+//! on one subtree, or a cached-stash implementation that skews away from the
+//! last evicted path (the Figure 6 failure mode).  This module provides a
+//! chi-square goodness-of-fit statistic against the uniform distribution,
+//! an approximate critical value so tests do not need lookup tables, and a
+//! total-variation distance for comparing two traces against each other.
+
+/// Pearson's chi-square statistic of `observed` against a uniform
+/// distribution over the same number of bins.
+///
+/// Returns 0.0 when the histogram is empty or has a single bin.
+pub fn chi_square_uniform(observed: &[u64]) -> f64 {
+    if observed.len() < 2 {
+        return 0.0;
+    }
+    let total: u64 = observed.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let expected = total as f64 / observed.len() as f64;
+    observed
+        .iter()
+        .map(|&count| {
+            let diff = count as f64 - expected;
+            diff * diff / expected
+        })
+        .sum()
+}
+
+/// Approximate upper critical value of the chi-square distribution with
+/// `dof` degrees of freedom at the given right-tail probability.
+///
+/// Uses the Wilson–Hilferty cube-root normal approximation, which is
+/// accurate to a few percent for `dof >= 3` — plenty for a test oracle that
+/// only needs to reject gross non-uniformity.
+pub fn chi_square_critical(dof: usize, tail: f64) -> f64 {
+    let dof = dof.max(1) as f64;
+    let z = normal_quantile(1.0 - tail);
+    let term = 1.0 - 2.0 / (9.0 * dof) + z * (2.0 / (9.0 * dof)).sqrt();
+    dof * term * term * term
+}
+
+/// Returns `true` if `observed` is consistent with a uniform distribution at
+/// a very conservative significance level (rejecting only when the statistic
+/// exceeds the 99.99th percentile).
+///
+/// The level is deliberately loose: these are correctness tests that must
+/// not flake on ordinary sampling noise, while still failing loudly for the
+/// systematic skews a broken implementation produces (which typically push
+/// the statistic orders of magnitude past the critical value).
+pub fn is_plausibly_uniform(observed: &[u64]) -> bool {
+    if observed.len() < 2 {
+        return true;
+    }
+    let statistic = chi_square_uniform(observed);
+    statistic <= chi_square_critical(observed.len() - 1, 1e-4)
+}
+
+/// Total-variation distance between two histograms (0.0 = identical
+/// distributions, 1.0 = disjoint support).
+pub fn total_variation_distance(a: &[u64], b: &[u64]) -> f64 {
+    let bins = a.len().max(b.len());
+    if bins == 0 {
+        return 0.0;
+    }
+    let total_a: u64 = a.iter().sum();
+    let total_b: u64 = b.iter().sum();
+    if total_a == 0 || total_b == 0 {
+        return if total_a == total_b { 0.0 } else { 1.0 };
+    }
+    let mut distance = 0.0;
+    for i in 0..bins {
+        let pa = a.get(i).copied().unwrap_or(0) as f64 / total_a as f64;
+        let pb = b.get(i).copied().unwrap_or(0) as f64 / total_b as f64;
+        distance += (pa - pb).abs();
+    }
+    distance / 2.0
+}
+
+/// Standard normal quantile (inverse CDF) via the Beasley–Springer–Moro
+/// rational approximation.
+fn normal_quantile(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    const A: [f64; 4] = [2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637];
+    const B: [f64; 4] = [-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833];
+    const C: [f64; 9] = [
+        0.3374754822726147,
+        0.9761690190917186,
+        0.1607979714918209,
+        0.0276438810333863,
+        0.0038405729373609,
+        0.0003951896511919,
+        0.0000321767881768,
+        0.0000002888167364,
+        0.0000003960315187,
+    ];
+    let y = p - 0.5;
+    if y.abs() < 0.42 {
+        let r = y * y;
+        let numerator = y * (((A[3] * r + A[2]) * r + A[1]) * r + A[0]);
+        let denominator = (((B[3] * r + B[2]) * r + B[1]) * r + B[0]) * r + 1.0;
+        numerator / denominator
+    } else {
+        let r = if y > 0.0 { 1.0 - p } else { p };
+        let r = (-r.ln()).ln();
+        let mut x = C[0];
+        let mut power = 1.0;
+        for coefficient in &C[1..] {
+            power *= r;
+            x += coefficient * power;
+        }
+        if y < 0.0 {
+            -x
+        } else {
+            x
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obladi_common::rng::DetRng;
+
+    #[test]
+    fn uniform_samples_pass_the_uniformity_check() {
+        let mut rng = DetRng::new(99);
+        let mut counts = vec![0u64; 64];
+        for _ in 0..64 * 200 {
+            counts[rng.below(64) as usize] += 1;
+        }
+        assert!(is_plausibly_uniform(&counts));
+    }
+
+    #[test]
+    fn heavily_skewed_samples_fail_the_uniformity_check() {
+        let mut counts = vec![10u64; 64];
+        counts[7] = 10_000;
+        assert!(!is_plausibly_uniform(&counts));
+    }
+
+    #[test]
+    fn chi_square_of_exactly_uniform_histogram_is_zero() {
+        let counts = vec![50u64; 16];
+        assert_eq!(chi_square_uniform(&counts), 0.0);
+        assert!(is_plausibly_uniform(&counts));
+    }
+
+    #[test]
+    fn degenerate_histograms_are_handled() {
+        assert_eq!(chi_square_uniform(&[]), 0.0);
+        assert_eq!(chi_square_uniform(&[42]), 0.0);
+        assert_eq!(chi_square_uniform(&[0, 0, 0]), 0.0);
+        assert!(is_plausibly_uniform(&[]));
+        assert!(is_plausibly_uniform(&[0, 0]));
+    }
+
+    #[test]
+    fn critical_values_are_in_a_sane_range() {
+        // Known reference points: chi2(0.999, 10) ~ 29.6, chi2(0.999, 100) ~ 149.4.
+        let c10 = chi_square_critical(10, 1e-3);
+        assert!((25.0..35.0).contains(&c10), "c10 = {c10}");
+        let c100 = chi_square_critical(100, 1e-3);
+        assert!((140.0..160.0).contains(&c100), "c100 = {c100}");
+        // Tighter tails give larger critical values.
+        assert!(chi_square_critical(10, 1e-4) > c10);
+    }
+
+    #[test]
+    fn total_variation_distance_properties() {
+        let a = vec![10u64, 10, 10, 10];
+        assert_eq!(total_variation_distance(&a, &a), 0.0);
+        let disjoint_left = vec![20u64, 0, 0, 0];
+        let disjoint_right = vec![0u64, 0, 0, 20];
+        let distance = total_variation_distance(&disjoint_left, &disjoint_right);
+        assert!((distance - 1.0).abs() < 1e-9);
+        // Similar distributions are close.
+        let b = vec![11u64, 9, 10, 10];
+        assert!(total_variation_distance(&a, &b) < 0.05);
+        // Degenerate inputs.
+        assert_eq!(total_variation_distance(&[], &[]), 0.0);
+        assert_eq!(total_variation_distance(&[0, 0], &[0, 0]), 0.0);
+        assert_eq!(total_variation_distance(&[5], &[0]), 1.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Recording and analysing the physical access trace the storage server sees.
+//!
+//! Obliviousness tests need to look at the system from the adversary's side:
+//! which buckets and slots were read, in which batches, and how often.  The
+//! [`TraceRecorder`] plugs into the ORAM executor's [`PathLogger`] hook (the
+//! same hook the durability unit uses to log read paths, §8) and keeps the
+//! full trace in memory; the analysis helpers then summarise it into the
+//! quantities the security argument of §9 talks about: per-batch request
+//! counts and the distribution of accessed paths.
+
+use obladi_common::error::Result;
+use obladi_oram::client::PathLogger;
+use obladi_oram::{SlotRead, TreeGeometry};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A [`PathLogger`] that records every batch of physical reads.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    batches: Mutex<Vec<Vec<SlotRead>>>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Number of batches logged so far.
+    pub fn batch_count(&self) -> usize {
+        self.batches.lock().len()
+    }
+
+    /// The physical read count of each logged batch, in order.
+    pub fn reads_per_batch(&self) -> Vec<usize> {
+        self.batches.lock().iter().map(|b| b.len()).collect()
+    }
+
+    /// All recorded reads, flattened in arrival order.
+    pub fn all_reads(&self) -> Vec<SlotRead> {
+        self.batches.lock().iter().flatten().copied().collect()
+    }
+
+    /// The recorded batches themselves, in arrival order.
+    ///
+    /// Within one `read_batch` call the ORAM logs its access-phase reads
+    /// first and any eviction / reshuffle reads in later calls, so tests
+    /// that want to reason about the access phase alone (whose paths are
+    /// uniform, §4) can take the first batch logged per `read_batch`.
+    pub fn batches(&self) -> Vec<Vec<SlotRead>> {
+        self.batches.lock().clone()
+    }
+
+    /// Total number of physical reads recorded.
+    pub fn total_reads(&self) -> usize {
+        self.batches.lock().iter().map(|b| b.len()).sum()
+    }
+
+    /// Histogram of reads per bucket.
+    pub fn bucket_histogram(&self) -> HashMap<u64, u64> {
+        let mut histogram = HashMap::new();
+        for read in self.all_reads() {
+            *histogram.entry(read.bucket).or_insert(0) += 1;
+        }
+        histogram
+    }
+
+    /// Histogram of reads that landed on leaf-level buckets, indexed by leaf
+    /// label `0..num_leaves`.
+    ///
+    /// Under the path invariant the leaf-level accesses of a long trace are
+    /// uniform over the leaves regardless of the workload; this is the
+    /// histogram the obliviousness tests feed to
+    /// [`crate::stats::chi_square_uniform`].
+    pub fn leaf_histogram(&self, geometry: &TreeGeometry) -> Vec<u64> {
+        leaf_histogram_of(&self.all_reads(), geometry)
+    }
+
+    /// The largest share of leaf-level accesses absorbed by a single leaf
+    /// (0.0 when no leaf-level access was recorded).
+    pub fn max_leaf_share(&self, geometry: &TreeGeometry) -> f64 {
+        let histogram = self.leaf_histogram(geometry);
+        let total: u64 = histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let max = histogram.iter().copied().max().unwrap_or(0);
+        max as f64 / total as f64
+    }
+
+    /// Asserts (returning an error string on failure) that no slot of any
+    /// bucket version was read more than once — the bucket invariant of §4.
+    pub fn check_bucket_invariant(&self) -> std::result::Result<(), String> {
+        let mut seen: HashMap<(u64, u64, u32), u64> = HashMap::new();
+        for read in self.all_reads() {
+            let times = seen
+                .entry((read.bucket, read.version, read.slot))
+                .or_insert(0);
+            *times += 1;
+            if *times > 1 {
+                return Err(format!(
+                    "slot {} of bucket {} (version {}) read {} times between rewrites",
+                    read.slot, read.bucket, read.version, times
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Clears the recorded trace.
+    pub fn clear(&self) {
+        self.batches.lock().clear();
+    }
+}
+
+impl PathLogger for TraceRecorder {
+    fn log_reads(&self, reads: &[SlotRead]) -> Result<()> {
+        self.batches.lock().push(reads.to_vec());
+        Ok(())
+    }
+}
+
+/// Histogram of the reads in `reads` that landed on leaf-level buckets,
+/// indexed by leaf label `0..num_leaves`.
+pub fn leaf_histogram_of(reads: &[SlotRead], geometry: &TreeGeometry) -> Vec<u64> {
+    let num_leaves = geometry.num_leaves();
+    let first_leaf_bucket = num_leaves - 1;
+    let mut counts = vec![0u64; num_leaves as usize];
+    for read in reads {
+        if read.bucket >= first_leaf_bucket {
+            let leaf = (read.bucket - first_leaf_bucket) as usize;
+            if leaf < counts.len() {
+                counts[leaf] += 1;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obladi_common::config::OramConfig;
+    use obladi_common::rng::DetRng;
+    use obladi_crypto::KeyMaterial;
+    use obladi_oram::{ExecOptions, NoopPathLogger, RingOram};
+    use obladi_storage::{InMemoryStore, UntrustedStore};
+    use std::sync::Arc;
+
+    fn small_oram(seed: u64) -> RingOram {
+        let config = OramConfig::small_for_tests(256).with_max_stash(2_048);
+        let store: Arc<dyn UntrustedStore> = Arc::new(InMemoryStore::new());
+        let keys = KeyMaterial::for_tests(seed);
+        RingOram::new(config, &keys, store, ExecOptions::parallel(2), seed).unwrap()
+    }
+
+    #[test]
+    fn recorder_captures_batches_and_counts() {
+        let mut oram = small_oram(1);
+        let recorder = TraceRecorder::new();
+        for k in 0..32u64 {
+            oram.write_batch(&[(k, vec![k as u8; 8])], &NoopPathLogger).unwrap();
+        }
+        oram.flush_writes(&NoopPathLogger).unwrap();
+
+        let mut rng = DetRng::new(7);
+        for _ in 0..4 {
+            let batch: Vec<Option<u64>> = (0..8).map(|_| Some(rng.below(32))).collect();
+            oram.read_batch(&batch, &recorder).unwrap();
+            oram.flush_writes(&NoopPathLogger).unwrap();
+        }
+
+        // Each read batch logs its access-phase reads, plus one log per
+        // eviction / reshuffle that came due during the batch.
+        assert!(recorder.batch_count() >= 4);
+        assert_eq!(recorder.reads_per_batch().len(), recorder.batch_count());
+        assert_eq!(
+            recorder.total_reads(),
+            recorder.reads_per_batch().iter().sum::<usize>()
+        );
+        assert!(!recorder.bucket_histogram().is_empty());
+        recorder.check_bucket_invariant().unwrap();
+
+        recorder.clear();
+        assert_eq!(recorder.total_reads(), 0);
+    }
+
+    #[test]
+    fn leaf_histogram_covers_many_leaves_for_uniform_reads() {
+        let mut oram = small_oram(2);
+        let recorder = TraceRecorder::new();
+        for k in 0..64u64 {
+            oram.write_batch(&[(k, vec![1; 8])], &NoopPathLogger).unwrap();
+        }
+        oram.flush_writes(&NoopPathLogger).unwrap();
+
+        let mut rng = DetRng::new(3);
+        for _ in 0..16 {
+            let batch: Vec<Option<u64>> = (0..8).map(|_| Some(rng.below(64))).collect();
+            oram.read_batch(&batch, &recorder).unwrap();
+            oram.flush_writes(&NoopPathLogger).unwrap();
+        }
+
+        let geometry = oram.geometry();
+        let histogram = recorder.leaf_histogram(&geometry);
+        assert_eq!(histogram.len(), geometry.num_leaves() as usize);
+        let touched = histogram.iter().filter(|c| **c > 0).count();
+        assert!(
+            touched >= histogram.len() / 3,
+            "only {touched} of {} leaves touched",
+            histogram.len()
+        );
+        assert!(recorder.max_leaf_share(&geometry) < 0.5);
+    }
+
+    #[test]
+    fn bucket_invariant_violation_is_reported() {
+        let recorder = TraceRecorder::new();
+        let read = SlotRead {
+            bucket: 3,
+            slot: 1,
+            version: 0,
+        };
+        recorder.log_reads(&[read, read]).unwrap();
+        assert!(recorder.check_bucket_invariant().is_err());
+    }
+}

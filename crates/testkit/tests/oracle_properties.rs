@@ -1,0 +1,128 @@
+//! Property-based tests of the test oracles themselves.
+//!
+//! The serializability checker is only useful if it (a) accepts every
+//! genuinely serial execution and (b) rejects histories that have been
+//! tampered with.  These properties exercise both directions over randomly
+//! generated executions, and check the distribution helpers on synthetic
+//! histograms.
+
+use obladi_common::rng::DetRng;
+use obladi_testkit::{
+    chi_square_uniform, check_serializable, is_plausibly_uniform, tag_value, History, HistoryOp,
+    TxnRecord, Violation,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Executes `ops` serially against an in-memory model, producing a history
+/// whose commit timestamps follow the execution order.  Such a history is
+/// serializable by construction.
+fn serial_history(ops: Vec<Vec<(u8, bool)>>) -> History {
+    let mut history = History::new();
+    let mut store: HashMap<u64, Vec<u8>> = HashMap::new();
+    for key in 0..8u64 {
+        let value = vec![key as u8; 4];
+        history.set_initial(key, value.clone());
+        store.insert(key, value);
+    }
+    for (index, txn_ops) in ops.into_iter().enumerate() {
+        let id = index as u64 + 1;
+        let mut record = TxnRecord::new(id);
+        let mut seq = 0u32;
+        for (key, is_write) in txn_ops {
+            let key = key as u64 % 8;
+            if is_write {
+                let value = tag_value(id, seq, b"");
+                seq += 1;
+                store.insert(key, value.clone());
+                record.write(key, value);
+            } else {
+                record.read(key, store.get(&key).cloned());
+            }
+        }
+        record.commit(id);
+        history.push(record);
+    }
+    history
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every serially executed history is accepted, and the witness order it
+    /// reports is a permutation of the committed transactions.
+    #[test]
+    fn serial_executions_are_always_accepted(
+        ops in prop::collection::vec(
+            prop::collection::vec((any::<u8>(), any::<bool>()), 0..6),
+            1..12,
+        )
+    ) {
+        let history = serial_history(ops);
+        let committed = history.committed_count();
+        let report = check_serializable(&history).expect("serial history rejected");
+        prop_assert_eq!(report.committed, committed);
+        let mut order = report.serial_order.clone();
+        order.sort_unstable();
+        order.dedup();
+        prop_assert_eq!(order.len(), report.serial_order.len());
+    }
+
+    /// Corrupting one observed read value to something no writer produced is
+    /// always detected.
+    #[test]
+    fn corrupted_reads_are_always_detected(
+        ops in prop::collection::vec(
+            prop::collection::vec((any::<u8>(), any::<bool>()), 1..5),
+            2..8,
+        ),
+        corrupt_byte in any::<u8>(),
+    ) {
+        let history = serial_history(ops);
+        // Rebuild the history, replacing the first committed read with a
+        // value that cannot have been produced by any writer.
+        let mut corrupted = History::new();
+        let mut tampered = false;
+        for txn in history.transactions() {
+            let mut record = TxnRecord::new(txn.id);
+            record.committed = txn.committed;
+            record.commit_ts = txn.commit_ts;
+            for op in &txn.ops {
+                match op {
+                    HistoryOp::Read { key, observed } if !tampered && observed.is_some() => {
+                        record.read(*key, Some(vec![0xEE, corrupt_byte, 0xEE]));
+                        tampered = true;
+                    }
+                    HistoryOp::Read { key, observed } => record.read(*key, observed.clone()),
+                    HistoryOp::Write { key, value } => record.write(*key, value.clone()),
+                }
+            }
+            corrupted.push(record);
+        }
+        prop_assume!(tampered);
+        let err = check_serializable(&corrupted).expect_err("tampered read not detected");
+        prop_assert!(matches!(err, Violation::ReadFromUnknownWriter { .. }), "{}", err);
+    }
+
+    /// Uniform histograms pass the plausibility check; histograms with one
+    /// dominating bin fail it.
+    #[test]
+    fn uniformity_check_separates_uniform_from_spiked(
+        bins in 8usize..64,
+        per_bin in 50u64..500,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = DetRng::new(seed);
+        let total = bins as u64 * per_bin;
+        let mut uniform = vec![0u64; bins];
+        for _ in 0..total {
+            uniform[rng.below(bins as u64) as usize] += 1;
+        }
+        prop_assert!(is_plausibly_uniform(&uniform),
+            "chi2 = {}", chi_square_uniform(&uniform));
+
+        let mut spiked = vec![per_bin / 10 + 1; bins];
+        spiked[0] = total;
+        prop_assert!(!is_plausibly_uniform(&spiked));
+    }
+}

@@ -1,0 +1,103 @@
+//! A miniature electronic-health-record service on Obladi.
+//!
+//! This is the paper's motivating scenario (§1): a medical practice keeps
+//! its records in the cloud, but access patterns — *which* patient chart is
+//! opened, *how often* a patient shows up for chemotherapy — are themselves
+//! sensitive.  The example runs the FreeHealth-style workload on Obladi and
+//! shows that the storage trace is indistinguishable between two very
+//! different clinical days.
+//!
+//! Run with: `cargo run --example medical_records`
+
+use obladi::prelude::*;
+use obladi::workloads::{FreeHealthConfig, FreeHealthTxn, FreeHealthWorkload};
+use obladi_common::rng::DetRng;
+use std::time::Duration;
+
+fn open_clinic(seed: u64) -> Result<(ObladiDb, FreeHealthWorkload)> {
+    let workload = FreeHealthWorkload::new(FreeHealthConfig {
+        users: 4,
+        patients: 64,
+        drugs: 32,
+        episodes_per_patient: 1,
+        list_limit: 3,
+    });
+    let mut config = ObladiConfig::small_for_tests(8_192);
+    config.epoch.read_batches = 4;
+    config.epoch.read_batch_size = 32;
+    config.epoch.write_batch_size = 64;
+    config.epoch.batch_interval = Duration::from_millis(2);
+    config.seed = seed;
+    let db = ObladiDb::open(config)?;
+    workload.setup(&db)?;
+    // Reset storage counters so we only measure the "clinical day".
+    db.store().reset_stats();
+    Ok((db, workload))
+}
+
+use obladi::workloads::Workload;
+
+fn run_day(db: &ObladiDb, workload: &FreeHealthWorkload, day: &[(FreeHealthTxn, u32)], seed: u64) {
+    let mut rng = DetRng::new(seed);
+    for (kind, count) in day {
+        for _ in 0..*count {
+            // Retry aborted transactions, as a clinical front-end would.
+            for _ in 0..5 {
+                match workload.run_txn(db, *kind, &mut rng) {
+                    Ok(true) => break,
+                    Ok(false) => continue,
+                    Err(err) => {
+                        eprintln!("transaction error: {err}");
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn main() -> Result<()> {
+    // Day A: an ordinary clinic day — mostly lookups, a few new episodes.
+    let day_a: Vec<(FreeHealthTxn, u32)> = vec![
+        (FreeHealthTxn::PatientSummary, 12),
+        (FreeHealthTxn::ListEpisodes, 8),
+        (FreeHealthTxn::CreateEpisode, 4),
+        (FreeHealthTxn::CreatePrescription, 3),
+        (FreeHealthTxn::CheckDrugInteractions, 3),
+    ];
+    // Day B: one oncology patient visited repeatedly — exactly the kind of
+    // frequency pattern the paper argues must stay hidden.
+    let day_b: Vec<(FreeHealthTxn, u32)> = vec![
+        (FreeHealthTxn::ReadEpisodeContents, 20),
+        (FreeHealthTxn::CreateEpisode, 8),
+        (FreeHealthTxn::PrescribeWithInteractionCheck, 2),
+    ];
+
+    let mut observations = Vec::new();
+    for (label, day) in [("ordinary day", &day_a), ("chemo-heavy day", &day_b)] {
+        let (db, workload) = open_clinic(7)?;
+        run_day(&db, &workload, day, 99);
+        let store = db.store().stats();
+        let proxy = db.stats();
+        println!(
+            "{label:>16}: {} txns committed, storage saw {} slot reads / {} bucket writes \
+             across {} epochs",
+            proxy.committed,
+            store.slot_reads,
+            store.bucket_writes,
+            proxy.epochs,
+        );
+        observations.push((store.slot_reads, proxy.epochs));
+        db.shutdown();
+    }
+
+    println!();
+    println!(
+        "The storage trace is a fixed rhythm of padded batches: per-epoch request \
+         counts are identical across the two days ({} vs {} slot reads per epoch), \
+         so the provider cannot tell the chemotherapy schedule from an ordinary day.",
+        observations[0].0 / observations[0].1.max(1),
+        observations[1].0 / observations[1].1.max(1),
+    );
+    Ok(())
+}
