@@ -27,7 +27,7 @@ fn bench_proxy(c: &mut Criterion) {
     db.shutdown();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_proxy

@@ -5,18 +5,17 @@
 //! by switching exactly one of them off (or to a deliberately bad value) at
 //! a time and re-running the same YCSB mix on the same backend:
 //!
-//! * `baseline`        — the tuned configuration;
-//! * `no-durability`   — path logging and checkpointing disabled (upper
-//!                       bound on what durability costs, Table 11b's
-//!                       "Slowdown" column);
+//! * `baseline` — the tuned configuration;
+//! * `no-durability` — path logging and checkpointing disabled (upper
+//!   bound on what durability costs, Table 11b's "Slowdown" column);
 //! * `sequential-exec` — a single executor thread, i.e. no intra- or
-//!                       inter-request parallelism inside a batch (§7);
+//!   inter-request parallelism inside a batch (§7);
 //! * `checkpoint-every-epoch` — full metadata checkpoints instead of deltas
-//!                       amortised over many epochs (Figure 11a's x = 1);
-//! * `starved-reads`   — too few read batches for the transaction's read
-//!                       chain, showing why §6.4 sizes `R` to the workload;
+//!   amortised over many epochs (Figure 11a's x = 1);
+//! * `starved-reads` — too few read batches for the transaction's read
+//!   chain, showing why §6.4 sizes `R` to the workload;
 //! * `oversized-writes` — a write batch far larger than the write rate,
-//!                       paying padding for nothing.
+//!   paying padding for nothing.
 //!
 //! Reported per variant: committed throughput, mean / p99 latency, abort
 //! rate, and physical ORAM requests per committed transaction.

@@ -161,7 +161,13 @@ pub fn bench_app<W: Workload>(app: &'static str, workload: &W, rows: u64, opts: 
 
     print_header(
         &format!("Figure 9 — {app}: throughput and latency"),
-        &["engine", "throughput_txn_s", "mean_latency_ms", "p99_latency_ms", "abort_rate"],
+        &[
+            "engine",
+            "throughput_txn_s",
+            "mean_latency_ms",
+            "p99_latency_ms",
+            "abort_rate",
+        ],
     );
     for r in &results {
         print_row(&[

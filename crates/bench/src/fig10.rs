@@ -22,7 +22,9 @@ use std::time::Instant;
 const PRELOADED_KEYS: u64 = 1_000;
 
 fn preload(oram: &mut RingOram) {
-    let writes: Vec<(Key, Vec<u8>)> = (0..PRELOADED_KEYS).map(|k| (k, vec![k as u8; 32])).collect();
+    let writes: Vec<(Key, Vec<u8>)> = (0..PRELOADED_KEYS)
+        .map(|k| (k, vec![k as u8; 32]))
+        .collect();
     for chunk in writes.chunks(256) {
         oram.write_batch(chunk, &NoopPathLogger).unwrap();
         oram.flush_writes(&NoopPathLogger).unwrap();
@@ -78,7 +80,12 @@ fn run_oram_reads(
 pub fn run_fig10a(opts: &BenchOpts) {
     print_header(
         "Figure 10a — ORAM parallelism (batch size 500)",
-        &["backend", "sequential_ops_s", "parallel_ops_s", "parallel_crypto_ops_s"],
+        &[
+            "backend",
+            "sequential_ops_s",
+            "parallel_ops_s",
+            "parallel_crypto_ops_s",
+        ],
     );
     let batch = if opts.full { 500 } else { 200 };
     let seq_ops = if opts.full { 400 } else { 60 };
@@ -128,7 +135,10 @@ pub fn run_fig10bc(opts: &BenchOpts, print_latency: bool) {
     };
     let mut columns = vec!["backend".to_string()];
     columns.extend(batch_sizes.iter().map(|b| format!("b={b}")));
-    print_header(title, &columns.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    print_header(
+        title,
+        &columns.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
 
     for kind in BackendKind::ALL {
         let mut cells = vec![kind.name().to_string()];
@@ -138,7 +148,11 @@ pub fn run_fig10bc(opts: &BenchOpts, print_latency: bool) {
             let mut rng = DetRng::new(opts.seed ^ batch as u64);
             let total = (batch * 3).clamp(60, if opts.full { 6000 } else { 2000 });
             let (tput, latency) = run_oram_reads(&mut oram, batch, total, 1, &mut rng);
-            cells.push(if print_latency { fmt1(latency) } else { fmt1(tput) });
+            cells.push(if print_latency {
+                fmt1(latency)
+            } else {
+                fmt1(tput)
+            });
         }
         print_row(&cells);
     }
@@ -149,7 +163,12 @@ pub fn run_fig10bc(opts: &BenchOpts, print_latency: bool) {
 pub fn run_fig10d(opts: &BenchOpts) {
     print_header(
         "Figure 10d — delayed visibility (epoch of 8 batches)",
-        &["backend", "immediate_writeback_ops_s", "buffered_writeback_ops_s", "speedup"],
+        &[
+            "backend",
+            "immediate_writeback_ops_s",
+            "buffered_writeback_ops_s",
+            "speedup",
+        ],
     );
     let batch = if opts.full { 500 } else { 128 };
     let epoch_batches = 8;
@@ -249,7 +268,14 @@ pub fn run_fig10f(opts: &BenchOpts) {
             }
         });
         let rows = workload.config().num_accounts * 2;
-        sweep_app("smallbank", &workload, rows, &intervals_ms, opts, bench_obladi_only);
+        sweep_app(
+            "smallbank",
+            &workload,
+            rows,
+            &intervals_ms,
+            opts,
+            bench_obladi_only,
+        );
     }
     // FreeHealth.
     {
@@ -266,7 +292,14 @@ pub fn run_fig10f(opts: &BenchOpts) {
         });
         let cfg = workload.config();
         let rows = cfg.users + cfg.drugs + cfg.patients * (2 + cfg.episodes_per_patient * 2);
-        sweep_app("freehealth", &workload, rows, &intervals_ms, opts, bench_obladi_only);
+        sweep_app(
+            "freehealth",
+            &workload,
+            rows,
+            &intervals_ms,
+            opts,
+            bench_obladi_only,
+        );
     }
     // TPC-C.
     {
@@ -285,8 +318,18 @@ pub fn run_fig10f(opts: &BenchOpts) {
         });
         let cfg = workload.config();
         let rows = cfg.items
-            + cfg.warehouses * (1 + cfg.items + cfg.districts_per_warehouse * (1 + cfg.customers_per_district + cfg.last_names));
-        sweep_app("tpcc", &workload, rows, &intervals_ms, opts, bench_obladi_only);
+            + cfg.warehouses
+                * (1 + cfg.items
+                    + cfg.districts_per_warehouse
+                        * (1 + cfg.customers_per_district + cfg.last_names));
+        sweep_app(
+            "tpcc",
+            &workload,
+            rows,
+            &intervals_ms,
+            opts,
+            bench_obladi_only,
+        );
     }
 }
 

@@ -65,7 +65,9 @@ impl EpochRunner<'_> {
         if durable {
             self.oram.write_batch(&writes, self.manager).unwrap();
             self.oram.flush_writes(self.manager).unwrap();
-            self.manager.commit_epoch(self.epoch, &mut self.oram).unwrap();
+            self.manager
+                .commit_epoch(self.epoch, &mut self.oram)
+                .unwrap();
         } else {
             self.oram.write_batch(&writes, &NoopPathLogger).unwrap();
             self.oram.flush_writes(&NoopPathLogger).unwrap();
@@ -203,7 +205,15 @@ pub fn run_fig11b(opts: &BenchOpts) {
     };
     print_header(
         "Table 11b — recovery time breakdown (ms)",
-        &["size", "slowdown", "rec_time_ms", "network_ms", "pos_ms", "perm_ms", "paths_ms"],
+        &[
+            "size",
+            "slowdown",
+            "rec_time_ms",
+            "network_ms",
+            "pos_ms",
+            "perm_ms",
+            "paths_ms",
+        ],
     );
     for (objects, populated, label) in sizes {
         let run = durability_run(objects, populated, 4, opts);
@@ -230,8 +240,7 @@ mod tests {
         assert!(run.slowdown > 0.0, "slowdown must be a positive ratio");
         assert!(run.recovery_ms >= 0.0);
         assert!(
-            run.recovery_ms + 1e-9
-                >= 0.0_f64.max(run.paths_ms * 0.0),
+            run.recovery_ms + 1e-9 >= 0.0_f64.max(run.paths_ms * 0.0),
             "sanity"
         );
     }

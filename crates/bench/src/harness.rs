@@ -159,8 +159,10 @@ mod tests {
     #[test]
     fn micro_config_scales_with_mode() {
         let quick = micro_oram_config(&BenchOpts::default());
-        let mut full_opts = BenchOpts::default();
-        full_opts.full = true;
+        let full_opts = BenchOpts {
+            full: true,
+            ..BenchOpts::default()
+        };
         let full = micro_oram_config(&full_opts);
         assert!(full.num_objects > quick.num_objects);
         assert_eq!(full.z, 100);

@@ -19,6 +19,7 @@ pub mod ablation;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11;
+pub mod fig_shard;
 pub mod harness;
 pub mod opts;
 

@@ -121,7 +121,15 @@ mod tests {
     #[test]
     fn individual_flags_parse() {
         let opts = BenchOpts::from_slice(&s(&[
-            "bench", "--scale", "0.5", "--seconds", "9", "--clients", "4", "--seed", "123",
+            "bench",
+            "--scale",
+            "0.5",
+            "--seconds",
+            "9",
+            "--clients",
+            "4",
+            "--seed",
+            "123",
         ]));
         assert_eq!(opts.latency_scale, 0.5);
         assert_eq!(opts.duration, Duration::from_secs(9));

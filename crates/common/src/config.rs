@@ -296,9 +296,7 @@ impl EpochConfig {
             return Err(ObladiError::Config("R must be at least 1".into()));
         }
         if self.read_batch_size == 0 || self.write_batch_size == 0 {
-            return Err(ObladiError::Config(
-                "batch sizes must be at least 1".into(),
-            ));
+            return Err(ObladiError::Config("batch sizes must be at least 1".into()));
         }
         if self.executor_threads == 0 {
             return Err(ObladiError::Config(
@@ -411,6 +409,74 @@ impl Default for ObladiConfig {
     }
 }
 
+/// Configuration of a sharded deployment: `shards` fully independent
+/// proxy+ORAM pipelines behind one transactional front door (`obladi-shard`).
+///
+/// Each shard runs its own copy of the `shard` template configuration over
+/// its own storage backend; only the seed is re-derived per shard so the
+/// shards' ORAM permutations and leaf assignments are independent.  Keys are
+/// placed by a keyed hash of the logical key, so the key space splits
+/// uniformly and placement reveals nothing about the workload beyond what a
+/// uniform random assignment would.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// Number of independent shards (`>= 1`).
+    pub shards: usize,
+    /// Per-shard proxy configuration template.
+    ///
+    /// `shard.oram.num_objects` is the capacity of *one* shard, so a
+    /// deployment holds `shards * num_objects` objects in total.
+    pub shard: ObladiConfig,
+}
+
+impl ShardConfig {
+    /// A sharded configuration suitable for unit and integration tests:
+    /// `shards` shards, each sized for `objects_per_shard` objects.
+    pub fn small_for_tests(shards: usize, objects_per_shard: u64) -> Self {
+        ShardConfig {
+            shards,
+            shard: ObladiConfig::small_for_tests(objects_per_shard),
+        }
+    }
+
+    /// Derives the configuration of shard `index`: the template with a
+    /// per-shard seed, so randomness streams are independent across shards.
+    pub fn shard_config(&self, index: usize) -> ObladiConfig {
+        let mut config = self.shard.clone();
+        // SplitMix64-style mixing keeps per-shard seeds independent even for
+        // adjacent indices.
+        let mut x = (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        config.seed = self.shard.seed ^ x;
+        config
+    }
+
+    /// Validates the shard count and the per-shard template.
+    pub fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(ObladiError::Config(
+                "a sharded deployment needs at least one shard".into(),
+            ));
+        }
+        if self.shards > 4096 {
+            return Err(ObladiError::Config(format!(
+                "shard count {} is implausibly large (max 4096)",
+                self.shards
+            )));
+        }
+        self.shard.validate()
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 4,
+            shard: ObladiConfig::default(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,6 +535,20 @@ mod tests {
         ObladiConfig::small_for_tests(500).validate().unwrap();
         EpochConfig::oltp().validate().unwrap();
         ObladiConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn shard_config_validates_and_derives_distinct_seeds() {
+        let cfg = ShardConfig::small_for_tests(4, 256);
+        cfg.validate().unwrap();
+        let seeds: std::collections::HashSet<u64> =
+            (0..4).map(|i| cfg.shard_config(i).seed).collect();
+        assert_eq!(seeds.len(), 4, "per-shard seeds must be distinct");
+
+        let mut bad = cfg.clone();
+        bad.shards = 0;
+        assert!(bad.validate().is_err());
+        ShardConfig::default().validate().unwrap();
     }
 
     #[test]

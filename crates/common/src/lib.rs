@@ -23,12 +23,10 @@ pub mod types;
 pub mod zipf;
 
 pub use clock::{Clock, RealClock, TestClock};
-pub use config::{BackendKind, EpochConfig, ObladiConfig, OramConfig};
+pub use config::{BackendKind, EpochConfig, ObladiConfig, OramConfig, ShardConfig};
 pub use error::{ObladiError, Result};
 pub use latency::{LatencyModel, LatencyProfile};
 pub use rng::DetRng;
 pub use stats::{LatencyRecorder, RunStats};
-pub use types::{
-    BatchId, BucketId, EpochId, Key, Leaf, OpKind, Timestamp, TxnId, Value, Version,
-};
+pub use types::{BatchId, BucketId, EpochId, Key, Leaf, OpKind, Timestamp, TxnId, Value, Version};
 pub use zipf::Zipf;

@@ -60,6 +60,22 @@ pub trait KvDatabase: Send + Sync {
     fn engine_name(&self) -> &'static str;
 }
 
+/// A deployable database front door: a [`KvDatabase`] with the operational
+/// surface the load driver and benchmarks need to treat a single proxy and a
+/// sharded deployment interchangeably.
+///
+/// `ObladiDb` and `obladi-shard`'s `ShardedDb` both implement this, so a
+/// benchmark can sweep deployment shapes (shard counts, epoch settings)
+/// through one code path.
+pub trait FrontDoor: KvDatabase {
+    /// Human-readable deployment description (engine plus topology), used
+    /// to label benchmark rows.
+    fn deployment(&self) -> String;
+
+    /// Stops background machinery (epoch drivers, coordinators).  Idempotent.
+    fn stop(&self);
+}
+
 /// Outcome bookkeeping shared by engines: translate a commit decision into a
 /// `Result`, mapping aborts to errors.
 pub fn outcome_to_result(outcome: TxnOutcome) -> Result<()> {

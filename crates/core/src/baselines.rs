@@ -168,7 +168,7 @@ impl NoPrivTxn<'_> {
                     self.db.committed.fetch_add(1, Ordering::Relaxed);
                     self.db.commit_wakeup.notify_all();
                     // Periodic garbage collection keeps version chains short.
-                    if self.id % 256 == 0 {
+                    if self.id.is_multiple_of(256) {
                         let horizon = self.id.saturating_sub(1024);
                         self.db.mvtso.lock().garbage_collect(horizon);
                     }

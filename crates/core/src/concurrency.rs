@@ -312,9 +312,7 @@ impl MvtsoManager {
             .ok_or_else(|| ObladiError::Internal(format!("unknown transaction {txn}")))?;
         match record.status {
             TxnStatus::Committed => return Ok(true),
-            TxnStatus::Aborted(reason) => {
-                return Err(ObladiError::TxnAborted(reason.to_string()))
-            }
+            TxnStatus::Aborted(reason) => return Err(ObladiError::TxnAborted(reason.to_string())),
             _ => {}
         }
         let deps: Vec<TxnId> = record.dependencies.iter().copied().collect();
@@ -323,9 +321,7 @@ impl MvtsoManager {
                 Some(TxnStatus::Committed) | None => {}
                 Some(TxnStatus::Aborted(_)) => {
                     self.abort(txn, AbortReason::Cascading);
-                    return Err(ObladiError::TxnAborted(
-                        AbortReason::Cascading.to_string(),
-                    ));
+                    return Err(ObladiError::TxnAborted(AbortReason::Cascading.to_string()));
                 }
                 Some(_) => return Ok(false),
             }
@@ -449,7 +445,11 @@ impl MvtsoManager {
     /// garbage collection).
     pub fn garbage_collect(&mut self, horizon: Timestamp) {
         self.txns.retain(|id, record| {
-            *id >= horizon || matches!(record.status, TxnStatus::Active | TxnStatus::CommitRequested)
+            *id >= horizon
+                || matches!(
+                    record.status,
+                    TxnStatus::Active | TxnStatus::CommitRequested
+                )
         });
         for chain in self.chains.values_mut() {
             if let Some(last_committed_ts) = chain
@@ -486,9 +486,7 @@ impl MvtsoManager {
     fn check_active(&self, txn: TxnId) -> Result<()> {
         match self.txns.get(&txn).map(|r| r.status) {
             Some(TxnStatus::Active) | Some(TxnStatus::CommitRequested) => Ok(()),
-            Some(TxnStatus::Aborted(reason)) => {
-                Err(ObladiError::TxnAborted(reason.to_string()))
-            }
+            Some(TxnStatus::Aborted(reason)) => Err(ObladiError::TxnAborted(reason.to_string())),
             Some(TxnStatus::Committed) => Err(ObladiError::Internal(format!(
                 "transaction {txn} already committed"
             ))),

@@ -128,7 +128,7 @@ impl DurabilityManager {
         // The first epoch is always a full checkpoint (it is the base every
         // later delta applies to); afterwards every `checkpoint_every`-th
         // epoch refreshes the base.
-        let full = epoch == 1 || epoch % self.checkpoint_every as u64 == 0;
+        let full = epoch == 1 || epoch.is_multiple_of(self.checkpoint_every as u64);
         if full {
             let payload = oram.checkpoint_full();
             let sealed = self
@@ -146,7 +146,7 @@ impl DurabilityManager {
                 .append(WalRecordKind::CheckpointDelta, epoch, &sealed.bytes)?;
         }
         self.wal.append(WalRecordKind::EpochCommit, epoch, &[])?;
-        self.counter.advance_epoch();
+        self.counter.advance_epoch_to(epoch);
         Ok(())
     }
 
@@ -306,14 +306,8 @@ mod tests {
         let store: Arc<dyn UntrustedStore> = Arc::new(InMemoryStore::new());
         let counter = TrustedCounter::new();
         let manager = DurabilityManager::new(&keys, store.clone(), counter, &config.epoch);
-        let oram = RingOram::new(
-            config.oram,
-            &keys,
-            store.clone(),
-            ExecOptions::default(),
-            7,
-        )
-        .unwrap();
+        let oram =
+            RingOram::new(config.oram, &keys, store.clone(), ExecOptions::default(), 7).unwrap();
         (manager, oram, store)
     }
 
@@ -400,7 +394,10 @@ mod tests {
         let (mut recovered, next_epoch, report) = manager
             .recover(config, &keys(), ExecOptions::default(), 23)
             .unwrap();
-        assert_eq!(next_epoch, 1, "nothing durable: the system restarts at epoch 1");
+        assert_eq!(
+            next_epoch, 1,
+            "nothing durable: the system restarts at epoch 1"
+        );
         assert_eq!(report.recovered_epoch, 0);
 
         let writes: Vec<(u64, Vec<u8>)> = (0..24).map(|k| (k, vec![k as u8; 8])).collect();
@@ -429,7 +426,8 @@ mod tests {
 
         // Epoch 2 issues some reads (logged), then the proxy crashes.
         manager.set_current_epoch(2);
-        oram.read_batch(&[Some(1), Some(2), None], &manager).unwrap();
+        oram.read_batch(&[Some(1), Some(2), None], &manager)
+            .unwrap();
         let config = *oram.config();
         drop(oram);
 

@@ -40,8 +40,8 @@ pub mod concurrency;
 pub mod durability;
 pub mod proxy;
 
-pub use api::{KvDatabase, KvTransaction};
+pub use api::{FrontDoor, KvDatabase, KvTransaction};
 pub use baselines::{NoPrivDb, TwoPhaseLockingDb};
 pub use concurrency::{MvtsoManager, ReadOutcome, TxnStatus};
 pub use durability::{DurabilityManager, RecoveryReport};
-pub use proxy::{ObladiDb, ObladiTxn, ProxyStats};
+pub use proxy::{CandidateSource, EpochGate, ObladiDb, ObladiTxn, ProxyStats};

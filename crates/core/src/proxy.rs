@@ -42,6 +42,52 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Produces the proxy's current commit candidates: the transactions that
+/// have requested commit and fit the epoch's write-batch capacity.
+///
+/// The coordinator of a sharded deployment calls this at *decision* time —
+/// possibly from another shard's driver thread — so a cross-shard commit
+/// whose requests raced in after this shard reached its epoch barrier still
+/// gets counted.  The closure takes the proxy's state lock; callers must not
+/// hold it.
+pub type CandidateSource = Arc<dyn Fn() -> Vec<TxnId> + Send + Sync>;
+
+/// A hook that lets an external coordinator arbitrate which transactions of
+/// an epoch are allowed to commit.
+///
+/// The sharded deployment (`obladi-shard`) installs one gate per shard: the
+/// gate call doubles as an **epoch barrier** (it blocks until every shard has
+/// reached the end of its epoch) and as a **commit vote** (a transaction that
+/// spans several shards commits only if every participating shard reports it
+/// as ready).  A proxy without a gate behaves exactly as before.
+///
+/// `permit_commits` runs on the epoch-driver thread with no proxy locks
+/// held; it may block.  Commit requests that arrive after the coordinator's
+/// decision are aborted with [`AbortReason::EpochEnd`] (retryable) so
+/// nothing can commit behind the coordinator's back.
+pub trait EpochGate: Send + Sync {
+    /// Called before finalising `epoch`; `candidates` yields the proxy's
+    /// commit candidates when sampled.  Returns the set of transactions
+    /// allowed to commit; every other commit-requested transaction aborts
+    /// with a retryable reason.
+    fn permit_commits(&self, epoch: EpochId, candidates: CandidateSource) -> Vec<TxnId>;
+
+    /// Called after `epoch`'s outcomes have been published (durably when the
+    /// epoch succeeded, as aborts when it failed).
+    fn epoch_finalized(&self, epoch: EpochId) {
+        let _ = epoch;
+    }
+
+    /// Called (with no proxy locks held) when the proxy crashes — whether by
+    /// an explicit [`ObladiDb::crash`] or by storage-fault fate sharing.  A
+    /// coordinator must stop waiting for this proxy at epoch rendezvous.
+    fn proxy_crashed(&self) {}
+
+    /// Called (with no proxy locks held) when [`ObladiDb::recover`]
+    /// completes, so a coordinator can re-admit the proxy to rendezvous.
+    fn proxy_recovered(&self) {}
+}
+
 /// Aggregate proxy statistics.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ProxyStats {
@@ -104,6 +150,7 @@ struct ProxyInner {
     shutdown: AtomicBool,
     crashed: AtomicBool,
     stats: Mutex<ProxyStats>,
+    epoch_gate: Mutex<Option<Arc<dyn EpochGate>>>,
 }
 
 /// The Obladi database handle (the trusted proxy).
@@ -164,6 +211,7 @@ impl ObladiDb {
             shutdown: AtomicBool::new(false),
             crashed: AtomicBool::new(false),
             stats: Mutex::new(ProxyStats::default()),
+            epoch_gate: Mutex::new(None),
         });
         let driver_inner = inner.clone();
         let driver = std::thread::Builder::new()
@@ -198,10 +246,23 @@ impl ObladiDb {
 
     /// Begins a transaction.
     pub fn begin(&self) -> Result<ObladiTxn<'_>> {
+        let ts = self.inner.next_ts.fetch_add(1, Ordering::SeqCst) + 1;
+        self.begin_at(ts)
+    }
+
+    /// Begins a transaction with an externally assigned MVTSO timestamp.
+    ///
+    /// The sharded front door stamps transactions from one global timestamp
+    /// oracle so the serialization order is total *across* shards; each
+    /// participating shard then opens its local piece of the transaction at
+    /// that same timestamp.  The caller must guarantee timestamps are unique
+    /// per proxy; the proxy's own generator is bumped past `ts` so mixing
+    /// [`ObladiDb::begin`] calls in cannot collide.
+    pub fn begin_at(&self, ts: TxnId) -> Result<ObladiTxn<'_>> {
         if self.inner.crashed.load(Ordering::SeqCst) {
             return Err(ObladiError::ProxyUnavailable);
         }
-        let ts = self.inner.next_ts.fetch_add(1, Ordering::SeqCst) + 1;
+        self.inner.next_ts.fetch_max(ts, Ordering::SeqCst);
         let mut state = self.inner.state.lock();
         state.mvtso.begin(ts);
         state.active_txns.insert(ts);
@@ -214,30 +275,52 @@ impl ObladiDb {
         })
     }
 
+    /// Installs an [`EpochGate`] consulted before every epoch finalisation.
+    pub fn set_epoch_gate(&self, gate: Arc<dyn EpochGate>) {
+        *self.inner.epoch_gate.lock() = Some(gate);
+    }
+
+    /// Blocks until the epoch that is current at the time of the call has
+    /// been superseded (or `timeout` elapses, or the proxy crashes / shuts
+    /// down).  Returns `true` if a fresh epoch began.
+    ///
+    /// Epoch-overflow aborts (`BatchFull`) are retryable but pointless to
+    /// retry *within* the same epoch — its batch capacity stays exhausted
+    /// until finalisation.  Retry loops (the sharded front door, clients)
+    /// use this to wait exactly as long as needed and no longer.
+    pub fn wait_epoch_rollover(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.inner.state.lock();
+        let generation = state.generation;
+        loop {
+            if state.generation != generation {
+                return true;
+            }
+            if self.inner.shutdown.load(Ordering::SeqCst)
+                || self.inner.crashed.load(Ordering::SeqCst)
+            {
+                return false;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.inner
+                .client_wakeup
+                .wait_for(&mut state, deadline - now);
+        }
+    }
+
+    /// The identifier of the epoch currently executing.
+    pub fn current_epoch(&self) -> EpochId {
+        self.inner.state.lock().epoch
+    }
+
     /// Simulates a proxy crash: all volatile state (epoch state, version
     /// cache, ORAM client metadata, stash) is dropped and every in-flight
     /// transaction aborts.  The trusted counter and cloud storage survive.
     pub fn crash(&self) {
-        self.inner.crashed.store(true, Ordering::SeqCst);
-        // Volatile ORAM client state is lost.
-        *self.inner.oram.lock() = None;
-        let mut state = self.inner.state.lock();
-        let active: Vec<TxnId> = state.active_txns.drain().collect();
-        for txn in active {
-            state
-                .outcomes
-                .insert(txn, TxnOutcome::Aborted(AbortReason::Crash));
-        }
-        let epoch = state.epoch;
-        let generation = state.generation + 1;
-        // Preserve already-decided outcomes so clients waiting on them can
-        // still observe the verdict after the crash.
-        let outcomes_carry = std::mem::take(&mut state.outcomes);
-        *state = EpochState::new(epoch, generation);
-        state.outcomes = outcomes_carry;
-        drop(state);
-        self.inner.client_wakeup.notify_all();
-        self.inner.driver_wakeup.notify_all();
+        crash_inner(&self.inner);
     }
 
     /// Recovers from a crash using the recovery unit (§8) and resumes
@@ -269,6 +352,10 @@ impl ObladiDb {
         }
         self.inner.crashed.store(false, Ordering::SeqCst);
         self.inner.driver_wakeup.notify_all();
+        let gate = self.inner.epoch_gate.lock().clone();
+        if let Some(gate) = gate {
+            gate.proxy_recovered();
+        }
         Ok(report)
     }
 
@@ -291,6 +378,16 @@ impl ObladiDb {
 
 impl Drop for ObladiDb {
     fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl crate::api::FrontDoor for ObladiDb {
+    fn deployment(&self) -> String {
+        "obladi".to_string()
+    }
+
+    fn stop(&self) {
         self.shutdown();
     }
 }
@@ -392,12 +489,33 @@ impl ObladiTxn<'_> {
     /// Requests commit and blocks until the epoch ends, returning the
     /// commit/abort decision (delayed visibility).
     pub fn commit(mut self) -> Result<TxnOutcome> {
+        self.request_commit()?;
+        self.await_outcome()
+    }
+
+    /// Registers the commit request without waiting for the epoch to end.
+    ///
+    /// Together with [`ObladiTxn::await_outcome`] this splits [`ObladiTxn::commit`]
+    /// in two, which a multi-shard transaction needs: its commit must be
+    /// *requested* on every participating shard before the global epoch
+    /// barrier, and only then can the caller block for the (coordinated)
+    /// outcomes.  After this call the transaction can no longer be rolled
+    /// back by the client.
+    pub fn request_commit(&mut self) -> Result<()> {
         let inner = &self.db.inner;
         let mut state = inner.state.lock();
         self.finished = true;
         if state.generation == self.generation {
             state.mvtso.request_commit(self.id)?;
         }
+        Ok(())
+    }
+
+    /// Blocks until the epoch of a previously requested commit ends and
+    /// returns the decision. Call after [`ObladiTxn::request_commit`].
+    pub fn await_outcome(self) -> Result<TxnOutcome> {
+        let inner = &self.db.inner;
+        let mut state = inner.state.lock();
         loop {
             // The outcome map is the source of truth; it is populated once
             // the transaction's epoch has been made durable.
@@ -448,9 +566,7 @@ impl ObladiTxn<'_> {
         }
         if state.generation != self.generation {
             self.finished = true;
-            return Err(ObladiError::TxnAborted(
-                AbortReason::EpochEnd.to_string(),
-            ));
+            return Err(ObladiError::TxnAborted(AbortReason::EpochEnd.to_string()));
         }
         Ok(())
     }
@@ -513,8 +629,13 @@ fn epoch_driver(inner: Arc<ProxyInner>) {
                 break;
             }
             if let Err(err) = execute_read_batch(&inner) {
-                // Storage failure mid-epoch: abort the epoch (fate sharing).
-                abort_epoch(&inner, &err);
+                // Storage failure mid-epoch: the ORAM client's in-memory
+                // metadata may already have diverged from what the failed
+                // reads actually delivered, so continuing (and checkpointing
+                // that state in later epochs) would make the divergence
+                // durable.  Fate sharing treats the failure as a crash: drop
+                // all volatile state and wait for recovery (§8).
+                self_crash(&inner, &err);
                 break;
             }
         }
@@ -523,9 +644,62 @@ fn epoch_driver(inner: Arc<ProxyInner>) {
         }
 
         // ---- Finalise the epoch: write batch, commit decisions. ----
-        // A failure here has already been reflected in the published
-        // outcomes (epoch fate sharing), so there is nothing further to do.
-        let _ = finalize_epoch(&inner);
+        // The epoch's transactions have already been told they aborted if
+        // this fails (epoch fate sharing); the client state may be torn in
+        // the same way as a failed read batch, so treat it as a crash too.
+        if let Err(err) = finalize_epoch(&inner) {
+            self_crash(&inner, &err);
+        }
+    }
+}
+
+/// Crash entry point for the epoch driver's fate-sharing paths.
+///
+/// `ProxyUnavailable` means the ORAM client was already taken away by a
+/// concurrent external [`ObladiDb::crash`]; re-crashing here would race an
+/// interleaved [`ObladiDb::recover`] and wipe the freshly recovered state,
+/// so the driver just parks (the crashed flag, or its absence after a
+/// completed recovery, steers the main loop).  Every other error is a
+/// genuine storage/integrity failure discovered by this driver, which owns
+/// the decision to fate-share it into a crash.
+fn self_crash(inner: &Arc<ProxyInner>, err: &ObladiError) {
+    if matches!(err, ObladiError::ProxyUnavailable) {
+        return;
+    }
+    crash_inner(inner);
+}
+
+/// Drops all volatile proxy state after a crash (simulated or storage-fault
+/// induced): the ORAM client is discarded, every in-flight transaction
+/// aborts, and the proxy refuses work until [`ObladiDb::recover`] runs.
+/// Already-published outcomes are preserved so waiting clients can still
+/// collect their verdicts.
+fn crash_inner(inner: &Arc<ProxyInner>) {
+    inner.crashed.store(true, Ordering::SeqCst);
+    // Volatile ORAM client state is lost.
+    *inner.oram.lock() = None;
+    let mut state = inner.state.lock();
+    let active: Vec<TxnId> = state.active_txns.drain().collect();
+    for txn in active {
+        state
+            .outcomes
+            .insert(txn, TxnOutcome::Aborted(AbortReason::Crash));
+    }
+    let epoch = state.epoch;
+    let generation = state.generation + 1;
+    let outcomes_carry = std::mem::take(&mut state.outcomes);
+    *state = EpochState::new(epoch, generation);
+    state.outcomes = outcomes_carry;
+    drop(state);
+    inner.client_wakeup.notify_all();
+    inner.driver_wakeup.notify_all();
+    // Tell the gate (if any) with no proxy locks held: an external epoch
+    // coordinator must stop waiting for this proxy at the rendezvous, or a
+    // self-inflicted crash (storage-fault fate sharing) would stall every
+    // peer behind the barrier.
+    let gate = inner.epoch_gate.lock().clone();
+    if let Some(gate) = gate {
+        gate.proxy_crashed();
     }
 }
 
@@ -563,9 +737,7 @@ fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
 
     let values = {
         let mut oram_guard = inner.oram.lock();
-        let oram = oram_guard
-            .as_mut()
-            .ok_or(ObladiError::ProxyUnavailable)?;
+        let oram = oram_guard.as_mut().ok_or(ObladiError::ProxyUnavailable)?;
         oram.read_batch(&requests, &inner.durability)?
     };
 
@@ -577,7 +749,7 @@ fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
     }
 
     let mut state = inner.state.lock();
-    for (key, value) in keys.iter().zip(values.into_iter()) {
+    for (key, value) in keys.iter().zip(values) {
         state.mvtso.register_base(*key, value);
         state.in_flight.remove(key);
     }
@@ -588,6 +760,29 @@ fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
 
 fn finalize_epoch(inner: &Arc<ProxyInner>) -> Result<()> {
     let write_capacity = inner.config.epoch.write_batch_size;
+    let gate = inner.epoch_gate.lock().clone();
+
+    // Phase 0 (only when an epoch gate is installed): hand the gate a live
+    // view of this proxy's commit candidates and collect the permitted set.
+    // The gate call may block on the cross-shard epoch barrier, so no proxy
+    // lock is held across it; the candidate source re-samples (and
+    // capacity-enforces) the commit-requested set whenever the coordinator
+    // asks, so commit requests that land while this driver is already parked
+    // at the barrier still make the vote.
+    let permitted: Option<HashSet<TxnId>> = match &gate {
+        None => None,
+        Some(gate) => {
+            let epoch = inner.state.lock().epoch;
+            let source_inner = inner.clone();
+            let candidates: CandidateSource = Arc::new(move || {
+                let mut state = source_inner.state.lock();
+                enforce_write_capacity(&mut state, write_capacity);
+                state.mvtso.commit_requested_txns()
+            });
+            let permits = gate.permit_commits(epoch, candidates);
+            Some(permits.into_iter().collect())
+        }
+    };
 
     // Phase 1 (under the state lock): decide commits, collect the write
     // batch, and immediately roll the epoch over so that transactions that
@@ -598,22 +793,23 @@ fn finalize_epoch(inner: &Arc<ProxyInner>) -> Result<()> {
     let (epoch, writes, outcomes) = {
         let mut state = inner.state.lock();
 
-        // Enforce the write-batch capacity: commit-requested transactions
-        // are admitted in timestamp order until their combined (deduplicated)
-        // write set no longer fits; the rest abort with `BatchFull`.
-        let mut planned: HashSet<Key> = HashSet::new();
-        for txn in state.mvtso.commit_requested_txns() {
-            let write_set = state.mvtso.write_set(txn);
-            let new_keys = write_set
-                .iter()
-                .filter(|k| !planned.contains(*k))
-                .count();
-            if planned.len() + new_keys > write_capacity {
-                state.mvtso.abort(txn, AbortReason::BatchFull);
-            } else {
-                planned.extend(write_set);
+        // Apply the gate's verdict: every commit-requested transaction the
+        // coordinator did not permit — including requests that raced in
+        // after the decision — aborts retryably.
+        if let Some(permits) = &permitted {
+            for txn in state.mvtso.commit_requested_txns() {
+                if !permits.contains(&txn) {
+                    state.mvtso.abort(txn, AbortReason::EpochEnd);
+                }
             }
         }
+
+        // Enforce the write-batch capacity: commit-requested transactions
+        // are admitted in timestamp order until their combined (deduplicated)
+        // write set no longer fits; the rest abort with `BatchFull`.  (With
+        // a gate this re-runs over the already-enforced permitted set and is
+        // a no-op.)
+        enforce_write_capacity(&mut state, write_capacity);
 
         let (committed, aborted) = state.mvtso.finalize();
         let writes = state.mvtso.committed_tail_writes();
@@ -645,9 +841,7 @@ fn finalize_epoch(inner: &Arc<ProxyInner>) -> Result<()> {
     // are reported as aborted (epoch fate sharing).
     let io_result = (|| -> Result<()> {
         let mut oram_guard = inner.oram.lock();
-        let oram = oram_guard
-            .as_mut()
-            .ok_or(ObladiError::ProxyUnavailable)?;
+        let oram = oram_guard.as_mut().ok_or(ObladiError::ProxyUnavailable)?;
         oram.write_batch_padded(&writes, write_capacity, &inner.durability)?;
         oram.flush_writes(&inner.durability)?;
         inner.durability.commit_epoch(epoch, oram)?;
@@ -683,31 +877,26 @@ fn finalize_epoch(inner: &Arc<ProxyInner>) -> Result<()> {
         stats.real_writes += writes.len() as u64;
     }
     inner.client_wakeup.notify_all();
+    if let Some(gate) = &gate {
+        gate.epoch_finalized(epoch);
+    }
     io_result
 }
 
-/// Aborts the current epoch after an unrecoverable error (storage failure):
-/// every transaction aborts and a fresh epoch starts.  Mirrors epoch fate
-/// sharing without making the failure durable.
-fn abort_epoch(inner: &Arc<ProxyInner>, err: &ObladiError) {
-    let mut state = inner.state.lock();
-    let active: Vec<TxnId> = state.active_txns.drain().collect();
-    for txn in active {
-        state
-            .outcomes
-            .insert(txn, TxnOutcome::Aborted(AbortReason::Crash));
+/// Enforces the write-batch capacity: commit-requested transactions are
+/// admitted in timestamp order until their combined (deduplicated) write set
+/// no longer fits; the rest abort with [`AbortReason::BatchFull`].
+fn enforce_write_capacity(state: &mut EpochState, write_capacity: usize) {
+    let mut planned: HashSet<Key> = HashSet::new();
+    for txn in state.mvtso.commit_requested_txns() {
+        let write_set = state.mvtso.write_set(txn);
+        let new_keys = write_set.iter().filter(|k| !planned.contains(*k)).count();
+        if planned.len() + new_keys > write_capacity {
+            state.mvtso.abort(txn, AbortReason::BatchFull);
+        } else {
+            planned.extend(write_set);
+        }
     }
-    let next_epoch = state.epoch + 1;
-    let generation = state.generation + 1;
-    let outcomes_carry = std::mem::take(&mut state.outcomes);
-    *state = EpochState::new(next_epoch, generation);
-    state.outcomes = outcomes_carry;
-    drop(state);
-    let mut stats = inner.stats.lock();
-    stats.aborted += 1;
-    drop(stats);
-    let _ = err;
-    inner.client_wakeup.notify_all();
 }
 
 #[cfg(test)]
@@ -885,7 +1074,10 @@ mod tests {
         // The in-flight transaction aborts (reason is Crash unless its epoch
         // happened to end just before the crash).
         assert!(!doomed.commit().unwrap().is_committed());
-        assert!(db.begin().is_err(), "crashed proxy rejects new transactions");
+        assert!(
+            db.begin().is_err(),
+            "crashed proxy rejects new transactions"
+        );
 
         let report = db.recover().unwrap();
         assert!(report.recovered_epoch >= 1);

@@ -16,12 +16,8 @@ impl ChaCha20 {
     pub fn new(key: &[u8; 32]) -> Self {
         let mut words = [0u32; 8];
         for (i, word) in words.iter_mut().enumerate() {
-            *word = u32::from_le_bytes([
-                key[4 * i],
-                key[4 * i + 1],
-                key[4 * i + 2],
-                key[4 * i + 3],
-            ]);
+            *word =
+                u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
         }
         ChaCha20 { key: words }
     }

@@ -181,7 +181,7 @@ mod tests {
     fn sealed_size_is_independent_of_payload_length() {
         let env = envelope();
         let a = env.seal(1, 1, b"", 128).unwrap();
-        let b = env.seal(1, 1, &vec![7u8; 128], 128).unwrap();
+        let b = env.seal(1, 1, &[7u8; 128], 128).unwrap();
         let c = env.seal(1, 1, b"short", 128).unwrap();
         assert_eq!(a.len(), b.len());
         assert_eq!(b.len(), c.len());
@@ -199,7 +199,7 @@ mod tests {
     #[test]
     fn oversized_plaintext_is_rejected() {
         let env = envelope();
-        assert!(env.seal(0, 0, &vec![0u8; 65], 64).is_err());
+        assert!(env.seal(0, 0, &[0u8; 65], 64).is_err());
     }
 
     #[test]
@@ -240,7 +240,12 @@ mod tests {
     #[test]
     fn truncated_envelope_is_rejected_gracefully() {
         let env = envelope();
-        let sealed = SealedBlock { bytes: vec![0u8; 10] };
-        assert!(matches!(env.open(0, 0, &sealed), Err(ObladiError::Codec(_))));
+        let sealed = SealedBlock {
+            bytes: vec![0u8; 10],
+        };
+        assert!(matches!(
+            env.open(0, 0, &sealed),
+            Err(ObladiError::Codec(_))
+        ));
     }
 }

@@ -369,7 +369,8 @@ impl RingOram {
         let store = self.store.clone();
         let results: Vec<Result<(BucketId, Version)>> = self.pool.map(buckets, move |bucket| {
             let slots: Vec<bytes::Bytes> = if fast {
-                let sealed = seal_block(&envelope, encrypt, bucket, 0, 1, &Block::dummy(), capacity)?;
+                let sealed =
+                    seal_block(&envelope, encrypt, bucket, 0, 1, &Block::dummy(), capacity)?;
                 vec![sealed; slots_per_bucket]
             } else {
                 let mut slots = Vec::with_capacity(slots_per_bucket);
@@ -443,11 +444,7 @@ impl RingOram {
     /// Applies a write batch using dummiless writes (§6.3): the new version
     /// of each object goes directly to the stash; no physical reads are
     /// issued, but the eviction schedule still advances.
-    pub fn write_batch(
-        &mut self,
-        writes: &[(Key, Value)],
-        logger: &dyn PathLogger,
-    ) -> Result<()> {
+    pub fn write_batch(&mut self, writes: &[(Key, Value)], logger: &dyn PathLogger) -> Result<()> {
         self.write_batch_padded(writes, writes.len(), logger)
     }
 
@@ -477,7 +474,7 @@ impl RingOram {
             // Interleave evictions with large write batches so the stash
             // stays within its canonical Ring ORAM bound even when the
             // write batch is larger than `A`.
-            if self.meta.access_count % self.config.a as u64 == 0 {
+            if self.meta.access_count.is_multiple_of(self.config.a as u64) {
                 self.run_pending_maintenance(logger)?;
             }
         }
@@ -503,7 +500,8 @@ impl RingOram {
         let envelope = self.envelope.clone();
         let store = self.store.clone();
 
-        let mut jobs: Vec<(BucketId, BucketMeta, Vec<Block>)> = Vec::with_capacity(self.buffer.len());
+        let mut jobs: Vec<(BucketId, BucketMeta, Vec<Block>)> =
+            Vec::with_capacity(self.buffer.len());
         for (bucket, blocks) in self.buffer.drain() {
             jobs.push((bucket, self.meta.buckets[bucket as usize].clone(), blocks));
         }
@@ -511,7 +509,8 @@ impl RingOram {
 
         let results: Vec<Result<(BucketId, Version)>> =
             self.pool.map(jobs, move |(bucket, meta, blocks)| {
-                let slots = build_bucket_slots(&envelope, encrypt, bucket, &meta, &blocks, capacity)?;
+                let slots =
+                    build_bucket_slots(&envelope, encrypt, bucket, &meta, &blocks, capacity)?;
                 let version = store.write_bucket(bucket, slots)?;
                 Ok((bucket, version))
             });
@@ -875,7 +874,7 @@ impl RingOram {
         let targets: HashSet<usize> = expected_real.iter().copied().collect();
         let raw = self.fetch_slots(&physical, &targets)?;
         for idx in expected_real {
-            if let Some(Some(block)) = raw.get(idx).map(|b| b.clone()) {
+            if let Some(Some(block)) = raw.get(idx).cloned() {
                 self.ingest_evicted_block(block)?;
             }
         }
@@ -1003,9 +1002,12 @@ impl RingOram {
         }
         match self.meta.position.get(block.key) {
             Some(leaf) if leaf == block.leaf => {
-                self.meta
-                    .stash
-                    .insert(block.key, block.leaf, block.value, self.config.max_stash)?;
+                self.meta.stash.insert(
+                    block.key,
+                    block.leaf,
+                    block.value,
+                    self.config.max_stash,
+                )?;
                 Ok(())
             }
             // Stale copy (remapped since) or deleted key: drop it.
@@ -1184,14 +1186,18 @@ mod tests {
 
         let mut first =
             RingOram::new(config, &keys, store.clone(), ExecOptions::default(), 7).unwrap();
-        first.write_batch(&[(1, value(111))], &NoopPathLogger).unwrap();
+        first
+            .write_batch(&[(1, value(111))], &NoopPathLogger)
+            .unwrap();
         first.flush_writes(&NoopPathLogger).unwrap();
         drop(first);
 
-        let mut second =
-            RingOram::new(config, &keys, store, ExecOptions::default(), 8).unwrap();
+        let mut second = RingOram::new(config, &keys, store, ExecOptions::default(), 8).unwrap();
         let results = second.read_batch(&[Some(1)], &NoopPathLogger).unwrap();
-        assert_eq!(results[0], None, "old client's data must not survive re-init");
+        assert_eq!(
+            results[0], None,
+            "old client's data must not survive re-init"
+        );
 
         // The second client is fully functional: write, flush, evict, read.
         let writes: Vec<(Key, Value)> = (0..32).map(|k| (k, value(k + 500))).collect();
@@ -1199,7 +1205,11 @@ mod tests {
         second.flush_writes(&NoopPathLogger).unwrap();
         for k in 0..32u64 {
             let results = second.read_batch(&[Some(k)], &NoopPathLogger).unwrap();
-            assert_eq!(results[0], Some(value(k + 500)), "key {k} lost after re-init");
+            assert_eq!(
+                results[0],
+                Some(value(k + 500)),
+                "key {k} lost after re-init"
+            );
             second.flush_writes(&NoopPathLogger).unwrap();
         }
     }
@@ -1297,7 +1307,8 @@ mod tests {
     #[test]
     fn unencrypted_mode_roundtrips() {
         let mut oram = new_oram(100, ExecOptions::default().without_crypto());
-        oram.write_batch(&[(3, value(33))], &NoopPathLogger).unwrap();
+        oram.write_batch(&[(3, value(33))], &NoopPathLogger)
+            .unwrap();
         oram.flush_writes(&NoopPathLogger).unwrap();
         let results = oram.read_batch(&[Some(3)], &NoopPathLogger).unwrap();
         assert_eq!(results[0], Some(value(33)));

@@ -78,10 +78,11 @@ impl OramMeta {
         enc.put_u64(self.access_count);
         enc.put_u64(self.evict_count);
         enc.put_bytes(&self.position.encode());
-        enc.put_bytes(&self.stash.encode_padded(
-            self.config.max_stash,
-            self.config.block_size,
-        ));
+        enc.put_bytes(
+            &self
+                .stash
+                .encode_padded(self.config.max_stash, self.config.block_size),
+        );
         enc.put_u64(self.buckets.len() as u64);
         for bucket in &self.buckets {
             bucket.encode(&mut enc);

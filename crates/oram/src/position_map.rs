@@ -90,8 +90,7 @@ impl PositionMap {
 
     /// Serialises the full map.
     pub fn encode(&self) -> Vec<u8> {
-        let mut entries: Vec<(Key, Leaf)> =
-            self.positions.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut entries: Vec<(Key, Leaf)> = self.positions.iter().map(|(k, v)| (*k, *v)).collect();
         entries.sort_unstable();
         let mut enc = Encoder::with_capacity(8 + entries.len() * 16);
         enc.put_u64(entries.len() as u64);
@@ -231,10 +230,8 @@ mod tests {
     #[test]
     fn delta_encoding_is_padded_to_fixed_size() {
         let small = PositionMap::encode_delta(&[(1, Some(2))], 10);
-        let large = PositionMap::encode_delta(
-            &(0..10).map(|k| (k, Some(k))).collect::<Vec<_>>(),
-            10,
-        );
+        let large =
+            PositionMap::encode_delta(&(0..10).map(|k| (k, Some(k))).collect::<Vec<_>>(), 10);
         assert_eq!(small.len(), large.len(), "padded deltas must not leak size");
         let decoded = PositionMap::decode_delta(&small).unwrap();
         assert_eq!(decoded, vec![(1, Some(2))]);

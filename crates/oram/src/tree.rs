@@ -31,7 +31,7 @@ impl TreeGeometry {
 
     /// Builds a geometry directly from a level count (tests).
     pub fn with_levels(levels: u32) -> Self {
-        assert!(levels >= 1 && levels <= 40);
+        assert!((1..=40).contains(&levels));
         TreeGeometry { levels }
     }
 
@@ -58,13 +58,15 @@ impl TreeGeometry {
 
     /// All buckets on the path from root to `leaf`, root first.
     pub fn path(&self, leaf: Leaf) -> Vec<BucketId> {
-        (0..self.levels).map(|lvl| self.bucket_at(leaf, lvl)).collect()
+        (0..self.levels)
+            .map(|lvl| self.bucket_at(leaf, lvl))
+            .collect()
     }
 
     /// The level of a bucket (root = 0).
     pub fn level_of(&self, bucket: BucketId) -> u32 {
         debug_assert!(bucket < self.num_buckets());
-        (64 - (bucket + 1).leading_zeros() - 1) as u32
+        64 - (bucket + 1).leading_zeros() - 1
     }
 
     /// Deepest level at which the paths to `a` and `b` share a bucket.

@@ -1,0 +1,458 @@
+//! The epoch barrier coordinator: lockstep epochs and cross-shard commit
+//! votes.
+//!
+//! Obladi's correctness rests on *delayed visibility*: a transaction's
+//! writes become visible only when its epoch ends, and either every effect
+//! of the epoch becomes durable or none does.  With several independent
+//! shards that guarantee has to be lifted to the deployment level — a
+//! transaction that wrote on shards A and B must become visible on A and B
+//! in the *same* global epoch, or on neither.
+//!
+//! The coordinator achieves this with one rendezvous per global epoch.
+//! Every shard's epoch driver, just before finalising its local epoch, calls
+//! [`EpochCoordinator::arrive`] through its [`ShardGate`], handing over a
+//! *candidate source* — a closure the coordinator can sample for the shard's
+//! current commit-requested transactions.  The call blocks until every live
+//! shard has arrived; the coordinator then samples every shard's candidates
+//! **at decision time** and decides, atomically for the whole deployment:
+//!
+//! * a transaction commits iff **every shard it touched** is live and lists
+//!   it as a candidate (unanimous vote);
+//! * everything else aborts with a retryable reason on every shard.
+//!
+//! Sampling at decision time (rather than at each shard's arrival) matters:
+//! shards arrive at the barrier at different moments, and a multi-shard
+//! commit whose per-shard requests land while some shard is already parked
+//! would otherwise be counted on some shards but not others — aborting a
+//! perfectly good transaction.  For the same reason the front door brackets
+//! its burst of per-shard commit requests in a [`CommitIntake`] guard: the
+//! decision waits for in-flight bursts, and new bursts wait for a pending
+//! decision, so no burst ever straddles a decision.
+//!
+//! Crashed shards are excluded from the rendezvous (a barrier over a dead
+//! shard would halt the world); transactions touching a crashed shard abort
+//! until it recovers and re-joins.
+
+use obladi_common::types::{EpochId, TxnId};
+use obladi_core::{CandidateSource, EpochGate};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+struct CoordState {
+    /// Which shards currently participate in the rendezvous.
+    live: Vec<bool>,
+    /// Candidate sources of shards that have arrived for the current round.
+    arrivals: HashMap<usize, CandidateSource>,
+    /// Decided-but-uncollected permit lists, one entry per arrived shard.
+    permits: HashMap<usize, Vec<TxnId>>,
+    /// Completed rounds — the deployment's global epoch counter.
+    round: u64,
+    /// Which shards each in-flight transaction has touched.
+    participants: HashMap<TxnId, HashSet<usize>>,
+    /// Commit-request bursts currently in flight (see [`CommitIntake`]).
+    intake_in_flight: usize,
+    /// A decision is waiting for in-flight bursts to drain.
+    decision_pending: bool,
+    shutdown: bool,
+}
+
+impl CoordState {
+    fn all_live_arrived(&self) -> bool {
+        let live: Vec<usize> = (0..self.live.len()).filter(|&s| self.live[s]).collect();
+        !live.is_empty() && live.iter().all(|s| self.arrivals.contains_key(s))
+    }
+}
+
+/// Barrier + commit-vote coordinator shared by all shards of a deployment.
+pub struct EpochCoordinator {
+    state: Mutex<CoordState>,
+    changed: Condvar,
+}
+
+impl EpochCoordinator {
+    /// Creates a coordinator for `shards` shards, all initially live.
+    pub fn new(shards: usize) -> Self {
+        EpochCoordinator {
+            state: Mutex::new(CoordState {
+                live: vec![true; shards],
+                arrivals: HashMap::new(),
+                permits: HashMap::new(),
+                round: 0,
+                participants: HashMap::new(),
+                intake_in_flight: 0,
+                decision_pending: false,
+                shutdown: false,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// Number of completed global epochs.
+    pub fn global_epoch(&self) -> u64 {
+        self.state.lock().round
+    }
+
+    /// Records that `txn` has begun work on `shard`.
+    pub fn register_participant(&self, txn: TxnId, shard: usize) {
+        self.state
+            .lock()
+            .participants
+            .entry(txn)
+            .or_default()
+            .insert(shard);
+    }
+
+    /// The shards `txn` has touched (diagnostics and tests).
+    pub fn participants(&self, txn: TxnId) -> Vec<usize> {
+        let state = self.state.lock();
+        let mut shards: Vec<usize> = state
+            .participants
+            .get(&txn)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default();
+        shards.sort_unstable();
+        shards
+    }
+
+    /// Drops the participant registration of a finished transaction.
+    pub fn forget_txn(&self, txn: TxnId) {
+        self.state.lock().participants.remove(&txn);
+    }
+
+    /// Opens a commit-intake window: while the guard lives, no rendezvous
+    /// decision is taken, so a burst of per-shard commit requests is atomic
+    /// with respect to the vote.  Blocks while a decision is pending.
+    pub fn begin_commit_intake(&self) -> CommitIntake<'_> {
+        let mut state = self.state.lock();
+        while state.decision_pending && !state.shutdown {
+            self.changed.wait(&mut state);
+        }
+        state.intake_in_flight += 1;
+        CommitIntake { coordinator: self }
+    }
+
+    /// Marks a shard live (recovered) or dead (crashed).  Dead shards are
+    /// dropped from the rendezvous, which may complete the current round.
+    pub fn set_live(&self, shard: usize, alive: bool) {
+        let mut state = self.state.lock();
+        if state.live[shard] == alive {
+            return;
+        }
+        state.live[shard] = alive;
+        if !alive {
+            // A stale arrival from a now-dead shard must not vote.
+            state.arrivals.remove(&shard);
+        }
+        drop(state);
+        // The change may have completed the round (one fewer shard to wait
+        // for) — wake everyone so the last arriver re-evaluates.
+        self.changed.notify_all();
+    }
+
+    /// Releases every blocked shard and disables future rendezvous (used on
+    /// deployment shutdown).  Blocked and future arrivals get their own
+    /// candidates back unchanged, matching single-proxy shutdown semantics.
+    pub fn shutdown(&self) {
+        self.state.lock().shutdown = true;
+        self.changed.notify_all();
+    }
+
+    /// The rendezvous: blocks until all live shards have arrived for this
+    /// round, samples every shard's candidates, and returns those the
+    /// coordinator permits `shard` to commit.
+    ///
+    /// On shutdown the shard's own candidates pass through unchanged
+    /// (matching single-proxy shutdown semantics).  A shard that has been
+    /// marked dead gets an *empty* permit set: its crash is imminent, and
+    /// committing locally after the deployment has already excluded its
+    /// votes could make half of a cross-shard transaction durable.
+    pub fn arrive(&self, shard: usize, candidates: CandidateSource) -> Vec<TxnId> {
+        let mut state = self.state.lock();
+        if state.shutdown {
+            drop(state);
+            return candidates();
+        }
+        if !state.live[shard] {
+            return Vec::new();
+        }
+        state.arrivals.insert(shard, candidates.clone());
+        let target = state.round + 1;
+
+        // Wait until this round is decided; the last arriver (or a waiter
+        // woken by a liveness change that completed the barrier) performs
+        // the decision itself.
+        loop {
+            if state.round >= target || state.shutdown || !state.live[shard] {
+                break;
+            }
+            if state.all_live_arrived() && !state.decision_pending {
+                // This thread decides.  First drain in-flight commit bursts
+                // so no burst straddles the decision.
+                state.decision_pending = true;
+                self.changed.notify_all();
+                while state.intake_in_flight > 0 && !state.shutdown {
+                    self.changed.wait(&mut state);
+                }
+                if state.shutdown {
+                    state.decision_pending = false;
+                    break;
+                }
+                // Liveness may have changed while draining; re-check that
+                // the barrier still holds before deciding.
+                if state.all_live_arrived() {
+                    self.decide(&mut state);
+                }
+                state.decision_pending = false;
+                self.changed.notify_all();
+                continue;
+            }
+            self.changed.wait(&mut state);
+        }
+
+        if state.round < target {
+            // Released early: pass through on shutdown, abort-all when the
+            // shard itself was marked dead mid-wait.
+            if state.shutdown {
+                drop(state);
+                return candidates();
+            }
+            return Vec::new();
+        }
+        state.permits.remove(&shard).unwrap_or_default()
+    }
+
+    /// Samples every arrived shard's candidates and completes the round.
+    /// Runs with the coordinator lock held; candidate sources take their
+    /// shard's state lock, which no caller of the coordinator holds.
+    fn decide(&self, state: &mut CoordState) {
+        let arrivals = std::mem::take(&mut state.arrivals);
+        let sampled: HashMap<usize, Vec<TxnId>> = arrivals
+            .iter()
+            .map(|(&shard, source)| (shard, source()))
+            .collect();
+
+        // Which shards are ready to commit each transaction.
+        let mut ready: HashMap<TxnId, HashSet<usize>> = HashMap::new();
+        for (&shard, candidates) in &sampled {
+            for &txn in candidates {
+                ready.entry(txn).or_default().insert(shard);
+            }
+        }
+
+        // Unanimity: every shard the transaction touched must be live and
+        // ready to commit it.  Transactions with no registration are local
+        // to the listing shard by construction.
+        let mut permitted: HashSet<TxnId> = HashSet::new();
+        for (&txn, ready_on) in &ready {
+            let unanimous = match state.participants.get(&txn) {
+                Some(touched) => touched
+                    .iter()
+                    .all(|shard| state.live[*shard] && ready_on.contains(shard)),
+                None => true,
+            };
+            if unanimous {
+                permitted.insert(txn);
+            }
+        }
+
+        for (shard, candidates) in sampled {
+            let permits = candidates
+                .into_iter()
+                .filter(|txn| permitted.contains(txn))
+                .collect();
+            state.permits.insert(shard, permits);
+        }
+        state.round += 1;
+    }
+}
+
+/// RAII window during which no rendezvous decision is taken (see
+/// [`EpochCoordinator::begin_commit_intake`]).
+pub struct CommitIntake<'a> {
+    coordinator: &'a EpochCoordinator,
+}
+
+impl Drop for CommitIntake<'_> {
+    fn drop(&mut self) {
+        let mut state = self.coordinator.state.lock();
+        state.intake_in_flight -= 1;
+        drop(state);
+        self.coordinator.changed.notify_all();
+    }
+}
+
+/// The per-shard [`EpochGate`] wired into each [`obladi_core::ObladiDb`]:
+/// forwards the proxy's commit candidates to the deployment coordinator.
+pub struct ShardGate {
+    coordinator: Arc<EpochCoordinator>,
+    shard: usize,
+}
+
+impl ShardGate {
+    /// Creates the gate for `shard`.
+    pub fn new(coordinator: Arc<EpochCoordinator>, shard: usize) -> Self {
+        ShardGate { coordinator, shard }
+    }
+}
+
+impl EpochGate for ShardGate {
+    fn permit_commits(&self, _epoch: EpochId, candidates: CandidateSource) -> Vec<TxnId> {
+        self.coordinator.arrive(self.shard, candidates)
+    }
+
+    fn proxy_crashed(&self) {
+        // A shard can crash on its own (storage-fault fate sharing), not
+        // just via ShardedDb::crash_shard; either way the rendezvous must
+        // stop waiting for it or the whole deployment stalls.
+        self.coordinator.set_live(self.shard, false);
+    }
+
+    fn proxy_recovered(&self) {
+        self.coordinator.set_live(self.shard, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    fn source(candidates: Vec<TxnId>) -> CandidateSource {
+        Arc::new(move || candidates.clone())
+    }
+
+    #[test]
+    fn single_shard_round_passes_candidates_through() {
+        let coordinator = EpochCoordinator::new(1);
+        coordinator.register_participant(5, 0);
+        assert_eq!(coordinator.arrive(0, source(vec![5, 6])), vec![5, 6]);
+        assert_eq!(coordinator.global_epoch(), 1);
+    }
+
+    #[test]
+    fn cross_shard_txn_commits_only_when_both_shards_list_it() {
+        let coordinator = Arc::new(EpochCoordinator::new(2));
+        // Txn 10 touched both shards but only shard 0 is ready to commit it;
+        // txn 11 is local to shard 1.
+        coordinator.register_participant(10, 0);
+        coordinator.register_participant(10, 1);
+        coordinator.register_participant(11, 1);
+
+        let c = coordinator.clone();
+        let other = thread::spawn(move || c.arrive(1, source(vec![11])));
+        let permits0 = coordinator.arrive(0, source(vec![10]));
+        let permits1 = other.join().unwrap();
+        assert!(
+            permits0.is_empty(),
+            "txn 10 lacked shard 1's vote: {permits0:?}"
+        );
+        assert_eq!(permits1, vec![11]);
+    }
+
+    #[test]
+    fn unanimous_cross_shard_txn_is_permitted_on_both_shards() {
+        let coordinator = Arc::new(EpochCoordinator::new(2));
+        coordinator.register_participant(7, 0);
+        coordinator.register_participant(7, 1);
+
+        let c = coordinator.clone();
+        let other = thread::spawn(move || c.arrive(1, source(vec![7])));
+        let permits0 = coordinator.arrive(0, source(vec![7]));
+        let permits1 = other.join().unwrap();
+        assert_eq!(permits0, vec![7]);
+        assert_eq!(permits1, vec![7]);
+        assert_eq!(coordinator.global_epoch(), 1);
+    }
+
+    #[test]
+    fn candidates_are_sampled_at_decision_time() {
+        // Shard 0 arrives first with an empty candidate list; the commit
+        // request lands on shard 0 while it is parked at the barrier.  The
+        // decision-time sample must still see it.
+        let coordinator = Arc::new(EpochCoordinator::new(2));
+        coordinator.register_participant(42, 0);
+        coordinator.register_participant(42, 1);
+
+        let requested = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = requested.clone();
+        let live_source: CandidateSource = Arc::new(move || {
+            if flag.load(std::sync::atomic::Ordering::SeqCst) {
+                vec![42]
+            } else {
+                vec![]
+            }
+        });
+
+        let c = coordinator.clone();
+        let early = thread::spawn(move || c.arrive(0, live_source));
+        thread::sleep(Duration::from_millis(20));
+        // The burst: request on both shards inside an intake window.
+        {
+            let _intake = coordinator.begin_commit_intake();
+            requested.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+        let permits1 = coordinator.arrive(1, source(vec![42]));
+        let permits0 = early.join().unwrap();
+        assert_eq!(permits0, vec![42], "decision must use a fresh sample");
+        assert_eq!(permits1, vec![42]);
+    }
+
+    #[test]
+    fn dead_shard_is_excluded_and_its_transactions_abort() {
+        let coordinator = Arc::new(EpochCoordinator::new(2));
+        coordinator.register_participant(9, 0);
+        coordinator.register_participant(9, 1);
+        coordinator.set_live(1, false);
+        // Shard 1 never arrives, yet the round completes; txn 9 touched the
+        // dead shard and must not be permitted.
+        let permits = coordinator.arrive(0, source(vec![9]));
+        assert!(permits.is_empty());
+        assert_eq!(coordinator.global_epoch(), 1);
+    }
+
+    #[test]
+    fn marking_a_shard_dead_releases_a_blocked_round() {
+        let coordinator = Arc::new(EpochCoordinator::new(2));
+        let c = coordinator.clone();
+        let waiter = thread::spawn(move || c.arrive(0, source(vec![1])));
+        // Let the waiter block, then kill the missing shard.
+        thread::sleep(Duration::from_millis(20));
+        coordinator.set_live(1, false);
+        let permits = waiter.join().unwrap();
+        assert_eq!(permits, vec![1], "local txn commits once shard 1 is out");
+    }
+
+    #[test]
+    fn shutdown_releases_waiters_with_passthrough() {
+        let coordinator = Arc::new(EpochCoordinator::new(2));
+        let c = coordinator.clone();
+        let waiter = thread::spawn(move || c.arrive(0, source(vec![3])));
+        thread::sleep(Duration::from_millis(20));
+        coordinator.shutdown();
+        assert_eq!(waiter.join().unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn forget_txn_clears_registration() {
+        let coordinator = EpochCoordinator::new(2);
+        coordinator.register_participant(4, 0);
+        coordinator.register_participant(4, 1);
+        assert_eq!(coordinator.participants(4), vec![0, 1]);
+        coordinator.forget_txn(4);
+        assert!(coordinator.participants(4).is_empty());
+    }
+
+    #[test]
+    fn rounds_advance_across_consecutive_epochs() {
+        let coordinator = Arc::new(EpochCoordinator::new(2));
+        for round in 1..=3u64 {
+            let c = coordinator.clone();
+            let other = thread::spawn(move || c.arrive(1, source(vec![])));
+            coordinator.arrive(0, source(vec![]));
+            other.join().unwrap();
+            assert_eq!(coordinator.global_epoch(), round);
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! The sharded front door: [`ShardedDb`] and [`ShardedTxn`].
+//!
+//! `ShardedDb` runs `N` fully independent Obladi pipelines — each with its
+//! own storage backend, Ring ORAM tree, MVTSO unit, epoch driver and
+//! recovery unit — and presents the same `begin` / `read` / `write` /
+//! `commit` surface as a single [`ObladiDb`].  Three shared pieces make the
+//! ensemble behave like one serializable database:
+//!
+//! * the [`ShardRouter`](crate::ShardRouter) assigns every key to one shard
+//!   by keyed hash, so any key's reads and writes always meet the same MVTSO
+//!   unit;
+//! * the [`TimestampOracle`](crate::TimestampOracle) stamps every
+//!   transaction once, globally, so all shards serialize in the same order;
+//! * the [`EpochCoordinator`](crate::EpochCoordinator) ends all shards'
+//!   epochs at one rendezvous and vetoes any cross-shard transaction that is
+//!   not unanimously ready, so delayed visibility stays atomic across
+//!   shards.
+//!
+//! Transactions open their per-shard legs lazily on first access, which
+//! keeps single-shard transactions (the overwhelming majority under a
+//! uniform router) exactly as cheap as on an unsharded proxy.
+
+use crate::coordinator::{EpochCoordinator, ShardGate};
+use crate::oracle::TimestampOracle;
+use crate::router::ShardRouter;
+use obladi_common::config::ShardConfig;
+use obladi_common::error::{ObladiError, Result};
+use obladi_common::types::{AbortReason, Key, TxnId, TxnOutcome, Value};
+use obladi_core::durability::RecoveryReport;
+use obladi_core::proxy::{ObladiDb, ObladiTxn, ProxyStats};
+use obladi_core::{KvDatabase, KvTransaction};
+use obladi_crypto::KeyMaterial;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Aggregate statistics of a sharded deployment.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedStats {
+    /// Per-shard proxy statistics, indexed by shard.
+    pub shards: Vec<ProxyStats>,
+    /// Completed global epochs (coordinator rounds).
+    pub global_epochs: u64,
+    /// Transactions that committed through the front door.
+    pub committed: u64,
+    /// Transactions that aborted through the front door.
+    pub aborted: u64,
+    /// Committed transactions that spanned two or more shards.
+    pub cross_shard_committed: u64,
+}
+
+impl ShardedStats {
+    /// Sum of committed transactions reported by the shards themselves
+    /// (includes per-shard legs, so a 2-shard commit counts twice here).
+    pub fn shard_committed_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.committed).sum()
+    }
+}
+
+/// A sharded Obladi deployment behind a single transactional front door.
+pub struct ShardedDb {
+    shards: Vec<ObladiDb>,
+    router: ShardRouter,
+    oracle: TimestampOracle,
+    coordinator: Arc<EpochCoordinator>,
+    config: ShardConfig,
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    cross_shard_committed: AtomicU64,
+}
+
+impl ShardedDb {
+    /// Opens `config.shards` independent proxies behind one front door.
+    pub fn open(config: ShardConfig) -> Result<ShardedDb> {
+        config.validate()?;
+        let keys = KeyMaterial::for_tests(config.shard.seed);
+        let router = ShardRouter::new(&keys, config.shards);
+        let coordinator = Arc::new(EpochCoordinator::new(config.shards));
+        let mut shards = Vec::with_capacity(config.shards);
+        for index in 0..config.shards {
+            let db = ObladiDb::open(config.shard_config(index))?;
+            db.set_epoch_gate(Arc::new(ShardGate::new(coordinator.clone(), index)));
+            shards.push(db);
+        }
+        Ok(ShardedDb {
+            shards,
+            router,
+            oracle: TimestampOracle::new(),
+            coordinator,
+            config,
+            committed: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+            cross_shard_committed: AtomicU64::new(0),
+        })
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &ShardConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Direct access to one shard's proxy (tests, benches, operations).
+    pub fn shard(&self, index: usize) -> &ObladiDb {
+        &self.shards[index]
+    }
+
+    /// The router used for key placement.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Completed global epochs.
+    pub fn global_epoch(&self) -> u64 {
+        self.coordinator.global_epoch()
+    }
+
+    /// Aggregated statistics snapshot.
+    pub fn stats(&self) -> ShardedStats {
+        ShardedStats {
+            shards: self.shards.iter().map(|s| s.stats()).collect(),
+            global_epochs: self.coordinator.global_epoch(),
+            committed: self.committed.load(Ordering::SeqCst),
+            aborted: self.aborted.load(Ordering::SeqCst),
+            cross_shard_committed: self.cross_shard_committed.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Begins a transaction stamped by the global timestamp oracle.  Shard
+    /// legs open lazily on first access to a key the shard owns.
+    pub fn begin(&self) -> Result<ShardedTxn<'_>> {
+        let id = self.oracle.next_ts();
+        let begin_round = self.coordinator.global_epoch();
+        Ok(ShardedTxn {
+            db: self,
+            id,
+            begin_round,
+            subs: (0..self.shards.len()).map(|_| None).collect(),
+            leg_ops: vec![0; self.shards.len()],
+            finished: false,
+        })
+    }
+
+    /// Crashes one shard: its volatile state is dropped, its in-flight
+    /// transactions abort, and the coordinator excludes it from epoch
+    /// rendezvous until [`ShardedDb::recover_shard`] brings it back.  The
+    /// remaining shards keep serving transactions that do not touch it.
+    pub fn crash_shard(&self, index: usize) {
+        // Exclude the shard's votes *before* wiping it so a rendezvous
+        // completing concurrently can neither count them nor block on it.
+        self.coordinator.set_live(index, false);
+        self.shards[index].crash();
+    }
+
+    /// Recovers a crashed shard from its recovery unit (§8) and re-admits it
+    /// to the epoch rendezvous.
+    pub fn recover_shard(&self, index: usize) -> Result<RecoveryReport> {
+        let report = self.shards[index].recover()?;
+        self.coordinator.set_live(index, true);
+        Ok(report)
+    }
+
+    /// Whether the given shard is currently crashed.
+    pub fn is_shard_crashed(&self, index: usize) -> bool {
+        self.shards[index].is_crashed()
+    }
+
+    /// Stops every shard's epoch driver and the coordinator.
+    pub fn shutdown(&self) {
+        self.coordinator.shutdown();
+        for shard in &self.shards {
+            shard.shutdown();
+        }
+    }
+
+    fn record_outcome(&self, outcome: &TxnOutcome, shards_touched: usize) {
+        if outcome.is_committed() {
+            self.committed.fetch_add(1, Ordering::SeqCst);
+            if shards_touched > 1 {
+                self.cross_shard_committed.fetch_add(1, Ordering::SeqCst);
+            }
+        } else {
+            self.aborted.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Drop for ShardedDb {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl obladi_core::FrontDoor for ShardedDb {
+    fn deployment(&self) -> String {
+        format!("obladi-{}shards", self.shards.len())
+    }
+
+    fn stop(&self) {
+        self.shutdown();
+    }
+}
+
+impl KvDatabase for ShardedDb {
+    fn execute<T>(&self, body: &mut dyn FnMut(&mut dyn KvTransaction) -> Result<T>) -> Result<T> {
+        let mut txn = self.begin()?;
+        match body(&mut txn) {
+            Ok(value) => {
+                let outcome = txn.commit()?;
+                obladi_core::api::outcome_to_result(outcome)?;
+                Ok(value)
+            }
+            Err(err) => {
+                txn.rollback();
+                Err(err)
+            }
+        }
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "obladi-sharded"
+    }
+}
+
+/// A transaction spanning one or more shards of a [`ShardedDb`].
+///
+/// # Timestamps and global epochs
+///
+/// Serializability across shards requires that a timestamp be *used* in the
+/// same global epoch it was *drawn* in: each epoch's ORAM base versions are
+/// re-registered at timestamp 0, so a stale low timestamp operating in a
+/// later epoch would read higher-timestamped data as if it preceded it.
+/// Every shard leg therefore verifies, at open, that the deployment is
+/// still in the transaction's begin round.  A transaction that has not yet
+/// completed any operation is transparently re-stamped and retried when it
+/// trips that check (or any other retryable abort); one that has already
+/// observed or written data aborts and must be retried by the client.
+pub struct ShardedTxn<'db> {
+    db: &'db ShardedDb,
+    id: TxnId,
+    /// Global epoch in which `id` was drawn; legs may only open while the
+    /// deployment is still in this round.
+    begin_round: u64,
+    subs: Vec<Option<ObladiTxn<'db>>>,
+    /// Successful operations per shard leg; while all are zero the
+    /// transaction may be transparently re-stamped after a retryable abort.
+    leg_ops: Vec<u32>,
+    finished: bool,
+}
+
+impl<'db> ShardedTxn<'db> {
+    /// The transaction's global MVTSO timestamp.
+    ///
+    /// Stable once the transaction has completed its first operation; a
+    /// still-virgin transaction may be transparently re-stamped (see the
+    /// type-level docs), so record-keeping harnesses should sample the id
+    /// after the first successful read or write.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The shards this transaction has touched so far.
+    pub fn touched_shards(&self) -> Vec<usize> {
+        self.subs
+            .iter()
+            .enumerate()
+            .filter_map(|(index, sub)| sub.as_ref().map(|_| index))
+            .collect()
+    }
+
+    fn leg(&mut self, shard: usize) -> Result<&mut ObladiTxn<'db>> {
+        if self.subs[shard].is_none() {
+            // The intake guard blocks epoch decisions, so the round check
+            // and the leg open are atomic with respect to the rendezvous:
+            // a leg can never open in a later round than its timestamp.
+            let _intake = self.db.coordinator.begin_commit_intake();
+            if self.db.coordinator.global_epoch() != self.begin_round {
+                return Err(ObladiError::TxnAborted(
+                    "global epoch ended before the shard leg opened".into(),
+                ));
+            }
+            let sub = self.db.shards[shard].begin_at(self.id)?;
+            self.db.coordinator.register_participant(self.id, shard);
+            self.subs[shard] = Some(sub);
+        }
+        Ok(self.subs[shard].as_mut().expect("leg just installed"))
+    }
+
+    /// Aborts every open leg and reports the transaction as aborted.
+    fn abort_all(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        for sub in &mut self.subs {
+            if let Some(sub) = sub.take() {
+                sub.rollback();
+            }
+        }
+        self.db.coordinator.forget_txn(self.id);
+        self.db
+            .record_outcome(&TxnOutcome::Aborted(AbortReason::UserRequested), 0);
+    }
+
+    /// Runs one operation on the shard leg owning `key`, transparently
+    /// re-opening a *fresh* leg (one with no completed operations) in the
+    /// shard's next epoch when the operation hits a retryable abort.
+    ///
+    /// The sharded epoch barrier stretches the tail of every local epoch —
+    /// the driver parks at the rendezvous with its read batches exhausted —
+    /// so a leg that happens to open in that window gets a `BatchFull` or
+    /// epoch-end abort through no fault of the transaction.  A fresh leg can
+    /// be re-begun safely (same global timestamp, no state left behind); a
+    /// leg that already performed operations cannot, and the failure aborts
+    /// the whole transaction.
+    fn run_on_leg<T>(
+        &mut self,
+        key: Key,
+        op: impl Fn(&mut ObladiTxn<'db>, Key) -> Result<T>,
+    ) -> Result<T> {
+        const FRESH_LEG_RETRIES: usize = 3;
+        if self.finished {
+            return Err(ObladiError::TxnAborted(
+                "transaction already finished".into(),
+            ));
+        }
+        let shard = self.db.router.route(key);
+        let mut attempt = 0;
+        let result = loop {
+            let result = self.leg(shard).and_then(|leg| op(leg, key));
+            match result {
+                Ok(value) => {
+                    self.leg_ops[shard] += 1;
+                    break Ok(value);
+                }
+                Err(err)
+                    if err.is_retryable()
+                        && self.leg_ops.iter().all(|&ops| ops == 0)
+                        && attempt < FRESH_LEG_RETRIES =>
+                {
+                    attempt += 1;
+                    // The transaction is still virgin (no operation has
+                    // observed or written anything), so it can restart from
+                    // scratch: drop every opened leg, let the epoch roll
+                    // over, and re-stamp with a fresh timestamp in the
+                    // current global round.
+                    for sub in &mut self.subs {
+                        if let Some(sub) = sub.take() {
+                            sub.rollback();
+                        }
+                    }
+                    self.db.coordinator.forget_txn(self.id);
+                    self.db.shards[shard].wait_epoch_rollover(std::time::Duration::from_secs(2));
+                    let _intake = self.db.coordinator.begin_commit_intake();
+                    self.id = self.db.oracle.next_ts();
+                    self.begin_round = self.db.coordinator.global_epoch();
+                }
+                Err(err) => break Err(err),
+            }
+        };
+        if result.is_err() {
+            // The failing leg has aborted inside the shard; a partial
+            // transaction must not survive on the others.
+            self.abort_all();
+        }
+        result
+    }
+
+    /// Reads `key` from the shard that owns it.
+    pub fn read(&mut self, key: Key) -> Result<Option<Value>> {
+        self.run_on_leg(key, |leg, key| leg.read(key))
+    }
+
+    /// Writes `key` on the shard that owns it.
+    pub fn write(&mut self, key: Key, value: Value) -> Result<()> {
+        self.run_on_leg(key, move |leg, key| leg.write(key, value.clone()))
+    }
+
+    /// Requests commit on every touched shard, waits for the coordinated
+    /// epoch decision and returns it.
+    ///
+    /// The two-phase shape matters: commit is *requested* on every leg first
+    /// (so all shards list the transaction as a candidate at the same epoch
+    /// rendezvous), and only then are the outcomes collected.  The
+    /// coordinator guarantees the legs agree — all commit in the same global
+    /// epoch, or all abort.
+    pub fn commit(mut self) -> Result<TxnOutcome> {
+        if self.finished {
+            return Err(ObladiError::TxnAborted(
+                "transaction already finished".into(),
+            ));
+        }
+        self.finished = true;
+
+        let legs: Vec<(usize, ObladiTxn<'db>)> = self
+            .subs
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(index, sub)| sub.take().map(|sub| (index, sub)))
+            .collect();
+        let shards_touched = legs.len();
+
+        // A transaction that touched nothing commits vacuously.
+        if legs.is_empty() {
+            self.db.coordinator.forget_txn(self.id);
+            let outcome = TxnOutcome::Committed;
+            self.db.record_outcome(&outcome, 0);
+            return Ok(outcome);
+        }
+
+        // Phase 1: register the commit request on every leg, inside a
+        // commit-intake window so the whole burst is atomic with respect to
+        // the coordinator's epoch decision (no decision can observe half of
+        // it).  A request failure means the leg already aborted (conflict,
+        // cascading abort, crash); the gate will then deny the transaction
+        // everywhere, so we still collect the remaining outcomes to unpark
+        // cleanly.
+        let mut request_error: Option<ObladiError> = None;
+        let mut awaiting = Vec::with_capacity(legs.len());
+        {
+            let _intake = self.db.coordinator.begin_commit_intake();
+            for (index, mut leg) in legs {
+                match leg.request_commit() {
+                    Ok(()) => awaiting.push((index, leg)),
+                    Err(err) => request_error = Some(err.clone_for_report(index)),
+                }
+            }
+        }
+
+        // Phase 2: collect the coordinated outcomes.
+        let mut outcome = TxnOutcome::Committed;
+        for (_, leg) in awaiting {
+            match leg.await_outcome()? {
+                TxnOutcome::Committed => {}
+                aborted @ TxnOutcome::Aborted(_) => outcome = aborted,
+            }
+        }
+        self.db.coordinator.forget_txn(self.id);
+
+        if let Some(err) = request_error {
+            self.db
+                .record_outcome(&TxnOutcome::Aborted(AbortReason::EpochEnd), shards_touched);
+            return Err(err);
+        }
+        self.db.record_outcome(&outcome, shards_touched);
+        Ok(outcome)
+    }
+
+    /// Consumes the transaction, committing it and mapping aborts to errors.
+    pub fn commit_or_err(self) -> Result<()> {
+        obladi_core::api::outcome_to_result(self.commit()?)
+    }
+
+    /// Aborts the transaction on every shard it touched.
+    pub fn rollback(mut self) {
+        self.abort_all();
+    }
+}
+
+impl KvTransaction for ShardedTxn<'_> {
+    fn read(&mut self, key: Key) -> Result<Option<Value>> {
+        ShardedTxn::read(self, key)
+    }
+
+    fn write(&mut self, key: Key, value: Value) -> Result<()> {
+        ShardedTxn::write(self, key, value)
+    }
+
+    fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for ShardedTxn<'_> {
+    fn drop(&mut self) {
+        self.abort_all();
+    }
+}
+
+/// Attaches the shard index to an error message for diagnosis.
+trait CloneForReport {
+    fn clone_for_report(&self, shard: usize) -> ObladiError;
+}
+
+impl CloneForReport for ObladiError {
+    fn clone_for_report(&self, shard: usize) -> ObladiError {
+        match self {
+            ObladiError::TxnAborted(reason) => {
+                ObladiError::TxnAborted(format!("shard {shard}: {reason}"))
+            }
+            other => other.clone(),
+        }
+    }
+}

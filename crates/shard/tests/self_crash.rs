@@ -1,0 +1,116 @@
+//! Liveness regression test: a shard that crashes *on its own* (storage
+//! faults fate-shared into a crash, not an explicit
+//! `ShardedDb::crash_shard`) must be excluded from the epoch rendezvous, or
+//! every healthy shard would park at the barrier forever.
+//!
+//! `ShardedDb` builds its own healthy stores, so the faulty shard is
+//! assembled by hand from the same pieces: two gated proxies sharing one
+//! coordinator, one of them over a `FaultyStore`.
+
+use obladi_common::config::ObladiConfig;
+use obladi_core::proxy::ObladiDb;
+use obladi_crypto::KeyMaterial;
+use obladi_shard::{EpochCoordinator, ShardGate};
+use obladi_storage::{FaultPlan, FaultyStore, InMemoryStore, TrustedCounter};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn config(seed: u64) -> ObladiConfig {
+    let mut config = ObladiConfig::small_for_tests(512);
+    config.epoch.batch_interval = Duration::from_millis(1);
+    config.seed = seed;
+    config
+}
+
+#[test]
+fn self_crashed_shard_does_not_stall_the_rendezvous() {
+    let coordinator = Arc::new(EpochCoordinator::new(2));
+
+    // Shard 0: healthy in-memory store.
+    let healthy = ObladiDb::open(config(1)).unwrap();
+    healthy.set_epoch_gate(Arc::new(ShardGate::new(coordinator.clone(), 0)));
+
+    // Shard 1: a store that will start corrupting every read.
+    let faulty_store = Arc::new(FaultyStore::new(
+        Arc::new(InMemoryStore::new()),
+        FaultPlan::none(),
+        7,
+    ));
+    let faulty = ObladiDb::open_with(
+        config(2),
+        faulty_store.clone(),
+        TrustedCounter::new(),
+        KeyMaterial::for_tests(2),
+    )
+    .unwrap();
+    faulty.set_epoch_gate(Arc::new(ShardGate::new(coordinator.clone(), 1)));
+
+    // Both shards make rendezvous while healthy, and shard 1 commits real
+    // data (so later reads fetch real, MAC-verified blocks).
+    for key in 0..4u64 {
+        let mut txn = faulty.begin().unwrap();
+        txn.write(key, vec![key as u8; 8]).unwrap();
+        assert!(txn.commit().unwrap().is_committed());
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while coordinator.global_epoch() < 3 {
+        assert!(
+            Instant::now() < deadline,
+            "healthy rendezvous never started"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Poison shard 1's storage and force it to fetch committed blocks: the
+    // read fault fate-shares into a self-crash (no crash_shard anywhere).
+    faulty_store.set_plan(FaultPlan::corrupt(1.0));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !faulty.is_crashed() {
+        assert!(Instant::now() < deadline, "faulty shard never self-crashed");
+        if let Ok(mut txn) = faulty.begin() {
+            for key in 0..4u64 {
+                if txn.read(key).is_err() {
+                    break;
+                }
+            }
+            let _ = txn.commit();
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The healthy shard must keep completing global epochs alone — this is
+    // the line that hangs if the self-crash never reaches the coordinator.
+    let epoch_at_crash = coordinator.global_epoch();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while coordinator.global_epoch() < epoch_at_crash + 3 {
+        assert!(
+            Instant::now() < deadline,
+            "rendezvous stalled behind the self-crashed shard"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // And the healthy shard still commits.
+    let mut txn = healthy.begin().unwrap();
+    txn.write(1, vec![1]).unwrap();
+    assert!(txn.commit().unwrap().is_committed());
+
+    // Recovery re-admits the shard to the rendezvous via the gate hook.
+    faulty_store.set_plan(FaultPlan::none());
+    faulty.recover().unwrap();
+    let rejoined_at = coordinator.global_epoch();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while coordinator.global_epoch() < rejoined_at + 3 {
+        assert!(
+            Instant::now() < deadline,
+            "rendezvous stalled after the shard rejoined"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut txn = faulty.begin().unwrap();
+    txn.write(9, vec![9]).unwrap();
+    assert!(txn.commit().unwrap().is_committed());
+
+    healthy.shutdown();
+    faulty.shutdown();
+}

@@ -51,6 +51,19 @@ impl TrustedCounter {
         self.epoch.fetch_add(1, Ordering::SeqCst) + 1
     }
 
+    /// Records that epoch `epoch` has become durable.
+    ///
+    /// Epoch *identifiers* can skip numbers (a storage failure aborts an
+    /// epoch without committing it), so the durable marker must track the
+    /// identifier rather than a commit count — recovery interprets
+    /// [`TrustedCounter::epoch`] as "the id of the last durable epoch" when
+    /// it selects which checkpoints to apply and which path logs to replay.
+    /// The counter never moves backwards.
+    pub fn advance_epoch_to(&self, epoch: u64) -> u64 {
+        self.batch.store(0, Ordering::SeqCst);
+        self.epoch.fetch_max(epoch, Ordering::SeqCst).max(epoch)
+    }
+
     /// Restores an explicit value (used when bootstrapping a proxy from an
     /// existing deployment's counter; tests use it to model counter loss).
     pub fn restore(&self, epoch: u64, batch: u64) {

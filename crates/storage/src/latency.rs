@@ -205,7 +205,9 @@ mod tests {
         let mut profile = LatencyProfile::for_backend(BackendKind::Server);
         profile.read = obladi_common::latency::LatencyModel::with_mean(Duration::from_millis(2));
         let store = wrapped(profile);
-        store.write_bucket(0, vec![Bytes::from_static(b"x")]).unwrap();
+        store
+            .write_bucket(0, vec![Bytes::from_static(b"x")])
+            .unwrap();
         let start = Instant::now();
         for _ in 0..20 {
             store.read_slot(0, 0).unwrap();
@@ -225,7 +227,9 @@ mod tests {
         profile.max_in_flight = Some(1);
         profile.read = obladi_common::latency::LatencyModel::with_mean(Duration::from_millis(2));
         let store = Arc::new(wrapped(profile));
-        store.write_bucket(0, vec![Bytes::from_static(b"x")]).unwrap();
+        store
+            .write_bucket(0, vec![Bytes::from_static(b"x")])
+            .unwrap();
 
         let start = Instant::now();
         let mut handles = Vec::new();

@@ -124,11 +124,7 @@ impl WriteAheadLog {
 
     /// Returns the most recent record of the given kind, if any.
     pub fn latest_of_kind(&self, kind: WalRecordKind) -> Result<Option<WalRecord>> {
-        Ok(self
-            .read_from(0)?
-            .into_iter()
-            .filter(|r| r.kind == kind)
-            .next_back())
+        Ok(self.read_from(0)?.into_iter().rfind(|r| r.kind == kind))
     }
 
     /// Drops records with sequence numbers below `up_to`.
@@ -177,9 +173,11 @@ mod tests {
     #[test]
     fn latest_of_kind_returns_newest() {
         let wal = wal();
-        wal.append(WalRecordKind::CheckpointFull, 1, b"old").unwrap();
+        wal.append(WalRecordKind::CheckpointFull, 1, b"old")
+            .unwrap();
         wal.append(WalRecordKind::PathLog, 2, b"x").unwrap();
-        wal.append(WalRecordKind::CheckpointFull, 5, b"new").unwrap();
+        wal.append(WalRecordKind::CheckpointFull, 5, b"new")
+            .unwrap();
         let latest = wal
             .latest_of_kind(WalRecordKind::CheckpointFull)
             .unwrap()

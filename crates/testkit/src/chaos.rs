@@ -145,9 +145,9 @@ pub fn run_script_with_crash(
     let mut unacknowledged = Vec::new();
 
     let run_slice = |db: &ObladiDb,
-                         slice: &[(Key, Value)],
-                         acknowledged: &mut Vec<(Key, Value)>,
-                         unacknowledged: &mut Vec<(Key, Value)>| {
+                     slice: &[(Key, Value)],
+                     acknowledged: &mut Vec<(Key, Value)>,
+                     unacknowledged: &mut Vec<(Key, Value)>| {
         for (key, value) in slice {
             if put_acknowledged(db, *key, value) {
                 acknowledged.push((*key, value.clone()));
@@ -196,7 +196,9 @@ mod tests {
     }
 
     fn script(len: u64) -> Vec<(Key, Value)> {
-        (0..len).map(|i| (i % 7, format!("value-{i}").into_bytes())).collect()
+        (0..len)
+            .map(|i| (i % 7, format!("value-{i}").into_bytes()))
+            .collect()
     }
 
     #[test]

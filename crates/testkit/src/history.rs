@@ -349,44 +349,50 @@ pub fn check_serializable(history: &History) -> Result<SerializabilityReport, Vi
     }
     for (key, mut writers) in writers_by_key {
         writers.sort_unstable();
-        let chain = versions.entry(key).or_insert_with(|| vec![VersionId::Initial]);
+        let chain = versions
+            .entry(key)
+            .or_insert_with(|| vec![VersionId::Initial]);
         chain.extend(writers.into_iter().map(|(_, id)| VersionId::Txn(id)));
     }
 
     // Resolve which version each committed read observed.
-    let resolve = |key: Key, observed: &Option<Value>, reader: TxnId| -> Result<VersionId, Violation> {
-        match observed {
-            None => Ok(VersionId::Initial),
-            Some(value) => {
-                if let Some(writer) = value_writer.get(&(key, value.clone())) {
-                    if aborted.contains(writer) {
-                        return Err(Violation::DirtyReadOfAborted {
-                            reader,
-                            writer: *writer,
-                            key,
-                        });
+    let resolve =
+        |key: Key, observed: &Option<Value>, reader: TxnId| -> Result<VersionId, Violation> {
+            match observed {
+                None => Ok(VersionId::Initial),
+                Some(value) => {
+                    if let Some(writer) = value_writer.get(&(key, value.clone())) {
+                        if aborted.contains(writer) {
+                            return Err(Violation::DirtyReadOfAborted {
+                                reader,
+                                writer: *writer,
+                                key,
+                            });
+                        }
+                        Ok(VersionId::Txn(*writer))
+                    } else if history.initial.get(&key) == Some(value) {
+                        Ok(VersionId::Initial)
+                    } else {
+                        Err(Violation::ReadFromUnknownWriter { reader, key })
                     }
-                    Ok(VersionId::Txn(*writer))
-                } else if history.initial.get(&key) == Some(value) {
-                    Ok(VersionId::Initial)
-                } else {
-                    Err(Violation::ReadFromUnknownWriter { reader, key })
                 }
             }
-        }
-    };
+        };
 
     // Graph: adjacency over committed transaction ids.
     let ids: Vec<TxnId> = committed.iter().map(|t| t.id).collect();
-    let index: HashMap<TxnId, usize> = ids.iter().copied().enumerate().map(|(i, id)| (id, i)).collect();
+    let index: HashMap<TxnId, usize> = ids
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, id)| (id, i))
+        .collect();
     let mut adj: Vec<HashSet<usize>> = vec![HashSet::new(); ids.len()];
     let mut edges = 0usize;
     let mut add_edge = |adj: &mut Vec<HashSet<usize>>, from: VersionId, to: VersionId| {
         if let (VersionId::Txn(a), VersionId::Txn(b)) = (from, to) {
-            if a != b {
-                if adj[index[&a]].insert(index[&b]) {
-                    edges += 1;
-                }
+            if a != b && adj[index[&a]].insert(index[&b]) {
+                edges += 1;
             }
         }
     };
@@ -471,8 +477,7 @@ pub fn check_serializable(history: &History) -> Result<SerializabilityReport, Vi
                     1 => {
                         // Grey successor: found a cycle.  Reconstruct it from
                         // the grey stack.
-                        let mut cycle: Vec<TxnId> =
-                            stack.iter().map(|(i, _, _)| ids[*i]).collect();
+                        let mut cycle: Vec<TxnId> = stack.iter().map(|(i, _, _)| ids[*i]).collect();
                         if let Some(pos) = cycle.iter().position(|id| *id == ids[next]) {
                             cycle.drain(..pos);
                         }

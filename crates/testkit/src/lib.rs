@@ -31,8 +31,8 @@ pub mod trace;
 
 pub use chaos::{put_acknowledged, read_with_retries, run_script_with_crash, CrashRun};
 pub use history::{
-    check_serializable, parse_tag, tag_value, History, HistoryOp, SerializabilityReport,
-    TxnRecord, Violation, WriteTag,
+    check_serializable, parse_tag, tag_value, History, HistoryOp, SerializabilityReport, TxnRecord,
+    Violation, WriteTag,
 };
 pub use recorder::{HistoryRecorder, TxnTrace};
 pub use stats::{

@@ -177,7 +177,9 @@ mod tests {
         for _ in 0..4 {
             let recorder = recorder.clone();
             handles.push(std::thread::spawn(move || {
-                (0..100).map(|_| recorder.next_commit_seq()).collect::<Vec<_>>()
+                (0..100)
+                    .map(|_| recorder.next_commit_seq())
+                    .collect::<Vec<_>>()
             }));
         }
         let mut all: Vec<u64> = handles

@@ -159,7 +159,8 @@ mod tests {
         let mut oram = small_oram(1);
         let recorder = TraceRecorder::new();
         for k in 0..32u64 {
-            oram.write_batch(&[(k, vec![k as u8; 8])], &NoopPathLogger).unwrap();
+            oram.write_batch(&[(k, vec![k as u8; 8])], &NoopPathLogger)
+                .unwrap();
         }
         oram.flush_writes(&NoopPathLogger).unwrap();
 
@@ -190,7 +191,8 @@ mod tests {
         let mut oram = small_oram(2);
         let recorder = TraceRecorder::new();
         for k in 0..64u64 {
-            oram.write_batch(&[(k, vec![1; 8])], &NoopPathLogger).unwrap();
+            oram.write_batch(&[(k, vec![1; 8])], &NoopPathLogger)
+                .unwrap();
         }
         oram.flush_writes(&NoopPathLogger).unwrap();
 

@@ -8,7 +8,7 @@
 
 use obladi_common::rng::DetRng;
 use obladi_testkit::{
-    chi_square_uniform, check_serializable, is_plausibly_uniform, tag_value, History, HistoryOp,
+    check_serializable, chi_square_uniform, is_plausibly_uniform, tag_value, History, HistoryOp,
     TxnRecord, Violation,
 };
 use proptest::prelude::*;

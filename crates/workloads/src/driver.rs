@@ -10,7 +10,7 @@
 use obladi_common::error::Result;
 use obladi_common::rng::DetRng;
 use obladi_common::stats::{LatencyRecorder, RunStats};
-use obladi_core::KvDatabase;
+use obladi_core::{FrontDoor, KvDatabase};
 use std::time::{Duration, Instant};
 
 /// A transactional workload (TPC-C, SmallBank, FreeHealth, YCSB).
@@ -79,6 +79,29 @@ where
         total.latency.merge(&stats.latency);
     }
     total
+}
+
+/// Sets up `workload` on a deployment and drives it closed-loop, returning
+/// the deployment's label together with the run statistics.
+///
+/// This is the entry point benchmarks use to compare *deployment shapes* —
+/// a single proxy vs. a sharded front door with varying shard counts — with
+/// identical load logic: anything implementing
+/// [`FrontDoor`](obladi_core::FrontDoor) slots in.
+pub fn run_deployment<D, W>(
+    db: &D,
+    workload: &W,
+    clients: usize,
+    duration: Duration,
+    seed: u64,
+) -> Result<(String, RunStats)>
+where
+    D: FrontDoor,
+    W: Workload,
+{
+    workload.setup(db)?;
+    let stats = run_closed_loop(db, workload, clients, duration, seed);
+    Ok((db.deployment(), stats))
 }
 
 /// Runs exactly `count` transactions on a single thread (used by tests that

@@ -147,10 +147,7 @@ impl Row {
 }
 
 /// Reads and decodes a row through a transaction.
-pub fn read_row(
-    txn: &mut dyn obladi_core::KvTransaction,
-    key: Key,
-) -> Result<Option<Row>> {
+pub fn read_row(txn: &mut dyn obladi_core::KvTransaction, key: Key) -> Result<Option<Row>> {
     match txn.read(key)? {
         Some(bytes) => Ok(Some(Row::decode(&bytes)?)),
         None => Ok(None),
@@ -158,11 +155,7 @@ pub fn read_row(
 }
 
 /// Encodes and writes a row through a transaction.
-pub fn write_row(
-    txn: &mut dyn obladi_core::KvTransaction,
-    key: Key,
-    row: &Row,
-) -> Result<()> {
+pub fn write_row(txn: &mut dyn obladi_core::KvTransaction, key: Key, row: &Row) -> Result<()> {
     txn.write(key, row.encode())
 }
 

@@ -186,7 +186,7 @@ impl FreeHealthWorkload {
         pack_key(TABLE_PATIENT_COUNTERS, patient, 0, 0)
     }
     fn episode_key(patient: u64, episode: u64) -> u64 {
-        pack_key(TABLE_EPISODE, patient, episode as u64 % (1 << 16), 0)
+        pack_key(TABLE_EPISODE, patient, episode % (1 << 16), 0)
     }
     fn episode_content_key(patient: u64, episode: u64, content: u64) -> u64 {
         pack_key(
@@ -345,23 +345,21 @@ impl FreeHealthWorkload {
                 }
                 Ok(())
             }),
-            FreeHealthTxn::ReadEpisodeContents => {
-                db.execute(&mut |txn: &mut dyn KvTransaction| {
-                    let counters = Self::read_counters(txn, patient)?;
-                    let episodes = counters.num(counter_fields::EPISODES)?;
-                    if episodes == 0 {
-                        return Ok(());
+            FreeHealthTxn::ReadEpisodeContents => db.execute(&mut |txn: &mut dyn KvTransaction| {
+                let counters = Self::read_counters(txn, patient)?;
+                let episodes = counters.num(counter_fields::EPISODES)?;
+                if episodes == 0 {
+                    return Ok(());
+                }
+                let episode = rng_free(episodes, patient);
+                if let Some(episode_row) = read_row(txn, Self::episode_key(patient, episode))? {
+                    let contents = episode_row.num(2)?.min(list_limit);
+                    for content in 0..contents {
+                        read_row(txn, Self::episode_content_key(patient, episode, content))?;
                     }
-                    let episode = rng_free(episodes, patient);
-                    if let Some(episode_row) = read_row(txn, Self::episode_key(patient, episode))? {
-                        let contents = episode_row.num(2)?.min(list_limit);
-                        for content in 0..contents {
-                            read_row(txn, Self::episode_content_key(patient, episode, content))?;
-                        }
-                    }
-                    Ok(())
-                })
-            }
+                }
+                Ok(())
+            }),
             FreeHealthTxn::CreatePrescription | FreeHealthTxn::PrescribeWithInteractionCheck => {
                 db.execute(&mut |txn: &mut dyn KvTransaction| {
                     let patient_key = Self::patient_key(patient);

@@ -23,7 +23,7 @@ pub mod smallbank;
 pub mod tpcc;
 pub mod ycsb;
 
-pub use driver::{run_closed_loop, run_fixed_count, Workload};
+pub use driver::{run_closed_loop, run_deployment, run_fixed_count, Workload};
 pub use encoding::{pack_key, Row};
 pub use freehealth::{FreeHealthConfig, FreeHealthTxn, FreeHealthWorkload};
 pub use smallbank::{SmallBankConfig, SmallBankTxn, SmallBankWorkload};

@@ -207,7 +207,11 @@ impl SmallBankWorkload {
                     let checking = Self::read_balance(txn, checking_key)?;
                     // Overdraft penalty of 1 if the check exceeds total funds.
                     let penalty = if amount > checking + savings { 1 } else { 0 };
-                    Self::write_balance(txn, checking_key, checking.saturating_sub(amount + penalty))
+                    Self::write_balance(
+                        txn,
+                        checking_key,
+                        checking.saturating_sub(amount + penalty),
+                    )
                 })
             }
             SmallBankTxn::SendPayment => {

@@ -237,8 +237,8 @@ impl TpccWorkload {
         Self::map_result(db.execute(&mut |txn: &mut dyn KvTransaction| {
             // District: allocate the order id.
             let district_key = Self::district_key(w, d);
-            let mut district = read_row(txn, district_key)?
-                .ok_or(ObladiError::KeyNotFound(district_key))?;
+            let mut district =
+                read_row(txn, district_key)?.ok_or(ObladiError::KeyNotFound(district_key))?;
             let o_id = district.num(district_fields::NEXT_O_ID)?;
             district.set_num(district_fields::NEXT_O_ID, o_id + 1);
             write_row(txn, district_key, &district)?;
@@ -286,7 +286,11 @@ impl TpccWorkload {
                 line_row.set_num(order_line_fields::QUANTITY, *quantity);
                 line_row.set_num(order_line_fields::AMOUNT, amount);
                 line_row.set_num(order_line_fields::DELIVERY_D, 0);
-                write_row(txn, Self::order_line_key(w, d, o_id, line_no as u64), &line_row)?;
+                write_row(
+                    txn,
+                    Self::order_line_key(w, d, o_id, line_no as u64),
+                    &line_row,
+                )?;
             }
             let _ = total;
 
@@ -297,11 +301,7 @@ impl TpccWorkload {
             order_row.set_num(order_fields::OL_CNT, lines.len() as u64);
             order_row.set_num(order_fields::ENTRY_D, o_id);
             write_row(txn, Self::order_key(w, d, o_id), &order_row)?;
-            write_row(
-                txn,
-                Self::latest_order_key(w, d, c),
-                &Row::new(vec![o_id]),
-            )?;
+            write_row(txn, Self::latest_order_key(w, d, c), &Row::new(vec![o_id]))?;
             Ok(())
         }))
     }
@@ -318,14 +318,14 @@ impl TpccWorkload {
 
         Self::map_result(db.execute(&mut |txn: &mut dyn KvTransaction| {
             let warehouse_key = Self::warehouse_key(w);
-            let mut warehouse = read_row(txn, warehouse_key)?
-                .ok_or(ObladiError::KeyNotFound(warehouse_key))?;
+            let mut warehouse =
+                read_row(txn, warehouse_key)?.ok_or(ObladiError::KeyNotFound(warehouse_key))?;
             warehouse.set_num(0, warehouse.num(0)? + amount);
             write_row(txn, warehouse_key, &warehouse)?;
 
             let district_key = Self::district_key(w, d);
-            let mut district = read_row(txn, district_key)?
-                .ok_or(ObladiError::KeyNotFound(district_key))?;
+            let mut district =
+                read_row(txn, district_key)?.ok_or(ObladiError::KeyNotFound(district_key))?;
             district.set_num(
                 district_fields::YTD,
                 district.num(district_fields::YTD)? + amount,
@@ -347,8 +347,8 @@ impl TpccWorkload {
             };
 
             let customer_key = Self::customer_key(w, d, c);
-            let mut customer = read_row(txn, customer_key)?
-                .ok_or(ObladiError::KeyNotFound(customer_key))?;
+            let mut customer =
+                read_row(txn, customer_key)?.ok_or(ObladiError::KeyNotFound(customer_key))?;
             customer.set_num(
                 customer_fields::BALANCE,
                 customer
@@ -416,8 +416,8 @@ impl TpccWorkload {
         Self::map_result(db.execute(&mut |txn: &mut dyn KvTransaction| {
             for d in 0..districts {
                 let district_key = Self::district_key(w, d);
-                let mut district = read_row(txn, district_key)?
-                    .ok_or(ObladiError::KeyNotFound(district_key))?;
+                let mut district =
+                    read_row(txn, district_key)?.ok_or(ObladiError::KeyNotFound(district_key))?;
                 let next_delivery = district.num(district_fields::NEXT_DELIVERY_O_ID)?;
                 let next_o_id = district.num(district_fields::NEXT_O_ID)?;
                 if next_delivery >= next_o_id {
@@ -473,8 +473,8 @@ impl TpccWorkload {
 
         Self::map_result(db.execute(&mut |txn: &mut dyn KvTransaction| {
             let district_key = Self::district_key(w, d);
-            let district = read_row(txn, district_key)?
-                .ok_or(ObladiError::KeyNotFound(district_key))?;
+            let district =
+                read_row(txn, district_key)?.ok_or(ObladiError::KeyNotFound(district_key))?;
             let next_o_id = district.num(district_fields::NEXT_O_ID)?;
             let first = next_o_id.saturating_sub(scan);
 
@@ -716,7 +716,9 @@ mod tests {
         let mut rng = DetRng::new(6);
         let mut counts = std::collections::HashMap::new();
         for _ in 0..10_000 {
-            *counts.entry(format!("{:?}", TpccTxn::sample(&mut rng))).or_insert(0u64) += 1;
+            *counts
+                .entry(format!("{:?}", TpccTxn::sample(&mut rng)))
+                .or_insert(0u64) += 1;
         }
         let new_order = counts["NewOrder"] as f64 / 10_000.0;
         let payment = counts["Payment"] as f64 / 10_000.0;

@@ -87,9 +87,7 @@ fn main() -> Result<()> {
     println!("Obladi (what the server sees, per epoch):");
     println!("  hot-key workload : {hot_reads:.1} slot reads, {hot_writes:.1} bucket writes");
     println!("  uniform workload : {uni_reads:.1} slot reads, {uni_writes:.1} bucket writes");
-    println!(
-        "  -> the traces are the same fixed rhythm of padded batches; skew is invisible\n"
-    );
+    println!("  -> the traces are the same fixed rhythm of padded batches; skew is invisible\n");
 
     let (hot_r, hot_w) = nopriv_trace(true, txns)?;
     let (uni_r, uni_w) = nopriv_trace(false, txns)?;

@@ -7,9 +7,7 @@
 //! Run with: `cargo run --release --example banking`
 
 use obladi::prelude::*;
-use obladi::workloads::{
-    run_closed_loop, SmallBankConfig, SmallBankWorkload, Workload,
-};
+use obladi::workloads::{run_closed_loop, SmallBankConfig, SmallBankWorkload, Workload};
 use obladi_common::config::BackendKind;
 use obladi_common::latency::LatencyProfile;
 use obladi_storage::{InMemoryStore, LatencyStore};
@@ -41,7 +39,11 @@ fn main() -> Result<()> {
 
     // --- NoPriv over the same storage latency profile. ---
     let profile = LatencyProfile::for_backend(BackendKind::Server).scaled(0.05);
-    let store = Arc::new(LatencyStore::new(Arc::new(InMemoryStore::new()), profile, 1));
+    let store = Arc::new(LatencyStore::new(
+        Arc::new(InMemoryStore::new()),
+        profile,
+        1,
+    ));
     let nopriv = NoPrivDb::new(store);
     workload.setup(&nopriv)?;
     let nopriv_stats = run_closed_loop(&nopriv, &workload, clients, duration, 1);

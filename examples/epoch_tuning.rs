@@ -10,8 +10,8 @@
 //!
 //! Run with: `cargo run --release --example epoch_tuning`
 
-use obladi::prelude::*;
 use obladi::common::rng::DetRng;
+use obladi::prelude::*;
 use std::time::{Duration, Instant};
 
 /// One configuration under test.

@@ -109,6 +109,8 @@ fn main() -> Result<()> {
     assert_eq!(intact, records);
 
     db.shutdown();
-    println!("\nthe malicious server was reduced to denial of service — no data was lost or forged");
+    println!(
+        "\nthe malicious server was reduced to denial of service — no data was lost or forged"
+    );
     Ok(())
 }

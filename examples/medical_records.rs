@@ -23,6 +23,10 @@ fn open_clinic(seed: u64) -> Result<(ObladiDb, FreeHealthWorkload)> {
         list_limit: 3,
     });
     let mut config = ObladiConfig::small_for_tests(8_192);
+    // FreeHealth rows (a handful of u64 fields plus framing) need more room
+    // than the 32-byte test default; a too-small block fails the write-back
+    // and fate-shares the epoch into a crash.
+    config.oram.block_size = 160;
     config.epoch.read_batches = 4;
     config.epoch.read_batch_size = 32;
     config.epoch.write_batch_size = 64;
@@ -82,10 +86,7 @@ fn main() -> Result<()> {
         println!(
             "{label:>16}: {} txns committed, storage saw {} slot reads / {} bucket writes \
              across {} epochs",
-            proxy.committed,
-            store.slot_reads,
-            store.bucket_writes,
-            proxy.epochs,
+            proxy.committed, store.slot_reads, store.bucket_writes, proxy.epochs,
         );
         observations.push((store.slot_reads, proxy.epochs));
         db.shutdown();

@@ -155,10 +155,7 @@ fn aborting_a_writer_cascades_to_its_readers() {
     let saw_uncommitted = matches!(reader.read(21), Ok(Some(value)) if value == b"doomed".to_vec());
 
     writer.rollback();
-    let reader_committed = reader
-        .commit()
-        .map(|o| o.is_committed())
-        .unwrap_or(false);
+    let reader_committed = reader.commit().map(|o| o.is_committed()).unwrap_or(false);
     if saw_uncommitted {
         assert!(
             !reader_committed,

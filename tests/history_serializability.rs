@@ -99,7 +99,10 @@ fn concurrent_obladi_execution_is_serializable() {
 
     let recorder = Arc::into_inner(recorder).expect("recorder still shared");
     let history = recorder.into_history();
-    assert!(history.committed_count() > 0, "nothing committed — harness broken");
+    assert!(
+        history.committed_count() > 0,
+        "nothing committed — harness broken"
+    );
     let report = check_serializable(&history)
         .unwrap_or_else(|violation| panic!("obladi execution not serializable: {violation}"));
     assert_eq!(report.committed + report.aborted, history.len());

@@ -52,7 +52,11 @@ fn corrupted_slots_are_detected_and_never_served_as_data() {
                 // (e.g. served from the stash / epoch buffer, which the
                 // adversary cannot touch).
                 if let Some(value) = &values[0] {
-                    assert_eq!(value, &vec![key as u8; 8], "tampered data served for key {key}");
+                    assert_eq!(
+                        value,
+                        &vec![key as u8; 8],
+                        "tampered data served for key {key}"
+                    );
                 }
             }
             Err(err) => {
@@ -208,7 +212,11 @@ fn proxy_aborts_transactions_instead_of_returning_tampered_data() {
                 Err(err) => panic!("unexpected error after server recovered: {err}"),
             }
         }
-        assert_eq!(value, Some(vec![key as u8; 8]), "key {key} damaged by the malicious phase");
+        assert_eq!(
+            value,
+            Some(vec![key as u8; 8]),
+            "key {key} damaged by the malicious phase"
+        );
     }
     db.shutdown();
 }

@@ -10,8 +10,8 @@ use obladi_common::config::OramConfig;
 use obladi_common::rng::DetRng;
 use obladi_common::types::Key;
 use obladi_crypto::KeyMaterial;
-use obladi_oram::{ExecOptions, NoopPathLogger, RingOram, SlotRead};
 use obladi_oram::client::PathLogger;
+use obladi_oram::{ExecOptions, NoopPathLogger, RingOram, SlotRead};
 use obladi_storage::{InMemoryStore, UntrustedStore};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -57,7 +57,9 @@ fn run_trace(
     let mut per_batch = Vec::new();
     for b in 0..batches {
         let before = oram.stats().physical_reads;
-        let requests: Vec<Option<Key>> = (0..batch_size).map(|i| Some(pick(b * batch_size + i, &mut rng))).collect();
+        let requests: Vec<Option<Key>> = (0..batch_size)
+            .map(|i| Some(pick(b * batch_size + i, &mut rng)))
+            .collect();
         oram.read_batch(&requests, &logger).unwrap();
         oram.flush_writes(&NoopPathLogger).unwrap();
         per_batch.push(oram.stats().physical_reads - before);

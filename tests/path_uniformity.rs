@@ -98,9 +98,15 @@ fn hot_and_uniform_workload_traces_are_statistically_close() {
     // Both workloads issue batches of 16 *distinct* keys (the proxy's
     // deduplication guarantees this in the full system); the hot workload
     // only ever touches 16 keys while the uniform one cycles over all 256.
-    let (hot_access, _, hot_full) = trace_of(&mut hot_oram, 40, 16, |index, _| (index % 16) as Key, 11);
-    let (uniform_access, _, uniform_full) =
-        trace_of(&mut uniform_oram, 40, 16, |index, _| ((index * 97) % 256) as Key, 12);
+    let (hot_access, _, hot_full) =
+        trace_of(&mut hot_oram, 40, 16, |index, _| (index % 16) as Key, 11);
+    let (uniform_access, _, uniform_full) = trace_of(
+        &mut uniform_oram,
+        40,
+        16,
+        |index, _| ((index * 97) % 256) as Key,
+        12,
+    );
 
     // The bucket invariant holds for both traces.  (Raw request *volume*
     // differs here because the hot working set is served from the stash —

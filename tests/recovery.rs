@@ -97,7 +97,10 @@ fn recovery_rejects_operations_while_crashed_and_resumes_after() {
     assert!(put(&db, 9, b"before"));
     db.crash();
     assert!(db.is_crashed());
-    assert!(db.begin().is_err(), "crashed proxy must refuse transactions");
+    assert!(
+        db.begin().is_err(),
+        "crashed proxy must refuse transactions"
+    );
     // Recovering twice in a row is an error the second time (not crashed).
     db.recover().unwrap();
     assert!(db.recover().is_err());

@@ -1,0 +1,292 @@
+//! Vendored mini stand-in for the `criterion` crate.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` macros, `Criterion`,
+//! benchmark groups, `Bencher::iter` / `iter_batched`, `BatchSize` and
+//! `Throughput` — enough to compile and run the workspace's benches offline.
+//! Measurement is deliberately simple: a short warm-up, then timed batches
+//! until the configured measurement time elapses, reporting mean ns/iter
+//! (no statistics, plots or regression history).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Hints how expensive batched inputs are to set up. All variants behave the
+/// same in this shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Declares how many logical items one iteration processes, for ops/s-style
+/// reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of timed samples.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the time budget for measuring each benchmark.
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sets the warm-up time before measuring.
+    pub fn warm_up_time(mut self, time: Duration) -> Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.clone();
+        run_one(&config, None, name, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the logical throughput of one iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = Some(samples.max(1));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut config = self.criterion.clone();
+        if let Some(samples) = self.sample_size {
+            config.sample_size = samples;
+        }
+        run_one(&config, self.throughput, name, f);
+        self
+    }
+
+    /// Finishes the group (no-op; reports are printed eagerly).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F>(config: &Criterion, throughput: Option<Throughput>, name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        deadline: Instant::now() + config.warm_up_time,
+        max_samples: config.sample_size,
+        samples: Vec::new(),
+        warmup: true,
+    };
+    // Warm-up pass: run the closure without recording.
+    f(&mut bencher);
+    // Measurement pass.
+    bencher.warmup = false;
+    bencher.deadline = Instant::now() + config.measurement_time;
+    bencher.samples.clear();
+    f(&mut bencher);
+
+    let samples = &bencher.samples;
+    if samples.is_empty() {
+        println!("  {name}: no samples collected");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let mean_ns = mean.as_nanos();
+    match throughput {
+        Some(Throughput::Bytes(bytes)) if mean_ns > 0 => {
+            let rate = bytes as f64 / mean.as_secs_f64() / (1024.0 * 1024.0);
+            println!(
+                "  {name}: {mean_ns} ns/iter ({rate:.1} MiB/s, {} samples)",
+                samples.len()
+            );
+        }
+        Some(Throughput::Elements(elements)) if mean_ns > 0 => {
+            let rate = elements as f64 / mean.as_secs_f64();
+            println!(
+                "  {name}: {mean_ns} ns/iter ({rate:.0} elem/s, {} samples)",
+                samples.len()
+            );
+        }
+        _ => println!("  {name}: {mean_ns} ns/iter ({} samples)", samples.len()),
+    }
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    deadline: Instant,
+    max_samples: usize,
+    samples: Vec<Duration>,
+    warmup: bool,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.warmup {
+            // One warm-up iteration is enough for the shim.
+            black_box(routine());
+            return;
+        }
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= self.deadline || self.samples.len() >= self.max_samples {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.warmup {
+            black_box(routine(setup()));
+            return;
+        }
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if Instant::now() >= self.deadline || self.samples.len() >= self.max_samples {
+                break;
+            }
+        }
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting benchmark work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group binding a configuration to target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut criterion: $crate::Criterion = $config;
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `fn main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut criterion = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = criterion.benchmark_group("shim");
+        group.throughput(Throughput::Elements(1));
+        let mut runs = 0u32;
+        group.bench_function("counting", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut criterion = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        criterion.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,194 @@
+//! Vendored stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is provided: a
+//! multi-producer multi-consumer unbounded channel built on a mutexed
+//! `VecDeque` plus a condvar.  Receivers observe disconnection once every
+//! sender has been dropped and the queue has drained — the semantics the
+//! ORAM worker pool relies on for shutdown.
+
+#![forbid(unsafe_code)]
+
+/// MPMC channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    ///
+    /// This shim never produces it (receivers are never tracked) but the
+    /// type exists so `send(..)` call sites type-check against the real API.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] once the channel is empty and
+    /// every sender has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; never blocks.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut queue = self
+                .chan
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            queue.push_back(value);
+            drop(queue);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.chan.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender: wake all receivers so they observe the
+                // disconnection.
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next value, blocking while the channel is empty.
+        /// Returns `Err(RecvError)` once empty and disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self
+                .chan
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                if self.chan.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .chan
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Dequeues without blocking; `None` when currently empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.chan
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn values_cross_threads_in_order_per_sender() {
+            let (tx, rx) = unbounded::<u32>();
+            let handle = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            for _ in 0..100 {
+                got.push(rx.recv().unwrap());
+            }
+            handle.join().unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn recv_errors_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn cloned_receivers_share_the_queue() {
+            let (tx, rx) = unbounded::<u8>();
+            let rx2 = rx.clone();
+            tx.send(7).unwrap();
+            tx.send(8).unwrap();
+            let a = rx.recv().unwrap();
+            let b = rx2.recv().unwrap();
+            let mut got = vec![a, b];
+            got.sort_unstable();
+            assert_eq!(got, vec![7, 8]);
+        }
+    }
+}

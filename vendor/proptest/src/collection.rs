@@ -1,0 +1,99 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A range of collection sizes.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max: exact,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        SizeRange {
+            min: range.start,
+            max: range.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty size range");
+        SizeRange {
+            min: *range.start(),
+            max: *range.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S` and a size range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min
+            + if span == 0 {
+                0
+            } else {
+                rng.below(span + 1) as usize
+            };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generates vectors whose elements come from `element` and whose length
+/// falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_lengths_stay_in_range() {
+        let mut rng = TestRng::from_seed(4);
+        let strategy = vec(any::<u8>(), 2..7);
+        for _ in 0..200 {
+            let v = strategy.sample(&mut rng);
+            assert!((2..7).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn nested_vec_of_tuples() {
+        let mut rng = TestRng::from_seed(5);
+        let strategy = vec(vec((any::<u8>(), any::<bool>()), 0..3), 1..4);
+        let outer = strategy.sample(&mut rng);
+        assert!(!outer.is_empty() && outer.len() < 4);
+        for inner in outer {
+            assert!(inner.len() < 3);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! Re-exports no-op `Serialize` / `Deserialize` derive macros (see
+//! `serde_derive` in this vendor tree) plus empty marker traits of the same
+//! names, so both `#[derive(Serialize)]` and `T: Serialize` bounds compile.
+//! No serialization machinery exists — the workspace's durable formats use
+//! hand-rolled codecs.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

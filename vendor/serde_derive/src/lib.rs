@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace only uses serde derives as forward-looking annotations on
+//! configuration types; nothing serializes them yet (on-storage encodings use
+//! hand-rolled codecs).  With no network access to vendor real serde, these
+//! derives expand to nothing, which type-checks everywhere the annotations
+//! appear while adding zero behavior.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts the same position as serde's `Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts the same position as serde's `Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
