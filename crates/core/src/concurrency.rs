@@ -44,6 +44,27 @@ pub enum ReadOutcome {
     NeedsFetch,
 }
 
+/// One entry of a commit vote: a commit-requested transaction plus the
+/// transactions whose uncommitted writes it observed this epoch (see
+/// [`MvtsoManager::commit_candidates`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitCandidate {
+    /// The commit-requested transaction.
+    pub txn: TxnId,
+    /// Same-epoch transactions it read uncommitted data from.
+    pub deps: Vec<TxnId>,
+}
+
+impl CommitCandidate {
+    /// A candidate with no recorded dependencies (tests, local commits).
+    pub fn local(txn: TxnId) -> Self {
+        CommitCandidate {
+            txn,
+            deps: Vec::new(),
+        }
+    }
+}
+
 /// Status of a transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TxnStatus {
@@ -405,6 +426,52 @@ impl MvtsoManager {
                 .find(|v| v.committed && !v.aborted && v.writer.is_some());
             if let Some(entry) = tail {
                 if let Some(value) = &entry.value {
+                    writes.push((*key, value.clone()));
+                }
+            }
+        }
+        writes.sort_unstable_by_key(|(k, _)| *k);
+        writes
+    }
+
+    /// Commit candidates for an external epoch coordinator: every
+    /// commit-requested transaction together with the transactions whose
+    /// uncommitted writes it observed, in timestamp order.
+    ///
+    /// The dependency lists let the coordinator keep its vote *closed under
+    /// cascading aborts*: a transaction whose dependency is denied would be
+    /// cascade-aborted locally after the vote, so permitting it on its other
+    /// shards would tear a cross-shard commit.
+    pub fn commit_candidates(&self) -> Vec<CommitCandidate> {
+        let mut candidates: Vec<CommitCandidate> = self
+            .txns
+            .iter()
+            .filter(|(_, r)| matches!(r.status, TxnStatus::CommitRequested))
+            .map(|(id, r)| {
+                let mut deps: Vec<TxnId> = r.dependencies.iter().copied().collect();
+                deps.sort_unstable();
+                CommitCandidate { txn: *id, deps }
+            })
+            .collect();
+        candidates.sort_unstable_by_key(|c| c.txn);
+        candidates
+    }
+
+    /// The writes a transaction has buffered this epoch, as `(key, value)`
+    /// pairs in key order — the payload a durable 2PC prepare record carries
+    /// so recovery can replay the commit.
+    pub fn txn_writes(&self, txn: TxnId) -> Vec<(Key, Value)> {
+        let Some(record) = self.txns.get(&txn) else {
+            return Vec::new();
+        };
+        let mut writes = Vec::with_capacity(record.write_set.len());
+        for key in &record.write_set {
+            if let Some(version) = self
+                .chains
+                .get(key)
+                .and_then(|chain| chain.versions.iter().find(|v| v.ts == txn && !v.aborted))
+            {
+                if let Some(value) = &version.value {
                     writes.push((*key, value.clone()));
                 }
             }

@@ -25,11 +25,11 @@
 
 use obladi_common::config::{EpochConfig, OramConfig};
 use obladi_common::error::{ObladiError, Result};
-use obladi_common::types::EpochId;
-use obladi_crypto::{Envelope, KeyMaterial, SealedBlock};
+use obladi_common::types::{EpochId, Key, TxnId, Value};
+use obladi_crypto::{Envelope, KeyMaterial, SealedBlock, Sha256};
 use obladi_oram::client::{PathLogger, SlotRead};
 use obladi_oram::{ExecOptions, MetaDelta, OramMeta, RingOram};
-use obladi_storage::wal::{WalRecordKind, WriteAheadLog};
+use obladi_storage::wal::{WalRecord, WalRecordKind, WriteAheadLog};
 use obladi_storage::{TrustedCounter, UntrustedStore};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -40,6 +40,68 @@ use std::sync::Arc;
 const LOC_PATH_LOG: u64 = 0xA001;
 const LOC_DELTA: u64 = 0xA002;
 const LOC_FULL: u64 = 0xA003;
+const LOC_PREPARE: u64 = 0xA004;
+
+/// A 2PC prepare record whose epoch never became durable: the shard voted
+/// to commit `txn` and crashed before its epoch commit, so only the
+/// deployment coordinator knows the outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct InDoubtTxn {
+    txn: TxnId,
+    writes: Vec<(Key, Value)>,
+}
+
+/// Prepared transactions a recovery can vouch for to the coordinator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveredTxns {
+    /// In-doubt prepares the coordinator decided to commit, replayed from
+    /// their records and made durable by *this* recovery.
+    pub replayed: Vec<TxnId>,
+    /// Prepared transactions whose epoch was already at or below the
+    /// durable frontier when the shard crashed.  Their fate is settled on
+    /// this shard, but the crash may have interrupted the normal
+    /// durability acknowledgement — the caller re-acknowledges them so a
+    /// pending coordinator decision cannot stay pinned forever.
+    pub stale_prepared: Vec<TxnId>,
+}
+
+/// Outcome of resolving the prepare records: the merged write set of the
+/// committed in-doubt transactions plus the ids to acknowledge.
+type ResolvedInDoubt = (Vec<(Key, Value)>, RecoveredTxns);
+
+fn encode_writes(writes: &[(Key, Value)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + writes.len() * 16);
+    out.extend_from_slice(&(writes.len() as u32).to_le_bytes());
+    for (key, value) in writes {
+        out.extend_from_slice(&key.to_le_bytes());
+        out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        out.extend_from_slice(value);
+    }
+    out
+}
+
+fn decode_writes(body: &[u8]) -> Result<Vec<(Key, Value)>> {
+    let too_short = || ObladiError::Codec("prepare write set truncated".into());
+    let mut at = 0usize;
+    let mut take = |n: usize| -> Result<&[u8]> {
+        let slice = body.get(at..at + n).ok_or_else(too_short)?;
+        at += n;
+        Ok(slice)
+    };
+    let count = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+    let mut writes = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let key = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+        writes.push((key, take(len)?.to_vec()));
+    }
+    if at != body.len() {
+        return Err(ObladiError::Codec(
+            "prepare write set has trailing bytes".into(),
+        ));
+    }
+    Ok(writes)
+}
 
 /// Timing breakdown of one recovery, mirroring the rows of Table 11b.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -60,6 +122,14 @@ pub struct RecoveryReport {
     pub reads_replayed: u64,
     /// Epoch the system recovered to.
     pub recovered_epoch: EpochId,
+    /// 2PC-prepared transactions found in doubt (voted, epoch not durable).
+    pub in_doubt: u64,
+    /// In-doubt transactions the coordinator decided to commit, replayed
+    /// from their prepare records and made durable during this recovery.
+    pub replayed_commits: u64,
+    /// Torn tail records dropped from the WAL (truncated or garbled by the
+    /// crash mid-append).
+    pub dropped_records: u64,
 }
 
 /// Durable state handling for the Obladi proxy.
@@ -71,6 +141,7 @@ pub struct DurabilityManager {
     enabled: bool,
     checkpoint_every: u32,
     max_position_delta: usize,
+    write_batch_size: usize,
     current_epoch: AtomicU64,
 }
 
@@ -90,6 +161,7 @@ impl DurabilityManager {
             enabled: epoch_config.durability,
             checkpoint_every: epoch_config.checkpoint_every.max(1),
             max_position_delta: epoch_config.max_position_delta(),
+            write_batch_size: epoch_config.write_batch_size,
             current_epoch: AtomicU64::new(1),
         }
     }
@@ -116,6 +188,152 @@ impl DurabilityManager {
         if self.enabled {
             self.counter.advance_batch();
         }
+    }
+
+    /// Durably logs a 2PC prepare record for `txn`: the transaction's write
+    /// set (plus a SHA-256 digest binding it), sealed and appended to the
+    /// WAL *before* the shard's commit vote may count at the deployment
+    /// coordinator.  If the shard crashes between the vote and its epoch
+    /// commit, [`DurabilityManager::recover_resolving`] finds the record,
+    /// asks the coordinator for the outcome, and replays the commit —
+    /// closing the window in which half of a cross-shard transaction could
+    /// be lost.
+    ///
+    /// The envelope is sealed at `(LOC_PREPARE, txn)`; the transaction id in
+    /// the clear framing lets recovery pick the right counter, and the
+    /// epoch is bound *inside* the sealed plaintext (the clear WAL epoch
+    /// field alone is unauthenticated — a malicious store could otherwise
+    /// move a stale prepare above the durable frontier and trick recovery
+    /// into replaying old writes).  Prepare records from epochs at or below
+    /// the durable frontier are stale (the epoch's fate is known) and are
+    /// retired by normal log compaction.
+    pub fn prepare_txn(&self, epoch: EpochId, txn: TxnId, writes: &[(Key, Value)]) -> Result<()> {
+        if !self.enabled {
+            return Ok(());
+        }
+        let body = encode_writes(writes);
+        let digest = Sha256::digest(&body);
+        let mut plain = Vec::with_capacity(8 + 32 + body.len());
+        plain.extend_from_slice(&epoch.to_le_bytes());
+        plain.extend_from_slice(&digest);
+        plain.extend_from_slice(&body);
+        let sealed = self.envelope.seal(LOC_PREPARE, txn, &plain, plain.len())?;
+        let mut payload = Vec::with_capacity(8 + sealed.bytes.len());
+        payload.extend_from_slice(&txn.to_le_bytes());
+        payload.extend_from_slice(&sealed.bytes);
+        self.wal.append(WalRecordKind::Prepare, epoch, &payload)?;
+        Ok(())
+    }
+
+    /// Opens and verifies one prepare record.
+    fn decode_prepare(&self, record: &WalRecord) -> Result<InDoubtTxn> {
+        if record.payload.len() < 8 {
+            return Err(ObladiError::Codec("prepare record too short".into()));
+        }
+        let txn = u64::from_le_bytes(record.payload[..8].try_into().unwrap());
+        let sealed = SealedBlock {
+            bytes: record.payload[8..].to_vec(),
+        };
+        let plain = self.envelope.open(LOC_PREPARE, txn, &sealed)?;
+        if plain.len() < 40 {
+            return Err(ObladiError::Codec("prepare payload too short".into()));
+        }
+        let sealed_epoch = u64::from_le_bytes(plain[..8].try_into().unwrap());
+        if sealed_epoch != record.epoch {
+            return Err(ObladiError::Integrity(format!(
+                "prepare record for txn {txn}: clear epoch {} contradicts sealed epoch \
+                 {sealed_epoch} (frame tampering)",
+                record.epoch
+            )));
+        }
+        let (digest, body) = plain[8..].split_at(32);
+        if Sha256::digest(body) != digest {
+            return Err(ObladiError::Integrity(format!(
+                "prepare record for txn {txn} fails its write-set digest"
+            )));
+        }
+        Ok(InDoubtTxn {
+            txn,
+            writes: decode_writes(body)?,
+        })
+    }
+
+    /// Scans `records` for in-doubt prepares (epoch past the durable
+    /// frontier) and resolves them through `resolve`.  A prepare that fails
+    /// to decode is dropped — and physically retired from the log — if it
+    /// is the final WAL record (a torn append — the vote never counted);
+    /// anywhere else it poisons recovery.
+    ///
+    /// Returns the merged, timestamp-ordered writes of the committed
+    /// transactions (last writer per key wins, mirroring the write
+    /// deduplication of a normal epoch) and their ids.
+    fn resolve_in_doubt(
+        &self,
+        records: &[WalRecord],
+        durable_epochs: EpochId,
+        resolve: &dyn Fn(TxnId) -> bool,
+        report: &mut RecoveryReport,
+    ) -> Result<ResolvedInDoubt> {
+        let last_seq = records.last().map(|r| r.seq);
+        let mut in_doubt: Vec<InDoubtTxn> = Vec::new();
+        for record in records
+            .iter()
+            .filter(|r| r.kind == WalRecordKind::Prepare && r.epoch > durable_epochs)
+        {
+            match self.decode_prepare(record) {
+                Ok(prepared) => {
+                    // Re-prepared after an earlier recovery: keep one copy.
+                    if !in_doubt.iter().any(|p| p.txn == prepared.txn) {
+                        in_doubt.push(prepared);
+                    }
+                }
+                Err(_) if Some(record.seq) == last_seq => {
+                    self.wal.truncate_tail(record.seq)?;
+                    report.dropped_records += 1;
+                }
+                Err(err) => {
+                    return Err(ObladiError::Recovery(format!(
+                        "undecodable prepare record {} amid later valid records: {err}",
+                        record.seq
+                    )))
+                }
+            }
+        }
+        report.in_doubt = in_doubt.len() as u64;
+        in_doubt.sort_unstable_by_key(|p| p.txn);
+
+        let mut merged: std::collections::BTreeMap<Key, Value> = std::collections::BTreeMap::new();
+        let mut committed = Vec::new();
+        for prepared in in_doubt {
+            if resolve(prepared.txn) {
+                for (key, value) in prepared.writes {
+                    merged.insert(key, value);
+                }
+                committed.push(prepared.txn);
+            }
+        }
+        report.replayed_commits = committed.len() as u64;
+
+        // Prepares at or below the durable frontier are settled on this
+        // shard, but the crash may have landed *between* the epoch commit
+        // and the coordinator's durability acknowledgement — without a
+        // re-acknowledgement such a decision would stay pinned forever.
+        // Undecodable stale records are inert and skipped.
+        let mut stale_prepared: Vec<TxnId> = records
+            .iter()
+            .filter(|r| r.kind == WalRecordKind::Prepare && r.epoch <= durable_epochs)
+            .filter_map(|record| self.decode_prepare(record).ok().map(|p| p.txn))
+            .collect();
+        stale_prepared.sort_unstable();
+        stale_prepared.dedup();
+
+        Ok((
+            merged.into_iter().collect(),
+            RecoveredTxns {
+                replayed: committed,
+                stale_prepared,
+            },
+        ))
     }
 
     /// Checkpoints the proxy metadata for `epoch` and marks the epoch
@@ -164,14 +382,49 @@ impl DurabilityManager {
         options: ExecOptions,
         seed: u64,
     ) -> Result<(RingOram, EpochId, RecoveryReport)> {
+        let (oram, next_epoch, report, _) =
+            self.recover_resolving(fallback_config, keys, options, seed, &|_| false)?;
+        Ok((oram, next_epoch, report))
+    }
+
+    /// Like [`DurabilityManager::recover`], but additionally resolves
+    /// in-doubt 2PC-prepared transactions (§8 + the sharded durable-prepare
+    /// protocol).
+    ///
+    /// A prepare record whose epoch never became durable means this shard
+    /// voted to commit a cross-shard transaction and crashed before its
+    /// epoch commit; the peers may have made their halves durable.
+    /// `resolve(txn)` asks the deployment coordinator for the outcome:
+    /// `true` (committed) replays the prepared write set into the recovered
+    /// ORAM and commits the aborted epoch durably before the proxy resumes,
+    /// `false` presumes abort (the default for a single proxy, where no
+    /// vote can have counted).  Returns the replayed transaction ids so the
+    /// caller can acknowledge them to the coordinator.
+    pub fn recover_resolving(
+        &self,
+        fallback_config: OramConfig,
+        keys: &KeyMaterial,
+        options: ExecOptions,
+        seed: u64,
+        resolve: &dyn Fn(TxnId) -> bool,
+    ) -> Result<(RingOram, EpochId, RecoveryReport, RecoveredTxns)> {
         let mut report = RecoveryReport::default();
         let recovery_start = std::time::Instant::now();
         let durable_epochs = self.counter.epoch();
         report.recovered_epoch = durable_epochs;
 
-        // ---- Read everything we need from the recovery unit. ----
+        // ---- Read everything we need from the recovery unit.  A crash can
+        // tear the final append, so the tolerant reader drops a garbled
+        // tail record instead of refusing to recover — and the fragment is
+        // physically retired right away: once recovery (or the resumed
+        // proxy) appends records behind it, it would read as unexplained
+        // mid-log corruption and poison every later recovery. ----
         let net_start = std::time::Instant::now();
-        let records = self.wal.read_from(0)?;
+        let (records, torn) = self.wal.read_from_tolerant(0)?;
+        if let Some(torn_seq) = torn {
+            self.wal.truncate_tail(torn_seq)?;
+            report.dropped_records += 1;
+        }
         report.network_ms = net_start.elapsed().as_secs_f64() * 1000.0;
 
         // ---- Rebuild metadata from checkpoints. ----
@@ -208,7 +461,7 @@ impl DurabilityManager {
                 // adversary observed before the crash.
                 let mut init_options = options;
                 init_options.fast_init = fallback_config.num_objects > 50_000;
-                let oram = RingOram::new(
+                let mut oram = RingOram::new(
                     fallback_config,
                     keys,
                     self.store.clone(),
@@ -216,19 +469,36 @@ impl DurabilityManager {
                     seed,
                 )?;
                 report.position_ms = pos_start.elapsed().as_secs_f64() * 1000.0;
+                // Even with nothing durable the shard may have voted: a
+                // cross-shard transaction prepared in the very first epoch
+                // must still be resolved through the coordinator.
+                let resolved =
+                    self.replay_in_doubt(&records, 0, resolve, &mut oram, &mut report)?;
+                let next_epoch = if resolved.replayed.is_empty() { 1 } else { 2 };
                 report.total_ms = recovery_start.elapsed().as_secs_f64() * 1000.0;
-                self.set_current_epoch(1);
-                return Ok((oram, 1, report));
+                self.set_current_epoch(next_epoch);
+                return Ok((oram, next_epoch, report, resolved));
             }
         };
         report.position_ms = pos_start.elapsed().as_secs_f64() * 1000.0;
 
         let perm_start = std::time::Instant::now();
+        // An epoch can have several checkpoint records: a crash after the
+        // checkpoint append but before the epoch-commit marker orphans the
+        // first incarnation, and a later (replayed) incarnation of the same
+        // epoch appends its own.  Only the *last* checkpoint of each epoch
+        // describes the state the epoch-commit marker made durable, so the
+        // orphans must not be applied.
+        let mut deltas: std::collections::BTreeMap<EpochId, &WalRecord> =
+            std::collections::BTreeMap::new();
         for record in records
             .iter()
             .filter(|r| r.kind == WalRecordKind::CheckpointDelta)
             .filter(|r| r.epoch > base_epoch && r.epoch <= durable_epochs)
         {
+            deltas.insert(record.epoch, record);
+        }
+        for record in deltas.into_values() {
             let sealed = SealedBlock {
                 bytes: record.payload.to_vec(),
             };
@@ -260,10 +530,56 @@ impl DurabilityManager {
             oram.replay_reads(&reads)?;
         }
         report.paths_ms = paths_start.elapsed().as_secs_f64() * 1000.0;
+
+        // ---- Resolve 2PC-prepared transactions of the aborted epoch. ----
+        let resolved =
+            self.replay_in_doubt(&records, durable_epochs, resolve, &mut oram, &mut report)?;
+        let next_epoch = if resolved.replayed.is_empty() {
+            aborted_epoch
+        } else {
+            aborted_epoch + 1
+        };
         report.total_ms = recovery_start.elapsed().as_secs_f64() * 1000.0;
 
+        self.set_current_epoch(next_epoch);
+        Ok((oram, next_epoch, report, resolved))
+    }
+
+    /// Resolves and replays in-doubt prepared transactions, committing the
+    /// aborted epoch durably when the coordinator decided to commit any of
+    /// them.  `replayed` stays empty under presumed abort, which leaves the
+    /// epoch aborted exactly as before.
+    fn replay_in_doubt(
+        &self,
+        records: &[WalRecord],
+        durable_epochs: EpochId,
+        resolve: &dyn Fn(TxnId) -> bool,
+        oram: &mut RingOram,
+        report: &mut RecoveryReport,
+    ) -> Result<RecoveredTxns> {
+        if !self.enabled {
+            return Ok(RecoveredTxns::default());
+        }
+        let (writes, recovered) =
+            self.resolve_in_doubt(records, durable_epochs, resolve, report)?;
+        if recovered.replayed.is_empty() {
+            return Ok(recovered);
+        }
+        let aborted_epoch = durable_epochs + 1;
+        // Replay the coordinator-committed write set exactly as the crashed
+        // epoch would have written it — padded to the fixed write-batch size
+        // so the recovery trace matches a normal epoch's — then make the
+        // epoch durable.  Durability is atomic with the epoch commit, which
+        // is what makes re-running recovery after a crash *during* this
+        // replay idempotent.
         self.set_current_epoch(aborted_epoch);
-        Ok((oram, aborted_epoch, report))
+        let capacity = self.write_batch_size.max(writes.len());
+        oram.write_batch_padded(&writes, capacity, self)?;
+        oram.flush_writes(self)?;
+        self.commit_epoch(aborted_epoch, oram)?;
+        // The replay moved the durable frontier; the report must say so.
+        report.recovered_epoch = aborted_epoch;
+        Ok(recovered)
     }
 
     /// Truncates WAL records that precede the most recent full checkpoint
@@ -467,6 +783,321 @@ mod tests {
                 .unwrap();
             assert_eq!(result[0], Some(vec![epoch as u8; 8]), "epoch {epoch} write");
         }
+    }
+
+    #[test]
+    fn in_doubt_prepare_is_presumed_aborted_without_a_decision() {
+        let (manager, mut oram, _store) = setup(true);
+        manager.set_current_epoch(1);
+        oram.write_batch(&[(1, vec![0xAA; 8])], &manager).unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+        manager.commit_epoch(1, &mut oram).unwrap();
+
+        // Epoch 2: the shard votes (prepares) for txn 77, then crashes
+        // before its epoch commit.
+        manager.set_current_epoch(2);
+        manager.prepare_txn(2, 77, &[(5, vec![0xBB; 8])]).unwrap();
+        let config = *oram.config();
+        drop(oram);
+
+        let (mut recovered, next_epoch, report) = manager
+            .recover(config, &keys(), ExecOptions::default(), 29)
+            .unwrap();
+        assert_eq!(report.in_doubt, 1);
+        assert_eq!(report.replayed_commits, 0);
+        assert_eq!(next_epoch, 2, "presumed abort leaves the epoch aborted");
+        let result = recovered.read_batch(&[Some(5)], &NoopPathLogger).unwrap();
+        assert_eq!(result[0], None, "presumed-aborted write must not surface");
+    }
+
+    #[test]
+    fn committed_in_doubt_prepare_is_replayed_and_made_durable() {
+        let (manager, mut oram, _store) = setup(true);
+        manager.set_current_epoch(1);
+        oram.write_batch(&[(1, vec![0xAA; 8])], &manager).unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+        manager.commit_epoch(1, &mut oram).unwrap();
+
+        // Epoch 2: two transactions prepare; the coordinator committed only
+        // txn 80.  Txn 81 wrote the same key later — it must NOT win.
+        manager.set_current_epoch(2);
+        manager
+            .prepare_txn(2, 80, &[(5, b"commit".to_vec()), (6, b"keep".to_vec())])
+            .unwrap();
+        manager
+            .prepare_txn(2, 81, &[(5, b"abort!".to_vec())])
+            .unwrap();
+        let config = *oram.config();
+        drop(oram);
+
+        let (mut recovered, next_epoch, report, resolved) = manager
+            .recover_resolving(config, &keys(), ExecOptions::default(), 31, &|txn| {
+                txn == 80
+            })
+            .unwrap();
+        assert_eq!(report.in_doubt, 2);
+        assert_eq!(report.replayed_commits, 1);
+        assert_eq!(resolved.replayed, vec![80]);
+        assert_eq!(next_epoch, 3, "the replayed epoch is durable");
+        assert_eq!(manager.counter().epoch(), 2);
+        for (key, expected) in [(5u64, b"commit".to_vec()), (6, b"keep".to_vec())] {
+            let result = recovered.read_batch(&[Some(key)], &NoopPathLogger).unwrap();
+            assert_eq!(result[0], Some(expected), "key {key}");
+            recovered.flush_writes(&NoopPathLogger).unwrap();
+        }
+
+        // Idempotence at the durability layer: a second crash + recovery
+        // finds the prepare at or below the durable frontier — no longer in
+        // doubt — and the replayed value survives.
+        drop(recovered);
+        let (mut again, next_epoch, report, resolved) = manager
+            .recover_resolving(config, &keys(), ExecOptions::default(), 33, &|txn| {
+                txn == 80
+            })
+            .unwrap();
+        assert_eq!(report.in_doubt, 0);
+        assert!(resolved.replayed.is_empty());
+        assert_eq!(
+            resolved.stale_prepared,
+            vec![80, 81],
+            "settled prepares are re-vouched so pinned decisions can drain"
+        );
+        assert_eq!(next_epoch, 3);
+        let result = again.read_batch(&[Some(5)], &NoopPathLogger).unwrap();
+        assert_eq!(result[0], Some(b"commit".to_vec()));
+    }
+
+    #[test]
+    fn prepare_in_the_first_epoch_replays_onto_a_fresh_tree() {
+        // Crash before anything became durable, with a vote outstanding:
+        // recovery rebuilds a fresh tree and must still finish the commit.
+        let (manager, oram, _store) = setup(true);
+        manager.set_current_epoch(1);
+        manager
+            .prepare_txn(1, 9, &[(3, b"first".to_vec())])
+            .unwrap();
+        let config = *oram.config();
+        drop(oram);
+
+        let (mut recovered, next_epoch, report, resolved) = manager
+            .recover_resolving(config, &keys(), ExecOptions::default(), 37, &|_| true)
+            .unwrap();
+        assert_eq!(report.replayed_commits, 1);
+        assert_eq!(resolved.replayed, vec![9]);
+        assert_eq!(next_epoch, 2);
+        let result = recovered.read_batch(&[Some(3)], &NoopPathLogger).unwrap();
+        assert_eq!(result[0], Some(b"first".to_vec()));
+    }
+
+    #[test]
+    fn corrupt_trailing_prepare_is_dropped_but_mid_log_corruption_poisons() {
+        let (manager, mut oram, store) = setup(true);
+        manager.set_current_epoch(1);
+        oram.write_batch(&[(1, vec![1; 8])], &manager).unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+        manager.commit_epoch(1, &mut oram).unwrap();
+        manager.set_current_epoch(2);
+        manager.prepare_txn(2, 50, &[(2, vec![2; 8])]).unwrap();
+
+        // A torn prepare append at the very tail: valid framing, garbage
+        // ciphertext.  Recovery must drop it (its vote can never have
+        // counted) without disturbing the earlier, valid prepare.
+        let wal = WriteAheadLog::new(store.clone());
+        let mut torn = 51u64.to_le_bytes().to_vec();
+        torn.extend_from_slice(&[0xEE; 40]);
+        wal.append(WalRecordKind::Prepare, 2, &torn).unwrap();
+
+        let config = *oram.config();
+        drop(oram);
+        let (recovered, _next, report, resolved) = manager
+            .recover_resolving(config, &keys(), ExecOptions::default(), 41, &|_| true)
+            .unwrap();
+        assert_eq!(report.in_doubt, 1, "only the intact prepare is in doubt");
+        assert_eq!(resolved.replayed, vec![50]);
+        assert_eq!(report.dropped_records, 1);
+
+        // The tolerated fragment must have been physically retired: the
+        // replay just appended checkpoint/commit records behind where it
+        // sat, so if it were still there, this second recovery would see
+        // unexplained mid-log corruption and the shard would be
+        // unrecoverable forever.
+        drop(recovered);
+        let (_again, _next, report, _) = manager
+            .recover_resolving(config, &keys(), ExecOptions::default(), 42, &|_| true)
+            .unwrap();
+        assert_eq!(
+            report.dropped_records, 0,
+            "the torn prepare must be gone from the log"
+        );
+
+        // The same garbage *followed by* a valid record is not a torn tail:
+        // recovery must refuse rather than silently skip log damage.
+        let store2: Arc<dyn UntrustedStore> = Arc::new(InMemoryStore::new());
+        let manager2 = {
+            let mut config = ObladiConfig::small_for_tests(128);
+            config.epoch.durability = true;
+            DurabilityManager::new(
+                &keys(),
+                store2.clone(),
+                TrustedCounter::new(),
+                &config.epoch,
+            )
+        };
+        let wal2 = WriteAheadLog::new(store2);
+        let mut garbage = 60u64.to_le_bytes().to_vec();
+        garbage.extend_from_slice(&[0xEE; 40]);
+        wal2.append(WalRecordKind::Prepare, 1, &garbage).unwrap();
+        wal2.append(WalRecordKind::PathLog, 1, b"later").unwrap();
+        match manager2.recover_resolving(
+            ObladiConfig::small_for_tests(128).oram,
+            &keys(),
+            ExecOptions::default(),
+            43,
+            &|_| true,
+        ) {
+            Ok(_) => panic!("mid-log corruption must poison recovery"),
+            Err(err) => assert!(
+                matches!(err, ObladiError::Recovery(_)),
+                "unexpected error kind: {err}"
+            ),
+        }
+    }
+
+    #[test]
+    fn prepare_with_tampered_epoch_is_never_replayed() {
+        // A malicious store must not be able to lift a *stale* prepare
+        // above the durable frontier (by rewriting the unauthenticated
+        // clear epoch field of the frame) and trick recovery into rolling
+        // keys back to old values.  The sealed plaintext binds the epoch,
+        // so the forged record fails integrity instead of decoding.
+        let (manager, mut oram, store) = setup(true);
+        manager.set_current_epoch(1);
+        oram.write_batch(&[(5, b"v1".to_vec())], &manager).unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+        manager.commit_epoch(1, &mut oram).unwrap();
+
+        // Epoch 2: txn 90 prepares and commits durably (its prepare is now
+        // stale), then epoch 3 overwrites the key.
+        manager.set_current_epoch(2);
+        manager
+            .prepare_txn(2, 90, &[(5, b"stale".to_vec())])
+            .unwrap();
+        oram.write_batch(&[(5, b"stale".to_vec())], &manager)
+            .unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+        manager.commit_epoch(2, &mut oram).unwrap();
+        manager.set_current_epoch(3);
+        oram.write_batch(&[(5, b"newer".to_vec())], &manager)
+            .unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+        manager.commit_epoch(3, &mut oram).unwrap();
+
+        // The attack: replay the retained prepare payload under a frame
+        // epoch above the durable frontier.
+        let wal = WriteAheadLog::new(store);
+        let stale_prepare = wal
+            .read_from(0)
+            .unwrap()
+            .into_iter()
+            .find(|r| r.kind == WalRecordKind::Prepare)
+            .expect("the stale prepare is still in the log");
+        wal.append(WalRecordKind::Prepare, 4, &stale_prepare.payload)
+            .unwrap();
+
+        let config = *oram.config();
+        drop(oram);
+        // Coordinator still remembers txn 90 as committed (ack pending).
+        let (mut recovered, _next, report, resolved) = manager
+            .recover_resolving(config, &keys(), ExecOptions::default(), 47, &|txn| {
+                txn == 90
+            })
+            .unwrap();
+        assert_eq!(
+            report.replayed_commits, 0,
+            "the forged prepare must not be replayed: {report:?}"
+        );
+        assert!(resolved.replayed.is_empty());
+        assert_eq!(
+            resolved.stale_prepared,
+            vec![90],
+            "the genuine stale prepare is still vouched for"
+        );
+        assert!(report.dropped_records >= 1, "forged tail must be rejected");
+        let result = recovered.read_batch(&[Some(5)], &NoopPathLogger).unwrap();
+        assert_eq!(
+            result[0],
+            Some(b"newer".to_vec()),
+            "epoch-3 value must survive the replay attack"
+        );
+    }
+
+    #[test]
+    fn torn_frame_tail_is_retired_so_later_recoveries_survive() {
+        // The regression behind WAL tail retirement: tolerate a torn frame,
+        // resume, append more epochs, and the *next* recovery must not read
+        // the old fragment as mid-log corruption.
+        let (manager, mut oram, store) = setup(true);
+        manager.set_current_epoch(1);
+        oram.write_batch(&[(1, vec![1; 8])], &manager).unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+        manager.commit_epoch(1, &mut oram).unwrap();
+        // The crash tears the final append below the frame header size.
+        store
+            .append_log(bytes::Bytes::from_static(&[6, 1, 2]))
+            .unwrap();
+        let config = *oram.config();
+        drop(oram);
+
+        let (mut recovered, _next, report) = manager
+            .recover(config, &keys(), ExecOptions::default(), 51)
+            .unwrap();
+        assert_eq!(report.dropped_records, 1);
+
+        // Resume and commit another epoch (fresh records land where the
+        // fragment used to sit).
+        manager.set_current_epoch(2);
+        recovered.write_batch(&[(2, vec![2; 8])], &manager).unwrap();
+        recovered.flush_writes(&NoopPathLogger).unwrap();
+        manager.commit_epoch(2, &mut recovered).unwrap();
+        drop(recovered);
+
+        let (mut again, _next, report) = manager
+            .recover(config, &keys(), ExecOptions::default(), 53)
+            .unwrap();
+        assert_eq!(report.dropped_records, 0, "fragment must be long gone");
+        let result = again.read_batch(&[Some(2)], &NoopPathLogger).unwrap();
+        assert_eq!(result[0], Some(vec![2; 8]));
+    }
+
+    #[test]
+    fn compaction_retires_stale_prepare_records() {
+        let (manager, mut oram, store) = setup(true);
+        // checkpoint_every = 4: epoch 4 writes a full checkpoint, so by
+        // epoch 5 the epoch-2 prepare is behind the latest full checkpoint.
+        for epoch in 1..=5u64 {
+            manager.set_current_epoch(epoch);
+            if epoch == 2 {
+                manager.prepare_txn(2, 70, &[(epoch, vec![7; 4])]).unwrap();
+            }
+            oram.write_batch(&[(epoch, vec![epoch as u8; 4])], &manager)
+                .unwrap();
+            oram.flush_writes(&NoopPathLogger).unwrap();
+            manager.commit_epoch(epoch, &mut oram).unwrap();
+        }
+        let wal = WriteAheadLog::new(store);
+        assert!(wal
+            .read_from(0)
+            .unwrap()
+            .iter()
+            .any(|r| r.kind == WalRecordKind::Prepare));
+        manager.compact().unwrap();
+        assert!(
+            !wal.read_from(0)
+                .unwrap()
+                .iter()
+                .any(|r| r.kind == WalRecordKind::Prepare),
+            "stale prepare records must be retired by compaction"
+        );
     }
 
     #[test]

@@ -42,6 +42,6 @@ pub mod proxy;
 
 pub use api::{FrontDoor, KvDatabase, KvTransaction};
 pub use baselines::{NoPrivDb, TwoPhaseLockingDb};
-pub use concurrency::{MvtsoManager, ReadOutcome, TxnStatus};
-pub use durability::{DurabilityManager, RecoveryReport};
-pub use proxy::{CandidateSource, EpochGate, ObladiDb, ObladiTxn, ProxyStats};
+pub use concurrency::{CommitCandidate, MvtsoManager, ReadOutcome, TxnStatus};
+pub use durability::{DurabilityManager, RecoveredTxns, RecoveryReport};
+pub use proxy::{CandidateSource, EpochGate, ObladiDb, ObladiTxn, ProxyStats, TxnPreparer};

@@ -28,7 +28,7 @@
 //!   durable one, replaying the aborted epoch's read paths.
 
 use crate::api::{KvDatabase, KvTransaction};
-use crate::concurrency::{MvtsoManager, ReadOutcome, TxnStatus};
+use crate::concurrency::{CommitCandidate, MvtsoManager, ReadOutcome, TxnStatus};
 use crate::durability::{DurabilityManager, RecoveryReport};
 use obladi_common::config::ObladiConfig;
 use obladi_common::error::{ObladiError, Result};
@@ -43,14 +43,30 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Produces the proxy's current commit candidates: the transactions that
-/// have requested commit and fit the epoch's write-batch capacity.
+/// have requested commit and fit the epoch's write-batch capacity, each
+/// with the same-epoch transactions whose uncommitted writes it observed
+/// (so an external coordinator can keep its vote closed under cascading
+/// aborts).
 ///
 /// The coordinator of a sharded deployment calls this at *decision* time —
 /// possibly from another shard's driver thread — so a cross-shard commit
 /// whose requests raced in after this shard reached its epoch barrier still
 /// gets counted.  The closure takes the proxy's state lock; callers must not
 /// hold it.
-pub type CandidateSource = Arc<dyn Fn() -> Vec<TxnId> + Send + Sync>;
+pub type CandidateSource = Arc<dyn Fn() -> Vec<CommitCandidate> + Send + Sync>;
+
+/// Durably logs 2PC prepare records for the given transactions (their write
+/// sets go to this proxy's WAL) and returns once the records are appended.
+///
+/// The epoch coordinator calls this at decision time, *before* counting the
+/// shard's commit vote for a cross-shard transaction: only once every
+/// participant holds a durable prepare may the transaction commit, so a
+/// participant that crashes between the vote and its epoch commit can
+/// finish the transaction during recovery instead of losing its half.  An
+/// error means the prepare did not become durable and the vote must not
+/// count.  Like [`CandidateSource`], the closure takes the proxy's state
+/// lock; callers must not hold it.
+pub type TxnPreparer = Arc<dyn Fn(&[TxnId]) -> Result<()> + Send + Sync>;
 
 /// A hook that lets an external coordinator arbitrate which transactions of
 /// an epoch are allowed to commit.
@@ -67,15 +83,31 @@ pub type CandidateSource = Arc<dyn Fn() -> Vec<TxnId> + Send + Sync>;
 /// nothing can commit behind the coordinator's back.
 pub trait EpochGate: Send + Sync {
     /// Called before finalising `epoch`; `candidates` yields the proxy's
-    /// commit candidates when sampled.  Returns the set of transactions
+    /// commit candidates when sampled, and `preparer` durably logs 2PC
+    /// prepare records on this proxy for transactions the coordinator is
+    /// about to permit on several shards.  Returns the set of transactions
     /// allowed to commit; every other commit-requested transaction aborts
     /// with a retryable reason.
-    fn permit_commits(&self, epoch: EpochId, candidates: CandidateSource) -> Vec<TxnId>;
+    fn permit_commits(
+        &self,
+        epoch: EpochId,
+        candidates: CandidateSource,
+        preparer: TxnPreparer,
+    ) -> Vec<TxnId>;
 
     /// Called after `epoch`'s outcomes have been published (durably when the
     /// epoch succeeded, as aborts when it failed).
     fn epoch_finalized(&self, epoch: EpochId) {
         let _ = epoch;
+    }
+
+    /// Called once `epoch` has become durable, with the transactions whose
+    /// commits it made durable.  A coordinator uses this to retire the
+    /// prepare/decision state of cross-shard transactions: once every
+    /// participant has reported the commit durable, no recovery will ever
+    /// ask about it again.
+    fn epoch_durable(&self, epoch: EpochId, committed: &[TxnId]) {
+        let _ = (epoch, committed);
     }
 
     /// Called (with no proxy locks held) when the proxy crashes — whether by
@@ -325,7 +357,27 @@ impl ObladiDb {
 
     /// Recovers from a crash using the recovery unit (§8) and resumes
     /// processing.  Returns the timing breakdown reported in Table 11b.
+    ///
+    /// In-doubt 2PC-prepared transactions are presumed aborted; a sharded
+    /// deployment recovers through [`ObladiDb::recover_resolving`] instead,
+    /// so voted cross-shard transactions can be finished.
     pub fn recover(&self) -> Result<RecoveryReport> {
+        self.recover_resolving(&|_| false).map(|(report, _)| report)
+    }
+
+    /// Like [`ObladiDb::recover`], but resolves in-doubt 2PC-prepared
+    /// transactions through `resolve`: `resolve(txn)` returns whether the
+    /// deployment coordinator decided to commit `txn`.  Committed in-doubt
+    /// transactions are replayed from their durable prepare records and made
+    /// durable *before* the proxy resumes serving, so the shard rejoins with
+    /// its half of every voted cross-shard transaction in place.  Returns
+    /// the report and the prepared transactions this shard can now vouch
+    /// for (replayed plus already-durable, for acknowledging the
+    /// coordinator).
+    pub fn recover_resolving(
+        &self,
+        resolve: &dyn Fn(TxnId) -> bool,
+    ) -> Result<(RecoveryReport, crate::durability::RecoveredTxns)> {
         if !self.inner.crashed.load(Ordering::SeqCst) {
             return Err(ObladiError::Recovery("proxy has not crashed".into()));
         }
@@ -336,11 +388,12 @@ impl ObladiDb {
             encrypt: true,
             fast_init: false,
         };
-        let (oram, next_epoch, report) = self.inner.durability.recover(
+        let (oram, next_epoch, report, resolved) = self.inner.durability.recover_resolving(
             self.inner.config.oram,
             &self.inner.keys,
             exec,
             self.inner.config.seed,
+            resolve,
         )?;
         *self.inner.oram.lock() = Some(oram);
         {
@@ -356,7 +409,7 @@ impl ObladiDb {
         if let Some(gate) = gate {
             gate.proxy_recovered();
         }
-        Ok(report)
+        Ok((report, resolved))
     }
 
     /// Whether the proxy is currently crashed.
@@ -777,9 +830,27 @@ fn finalize_epoch(inner: &Arc<ProxyInner>) -> Result<()> {
             let candidates: CandidateSource = Arc::new(move || {
                 let mut state = source_inner.state.lock();
                 enforce_write_capacity(&mut state, write_capacity);
-                state.mvtso.commit_requested_txns()
+                state.mvtso.commit_candidates()
             });
-            let permits = gate.permit_commits(epoch, candidates);
+            // The preparer runs at the coordinator's decision time, before
+            // this shard's vote counts for a cross-shard transaction: it
+            // snapshots each transaction's buffered write set under the
+            // state lock, then appends the sealed prepare records to the
+            // WAL (no proxy lock held across the storage writes).
+            let prep_inner = inner.clone();
+            let preparer: TxnPreparer = Arc::new(move |txns: &[TxnId]| {
+                let gathered: Vec<(TxnId, Vec<(Key, Value)>)> = {
+                    let state = prep_inner.state.lock();
+                    txns.iter()
+                        .map(|&txn| (txn, state.mvtso.txn_writes(txn)))
+                        .collect()
+                };
+                for (txn, writes) in gathered {
+                    prep_inner.durability.prepare_txn(epoch, txn, &writes)?;
+                }
+                Ok(())
+            });
+            let permits = gate.permit_commits(epoch, candidates, preparer);
             Some(permits.into_iter().collect())
         }
     };
@@ -851,7 +922,7 @@ fn finalize_epoch(inner: &Arc<ProxyInner>) -> Result<()> {
     // Phase 3: publish outcomes (downgraded to aborts if the write-back or
     // checkpoint failed) and wake every waiting client.
     let mut state = inner.state.lock();
-    let mut committed_count = 0u64;
+    let mut durably_committed: Vec<TxnId> = Vec::new();
     let mut aborted_count = 0u64;
     for (txn, outcome) in outcomes {
         let outcome = if io_result.is_ok() {
@@ -860,7 +931,7 @@ fn finalize_epoch(inner: &Arc<ProxyInner>) -> Result<()> {
             TxnOutcome::Aborted(AbortReason::Crash)
         };
         if outcome.is_committed() {
-            committed_count += 1;
+            durably_committed.push(txn);
         } else {
             aborted_count += 1;
         }
@@ -872,12 +943,15 @@ fn finalize_epoch(inner: &Arc<ProxyInner>) -> Result<()> {
     {
         let mut stats = inner.stats.lock();
         stats.epochs += 1;
-        stats.committed += committed_count;
+        stats.committed += durably_committed.len() as u64;
         stats.aborted += aborted_count;
         stats.real_writes += writes.len() as u64;
     }
     inner.client_wakeup.notify_all();
     if let Some(gate) = &gate {
+        if io_result.is_ok() {
+            gate.epoch_durable(epoch, &durably_committed);
+        }
         gate.epoch_finalized(epoch);
     }
     io_result

@@ -32,24 +32,85 @@
 //! Crashed shards are excluded from the rendezvous (a barrier over a dead
 //! shard would halt the world); transactions touching a crashed shard abort
 //! until it recovers and re-joins.
+//!
+//! # Durable cross-shard prepare (2PC-in-WAL, presumed abort)
+//!
+//! A unanimous vote alone leaves a window: a shard that crashes *between*
+//! its commit vote and its epoch commit loses its half of a cross-shard
+//! transaction the peers made durable.  The coordinator therefore runs the
+//! decision as classic two-phase commit with presumed abort, using each
+//! shard's write-ahead log as the prepare log:
+//!
+//! * **Prepare.**  Before a cross-shard transaction's votes count, every
+//!   participating shard durably appends a `Prepare{txn, epoch, write set}`
+//!   record through its [`TxnPreparer`].  A shard whose prepare fails
+//!   withholds its vote and the transaction aborts retryably everywhere.
+//! * **Decide.**  Once all participants hold durable prepares, the
+//!   coordinator records the commit decision in its decision log and
+//!   permits the transaction.  Anything not in the log is *presumed
+//!   aborted* — no abort records are ever written.
+//! * **Forget.**  Each shard acknowledges the decision when its epoch
+//!   commits durably ([`EpochCoordinator::ack_durable`], wired through
+//!   `EpochGate::epoch_durable`); once every participant has acknowledged,
+//!   the decision is retired.  Stale prepare records (their epoch is at or
+//!   below the shard's durable frontier) are retired by WAL compaction.
+//!
+//! Recovery of a crashed shard asks [`EpochCoordinator::decision`] about
+//! every in-doubt prepare it finds and replays the committed ones from
+//! their prepare records, then acknowledges them — so a voted cross-shard
+//! transaction is finished (or rolled back) instead of silently torn.
+//!
+//! The vote is also kept *closed under cascading aborts*: a candidate whose
+//! same-epoch dependency (an uncommitted write it observed) is denied would
+//! be cascade-aborted locally after the vote, so the coordinator denies it
+//! on every shard up front.
 
 use obladi_common::types::{EpochId, TxnId};
-use obladi_core::{CandidateSource, EpochGate};
+use obladi_core::{CandidateSource, CommitCandidate, EpochGate, TxnPreparer};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+/// What the coordinator knows about a transaction's fate (presumed abort:
+/// only commit decisions are recorded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnDecision {
+    /// Every participant durably prepared and the coordinator permitted the
+    /// commit; a recovering participant must replay its half.
+    Committed,
+    /// No commit decision is on record: the transaction never achieved a
+    /// fully prepared unanimous vote, so no shard can have committed it.
+    PresumedAborted,
+}
+
+/// One shard's rendezvous arrival: its live candidate view and its durable
+/// prepare hook.
+struct ShardArrival {
+    candidates: CandidateSource,
+    preparer: TxnPreparer,
+}
+
 struct CoordState {
     /// Which shards currently participate in the rendezvous.
     live: Vec<bool>,
-    /// Candidate sources of shards that have arrived for the current round.
-    arrivals: HashMap<usize, CandidateSource>,
+    /// Arrivals of shards for the current round.
+    arrivals: HashMap<usize, ShardArrival>,
     /// Decided-but-uncollected permit lists, one entry per arrived shard.
     permits: HashMap<usize, Vec<TxnId>>,
     /// Completed rounds — the deployment's global epoch counter.
     round: u64,
     /// Which shards each in-flight transaction has touched.
     participants: HashMap<TxnId, HashSet<usize>>,
+    /// The 2PC decision log: committed cross-shard transactions mapped to
+    /// the participants that have not yet acknowledged the commit durable.
+    decisions: HashMap<TxnId, HashSet<usize>>,
+    /// Commit verdicts for the *front door*, kept until the transaction is
+    /// forgotten.  Unlike `decisions`, participant acknowledgements do not
+    /// erase these — otherwise a transaction whose every leg crashed could
+    /// have its decision replayed and fully retired by recovery before the
+    /// front door samples the verdict, and the client would be told
+    /// "aborted" about durably committed writes.
+    committed_verdicts: HashSet<TxnId>,
     /// Commit-request bursts currently in flight (see [`CommitIntake`]).
     intake_in_flight: usize,
     /// A decision is waiting for in-flight bursts to drain.
@@ -80,6 +141,8 @@ impl EpochCoordinator {
                 permits: HashMap::new(),
                 round: 0,
                 participants: HashMap::new(),
+                decisions: HashMap::new(),
+                committed_verdicts: HashSet::new(),
                 intake_in_flight: 0,
                 decision_pending: false,
                 shutdown: false,
@@ -115,9 +178,57 @@ impl EpochCoordinator {
         shards
     }
 
-    /// Drops the participant registration of a finished transaction.
+    /// Drops the participant registration (and the front-door commit
+    /// verdict) of a finished transaction.  The 2PC decision log is *not*
+    /// touched here: a decision outlives the front door's bookkeeping,
+    /// because a crashed participant may still need it at recovery time.
     pub fn forget_txn(&self, txn: TxnId) {
-        self.state.lock().participants.remove(&txn);
+        let mut state = self.state.lock();
+        state.participants.remove(&txn);
+        state.committed_verdicts.remove(&txn);
+    }
+
+    /// Whether the coordinator decided to commit `txn` — the front door's
+    /// verdict source.  Unlike [`EpochCoordinator::decision`], this stays
+    /// true even after every participant has acknowledged (recovery may
+    /// retire the decision before the front door samples the outcome); it
+    /// is cleared by [`EpochCoordinator::forget_txn`].
+    pub fn was_committed(&self, txn: TxnId) -> bool {
+        let state = self.state.lock();
+        state.committed_verdicts.contains(&txn) || state.decisions.contains_key(&txn)
+    }
+
+    /// The coordinator's verdict on a transaction, queried by a recovering
+    /// shard for every in-doubt prepare record it finds (presumed abort:
+    /// absence from the decision log means no shard can have committed).
+    pub fn decision(&self, txn: TxnId) -> TxnDecision {
+        if self.state.lock().decisions.contains_key(&txn) {
+            TxnDecision::Committed
+        } else {
+            TxnDecision::PresumedAborted
+        }
+    }
+
+    /// Acknowledges that `shard` has made the listed transactions' commits
+    /// durable (either through its normal epoch commit or by replaying them
+    /// during recovery).  A decision is retired once every participant has
+    /// acknowledged it; ids without a pending decision are ignored.
+    pub fn ack_durable(&self, shard: usize, txns: &[TxnId]) {
+        let mut state = self.state.lock();
+        for txn in txns {
+            if let Some(pending) = state.decisions.get_mut(txn) {
+                pending.remove(&shard);
+                if pending.is_empty() {
+                    state.decisions.remove(txn);
+                }
+            }
+        }
+    }
+
+    /// Number of commit decisions awaiting participant acknowledgements
+    /// (diagnostics and tests; a healthy deployment trends to zero).
+    pub fn pending_decisions(&self) -> usize {
+        self.state.lock().decisions.len()
     }
 
     /// Opens a commit-intake window: while the guard lives, no rendezvous
@@ -160,23 +271,36 @@ impl EpochCoordinator {
 
     /// The rendezvous: blocks until all live shards have arrived for this
     /// round, samples every shard's candidates, and returns those the
-    /// coordinator permits `shard` to commit.
+    /// coordinator permits `shard` to commit.  Cross-shard transactions are
+    /// durably prepared on every participant (through the shards'
+    /// `preparer` hooks) before their votes count.
     ///
     /// On shutdown the shard's own candidates pass through unchanged
     /// (matching single-proxy shutdown semantics).  A shard that has been
     /// marked dead gets an *empty* permit set: its crash is imminent, and
     /// committing locally after the deployment has already excluded its
     /// votes could make half of a cross-shard transaction durable.
-    pub fn arrive(&self, shard: usize, candidates: CandidateSource) -> Vec<TxnId> {
+    pub fn arrive(
+        &self,
+        shard: usize,
+        candidates: CandidateSource,
+        preparer: TxnPreparer,
+    ) -> Vec<TxnId> {
         let mut state = self.state.lock();
         if state.shutdown {
             drop(state);
-            return candidates();
+            return candidates().into_iter().map(|c| c.txn).collect();
         }
         if !state.live[shard] {
             return Vec::new();
         }
-        state.arrivals.insert(shard, candidates.clone());
+        state.arrivals.insert(
+            shard,
+            ShardArrival {
+                candidates: candidates.clone(),
+                preparer,
+            },
+        );
         let target = state.round + 1;
 
         // Wait until this round is decided; the last arriver (or a waiter
@@ -215,28 +339,43 @@ impl EpochCoordinator {
             // shard itself was marked dead mid-wait.
             if state.shutdown {
                 drop(state);
-                return candidates();
+                return candidates().into_iter().map(|c| c.txn).collect();
             }
             return Vec::new();
         }
         state.permits.remove(&shard).unwrap_or_default()
     }
 
-    /// Samples every arrived shard's candidates and completes the round.
-    /// Runs with the coordinator lock held; candidate sources take their
-    /// shard's state lock, which no caller of the coordinator holds.
+    /// Samples every arrived shard's candidates, durably prepares the
+    /// cross-shard commits, and completes the round.  Runs with the
+    /// coordinator lock held; candidate sources and preparers take their
+    /// shard's state lock (and the preparers append to their shard's WAL),
+    /// which no caller of the coordinator holds.
+    ///
+    /// Known limitation: the per-shard prepare appends run sequentially
+    /// under the coordinator lock, so with a latency-bound store the whole
+    /// deployment's coordinator entry points stall for the duration of the
+    /// prepare I/O.  The appends target disjoint stores and could run in
+    /// parallel outside the lock (intake is already blocked by
+    /// `decision_pending`, so the candidate sets cannot change mid-flight);
+    /// that restructuring is a ROADMAP follow-up.
     fn decide(&self, state: &mut CoordState) {
         let arrivals = std::mem::take(&mut state.arrivals);
-        let sampled: HashMap<usize, Vec<TxnId>> = arrivals
+        let sampled: HashMap<usize, Vec<CommitCandidate>> = arrivals
             .iter()
-            .map(|(&shard, source)| (shard, source()))
+            .map(|(&shard, arrival)| (shard, (arrival.candidates)()))
             .collect();
 
-        // Which shards are ready to commit each transaction.
+        // Which shards are ready to commit each transaction, and the union
+        // of its same-epoch dependencies across shards.
         let mut ready: HashMap<TxnId, HashSet<usize>> = HashMap::new();
+        let mut deps: HashMap<TxnId, HashSet<TxnId>> = HashMap::new();
         for (&shard, candidates) in &sampled {
-            for &txn in candidates {
-                ready.entry(txn).or_default().insert(shard);
+            for candidate in candidates {
+                ready.entry(candidate.txn).or_default().insert(shard);
+                deps.entry(candidate.txn)
+                    .or_default()
+                    .extend(candidate.deps.iter().copied());
             }
         }
 
@@ -255,15 +394,96 @@ impl EpochCoordinator {
                 permitted.insert(txn);
             }
         }
+        Self::close_under_deps(&mut permitted, &deps);
+
+        // Durable prepare: a cross-shard transaction's votes only count once
+        // every participant has a prepare record in its WAL.  A failed
+        // prepare withholds that shard's vote (the transaction aborts
+        // retryably everywhere), and dropping it may orphan dependents, so
+        // the dependency closure re-runs afterwards.  Any prepare already
+        // written for a transaction that ends up denied is stale and will be
+        // presumed aborted.
+        let mut by_shard: HashMap<usize, Vec<TxnId>> = HashMap::new();
+        for &txn in &permitted {
+            if let Some(touched) = state.participants.get(&txn) {
+                if touched.len() > 1 {
+                    for &shard in touched {
+                        by_shard.entry(shard).or_default().push(txn);
+                    }
+                }
+            }
+        }
+        let mut prepare_failed: HashSet<TxnId> = HashSet::new();
+        for (shard, mut txns) in by_shard {
+            txns.sort_unstable();
+            match arrivals.get(&shard) {
+                Some(arrival) => {
+                    if (arrival.preparer)(&txns).is_err() {
+                        prepare_failed.extend(txns);
+                    }
+                }
+                // Unanimity requires every participant to have arrived;
+                // defensively withhold the vote if one has not.
+                None => prepare_failed.extend(txns),
+            }
+        }
+        if !prepare_failed.is_empty() {
+            permitted.retain(|txn| !prepare_failed.contains(txn));
+            Self::close_under_deps(&mut permitted, &deps);
+        }
+
+        // Record the commit decisions for the surviving cross-shard
+        // transactions; they are retired as participants acknowledge
+        // durability (or after a crashed participant replays at recovery).
+        // The front-door verdict is recorded separately and lives until the
+        // transaction is forgotten.
+        let cross_committed: Vec<(TxnId, HashSet<usize>)> = permitted
+            .iter()
+            .filter_map(|&txn| {
+                state
+                    .participants
+                    .get(&txn)
+                    .filter(|touched| touched.len() > 1)
+                    .map(|touched| (txn, touched.clone()))
+            })
+            .collect();
+        for (txn, touched) in cross_committed {
+            state.decisions.insert(txn, touched);
+            state.committed_verdicts.insert(txn);
+        }
 
         for (shard, candidates) in sampled {
             let permits = candidates
                 .into_iter()
+                .map(|c| c.txn)
                 .filter(|txn| permitted.contains(txn))
                 .collect();
             state.permits.insert(shard, permits);
         }
         state.round += 1;
+    }
+
+    /// Shrinks `permitted` to its largest subset closed under `deps`: a
+    /// transaction whose dependency is denied would be cascade-aborted on
+    /// the shard that recorded the dependency, so permitting it elsewhere
+    /// would tear the commit.
+    fn close_under_deps(permitted: &mut HashSet<TxnId>, deps: &HashMap<TxnId, HashSet<TxnId>>) {
+        loop {
+            let dropped: Vec<TxnId> = permitted
+                .iter()
+                .filter(|txn| {
+                    deps.get(txn)
+                        .is_some_and(|d| d.iter().any(|dep| !permitted.contains(dep)))
+                })
+                .copied()
+                .collect();
+            if dropped.is_empty() {
+                return;
+            }
+            for txn in dropped {
+                permitted.remove(&txn);
+            }
+        }
     }
 }
 
@@ -297,8 +517,19 @@ impl ShardGate {
 }
 
 impl EpochGate for ShardGate {
-    fn permit_commits(&self, _epoch: EpochId, candidates: CandidateSource) -> Vec<TxnId> {
-        self.coordinator.arrive(self.shard, candidates)
+    fn permit_commits(
+        &self,
+        _epoch: EpochId,
+        candidates: CandidateSource,
+        preparer: TxnPreparer,
+    ) -> Vec<TxnId> {
+        self.coordinator.arrive(self.shard, candidates, preparer)
+    }
+
+    fn epoch_durable(&self, _epoch: EpochId, committed: &[TxnId]) {
+        // The shard's epoch commit is durable: retire this shard's share of
+        // the 2PC decisions, so fully acknowledged ones can be forgotten.
+        self.coordinator.ack_durable(self.shard, committed);
     }
 
     fn proxy_crashed(&self) {
@@ -316,18 +547,60 @@ impl EpochGate for ShardGate {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::thread;
     use std::time::Duration;
 
     fn source(candidates: Vec<TxnId>) -> CandidateSource {
-        Arc::new(move || candidates.clone())
+        Arc::new(move || {
+            candidates
+                .iter()
+                .map(|&txn| CommitCandidate::local(txn))
+                .collect()
+        })
+    }
+
+    /// Candidates with explicit dependency lists.
+    fn dep_source(candidates: Vec<(TxnId, Vec<TxnId>)>) -> CandidateSource {
+        Arc::new(move || {
+            candidates
+                .iter()
+                .map(|(txn, deps)| CommitCandidate {
+                    txn: *txn,
+                    deps: deps.clone(),
+                })
+                .collect()
+        })
+    }
+
+    fn prepare_ok() -> TxnPreparer {
+        Arc::new(|_| Ok(()))
+    }
+
+    fn prepare_fail() -> TxnPreparer {
+        Arc::new(|_| {
+            Err(obladi_common::error::ObladiError::Storage(
+                "injected prepare failure".into(),
+            ))
+        })
+    }
+
+    /// A preparer that counts how many transactions it was asked to prepare.
+    fn prepare_counting(counter: Arc<AtomicU64>) -> TxnPreparer {
+        Arc::new(move |txns| {
+            counter.fetch_add(txns.len() as u64, Ordering::SeqCst);
+            Ok(())
+        })
     }
 
     #[test]
     fn single_shard_round_passes_candidates_through() {
         let coordinator = EpochCoordinator::new(1);
         coordinator.register_participant(5, 0);
-        assert_eq!(coordinator.arrive(0, source(vec![5, 6])), vec![5, 6]);
+        assert_eq!(
+            coordinator.arrive(0, source(vec![5, 6]), prepare_ok()),
+            vec![5, 6]
+        );
         assert_eq!(coordinator.global_epoch(), 1);
     }
 
@@ -341,14 +614,19 @@ mod tests {
         coordinator.register_participant(11, 1);
 
         let c = coordinator.clone();
-        let other = thread::spawn(move || c.arrive(1, source(vec![11])));
-        let permits0 = coordinator.arrive(0, source(vec![10]));
+        let other = thread::spawn(move || c.arrive(1, source(vec![11]), prepare_ok()));
+        let permits0 = coordinator.arrive(0, source(vec![10]), prepare_ok());
         let permits1 = other.join().unwrap();
         assert!(
             permits0.is_empty(),
             "txn 10 lacked shard 1's vote: {permits0:?}"
         );
         assert_eq!(permits1, vec![11]);
+        assert_eq!(
+            coordinator.decision(10),
+            TxnDecision::PresumedAborted,
+            "a denied transaction must never enter the decision log"
+        );
     }
 
     #[test]
@@ -357,13 +635,92 @@ mod tests {
         coordinator.register_participant(7, 0);
         coordinator.register_participant(7, 1);
 
+        let prepared = Arc::new(AtomicU64::new(0));
         let c = coordinator.clone();
-        let other = thread::spawn(move || c.arrive(1, source(vec![7])));
-        let permits0 = coordinator.arrive(0, source(vec![7]));
+        let counter = prepared.clone();
+        let other = thread::spawn(move || c.arrive(1, source(vec![7]), prepare_counting(counter)));
+        let permits0 = coordinator.arrive(0, source(vec![7]), prepare_counting(prepared.clone()));
         let permits1 = other.join().unwrap();
         assert_eq!(permits0, vec![7]);
         assert_eq!(permits1, vec![7]);
         assert_eq!(coordinator.global_epoch(), 1);
+        assert_eq!(
+            prepared.load(Ordering::SeqCst),
+            2,
+            "both participants must durably prepare before the vote counts"
+        );
+        assert_eq!(coordinator.decision(7), TxnDecision::Committed);
+
+        // Both shards report the commit durable: the decision retires, but
+        // the front-door verdict survives until the txn is forgotten —
+        // otherwise a fully-crashed-and-recovered transaction could be
+        // reported aborted after recovery already committed it everywhere.
+        coordinator.ack_durable(0, &[7]);
+        assert_eq!(coordinator.decision(7), TxnDecision::Committed);
+        coordinator.ack_durable(1, &[7]);
+        assert_eq!(coordinator.decision(7), TxnDecision::PresumedAborted);
+        assert_eq!(coordinator.pending_decisions(), 0);
+        assert!(
+            coordinator.was_committed(7),
+            "verdict must outlive the acks"
+        );
+        coordinator.forget_txn(7);
+        assert!(!coordinator.was_committed(7));
+    }
+
+    #[test]
+    fn failed_prepare_withholds_the_vote_everywhere() {
+        let coordinator = Arc::new(EpochCoordinator::new(2));
+        coordinator.register_participant(21, 0);
+        coordinator.register_participant(21, 1);
+
+        // Shard 1's WAL refuses the prepare append: the transaction must be
+        // denied on both shards and no decision recorded.
+        let c = coordinator.clone();
+        let other = thread::spawn(move || c.arrive(1, source(vec![21]), prepare_fail()));
+        let permits0 = coordinator.arrive(0, source(vec![21]), prepare_ok());
+        let permits1 = other.join().unwrap();
+        assert!(permits0.is_empty(), "{permits0:?}");
+        assert!(permits1.is_empty(), "{permits1:?}");
+        assert_eq!(coordinator.decision(21), TxnDecision::PresumedAborted);
+    }
+
+    #[test]
+    fn vote_is_closed_under_cascading_dependencies() {
+        // Txn 31 (cross-shard, not unanimous) is denied; txn 32 observed 31's
+        // uncommitted write on shard 0, so committing 32 anywhere would tear
+        // once shard 0 cascades the abort.  Txn 33 is independent.
+        let coordinator = Arc::new(EpochCoordinator::new(2));
+        coordinator.register_participant(31, 0);
+        coordinator.register_participant(31, 1);
+        coordinator.register_participant(32, 0);
+        coordinator.register_participant(32, 1);
+        coordinator.register_participant(33, 1);
+
+        let c = coordinator.clone();
+        // Shard 1 never lists 31 (not ready), so 31 fails unanimity.
+        let other = thread::spawn(move || {
+            c.arrive(
+                1,
+                dep_source(vec![(32, vec![]), (33, vec![])]),
+                prepare_ok(),
+            )
+        });
+        let permits0 = coordinator.arrive(
+            0,
+            dep_source(vec![(31, vec![]), (32, vec![31])]),
+            prepare_ok(),
+        );
+        let permits1 = other.join().unwrap();
+        assert!(
+            !permits0.contains(&31) && !permits1.contains(&31),
+            "31 lacked a vote"
+        );
+        assert!(
+            !permits0.contains(&32) && !permits1.contains(&32),
+            "32 depends on the denied 31 and must be denied everywhere: {permits0:?} {permits1:?}"
+        );
+        assert!(permits1.contains(&33), "independent txn must still commit");
     }
 
     #[test]
@@ -379,21 +736,21 @@ mod tests {
         let flag = requested.clone();
         let live_source: CandidateSource = Arc::new(move || {
             if flag.load(std::sync::atomic::Ordering::SeqCst) {
-                vec![42]
+                vec![CommitCandidate::local(42)]
             } else {
                 vec![]
             }
         });
 
         let c = coordinator.clone();
-        let early = thread::spawn(move || c.arrive(0, live_source));
+        let early = thread::spawn(move || c.arrive(0, live_source, prepare_ok()));
         thread::sleep(Duration::from_millis(20));
         // The burst: request on both shards inside an intake window.
         {
             let _intake = coordinator.begin_commit_intake();
             requested.store(true, std::sync::atomic::Ordering::SeqCst);
         }
-        let permits1 = coordinator.arrive(1, source(vec![42]));
+        let permits1 = coordinator.arrive(1, source(vec![42]), prepare_ok());
         let permits0 = early.join().unwrap();
         assert_eq!(permits0, vec![42], "decision must use a fresh sample");
         assert_eq!(permits1, vec![42]);
@@ -407,7 +764,7 @@ mod tests {
         coordinator.set_live(1, false);
         // Shard 1 never arrives, yet the round completes; txn 9 touched the
         // dead shard and must not be permitted.
-        let permits = coordinator.arrive(0, source(vec![9]));
+        let permits = coordinator.arrive(0, source(vec![9]), prepare_ok());
         assert!(permits.is_empty());
         assert_eq!(coordinator.global_epoch(), 1);
     }
@@ -416,7 +773,7 @@ mod tests {
     fn marking_a_shard_dead_releases_a_blocked_round() {
         let coordinator = Arc::new(EpochCoordinator::new(2));
         let c = coordinator.clone();
-        let waiter = thread::spawn(move || c.arrive(0, source(vec![1])));
+        let waiter = thread::spawn(move || c.arrive(0, source(vec![1]), prepare_ok()));
         // Let the waiter block, then kill the missing shard.
         thread::sleep(Duration::from_millis(20));
         coordinator.set_live(1, false);
@@ -428,7 +785,7 @@ mod tests {
     fn shutdown_releases_waiters_with_passthrough() {
         let coordinator = Arc::new(EpochCoordinator::new(2));
         let c = coordinator.clone();
-        let waiter = thread::spawn(move || c.arrive(0, source(vec![3])));
+        let waiter = thread::spawn(move || c.arrive(0, source(vec![3]), prepare_ok()));
         thread::sleep(Duration::from_millis(20));
         coordinator.shutdown();
         assert_eq!(waiter.join().unwrap(), vec![3]);
@@ -449,8 +806,8 @@ mod tests {
         let coordinator = Arc::new(EpochCoordinator::new(2));
         for round in 1..=3u64 {
             let c = coordinator.clone();
-            let other = thread::spawn(move || c.arrive(1, source(vec![])));
-            coordinator.arrive(0, source(vec![]));
+            let other = thread::spawn(move || c.arrive(1, source(vec![]), prepare_ok()));
+            coordinator.arrive(0, source(vec![]), prepare_ok());
             other.join().unwrap();
             assert_eq!(coordinator.global_epoch(), round);
         }

@@ -20,7 +20,7 @@
 //! keeps single-shard transactions (the overwhelming majority under a
 //! uniform router) exactly as cheap as on an unsharded proxy.
 
-use crate::coordinator::{EpochCoordinator, ShardGate};
+use crate::coordinator::{EpochCoordinator, ShardGate, TxnDecision};
 use crate::oracle::TimestampOracle;
 use crate::router::ShardRouter;
 use obladi_common::config::ShardConfig;
@@ -30,6 +30,7 @@ use obladi_core::durability::RecoveryReport;
 use obladi_core::proxy::{ObladiDb, ObladiTxn, ProxyStats};
 use obladi_core::{KvDatabase, KvTransaction};
 use obladi_crypto::KeyMaterial;
+use obladi_storage::{build_backend, TrustedCounter, UntrustedStore};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -71,13 +72,46 @@ pub struct ShardedDb {
 impl ShardedDb {
     /// Opens `config.shards` independent proxies behind one front door.
     pub fn open(config: ShardConfig) -> Result<ShardedDb> {
+        // Validation happens in open_with_stores; shard_config only needs
+        // the (structurally valid either way) per-shard template.
+        let stores = (0..config.shards)
+            .map(|index| {
+                let shard_config = config.shard_config(index);
+                build_backend(
+                    shard_config.backend,
+                    shard_config.latency_scale,
+                    shard_config.seed,
+                )
+            })
+            .collect();
+        ShardedDb::open_with_stores(config, stores)
+    }
+
+    /// Opens the deployment over caller-supplied per-shard storage backends.
+    ///
+    /// Fault-injection harnesses use this to wrap individual shards in
+    /// `FaultyStore` so crashes can be triggered at precise points of the
+    /// cross-shard commit protocol.
+    pub fn open_with_stores(
+        config: ShardConfig,
+        stores: Vec<Arc<dyn UntrustedStore>>,
+    ) -> Result<ShardedDb> {
         config.validate()?;
+        if stores.len() != config.shards {
+            return Err(ObladiError::Config(format!(
+                "{} stores supplied for {} shards",
+                stores.len(),
+                config.shards
+            )));
+        }
         let keys = KeyMaterial::for_tests(config.shard.seed);
         let router = ShardRouter::new(&keys, config.shards);
         let coordinator = Arc::new(EpochCoordinator::new(config.shards));
         let mut shards = Vec::with_capacity(config.shards);
-        for index in 0..config.shards {
-            let db = ObladiDb::open(config.shard_config(index))?;
+        for (index, store) in stores.into_iter().enumerate() {
+            let shard_config = config.shard_config(index);
+            let shard_keys = KeyMaterial::for_tests(shard_config.seed);
+            let db = ObladiDb::open_with(shard_config, store, TrustedCounter::new(), shard_keys)?;
             db.set_epoch_gate(Arc::new(ShardGate::new(coordinator.clone(), index)));
             shards.push(db);
         }
@@ -116,6 +150,13 @@ impl ShardedDb {
     /// Completed global epochs.
     pub fn global_epoch(&self) -> u64 {
         self.coordinator.global_epoch()
+    }
+
+    /// 2PC commit decisions still awaiting participant acknowledgements
+    /// (a healthy deployment trends to zero; a nonzero steady state means
+    /// some shard never made a voted transaction durable).
+    pub fn pending_decisions(&self) -> usize {
+        self.coordinator.pending_decisions()
     }
 
     /// Aggregated statistics snapshot.
@@ -157,8 +198,25 @@ impl ShardedDb {
 
     /// Recovers a crashed shard from its recovery unit (§8) and re-admits it
     /// to the epoch rendezvous.
+    ///
+    /// In-doubt 2PC prepares found in the shard's WAL — transactions it
+    /// voted to commit whose epoch never became durable — are resolved
+    /// through the coordinator's decision log: committed ones are replayed
+    /// from their prepare records and made durable *before* the shard
+    /// rejoins (so cross-shard atomic visibility holds the moment it serves
+    /// again), everything else is presumed aborted.
     pub fn recover_shard(&self, index: usize) -> Result<RecoveryReport> {
-        let report = self.shards[index].recover()?;
+        let coordinator = self.coordinator.clone();
+        let resolve = move |txn: TxnId| coordinator.decision(txn) == TxnDecision::Committed;
+        let (report, recovered) = self.shards[index].recover_resolving(&resolve)?;
+        // Acknowledge everything this shard can vouch for — the halves just
+        // replayed *and* prepares that were already durable before the
+        // crash (the crash may have interrupted the normal epoch-durable
+        // acknowledgement, which would pin the decision forever) — so fully
+        // acknowledged decisions can retire, then rejoin the rendezvous.
+        self.coordinator.ack_durable(index, &recovered.replayed);
+        self.coordinator
+            .ack_durable(index, &recovered.stale_prepared);
         self.coordinator.set_live(index, true);
         Ok(report)
     }
@@ -430,14 +488,28 @@ impl<'db> ShardedTxn<'db> {
             }
         }
 
-        // Phase 2: collect the coordinated outcomes.
-        let mut outcome = TxnOutcome::Committed;
+        // Phase 2: collect the coordinated outcomes.  The authoritative
+        // record of a cross-shard fate is the coordinator's decision log: a
+        // leg can only report `Committed` if the transaction was permitted,
+        // and the permit is all-or-nothing across shards, so any committed
+        // leg — or a still-pending commit decision, which covers the case
+        // where *every* participating leg crashed after the decision —
+        // means the transaction is (or will be, once recovery replays the
+        // durable prepares) committed everywhere.  Reporting an abort in
+        // those cases would be the lie.
+        let mut any_committed = false;
+        let mut abort: Option<TxnOutcome> = None;
         for (_, leg) in awaiting {
             match leg.await_outcome()? {
-                TxnOutcome::Committed => {}
-                aborted @ TxnOutcome::Aborted(_) => outcome = aborted,
+                TxnOutcome::Committed => any_committed = true,
+                aborted @ TxnOutcome::Aborted(_) => abort = Some(aborted),
             }
         }
+        let outcome = if any_committed || self.db.coordinator.was_committed(self.id) {
+            TxnOutcome::Committed
+        } else {
+            abort.unwrap_or(TxnOutcome::Committed)
+        };
         self.db.coordinator.forget_txn(self.id);
 
         if let Some(err) = request_error {

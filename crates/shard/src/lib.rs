@@ -47,7 +47,7 @@ pub mod db;
 pub mod oracle;
 pub mod router;
 
-pub use coordinator::{EpochCoordinator, ShardGate};
+pub use coordinator::{EpochCoordinator, ShardGate, TxnDecision};
 pub use db::{ShardedDb, ShardedStats, ShardedTxn};
 pub use oracle::TimestampOracle;
 pub use router::ShardRouter;

@@ -13,8 +13,67 @@ use obladi_common::error::{ObladiError, Result};
 use obladi_common::rng::DetRng;
 use obladi_common::types::{BucketId, Version};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Operation class a [`CrashPoint`] fires on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashOp {
+    /// An `append_log` whose framed record starts with this kind byte
+    /// (see `WalRecordKind::tag`).
+    LogAppendKind(u8),
+    /// Any `append_log`.
+    AnyLogAppend,
+    /// Any `write_bucket`.
+    BucketWrite,
+    /// Any fallible storage operation.
+    AnyOp,
+}
+
+/// A deterministic, sticky crash trigger.
+///
+/// Crash-schedule tests need to kill a proxy at a *semantic* point in its
+/// commit protocol ("after the prepare record is durable but before the
+/// epoch-commit record"), which operation counts alone cannot express: how
+/// many epochs elapse before the interesting transaction arrives depends on
+/// timing.  A `CrashPoint` therefore (optionally) *arms* itself when a log
+/// append of a given WAL kind byte is observed, then fires at the `nth`
+/// matching operation after arming.  Once fired, every subsequent operation
+/// fails too (the storage outage persists until the plan is replaced), so
+/// the victim proxy deterministically fate-shares into a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Arm only once an `append_log` with this framed kind byte has been
+    /// observed (`None` = armed from the start).  The arming append itself
+    /// succeeds and does not count towards `nth`.
+    pub arm_on_log_kind: Option<u8>,
+    /// Which operation class fires the crash once armed.
+    pub on: CrashOp,
+    /// 1-based count of matching operations (after arming) at which the
+    /// crash fires.
+    pub nth: u64,
+}
+
+impl CrashPoint {
+    /// Fires at the `nth` log append of `kind` (armed from the start).
+    pub fn on_log_kind(kind: u8, nth: u64) -> Self {
+        CrashPoint {
+            arm_on_log_kind: None,
+            on: CrashOp::LogAppendKind(kind),
+            nth,
+        }
+    }
+
+    /// Fires at the `nth` operation of class `on` after a log append of
+    /// `arm_kind` has been observed.
+    pub fn after_log_kind(arm_kind: u8, on: CrashOp, nth: u64) -> Self {
+        CrashPoint {
+            arm_on_log_kind: Some(arm_kind),
+            on,
+            nth,
+        }
+    }
+}
 
 /// What kind of misbehaviour to inject and how often.
 #[derive(Debug, Clone, Copy)]
@@ -27,6 +86,8 @@ pub struct FaultPlan {
     /// Fail every operation after this many successful ones
     /// (`u64::MAX` = never).
     pub fail_after: u64,
+    /// Deterministic sticky crash trigger (see [`CrashPoint`]).
+    pub crash_point: Option<CrashPoint>,
 }
 
 impl FaultPlan {
@@ -36,6 +97,15 @@ impl FaultPlan {
             corrupt_read_prob: 0.0,
             stale_read_prob: 0.0,
             fail_after: u64::MAX,
+            crash_point: None,
+        }
+    }
+
+    /// A plan whose only fault is the given deterministic crash point.
+    pub fn crash_at(point: CrashPoint) -> Self {
+        FaultPlan {
+            crash_point: Some(point),
+            ..FaultPlan::none()
         }
     }
 
@@ -72,6 +142,18 @@ pub struct FaultyStore {
     ops: AtomicU64,
     injected: AtomicU64,
     stale_cache: Mutex<std::collections::HashMap<BucketId, Vec<Bytes>>>,
+    /// Crash-point trigger state (see [`CrashPoint`]).
+    armed: AtomicBool,
+    trigger_matches: AtomicU64,
+    tripped: AtomicBool,
+}
+
+/// Internal classification of an operation for crash-point matching.
+#[derive(Clone, Copy)]
+enum OpClass {
+    LogAppend(Option<u8>),
+    BucketWrite,
+    Other,
 }
 
 impl FaultyStore {
@@ -84,6 +166,9 @@ impl FaultyStore {
             ops: AtomicU64::new(0),
             injected: AtomicU64::new(0),
             stale_cache: Mutex::new(std::collections::HashMap::new()),
+            armed: AtomicBool::new(false),
+            trigger_matches: AtomicU64::new(0),
+            tripped: AtomicBool::new(false),
         }
     }
 
@@ -92,13 +177,23 @@ impl FaultyStore {
         self.injected.load(Ordering::Relaxed)
     }
 
+    /// Whether the plan's [`CrashPoint`] has fired.  Once tripped, every
+    /// operation fails until [`FaultyStore::set_plan`] installs a new plan.
+    pub fn has_tripped(&self) -> bool {
+        self.tripped.load(Ordering::SeqCst)
+    }
+
     /// Replaces the fault plan.
     ///
     /// Tests use this to behave correctly while the database is loaded and
     /// only then start misbehaving — the scenario Appendix A cares about,
-    /// where an initially honest server turns malicious.
+    /// where an initially honest server turns malicious.  Resets any
+    /// crash-point trigger state, ending a tripped outage.
     pub fn set_plan(&self, plan: FaultPlan) {
         *self.plan.lock() = plan;
+        self.armed.store(false, Ordering::SeqCst);
+        self.trigger_matches.store(0, Ordering::SeqCst);
+        self.tripped.store(false, Ordering::SeqCst);
     }
 
     /// The currently active fault plan.
@@ -114,6 +209,48 @@ impl FaultyStore {
             return Err(ObladiError::Storage(
                 "injected hard failure (fail_after reached)".into(),
             ));
+        }
+        Ok(())
+    }
+
+    /// Evaluates the sticky crash trigger against one operation.  The firing
+    /// operation fails, as does everything after it, so the deterministic
+    /// crash point behaves like the start of a permanent outage.
+    fn check_crash_point(&self, op: OpClass) -> Result<()> {
+        if self.tripped.load(Ordering::SeqCst) {
+            return Err(ObladiError::Storage(
+                "injected crash point (outage in effect)".into(),
+            ));
+        }
+        let Some(point) = self.plan.lock().crash_point else {
+            return Ok(());
+        };
+        if let Some(arm_kind) = point.arm_on_log_kind {
+            if !self.armed.load(Ordering::SeqCst) {
+                if let OpClass::LogAppend(Some(kind)) = op {
+                    if kind == arm_kind {
+                        self.armed.store(true, Ordering::SeqCst);
+                    }
+                }
+                // The arming append itself succeeds and does not count.
+                return Ok(());
+            }
+        }
+        let matches = match point.on {
+            CrashOp::LogAppendKind(k) => matches!(op, OpClass::LogAppend(Some(kind)) if kind == k),
+            CrashOp::AnyLogAppend => matches!(op, OpClass::LogAppend(_)),
+            CrashOp::BucketWrite => matches!(op, OpClass::BucketWrite),
+            CrashOp::AnyOp => true,
+        };
+        if matches {
+            let n = self.trigger_matches.fetch_add(1, Ordering::SeqCst) + 1;
+            if n >= point.nth {
+                self.tripped.store(true, Ordering::SeqCst);
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return Err(ObladiError::Storage(
+                    "injected crash point (trigger fired)".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -138,6 +275,7 @@ impl FaultyStore {
 
 impl UntrustedStore for FaultyStore {
     fn read_slot(&self, bucket: BucketId, slot: u32) -> Result<Bytes> {
+        self.check_crash_point(OpClass::Other)?;
         self.check_hard_failure()?;
         let serve_stale = {
             let probability = self.plan.lock().stale_read_prob;
@@ -160,11 +298,13 @@ impl UntrustedStore for FaultyStore {
     }
 
     fn read_bucket(&self, bucket: BucketId) -> Result<BucketSnapshot> {
+        self.check_crash_point(OpClass::Other)?;
         self.check_hard_failure()?;
         self.inner.read_bucket(bucket)
     }
 
     fn write_bucket(&self, bucket: BucketId, slots: Vec<Bytes>) -> Result<Version> {
+        self.check_crash_point(OpClass::BucketWrite)?;
         self.check_hard_failure()?;
         // Remember the previous version so stale reads can replay it later.
         if self.plan.lock().stale_read_prob > 0.0 {
@@ -182,16 +322,19 @@ impl UntrustedStore for FaultyStore {
     }
 
     fn revert_bucket(&self, bucket: BucketId, version: Version) -> Result<()> {
+        self.check_crash_point(OpClass::Other)?;
         self.check_hard_failure()?;
         self.inner.revert_bucket(bucket, version)
     }
 
     fn put_meta(&self, key: &str, value: Bytes) -> Result<()> {
+        self.check_crash_point(OpClass::Other)?;
         self.check_hard_failure()?;
         self.inner.put_meta(key, value)
     }
 
     fn get_meta(&self, key: &str) -> Result<Option<Bytes>> {
+        self.check_crash_point(OpClass::Other)?;
         self.check_hard_failure()?;
         match self.inner.get_meta(key)? {
             Some(v) => Ok(Some(self.maybe_corrupt(v))),
@@ -200,17 +343,23 @@ impl UntrustedStore for FaultyStore {
     }
 
     fn append_log(&self, record: Bytes) -> Result<u64> {
+        self.check_crash_point(OpClass::LogAppend(record.first().copied()))?;
         self.check_hard_failure()?;
         self.inner.append_log(record)
     }
 
     fn read_log_from(&self, from: u64) -> Result<Vec<(u64, Bytes)>> {
+        self.check_crash_point(OpClass::Other)?;
         self.check_hard_failure()?;
         self.inner.read_log_from(from)
     }
 
     fn truncate_log(&self, up_to: u64) -> Result<()> {
         self.inner.truncate_log(up_to)
+    }
+
+    fn truncate_log_tail(&self, from: u64) -> Result<()> {
+        self.inner.truncate_log_tail(from)
     }
 
     fn stats(&self) -> StoreStats {
@@ -289,5 +438,62 @@ mod tests {
             }
         }
         assert_eq!(failures, 5);
+    }
+
+    #[test]
+    fn crash_point_fires_on_the_nth_append_of_a_kind_and_sticks() {
+        let store = FaultyStore::new(
+            base(),
+            FaultPlan::crash_at(CrashPoint::on_log_kind(6, 2)),
+            5,
+        );
+        // Kind 6 appends; the second one fires.
+        assert!(store.append_log(Bytes::from_static(&[6, 0, 0])).is_ok());
+        assert!(store.append_log(Bytes::from_static(&[4, 0, 0])).is_ok());
+        assert!(!store.has_tripped());
+        assert!(store.append_log(Bytes::from_static(&[6, 1, 1])).is_err());
+        assert!(store.has_tripped());
+        // Outage is sticky across every operation class.
+        assert!(store.read_slot(0, 0).is_err());
+        assert!(store.append_log(Bytes::from_static(&[1])).is_err());
+        // Replacing the plan ends the outage.
+        store.set_plan(FaultPlan::none());
+        assert!(!store.has_tripped());
+        assert!(store.read_slot(0, 0).is_ok());
+    }
+
+    #[test]
+    fn armed_crash_point_ignores_everything_before_the_arming_append() {
+        let store = FaultyStore::new(
+            base(),
+            FaultPlan::crash_at(CrashPoint::after_log_kind(6, CrashOp::BucketWrite, 1)),
+            6,
+        );
+        // Bucket writes before the arming append do not count.
+        for _ in 0..5 {
+            store
+                .write_bucket(0, vec![Bytes::from_static(b"pre")])
+                .unwrap();
+        }
+        // Arming append succeeds...
+        assert!(store.append_log(Bytes::from_static(&[6, 9, 9])).is_ok());
+        // ...and the next bucket write fires.
+        assert!(store
+            .write_bucket(0, vec![Bytes::from_static(b"post")])
+            .is_err());
+        assert!(store.has_tripped());
+    }
+
+    #[test]
+    fn armed_crash_point_counts_log_appends_after_arming() {
+        let store = FaultyStore::new(
+            base(),
+            FaultPlan::crash_at(CrashPoint::after_log_kind(6, CrashOp::AnyLogAppend, 2)),
+            7,
+        );
+        assert!(store.append_log(Bytes::from_static(&[2, 0])).is_ok());
+        assert!(store.append_log(Bytes::from_static(&[6, 0])).is_ok()); // arms
+        assert!(store.append_log(Bytes::from_static(&[2, 0])).is_ok()); // 1st after arming
+        assert!(store.append_log(Bytes::from_static(&[4, 0])).is_err()); // 2nd fires
     }
 }

@@ -166,6 +166,10 @@ impl UntrustedStore for LatencyStore {
         self.inner.truncate_log(up_to)
     }
 
+    fn truncate_log_tail(&self, from: u64) -> Result<()> {
+        self.inner.truncate_log_tail(from)
+    }
+
     fn stats(&self) -> StoreStats {
         self.inner.stats()
     }

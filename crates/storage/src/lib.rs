@@ -31,7 +31,7 @@ pub mod traits;
 pub mod wal;
 
 pub use counter::TrustedCounter;
-pub use faulty::{FaultPlan, FaultyStore};
+pub use faulty::{CrashOp, CrashPoint, FaultPlan, FaultyStore};
 pub use latency::LatencyStore;
 pub use memory::InMemoryStore;
 pub use traits::{BucketSnapshot, StoreStats, UntrustedStore};

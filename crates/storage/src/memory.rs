@@ -207,6 +207,11 @@ impl UntrustedStore for InMemoryStore {
         Ok(())
     }
 
+    fn truncate_log_tail(&self, from: u64) -> Result<()> {
+        self.log.lock().split_off(&from);
+        Ok(())
+    }
+
     fn stats(&self) -> StoreStats {
         StoreStats {
             slot_reads: self.slot_reads.load(Ordering::Relaxed),

@@ -104,6 +104,15 @@ pub trait UntrustedStore: Send + Sync {
     /// Drops log records with sequence number `< up_to` (checkpointing).
     fn truncate_log(&self, up_to: u64) -> Result<()>;
 
+    /// Drops log records with sequence number `>= from` (tail erasure).
+    ///
+    /// Recovery uses this to physically retire a *torn* final append (a
+    /// record the crash left truncated or garbled).  Leaving the fragment
+    /// in place would poison every later recovery: once fresh records are
+    /// appended behind it, the fragment is no longer a tolerable tail but
+    /// unexplained mid-log corruption.
+    fn truncate_log_tail(&self, from: u64) -> Result<()>;
+
     /// Snapshot of the operation counters.
     fn stats(&self) -> StoreStats;
 

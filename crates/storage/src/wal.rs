@@ -27,6 +27,11 @@ pub enum WalRecordKind {
     EpochCommit,
     /// An early-reshuffle event (needed to recompute bucket versions).
     EarlyReshuffle,
+    /// A 2PC prepare record for a cross-shard transaction: logged *before*
+    /// the shard's commit vote counts at the epoch coordinator, so recovery
+    /// can finish (or presume aborted) a voted transaction whose epoch never
+    /// became durable.
+    Prepare,
 }
 
 impl WalRecordKind {
@@ -37,7 +42,14 @@ impl WalRecordKind {
             WalRecordKind::CheckpointFull => 3,
             WalRecordKind::EpochCommit => 4,
             WalRecordKind::EarlyReshuffle => 5,
+            WalRecordKind::Prepare => 6,
         }
+    }
+
+    /// The on-storage tag byte of this kind (the first byte of every framed
+    /// record; fault-injection harnesses key crash triggers on it).
+    pub fn tag(self) -> u8 {
+        self.to_byte()
     }
 
     fn from_byte(b: u8) -> Result<Self> {
@@ -47,6 +59,7 @@ impl WalRecordKind {
             3 => WalRecordKind::CheckpointFull,
             4 => WalRecordKind::EpochCommit,
             5 => WalRecordKind::EarlyReshuffle,
+            6 => WalRecordKind::Prepare,
             other => {
                 return Err(ObladiError::Codec(format!(
                     "unknown WAL record kind {other}"
@@ -89,28 +102,64 @@ impl WriteAheadLog {
         self.store.append_log(framed.freeze())
     }
 
+    fn decode(seq: u64, data: Bytes) -> Result<WalRecord> {
+        if data.len() < 9 {
+            return Err(ObladiError::Codec(format!(
+                "WAL record {seq} too short ({} bytes)",
+                data.len()
+            )));
+        }
+        let kind = WalRecordKind::from_byte(data[0])?;
+        let mut epoch_bytes = [0u8; 8];
+        epoch_bytes.copy_from_slice(&data[1..9]);
+        Ok(WalRecord {
+            seq,
+            kind,
+            epoch: u64::from_le_bytes(epoch_bytes),
+            payload: data.slice(9..),
+        })
+    }
+
     /// Reads and decodes all records with `seq >= from`.
     pub fn read_from(&self, from: u64) -> Result<Vec<WalRecord>> {
         let raw = self.store.read_log_from(from)?;
         let mut records = Vec::with_capacity(raw.len());
         for (seq, data) in raw {
-            if data.len() < 9 {
-                return Err(ObladiError::Codec(format!(
-                    "WAL record {seq} too short ({} bytes)",
-                    data.len()
-                )));
-            }
-            let kind = WalRecordKind::from_byte(data[0])?;
-            let mut epoch_bytes = [0u8; 8];
-            epoch_bytes.copy_from_slice(&data[1..9]);
-            records.push(WalRecord {
-                seq,
-                kind,
-                epoch: u64::from_le_bytes(epoch_bytes),
-                payload: data.slice(9..),
-            });
+            records.push(Self::decode(seq, data)?);
         }
         Ok(records)
+    }
+
+    /// Reads all records with `seq >= from`, tolerating a torn *tail*: a
+    /// crash can leave the final append truncated or garbled, and recovery
+    /// must treat that record as never written rather than refuse to start.
+    /// A malformed record in the *middle* of the log (valid records follow
+    /// it) cannot be a torn append and is still an error.
+    ///
+    /// Returns the decoded records and the sequence number of the dropped
+    /// tail record, if one was dropped.  The caller is expected to erase
+    /// the fragment with [`WriteAheadLog::truncate_tail`] before appending
+    /// anything: once fresh records sit behind it, the fragment reads as
+    /// unexplained mid-log corruption and poisons every later recovery.
+    pub fn read_from_tolerant(&self, from: u64) -> Result<(Vec<WalRecord>, Option<u64>)> {
+        let raw = self.store.read_log_from(from)?;
+        let last_seq = raw.last().map(|(seq, _)| *seq);
+        let mut records = Vec::with_capacity(raw.len());
+        let mut dropped = None;
+        for (seq, data) in raw {
+            match Self::decode(seq, data) {
+                Ok(record) => records.push(record),
+                Err(_) if Some(seq) == last_seq => dropped = Some(seq),
+                Err(err) => return Err(err),
+            }
+        }
+        Ok((records, dropped))
+    }
+
+    /// Physically erases records with sequence numbers at or above `from`
+    /// (torn-tail retirement; see [`WriteAheadLog::read_from_tolerant`]).
+    pub fn truncate_tail(&self, from: u64) -> Result<()> {
+        self.store.truncate_log_tail(from)
     }
 
     /// Reads all records belonging to `epoch`.
@@ -210,6 +259,7 @@ mod tests {
             WalRecordKind::CheckpointFull,
             WalRecordKind::EpochCommit,
             WalRecordKind::EarlyReshuffle,
+            WalRecordKind::Prepare,
         ];
         let wal = wal();
         for (i, kind) in kinds.iter().enumerate() {
@@ -219,5 +269,74 @@ mod tests {
         for (record, kind) in records.iter().zip(kinds.iter()) {
             assert_eq!(record.kind, *kind);
         }
+    }
+
+    #[test]
+    fn prepare_records_roundtrip_with_payload() {
+        let wal = wal();
+        wal.append(WalRecordKind::Prepare, 9, b"txn+writeset")
+            .unwrap();
+        let records = wal.read_from(0).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].kind, WalRecordKind::Prepare);
+        assert_eq!(records[0].epoch, 9);
+        assert_eq!(&records[0].payload[..], b"txn+writeset");
+        assert_eq!(WalRecordKind::Prepare.tag(), 6);
+    }
+
+    #[test]
+    fn tolerant_read_drops_a_truncated_tail_record() {
+        let store: Arc<dyn UntrustedStore> = Arc::new(InMemoryStore::new());
+        let wal = WriteAheadLog::new(store.clone());
+        wal.append(WalRecordKind::Prepare, 3, b"good").unwrap();
+        wal.append(WalRecordKind::EpochCommit, 3, b"").unwrap();
+        // A torn append: fewer bytes than the fixed frame header.
+        let torn_seq = store.append_log(Bytes::from_static(&[6, 1, 2])).unwrap();
+
+        let (records, dropped) = wal.read_from_tolerant(0).unwrap();
+        assert_eq!(
+            dropped,
+            Some(torn_seq),
+            "the torn tail must be dropped, not fatal"
+        );
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].kind, WalRecordKind::Prepare);
+        assert_eq!(&records[0].payload[..], b"good");
+        assert_eq!(records[1].kind, WalRecordKind::EpochCommit);
+        // The strict reader still refuses the same log.
+        assert!(wal.read_from(0).is_err());
+
+        // Retiring the fragment makes the log clean again — even for the
+        // strict reader, and even after fresh appends land behind it.
+        wal.truncate_tail(torn_seq).unwrap();
+        wal.append(WalRecordKind::PathLog, 4, b"fresh").unwrap();
+        let records = wal.read_from(0).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2].kind, WalRecordKind::PathLog);
+    }
+
+    #[test]
+    fn tolerant_read_drops_an_unknown_kind_tail_record() {
+        let store: Arc<dyn UntrustedStore> = Arc::new(InMemoryStore::new());
+        let wal = WriteAheadLog::new(store.clone());
+        wal.append(WalRecordKind::PathLog, 1, b"paths").unwrap();
+        // Garbage with a valid length but an unassigned kind byte.
+        store.append_log(Bytes::from(vec![0xEEu8; 16])).unwrap();
+        let (records, dropped) = wal.read_from_tolerant(0).unwrap();
+        assert!(dropped.is_some());
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].kind, WalRecordKind::PathLog);
+    }
+
+    #[test]
+    fn tolerant_read_still_rejects_mid_log_corruption() {
+        // A malformed record *followed by* valid appends cannot be a torn
+        // tail; silently skipping it could hide real log damage.
+        let store: Arc<dyn UntrustedStore> = Arc::new(InMemoryStore::new());
+        let wal = WriteAheadLog::new(store.clone());
+        wal.append(WalRecordKind::Prepare, 2, b"good").unwrap();
+        store.append_log(Bytes::from_static(&[0xEE, 0])).unwrap();
+        wal.append(WalRecordKind::EpochCommit, 2, b"").unwrap();
+        assert!(wal.read_from_tolerant(0).is_err());
     }
 }

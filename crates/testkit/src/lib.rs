@@ -15,7 +15,11 @@
 //! * [`stats`] — chi-square uniformity and total-variation distance used to
 //!   compare adversary-visible traces across workloads;
 //! * [`chaos`] — a crash-point injection harness for the epoch fate-sharing
-//!   durability guarantee of §8.
+//!   durability guarantee of §8;
+//! * [`shard_chaos`] — a deterministic crash-schedule explorer for the
+//!   sharded 2PC commit path: it enumerates every prepare/vote/commit
+//!   interleaving crash point of a cross-shard transaction and checks
+//!   all-or-nothing visibility plus serializability after recovery.
 //!
 //! Keeping these oracles in a dedicated crate keeps the system crates free
 //! of test-only code while letting every test target (and the benches)
@@ -26,6 +30,7 @@
 pub mod chaos;
 pub mod history;
 pub mod recorder;
+pub mod shard_chaos;
 pub mod stats;
 pub mod trace;
 
@@ -35,6 +40,10 @@ pub use history::{
     Violation, WriteTag,
 };
 pub use recorder::{HistoryRecorder, TxnTrace};
+pub use shard_chaos::{
+    crash_schedule, cross_shard_pair, open_faulty_deployment, run_shard_crash_case, Expected,
+    FaultyDeployment, ShardCrashCase, ShardCrashReport,
+};
 pub use stats::{
     chi_square_critical, chi_square_uniform, is_plausibly_uniform, total_variation_distance,
 };

@@ -1,0 +1,460 @@
+//! Deterministic crash-schedule explorer for the sharded 2PC commit path.
+//!
+//! `chaos` sweeps crash points over a *single-proxy* workload; this module
+//! does the same for the cross-shard commit protocol of `obladi-shard`.
+//! The protocol on each participant of a cross-shard transaction runs, in
+//! order:
+//!
+//! 1. append the `Prepare{txn, epoch, write set}` record to the WAL (the
+//!    vote becomes durable),
+//! 2. the coordinator decides and permits the transaction,
+//! 3. the shard writes its epoch's bucket write-back,
+//! 4. appends the epoch checkpoint,
+//! 5. appends the epoch-commit marker (the epoch — and the transaction's
+//!    half — becomes durable),
+//! 6. publishes the outcome.
+//!
+//! A crash between step 1 and step 5 on one participant, with the peers
+//! completing step 5, is exactly the window the durable-prepare protocol
+//! exists for.  [`crash_schedule`] enumerates a [`CrashPoint`] for every
+//! interleaving boundary (on either participant), and
+//! [`run_shard_crash_case`] drives a 2-of-3-shard transaction into the
+//! chosen point using a [`FaultyStore`] trigger, recovers the victim, and
+//! checks the three invariants that define correctness here:
+//!
+//! * **All-or-nothing.**  After recovery the transaction's writes are
+//!   visible on *all* of its shards or on *none* — never torn.
+//! * **Acknowledged implies durable.**  If the front door acknowledged the
+//!   commit, the writes survive the crash.
+//! * **Serializability.**  The full recorded history (seeding, every
+//!   attempt, post-recovery reads) passes the DSG oracle of [`history`].
+//!
+//! Each case also re-crashes and re-recovers the victim once more with no
+//! faults, asserting the recovered state is stable — recovery idempotence.
+//!
+//! [`history`]: crate::history
+
+use crate::history::{check_serializable, tag_value, History, TxnRecord};
+use obladi_common::config::ShardConfig;
+use obladi_common::error::{ObladiError, Result};
+use obladi_common::types::{Key, Value};
+use obladi_shard::ShardedDb;
+use obladi_storage::wal::WalRecordKind;
+use obladi_storage::{CrashOp, CrashPoint, FaultPlan, FaultyStore, InMemoryStore, UntrustedStore};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What the schedule expects of the transaction driven into a crash point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expected {
+    /// The crash fires before the victim's vote becomes durable, so the
+    /// transaction must abort (and stay invisible everywhere).
+    Abort,
+    /// The vote was durable on every participant, so the transaction must
+    /// commit (and recovery must finish the crashed half).
+    Commit,
+}
+
+/// One crash case: where the fault lives and when it fires.
+#[derive(Debug, Clone)]
+pub struct ShardCrashCase {
+    /// Human-readable crash-point name (used in assertion messages).
+    pub name: &'static str,
+    /// `false` = the shard owning the first key of the pair crashes,
+    /// `true` = the shard owning the second key.
+    pub victim_second: bool,
+    /// The deterministic trigger, or `None` to crash the victim explicitly
+    /// after the commit is acknowledged (the fully durable point).
+    pub trigger: Option<CrashPoint>,
+    /// The all-or-nothing side the case must land on.
+    pub expected: Expected,
+}
+
+/// What one crash case observed; the invariants have already been checked
+/// by [`run_shard_crash_case`], this is for reporting and extra assertions.
+#[derive(Debug, Clone)]
+pub struct ShardCrashReport {
+    /// The case name.
+    pub name: &'static str,
+    /// Whether the front door acknowledged the commit.
+    pub acknowledged_commit: bool,
+    /// Whether the crash trigger actually fired (always true for explicit
+    /// post-acknowledgement crashes).
+    pub tripped: bool,
+    /// Whether the transaction's writes were visible (on both shards) after
+    /// recovery.
+    pub committed_visible: bool,
+    /// In-doubt prepares the victim's recovery found.
+    pub in_doubt: u64,
+    /// In-doubt transactions recovery replayed from prepare records.
+    pub replayed_commits: u64,
+    /// 2PC decisions still pending after recovery settled (waited on with a
+    /// timeout; a healthy run drains to 0 — anything else means a decision
+    /// was pinned forever).
+    pub pending_decisions_after: usize,
+}
+
+/// The crash schedule: every prepare/vote/write-back/checkpoint/commit
+/// interleaving boundary, on either participant of a 2-of-3-shard
+/// transaction, plus the post-durability point.  Twelve distinct points.
+pub fn crash_schedule() -> Vec<ShardCrashCase> {
+    let prepare = WalRecordKind::Prepare.tag();
+    let epoch_commit = WalRecordKind::EpochCommit.tag();
+    let mut cases = Vec::new();
+    for victim_second in [false, true] {
+        let side = if victim_second { "second" } else { "first" };
+        cases.push(ShardCrashCase {
+            name: leak_name(format!("prepare-append-fails/{side}")),
+            victim_second,
+            trigger: Some(CrashPoint::on_log_kind(prepare, 1)),
+            expected: Expected::Abort,
+        });
+        cases.push(ShardCrashCase {
+            name: leak_name(format!("voted-before-write-back/{side}")),
+            victim_second,
+            trigger: Some(CrashPoint::after_log_kind(prepare, CrashOp::BucketWrite, 1)),
+            expected: Expected::Commit,
+        });
+        cases.push(ShardCrashCase {
+            name: leak_name(format!("voted-mid-write-back/{side}")),
+            victim_second,
+            trigger: Some(CrashPoint::after_log_kind(prepare, CrashOp::BucketWrite, 3)),
+            expected: Expected::Commit,
+        });
+        cases.push(ShardCrashCase {
+            name: leak_name(format!("voted-before-checkpoint/{side}")),
+            victim_second,
+            trigger: Some(CrashPoint::after_log_kind(
+                prepare,
+                CrashOp::AnyLogAppend,
+                1,
+            )),
+            expected: Expected::Commit,
+        });
+        cases.push(ShardCrashCase {
+            name: leak_name(format!("commit-record-lost/{side}")),
+            victim_second,
+            trigger: Some(CrashPoint::after_log_kind(
+                prepare,
+                CrashOp::LogAppendKind(epoch_commit),
+                1,
+            )),
+            expected: Expected::Commit,
+        });
+        cases.push(ShardCrashCase {
+            name: leak_name(format!("after-durable-commit/{side}")),
+            victim_second,
+            trigger: None,
+            expected: Expected::Commit,
+        });
+    }
+    cases
+}
+
+/// Case names live for the program; the schedule is tiny and static.
+fn leak_name(name: String) -> &'static str {
+    Box::leak(name.into_boxed_str())
+}
+
+/// A 3-shard test deployment over [`FaultyStore`]-wrapped backends.
+pub struct FaultyDeployment {
+    /// The front door.
+    pub db: ShardedDb,
+    /// Per-shard fault injectors, indexed by shard.
+    pub faults: Vec<Arc<FaultyStore>>,
+}
+
+/// Builds a 3-shard deployment whose stores can all misbehave on demand.
+pub fn open_faulty_deployment(seed: u64) -> Result<FaultyDeployment> {
+    let mut config = ShardConfig::small_for_tests(3, 512);
+    config.shard.epoch.batch_interval = Duration::from_millis(1);
+    config.shard.epoch.checkpoint_every = 3;
+    config.shard.seed = seed;
+    let faults: Vec<Arc<FaultyStore>> = (0..config.shards)
+        .map(|index| {
+            Arc::new(FaultyStore::new(
+                Arc::new(InMemoryStore::new()),
+                FaultPlan::none(),
+                seed ^ ((index as u64 + 1) * 0x9E37),
+            ))
+        })
+        .collect();
+    let stores: Vec<Arc<dyn UntrustedStore>> = faults
+        .iter()
+        .map(|f| f.clone() as Arc<dyn UntrustedStore>)
+        .collect();
+    let db = ShardedDb::open_with_stores(config, stores)?;
+    Ok(FaultyDeployment { db, faults })
+}
+
+/// Finds two keys the deployment routes to different shards.
+pub fn cross_shard_pair(db: &ShardedDb) -> (Key, Key) {
+    let first = 0u64;
+    let home = db.router().route(first);
+    for key in 1..10_000u64 {
+        if db.router().route(key) != home {
+            return (first, key);
+        }
+    }
+    panic!("router sent 10k consecutive keys to one shard");
+}
+
+/// Attempts to commit a transaction writing tagged values to both keys of
+/// the pair, recording every attempt in `history`.  Stops on the first
+/// acknowledged commit, when `stop()` turns true, or after `max_attempts`.
+/// Returns the committed values, if any.
+pub fn write_pair_tagged(
+    db: &ShardedDb,
+    pair: (Key, Key),
+    history: &mut History,
+    max_attempts: usize,
+    stop: &dyn Fn() -> bool,
+) -> Option<(Value, Value)> {
+    let (a, b) = pair;
+    for attempt in 0..max_attempts {
+        if attempt > 0 {
+            if stop() {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let Ok(mut txn) = db.begin() else { continue };
+        // A virgin transaction may be transparently re-stamped; the first
+        // successful operation pins the id the tags must carry.
+        let Ok(seen) = txn.read(a) else { continue };
+        let id = txn.id();
+        let mut record = TxnRecord::new(id);
+        record.read(a, seen);
+        let value_a = tag_value(id, 0, b"chaos");
+        let value_b = tag_value(id, 1, b"chaos");
+        record.write(a, value_a.clone());
+        if txn.write(a, value_a.clone()).is_err() {
+            record.abort();
+            history.push(record);
+            continue;
+        }
+        record.write(b, value_b.clone());
+        if txn.write(b, value_b.clone()).is_err() {
+            record.abort();
+            history.push(record);
+            continue;
+        }
+        match txn.commit() {
+            Ok(outcome) if outcome.is_committed() => {
+                record.commit(record.id);
+                history.push(record);
+                return Some((value_a, value_b));
+            }
+            Ok(_) | Err(_) => {
+                record.abort();
+                history.push(record);
+            }
+        }
+    }
+    None
+}
+
+/// Reads both keys of the pair in one front-door transaction (with retries
+/// around epoch-boundary aborts), recording the successful read in
+/// `history`.
+pub fn read_pair(
+    db: &ShardedDb,
+    pair: (Key, Key),
+    history: &mut History,
+) -> Result<(Option<Value>, Option<Value>)> {
+    let (a, b) = pair;
+    let mut last_err = ObladiError::Internal("no read attempt made".into());
+    for _ in 0..100 {
+        let mut txn = match db.begin() {
+            Ok(txn) => txn,
+            Err(err) => {
+                last_err = err;
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+        };
+        let left = match txn.read(a) {
+            Ok(value) => value,
+            Err(err) if err.is_retryable() => {
+                last_err = err;
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            Err(err) => return Err(err),
+        };
+        let right = match txn.read(b) {
+            Ok(value) => value,
+            Err(err) if err.is_retryable() => {
+                last_err = err;
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            Err(err) => return Err(err),
+        };
+        let id = txn.id();
+        let _ = txn.commit();
+        let mut record = TxnRecord::new(id);
+        record.read(a, left.clone());
+        record.read(b, right.clone());
+        record.commit(id);
+        history.push(record);
+        return Ok((left, right));
+    }
+    Err(last_err)
+}
+
+/// Polls `condition` until it holds or `deadline` elapses.
+pub fn wait_for(what: &str, deadline: Duration, condition: &dyn Fn() -> bool) -> Result<()> {
+    let until = Instant::now() + deadline;
+    while !condition() {
+        if Instant::now() >= until {
+            return Err(ObladiError::Internal(format!(
+                "timed out waiting for {what}"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    Ok(())
+}
+
+/// Classifies a post-recovery observation of the pair against the seeded
+/// and transaction values.  `Err` = torn (the invariant violation).
+fn classify(
+    name: &str,
+    observed: (Option<Value>, Option<Value>),
+    old: &(Value, Value),
+    new: &Option<(Value, Value)>,
+) -> std::result::Result<bool, String> {
+    let (left, right) = observed;
+    if left.as_ref() == Some(&old.0) && right.as_ref() == Some(&old.1) {
+        return Ok(false);
+    }
+    if let Some((new_a, new_b)) = new {
+        if left.as_ref() == Some(new_a) && right.as_ref() == Some(new_b) {
+            return Ok(true);
+        }
+    }
+    Err(format!(
+        "{name}: torn cross-shard state after recovery: left={left:?} right={right:?}"
+    ))
+}
+
+/// Drives one crash case end to end and checks every invariant (see the
+/// module docs).  Returns the observation report for extra assertions.
+pub fn run_shard_crash_case(case: &ShardCrashCase, seed: u64) -> Result<ShardCrashReport> {
+    let violation = |msg: String| ObladiError::Internal(format!("[{}] {msg}", case.name));
+    let deployment = open_faulty_deployment(seed)?;
+    let db = &deployment.db;
+    let pair = cross_shard_pair(db);
+    let victim = if case.victim_second {
+        db.router().route(pair.1)
+    } else {
+        db.router().route(pair.0)
+    };
+    let victim_fault = deployment.faults[victim].clone();
+    let mut history = History::new();
+
+    // Seed committed values on both shards (no faults active yet).
+    let old = write_pair_tagged(db, pair, &mut history, 100, &|| false)
+        .ok_or_else(|| violation("failed to seed the cross-shard pair".into()))?;
+
+    // Arm the victim and drive the transaction into the crash point.
+    if let Some(trigger) = case.trigger {
+        victim_fault.set_plan(FaultPlan::crash_at(trigger));
+    }
+    let fault = victim_fault.clone();
+    let stop: Box<dyn Fn() -> bool> = match case.trigger {
+        Some(_) => Box::new(move || fault.has_tripped()),
+        None => Box::new(|| false),
+    };
+    let new = write_pair_tagged(db, pair, &mut history, 100, stop.as_ref());
+
+    // Reach the crash: triggered cases fate-share into a self-crash once
+    // the sticky outage bites the epoch driver; the post-durability case
+    // crashes explicitly after the acknowledgement.
+    let tripped = match case.trigger {
+        Some(_) => {
+            wait_for(
+                "the victim shard to self-crash",
+                Duration::from_secs(20),
+                &|| db.is_shard_crashed(victim),
+            )?;
+            victim_fault.has_tripped()
+        }
+        None => {
+            if new.is_none() {
+                return Err(violation("post-durability case never committed".into()));
+            }
+            db.crash_shard(victim);
+            true
+        }
+    };
+
+    // Recover (faults off) and observe.
+    victim_fault.set_plan(FaultPlan::none());
+    let report = db.recover_shard(victim)?;
+    let observed = read_pair(db, pair, &mut history)?;
+    let committed_visible = classify(case.name, observed, &old, &new).map_err(violation)?;
+
+    // --- Invariants. ---
+    let acknowledged_commit = new.is_some();
+    if acknowledged_commit && !committed_visible {
+        return Err(violation(
+            "acknowledged commit vanished after recovery".into(),
+        ));
+    }
+    match case.expected {
+        Expected::Abort if committed_visible => {
+            return Err(violation(
+                "crash point precedes the durable vote, yet the commit survived".into(),
+            ))
+        }
+        Expected::Commit if !committed_visible => {
+            return Err(violation(
+                "vote was durable on every participant, yet the commit was lost".into(),
+            ))
+        }
+        _ => {}
+    }
+
+    // Recovery idempotence: a second, fault-free crash + recovery must
+    // land on the same state.
+    db.crash_shard(victim);
+    db.recover_shard(victim)?;
+    let observed_again = read_pair(db, pair, &mut history)?;
+    let visible_again = classify(case.name, observed_again, &old, &new).map_err(violation)?;
+    if visible_again != committed_visible {
+        return Err(violation(format!(
+            "recovery is not idempotent: visible={committed_visible} then {visible_again}"
+        )));
+    }
+
+    // The whole observed history must be serializable.
+    check_serializable(&history)
+        .map_err(|violations| violation(format!("history not serializable: {violations:?}")))?;
+
+    // Every 2PC decision must eventually retire: participants acknowledge
+    // on their epoch-driver threads (or during recovery), so wait for the
+    // drain rather than sampling a racy instant.
+    let drain_deadline = Instant::now() + Duration::from_secs(10);
+    while db.pending_decisions() != 0 && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let pending_decisions_after = db.pending_decisions();
+    if pending_decisions_after != 0 {
+        return Err(violation(format!(
+            "{pending_decisions_after} 2PC decisions never retired"
+        )));
+    }
+
+    db.shutdown();
+    Ok(ShardCrashReport {
+        name: case.name,
+        acknowledged_commit,
+        tripped,
+        committed_visible,
+        in_doubt: report.in_doubt,
+        replayed_commits: report.replayed_commits,
+        pending_decisions_after,
+    })
+}

@@ -5,6 +5,7 @@
 
 use obladi::common::types::TxnId;
 use obladi::prelude::*;
+use obladi_testkit::cross_shard_pair;
 use obladi_testkit::history::{check_serializable, tag_value, History, TxnRecord};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -17,18 +18,6 @@ fn sharded_config(shards: usize) -> ShardConfig {
     config
 }
 
-/// Finds two keys that the deployment routes to different shards.
-fn cross_shard_pair(db: &ShardedDb) -> (Key, Key) {
-    let first = 0u64;
-    let home = db.router().route(first);
-    for key in 1..10_000u64 {
-        if db.router().route(key) != home {
-            return (first, key);
-        }
-    }
-    panic!("router sent 10k consecutive keys to one shard");
-}
-
 /// Commits `body` with retries on retryable aborts, returning the
 /// transaction id it committed under.
 fn commit_with_retries(
@@ -36,7 +25,12 @@ fn commit_with_retries(
     mut body: impl FnMut(&mut ShardedTxn<'_>) -> Result<()>,
 ) -> Result<TxnId> {
     let mut last_err = None;
-    for _ in 0..50 {
+    for attempt in 0..50 {
+        if attempt > 0 {
+            // Give a fresh epoch a moment to open so the retry budget is
+            // not burned inside a single clogged epoch under heavy load.
+            std::thread::sleep(Duration::from_millis(2));
+        }
         let mut txn = db.begin()?;
         match body(&mut txn) {
             Ok(()) => {}
@@ -312,6 +306,42 @@ fn single_shard_crash_and_recovery_behind_the_front_door() {
         .unwrap();
     }
     db.shutdown();
+}
+
+#[test]
+fn shard_crash_between_commit_vote_and_epoch_commit_is_atomic_after_recovery() {
+    // The exact ROADMAP scenario the durable-prepare protocol closes: a
+    // shard votes to commit a cross-shard transaction (its prepare record
+    // is durable), the peer makes its half durable, and the victim crashes
+    // before its own epoch-commit record lands.  The testkit explorer
+    // drives the scenario and already enforces all-or-nothing visibility,
+    // acknowledged-implies-durable, recovery idempotence, serializability
+    // of the recorded history, and that every 2PC decision retires; this
+    // regression pins the ROADMAP-specific expectations on top.
+    use obladi_testkit::{crash_schedule, run_shard_crash_case};
+
+    let schedule = crash_schedule();
+    let case = schedule
+        .iter()
+        .find(|case| case.name == "commit-record-lost/first")
+        .expect("the vote-durable/commit-record-lost point is in the schedule");
+    let report = run_shard_crash_case(case, 0xD00D).unwrap_or_else(|err| panic!("{err}"));
+    assert!(
+        report.acknowledged_commit,
+        "the peer committed, so the front door must report the commit: {report:?}"
+    );
+    assert!(
+        report.committed_visible,
+        "the voted transaction must be visible on all shards after recovery: {report:?}"
+    );
+    assert!(
+        report.in_doubt >= 1 && report.replayed_commits >= 1,
+        "recovery must find and replay the voted transaction: {report:?}"
+    );
+    assert_eq!(
+        report.pending_decisions_after, 0,
+        "every 2PC decision must retire once all participants are durable"
+    );
 }
 
 #[test]

@@ -1,0 +1,101 @@
+//! Crash-point sweep over the sharded 2PC commit path.
+//!
+//! `tests/crash_points.rs` sweeps crash points over a single proxy; this
+//! suite does the same for the cross-shard commit protocol.  The testkit's
+//! `shard_chaos` explorer drives a 2-of-3-shard transaction into a chosen
+//! point of the prepare/vote/write-back/checkpoint/commit sequence on one
+//! participant (via a deterministic `FaultyStore` trigger), recovers the
+//! victim, and checks all-or-nothing visibility, acknowledged-implies-
+//! durable, recovery idempotence, and serializability of the full recorded
+//! history.
+//!
+//! The fast test below covers the three qualitatively distinct regions
+//! (before the durable vote / between vote and commit record / after full
+//! durability); the `#[ignore]`d sweep runs every enumerated point on both
+//! participants and is exercised by the release chaos CI job
+//! (`cargo test --release -- --ignored`).
+
+use obladi_testkit::shard_chaos::{crash_schedule, run_shard_crash_case, Expected};
+
+fn run_case_by_name(name: &str, seed: u64) -> obladi_testkit::ShardCrashReport {
+    let schedule = crash_schedule();
+    let case = schedule
+        .iter()
+        .find(|case| case.name == name)
+        .unwrap_or_else(|| panic!("case {name} missing from the schedule"));
+    run_shard_crash_case(case, seed).unwrap_or_else(|err| panic!("{err}"))
+}
+
+#[test]
+fn crash_before_the_durable_vote_aborts_everywhere() {
+    let report = run_case_by_name("prepare-append-fails/first", 0xA11CE);
+    assert!(!report.acknowledged_commit, "{report:?}");
+    assert!(!report.committed_visible, "{report:?}");
+    assert!(report.tripped, "the crash point never fired: {report:?}");
+    assert_eq!(
+        report.in_doubt, 0,
+        "a failed prepare append must leave nothing in doubt: {report:?}"
+    );
+}
+
+#[test]
+fn crash_between_vote_and_commit_record_is_finished_by_recovery() {
+    // The exact ROADMAP window: the victim's vote is durable and the peer
+    // commits, but the victim loses its epoch-commit record.
+    let report = run_case_by_name("commit-record-lost/second", 0xB0B);
+    assert!(report.acknowledged_commit, "{report:?}");
+    assert!(report.committed_visible, "{report:?}");
+    assert!(report.tripped, "{report:?}");
+    assert!(
+        report.in_doubt >= 1 && report.replayed_commits >= 1,
+        "recovery must replay the in-doubt prepared commit: {report:?}"
+    );
+}
+
+#[test]
+fn crash_after_full_durability_changes_nothing() {
+    let report = run_case_by_name("after-durable-commit/first", 0xCAFE);
+    assert!(report.acknowledged_commit, "{report:?}");
+    assert!(report.committed_visible, "{report:?}");
+    assert_eq!(
+        report.replayed_commits, 0,
+        "nothing is in doubt once the epoch is durable: {report:?}"
+    );
+}
+
+#[test]
+#[ignore = "full crash-point sweep (~12 deployments); run via the chaos CI job"]
+fn every_crash_point_recovers_to_an_all_or_nothing_outcome() {
+    let schedule = crash_schedule();
+    assert!(
+        schedule.len() >= 8,
+        "the sweep must cover at least 8 distinct crash points, got {}",
+        schedule.len()
+    );
+    for (index, case) in schedule.iter().enumerate() {
+        let report = run_shard_crash_case(case, 0xC0FFEE ^ (index as u64) << 4)
+            .unwrap_or_else(|err| panic!("{err}"));
+        assert!(report.tripped, "{}: crash point never fired", case.name);
+        match case.expected {
+            Expected::Commit => assert!(
+                report.committed_visible,
+                "{}: durable vote lost: {report:?}",
+                case.name
+            ),
+            Expected::Abort => assert!(
+                !report.committed_visible,
+                "{}: unvoted transaction surfaced: {report:?}",
+                case.name
+            ),
+        }
+        // Points between the durable vote and the commit record must
+        // actually exercise the in-doubt replay path.
+        if case.trigger.is_some() && case.expected == Expected::Commit {
+            assert!(
+                report.replayed_commits >= 1,
+                "{}: expected an in-doubt replay: {report:?}",
+                case.name
+            );
+        }
+    }
+}
