@@ -11,9 +11,12 @@
 
 use crate::harness::{fmt1, print_header, print_row};
 use crate::opts::BenchOpts;
-use obladi_common::config::{ObladiConfig, ShardConfig};
+use obladi_common::config::{BackendKind, ObladiConfig, ShardConfig};
+use obladi_common::latency::{LatencyModel, LatencyProfile};
 use obladi_shard::ShardedDb;
+use obladi_storage::{InMemoryStore, LatencyStore, UntrustedStore};
 use obladi_workloads::{run_deployment, YcsbConfig, YcsbWorkload};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Shard counts swept by the experiment (1 = unsharded baseline topology).
@@ -112,5 +115,192 @@ pub fn run_fig_shard(opts: &BenchOpts) {
             ]);
             db.shutdown();
         }
+    }
+}
+
+/// A storage latency shape for the pipeline experiment: the per-shard
+/// profile as a function of the shard index.
+type ProfileShape = (&'static str, fn(usize) -> Option<LatencyProfile>);
+
+fn flat(read_write_us: u64) -> LatencyProfile {
+    let mut profile = LatencyProfile::for_backend(BackendKind::Dummy);
+    profile.read = LatencyModel::with_mean(Duration::from_micros(read_write_us));
+    profile.write = LatencyModel::with_mean(Duration::from_micros(read_write_us));
+    profile
+}
+
+/// Storage latency shapes swept by the pipeline experiment.  The uniform
+/// shapes measure the pipeline's cost side (the ORAM client serialises a
+/// shard's own reads against its own write-back, so homogeneous shards gain
+/// little period); the skewed shape measures its win side: one slow shard
+/// holds the rendezvous open, and at depth 2 the fast shards' next-epoch
+/// reads run inside that window instead of parking.
+fn pipeline_profiles() -> Vec<ProfileShape> {
+    vec![
+        ("memory", |_| None),
+        ("uniform250us", |_| Some(flat(250))),
+        ("skew-1of3-2ms", |index| {
+            (index == 2).then(|| {
+                let mut profile = flat(0);
+                profile.read = LatencyModel::with_mean(Duration::from_millis(2));
+                profile
+            })
+        }),
+    ]
+}
+
+/// One measured cell of the pipeline sweep.
+struct PipelineCell {
+    profile: &'static str,
+    mix: &'static str,
+    depth: u32,
+    committed_per_s: f64,
+    abort_rate: f64,
+    global_epochs: u64,
+    epoch_period_ms: f64,
+}
+
+/// Sweeps storage latency profiles at pipeline depth 1 (stop-the-world
+/// barrier) vs depth 2 (overlapped), on a 3-shard deployment under YCSB,
+/// comparing the global epoch period and committed throughput.  Results go
+/// to stdout and `BENCH_shard_pipeline.json`.
+pub fn run_fig_shard_pipeline(opts: &BenchOpts) {
+    print_header(
+        "Pipelined epoch barrier — epoch period vs storage latency",
+        &[
+            "profile",
+            "mix",
+            "pipeline_depth",
+            "committed_txn_s",
+            "abort_rate",
+            "global_epochs",
+            "epoch_period_ms",
+        ],
+    );
+    let clients = opts.clients.max(16);
+    let shards = 3usize;
+    let mut cells: Vec<PipelineCell> = Vec::new();
+    // Read-only isolates the pipeline's headline win (reads keep flowing
+    // while a decision is in flight, instead of aborting in the parked
+    // window); the 50/50 mix also shows its cost (reads of keys the
+    // deciding epoch wrote pin to the pre-decision snapshot and wait).
+    for (mix, read_proportion) in [("read", 1.0f64), ("rw50", 0.5)] {
+        let workload = YcsbWorkload::new(YcsbConfig {
+            num_keys: if opts.full { 4_096 } else { 1_024 },
+            read_proportion,
+            ops_per_txn: 1,
+            zipf_theta: 0.6,
+            value_size: 64,
+        });
+        for (profile_name, profile_for) in pipeline_profiles() {
+            for depth in [1u32, 2] {
+                let mut config = ShardConfig {
+                    shards,
+                    shard: shard_template(opts),
+                };
+                config.shard.epoch.pipeline_depth = depth;
+                let stores: Vec<Arc<dyn UntrustedStore>> = (0..shards)
+                    .map(|index| {
+                        let base: Arc<dyn UntrustedStore> = Arc::new(InMemoryStore::new());
+                        match profile_for(index) {
+                            Some(profile) => Arc::new(LatencyStore::new(
+                                base,
+                                profile,
+                                opts.seed ^ (index as u64 + 1),
+                            )),
+                            None => base,
+                        }
+                    })
+                    .collect();
+                let db = match ShardedDb::open_with_stores(config, stores) {
+                    Ok(db) => db,
+                    Err(err) => {
+                        print_row(&[
+                            profile_name.to_string(),
+                            mix.to_string(),
+                            depth.to_string(),
+                            format!("failed: {err}"),
+                            "-".into(),
+                            "-".into(),
+                            "-".into(),
+                        ]);
+                        continue;
+                    }
+                };
+                let (_, stats) = run_deployment(&db, &workload, clients, opts.duration, opts.seed)
+                    .expect("workload setup failed");
+                let sharded = db.stats();
+                let total = stats.committed + stats.aborted;
+                let abort_rate = if total == 0 {
+                    0.0
+                } else {
+                    stats.aborted as f64 / total as f64
+                };
+                let epoch_period_ms = if sharded.global_epochs == 0 {
+                    f64::INFINITY
+                } else {
+                    opts.duration.as_secs_f64() * 1000.0 / sharded.global_epochs as f64
+                };
+                print_row(&[
+                    profile_name.to_string(),
+                    mix.to_string(),
+                    depth.to_string(),
+                    fmt1(stats.throughput()),
+                    format!("{abort_rate:.3}"),
+                    sharded.global_epochs.to_string(),
+                    format!("{epoch_period_ms:.2}"),
+                ]);
+                cells.push(PipelineCell {
+                    profile: profile_name,
+                    mix,
+                    depth,
+                    committed_per_s: stats.throughput(),
+                    abort_rate,
+                    global_epochs: sharded.global_epochs,
+                    epoch_period_ms,
+                });
+                db.shutdown();
+            }
+        }
+    }
+    write_pipeline_json(opts, &cells);
+}
+
+/// Records the sweep as `BENCH_shard_pipeline.json` (hand-formatted: the
+/// vendored serde shim has no serializer).
+fn write_pipeline_json(opts: &BenchOpts, cells: &[PipelineCell]) {
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"shard_pipeline\",\n  \"shards\": 3,\n  \"duration_s\": {:.1},\n  \
+         \"seed\": {},\n  \"cells\": [\n",
+        opts.duration.as_secs_f64(),
+        opts.seed
+    ));
+    for (index, cell) in cells.iter().enumerate() {
+        let comma = if index + 1 == cells.len() { "" } else { "," };
+        // A zero-epoch cell has an infinite period; `null` keeps the file
+        // valid JSON (`inf` would not be).
+        let period = if cell.epoch_period_ms.is_finite() {
+            format!("{:.2}", cell.epoch_period_ms)
+        } else {
+            "null".to_string()
+        };
+        json.push_str(&format!(
+            "    {{\"profile\": \"{}\", \"mix\": \"{}\", \"pipeline_depth\": {}, \
+             \"committed_per_s\": {:.1}, \"abort_rate\": {:.3}, \"global_epochs\": {}, \
+             \"epoch_period_ms\": {period}}}{comma}\n",
+            cell.profile,
+            cell.mix,
+            cell.depth,
+            cell.committed_per_s,
+            cell.abort_rate,
+            cell.global_epochs,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_shard_pipeline.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
     }
 }

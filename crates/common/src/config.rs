@@ -233,6 +233,14 @@ pub struct EpochConfig {
     pub checkpoint_every: u32,
     /// Whether durability logging (path logs + checkpoints) is enabled.
     pub durability: bool,
+    /// Epoch pipeline depth: how many epochs may be in flight on the proxy
+    /// at once.  `1` finalises each epoch to durability before the next
+    /// epoch's read batches start (the stop-the-world barrier); `2` lets
+    /// epoch `N+1` execute its read batches while epoch `N`'s commit
+    /// decision and write-back are still in flight (reads of keys the
+    /// deciding epoch wrote are pinned to the pre-decision snapshot until
+    /// the decision publishes).  Depths beyond 2 are not supported.
+    pub pipeline_depth: u32,
 }
 
 impl Default for EpochConfig {
@@ -245,6 +253,7 @@ impl Default for EpochConfig {
             executor_threads: 8,
             checkpoint_every: 16,
             durability: true,
+            pipeline_depth: 2,
         }
     }
 }
@@ -262,6 +271,7 @@ impl EpochConfig {
             executor_threads: 16,
             checkpoint_every: 16,
             durability: true,
+            pipeline_depth: 2,
         }
     }
 
@@ -276,6 +286,7 @@ impl EpochConfig {
             executor_threads: 2,
             checkpoint_every: 4,
             durability: true,
+            pipeline_depth: 2,
         }
     }
 
@@ -307,6 +318,12 @@ impl EpochConfig {
             return Err(ObladiError::Config(
                 "checkpoint_every must be at least 1".into(),
             ));
+        }
+        if self.pipeline_depth == 0 || self.pipeline_depth > 2 {
+            return Err(ObladiError::Config(format!(
+                "pipeline_depth must be 1 or 2, got {}",
+                self.pipeline_depth
+            )));
         }
         Ok(())
     }
@@ -350,6 +367,12 @@ impl EpochConfig {
     /// Sets the full-checkpoint frequency.
     pub fn with_checkpoint_every(mut self, n: u32) -> Self {
         self.checkpoint_every = n;
+        self
+    }
+
+    /// Sets the epoch pipeline depth (1 = barrier, 2 = overlapped).
+    pub fn with_pipeline_depth(mut self, depth: u32) -> Self {
+        self.pipeline_depth = depth;
         self
     }
 }

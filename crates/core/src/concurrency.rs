@@ -480,6 +480,24 @@ impl MvtsoManager {
         writes
     }
 
+    /// Every key holding a non-aborted written version, whatever its
+    /// writer's status.  This is the *carry set* of the pipelined epoch
+    /// barrier: any of these keys could still commit at the epoch's
+    /// decision, so the next epoch's reads of them must wait for the
+    /// decision instead of fetching a pre-decision base from the ORAM.
+    pub fn written_keys(&self) -> HashSet<Key> {
+        self.chains
+            .iter()
+            .filter(|(_, chain)| {
+                chain
+                    .versions
+                    .iter()
+                    .any(|v| v.writer.is_some() && !v.aborted)
+            })
+            .map(|(key, _)| *key)
+            .collect()
+    }
+
     /// Transactions that have requested commit, in timestamp order.
     pub fn commit_requested_txns(&self) -> Vec<TxnId> {
         let mut txns: Vec<TxnId> = self

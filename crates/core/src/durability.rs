@@ -130,6 +130,11 @@ pub struct RecoveryReport {
     /// Torn tail records dropped from the WAL (truncated or garbled by the
     /// crash mid-append).
     pub dropped_records: u64,
+    /// Distinct in-doubt epochs whose logged read paths were replayed.  With
+    /// the pipelined epoch barrier a crash can leave *two* epochs in doubt
+    /// (the deciding epoch and the executing epoch behind it); both are
+    /// replayed, in order.
+    pub epochs_replayed: u64,
 }
 
 /// Durable state handling for the Obladi proxy.
@@ -153,8 +158,13 @@ impl DurabilityManager {
         counter: Arc<TrustedCounter>,
         epoch_config: &EpochConfig,
     ) -> Self {
+        let wal = WriteAheadLog::new(store.clone());
+        // The trusted counter is the authority on the durable frontier;
+        // seeding the WAL's ordering rule from it makes the rule live from
+        // the first append (a fresh deployment starts at 0).
+        wal.set_commit_frontier(counter.epoch());
         DurabilityManager {
-            wal: WriteAheadLog::new(store.clone()),
+            wal,
             envelope: Envelope::new(keys),
             counter,
             store,
@@ -412,6 +422,10 @@ impl DurabilityManager {
         let recovery_start = std::time::Instant::now();
         let durable_epochs = self.counter.epoch();
         report.recovered_epoch = durable_epochs;
+        // Re-arm the WAL's ordering rule from the trusted counter: the
+        // in-memory frontier may sit ahead of it when the crash interrupted
+        // a commit append, and the replay below re-commits that epoch.
+        self.wal.set_commit_frontier(durable_epochs);
 
         // ---- Read everything we need from the recovery unit.  A crash can
         // tear the final append, so the tolerant reader drops a garbled
@@ -514,26 +528,33 @@ impl DurabilityManager {
         oram.revert_storage_to_meta()?;
         report.network_ms += revert_start.elapsed().as_secs_f64() * 1000.0;
 
-        // ---- Replay the aborted epoch's read paths. ----
+        // ---- Replay the in-doubt epochs' read paths, in order. ----
+        //
+        // With the pipelined barrier a crash can leave two epochs in doubt:
+        // the *deciding* epoch (durable + 1 — it may hold prepares and a
+        // checkpoint) and the *executing* epoch behind it (durable + 2 —
+        // read-path logs only; its decision never started, so it can hold no
+        // prepares).  The replay mirrors the live order: the deciding
+        // epoch's paths, then its in-doubt write-back (below), then the
+        // executing epoch's paths.
         let paths_start = std::time::Instant::now();
         let aborted_epoch = durable_epochs + 1;
-        for record in records
-            .iter()
-            .filter(|r| r.kind == WalRecordKind::PathLog && r.epoch == aborted_epoch)
-        {
-            let sealed = SealedBlock {
-                bytes: record.payload.to_vec(),
-            };
-            let plain = self.envelope.open(LOC_PATH_LOG, record.epoch, &sealed)?;
-            let reads = SlotRead::decode_list(&plain)?;
-            report.reads_replayed += reads.len() as u64;
-            oram.replay_reads(&reads)?;
+        if self.replay_epoch_paths(&records, aborted_epoch, &mut oram, &mut report)? {
+            report.epochs_replayed += 1;
         }
         report.paths_ms = paths_start.elapsed().as_secs_f64() * 1000.0;
 
-        // ---- Resolve 2PC-prepared transactions of the aborted epoch. ----
+        // ---- Resolve 2PC-prepared transactions of the deciding epoch. ----
         let resolved =
             self.replay_in_doubt(&records, durable_epochs, resolve, &mut oram, &mut report)?;
+
+        // ---- Replay the executing epoch's read paths. ----
+        let paths_start = std::time::Instant::now();
+        if self.replay_epoch_paths(&records, aborted_epoch + 1, &mut oram, &mut report)? {
+            report.epochs_replayed += 1;
+        }
+        report.paths_ms += paths_start.elapsed().as_secs_f64() * 1000.0;
+
         let next_epoch = if resolved.replayed.is_empty() {
             aborted_epoch
         } else {
@@ -543,6 +564,34 @@ impl DurabilityManager {
 
         self.set_current_epoch(next_epoch);
         Ok((oram, next_epoch, report, resolved))
+    }
+
+    /// Replays the logged read paths of one in-doubt epoch, returning
+    /// whether the epoch had any.  Replay ignores read results (only the
+    /// access pattern matters), so paths logged by a different pre-crash
+    /// incarnation of the same epoch are harmless.
+    fn replay_epoch_paths(
+        &self,
+        records: &[WalRecord],
+        epoch: EpochId,
+        oram: &mut RingOram,
+        report: &mut RecoveryReport,
+    ) -> Result<bool> {
+        let mut found = false;
+        for record in records
+            .iter()
+            .filter(|r| r.kind == WalRecordKind::PathLog && r.epoch == epoch)
+        {
+            let sealed = SealedBlock {
+                bytes: record.payload.to_vec(),
+            };
+            let plain = self.envelope.open(LOC_PATH_LOG, record.epoch, &sealed)?;
+            let reads = SlotRead::decode_list(&plain)?;
+            report.reads_replayed += reads.len() as u64;
+            oram.replay_reads(&reads)?;
+            found = true;
+        }
+        Ok(found)
     }
 
     /// Resolves and replays in-doubt prepared transactions, committing the

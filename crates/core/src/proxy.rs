@@ -1,11 +1,14 @@
 //! The Obladi proxy: epochs, batching, delayed visibility (§5–§6).
 //!
 //! [`ObladiDb`] is the trusted proxy.  Client threads begin transactions,
-//! issue reads and writes, and request commit; a background *epoch driver*
-//! thread partitions time into fixed-size epochs of `R` read batches
-//! (shipped to the ORAM executor every `Δ`) followed by a single write
-//! batch, and only notifies clients of commit decisions at the epoch
-//! boundary.
+//! issue reads and writes, and request commit; a background *epoch
+//! executor* thread partitions time into fixed-size epochs of `R` read
+//! batches (shipped to the ORAM executor every `Δ`), and a companion
+//! *epoch decider* thread finalises each epoch (commit decisions, the
+//! write batch, durability) — a bounded pipeline that lets the next
+//! epoch's reads run while the previous epoch's decision is still in
+//! flight.  Clients are only notified of commit decisions once their
+//! epoch is durable.
 //!
 //! The data flow mirrors Figure 4 and Figure 5 of the paper:
 //!
@@ -101,6 +104,14 @@ pub trait EpochGate: Send + Sync {
         let _ = epoch;
     }
 
+    /// Called (with no proxy locks held) just before a read batch of
+    /// `epoch` executes.  With the pipelined epoch barrier, batches of
+    /// epoch `N+1` fire while epoch `N`'s `permit_commits` call is still in
+    /// flight; instrumented gates use this to prove the overlap.
+    fn read_batch_starting(&self, epoch: EpochId) {
+        let _ = epoch;
+    }
+
     /// Called once `epoch` has become durable, with the transactions whose
     /// commits it made durable.  A coordinator uses this to retire the
     /// prepare/decision state of cross-shard transactions: once every
@@ -118,6 +129,12 @@ pub trait EpochGate: Send + Sync {
     /// Called (with no proxy locks held) when [`ObladiDb::recover`]
     /// completes, so a coordinator can re-admit the proxy to rendezvous.
     fn proxy_recovered(&self) {}
+
+    /// Called (with no proxy locks held) when [`ObladiDb::shutdown`] begins,
+    /// before the epoch threads are joined.  A coordinator must stop
+    /// waiting for this proxy at the rendezvous, or the decider thread —
+    /// possibly parked there — could never be joined.
+    fn proxy_stopping(&self) {}
 }
 
 /// Aggregate proxy statistics.
@@ -139,6 +156,8 @@ pub struct ProxyStats {
     pub real_writes: u64,
 }
 
+/// The *executing* epoch: read batches still run, transactions begin and
+/// buffer reads/writes here.
 struct EpochState {
     epoch: EpochId,
     generation: u64,
@@ -148,7 +167,6 @@ struct EpochState {
     in_flight: HashSet<Key>,
     batches_issued: u32,
     active_txns: HashSet<TxnId>,
-    outcomes: HashMap<TxnId, TxnOutcome>,
 }
 
 impl EpochState {
@@ -162,6 +180,47 @@ impl EpochState {
             in_flight: HashSet::new(),
             batches_issued: 0,
             active_txns: HashSet::new(),
+        }
+    }
+}
+
+/// The *deciding* epoch: its read phase is over and its snapshot sits here
+/// from the moment the executor rolls the proxy over to the next epoch
+/// until the decider publishes its outcomes.  Commit requests (and aborts)
+/// for its transactions still land in this snapshot — the coordinator
+/// samples commit candidates at decision time, which may be well after the
+/// rollover — but no new reads or writes do.
+struct DecidingEpoch {
+    epoch: EpochId,
+    generation: u64,
+    mvtso: MvtsoManager,
+    active_txns: HashSet<TxnId>,
+    /// Set once the decision has been applied (the permit verdict folded in
+    /// and the MVTSO finalized): from then on nothing can join the epoch.
+    closed: bool,
+}
+
+/// Everything behind the proxy's single state lock: the executing epoch,
+/// the deciding epoch (if one is in flight), the carry set pinning the
+/// executing epoch's reads to the pre-decision snapshot, and the published
+/// outcomes clients collect.
+struct ProxyState {
+    exec: EpochState,
+    deciding: Option<DecidingEpoch>,
+    /// Keys the deciding epoch wrote (committed or not).  A read of one of
+    /// these in the executing epoch must not fetch from the ORAM until the
+    /// decision publishes: the ORAM still holds the pre-decision value, and
+    /// serving either value early would leak an undecided epoch's fate.
+    carry_pending: HashSet<Key>,
+    outcomes: HashMap<TxnId, TxnOutcome>,
+}
+
+impl ProxyState {
+    fn new(epoch: EpochId, generation: u64) -> Self {
+        ProxyState {
+            exec: EpochState::new(epoch, generation),
+            deciding: None,
+            carry_pending: HashSet::new(),
             outcomes: HashMap::new(),
         }
     }
@@ -173,14 +232,24 @@ struct ProxyInner {
     store: Arc<dyn UntrustedStore>,
     durability: DurabilityManager,
     oram: Mutex<Option<RingOram>>,
-    state: Mutex<EpochState>,
+    state: Mutex<ProxyState>,
     /// Wakes client threads waiting for read results or commit outcomes.
     client_wakeup: Condvar,
-    /// Wakes the epoch driver early (full batch, shutdown, recovery).
+    /// Wakes the epoch executor early (full batch, shutdown, recovery, a
+    /// freed pipeline slot).
     driver_wakeup: Condvar,
+    /// Wakes the epoch decider when a snapshot lands in the deciding slot.
+    decider_wakeup: Condvar,
     next_ts: AtomicU64,
     shutdown: AtomicBool,
     crashed: AtomicBool,
+    /// Incremented (under the state lock) every time a recovery completes.
+    /// Storage failures observed by the epoch threads carry the life they
+    /// were observed in; a failure from a previous life must not fate-share
+    /// into a crash — with the pipelined split, a decider can surface an
+    /// I/O error from *before* a crash long after recovery already rebuilt
+    /// the state it would wipe.
+    lives: AtomicU64,
     stats: Mutex<ProxyStats>,
     epoch_gate: Mutex<Option<Arc<dyn EpochGate>>>,
 }
@@ -188,7 +257,7 @@ struct ProxyInner {
 /// The Obladi database handle (the trusted proxy).
 pub struct ObladiDb {
     inner: Arc<ProxyInner>,
-    driver: Mutex<Option<std::thread::JoinHandle<()>>>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl ObladiDb {
@@ -214,7 +283,10 @@ impl ObladiDb {
         // The stash must be able to absorb a whole epoch's worth of targets
         // between evictions plus the write batch (the executor runs
         // maintenance at batch boundaries), so raise a too-small bound.
-        let stash_floor = config.epoch.reads_per_epoch()
+        // With a pipelined barrier up to `pipeline_depth` epochs of reads
+        // can be in flight before the oldest epoch's write batch lands.
+        let stash_floor = config.epoch.pipeline_depth.max(1) as usize
+            * config.epoch.reads_per_epoch()
             + config.epoch.write_batch_size
             + 4 * config.oram.z as usize;
         config.oram.max_stash = config.oram.max_stash.max(stash_floor);
@@ -236,23 +308,30 @@ impl ObladiDb {
             store,
             durability,
             oram: Mutex::new(Some(oram)),
-            state: Mutex::new(EpochState::new(1, 0)),
+            state: Mutex::new(ProxyState::new(1, 0)),
             client_wakeup: Condvar::new(),
             driver_wakeup: Condvar::new(),
+            decider_wakeup: Condvar::new(),
             next_ts: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             crashed: AtomicBool::new(false),
+            lives: AtomicU64::new(0),
             stats: Mutex::new(ProxyStats::default()),
             epoch_gate: Mutex::new(None),
         });
-        let driver_inner = inner.clone();
-        let driver = std::thread::Builder::new()
-            .name("obladi-epoch-driver".into())
-            .spawn(move || epoch_driver(driver_inner))
-            .map_err(|e| ObladiError::Internal(format!("failed to spawn epoch driver: {e}")))?;
+        let exec_inner = inner.clone();
+        let executor = std::thread::Builder::new()
+            .name("obladi-epoch-executor".into())
+            .spawn(move || epoch_executor(exec_inner))
+            .map_err(|e| ObladiError::Internal(format!("failed to spawn epoch executor: {e}")))?;
+        let decide_inner = inner.clone();
+        let decider = std::thread::Builder::new()
+            .name("obladi-epoch-decider".into())
+            .spawn(move || epoch_decider(decide_inner))
+            .map_err(|e| ObladiError::Internal(format!("failed to spawn epoch decider: {e}")))?;
         Ok(ObladiDb {
             inner,
-            driver: Mutex::new(Some(driver)),
+            threads: Mutex::new(vec![executor, decider]),
         })
     }
 
@@ -291,20 +370,87 @@ impl ObladiDb {
     /// per proxy; the proxy's own generator is bumped past `ts` so mixing
     /// [`ObladiDb::begin`] calls in cannot collide.
     pub fn begin_at(&self, ts: TxnId) -> Result<ObladiTxn<'_>> {
+        self.begin_at_checked(ts, None)
+    }
+
+    /// Like [`ObladiDb::begin_at`], but fails (retryably) unless the proxy
+    /// still hosts the epoch identified by `generation` — either as the
+    /// executing epoch or as a still-open (not yet decided) deciding epoch.
+    ///
+    /// The sharded front door draws a global timestamp, samples each
+    /// shard's target generation ([`ObladiDb::stamp_generation`]), and
+    /// opens legs lazily; a leg must open in the same local epoch the
+    /// timestamp was sampled against, or the timestamp could be smaller
+    /// than timestamps already folded into the epoch's base versions.
+    /// Checking the generation *inside* the proxy's state lock makes the
+    /// check atomic with the epoch rollover — no external barrier or
+    /// coordinator rendezvous is involved, so beginning a transaction never
+    /// blocks on an epoch decision.
+    ///
+    /// A leg that lands in a *deciding* epoch (its read phase is over, its
+    /// cross-shard decision still in flight) joins with reduced powers: it
+    /// can read cached values, write keys the next epoch has not yet
+    /// fetched, and request commit — exactly what a transaction parked at
+    /// the old stop-the-world barrier could do.
+    pub fn begin_at_generation(&self, ts: TxnId, generation: u64) -> Result<ObladiTxn<'_>> {
+        self.begin_at_checked(ts, Some(generation))
+    }
+
+    fn begin_at_checked(&self, ts: TxnId, generation: Option<u64>) -> Result<ObladiTxn<'_>> {
         if self.inner.crashed.load(Ordering::SeqCst) {
             return Err(ObladiError::ProxyUnavailable);
         }
         self.inner.next_ts.fetch_max(ts, Ordering::SeqCst);
         let mut state = self.inner.state.lock();
-        state.mvtso.begin(ts);
-        state.active_txns.insert(ts);
-        let generation = state.generation;
+        let target = match generation {
+            None => state.exec.generation,
+            Some(expected) if expected == state.exec.generation => expected,
+            Some(expected) => match state.deciding.as_ref() {
+                Some(deciding) if deciding.generation == expected && !deciding.closed => expected,
+                _ => {
+                    return Err(ObladiError::TxnAborted(AbortReason::EpochEnd.to_string()));
+                }
+            },
+        };
+        if target == state.exec.generation {
+            state.exec.mvtso.begin(ts);
+            state.exec.active_txns.insert(ts);
+        } else {
+            let deciding = state.deciding.as_mut().expect("checked above");
+            deciding.mvtso.begin(ts);
+            deciding.active_txns.insert(ts);
+        }
         Ok(ObladiTxn {
             db: self,
             id: ts,
-            generation,
+            generation: target,
             finished: false,
         })
+    }
+
+    /// The generations a new externally-stamped transaction can target on
+    /// this shard: the executing epoch's, and — while an epoch is sealed in
+    /// the deciding slot with its decision still open — that epoch's too.
+    ///
+    /// The pair encodes which rendezvous each target decides at: an open
+    /// deciding epoch decides at the shard's *next* rendezvous and the
+    /// executing epoch one later; with no open deciding epoch the executing
+    /// epoch is itself next.  The sharded front door samples every shard's
+    /// pair at stamping and picks per-leg targets that all decide at one
+    /// rendezvous (see `ShardedDb::begin`).
+    pub fn stamp_targets(&self) -> (u64, Option<u64>) {
+        let state = self.inner.state.lock();
+        let deciding = state
+            .deciding
+            .as_ref()
+            .filter(|deciding| !deciding.closed)
+            .map(|deciding| deciding.generation);
+        (state.exec.generation, deciding)
+    }
+
+    /// The generation of the epoch currently executing.
+    pub fn current_generation(&self) -> u64 {
+        self.inner.state.lock().exec.generation
     }
 
     /// Installs an [`EpochGate`] consulted before every epoch finalisation.
@@ -323,9 +469,9 @@ impl ObladiDb {
     pub fn wait_epoch_rollover(&self, timeout: Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
         let mut state = self.inner.state.lock();
-        let generation = state.generation;
+        let generation = state.exec.generation;
         loop {
-            if state.generation != generation {
+            if state.exec.generation != generation {
                 return true;
             }
             if self.inner.shutdown.load(Ordering::SeqCst)
@@ -345,7 +491,13 @@ impl ObladiDb {
 
     /// The identifier of the epoch currently executing.
     pub fn current_epoch(&self) -> EpochId {
-        self.inner.state.lock().epoch
+        self.inner.state.lock().exec.epoch
+    }
+
+    /// The identifier of the epoch currently deciding (rendezvous, commit
+    /// vote, write-back in flight), if any.
+    pub fn deciding_epoch(&self) -> Option<EpochId> {
+        self.inner.state.lock().deciding.as_ref().map(|d| d.epoch)
     }
 
     /// Simulates a proxy crash: all volatile state (epoch state, version
@@ -398,13 +550,17 @@ impl ObladiDb {
         *self.inner.oram.lock() = Some(oram);
         {
             let mut state = self.inner.state.lock();
-            let generation = state.generation + 1;
+            let generation = state.exec.generation + 1;
             let outcomes_carry = std::mem::take(&mut state.outcomes);
-            *state = EpochState::new(next_epoch, generation);
+            *state = ProxyState::new(next_epoch, generation);
             state.outcomes = outcomes_carry;
+            // A new life: failures observed before this point must no
+            // longer fate-share into a crash (see `ProxyInner::lives`).
+            self.inner.lives.fetch_add(1, Ordering::SeqCst);
         }
         self.inner.crashed.store(false, Ordering::SeqCst);
         self.inner.driver_wakeup.notify_all();
+        self.inner.decider_wakeup.notify_all();
         let gate = self.inner.epoch_gate.lock().clone();
         if let Some(gate) = gate {
             gate.proxy_recovered();
@@ -421,9 +577,17 @@ impl ObladiDb {
     /// transactions abort.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
+        // The decider may be parked at a cross-shard rendezvous; tell the
+        // gate this proxy is leaving so the coordinator releases it (and
+        // stops counting it into future barriers).
+        let gate = self.inner.epoch_gate.lock().clone();
+        if let Some(gate) = gate {
+            gate.proxy_stopping();
+        }
         self.inner.driver_wakeup.notify_all();
+        self.inner.decider_wakeup.notify_all();
         self.inner.client_wakeup.notify_all();
-        if let Some(handle) = self.driver.lock().take() {
+        for handle in self.threads.lock().drain(..) {
             let _ = handle.join();
         }
     }
@@ -486,32 +650,83 @@ impl ObladiTxn<'_> {
         let inner = &self.db.inner;
         let mut state = inner.state.lock();
         loop {
-            self.check_epoch(&state)?;
-            match state.mvtso.read(self.id, key)? {
+            if self.db.inner.crashed.load(Ordering::SeqCst) {
+                self.finished = true;
+                return Err(ObladiError::ProxyUnavailable);
+            }
+            if state.exec.generation != self.generation {
+                // A transaction that joined the *deciding* epoch (or was
+                // sealed into it) can still read values cached in that
+                // epoch's version chains; a miss cannot be fetched — the
+                // epoch's read batches are over — and aborts retryably,
+                // exactly as at the old stop-the-world barrier.  No
+                // `closed` check is needed to keep finalized-but-not-yet-
+                // durable values from leaking here: `finalize()` settles
+                // every transaction of the epoch, so once the decision has
+                // been applied this transaction is Aborted (or Committed)
+                // in the snapshot's MVTSO and `read` fails its
+                // `check_active` instead of returning a value.
+                if let Some(deciding) = state.deciding.as_mut() {
+                    if deciding.generation == self.generation {
+                        return match deciding.mvtso.read(self.id, key)? {
+                            ReadOutcome::Value { value, .. } => Ok(value),
+                            ReadOutcome::NeedsFetch => {
+                                deciding.mvtso.abort(self.id, AbortReason::BatchFull);
+                                deciding.active_txns.remove(&self.id);
+                                self.finished = true;
+                                Err(ObladiError::BatchFull(format!(
+                                    "read of key {key} missed the cache of a deciding epoch"
+                                )))
+                            }
+                        };
+                    }
+                }
+                self.finished = true;
+                return Err(ObladiError::TxnAborted(AbortReason::EpochEnd.to_string()));
+            }
+            match state.exec.mvtso.read(self.id, key)? {
                 ReadOutcome::Value { value, .. } => return Ok(value),
                 ReadOutcome::NeedsFetch => {
                     if inner.shutdown.load(Ordering::SeqCst) {
                         self.finished = true;
                         return Err(ObladiError::ProxyUnavailable);
                     }
-                    if !state.pending_set.contains(&key) && !state.in_flight.contains(&key) {
+                    if state.carry_pending.contains(&key) {
+                        // The deciding epoch wrote this key and its fate is
+                        // not yet published: fetching now would surface the
+                        // pre-decision value even if the write commits, and
+                        // registering the new value early would leak an
+                        // undecided epoch's write.  Park until the decision
+                        // publishes — it registers committed carry values as
+                        // this epoch's base versions and releases the rest
+                        // for normal fetching.
+                        inner
+                            .client_wakeup
+                            .wait_for(&mut state, Duration::from_secs(10));
+                        continue;
+                    }
+                    if !state.exec.pending_set.contains(&key)
+                        && !state.exec.in_flight.contains(&key)
+                    {
                         // Will the request fit into any remaining batch of
                         // this epoch?
                         let config = &inner.config.epoch;
-                        let remaining_batches =
-                            config.read_batches.saturating_sub(state.batches_issued) as usize;
+                        let remaining_batches = config
+                            .read_batches
+                            .saturating_sub(state.exec.batches_issued)
+                            as usize;
                         let capacity = remaining_batches * config.read_batch_size;
-                        if state.pending_fetch.len() >= capacity {
-                            state.mvtso.abort(self.id, AbortReason::BatchFull);
+                        if state.exec.pending_fetch.len() >= capacity {
+                            state.exec.mvtso.abort(self.id, AbortReason::BatchFull);
                             self.finished = true;
-                            state.active_txns.remove(&self.id);
+                            state.exec.active_txns.remove(&self.id);
                             return Err(ObladiError::BatchFull(format!(
                                 "read of key {key} does not fit in the epoch's remaining batches"
                             )));
                         }
-                        state.pending_fetch.push(key);
-                        state.pending_set.insert(key);
-                        if state.pending_fetch.len() >= config.read_batch_size {
+                        state.exec.pending_fetch.push(key);
+                        state.exec.pending_set.insert(key);
+                        if state.exec.pending_fetch.len() >= config.read_batch_size {
                             inner.driver_wakeup.notify_all();
                         }
                     }
@@ -528,12 +743,66 @@ impl ObladiTxn<'_> {
     pub fn write(&mut self, key: Key, value: Value) -> Result<()> {
         let inner = &self.db.inner;
         let mut state = inner.state.lock();
-        self.check_epoch(&state)?;
-        match state.mvtso.write(self.id, key, value) {
+        if self.db.inner.crashed.load(Ordering::SeqCst) {
+            self.finished = true;
+            return Err(ObladiError::ProxyUnavailable);
+        }
+        if state.exec.generation != self.generation {
+            return self.write_deciding(&mut state, key, value);
+        }
+        match state.exec.mvtso.write(self.id, key, value) {
             Ok(()) => Ok(()),
             Err(err) => {
                 self.finished = true;
-                state.active_txns.remove(&self.id);
+                state.exec.active_txns.remove(&self.id);
+                Err(err)
+            }
+        }
+    }
+
+    /// A write by a transaction living in the deciding epoch.  Allowed —
+    /// the decision has not sampled candidates with finality until the
+    /// epoch closes — but only while the *executing* epoch has not already
+    /// fetched (or begun fetching) the key: such a fetch registered the
+    /// pre-decision value as the next epoch's base, and a late commit of
+    /// this write would invalidate it.  The key joins the carry set so the
+    /// executing epoch's future reads wait for the decision.
+    fn write_deciding(
+        &mut self,
+        state: &mut MutexGuard<'_, ProxyState>,
+        key: Key,
+        value: Value,
+    ) -> Result<()> {
+        let fetched_by_next = state.exec.mvtso.has_base(key)
+            || state.exec.pending_set.contains(&key)
+            || state.exec.in_flight.contains(&key);
+        let Some(deciding) = state
+            .deciding
+            .as_mut()
+            .filter(|deciding| deciding.generation == self.generation)
+        else {
+            self.finished = true;
+            return Err(ObladiError::TxnAborted(AbortReason::EpochEnd.to_string()));
+        };
+        if fetched_by_next {
+            deciding.mvtso.abort(self.id, AbortReason::EpochEnd);
+            deciding.active_txns.remove(&self.id);
+            self.finished = true;
+            return Err(ObladiError::TxnAborted(format!(
+                "write to key {key} raced the next epoch's read of it"
+            )));
+        }
+        let result = deciding.mvtso.write(self.id, key, value);
+        if result.is_err() {
+            deciding.active_txns.remove(&self.id);
+        }
+        match result {
+            Ok(()) => {
+                state.carry_pending.insert(key);
+                Ok(())
+            }
+            Err(err) => {
+                self.finished = true;
                 Err(err)
             }
         }
@@ -558,8 +827,18 @@ impl ObladiTxn<'_> {
         let inner = &self.db.inner;
         let mut state = inner.state.lock();
         self.finished = true;
-        if state.generation == self.generation {
-            state.mvtso.request_commit(self.id)?;
+        if state.exec.generation == self.generation {
+            state.exec.mvtso.request_commit(self.id)?;
+        } else if let Some(deciding) = state.deciding.as_mut() {
+            if deciding.generation == self.generation {
+                // The transaction's epoch has rolled out of execution but
+                // its decision is still in flight: the request still counts,
+                // because the coordinator samples commit candidates at
+                // decision time.  A failure here means the decision already
+                // closed over this transaction; its (abort) outcome will be
+                // published like any other.
+                let _ = deciding.mvtso.request_commit(self.id);
+            }
         }
         Ok(())
     }
@@ -581,8 +860,10 @@ impl ObladiTxn<'_> {
             // If our epoch's successor has itself finished and no outcome
             // was ever published, this transaction's state was lost (e.g. a
             // crash wiped the epoch) — report the abort rather than waiting
-            // forever.
-            if state.generation > self.generation + 1 {
+            // forever.  (An epoch's outcomes publish before the pipeline
+            // slot frees, and the next rollover needs the free slot, so a
+            // two-generation gap really does imply a lost outcome.)
+            if state.exec.generation > self.generation + 1 {
                 return Ok(TxnOutcome::Aborted(AbortReason::EpochEnd));
             }
             inner
@@ -603,25 +884,18 @@ impl ObladiTxn<'_> {
         self.finished = true;
         let inner = &self.db.inner;
         let mut state = inner.state.lock();
-        if state.generation == self.generation {
-            state.mvtso.abort(self.id, AbortReason::UserRequested);
-            state.active_txns.remove(&self.id);
+        if state.exec.generation == self.generation {
+            state.exec.mvtso.abort(self.id, AbortReason::UserRequested);
+            state.exec.active_txns.remove(&self.id);
+        } else if let Some(deciding) = state.deciding.as_mut() {
+            if deciding.generation == self.generation {
+                deciding.mvtso.abort(self.id, AbortReason::UserRequested);
+                deciding.active_txns.remove(&self.id);
+            }
         }
         // The client observed the abort through an error; its epoch-end
         // outcome (if recorded) will never be collected, so drop it.
         state.outcomes.remove(&self.id);
-    }
-
-    fn check_epoch(&mut self, state: &MutexGuard<'_, EpochState>) -> Result<()> {
-        if self.db.inner.crashed.load(Ordering::SeqCst) {
-            self.finished = true;
-            return Err(ObladiError::ProxyUnavailable);
-        }
-        if state.generation != self.generation {
-            self.finished = true;
-            return Err(ObladiError::TxnAborted(AbortReason::EpochEnd.to_string()));
-        }
-        Ok(())
     }
 }
 
@@ -653,14 +927,37 @@ impl ObladiTxn<'_> {
 }
 
 // ----------------------------------------------------------------------
-// Epoch driver
+// Epoch pipeline: executor + decider
 // ----------------------------------------------------------------------
+//
+// The epoch lifecycle is split across two threads forming a bounded
+// pipeline (depth `config.epoch.pipeline_depth`):
+//
+// * the **executor** runs an epoch's `R` read batches, then snapshots the
+//   epoch's MVTSO state into the *deciding* slot, rolls the proxy over to
+//   the next epoch, and (at depth 2) immediately starts that epoch's read
+//   batches;
+// * the **decider** drains the slot: it consults the epoch gate (for a
+//   sharded deployment this is the cross-shard rendezvous + commit vote +
+//   durable prepares), applies the verdict, performs the write batch /
+//   flush / checkpoint, and publishes the outcomes — which frees the slot
+//   for the next epoch.
+//
+// The overlap this buys is exactly the ROADMAP "pipelined epoch barrier":
+// epoch `N+1`'s reads execute while epoch `N`'s decision is still in
+// flight, instead of every shard parking at the rendezvous.  Reads of keys
+// the deciding epoch wrote are pinned to the pre-decision snapshot via
+// `ProxyState::carry_pending` (see `ObladiTxn::read`), so no read ever
+// observes an undecided epoch's writes.  At depth 1 the executor waits for
+// the slot to drain before starting the next epoch's batches, restoring
+// the stop-the-world barrier (the differential baseline).
 
-fn epoch_driver(inner: Arc<ProxyInner>) {
+fn epoch_executor(inner: Arc<ProxyInner>) {
     loop {
         if inner.shutdown.load(Ordering::SeqCst) {
             // Wake anyone still parked, then exit.
             inner.client_wakeup.notify_all();
+            inner.decider_wakeup.notify_all();
             return;
         }
         if inner.crashed.load(Ordering::SeqCst) {
@@ -671,16 +968,42 @@ fn epoch_driver(inner: Arc<ProxyInner>) {
                 .wait_for(&mut state, Duration::from_millis(50));
             continue;
         }
-        let epoch = { inner.state.lock().epoch };
-        inner.durability.set_current_epoch(epoch);
 
         // ---- R read batches, shipped every Δ. ----
+        //
+        // The first half fires on the normal Δ rhythm — with the pipeline,
+        // typically while the previous epoch's decision is still in flight
+        // (the overlap).  The second half is held back until the pipeline
+        // slot frees (the previous epoch published): if all R batches
+        // burned out early, reads arriving later in the epoch's window —
+        // and especially chains of dependent reads, which need one batch
+        // per link — would abort `BatchFull`, and the parked-window problem
+        // would just have moved one epoch ahead.  The split depends only on
+        // pipeline state, never on demand, so batch timing stays
+        // workload-independent; the count is always exactly R padded
+        // batches per epoch.
         let read_batches = inner.config.epoch.read_batches;
-        for _ in 0..read_batches {
+        let reserved = read_batches.div_ceil(2);
+        for batch_index in 0..read_batches {
+            if batch_index + reserved >= read_batches {
+                let mut state = inner.state.lock();
+                while state.deciding.is_some()
+                    && !inner.shutdown.load(Ordering::SeqCst)
+                    && !inner.crashed.load(Ordering::SeqCst)
+                {
+                    inner.driver_wakeup.wait(&mut state);
+                }
+            }
             wait_for_batch(&inner);
             if inner.shutdown.load(Ordering::SeqCst) || inner.crashed.load(Ordering::SeqCst) {
                 break;
             }
+            // The life token is sampled per batch, right before the I/O it
+            // guards: a batch failure always runs against the ORAM instance
+            // of the life sampled here (the batch holds the ORAM lock, so a
+            // recovery cannot swap the client mid-batch), which makes the
+            // stale-failure check in `self_crash` exact.
+            let life = inner.lives.load(Ordering::SeqCst);
             if let Err(err) = execute_read_batch(&inner) {
                 // Storage failure mid-epoch: the ORAM client's in-memory
                 // metadata may already have diverged from what the failed
@@ -688,7 +1011,7 @@ fn epoch_driver(inner: Arc<ProxyInner>) {
                 // that state in later epochs) would make the divergence
                 // durable.  Fate sharing treats the failure as a crash: drop
                 // all volatile state and wait for recovery (§8).
-                self_crash(&inner, &err);
+                self_crash(&inner, life, &err);
                 break;
             }
         }
@@ -696,30 +1019,106 @@ fn epoch_driver(inner: Arc<ProxyInner>) {
             continue;
         }
 
-        // ---- Finalise the epoch: write batch, commit decisions. ----
-        // The epoch's transactions have already been told they aborted if
-        // this fails (epoch fate sharing); the client state may be torn in
-        // the same way as a failed read batch, so treat it as a crash too.
-        if let Err(err) = finalize_epoch(&inner) {
-            self_crash(&inner, &err);
+        // ---- Hand the epoch to the decider and roll over. ----
+        let mut state = inner.state.lock();
+        // Bounded depth: at most one epoch may be deciding.
+        while state.deciding.is_some()
+            && !inner.shutdown.load(Ordering::SeqCst)
+            && !inner.crashed.load(Ordering::SeqCst)
+        {
+            inner.driver_wakeup.wait(&mut state);
+        }
+        if inner.shutdown.load(Ordering::SeqCst) || inner.crashed.load(Ordering::SeqCst) {
+            continue;
+        }
+        let next_epoch = state.exec.epoch + 1;
+        let next_generation = state.exec.generation + 1;
+        let snapshot = std::mem::replace(
+            &mut state.exec,
+            EpochState::new(next_epoch, next_generation),
+        );
+        state.carry_pending = snapshot.mvtso.written_keys();
+        state.deciding = Some(DecidingEpoch {
+            epoch: snapshot.epoch,
+            generation: snapshot.generation,
+            mvtso: snapshot.mvtso,
+            active_txns: snapshot.active_txns,
+            closed: false,
+        });
+        drop(state);
+        inner.decider_wakeup.notify_all();
+        // Readers parked on batches of the snapshotted epoch must wake and
+        // observe the rollover.
+        inner.client_wakeup.notify_all();
+        if inner.config.epoch.pipeline_depth <= 1 {
+            // Depth 1: stop-the-world barrier semantics — no batch of the
+            // next epoch executes until the decision has fully published.
+            let mut state = inner.state.lock();
+            while state.deciding.is_some()
+                && !inner.shutdown.load(Ordering::SeqCst)
+                && !inner.crashed.load(Ordering::SeqCst)
+            {
+                inner.driver_wakeup.wait(&mut state);
+            }
         }
     }
 }
 
-/// Crash entry point for the epoch driver's fate-sharing paths.
+fn epoch_decider(inner: Arc<ProxyInner>) {
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            inner.client_wakeup.notify_all();
+            return;
+        }
+        // Wait for a snapshot to decide.
+        let pending = {
+            let mut state = inner.state.lock();
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                match state.deciding.as_ref() {
+                    Some(deciding) if !inner.crashed.load(Ordering::SeqCst) => {
+                        break Some((
+                            deciding.epoch,
+                            deciding.generation,
+                            inner.lives.load(Ordering::SeqCst),
+                        ));
+                    }
+                    _ => inner.decider_wakeup.wait(&mut state),
+                }
+            }
+        };
+        let Some((epoch, generation, life)) = pending else {
+            continue;
+        };
+        // The epoch's transactions have already been told they aborted if
+        // this fails (epoch fate sharing); the client state may be torn in
+        // the same way as a failed read batch, so treat it as a crash too.
+        if let Err(err) = decide_epoch(&inner, epoch, generation) {
+            self_crash(&inner, life, &err);
+        }
+    }
+}
+
+/// Crash entry point for the epoch threads' fate-sharing paths.
 ///
 /// `ProxyUnavailable` means the ORAM client was already taken away by a
 /// concurrent external [`ObladiDb::crash`]; re-crashing here would race an
 /// interleaved [`ObladiDb::recover`] and wipe the freshly recovered state,
-/// so the driver just parks (the crashed flag, or its absence after a
-/// completed recovery, steers the main loop).  Every other error is a
-/// genuine storage/integrity failure discovered by this driver, which owns
+/// so the thread just parks (the crashed flag, or its absence after a
+/// completed recovery, steers the main loop).  `life` guards the same race
+/// for genuine storage failures: a failure observed before a crash that has
+/// since been *recovered* (the executor and decider run concurrently, so a
+/// decider's slow failing write-back can outlive a whole crash-and-recover
+/// cycle) must not wipe the fresh state.  Every current-life error is a
+/// genuine storage/integrity failure discovered by this thread, which owns
 /// the decision to fate-share it into a crash.
-fn self_crash(inner: &Arc<ProxyInner>, err: &ObladiError) {
+fn self_crash(inner: &Arc<ProxyInner>, life: u64, err: &ObladiError) {
     if matches!(err, ObladiError::ProxyUnavailable) {
         return;
     }
-    crash_inner(inner);
+    crash_inner_guarded(inner, Some(life));
 }
 
 /// Drops all volatile proxy state after a crash (simulated or storage-fault
@@ -728,24 +1127,49 @@ fn self_crash(inner: &Arc<ProxyInner>, err: &ObladiError) {
 /// Already-published outcomes are preserved so waiting clients can still
 /// collect their verdicts.
 fn crash_inner(inner: &Arc<ProxyInner>) {
-    inner.crashed.store(true, Ordering::SeqCst);
-    // Volatile ORAM client state is lost.
-    *inner.oram.lock() = None;
+    crash_inner_guarded(inner, None);
+}
+
+fn crash_inner_guarded(inner: &Arc<ProxyInner>, life: Option<u64>) {
     let mut state = inner.state.lock();
-    let active: Vec<TxnId> = state.active_txns.drain().collect();
+    // `lives` only changes under the state lock (recovery), so the check
+    // and the wipe are atomic with respect to it.
+    if let Some(life) = life {
+        if inner.lives.load(Ordering::SeqCst) != life {
+            return;
+        }
+    }
+    inner.crashed.store(true, Ordering::SeqCst);
+    let mut active: Vec<TxnId> = state.exec.active_txns.drain().collect();
+    if let Some(deciding) = state.deciding.as_mut() {
+        // The deciding epoch's volatile half dies with the crash too; its
+        // waiting clients get the same crash abort (recovery may still
+        // finish durably-prepared cross-shard halves later).
+        active.extend(deciding.active_txns.drain());
+    }
     for txn in active {
         state
             .outcomes
             .insert(txn, TxnOutcome::Aborted(AbortReason::Crash));
     }
-    let epoch = state.epoch;
-    let generation = state.generation + 1;
+    let epoch = state.exec.epoch;
+    let generation = state.exec.generation + 1;
     let outcomes_carry = std::mem::take(&mut state.outcomes);
-    *state = EpochState::new(epoch, generation);
+    *state = ProxyState::new(epoch, generation);
     state.outcomes = outcomes_carry;
+    // Volatile ORAM client state is lost.  The wipe happens *inside* the
+    // state-lock (and therefore `lives`) critical section: if it happened
+    // after the lock dropped, a recovery interleaving in that window could
+    // install a fresh ORAM only to have this stale wipe destroy it on a
+    // proxy already marked un-crashed.  Nothing holds the ORAM lock while
+    // acquiring the state lock, so the nesting cannot deadlock (it can wait
+    // for an in-flight write-back to finish, which is fine — the crashed
+    // flag is already set).
+    *inner.oram.lock() = None;
     drop(state);
     inner.client_wakeup.notify_all();
     inner.driver_wakeup.notify_all();
+    inner.decider_wakeup.notify_all();
     // Tell the gate (if any) with no proxy locks held: an external epoch
     // coordinator must stop waiting for this proxy at the rendezvous, or a
     // self-inflicted crash (storage-fault fate sharing) would stall every
@@ -761,7 +1185,7 @@ fn wait_for_batch(inner: &Arc<ProxyInner>) {
     let interval = inner.config.epoch.batch_interval;
     let batch_size = inner.config.epoch.read_batch_size;
     let mut state = inner.state.lock();
-    if state.pending_fetch.len() >= batch_size {
+    if state.exec.pending_fetch.len() >= batch_size {
         return;
     }
     inner.driver_wakeup.wait_for(&mut state, interval);
@@ -770,17 +1194,24 @@ fn wait_for_batch(inner: &Arc<ProxyInner>) {
 fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
     let batch_size = inner.config.epoch.read_batch_size;
     // Take up to `b_read` pending keys (deduplicated at enqueue time).
-    let keys: Vec<Key> = {
+    let (epoch, keys): (EpochId, Vec<Key>) = {
         let mut state = inner.state.lock();
-        let take = state.pending_fetch.len().min(batch_size);
-        let keys: Vec<Key> = state.pending_fetch.drain(..take).collect();
+        let take = state.exec.pending_fetch.len().min(batch_size);
+        let keys: Vec<Key> = state.exec.pending_fetch.drain(..take).collect();
         for key in &keys {
-            state.pending_set.remove(key);
-            state.in_flight.insert(*key);
+            state.exec.pending_set.remove(key);
+            state.exec.in_flight.insert(*key);
         }
-        state.batches_issued += 1;
-        keys
+        state.exec.batches_issued += 1;
+        (state.exec.epoch, keys)
     };
+
+    // Overlap instrumentation: with pipelining this fires for epoch N+1
+    // while epoch N's permit_commits call may still be in flight.
+    let gate = inner.epoch_gate.lock().clone();
+    if let Some(gate) = &gate {
+        gate.read_batch_starting(epoch);
+    }
 
     inner.durability.begin_read_batch();
 
@@ -791,6 +1222,11 @@ fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
     let values = {
         let mut oram_guard = inner.oram.lock();
         let oram = oram_guard.as_mut().ok_or(ObladiError::ProxyUnavailable)?;
+        // Path logs are tagged with the epoch under the ORAM lock: the
+        // decider tags its write-back with the *deciding* epoch through the
+        // same lock, so concurrent epochs cannot mislabel each other's
+        // records.
+        inner.durability.set_current_epoch(epoch);
         oram.read_batch(&requests, &inner.durability)?
     };
 
@@ -802,35 +1238,45 @@ fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
     }
 
     let mut state = inner.state.lock();
-    for (key, value) in keys.iter().zip(values) {
-        state.mvtso.register_base(*key, value);
-        state.in_flight.remove(key);
+    if state.exec.epoch == epoch {
+        for (key, value) in keys.iter().zip(values) {
+            state.exec.mvtso.register_base(*key, value);
+            state.exec.in_flight.remove(key);
+        }
     }
     drop(state);
     inner.client_wakeup.notify_all();
     Ok(())
 }
 
-fn finalize_epoch(inner: &Arc<ProxyInner>) -> Result<()> {
+/// Decides, writes back and publishes the epoch sitting in the deciding
+/// slot.  Runs on the decider thread; the executor is meanwhile free to run
+/// the next epoch's read batches.
+fn decide_epoch(inner: &Arc<ProxyInner>, epoch: EpochId, generation: u64) -> Result<()> {
     let write_capacity = inner.config.epoch.write_batch_size;
     let gate = inner.epoch_gate.lock().clone();
 
     // Phase 0 (only when an epoch gate is installed): hand the gate a live
-    // view of this proxy's commit candidates and collect the permitted set.
+    // view of this epoch's commit candidates and collect the permitted set.
     // The gate call may block on the cross-shard epoch barrier, so no proxy
     // lock is held across it; the candidate source re-samples (and
-    // capacity-enforces) the commit-requested set whenever the coordinator
-    // asks, so commit requests that land while this driver is already parked
-    // at the barrier still make the vote.
+    // capacity-enforces) the snapshot's commit-requested set whenever the
+    // coordinator asks, so commit requests that land while this epoch is
+    // already deciding still make the vote.
     let permitted: Option<HashSet<TxnId>> = match &gate {
         None => None,
         Some(gate) => {
-            let epoch = inner.state.lock().epoch;
             let source_inner = inner.clone();
             let candidates: CandidateSource = Arc::new(move || {
                 let mut state = source_inner.state.lock();
-                enforce_write_capacity(&mut state, write_capacity);
-                state.mvtso.commit_candidates()
+                match state.deciding.as_mut() {
+                    Some(deciding) if deciding.generation == generation => {
+                        enforce_write_capacity(&mut deciding.mvtso, write_capacity);
+                        deciding.mvtso.commit_candidates()
+                    }
+                    // The snapshot was wiped (crash): nothing can commit.
+                    _ => Vec::new(),
+                }
             });
             // The preparer runs at the coordinator's decision time, before
             // this shard's vote counts for a cross-shard transaction: it
@@ -841,9 +1287,13 @@ fn finalize_epoch(inner: &Arc<ProxyInner>) -> Result<()> {
             let preparer: TxnPreparer = Arc::new(move |txns: &[TxnId]| {
                 let gathered: Vec<(TxnId, Vec<(Key, Value)>)> = {
                     let state = prep_inner.state.lock();
-                    txns.iter()
-                        .map(|&txn| (txn, state.mvtso.txn_writes(txn)))
-                        .collect()
+                    match state.deciding.as_ref() {
+                        Some(deciding) if deciding.generation == generation => txns
+                            .iter()
+                            .map(|&txn| (txn, deciding.mvtso.txn_writes(txn)))
+                            .collect(),
+                        _ => return Err(ObladiError::ProxyUnavailable),
+                    }
                 };
                 for (txn, writes) in gathered {
                     prep_inner.durability.prepare_txn(epoch, txn, &writes)?;
@@ -855,22 +1305,30 @@ fn finalize_epoch(inner: &Arc<ProxyInner>) -> Result<()> {
         }
     };
 
-    // Phase 1 (under the state lock): decide commits, collect the write
-    // batch, and immediately roll the epoch over so that transactions that
-    // begin or request commit while the write-back is in flight land in the
-    // *next* epoch instead of being silently dropped with the old state.
-    // Outcomes are only published (phase 3) after the epoch is durable, so
-    // delayed visibility is preserved.
-    let (epoch, writes, outcomes) = {
+    // Phase 1 (under the state lock): apply the verdict to the snapshot and
+    // decide commits.  The epoch rollover already happened when the
+    // executor snapshotted this epoch, so transactions that began or
+    // requested commit since then live in the *next* epoch.  Outcomes are
+    // only published (phase 3) after the epoch is durable, so delayed
+    // visibility is preserved.
+    let (writes, outcomes) = {
         let mut state = inner.state.lock();
+        let Some(deciding) = state
+            .deciding
+            .as_mut()
+            .filter(|deciding| deciding.generation == generation)
+        else {
+            // A concurrent crash wiped the snapshot mid-decision.
+            return Err(ObladiError::ProxyUnavailable);
+        };
 
         // Apply the gate's verdict: every commit-requested transaction the
         // coordinator did not permit — including requests that raced in
         // after the decision — aborts retryably.
         if let Some(permits) = &permitted {
-            for txn in state.mvtso.commit_requested_txns() {
+            for txn in deciding.mvtso.commit_requested_txns() {
                 if !permits.contains(&txn) {
-                    state.mvtso.abort(txn, AbortReason::EpochEnd);
+                    deciding.mvtso.abort(txn, AbortReason::EpochEnd);
                 }
             }
         }
@@ -880,39 +1338,37 @@ fn finalize_epoch(inner: &Arc<ProxyInner>) -> Result<()> {
         // write set no longer fits; the rest abort with `BatchFull`.  (With
         // a gate this re-runs over the already-enforced permitted set and is
         // a no-op.)
-        enforce_write_capacity(&mut state, write_capacity);
+        enforce_write_capacity(&mut deciding.mvtso, write_capacity);
 
-        let (committed, aborted) = state.mvtso.finalize();
-        let writes = state.mvtso.committed_tail_writes();
+        let (committed, aborted) = deciding.mvtso.finalize();
+        deciding.closed = true;
+        let writes = deciding.mvtso.committed_tail_writes();
 
         let mut outcomes: Vec<(TxnId, TxnOutcome)> = Vec::new();
         for txn in &committed {
             outcomes.push((*txn, TxnOutcome::Committed));
         }
         for txn in &aborted {
-            let reason = match state.mvtso.status(*txn) {
+            let reason = match deciding.mvtso.status(*txn) {
                 Some(TxnStatus::Aborted(reason)) => reason,
                 _ => AbortReason::EpochEnd,
             };
             outcomes.push((*txn, TxnOutcome::Aborted(reason)));
         }
-
-        let epoch = state.epoch;
-        let next_epoch = state.epoch + 1;
-        let generation = state.generation + 1;
-        let outcomes_carry = std::mem::take(&mut state.outcomes);
-        *state = EpochState::new(next_epoch, generation);
-        state.outcomes = outcomes_carry;
-        (epoch, writes, outcomes)
+        (writes, outcomes)
     };
 
-    // Phase 2 (no locks held on the epoch state): apply the write batch
-    // (padded to its fixed size), flush all buffered bucket writes, then
-    // checkpoint (§8 ordering).  If this fails, the epoch's transactions
+    // Phase 2 (no state lock held): apply the write batch (padded to its
+    // fixed size), flush all buffered bucket writes, then checkpoint (§8
+    // ordering).  The ORAM lock serialises this against the executor's
+    // concurrent read batches for the next epoch; the WAL's epoch-ordering
+    // rule guarantees that none of the next epoch's records is acknowledged
+    // ahead of this decision's.  If this fails, the epoch's transactions
     // are reported as aborted (epoch fate sharing).
     let io_result = (|| -> Result<()> {
         let mut oram_guard = inner.oram.lock();
         let oram = oram_guard.as_mut().ok_or(ObladiError::ProxyUnavailable)?;
+        inner.durability.set_current_epoch(epoch);
         oram.write_batch_padded(&writes, write_capacity, &inner.durability)?;
         oram.flush_writes(&inner.durability)?;
         inner.durability.commit_epoch(epoch, oram)?;
@@ -920,8 +1376,16 @@ fn finalize_epoch(inner: &Arc<ProxyInner>) -> Result<()> {
     })();
 
     // Phase 3: publish outcomes (downgraded to aborts if the write-back or
-    // checkpoint failed) and wake every waiting client.
+    // checkpoint failed), resolve the carry set, free the pipeline slot and
+    // wake everyone.
     let mut state = inner.state.lock();
+    let slot_live = matches!(
+        state.deciding.as_ref(),
+        Some(deciding) if deciding.generation == generation
+    );
+    if slot_live {
+        state.deciding = None;
+    }
     let mut durably_committed: Vec<TxnId> = Vec::new();
     let mut aborted_count = 0u64;
     for (txn, outcome) in outcomes {
@@ -936,7 +1400,22 @@ fn finalize_epoch(inner: &Arc<ProxyInner>) -> Result<()> {
             aborted_count += 1;
         }
         state.outcomes.insert(txn, outcome);
-        state.active_txns.remove(&txn);
+    }
+    if slot_live && io_result.is_ok() {
+        // Carry resolution: the epoch's committed writes are durable now,
+        // so they become the executing epoch's base versions (sparing a
+        // pointless re-fetch); keys whose writers aborted are released for
+        // normal fetching.  Readers parked on carry keys wake below.  On a
+        // *failed* write-back the carry set is deliberately left pinned:
+        // releasing it here would let a parked reader fetch a half-applied
+        // epoch's write from the torn ORAM in the window before the
+        // imminent fate-sharing crash (which resets the carry set) lands.
+        if state.exec.generation == generation + 1 {
+            for (key, value) in &writes {
+                state.exec.mvtso.register_base(*key, Some(value.clone()));
+            }
+        }
+        state.carry_pending.clear();
     }
     drop(state);
 
@@ -948,6 +1427,8 @@ fn finalize_epoch(inner: &Arc<ProxyInner>) -> Result<()> {
         stats.real_writes += writes.len() as u64;
     }
     inner.client_wakeup.notify_all();
+    // The executor may be waiting for the freed slot.
+    inner.driver_wakeup.notify_all();
     if let Some(gate) = &gate {
         if io_result.is_ok() {
             gate.epoch_durable(epoch, &durably_committed);
@@ -960,13 +1441,13 @@ fn finalize_epoch(inner: &Arc<ProxyInner>) -> Result<()> {
 /// Enforces the write-batch capacity: commit-requested transactions are
 /// admitted in timestamp order until their combined (deduplicated) write set
 /// no longer fits; the rest abort with [`AbortReason::BatchFull`].
-fn enforce_write_capacity(state: &mut EpochState, write_capacity: usize) {
+fn enforce_write_capacity(mvtso: &mut MvtsoManager, write_capacity: usize) {
     let mut planned: HashSet<Key> = HashSet::new();
-    for txn in state.mvtso.commit_requested_txns() {
-        let write_set = state.mvtso.write_set(txn);
+    for txn in mvtso.commit_requested_txns() {
+        let write_set = mvtso.write_set(txn);
         let new_keys = write_set.iter().filter(|k| !planned.contains(*k)).count();
         if planned.len() + new_keys > write_capacity {
-            state.mvtso.abort(txn, AbortReason::BatchFull);
+            mvtso.abort(txn, AbortReason::BatchFull);
         } else {
             planned.extend(write_set);
         }

@@ -113,9 +113,33 @@ struct CoordState {
     committed_verdicts: HashSet<TxnId>,
     /// Commit-request bursts currently in flight (see [`CommitIntake`]).
     intake_in_flight: usize,
-    /// A decision is waiting for in-flight bursts to drain.
+    /// A decision is draining in-flight bursts and sampling candidates;
+    /// intake blocks only for this (short, in-memory) window.
     decision_pending: bool,
+    /// The in-flight decision slot: the round whose decision has started
+    /// (candidates sampled) but not yet completed.  Unlike
+    /// `decision_pending`, this stays occupied across the decision's
+    /// prepare I/O, which runs *outside* the coordinator lock — so every
+    /// other entry point stays responsive while a latency-bound store
+    /// absorbs the parallel prepare appends.
+    deciding_round: Option<u64>,
     shutdown: bool,
+}
+
+/// A decision sampled under the coordinator lock, carried across the
+/// unlocked parallel-prepare phase and applied by
+/// [`EpochCoordinator::complete_decision`].
+struct DecisionPlan {
+    /// Decision-time candidate sample per arrived shard.
+    sampled: HashMap<usize, Vec<CommitCandidate>>,
+    /// Transactions the vote permits so far (unanimous + cascade-closed).
+    permitted: HashSet<TxnId>,
+    /// Union of same-epoch dependencies per transaction.
+    deps: HashMap<TxnId, HashSet<TxnId>>,
+    /// Durable-prepare work: one disjoint WAL append batch per participant.
+    prepares: Vec<(usize, Vec<TxnId>, TxnPreparer)>,
+    /// Transactions already failed (a participant never arrived).
+    prepare_failed: HashSet<TxnId>,
 }
 
 impl CoordState {
@@ -145,6 +169,7 @@ impl EpochCoordinator {
                 committed_verdicts: HashSet::new(),
                 intake_in_flight: 0,
                 decision_pending: false,
+                deciding_round: None,
                 shutdown: false,
             }),
             changed: Condvar::new(),
@@ -231,6 +256,12 @@ impl EpochCoordinator {
         self.state.lock().decisions.len()
     }
 
+    /// The round whose decision is currently in flight (candidates sampled,
+    /// prepare I/O possibly still running), if any.
+    pub fn deciding_round(&self) -> Option<u64> {
+        self.state.lock().deciding_round
+    }
+
     /// Opens a commit-intake window: while the guard lives, no rendezvous
     /// decision is taken, so a burst of per-shard commit requests is atomic
     /// with respect to the vote.  Blocks while a decision is pending.
@@ -310,9 +341,10 @@ impl EpochCoordinator {
             if state.round >= target || state.shutdown || !state.live[shard] {
                 break;
             }
-            if state.all_live_arrived() && !state.decision_pending {
+            if state.all_live_arrived() && state.deciding_round.is_none() {
                 // This thread decides.  First drain in-flight commit bursts
-                // so no burst straddles the decision.
+                // so no burst straddles the candidate sample.
+                state.deciding_round = Some(target);
                 state.decision_pending = true;
                 self.changed.notify_all();
                 while state.intake_in_flight > 0 && !state.shutdown {
@@ -320,14 +352,28 @@ impl EpochCoordinator {
                 }
                 if state.shutdown {
                     state.decision_pending = false;
+                    state.deciding_round = None;
                     break;
                 }
                 // Liveness may have changed while draining; re-check that
                 // the barrier still holds before deciding.
                 if state.all_live_arrived() {
-                    self.decide(&mut state);
+                    let plan = Self::plan_decision(&mut state);
+                    // The sample is frozen: intake may resume while the
+                    // prepare I/O runs.
+                    state.decision_pending = false;
+                    self.changed.notify_all();
+                    // The parallel prepare appends target disjoint stores
+                    // and run with the coordinator unlocked, so no entry
+                    // point stalls behind a latency-bound store.
+                    drop(state);
+                    let prepare_failed = Self::run_prepares(&plan);
+                    state = self.state.lock();
+                    self.complete_decision(&mut state, plan, prepare_failed);
+                } else {
+                    state.decision_pending = false;
                 }
-                state.decision_pending = false;
+                state.deciding_round = None;
                 self.changed.notify_all();
                 continue;
             }
@@ -346,20 +392,13 @@ impl EpochCoordinator {
         state.permits.remove(&shard).unwrap_or_default()
     }
 
-    /// Samples every arrived shard's candidates, durably prepares the
-    /// cross-shard commits, and completes the round.  Runs with the
-    /// coordinator lock held; candidate sources and preparers take their
-    /// shard's state lock (and the preparers append to their shard's WAL),
-    /// which no caller of the coordinator holds.
-    ///
-    /// Known limitation: the per-shard prepare appends run sequentially
-    /// under the coordinator lock, so with a latency-bound store the whole
-    /// deployment's coordinator entry points stall for the duration of the
-    /// prepare I/O.  The appends target disjoint stores and could run in
-    /// parallel outside the lock (intake is already blocked by
-    /// `decision_pending`, so the candidate sets cannot change mid-flight);
-    /// that restructuring is a ROADMAP follow-up.
-    fn decide(&self, state: &mut CoordState) {
+    /// Samples every arrived shard's candidates and computes the tentative
+    /// permit set — everything that can be decided in memory.  Runs with
+    /// the coordinator lock held; candidate sources take their shard's
+    /// state lock, which no caller of the coordinator holds.  The durable
+    /// prepare I/O is *not* performed here: [`EpochCoordinator::run_prepares`]
+    /// executes it in parallel with the coordinator unlocked.
+    fn plan_decision(state: &mut CoordState) -> DecisionPlan {
         let arrivals = std::mem::take(&mut state.arrivals);
         let sampled: HashMap<usize, Vec<CommitCandidate>> = arrivals
             .iter()
@@ -396,13 +435,8 @@ impl EpochCoordinator {
         }
         Self::close_under_deps(&mut permitted, &deps);
 
-        // Durable prepare: a cross-shard transaction's votes only count once
-        // every participant has a prepare record in its WAL.  A failed
-        // prepare withholds that shard's vote (the transaction aborts
-        // retryably everywhere), and dropping it may orphan dependents, so
-        // the dependency closure re-runs afterwards.  Any prepare already
-        // written for a transaction that ends up denied is stale and will be
-        // presumed aborted.
+        // Plan the durable prepares: one batch of WAL appends per
+        // participant of each permitted cross-shard transaction.
         let mut by_shard: HashMap<usize, Vec<TxnId>> = HashMap::new();
         for &txn in &permitted {
             if let Some(touched) = state.participants.get(&txn) {
@@ -414,21 +448,111 @@ impl EpochCoordinator {
             }
         }
         let mut prepare_failed: HashSet<TxnId> = HashSet::new();
+        let mut prepares: Vec<(usize, Vec<TxnId>, TxnPreparer)> = Vec::new();
         for (shard, mut txns) in by_shard {
             txns.sort_unstable();
             match arrivals.get(&shard) {
-                Some(arrival) => {
-                    if (arrival.preparer)(&txns).is_err() {
-                        prepare_failed.extend(txns);
-                    }
-                }
+                Some(arrival) => prepares.push((shard, txns, arrival.preparer.clone())),
                 // Unanimity requires every participant to have arrived;
                 // defensively withhold the vote if one has not.
                 None => prepare_failed.extend(txns),
             }
         }
+        DecisionPlan {
+            sampled,
+            permitted,
+            deps,
+            prepares,
+            prepare_failed,
+        }
+    }
+
+    /// Durable prepare: a cross-shard transaction's votes only count once
+    /// every participant has a prepare record in its WAL.  The per-shard
+    /// append batches target disjoint stores, so they run in parallel —
+    /// and the caller holds no coordinator lock, so with a latency-bound
+    /// store every other coordinator entry point stays responsive for the
+    /// duration.  Returns the transactions whose prepare failed.
+    fn run_prepares(plan: &DecisionPlan) -> HashSet<TxnId> {
+        let mut prepare_failed = plan.prepare_failed.clone();
+        if plan.prepares.len() <= 1 {
+            // Zero or one participant: nothing to parallelise.
+            for (_, txns, preparer) in &plan.prepares {
+                if preparer(txns).is_err() {
+                    prepare_failed.extend(txns.iter().copied());
+                }
+            }
+            return prepare_failed;
+        }
+        let failures: Vec<Vec<TxnId>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .prepares
+                .iter()
+                .map(|(_, txns, preparer)| {
+                    let handle = scope.spawn(move || {
+                        if preparer(txns).is_err() {
+                            txns.clone()
+                        } else {
+                            Vec::new()
+                        }
+                    });
+                    (txns, handle)
+                })
+                .collect();
+            handles
+                .into_iter()
+                // A panicked preparer never produced a durable record: its
+                // shard's whole batch must withhold its votes, exactly like
+                // an ordinary prepare failure.
+                .map(|(txns, handle)| handle.join().unwrap_or_else(|_| txns.clone()))
+                .collect()
+        });
+        for failed in failures {
+            prepare_failed.extend(failed);
+        }
+        prepare_failed
+    }
+
+    /// Applies the prepare results and completes the round: failed prepares
+    /// withhold votes (re-closing the dependency set — dropping a
+    /// transaction may orphan dependents), shards that died during the
+    /// prepare I/O lose their transactions' votes, surviving cross-shard
+    /// commits enter the decision log, and every arrived shard gets its
+    /// permit list.
+    fn complete_decision(
+        &self,
+        state: &mut CoordState,
+        plan: DecisionPlan,
+        prepare_failed: HashSet<TxnId>,
+    ) {
+        let DecisionPlan {
+            sampled,
+            mut permitted,
+            deps,
+            ..
+        } = plan;
         if !prepare_failed.is_empty() {
             permitted.retain(|txn| !prepare_failed.contains(txn));
+            Self::close_under_deps(&mut permitted, &deps);
+        }
+        // Liveness may have changed while the coordinator was unlocked for
+        // the prepare I/O: a transaction touching a now-dead shard must not
+        // commit (its prepared half would resolve at recovery, but the live
+        // halves would commit an epoch the dead shard never voted into).
+        let dead_touched: Vec<TxnId> = permitted
+            .iter()
+            .filter(|txn| {
+                state
+                    .participants
+                    .get(txn)
+                    .is_some_and(|touched| touched.iter().any(|shard| !state.live[*shard]))
+            })
+            .copied()
+            .collect();
+        if !dead_touched.is_empty() {
+            for txn in dead_touched {
+                permitted.remove(&txn);
+            }
             Self::close_under_deps(&mut permitted, &deps);
         }
 
@@ -456,7 +580,7 @@ impl EpochCoordinator {
             let permits = candidates
                 .into_iter()
                 .map(|c| c.txn)
-                .filter(|txn| permitted.contains(txn))
+                .filter(|txn| state.live[shard] && permitted.contains(txn))
                 .collect();
             state.permits.insert(shard, permits);
         }
@@ -541,6 +665,13 @@ impl EpochGate for ShardGate {
 
     fn proxy_recovered(&self) {
         self.coordinator.set_live(self.shard, true);
+    }
+
+    fn proxy_stopping(&self) {
+        // A stopping shard must release (and stop blocking) the rendezvous
+        // exactly like a crashed one, or its parked decider could never be
+        // joined.
+        self.coordinator.set_live(self.shard, false);
     }
 }
 
@@ -754,6 +885,72 @@ mod tests {
         let permits0 = early.join().unwrap();
         assert_eq!(permits0, vec![42], "decision must use a fresh sample");
         assert_eq!(permits1, vec![42]);
+    }
+
+    /// A preparer that sleeps like a latency-bound store's WAL append.
+    fn prepare_slow(delay: Duration) -> TxnPreparer {
+        Arc::new(move |_| {
+            thread::sleep(delay);
+            Ok(())
+        })
+    }
+
+    #[test]
+    fn entry_points_stay_responsive_during_prepare_io() {
+        // The parallel-prepare hoist: the per-shard 2PC prepare appends run
+        // with the coordinator unlocked, so a latency-bound store must not
+        // stall the other entry points for the prepare duration — and the
+        // two shards' appends run in parallel, not back to back.
+        let prepare_delay = Duration::from_millis(400);
+        let coordinator = Arc::new(EpochCoordinator::new(2));
+        coordinator.register_participant(5, 0);
+        coordinator.register_participant(5, 1);
+
+        let decision_started = std::time::Instant::now();
+        let c = coordinator.clone();
+        let other =
+            thread::spawn(move || c.arrive(1, source(vec![5]), prepare_slow(prepare_delay)));
+        let c = coordinator.clone();
+        let decider =
+            thread::spawn(move || c.arrive(0, source(vec![5]), prepare_slow(prepare_delay)));
+
+        // Wait for the decision slot to be taken (sampling is in-memory and
+        // quick; the rest of the slot's lifetime is the prepare I/O).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while coordinator.deciding_round().is_none() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "decision never started"
+            );
+            std::thread::yield_now();
+        }
+
+        // Every entry point — including commit intake — must answer in a
+        // fraction of the prepare duration.
+        let probe_start = std::time::Instant::now();
+        let _ = coordinator.pending_decisions();
+        let _ = coordinator.was_committed(5);
+        let _ = coordinator.decision(5);
+        coordinator.register_participant(6, 0);
+        drop(coordinator.begin_commit_intake());
+        let probed = probe_start.elapsed();
+        assert!(
+            probed < prepare_delay / 2,
+            "coordinator entry points stalled for {probed:?} during prepare I/O"
+        );
+
+        let permits0 = decider.join().unwrap();
+        let permits1 = other.join().unwrap();
+        let total = decision_started.elapsed();
+        assert_eq!(permits0, vec![5]);
+        assert_eq!(permits1, vec![5]);
+        // Two 400 ms prepares in parallel finish well under the 800 ms a
+        // sequential decide would need.
+        assert!(
+            total < prepare_delay * 2,
+            "prepares ran sequentially: {total:?}"
+        );
+        assert_eq!(coordinator.deciding_round(), None);
     }
 
     #[test]

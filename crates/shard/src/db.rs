@@ -172,17 +172,41 @@ impl ShardedDb {
 
     /// Begins a transaction stamped by the global timestamp oracle.  Shard
     /// legs open lazily on first access to a key the shard owns.
+    ///
+    /// Beginning never blocks on an epoch rollover or the coordinator: the
+    /// transaction samples each shard's current epoch *generation* (before
+    /// drawing its timestamp — the order matters, see
+    /// [`ShardedDb::stamp`]), and each leg later verifies at open, inside
+    /// the shard's own state lock, that the shard is still in that epoch.
     pub fn begin(&self) -> Result<ShardedTxn<'_>> {
-        let id = self.oracle.next_ts();
-        let begin_round = self.coordinator.global_epoch();
+        let (id, targets) = self.stamp();
         Ok(ShardedTxn {
             db: self,
             id,
-            begin_round,
+            targets,
+            round_class: None,
             subs: (0..self.shards.len()).map(|_| None).collect(),
             leg_ops: vec![0; self.shards.len()],
             finished: false,
         })
+    }
+
+    /// Samples each shard's target epochs (executing generation plus the
+    /// open deciding generation, if any — see
+    /// [`obladi_core::ObladiDb::stamp_targets`]), *then* draws a global
+    /// timestamp.  In that order a shard epoch rollover between the steps
+    /// only makes the sampled generations stale (the leg open detects it
+    /// and the transaction retries); the reverse order could smuggle a
+    /// timestamp drawn before a rollover into the epoch after it, where it
+    /// may be smaller than timestamps already folded into the epoch's base
+    /// versions.
+    fn stamp(&self) -> (TxnId, Vec<(u64, Option<u64>)>) {
+        let targets = self
+            .shards
+            .iter()
+            .map(|shard| shard.stamp_targets())
+            .collect();
+        (self.oracle.next_ts(), targets)
     }
 
     /// Crashes one shard: its volatile state is dropped, its in-flight
@@ -285,23 +309,33 @@ impl KvDatabase for ShardedDb {
 
 /// A transaction spanning one or more shards of a [`ShardedDb`].
 ///
-/// # Timestamps and global epochs
+/// # Timestamps and shard epochs
 ///
 /// Serializability across shards requires that a timestamp be *used* in the
-/// same global epoch it was *drawn* in: each epoch's ORAM base versions are
+/// same shard epoch it was *drawn* in: each epoch's ORAM base versions are
 /// re-registered at timestamp 0, so a stale low timestamp operating in a
 /// later epoch would read higher-timestamped data as if it preceded it.
-/// Every shard leg therefore verifies, at open, that the deployment is
-/// still in the transaction's begin round.  A transaction that has not yet
-/// completed any operation is transparently re-stamped and retried when it
-/// trips that check (or any other retryable abort); one that has already
+/// Every shard leg therefore verifies, at open, that its shard is still in
+/// the epoch generation sampled when the transaction was stamped — a purely
+/// local check inside that shard's state lock, so opening a leg never
+/// blocks on the (pipelined) epoch rendezvous.  A transaction that has not
+/// yet completed any operation is transparently re-stamped and retried when
+/// it trips that check (or any other retryable abort); one that has already
 /// observed or written data aborts and must be retried by the client.
 pub struct ShardedTxn<'db> {
     db: &'db ShardedDb,
     id: TxnId,
-    /// Global epoch in which `id` was drawn; legs may only open while the
-    /// deployment is still in this round.
-    begin_round: u64,
+    /// Per-shard target epochs sampled when `id` was drawn: the executing
+    /// generation plus the open deciding generation, if any.  A leg may
+    /// only open while its shard still hosts the chosen epoch.
+    targets: Vec<(u64, Option<u64>)>,
+    /// Which rendezvous the transaction's legs decide at, fixed by the
+    /// first leg: `0` = the shards' next rendezvous (unsealed shards'
+    /// executing epochs and sealed shards' deciding epochs), `1` = the one
+    /// after (sealed shards' executing epochs).  All legs must share one
+    /// class or the unanimity vote would be split across two rendezvous and
+    /// could never pass.
+    round_class: Option<u8>,
     subs: Vec<Option<ObladiTxn<'db>>>,
     /// Successful operations per shard leg; while all are zero the
     /// transaction may be transparently re-stamped after a retryable abort.
@@ -329,18 +363,40 @@ impl<'db> ShardedTxn<'db> {
             .collect()
     }
 
-    fn leg(&mut self, shard: usize) -> Result<&mut ObladiTxn<'db>> {
+    fn leg(&mut self, shard: usize, for_write: bool) -> Result<&mut ObladiTxn<'db>> {
         if self.subs[shard].is_none() {
-            // The intake guard blocks epoch decisions, so the round check
-            // and the leg open are atomic with respect to the rendezvous:
-            // a leg can never open in a later round than its timestamp.
-            let _intake = self.db.coordinator.begin_commit_intake();
-            if self.db.coordinator.global_epoch() != self.begin_round {
-                return Err(ObladiError::TxnAborted(
-                    "global epoch ended before the shard leg opened".into(),
-                ));
-            }
-            let sub = self.db.shards[shard].begin_at(self.id)?;
+            let (exec_gen, deciding_gen) = self.targets[shard];
+            // The first leg fixes which rendezvous the transaction decides
+            // at (its *round class*); later legs must pick whichever of
+            // their shard's target epochs decides at the same rendezvous —
+            // a sealed shard's deciding epoch for class 0 (reduced powers:
+            // cached reads and unfetched-key writes only), or its executing
+            // epoch for class 1.  An unsealed shard offers no class-1
+            // epoch, so class 0 composes with *every* shard and is chosen
+            // whenever the first operation tolerates it: a write works fine
+            // in a deciding epoch, while a read needs the executing epoch's
+            // fetch power — the only case worth paying class 1 (and its
+            // retryable mismatches) for.
+            let class = *self
+                .round_class
+                .get_or_insert(u8::from(deciding_gen.is_some() && !for_write));
+            let target = match (class, deciding_gen) {
+                (0, Some(deciding)) => deciding,
+                (0, None) | (1, Some(_)) => exec_gen,
+                _ => {
+                    return Err(ObladiError::TxnAborted(format!(
+                        "shard {shard} has no epoch deciding at this transaction's rendezvous \
+                         ({})",
+                        AbortReason::EpochEnd
+                    )));
+                }
+            };
+            // The generation check runs inside the shard's own state lock,
+            // atomically with its epoch rollover: a leg can never open in a
+            // later epoch than its timestamp was sampled against, and no
+            // coordinator rendezvous is consulted — opening a leg does not
+            // block on an in-flight epoch decision.
+            let sub = self.db.shards[shard].begin_at_generation(self.id, target)?;
             self.db.coordinator.register_participant(self.id, shard);
             self.subs[shard] = Some(sub);
         }
@@ -377,6 +433,7 @@ impl<'db> ShardedTxn<'db> {
     fn run_on_leg<T>(
         &mut self,
         key: Key,
+        for_write: bool,
         op: impl Fn(&mut ObladiTxn<'db>, Key) -> Result<T>,
     ) -> Result<T> {
         const FRESH_LEG_RETRIES: usize = 3;
@@ -388,7 +445,7 @@ impl<'db> ShardedTxn<'db> {
         let shard = self.db.router.route(key);
         let mut attempt = 0;
         let result = loop {
-            let result = self.leg(shard).and_then(|leg| op(leg, key));
+            let result = self.leg(shard, for_write).and_then(|leg| op(leg, key));
             match result {
                 Ok(value) => {
                     self.leg_ops[shard] += 1;
@@ -403,8 +460,8 @@ impl<'db> ShardedTxn<'db> {
                     // The transaction is still virgin (no operation has
                     // observed or written anything), so it can restart from
                     // scratch: drop every opened leg, let the epoch roll
-                    // over, and re-stamp with a fresh timestamp in the
-                    // current global round.
+                    // over, and re-stamp with a fresh timestamp against the
+                    // shards' current epoch generations.
                     for sub in &mut self.subs {
                         if let Some(sub) = sub.take() {
                             sub.rollback();
@@ -412,9 +469,10 @@ impl<'db> ShardedTxn<'db> {
                     }
                     self.db.coordinator.forget_txn(self.id);
                     self.db.shards[shard].wait_epoch_rollover(std::time::Duration::from_secs(2));
-                    let _intake = self.db.coordinator.begin_commit_intake();
-                    self.id = self.db.oracle.next_ts();
-                    self.begin_round = self.db.coordinator.global_epoch();
+                    let (id, targets) = self.db.stamp();
+                    self.id = id;
+                    self.targets = targets;
+                    self.round_class = None;
                 }
                 Err(err) => break Err(err),
             }
@@ -429,12 +487,12 @@ impl<'db> ShardedTxn<'db> {
 
     /// Reads `key` from the shard that owns it.
     pub fn read(&mut self, key: Key) -> Result<Option<Value>> {
-        self.run_on_leg(key, |leg, key| leg.read(key))
+        self.run_on_leg(key, false, |leg, key| leg.read(key))
     }
 
     /// Writes `key` on the shard that owns it.
     pub fn write(&mut self, key: Key, value: Value) -> Result<()> {
-        self.run_on_leg(key, move |leg, key| leg.write(key, value.clone()))
+        self.run_on_leg(key, true, move |leg, key| leg.write(key, value.clone()))
     }
 
     /// Requests commit on every touched shard, waits for the coordinated

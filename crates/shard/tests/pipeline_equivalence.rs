@@ -1,0 +1,201 @@
+//! Differential property test for the pipelined epoch barrier: the same
+//! seeded workload, run through a depth-1 (stop-the-world barrier) and a
+//! depth-2 (pipelined) deployment, must yield serializable histories with
+//! identical committed read-write semantics.
+//!
+//! The workload is a deterministic sequence of read/write transaction
+//! specs, driven by one client with commit retries, so each committed
+//! transaction's observations are a pure function of the committed state
+//! before it.  Equality is checked at the *semantic* level: every read is
+//! mapped to the (spec index, write sequence) that produced the value it
+//! observed — raw bytes cannot be compared because the MVTSO timestamps
+//! embedded in the tags differ between runs.  Both recorded histories also
+//! go through the same serializability oracle `tests/sharded.rs` uses.
+
+use obladi_common::config::ShardConfig;
+use obladi_common::rng::DetRng;
+use obladi_common::types::Key;
+use obladi_shard::ShardedDb;
+use obladi_testkit::history::{check_serializable, parse_tag, tag_value, History, TxnRecord};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// One operation of a transaction spec.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Read(Key),
+    Write(Key),
+}
+
+/// Generates a deterministic workload: `txns` specs of 1–4 operations over
+/// a small hot key range that straddles the shards.
+fn workload(seed: u64, txns: usize) -> Vec<Vec<Op>> {
+    let mut rng = DetRng::new(seed ^ 0x9e3779b97f4a7c15);
+    (0..txns)
+        .map(|_| {
+            let ops = 1 + rng.below_usize(4);
+            (0..ops)
+                .map(|_| {
+                    let key = rng.below(10);
+                    if rng.chance(0.5) {
+                        Op::Read(key)
+                    } else {
+                        Op::Write(key)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// A read observation, normalised across runs: which spec's which write
+/// produced the observed value (`None` = the key's initial absence).
+type Observation = Option<(usize, u32)>;
+
+/// Runs the workload on a deployment of the given pipeline depth; returns
+/// each committed spec's read observations plus the recorded history.
+fn run_workload(depth: u32, seed: u64, specs: &[Vec<Op>]) -> (Vec<Vec<Observation>>, History, u64) {
+    let mut config = ShardConfig::small_for_tests(3, 1_024);
+    config.shard.epoch.batch_interval = Duration::from_millis(1);
+    // Each sequentially-dependent read consumes one read batch (§6.4), so
+    // R must cover a spec's worst case: pin read + 4 operation reads.
+    config.shard.epoch.read_batches = 8;
+    config.shard.epoch.pipeline_depth = depth;
+    config.shard.seed = seed;
+    let db = ShardedDb::open(config).expect("deployment must open");
+
+    // Map from this run's MVTSO timestamps to spec indices, so observed
+    // write tags can be normalised.
+    let mut writer_spec: HashMap<u64, usize> = HashMap::new();
+    let mut history = History::new();
+    let mut all_observations = Vec::with_capacity(specs.len());
+
+    let mut backoff = DetRng::new(seed ^ 0x05ee_d0ff);
+    for (spec_index, spec) in specs.iter().enumerate() {
+        let mut committed = None;
+        for _attempt in 0..400 {
+            // Jittered backoff: a fixed retry cadence can phase-lock onto
+            // the shards' epoch rhythm (a cross-shard read needs both
+            // shards outside their deciding window at once).
+            std::thread::sleep(Duration::from_millis(1 + backoff.below(6)));
+            let Ok(mut txn) = db.begin() else {
+                continue;
+            };
+            // A virgin transaction may be transparently re-stamped by any
+            // operation, which would invalidate the ids baked into the
+            // write tags — so pin the id first with a read of a reserved,
+            // never-written key (identical in both runs).
+            let pin_key = 1_000 + spec_index as Key;
+            let Ok(pin_value) = txn.read(pin_key) else {
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            };
+            let id = txn.id();
+            let mut record = TxnRecord::new(id);
+            record.read(pin_key, pin_value);
+            let mut observations = Vec::new();
+            let mut failed = false;
+            let mut seq = 0u32;
+            for op in spec {
+                match *op {
+                    Op::Read(key) => match txn.read(key) {
+                        Ok(value) => {
+                            record.read(key, value.clone());
+                            observations.push(value.as_deref().and_then(parse_tag).map(|tag| {
+                                (*writer_spec.get(&tag.txn).unwrap_or(&usize::MAX), tag.seq)
+                            }));
+                        }
+                        Err(_) => {
+                            failed = true;
+                            break;
+                        }
+                    },
+                    Op::Write(key) => {
+                        let value = tag_value(id, seq, b"eq");
+                        match txn.write(key, value.clone()) {
+                            Ok(()) => {
+                                record.write(key, value);
+                                seq += 1;
+                            }
+                            Err(_) => {
+                                failed = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if failed {
+                record.abort();
+                history.push(record);
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            match txn.commit() {
+                Ok(outcome) if outcome.is_committed() => {
+                    record.commit(id);
+                    history.push(record);
+                    writer_spec.insert(id, spec_index);
+                    committed = Some(observations);
+                    break;
+                }
+                _ => {
+                    record.abort();
+                    history.push(record);
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+        let observations = committed.unwrap_or_else(|| panic!("spec {spec_index} never committed"));
+        all_observations.push(observations);
+    }
+
+    let epochs = db.global_epoch();
+    db.shutdown();
+    (all_observations, history, epochs)
+}
+
+fn run_case(seed: u64, txns: usize) -> Result<(), String> {
+    let specs = workload(seed, txns);
+    let (obs1, history1, _) = run_workload(1, seed, &specs);
+    let (obs2, history2, _) = run_workload(2, seed, &specs);
+
+    if obs1 != obs2 {
+        let diff = obs1
+            .iter()
+            .zip(&obs2)
+            .position(|(a, b)| a != b)
+            .unwrap_or(usize::MAX);
+        return Err(format!(
+            "committed read-write semantics diverge at spec {diff}: depth-1 {:?} vs depth-2 {:?}",
+            obs1.get(diff),
+            obs2.get(diff)
+        ));
+    }
+    check_serializable(&history1)
+        .map_err(|v| format!("depth-1 history not serializable: {v:?}"))?;
+    check_serializable(&history2)
+        .map_err(|v| format!("depth-2 history not serializable: {v:?}"))?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Depth 1 and depth 2 execute the same seeded workload to identical
+    /// committed read-write semantics, both serializable.
+    #[test]
+    fn pipeline_depths_are_semantically_equivalent(seed in 1u64..500) {
+        if let Err(problem) = run_case(seed, 14) {
+            return Err(TestCaseError::fail(problem));
+        }
+    }
+}
+
+/// A pinned deterministic case so the equivalence always runs even when
+/// proptest's sampling is unlucky.
+#[test]
+fn pinned_seed_is_equivalent_across_depths() {
+    run_case(42, 14).unwrap_or_else(|problem| panic!("{problem}"));
+}

@@ -1,0 +1,217 @@
+//! The pipelined epoch barrier's acceptance test: with three shards over
+//! latency-bound storage, a shard's epoch `N+1` read batches demonstrably
+//! start *before* epoch `N`'s cross-shard decision completes — the overlap
+//! the stop-the-world rendezvous could never offer — and the coordinator's
+//! entry points stay responsive while a decision's prepare I/O is in
+//! flight on a latency-bound store (the parallel prepare hoist).
+//!
+//! The deployment is assembled by hand (like `self_crash.rs`) so an
+//! instrumented gate can wrap each shard's [`ShardGate`] and timestamp the
+//! decision window (`permit_commits` enter/exit) against the read-batch
+//! starts the pipelined executor fires meanwhile.
+
+use obladi_common::config::ObladiConfig;
+use obladi_common::types::{EpochId, TxnId};
+use obladi_core::proxy::{CandidateSource, EpochGate, ObladiDb, TxnPreparer};
+use obladi_crypto::KeyMaterial;
+use obladi_shard::{EpochCoordinator, ShardGate};
+use obladi_storage::{InMemoryStore, LatencyStore, TrustedCounter, UntrustedStore};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn config(seed: u64) -> ObladiConfig {
+    let mut config = ObladiConfig::small_for_tests(256);
+    config.epoch.batch_interval = Duration::from_millis(1);
+    config.seed = seed;
+    config
+}
+
+/// Timestamped gate events of one shard.
+#[derive(Default)]
+struct GateTrace {
+    /// `permit_commits` entry and exit per epoch.
+    decisions: Vec<(EpochId, Instant, Instant)>,
+    /// First-seen read-batch start per epoch.
+    batch_starts: Vec<(EpochId, Instant)>,
+}
+
+/// Wraps a [`ShardGate`], recording when decisions and read batches run.
+struct InstrumentedGate {
+    inner: ShardGate,
+    trace: Arc<Mutex<GateTrace>>,
+}
+
+impl EpochGate for InstrumentedGate {
+    fn permit_commits(
+        &self,
+        epoch: EpochId,
+        candidates: CandidateSource,
+        preparer: TxnPreparer,
+    ) -> Vec<TxnId> {
+        let entered = Instant::now();
+        let permits = self.inner.permit_commits(epoch, candidates, preparer);
+        self.trace
+            .lock()
+            .decisions
+            .push((epoch, entered, Instant::now()));
+        permits
+    }
+
+    fn read_batch_starting(&self, epoch: EpochId) {
+        let mut trace = self.trace.lock();
+        if !trace.batch_starts.iter().any(|(e, _)| *e == epoch) {
+            trace.batch_starts.push((epoch, Instant::now()));
+        }
+    }
+
+    fn epoch_durable(&self, epoch: EpochId, committed: &[TxnId]) {
+        self.inner.epoch_durable(epoch, committed);
+    }
+
+    fn epoch_finalized(&self, epoch: EpochId) {
+        self.inner.epoch_finalized(epoch);
+    }
+
+    fn proxy_crashed(&self) {
+        self.inner.proxy_crashed();
+    }
+
+    fn proxy_recovered(&self) {
+        self.inner.proxy_recovered();
+    }
+
+    fn proxy_stopping(&self) {
+        self.inner.proxy_stopping();
+    }
+}
+
+/// A three-shard deployment where shard 2's storage is latency-bound, so
+/// the fast shards' deciders park at the rendezvous for a measurable
+/// stretch while their executors — at pipeline depth 2 — keep running the
+/// next epoch's read batches.
+#[test]
+fn next_epoch_reads_start_before_the_previous_decision_completes() {
+    let coordinator = Arc::new(EpochCoordinator::new(3));
+    let mut shards = Vec::new();
+    let mut traces = Vec::new();
+    for index in 0..3usize {
+        let base: Arc<dyn UntrustedStore> = Arc::new(InMemoryStore::new());
+        let store: Arc<dyn UntrustedStore> = if index == 2 {
+            // Latency-bound storage stretches shard 2's read phase, holding
+            // the rendezvous open while the fast shards' executors run on.
+            let mut profile = obladi_common::latency::LatencyProfile::for_backend(
+                obladi_common::config::BackendKind::Dummy,
+            );
+            profile.read =
+                obladi_common::latency::LatencyModel::with_mean(Duration::from_micros(600));
+            Arc::new(LatencyStore::new(base, profile, 7))
+        } else {
+            base
+        };
+        let db = ObladiDb::open_with(
+            config(index as u64 + 1),
+            store,
+            TrustedCounter::new(),
+            KeyMaterial::for_tests(index as u64 + 1),
+        )
+        .unwrap();
+        let trace = Arc::new(Mutex::new(GateTrace::default()));
+        db.set_epoch_gate(Arc::new(InstrumentedGate {
+            inner: ShardGate::new(coordinator.clone(), index),
+            trace: trace.clone(),
+        }));
+        assert_eq!(db.config().epoch.pipeline_depth, 2);
+        shards.push(db);
+        traces.push(trace);
+    }
+
+    // Let the deployment tick through several global epochs; idle epochs
+    // still run their (padded) read batches and rendezvous.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while coordinator.global_epoch() < 6 {
+        assert!(
+            Instant::now() < deadline,
+            "deployment never completed 6 global epochs"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for shard in &shards {
+        shard.shutdown();
+    }
+
+    // The acceptance assertion: on a fast shard, some epoch N+1's first
+    // read batch fired strictly before epoch N's decision completed.
+    let mut overlaps = 0usize;
+    for trace in traces.iter().take(2) {
+        let trace = trace.lock();
+        for &(epoch, entered, exited) in &trace.decisions {
+            if let Some(&(_, started)) = trace
+                .batch_starts
+                .iter()
+                .find(|(next, _)| *next == epoch + 1)
+            {
+                if started > entered && started < exited {
+                    overlaps += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        overlaps > 0,
+        "no epoch N+1 read batch started inside epoch N's decision window; \
+         the barrier is not pipelined"
+    );
+}
+
+/// The depth-1 control: with the pipeline disabled, no next-epoch read
+/// batch may start inside the previous epoch's decision window.
+#[test]
+fn depth_one_keeps_the_stop_the_world_barrier() {
+    let coordinator = Arc::new(EpochCoordinator::new(2));
+    let mut shards = Vec::new();
+    let mut traces = Vec::new();
+    for index in 0..2usize {
+        let mut cfg = config(index as u64 + 10);
+        cfg.epoch.pipeline_depth = 1;
+        let db = ObladiDb::open_with(
+            cfg,
+            Arc::new(InMemoryStore::new()),
+            TrustedCounter::new(),
+            KeyMaterial::for_tests(index as u64 + 10),
+        )
+        .unwrap();
+        let trace = Arc::new(Mutex::new(GateTrace::default()));
+        db.set_epoch_gate(Arc::new(InstrumentedGate {
+            inner: ShardGate::new(coordinator.clone(), index),
+            trace: trace.clone(),
+        }));
+        shards.push(db);
+        traces.push(trace);
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while coordinator.global_epoch() < 6 {
+        assert!(Instant::now() < deadline, "no progress at depth 1");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for shard in &shards {
+        shard.shutdown();
+    }
+    for trace in &traces {
+        let trace = trace.lock();
+        for &(epoch, entered, exited) in &trace.decisions {
+            if let Some(&(_, started)) = trace
+                .batch_starts
+                .iter()
+                .find(|(next, _)| *next == epoch + 1)
+            {
+                assert!(
+                    !(started > entered && started < exited),
+                    "depth 1 must not overlap: epoch {} batch started inside epoch {epoch}'s \
+                     decision window",
+                    epoch + 1
+                );
+            }
+        }
+    }
+}

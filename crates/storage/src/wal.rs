@@ -7,10 +7,25 @@
 //! padded stash), and epoch-commit markers.  This module provides the
 //! sequencing and framing; the *contents* of each record are opaque,
 //! already-encrypted bytes supplied by `obladi-core::durability`.
+//!
+//! # Epoch ordering rule (pipelined epochs)
+//!
+//! With the pipelined epoch barrier, two epochs write to the log
+//! concurrently: epoch `N` (deciding — prepares, checkpoint, commit marker,
+//! on the decider thread) and epoch `N+1` (executing — path logs, on the
+//! executor thread).  The log enforces that epoch `N+1`'s records are never
+//! *acknowledged ahead of `N`'s decision*: once the commit frontier is
+//! known, a commit-path record (checkpoint, commit marker, prepare) is
+//! accepted only for the epoch immediately above the frontier, and a path
+//! record at most **two** epochs above it (the bounded pipeline depth).  An
+//! append that would run ahead of the frontier is refused — never durably
+//! acknowledged — so recovery can rely on finding at most two in-doubt
+//! epochs, in order, above a contiguous durable prefix.
 
 use crate::traits::UntrustedStore;
 use bytes::{Bytes, BytesMut};
 use obladi_common::error::{ObladiError, Result};
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Record types stored in the write-ahead log.
@@ -85,21 +100,99 @@ pub struct WalRecord {
 /// Sequenced, typed write-ahead log on top of an [`UntrustedStore`].
 pub struct WriteAheadLog {
     store: Arc<dyn UntrustedStore>,
+    /// Highest epoch whose `EpochCommit` marker went through this instance
+    /// (`None` until [`WriteAheadLog::set_commit_frontier`] or the first
+    /// commit marker establishes it; ordering is unenforced while unknown).
+    commit_frontier: Mutex<Option<u64>>,
 }
 
 impl WriteAheadLog {
     /// Creates a WAL over `store`.
     pub fn new(store: Arc<dyn UntrustedStore>) -> Self {
-        WriteAheadLog { store }
+        WriteAheadLog {
+            store,
+            commit_frontier: Mutex::new(None),
+        }
     }
 
-    /// Appends a record, returning its sequence number.
+    /// Seeds the epoch-ordering frontier (normally from the trusted
+    /// counter's durable epoch), enabling the ordering rule from the first
+    /// append.
+    pub fn set_commit_frontier(&self, epoch: u64) {
+        *self.commit_frontier.lock() = Some(epoch);
+    }
+
+    /// The current commit frontier, if known.
+    pub fn commit_frontier(&self) -> Option<u64> {
+        *self.commit_frontier.lock()
+    }
+
+    /// Checks the epoch-ordering rule for one append.  The frontier itself
+    /// only advances after the commit marker's append *succeeds* (a refused
+    /// or failed append must leave the retry path open), in
+    /// [`WriteAheadLog::append`].
+    fn check_order(&self, kind: WalRecordKind, epoch: u64) -> Result<()> {
+        let frontier = self.commit_frontier.lock();
+        let Some(durable) = *frontier else {
+            // Unknown frontier (raw WAL uses, adversarial test harnesses):
+            // it is learned from the first successful commit marker, and
+            // nothing is enforced until then.
+            return Ok(());
+        };
+        let refuse = |why: &str| {
+            Err(ObladiError::Storage(format!(
+                "WAL ordering violation: {kind:?} for epoch {epoch} {why} (durable frontier \
+                 {durable})"
+            )))
+        };
+        match kind {
+            // The commit path is strictly sequential: epoch N+1's decision
+            // artifacts may not be acknowledged ahead of N's decision.
+            WalRecordKind::EpochCommit => {
+                if epoch != durable + 1 {
+                    return refuse("is not the epoch immediately above the frontier");
+                }
+            }
+            WalRecordKind::CheckpointDelta
+            | WalRecordKind::CheckpointFull
+            | WalRecordKind::Prepare => {
+                if epoch != durable + 1 {
+                    return refuse("is not the epoch immediately above the frontier");
+                }
+            }
+            // Path logs may run one epoch ahead of the deciding epoch (the
+            // executing epoch of the bounded pipeline), never further.
+            WalRecordKind::PathLog | WalRecordKind::EarlyReshuffle => {
+                if epoch <= durable {
+                    return refuse("is at or below the durable frontier");
+                }
+                if epoch > durable + 2 {
+                    return refuse("runs more than the pipeline depth ahead of the frontier");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends a record, returning its sequence number.  Refuses appends
+    /// that violate the epoch ordering rule (see the module docs) — the
+    /// record is never acknowledged, so the caller must treat the epoch as
+    /// failed rather than assume durability.
     pub fn append(&self, kind: WalRecordKind, epoch: u64, payload: &[u8]) -> Result<u64> {
+        self.check_order(kind, epoch)?;
         let mut framed = BytesMut::with_capacity(1 + 8 + payload.len());
         framed.extend_from_slice(&[kind.to_byte()]);
         framed.extend_from_slice(&epoch.to_le_bytes());
         framed.extend_from_slice(payload);
-        self.store.append_log(framed.freeze())
+        let seq = self.store.append_log(framed.freeze())?;
+        if kind == WalRecordKind::EpochCommit {
+            let mut frontier = self.commit_frontier.lock();
+            match *frontier {
+                Some(durable) if epoch <= durable => {}
+                _ => *frontier = Some(epoch),
+            }
+        }
+        Ok(seq)
     }
 
     fn decode(seq: u64, data: Bytes) -> Result<WalRecord> {
@@ -253,13 +346,15 @@ mod tests {
 
     #[test]
     fn all_record_kinds_roundtrip() {
+        // The commit marker goes last: once it lands the ordering rule is
+        // live and arbitrary epochs would be refused.
         let kinds = [
             WalRecordKind::PathLog,
             WalRecordKind::CheckpointDelta,
             WalRecordKind::CheckpointFull,
-            WalRecordKind::EpochCommit,
             WalRecordKind::EarlyReshuffle,
             WalRecordKind::Prepare,
+            WalRecordKind::EpochCommit,
         ];
         let wal = wal();
         for (i, kind) in kinds.iter().enumerate() {
@@ -326,6 +421,71 @@ mod tests {
         assert!(dropped.is_some());
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].kind, WalRecordKind::PathLog);
+    }
+
+    #[test]
+    fn ordering_refuses_commit_path_records_ahead_of_the_frontier() {
+        let wal = wal();
+        wal.set_commit_frontier(3);
+        // Epoch 5's decision artifacts may not be acknowledged ahead of
+        // epoch 4's decision.
+        assert!(wal.append(WalRecordKind::Prepare, 5, b"early").is_err());
+        assert!(wal
+            .append(WalRecordKind::CheckpointDelta, 5, b"early")
+            .is_err());
+        assert!(wal.append(WalRecordKind::EpochCommit, 5, b"").is_err());
+        // Stale commit-path records are refused too.
+        assert!(wal.append(WalRecordKind::EpochCommit, 3, b"").is_err());
+        // The deciding epoch (frontier + 1) is exactly what is allowed.
+        assert!(wal.append(WalRecordKind::Prepare, 4, b"vote").is_ok());
+        assert!(wal
+            .append(WalRecordKind::CheckpointDelta, 4, b"ckpt")
+            .is_ok());
+        assert!(wal.append(WalRecordKind::EpochCommit, 4, b"").is_ok());
+        assert_eq!(wal.commit_frontier(), Some(4));
+        // ...after which epoch 5 opens up.
+        assert!(wal.append(WalRecordKind::Prepare, 5, b"vote").is_ok());
+    }
+
+    #[test]
+    fn ordering_bounds_path_logs_to_the_pipeline_depth() {
+        let wal = wal();
+        wal.set_commit_frontier(10);
+        // Executing epoch (frontier + 2) may log paths while the deciding
+        // epoch (frontier + 1) is still in flight...
+        assert!(wal.append(WalRecordKind::PathLog, 11, b"deciding").is_ok());
+        assert!(wal.append(WalRecordKind::PathLog, 12, b"executing").is_ok());
+        // ...but nothing may run further ahead, or land behind the frontier.
+        assert!(wal.append(WalRecordKind::PathLog, 13, b"too far").is_err());
+        assert!(wal.append(WalRecordKind::PathLog, 10, b"stale").is_err());
+        assert!(wal
+            .append(WalRecordKind::EarlyReshuffle, 13, b"too far")
+            .is_err());
+    }
+
+    #[test]
+    fn ordering_frontier_only_advances_on_a_successful_append() {
+        // A commit append the store refuses must not advance the frontier:
+        // the epoch is retried after recovery and the retry must still pass
+        // the ordering check.
+        use crate::faulty::{FaultPlan, FaultyStore};
+        let store = Arc::new(FaultyStore::new(
+            Arc::new(InMemoryStore::new()),
+            FaultPlan::none(),
+            1,
+        ));
+        let wal = WriteAheadLog::new(store.clone());
+        wal.set_commit_frontier(0);
+        store.set_plan(FaultPlan::fail_after(0));
+        assert!(wal.append(WalRecordKind::EpochCommit, 1, b"").is_err());
+        assert_eq!(
+            wal.commit_frontier(),
+            Some(0),
+            "failed append must not advance"
+        );
+        store.set_plan(FaultPlan::none());
+        assert!(wal.append(WalRecordKind::EpochCommit, 1, b"").is_ok());
+        assert_eq!(wal.commit_frontier(), Some(1));
     }
 
     #[test]

@@ -174,6 +174,13 @@ impl History {
         self.txns.push(record);
     }
 
+    /// Merges another history's records (and initial values) into this one
+    /// — used to combine per-thread histories after a concurrent drive.
+    pub fn extend(&mut self, other: History) {
+        self.initial.extend(other.initial);
+        self.txns.extend(other.txns);
+    }
+
     /// Number of recorded transactions.
     pub fn len(&self) -> usize {
         self.txns.len()

@@ -41,8 +41,10 @@ pub use history::{
 };
 pub use recorder::{HistoryRecorder, TxnTrace};
 pub use shard_chaos::{
-    crash_schedule, cross_shard_pair, open_faulty_deployment, run_shard_crash_case, Expected,
-    FaultyDeployment, ShardCrashCase, ShardCrashReport,
+    crash_schedule, cross_shard_pair, cross_shard_pair_through, hammer_pair_tagged,
+    open_faulty_deployment, overlap_crash_schedule, run_overlap_crash_case, run_shard_crash_case,
+    Expected, FaultyDeployment, OverlapCrashCase, OverlapCrashReport, PairAttempt, ShardCrashCase,
+    ShardCrashReport,
 };
 pub use stats::{
     chi_square_critical, chi_square_uniform, is_plausibly_uniform, total_variation_distance,

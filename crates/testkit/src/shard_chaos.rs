@@ -199,6 +199,19 @@ pub fn cross_shard_pair(db: &ShardedDb) -> (Key, Key) {
     panic!("router sent 10k consecutive keys to one shard");
 }
 
+/// Finds a cross-shard pair whose first key lives on `shard` and whose
+/// second does not, scanning from `start` (so several disjoint pairs can be
+/// carved out of one deployment).
+pub fn cross_shard_pair_through(db: &ShardedDb, shard: usize, start: Key) -> (Key, Key) {
+    let first = (start..start + 10_000)
+        .find(|&key| db.router().route(key) == shard)
+        .expect("router sent 10k consecutive keys away from one shard");
+    let second = (first + 1..first + 10_000)
+        .find(|&key| db.router().route(key) != shard)
+        .expect("router sent 10k consecutive keys to one shard");
+    (first, second)
+}
+
 /// Attempts to commit a transaction writing tagged values to both keys of
 /// the pair, recording every attempt in `history`.  Stops on the first
 /// acknowledged commit, when `stop()` turns true, or after `max_attempts`.
@@ -264,7 +277,11 @@ pub fn read_pair(
 ) -> Result<(Option<Value>, Option<Value>)> {
     let (a, b) = pair;
     let mut last_err = ObladiError::Internal("no read attempt made".into());
-    for _ in 0..100 {
+    // Deadline- rather than count-based: under a loaded test machine a
+    // pipelined epoch round can stall long enough that a fixed retry count
+    // starves while the system is merely slow, not wrong.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
         let mut txn = match db.begin() {
             Ok(txn) => txn,
             Err(err) => {
@@ -337,6 +354,287 @@ fn classify(
     Err(format!(
         "{name}: torn cross-shard state after recovery: left={left:?} right={right:?}"
     ))
+}
+
+// ----------------------------------------------------------------------
+// Overlapping-epoch crash cases (pipelined epoch barrier)
+// ----------------------------------------------------------------------
+
+/// One overlapping-epoch crash case: the victim dies while one epoch is
+/// *deciding* (its prepare records are in the WAL, its write-back possibly
+/// mid-flight) and the next epoch is *executing* (its read batches are
+/// appending path logs behind the decision).  The trigger arms on a
+/// decision-path record so the crash is guaranteed to land inside that
+/// window.
+#[derive(Debug, Clone)]
+pub struct OverlapCrashCase {
+    /// Human-readable crash-point name (used in assertion messages).
+    pub name: &'static str,
+    /// `false` = the shard owning the first pair's first key crashes,
+    /// `true` = the shard owning its second key.
+    pub victim_second: bool,
+    /// The deterministic trigger.
+    pub trigger: CrashPoint,
+}
+
+/// What one overlapping-epoch case observed after the invariants passed.
+#[derive(Debug, Clone)]
+pub struct OverlapCrashReport {
+    /// The case name.
+    pub name: &'static str,
+    /// In-doubt prepares the victim's recovery found.
+    pub in_doubt: u64,
+    /// In-doubt transactions recovery replayed from prepare records.
+    pub replayed_commits: u64,
+    /// Distinct in-doubt epochs whose read paths recovery replayed (2 =
+    /// the crash caught both pipeline stages with logged reads).
+    pub epochs_replayed: u64,
+    /// Acknowledged commits per hammered pair at crash time.
+    pub acked: [usize; 2],
+    /// Total commit attempts per hammered pair.
+    pub attempts: [usize; 2],
+}
+
+/// The overlapping-epoch crash schedule: points scattered through the
+/// decide/execute overlap window, on either participant.  Every point arms
+/// on the first 2PC prepare append (the moment a decision is provably in
+/// flight) except the post-decision point, which arms on the epoch-commit
+/// marker (the decision is durable, the next epoch's reads are in doubt).
+pub fn overlap_crash_schedule() -> Vec<OverlapCrashCase> {
+    let prepare = WalRecordKind::Prepare.tag();
+    let path_log = WalRecordKind::PathLog.tag();
+    let epoch_commit = WalRecordKind::EpochCommit.tag();
+    let mut cases = Vec::new();
+    for victim_second in [false, true] {
+        let side = if victim_second { "second" } else { "first" };
+        cases.push(OverlapCrashCase {
+            name: leak_name(format!("deciding-while-next-reads/{side}")),
+            victim_second,
+            trigger: CrashPoint::after_log_kind(prepare, CrashOp::LogAppendKind(path_log), 1),
+        });
+        cases.push(OverlapCrashCase {
+            name: leak_name(format!("deciding-deep-in-next-reads/{side}")),
+            victim_second,
+            trigger: CrashPoint::after_log_kind(prepare, CrashOp::LogAppendKind(path_log), 3),
+        });
+        cases.push(OverlapCrashCase {
+            name: leak_name(format!("write-back-vs-next-reads/{side}")),
+            victim_second,
+            trigger: CrashPoint::after_log_kind(prepare, CrashOp::BucketWrite, 4),
+        });
+        cases.push(OverlapCrashCase {
+            name: leak_name(format!("decided-next-epoch-in-doubt/{side}")),
+            victim_second,
+            trigger: CrashPoint::after_log_kind(epoch_commit, CrashOp::LogAppendKind(path_log), 2),
+        });
+    }
+    cases
+}
+
+/// One commit attempt of a hammer thread: the tagged values written to the
+/// pair, and whether the front door acknowledged the commit.
+#[derive(Debug, Clone)]
+pub struct PairAttempt {
+    /// Value written to the pair's first key.
+    pub value_a: Value,
+    /// Value written to the pair's second key.
+    pub value_b: Value,
+    /// Whether the front door acknowledged the commit.
+    pub acked: bool,
+}
+
+/// Continuously commits tagged values to `pair` until `stop()` holds,
+/// recording *every* attempt (acknowledged or not) — an unacknowledged
+/// attempt may still have committed if the crash ate the acknowledgement,
+/// and the all-or-nothing classifier must be able to attribute it.
+pub fn hammer_pair_tagged(
+    db: &ShardedDb,
+    pair: (Key, Key),
+    tag: &[u8],
+    stop: &dyn Fn() -> bool,
+) -> (History, Vec<PairAttempt>) {
+    let (a, b) = pair;
+    let mut history = History::new();
+    let mut attempts = Vec::new();
+    let mut seq = 0u32;
+    while !stop() {
+        let Ok(mut txn) = db.begin() else {
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        };
+        // A virgin transaction may be transparently re-stamped; the first
+        // successful operation pins the id the tags must carry.
+        let Ok(seen) = txn.read(a) else {
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        };
+        let id = txn.id();
+        let mut record = TxnRecord::new(id);
+        record.read(a, seen);
+        let value_a = tag_value(id, seq, tag);
+        let value_b = tag_value(id, seq + 1, tag);
+        seq += 2;
+        record.write(a, value_a.clone());
+        if txn.write(a, value_a.clone()).is_err() {
+            record.abort();
+            history.push(record);
+            continue;
+        }
+        record.write(b, value_b.clone());
+        if txn.write(b, value_b.clone()).is_err() {
+            record.abort();
+            history.push(record);
+            continue;
+        }
+        let acked = matches!(txn.commit(), Ok(outcome) if outcome.is_committed());
+        if acked {
+            record.commit(record.id);
+        } else {
+            record.abort();
+        }
+        history.push(record);
+        attempts.push(PairAttempt {
+            value_a,
+            value_b,
+            acked,
+        });
+    }
+    (history, attempts)
+}
+
+/// Classifies a post-recovery observation of one hammered pair: the visible
+/// state must be the seed or exactly one attempt's pair (all-or-nothing per
+/// epoch), and no acknowledged attempt may be newer than it (acknowledged
+/// implies durable, and durability is in epoch order).  Returns the index
+/// of the visible attempt (`None` = seed).
+fn classify_hammered(
+    name: &str,
+    pair_name: &str,
+    observed: &(Option<Value>, Option<Value>),
+    old: &(Value, Value),
+    attempts: &[PairAttempt],
+) -> std::result::Result<Option<usize>, String> {
+    let (left, right) = observed;
+    let visible = if left.as_ref() == Some(&old.0) && right.as_ref() == Some(&old.1) {
+        None
+    } else {
+        match attempts.iter().position(|attempt| {
+            left.as_ref() == Some(&attempt.value_a) && right.as_ref() == Some(&attempt.value_b)
+        }) {
+            Some(index) => Some(index),
+            None => {
+                return Err(format!(
+                    "{name}: {pair_name} torn after recovery: left={left:?} right={right:?}"
+                ))
+            }
+        }
+    };
+    let last_acked = attempts.iter().rposition(|attempt| attempt.acked);
+    if let Some(last_acked) = last_acked {
+        if visible.is_none_or(|index| index < last_acked) {
+            return Err(format!(
+                "{name}: {pair_name} lost an acknowledged commit: visible {visible:?}, last \
+                 acked {last_acked}"
+            ));
+        }
+    }
+    Ok(visible)
+}
+
+/// Drives one overlapping-epoch crash case end to end: two hammer threads
+/// keep independent cross-shard pairs (both through the victim) hot so the
+/// crash lands with one epoch deciding and the next executing, then the
+/// victim recovers and the invariants are checked — all-or-nothing per
+/// epoch, acknowledged-implies-durable with in-epoch-order durability,
+/// recovery idempotence across both in-doubt epochs, serializability of the
+/// merged history, and full 2PC decision drain.
+pub fn run_overlap_crash_case(case: &OverlapCrashCase, seed: u64) -> Result<OverlapCrashReport> {
+    let violation = |msg: String| ObladiError::Internal(format!("[{}] {msg}", case.name));
+    let deployment = open_faulty_deployment(seed)?;
+    let db = &deployment.db;
+    let pair1 = cross_shard_pair(db);
+    let victim = if case.victim_second {
+        db.router().route(pair1.1)
+    } else {
+        db.router().route(pair1.0)
+    };
+    let pair2 = cross_shard_pair_through(db, victim, pair1.0.max(pair1.1) + 1);
+    let victim_fault = deployment.faults[victim].clone();
+    let mut history = History::new();
+
+    // Seed committed values on both pairs (no faults active yet).
+    let old1 = write_pair_tagged(db, pair1, &mut history, 200, &|| false)
+        .ok_or_else(|| violation("failed to seed pair 1".into()))?;
+    let old2 = write_pair_tagged(db, pair2, &mut history, 200, &|| false)
+        .ok_or_else(|| violation("failed to seed pair 2".into()))?;
+
+    // Arm the victim, then hammer both pairs concurrently into the crash.
+    victim_fault.set_plan(FaultPlan::crash_at(case.trigger));
+    let stop_fault = victim_fault.clone();
+    let stop = move || stop_fault.has_tripped();
+    let ((history1, attempts1), (history2, attempts2)) = std::thread::scope(|scope| {
+        let h2 = scope.spawn(|| hammer_pair_tagged(db, pair2, b"ovl2", &stop));
+        let r1 = hammer_pair_tagged(db, pair1, b"ovl1", &stop);
+        (r1, h2.join().expect("hammer thread panicked"))
+    });
+    history.extend(history1);
+    history.extend(history2);
+
+    wait_for(
+        "the victim shard to self-crash",
+        Duration::from_secs(20),
+        &|| db.is_shard_crashed(victim),
+    )?;
+
+    // Recover (faults off) and observe both pairs.
+    victim_fault.set_plan(FaultPlan::none());
+    let report = db.recover_shard(victim)?;
+    let observed1 = read_pair(db, pair1, &mut history)?;
+    let observed2 = read_pair(db, pair2, &mut history)?;
+    classify_hammered(case.name, "pair 1", &observed1, &old1, &attempts1).map_err(violation)?;
+    classify_hammered(case.name, "pair 2", &observed2, &old2, &attempts2).map_err(violation)?;
+
+    // Recovery idempotence across both in-doubt epochs: a second fault-free
+    // crash + recovery must land on the same state.
+    db.crash_shard(victim);
+    db.recover_shard(victim)?;
+    let observed1_again = read_pair(db, pair1, &mut history)?;
+    let observed2_again = read_pair(db, pair2, &mut history)?;
+    if observed1_again != observed1 || observed2_again != observed2 {
+        return Err(violation(format!(
+            "recovery not idempotent: {observed1:?}/{observed2:?} then \
+             {observed1_again:?}/{observed2_again:?}"
+        )));
+    }
+
+    // The whole observed history must be serializable.
+    check_serializable(&history)
+        .map_err(|violations| violation(format!("history not serializable: {violations:?}")))?;
+
+    // Every 2PC decision must eventually retire.
+    let drain_deadline = Instant::now() + Duration::from_secs(10);
+    while db.pending_decisions() != 0 && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    if db.pending_decisions() != 0 {
+        return Err(violation(format!(
+            "{} 2PC decisions never retired",
+            db.pending_decisions()
+        )));
+    }
+
+    db.shutdown();
+    Ok(OverlapCrashReport {
+        name: case.name,
+        in_doubt: report.in_doubt,
+        replayed_commits: report.replayed_commits,
+        epochs_replayed: report.epochs_replayed,
+        acked: [
+            attempts1.iter().filter(|a| a.acked).count(),
+            attempts2.iter().filter(|a| a.acked).count(),
+        ],
+        attempts: [attempts1.len(), attempts2.len()],
+    })
 }
 
 /// Drives one crash case end to end and checks every invariant (see the

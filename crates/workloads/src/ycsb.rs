@@ -106,7 +106,9 @@ impl Workload for YcsbWorkload {
         let mut start = 0u64;
         while start < self.config.num_keys {
             let end = (start + chunk).min(self.config.num_keys);
-            db.execute(&mut |txn: &mut dyn KvTransaction| {
+            // Retries absorb the retryable epoch-boundary aborts a sharded,
+            // pipelined deployment can hand a multi-shard load transaction.
+            db.execute_with_retries(100, &mut |txn: &mut dyn KvTransaction| {
                 for index in start..end {
                     write_row(txn, self.key_for(index), &self.value_row(index, 0))?;
                 }

@@ -10,17 +10,21 @@
 //!
 //! Run with `cargo run --example sharded_scaleout`.
 
+use obladi::common::rng::DetRng;
 use obladi::prelude::*;
 use std::collections::HashMap;
 use std::time::Duration;
 
 fn must_commit(db: &ShardedDb, body: &mut dyn FnMut(&mut ShardedTxn<'_>) -> Result<()>) {
-    for attempt in 0..50 {
-        // A short pause between attempts de-phases the retry from the epoch
-        // cycle (an attempt that hit the end-of-epoch window would otherwise
-        // tend to land there again).
+    // Pseudorandom pauses between attempts de-phase the retry from the
+    // epoch cycle: with the pipelined barrier, a cross-shard read needs
+    // every touched shard outside its deciding window at once, and a
+    // deterministic retry cadence can lock onto the epoch rhythm and hit
+    // the same window forever.
+    let mut jitter = DetRng::new(0x000b_1ad1);
+    for attempt in 0..100 {
         if attempt > 0 {
-            std::thread::sleep(Duration::from_millis(1 + attempt % 5));
+            std::thread::sleep(Duration::from_millis(1 + jitter.below(8)));
         }
         let mut txn = db.begin().expect("front door refused a transaction");
         match body(&mut txn) {

@@ -25,11 +25,14 @@ fn commit_with_retries(
     mut body: impl FnMut(&mut ShardedTxn<'_>) -> Result<()>,
 ) -> Result<TxnId> {
     let mut last_err = None;
-    for attempt in 0..50 {
+    let mut jitter = obladi::common::rng::DetRng::new(0x7e57_3a11);
+    for attempt in 0..100 {
         if attempt > 0 {
-            // Give a fresh epoch a moment to open so the retry budget is
-            // not burned inside a single clogged epoch under heavy load.
-            std::thread::sleep(Duration::from_millis(2));
+            // A jittered pause gives a fresh epoch a moment to open and
+            // de-phases the retry from the pipelined epoch rhythm (a
+            // cross-shard read needs every touched shard outside its
+            // deciding window at once).
+            std::thread::sleep(Duration::from_millis(1 + jitter.below(7)));
         }
         let mut txn = db.begin()?;
         match body(&mut txn) {

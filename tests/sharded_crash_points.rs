@@ -15,7 +15,9 @@
 //! participants and is exercised by the release chaos CI job
 //! (`cargo test --release -- --ignored`).
 
-use obladi_testkit::shard_chaos::{crash_schedule, run_shard_crash_case, Expected};
+use obladi_testkit::shard_chaos::{
+    crash_schedule, overlap_crash_schedule, run_overlap_crash_case, run_shard_crash_case, Expected,
+};
 
 fn run_case_by_name(name: &str, seed: u64) -> obladi_testkit::ShardCrashReport {
     let schedule = crash_schedule();
@@ -60,6 +62,51 @@ fn crash_after_full_durability_changes_nothing() {
     assert_eq!(
         report.replayed_commits, 0,
         "nothing is in doubt once the epoch is durable: {report:?}"
+    );
+}
+
+#[test]
+fn overlapping_epoch_crash_smoke() {
+    // Fast tier of the overlapping-epoch sweep: one crash point inside the
+    // decide/execute overlap window (pipelined epoch barrier).  The runner
+    // checks all-or-nothing per epoch, acknowledged-implies-durable with
+    // in-epoch-order durability, recovery idempotence across both in-doubt
+    // epochs, serializability, and 2PC decision drain.
+    let schedule = overlap_crash_schedule();
+    let case = schedule
+        .iter()
+        .find(|case| case.name == "deciding-while-next-reads/first")
+        .expect("the overlap schedule names its cases");
+    let report = run_overlap_crash_case(case, 0x0E0E).unwrap_or_else(|err| panic!("{err}"));
+    assert!(
+        report.attempts.iter().sum::<usize>() > 0,
+        "the hammers never drove a transaction: {report:?}"
+    );
+}
+
+#[test]
+#[ignore = "overlapping-epoch crash sweep (~8 deployments); run via the chaos CI job"]
+fn every_overlapping_epoch_crash_point_recovers_cleanly() {
+    let schedule = overlap_crash_schedule();
+    assert!(
+        schedule.len() >= 8,
+        "the overlap sweep must cover at least 8 crash points, got {}",
+        schedule.len()
+    );
+    let mut two_epoch_replays = 0u32;
+    for (index, case) in schedule.iter().enumerate() {
+        let report = run_overlap_crash_case(case, 0xBEEF ^ ((index as u64) << 5))
+            .unwrap_or_else(|err| panic!("{err}"));
+        if report.epochs_replayed >= 2 {
+            two_epoch_replays += 1;
+        }
+    }
+    // The sweep's reason to exist: at least one point must catch the crash
+    // with *both* pipeline stages holding logged work, so recovery proves
+    // it can resolve two in-doubt epochs in order.
+    assert!(
+        two_epoch_replays > 0,
+        "no case caught both in-doubt epochs; the overlap window was never hit"
     );
 }
 
