@@ -11,12 +11,10 @@
 
 use crate::harness::{fmt1, print_header, print_row};
 use crate::opts::BenchOpts;
-use obladi_common::config::{BackendKind, ObladiConfig, ShardConfig};
-use obladi_common::latency::{LatencyModel, LatencyProfile};
+use crate::profiles::StorageProfile;
+use obladi_common::config::{ObladiConfig, ShardConfig};
 use obladi_shard::ShardedDb;
-use obladi_storage::{InMemoryStore, LatencyStore, UntrustedStore};
 use obladi_workloads::{run_deployment, YcsbConfig, YcsbWorkload};
-use std::sync::Arc;
 use std::time::Duration;
 
 /// Shard counts swept by the experiment (1 = unsharded baseline topology).
@@ -76,8 +74,12 @@ pub fn run_fig_shard(opts: &BenchOpts) {
             let config = ShardConfig {
                 shards,
                 shard: shard_template(opts),
+                ..ShardConfig::default()
             };
-            let db = match ShardedDb::open(config) {
+            let built = StorageProfile::Memory
+                .build(shards, opts.seed)
+                .expect("memory profile cannot fail");
+            let db = match ShardedDb::open_with_stores(config, built.stores.clone()) {
                 Ok(db) => db,
                 Err(err) => {
                     print_row(&[
@@ -118,40 +120,27 @@ pub fn run_fig_shard(opts: &BenchOpts) {
     }
 }
 
-/// A storage latency shape for the pipeline experiment: the per-shard
-/// profile as a function of the shard index.
-type ProfileShape = (&'static str, fn(usize) -> Option<LatencyProfile>);
-
-fn flat(read_write_us: u64) -> LatencyProfile {
-    let mut profile = LatencyProfile::for_backend(BackendKind::Dummy);
-    profile.read = LatencyModel::with_mean(Duration::from_micros(read_write_us));
-    profile.write = LatencyModel::with_mean(Duration::from_micros(read_write_us));
-    profile
-}
-
-/// Storage latency shapes swept by the pipeline experiment.  The uniform
-/// shapes measure the pipeline's cost side (the ORAM client serialises a
-/// shard's own reads against its own write-back, so homogeneous shards gain
-/// little period); the skewed shape measures its win side: one slow shard
-/// holds the rendezvous open, and at depth 2 the fast shards' next-epoch
-/// reads run inside that window instead of parking.
-fn pipeline_profiles() -> Vec<ProfileShape> {
+/// Storage shapes swept by the pipeline experiment (from the shared
+/// [`StorageProfile`] catalogue).  The uniform shapes measure the
+/// pipeline's cost side (the ORAM client serialises a shard's own reads
+/// against its own write-back, so homogeneous shards gain little period);
+/// the skewed shape measures its win side: one slow shard holds the
+/// rendezvous open, and at depth 2 the fast shards' next-epoch reads run
+/// inside that window instead of parking.
+fn pipeline_profiles() -> Vec<StorageProfile> {
     vec![
-        ("memory", |_| None),
-        ("uniform250us", |_| Some(flat(250))),
-        ("skew-1of3-2ms", |index| {
-            (index == 2).then(|| {
-                let mut profile = flat(0);
-                profile.read = LatencyModel::with_mean(Duration::from_millis(2));
-                profile
-            })
-        }),
+        StorageProfile::Memory,
+        StorageProfile::UniformLatency(Duration::from_micros(250)),
+        StorageProfile::OneSlowShard {
+            shard: 2,
+            read_latency: Duration::from_millis(2),
+        },
     ]
 }
 
 /// One measured cell of the pipeline sweep.
 struct PipelineCell {
-    profile: &'static str,
+    profile: String,
     mix: &'static str,
     depth: u32,
     committed_per_s: f64,
@@ -192,31 +181,23 @@ pub fn run_fig_shard_pipeline(opts: &BenchOpts) {
             zipf_theta: 0.6,
             value_size: 64,
         });
-        for (profile_name, profile_for) in pipeline_profiles() {
+        for profile in pipeline_profiles() {
+            let profile_name = profile.name();
             for depth in [1u32, 2] {
                 let mut config = ShardConfig {
                     shards,
                     shard: shard_template(opts),
+                    ..ShardConfig::default()
                 };
                 config.shard.epoch.pipeline_depth = depth;
-                let stores: Vec<Arc<dyn UntrustedStore>> = (0..shards)
-                    .map(|index| {
-                        let base: Arc<dyn UntrustedStore> = Arc::new(InMemoryStore::new());
-                        match profile_for(index) {
-                            Some(profile) => Arc::new(LatencyStore::new(
-                                base,
-                                profile,
-                                opts.seed ^ (index as u64 + 1),
-                            )),
-                            None => base,
-                        }
-                    })
-                    .collect();
-                let db = match ShardedDb::open_with_stores(config, stores) {
+                let built = profile
+                    .build(shards, opts.seed)
+                    .expect("in-process profiles cannot fail");
+                let db = match ShardedDb::open_with_stores(config, built.stores.clone()) {
                     Ok(db) => db,
                     Err(err) => {
                         print_row(&[
-                            profile_name.to_string(),
+                            profile_name.clone(),
                             mix.to_string(),
                             depth.to_string(),
                             format!("failed: {err}"),
@@ -242,7 +223,7 @@ pub fn run_fig_shard_pipeline(opts: &BenchOpts) {
                     opts.duration.as_secs_f64() * 1000.0 / sharded.global_epochs as f64
                 };
                 print_row(&[
-                    profile_name.to_string(),
+                    profile_name.clone(),
                     mix.to_string(),
                     depth.to_string(),
                     fmt1(stats.throughput()),
@@ -251,7 +232,7 @@ pub fn run_fig_shard_pipeline(opts: &BenchOpts) {
                     format!("{epoch_period_ms:.2}"),
                 ]);
                 cells.push(PipelineCell {
-                    profile: profile_name,
+                    profile: profile_name.clone(),
                     mix,
                     depth,
                     committed_per_s: stats.throughput(),
@@ -260,6 +241,7 @@ pub fn run_fig_shard_pipeline(opts: &BenchOpts) {
                     epoch_period_ms,
                 });
                 db.shutdown();
+                built.shutdown();
             }
         }
     }

@@ -20,8 +20,10 @@ pub mod fig09;
 pub mod fig10;
 pub mod fig11;
 pub mod fig_shard;
+pub mod fig_transport;
 pub mod harness;
 pub mod opts;
+pub mod profiles;
 
 pub use harness::{print_header, print_row};
 pub use opts::BenchOpts;

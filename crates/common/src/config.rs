@@ -432,6 +432,39 @@ impl Default for ObladiConfig {
     }
 }
 
+/// Where a sharded deployment's untrusted storage servers live.
+///
+/// Obladi's trust model is a trusted proxy talking to *untrusted cloud
+/// storage across a network* (§5).  The reproduction can host that storage
+/// three ways, trading fidelity against convenience:
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorageBackend {
+    /// Storage lives in the proxy's own process as a trait object (the
+    /// seed deployment shape).  Fastest, but the proxy↔storage boundary is
+    /// only a trait, not a trust boundary.
+    InProcess,
+    /// Each shard's storage is an `obladi-stored` daemon process the
+    /// deployment spawns, supervises and (on request) kills and respawns.
+    /// Requests cross a Unix-domain socket with framed, pipelined RPC —
+    /// the first real multi-machine-shaped boundary.
+    RemoteSpawned,
+    /// Each shard's storage is an already-running daemon at the given
+    /// address (`unix:/path/to.sock` or `tcp:host:port`); one address per
+    /// shard.  The deployment connects but does not supervise.
+    RemoteAddr(Vec<String>),
+}
+
+impl StorageBackend {
+    /// Human-readable name for logs and benchmark rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StorageBackend::InProcess => "in-process",
+            StorageBackend::RemoteSpawned => "remote-spawned",
+            StorageBackend::RemoteAddr(_) => "remote-addr",
+        }
+    }
+}
+
 /// Configuration of a sharded deployment: `shards` fully independent
 /// proxy+ORAM pipelines behind one transactional front door (`obladi-shard`).
 ///
@@ -450,6 +483,16 @@ pub struct ShardConfig {
     /// `shard.oram.num_objects` is the capacity of *one* shard, so a
     /// deployment holds `shards * num_objects` objects in total.
     pub shard: ObladiConfig,
+    /// Where the shards' untrusted storage servers live.
+    pub storage: StorageBackend,
+    /// Per-shard executor pool sizes overriding the template's
+    /// `epoch.executor_threads`: entry `i` sizes shard `i`'s ORAM executor
+    /// pool (`0` = use the template).  Empty means every shard uses the
+    /// template.  Lets a deployment give a hot or latency-bound shard more
+    /// I/O parallelism without inflating the others; each shard's decider
+    /// remains a single dedicated thread by design (its work is the ordered
+    /// epoch decision, which does not fan out).
+    pub executor_threads_per_shard: Vec<usize>,
 }
 
 impl ShardConfig {
@@ -459,11 +502,14 @@ impl ShardConfig {
         ShardConfig {
             shards,
             shard: ObladiConfig::small_for_tests(objects_per_shard),
+            storage: StorageBackend::InProcess,
+            executor_threads_per_shard: Vec::new(),
         }
     }
 
     /// Derives the configuration of shard `index`: the template with a
-    /// per-shard seed, so randomness streams are independent across shards.
+    /// per-shard seed (so randomness streams are independent across shards)
+    /// and, when configured, the shard's own executor pool size.
     pub fn shard_config(&self, index: usize) -> ObladiConfig {
         let mut config = self.shard.clone();
         // SplitMix64-style mixing keeps per-shard seeds independent even for
@@ -471,7 +517,25 @@ impl ShardConfig {
         let mut x = (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         config.seed = self.shard.seed ^ x;
+        if let Some(&threads) = self.executor_threads_per_shard.get(index) {
+            if threads > 0 {
+                config.epoch.executor_threads = threads;
+            }
+        }
         config
+    }
+
+    /// Sets the storage backend placement.
+    pub fn with_storage(mut self, storage: StorageBackend) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Sets per-shard executor pool sizes (see
+    /// [`ShardConfig::executor_threads_per_shard`]).
+    pub fn with_executor_threads_per_shard(mut self, threads: Vec<usize>) -> Self {
+        self.executor_threads_per_shard = threads;
+        self
     }
 
     /// Validates the shard count and the per-shard template.
@@ -487,6 +551,25 @@ impl ShardConfig {
                 self.shards
             )));
         }
+        if let StorageBackend::RemoteAddr(addrs) = &self.storage {
+            if addrs.len() != self.shards {
+                return Err(ObladiError::Config(format!(
+                    "{} storage addresses supplied for {} shards",
+                    addrs.len(),
+                    self.shards
+                )));
+            }
+        }
+        if !self.executor_threads_per_shard.is_empty()
+            && self.executor_threads_per_shard.len() != self.shards
+        {
+            return Err(ObladiError::Config(format!(
+                "{} per-shard executor sizes supplied for {} shards \
+                 (must be empty or one per shard)",
+                self.executor_threads_per_shard.len(),
+                self.shards
+            )));
+        }
         self.shard.validate()
     }
 }
@@ -496,6 +579,8 @@ impl Default for ShardConfig {
         ShardConfig {
             shards: 4,
             shard: ObladiConfig::default(),
+            storage: StorageBackend::InProcess,
+            executor_threads_per_shard: Vec::new(),
         }
     }
 }
@@ -572,6 +657,32 @@ mod tests {
         bad.shards = 0;
         assert!(bad.validate().is_err());
         ShardConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn per_shard_executor_sizing_applies_and_validates() {
+        let cfg =
+            ShardConfig::small_for_tests(3, 256).with_executor_threads_per_shard(vec![0, 5, 9]);
+        cfg.validate().unwrap();
+        let template = cfg.shard.epoch.executor_threads;
+        assert_eq!(cfg.shard_config(0).epoch.executor_threads, template);
+        assert_eq!(cfg.shard_config(1).epoch.executor_threads, 5);
+        assert_eq!(cfg.shard_config(2).epoch.executor_threads, 9);
+
+        let bad = ShardConfig::small_for_tests(3, 256).with_executor_threads_per_shard(vec![1, 2]);
+        assert!(bad.validate().is_err(), "length mismatch must fail");
+    }
+
+    #[test]
+    fn storage_backend_validates_address_count() {
+        let cfg = ShardConfig::small_for_tests(2, 256)
+            .with_storage(StorageBackend::RemoteAddr(vec!["unix:/tmp/a.sock".into()]));
+        assert!(cfg.validate().is_err(), "one address for two shards");
+        let cfg = ShardConfig::small_for_tests(1, 256)
+            .with_storage(StorageBackend::RemoteAddr(vec!["unix:/tmp/a.sock".into()]));
+        cfg.validate().unwrap();
+        assert_eq!(StorageBackend::InProcess.name(), "in-process");
+        assert_eq!(StorageBackend::RemoteSpawned.name(), "remote-spawned");
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use crate::coordinator::{EpochCoordinator, ShardGate, TxnDecision};
 use crate::oracle::TimestampOracle;
 use crate::router::ShardRouter;
-use obladi_common::config::ShardConfig;
+use obladi_common::config::{ShardConfig, StorageBackend};
 use obladi_common::error::{ObladiError, Result};
 use obladi_common::types::{AbortReason, Key, TxnId, TxnOutcome, Value};
 use obladi_core::durability::RecoveryReport;
@@ -31,8 +31,10 @@ use obladi_core::proxy::{ObladiDb, ObladiTxn, ProxyStats};
 use obladi_core::{KvDatabase, KvTransaction};
 use obladi_crypto::KeyMaterial;
 use obladi_storage::{build_backend, TrustedCounter, UntrustedStore};
+use obladi_transport::{RemoteStore, SocketSpec, StorageSupervisor};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Aggregate statistics of a sharded deployment.
 #[derive(Debug, Clone, Default)]
@@ -57,6 +59,9 @@ impl ShardedStats {
     }
 }
 
+/// How long remote-storage connects wait for a daemon to become ready.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// A sharded Obladi deployment behind a single transactional front door.
 pub struct ShardedDb {
     shards: Vec<ObladiDb>,
@@ -67,24 +72,62 @@ pub struct ShardedDb {
     committed: AtomicU64,
     aborted: AtomicU64,
     cross_shard_committed: AtomicU64,
+    /// Owns the `obladi-stored` daemon processes when the deployment was
+    /// opened with [`StorageBackend::RemoteSpawned`].
+    supervisor: Option<StorageSupervisor>,
 }
 
 impl ShardedDb {
-    /// Opens `config.shards` independent proxies behind one front door.
+    /// Opens `config.shards` independent proxies behind one front door,
+    /// placing each shard's storage as `config.storage` directs:
+    ///
+    /// * [`StorageBackend::InProcess`] — trait-object stores in this
+    ///   process (the seed deployment shape);
+    /// * [`StorageBackend::RemoteSpawned`] — one `obladi-stored` daemon
+    ///   process per shard, spawned and supervised by the deployment, each
+    ///   shard's ORAM pipeline talking framed RPC over its own socket;
+    /// * [`StorageBackend::RemoteAddr`] — daemons already running at the
+    ///   given addresses (one per shard), connected to but not supervised.
     pub fn open(config: ShardConfig) -> Result<ShardedDb> {
-        // Validation happens in open_with_stores; shard_config only needs
-        // the (structurally valid either way) per-shard template.
-        let stores = (0..config.shards)
-            .map(|index| {
-                let shard_config = config.shard_config(index);
-                build_backend(
-                    shard_config.backend,
-                    shard_config.latency_scale,
-                    shard_config.seed,
-                )
-            })
-            .collect();
-        ShardedDb::open_with_stores(config, stores)
+        config.validate()?;
+        match config.storage.clone() {
+            StorageBackend::InProcess => {
+                let stores = (0..config.shards)
+                    .map(|index| {
+                        let shard_config = config.shard_config(index);
+                        build_backend(
+                            shard_config.backend,
+                            shard_config.latency_scale,
+                            shard_config.seed,
+                        )
+                    })
+                    .collect();
+                ShardedDb::open_with_stores(config, stores)
+            }
+            StorageBackend::RemoteSpawned => {
+                let supervisor = StorageSupervisor::spawn(config.shards)?;
+                let stores = (0..config.shards)
+                    .map(|index| {
+                        RemoteStore::connect(supervisor.addr(index), CONNECT_TIMEOUT)
+                            .map(|store| Arc::new(store) as Arc<dyn UntrustedStore>)
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let mut db = ShardedDb::open_with_stores(config, stores)?;
+                db.supervisor = Some(supervisor);
+                Ok(db)
+            }
+            StorageBackend::RemoteAddr(addrs) => {
+                let stores = addrs
+                    .iter()
+                    .map(|addr| {
+                        let spec = SocketSpec::parse(addr)?;
+                        RemoteStore::connect(spec, CONNECT_TIMEOUT)
+                            .map(|store| Arc::new(store) as Arc<dyn UntrustedStore>)
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                ShardedDb::open_with_stores(config, stores)
+            }
+        }
     }
 
     /// Opens the deployment over caller-supplied per-shard storage backends.
@@ -124,6 +167,7 @@ impl ShardedDb {
             committed: AtomicU64::new(0),
             aborted: AtomicU64::new(0),
             cross_shard_committed: AtomicU64::new(0),
+            supervisor: None,
         })
     }
 
@@ -250,11 +294,56 @@ impl ShardedDb {
         self.shards[index].is_crashed()
     }
 
-    /// Stops every shard's epoch driver and the coordinator.
+    /// Whether this deployment supervises its own storage daemons
+    /// (`StorageBackend::RemoteSpawned`).
+    pub fn has_storage_supervisor(&self) -> bool {
+        self.supervisor.is_some()
+    }
+
+    /// OS process id of shard `index`'s storage daemon, when supervised
+    /// and running.
+    pub fn storage_daemon_pid(&self, index: usize) -> Option<u32> {
+        self.supervisor.as_ref().and_then(|s| s.pid(index))
+    }
+
+    /// `SIGKILL`s shard `index`'s storage daemon — no flush, no goodbye.
+    ///
+    /// The shard's next storage operation fails, and the proxy fate-shares
+    /// the fault into a shard crash; once the daemon is respawned
+    /// ([`ShardedDb::respawn_shard_storage`]), [`ShardedDb::recover_shard`]
+    /// replays the WAL over the daemon's op-log-restored state.  Only
+    /// available on `RemoteSpawned` deployments.
+    pub fn kill_shard_storage(&self, index: usize) -> Result<()> {
+        match &self.supervisor {
+            Some(supervisor) => supervisor.kill(index),
+            None => Err(ObladiError::Config(
+                "storage daemons are not supervised by this deployment".into(),
+            )),
+        }
+    }
+
+    /// Respawns shard `index`'s storage daemon over its existing data
+    /// directory and waits for it to become ready.
+    pub fn respawn_shard_storage(&self, index: usize) -> Result<()> {
+        match &self.supervisor {
+            Some(supervisor) => supervisor.respawn(index),
+            None => Err(ObladiError::Config(
+                "storage daemons are not supervised by this deployment".into(),
+            )),
+        }
+    }
+
+    /// Stops every shard's epoch driver, the coordinator and (when
+    /// supervised) the storage daemons.
     pub fn shutdown(&self) {
         self.coordinator.shutdown();
         for shard in &self.shards {
             shard.shutdown();
+        }
+        // Daemons stop last: the epoch drivers above may still be flushing
+        // their final write-backs through the sockets.
+        if let Some(supervisor) = &self.supervisor {
+            supervisor.stop_all();
         }
     }
 

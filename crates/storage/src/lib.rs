@@ -15,7 +15,11 @@
 //!   exercise integrity verification and retry paths;
 //! * [`wal::WriteAheadLog`] — sequence-numbered append-only log storage;
 //! * [`counter::TrustedCounter`] — the persistent epoch/read-batch counter
-//!   `F_epc` of Appendix A/B that survives proxy crashes.
+//!   `F_epc` of Appendix A/B that survives proxy crashes;
+//! * [`proto`] — the wire schema of every store operation, shared by the
+//!   `obladi-transport` RPC layer and the `obladi-stored` daemon's op-log;
+//! * [`disk::DurableStore`] — the daemon-side crash-safe store (in-memory
+//!   state rebuilt from a checksummed, torn-tail-tolerant op-log).
 //!
 //! Everything stored here is opaque bytes: encryption, MACs and padding are
 //! applied by the proxy (`obladi-crypto::Envelope`) *before* data reaches
@@ -24,16 +28,20 @@
 #![warn(missing_docs)]
 
 pub mod counter;
+pub mod disk;
 pub mod faulty;
 pub mod latency;
 pub mod memory;
+pub mod proto;
 pub mod traits;
 pub mod wal;
 
 pub use counter::TrustedCounter;
+pub use disk::{DurableStore, ReplaySummary};
 pub use faulty::{CrashOp, CrashPoint, FaultPlan, FaultyStore};
 pub use latency::LatencyStore;
 pub use memory::InMemoryStore;
+pub use proto::{StoreRequest, StoreResponse, WireError, WireErrorKind};
 pub use traits::{BucketSnapshot, StoreStats, UntrustedStore};
 pub use wal::WriteAheadLog;
 

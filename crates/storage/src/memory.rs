@@ -200,6 +200,28 @@ impl UntrustedStore for InMemoryStore {
         Ok(records)
     }
 
+    fn read_log_page(&self, from: u64, max_bytes: usize) -> Result<(Vec<(u64, Bytes)>, bool)> {
+        // Bounded scan: clone only the page, not the whole log suffix —
+        // paged recovery over the wire stays linear in the log size.
+        self.meta_reads.fetch_add(1, Ordering::Relaxed);
+        let log = self.log.lock();
+        let mut records = Vec::new();
+        let mut budget = max_bytes;
+        let mut truncated = false;
+        for (seq, data) in log.range(from..) {
+            let cost = 12 + data.len();
+            if !records.is_empty() && cost > budget {
+                truncated = true;
+                break;
+            }
+            budget = budget.saturating_sub(cost);
+            records.push((*seq, data.clone()));
+        }
+        let total: usize = records.iter().map(|(_, d)| d.len()).sum();
+        self.bytes_read.fetch_add(total as u64, Ordering::Relaxed);
+        Ok((records, truncated))
+    }
+
     fn truncate_log(&self, up_to: u64) -> Result<()> {
         let mut log = self.log.lock();
         let keep = log.split_off(&up_to);

@@ -1,0 +1,754 @@
+//! Wire schema of the untrusted-storage RPC: every [`UntrustedStore`]
+//! operation as a self-describing message.
+//!
+//! The paper's proxy talks to cloud storage over a network; this module
+//! defines *what* crosses that wire.  `obladi-transport` frames these
+//! messages onto sockets, and the `obladi-stored` daemon's durable op-log
+//! persists the mutating subset verbatim — one encoding, three uses.
+//!
+//! The encoding is deliberately hand-rolled (the workspace's serde is a
+//! vendored no-op shim) and versioned at the *connection* level by the
+//! transport handshake, not per message: a connection only ever carries one
+//! protocol version.  All integers are little-endian; byte strings and
+//! lists are length-prefixed.  Decoding is strict — trailing garbage,
+//! truncated fields and unknown tags are `Codec` errors, never silently
+//! tolerated, because a desynchronised stream to an *untrusted* server must
+//! fail loudly rather than deliver attacker-shaped frames.
+
+use crate::traits::{BucketSnapshot, StoreStats};
+use bytes::Bytes;
+use obladi_common::error::{ObladiError, Result};
+use obladi_common::types::{BucketId, Version};
+
+/// Upper bound on any single length field (64 MiB): a malicious or corrupt
+/// peer must not be able to make the decoder allocate unbounded memory.
+pub const MAX_WIRE_LEN: usize = 64 << 20;
+
+/// One request against the untrusted store, mirroring
+/// [`UntrustedStore`](crate::UntrustedStore) method for method, plus the
+/// connection-management operations the daemon needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreRequest {
+    /// `read_slot(bucket, slot)`.
+    ReadSlot {
+        /// Bucket to read.
+        bucket: BucketId,
+        /// Slot index within the bucket.
+        slot: u32,
+    },
+    /// `read_bucket(bucket)`.
+    ReadBucket {
+        /// Bucket to read.
+        bucket: BucketId,
+    },
+    /// `write_bucket(bucket, slots)`.
+    WriteBucket {
+        /// Bucket to replace.
+        bucket: BucketId,
+        /// New sealed slot payloads.
+        slots: Vec<Bytes>,
+    },
+    /// `bucket_version(bucket)`.
+    BucketVersion {
+        /// Bucket to query.
+        bucket: BucketId,
+    },
+    /// `revert_bucket(bucket, version)` (shadow paging).
+    RevertBucket {
+        /// Bucket to revert.
+        bucket: BucketId,
+        /// Version to revert to.
+        version: Version,
+    },
+    /// `put_meta(key, value)`.
+    PutMeta {
+        /// Metadata key.
+        key: String,
+        /// Metadata value.
+        value: Bytes,
+    },
+    /// `get_meta(key)`.
+    GetMeta {
+        /// Metadata key.
+        key: String,
+    },
+    /// `append_log(record)` (WAL append).
+    AppendLog {
+        /// Record payload.
+        record: Bytes,
+    },
+    /// `read_log_from(from)` (WAL read).
+    ReadLogFrom {
+        /// First sequence number to return.
+        from: u64,
+    },
+    /// `truncate_log(up_to)` (WAL checkpoint truncation).
+    TruncateLog {
+        /// Records below this sequence number are dropped.
+        up_to: u64,
+    },
+    /// `truncate_log_tail(from)` (torn-tail retirement).
+    TruncateLogTail {
+        /// Records at or above this sequence number are dropped.
+        from: u64,
+    },
+    /// `stats()`.
+    Stats,
+    /// `reset_stats()`.
+    ResetStats,
+    /// Liveness / readiness probe; the daemon answers with its protocol
+    /// version.
+    Ping,
+    /// Graceful daemon shutdown: the server acknowledges, flushes its
+    /// durable state and exits.
+    Shutdown,
+}
+
+impl StoreRequest {
+    /// The request's opcode tag (also carried in the transport frame
+    /// header so the two can be cross-checked against desync).
+    pub fn opcode(&self) -> u8 {
+        match self {
+            StoreRequest::ReadSlot { .. } => 0x01,
+            StoreRequest::ReadBucket { .. } => 0x02,
+            StoreRequest::WriteBucket { .. } => 0x03,
+            StoreRequest::BucketVersion { .. } => 0x04,
+            StoreRequest::RevertBucket { .. } => 0x05,
+            StoreRequest::PutMeta { .. } => 0x06,
+            StoreRequest::GetMeta { .. } => 0x07,
+            StoreRequest::AppendLog { .. } => 0x08,
+            StoreRequest::ReadLogFrom { .. } => 0x09,
+            StoreRequest::TruncateLog { .. } => 0x0A,
+            StoreRequest::TruncateLogTail { .. } => 0x0B,
+            StoreRequest::Stats => 0x0C,
+            StoreRequest::ResetStats => 0x0D,
+            StoreRequest::Ping => 0x0E,
+            StoreRequest::Shutdown => 0x0F,
+        }
+    }
+
+    /// Whether the operation changes state the daemon must make durable
+    /// before acknowledging (the op-log persistence criterion).
+    pub fn is_mutation(&self) -> bool {
+        matches!(
+            self,
+            StoreRequest::WriteBucket { .. }
+                | StoreRequest::RevertBucket { .. }
+                | StoreRequest::PutMeta { .. }
+                | StoreRequest::AppendLog { .. }
+                | StoreRequest::TruncateLog { .. }
+                | StoreRequest::TruncateLogTail { .. }
+        )
+    }
+
+    /// Encodes the request (opcode byte followed by its fields).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16);
+        buf.push(self.opcode());
+        match self {
+            StoreRequest::ReadSlot { bucket, slot } => {
+                put_u64(&mut buf, *bucket);
+                put_u32(&mut buf, *slot);
+            }
+            StoreRequest::ReadBucket { bucket } => put_u64(&mut buf, *bucket),
+            StoreRequest::WriteBucket { bucket, slots } => {
+                put_u64(&mut buf, *bucket);
+                put_u32(&mut buf, slots.len() as u32);
+                for slot in slots {
+                    put_bytes(&mut buf, slot);
+                }
+            }
+            StoreRequest::BucketVersion { bucket } => put_u64(&mut buf, *bucket),
+            StoreRequest::RevertBucket { bucket, version } => {
+                put_u64(&mut buf, *bucket);
+                put_u64(&mut buf, *version);
+            }
+            StoreRequest::PutMeta { key, value } => {
+                put_bytes(&mut buf, key.as_bytes());
+                put_bytes(&mut buf, value);
+            }
+            StoreRequest::GetMeta { key } => put_bytes(&mut buf, key.as_bytes()),
+            StoreRequest::AppendLog { record } => put_bytes(&mut buf, record),
+            StoreRequest::ReadLogFrom { from } => put_u64(&mut buf, *from),
+            StoreRequest::TruncateLog { up_to } => put_u64(&mut buf, *up_to),
+            StoreRequest::TruncateLogTail { from } => put_u64(&mut buf, *from),
+            StoreRequest::Stats
+            | StoreRequest::ResetStats
+            | StoreRequest::Ping
+            | StoreRequest::Shutdown => {}
+        }
+        buf
+    }
+
+    /// Decodes a request; the whole buffer must be consumed.
+    pub fn decode(data: &[u8]) -> Result<StoreRequest> {
+        let mut reader = Reader::new(data);
+        let opcode = reader.u8()?;
+        let request = match opcode {
+            0x01 => StoreRequest::ReadSlot {
+                bucket: reader.u64()?,
+                slot: reader.u32()?,
+            },
+            0x02 => StoreRequest::ReadBucket {
+                bucket: reader.u64()?,
+            },
+            0x03 => {
+                let bucket = reader.u64()?;
+                let count = reader.list_len(4)?;
+                let mut slots = Vec::with_capacity(count);
+                for _ in 0..count {
+                    slots.push(reader.bytes()?);
+                }
+                StoreRequest::WriteBucket { bucket, slots }
+            }
+            0x04 => StoreRequest::BucketVersion {
+                bucket: reader.u64()?,
+            },
+            0x05 => StoreRequest::RevertBucket {
+                bucket: reader.u64()?,
+                version: reader.u64()?,
+            },
+            0x06 => StoreRequest::PutMeta {
+                key: reader.string()?,
+                value: reader.bytes()?,
+            },
+            0x07 => StoreRequest::GetMeta {
+                key: reader.string()?,
+            },
+            0x08 => StoreRequest::AppendLog {
+                record: reader.bytes()?,
+            },
+            0x09 => StoreRequest::ReadLogFrom {
+                from: reader.u64()?,
+            },
+            0x0A => StoreRequest::TruncateLog {
+                up_to: reader.u64()?,
+            },
+            0x0B => StoreRequest::TruncateLogTail {
+                from: reader.u64()?,
+            },
+            0x0C => StoreRequest::Stats,
+            0x0D => StoreRequest::ResetStats,
+            0x0E => StoreRequest::Ping,
+            0x0F => StoreRequest::Shutdown,
+            other => {
+                return Err(ObladiError::Codec(format!(
+                    "unknown store request opcode 0x{other:02X}"
+                )))
+            }
+        };
+        reader.finish()?;
+        Ok(request)
+    }
+}
+
+/// One response from the untrusted store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreResponse {
+    /// Slot payload (`read_slot`).
+    Slot(Bytes),
+    /// Bucket snapshot (`read_bucket`).
+    Bucket(BucketSnapshot),
+    /// A version number (`write_bucket`, `bucket_version`).
+    Version(Version),
+    /// Success with no payload (`revert_bucket`, `put_meta`, truncations,
+    /// `reset_stats`, `shutdown`).
+    Unit,
+    /// Metadata value, if present (`get_meta`).
+    MetaValue(Option<Bytes>),
+    /// Assigned log sequence number (`append_log`).
+    LogSeq(u64),
+    /// Log records (`read_log_from`).  `truncated` means the server hit
+    /// its per-response byte budget and the client must re-issue the read
+    /// from the last returned sequence number + 1 — a WAL that outgrew a
+    /// single frame must page, not collapse the connection against the
+    /// decoder's frame-size bound.
+    LogRecords {
+        /// The records, in sequence order.
+        records: Vec<(u64, Bytes)>,
+        /// Whether more records exist beyond this page.
+        truncated: bool,
+    },
+    /// Operation counters (`stats`).
+    Stats(StoreStats),
+    /// Liveness reply carrying the daemon's protocol version (`ping`).
+    Pong(u16),
+    /// The operation failed on the server; carries the re-hydratable error.
+    Err(WireError),
+}
+
+/// A storage-server error flattened for the wire and re-hydrated client
+/// side into the matching [`ObladiError`] variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Which [`ObladiError`] variant this maps to.
+    pub kind: WireErrorKind,
+    /// Human-readable context.
+    pub message: String,
+}
+
+/// Error variants that can legitimately originate on the storage server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireErrorKind {
+    /// Maps to [`ObladiError::Storage`].
+    Storage,
+    /// Maps to [`ObladiError::Codec`].
+    Codec,
+    /// Maps to [`ObladiError::Internal`].
+    Internal,
+}
+
+impl WireError {
+    /// Flattens an error for the wire.  Everything that is not obviously a
+    /// codec or internal fault is reported as a storage fault — from the
+    /// proxy's point of view the daemon *is* the storage.
+    pub fn from_error(err: &ObladiError) -> WireError {
+        let (kind, message) = match err {
+            ObladiError::Storage(msg) => (WireErrorKind::Storage, msg.clone()),
+            ObladiError::Codec(msg) => (WireErrorKind::Codec, msg.clone()),
+            ObladiError::Internal(msg) => (WireErrorKind::Internal, msg.clone()),
+            other => (WireErrorKind::Storage, other.to_string()),
+        };
+        WireError { kind, message }
+    }
+
+    /// Re-hydrates the error client side.
+    pub fn into_error(self) -> ObladiError {
+        match self.kind {
+            WireErrorKind::Storage => ObladiError::Storage(self.message),
+            WireErrorKind::Codec => ObladiError::Codec(self.message),
+            WireErrorKind::Internal => ObladiError::Internal(self.message),
+        }
+    }
+
+    fn kind_tag(&self) -> u8 {
+        match self.kind {
+            WireErrorKind::Storage => 0,
+            WireErrorKind::Codec => 1,
+            WireErrorKind::Internal => 2,
+        }
+    }
+
+    fn kind_from_tag(tag: u8) -> Result<WireErrorKind> {
+        match tag {
+            0 => Ok(WireErrorKind::Storage),
+            1 => Ok(WireErrorKind::Codec),
+            2 => Ok(WireErrorKind::Internal),
+            other => Err(ObladiError::Codec(format!(
+                "unknown wire error kind {other}"
+            ))),
+        }
+    }
+}
+
+impl StoreResponse {
+    /// The response's tag byte.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            StoreResponse::Slot(_) => 0x81,
+            StoreResponse::Bucket(_) => 0x82,
+            StoreResponse::Version(_) => 0x83,
+            StoreResponse::Unit => 0x84,
+            StoreResponse::MetaValue(_) => 0x85,
+            StoreResponse::LogSeq(_) => 0x86,
+            StoreResponse::LogRecords { .. } => 0x87,
+            StoreResponse::Stats(_) => 0x88,
+            StoreResponse::Pong(_) => 0x89,
+            StoreResponse::Err(_) => 0xFF,
+        }
+    }
+
+    /// Encodes the response (tag byte followed by its fields).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16);
+        buf.push(self.opcode());
+        match self {
+            StoreResponse::Slot(data) => put_bytes(&mut buf, data),
+            StoreResponse::Bucket(snapshot) => {
+                put_u64(&mut buf, snapshot.version);
+                put_u32(&mut buf, snapshot.slots.len() as u32);
+                for slot in &snapshot.slots {
+                    put_bytes(&mut buf, slot);
+                }
+            }
+            StoreResponse::Version(version) => put_u64(&mut buf, *version),
+            StoreResponse::Unit => {}
+            StoreResponse::MetaValue(value) => match value {
+                Some(value) => {
+                    buf.push(1);
+                    put_bytes(&mut buf, value);
+                }
+                None => buf.push(0),
+            },
+            StoreResponse::LogSeq(seq) => put_u64(&mut buf, *seq),
+            StoreResponse::LogRecords { records, truncated } => {
+                buf.push(u8::from(*truncated));
+                put_u32(&mut buf, records.len() as u32);
+                for (seq, data) in records {
+                    put_u64(&mut buf, *seq);
+                    put_bytes(&mut buf, data);
+                }
+            }
+            StoreResponse::Stats(stats) => {
+                put_u64(&mut buf, stats.slot_reads);
+                put_u64(&mut buf, stats.bucket_writes);
+                put_u64(&mut buf, stats.meta_reads);
+                put_u64(&mut buf, stats.meta_writes);
+                put_u64(&mut buf, stats.bytes_read);
+                put_u64(&mut buf, stats.bytes_written);
+            }
+            StoreResponse::Pong(version) => {
+                buf.extend_from_slice(&version.to_le_bytes());
+            }
+            StoreResponse::Err(err) => {
+                buf.push(err.kind_tag());
+                put_bytes(&mut buf, err.message.as_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Decodes a response; the whole buffer must be consumed.
+    pub fn decode(data: &[u8]) -> Result<StoreResponse> {
+        let mut reader = Reader::new(data);
+        let opcode = reader.u8()?;
+        let response = match opcode {
+            0x81 => StoreResponse::Slot(reader.bytes()?),
+            0x82 => {
+                let version = reader.u64()?;
+                let count = reader.list_len(4)?;
+                let mut slots = Vec::with_capacity(count);
+                for _ in 0..count {
+                    slots.push(reader.bytes()?);
+                }
+                StoreResponse::Bucket(BucketSnapshot { version, slots })
+            }
+            0x83 => StoreResponse::Version(reader.u64()?),
+            0x84 => StoreResponse::Unit,
+            0x85 => match reader.u8()? {
+                0 => StoreResponse::MetaValue(None),
+                1 => StoreResponse::MetaValue(Some(reader.bytes()?)),
+                other => {
+                    return Err(ObladiError::Codec(format!(
+                        "invalid option tag {other} in meta value"
+                    )))
+                }
+            },
+            0x86 => StoreResponse::LogSeq(reader.u64()?),
+            0x87 => {
+                let truncated = match reader.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(ObladiError::Codec(format!(
+                            "invalid truncation flag {other} in log records"
+                        )))
+                    }
+                };
+                let count = reader.list_len(12)?;
+                let mut records = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let seq = reader.u64()?;
+                    records.push((seq, reader.bytes()?));
+                }
+                StoreResponse::LogRecords { records, truncated }
+            }
+            0x88 => StoreResponse::Stats(StoreStats {
+                slot_reads: reader.u64()?,
+                bucket_writes: reader.u64()?,
+                meta_reads: reader.u64()?,
+                meta_writes: reader.u64()?,
+                bytes_read: reader.u64()?,
+                bytes_written: reader.u64()?,
+            }),
+            0x89 => StoreResponse::Pong(reader.u16()?),
+            0xFF => {
+                let kind = WireError::kind_from_tag(reader.u8()?)?;
+                let message = reader.string()?;
+                StoreResponse::Err(WireError { kind, message })
+            }
+            other => {
+                return Err(ObladiError::Codec(format!(
+                    "unknown store response opcode 0x{other:02X}"
+                )))
+            }
+        };
+        reader.finish()?;
+        Ok(response)
+    }
+
+    /// Convenience: turns an error response into `Err`, anything else into
+    /// `Ok(self)`.
+    pub fn into_result(self) -> Result<StoreResponse> {
+        match self {
+            StoreResponse::Err(err) => Err(err.into_error()),
+            other => Ok(other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding primitives
+// ---------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, value: u32) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, value: u64) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, data: &[u8]) {
+    put_u32(buf, data.len() as u32);
+    buf.extend_from_slice(data);
+}
+
+/// Strict, bounds-checked cursor over an immutable buffer.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or_else(|| ObladiError::Codec("length overflow while decoding".into()))?;
+        if end > self.data.len() {
+            return Err(ObladiError::Codec(format!(
+                "truncated message: wanted {len} bytes at offset {}, have {}",
+                self.pos,
+                self.data.len() - self.pos
+            )));
+        }
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A list length, bounded so hostile lengths cannot drive allocation:
+    /// a claimed count of elements (each at least `min_element` encoded
+    /// bytes) can never exceed what the remaining buffer could hold, so
+    /// `Vec::with_capacity(count)` is bounded by the frame size the
+    /// framing layer already capped.
+    fn list_len(&mut self, min_element: usize) -> Result<usize> {
+        let len = self.u32()? as usize;
+        let remaining = self.data.len() - self.pos;
+        if len > MAX_WIRE_LEN || len.saturating_mul(min_element.max(1)) > remaining {
+            return Err(ObladiError::Codec(format!(
+                "list length {len} cannot fit in {remaining} remaining bytes"
+            )));
+        }
+        Ok(len)
+    }
+
+    fn bytes(&mut self) -> Result<Bytes> {
+        let len = self.u32()? as usize;
+        if len > MAX_WIRE_LEN {
+            return Err(ObladiError::Codec(format!(
+                "byte string length {len} exceeds wire maximum"
+            )));
+        }
+        Ok(Bytes::from(self.take(len)?.to_vec()))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| ObladiError::Codec("non-UTF-8 string on the wire".into()))
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.pos != self.data.len() {
+            return Err(ObladiError::Codec(format!(
+                "{} trailing bytes after message",
+                self.data.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<StoreRequest> {
+        vec![
+            StoreRequest::ReadSlot { bucket: 7, slot: 3 },
+            StoreRequest::ReadBucket { bucket: u64::MAX },
+            StoreRequest::WriteBucket {
+                bucket: 1,
+                slots: vec![
+                    Bytes::from_static(b"a"),
+                    Bytes::new(),
+                    Bytes::from_static(b"bc"),
+                ],
+            },
+            StoreRequest::BucketVersion { bucket: 0 },
+            StoreRequest::RevertBucket {
+                bucket: 9,
+                version: 4,
+            },
+            StoreRequest::PutMeta {
+                key: "checkpoint/δ".into(),
+                value: Bytes::from_static(b"state"),
+            },
+            StoreRequest::GetMeta { key: String::new() },
+            StoreRequest::AppendLog {
+                record: Bytes::from_static(b"wal record"),
+            },
+            StoreRequest::ReadLogFrom { from: 42 },
+            StoreRequest::TruncateLog { up_to: 17 },
+            StoreRequest::TruncateLogTail { from: 99 },
+            StoreRequest::Stats,
+            StoreRequest::ResetStats,
+            StoreRequest::Ping,
+            StoreRequest::Shutdown,
+        ]
+    }
+
+    fn all_responses() -> Vec<StoreResponse> {
+        vec![
+            StoreResponse::Slot(Bytes::from_static(b"sealed")),
+            StoreResponse::Bucket(BucketSnapshot {
+                version: 12,
+                slots: vec![Bytes::from_static(b"x"), Bytes::new()],
+            }),
+            StoreResponse::Version(3),
+            StoreResponse::Unit,
+            StoreResponse::MetaValue(None),
+            StoreResponse::MetaValue(Some(Bytes::from_static(b"v"))),
+            StoreResponse::LogSeq(1000),
+            StoreResponse::LogRecords {
+                records: vec![(0, Bytes::from_static(b"r0")), (5, Bytes::new())],
+                truncated: true,
+            },
+            StoreResponse::Stats(StoreStats {
+                slot_reads: 1,
+                bucket_writes: 2,
+                meta_reads: 3,
+                meta_writes: 4,
+                bytes_read: 5,
+                bytes_written: 6,
+            }),
+            StoreResponse::Pong(1),
+            StoreResponse::Err(WireError {
+                kind: WireErrorKind::Storage,
+                message: "bucket 3 has never been written".into(),
+            }),
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for request in all_requests() {
+            let encoded = request.encode();
+            assert_eq!(encoded[0], request.opcode());
+            let decoded = StoreRequest::decode(&encoded).unwrap();
+            assert_eq!(decoded, request, "round trip of {request:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for response in all_responses() {
+            let encoded = response.encode();
+            let decoded = StoreResponse::decode(&encoded).unwrap();
+            assert_eq!(decoded, response, "round trip of {response:?}");
+        }
+    }
+
+    #[test]
+    fn opcodes_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for request in all_requests() {
+            assert!(seen.insert(request.opcode()), "duplicate request opcode");
+        }
+        let mut seen = std::collections::HashSet::new();
+        for response in all_responses() {
+            seen.insert(response.opcode());
+        }
+        // MetaValue appears twice in the fixture list.
+        assert_eq!(seen.len(), all_responses().len() - 1);
+    }
+
+    #[test]
+    fn truncated_and_trailing_inputs_are_rejected() {
+        let encoded = StoreRequest::ReadSlot { bucket: 7, slot: 3 }.encode();
+        for cut in 0..encoded.len() {
+            assert!(
+                StoreRequest::decode(&encoded[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        let mut padded = encoded.clone();
+        padded.push(0);
+        assert!(StoreRequest::decode(&padded).is_err(), "trailing byte");
+    }
+
+    #[test]
+    fn unknown_opcodes_are_rejected() {
+        assert!(StoreRequest::decode(&[0x7E]).is_err());
+        assert!(StoreResponse::decode(&[0x10]).is_err());
+        assert!(StoreRequest::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn hostile_lengths_do_not_allocate() {
+        // A WriteBucket claiming u32::MAX slots must fail fast on the
+        // bounded list length, not attempt the allocation.
+        let mut buf = vec![0x03];
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(StoreRequest::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn wire_errors_re_hydrate() {
+        let original = ObladiError::Storage("slot 9 out of range".into());
+        let wire = WireError::from_error(&original);
+        assert_eq!(wire.clone().into_error(), original);
+
+        let codec = WireError::from_error(&ObladiError::Codec("bad".into()));
+        assert_eq!(codec.kind, WireErrorKind::Codec);
+
+        // Non-storage server-side faults flatten to Storage with context.
+        let flattened = WireError::from_error(&ObladiError::KeyNotFound(3));
+        assert_eq!(flattened.kind, WireErrorKind::Storage);
+        assert!(flattened.message.contains("key not found"));
+    }
+
+    #[test]
+    fn mutation_classification_matches_durability_needs() {
+        let mutating = all_requests()
+            .into_iter()
+            .filter(StoreRequest::is_mutation)
+            .count();
+        assert_eq!(mutating, 6);
+        assert!(!StoreRequest::Stats.is_mutation());
+        assert!(!StoreRequest::Ping.is_mutation());
+    }
+}

@@ -101,6 +101,33 @@ pub trait UntrustedStore: Send + Sync {
     /// Reads all log records with sequence number `>= from`, in order.
     fn read_log_from(&self, from: u64) -> Result<Vec<(u64, Bytes)>>;
 
+    /// Reads log records with sequence number `>= from` until `max_bytes`
+    /// of payload (plus per-record overhead) is reached; the flag reports
+    /// whether records remain beyond the page.  At least one record is
+    /// returned when any exists, however large.
+    ///
+    /// The remote-storage server pages `read_log_from` responses with
+    /// this so a WAL that outgrew one wire frame transfers incrementally.
+    /// The default materializes the full suffix and truncates — correct
+    /// everywhere, efficient nowhere; stores that can should override it
+    /// with a bounded scan.
+    fn read_log_page(&self, from: u64, max_bytes: usize) -> Result<(Vec<(u64, Bytes)>, bool)> {
+        let mut records = self.read_log_from(from)?;
+        let mut budget = max_bytes;
+        let mut keep = 0usize;
+        for (_, data) in &records {
+            let cost = 12 + data.len();
+            if keep > 0 && cost > budget {
+                break;
+            }
+            budget = budget.saturating_sub(cost);
+            keep += 1;
+        }
+        let truncated = keep < records.len();
+        records.truncate(keep);
+        Ok((records, truncated))
+    }
+
     /// Drops log records with sequence number `< up_to` (checkpointing).
     fn truncate_log(&self, up_to: u64) -> Result<()>;
 

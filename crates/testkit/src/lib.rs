@@ -29,6 +29,7 @@
 
 pub mod chaos;
 pub mod history;
+pub mod proc_chaos;
 pub mod recorder;
 pub mod shard_chaos;
 pub mod stats;
@@ -39,12 +40,13 @@ pub use history::{
     check_serializable, parse_tag, tag_value, History, HistoryOp, SerializabilityReport, TxnRecord,
     Violation, WriteTag,
 };
+pub use proc_chaos::{proc_kill_schedule, run_proc_kill_case, ProcKillCase, ProcKillReport};
 pub use recorder::{HistoryRecorder, TxnTrace};
 pub use shard_chaos::{
     crash_schedule, cross_shard_pair, cross_shard_pair_through, hammer_pair_tagged,
-    open_faulty_deployment, overlap_crash_schedule, run_overlap_crash_case, run_shard_crash_case,
-    Expected, FaultyDeployment, OverlapCrashCase, OverlapCrashReport, PairAttempt, ShardCrashCase,
-    ShardCrashReport,
+    hammer_pair_tagged_observed, open_faulty_deployment, overlap_crash_schedule,
+    run_overlap_crash_case, run_shard_crash_case, Expected, FaultyDeployment, OverlapCrashCase,
+    OverlapCrashReport, PairAttempt, ShardCrashCase, ShardCrashReport,
 };
 pub use stats::{
     chi_square_critical, chi_square_uniform, is_plausibly_uniform, total_variation_distance,

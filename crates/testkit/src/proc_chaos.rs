@@ -1,0 +1,244 @@
+//! Process-kill chaos for out-of-process storage: `kill -9` a shard's
+//! `obladi-stored` daemon mid-epoch and prove nothing acknowledged is lost.
+//!
+//! [`shard_chaos`](crate::shard_chaos) drives *deterministic* crash points
+//! with an in-process [`FaultyStore`](obladi_storage::FaultyStore); this
+//! module drives the same invariants through a **real process boundary**:
+//! the deployment is opened with `StorageBackend::RemoteSpawned`, so each
+//! shard's ORAM pipeline talks framed RPC to its own storage daemon, and
+//! the "crash" is a genuine `SIGKILL` — no flush, no goodbye, the socket
+//! simply dies under the proxy.  The schedule is keyed on *observed
+//! acknowledged commits* rather than storage-op counts (a supervisor
+//! cannot count ops inside another process deterministically), which
+//! still lands every kill inside a hot cross-shard 2PC window because the
+//! hammer threads never stop committing through the victim.
+//!
+//! What one case proves, end to end:
+//!
+//! 1. the `SIGKILL` surfaces as storage faults on the victim's socket and
+//!    the proxy **fate-shares** into a shard crash (the other shards keep
+//!    serving);
+//! 2. the supervisor **respawns** the daemon over the same data directory
+//!    — a *new process* (asserted by pid) that rebuilds acknowledged
+//!    state by op-log replay;
+//! 3. the shard's existing **WAL recovery** replays over the respawned
+//!    daemon: all-or-nothing per epoch, acknowledged-implies-durable,
+//!    recovery idempotence, serializability of the whole history, and
+//!    full 2PC decision drain — the same oracle battery as the in-process
+//!    sweeps.
+
+use crate::history::{check_serializable, History};
+use crate::shard_chaos::{
+    classify_hammered, cross_shard_pair, cross_shard_pair_through, hammer_pair_tagged_observed,
+    read_pair, wait_for, write_pair_tagged, PairAttempt,
+};
+use obladi_common::config::{ShardConfig, StorageBackend};
+use obladi_common::error::{ObladiError, Result};
+use obladi_shard::ShardedDb;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// One process-kill case: which shard's daemon dies, and after how many
+/// acknowledged commits (on the first hammered pair) the kill fires.
+#[derive(Debug, Clone)]
+pub struct ProcKillCase {
+    /// Human-readable case name (used in assertion messages).
+    pub name: String,
+    /// `false` = the shard owning the first pair's first key loses its
+    /// daemon, `true` = the shard owning its second key.
+    pub victim_second: bool,
+    /// Acknowledged commits observed on pair 1 before the `SIGKILL`.
+    pub kill_after_acked: usize,
+}
+
+/// What one case observed after every invariant passed.
+#[derive(Debug, Clone)]
+pub struct ProcKillReport {
+    /// The case name.
+    pub name: String,
+    /// In-doubt prepares the victim's recovery found.
+    pub in_doubt: u64,
+    /// In-doubt transactions recovery replayed from prepare records.
+    pub replayed_commits: u64,
+    /// Acknowledged commits per hammered pair at kill time.
+    pub acked: [usize; 2],
+    /// Total commit attempts per hammered pair.
+    pub attempts: [usize; 2],
+    /// The daemon's pid before the kill and after the respawn.
+    pub pids: (u32, u32),
+}
+
+/// The process-kill schedule: kill at increasing depths of committed
+/// history, on either side of the cross-shard pair.
+pub fn proc_kill_schedule() -> Vec<ProcKillCase> {
+    let mut cases = Vec::new();
+    for victim_second in [false, true] {
+        let side = if victim_second { "second" } else { "first" };
+        for kill_after_acked in [0usize, 1, 3] {
+            cases.push(ProcKillCase {
+                name: format!("stored-kill9-after-{kill_after_acked}-acked/{side}"),
+                victim_second,
+                kill_after_acked,
+            });
+        }
+    }
+    cases
+}
+
+/// The deployment configuration every case runs: 3 shards, each against
+/// its own spawned `obladi-stored` daemon.
+fn proc_kill_config(seed: u64) -> ShardConfig {
+    let mut config =
+        ShardConfig::small_for_tests(3, 512).with_storage(StorageBackend::RemoteSpawned);
+    config.shard.epoch.batch_interval = Duration::from_millis(1);
+    config.shard.epoch.checkpoint_every = 3;
+    config.shard.seed = seed;
+    config
+}
+
+/// Drives one process-kill case end to end (see the module docs).
+pub fn run_proc_kill_case(case: &ProcKillCase, seed: u64) -> Result<ProcKillReport> {
+    let violation = |msg: String| ObladiError::Internal(format!("[{}] {msg}", case.name));
+    let db = ShardedDb::open(proc_kill_config(seed))?;
+    let pair1 = cross_shard_pair(&db);
+    let victim = if case.victim_second {
+        db.router().route(pair1.1)
+    } else {
+        db.router().route(pair1.0)
+    };
+    let pair2 = cross_shard_pair_through(&db, victim, pair1.0.max(pair1.1) + 1);
+    let mut history = History::new();
+
+    // Seed committed values on both pairs (daemons all healthy).
+    let old1 = write_pair_tagged(&db, pair1, &mut history, 200, &|| false)
+        .ok_or_else(|| violation("failed to seed pair 1".into()))?;
+    let old2 = write_pair_tagged(&db, pair2, &mut history, 200, &|| false)
+        .ok_or_else(|| violation("failed to seed pair 2".into()))?;
+
+    let pid_before = db
+        .storage_daemon_pid(victim)
+        .ok_or_else(|| violation("victim daemon has no pid".into()))?;
+
+    // Hammer both pairs through the victim; a watcher thread fires the
+    // SIGKILL once pair 1 has accumulated the case's acknowledged commits,
+    // and the hammers stop when the proxy-side fate-share lands.
+    let acked_count = AtomicUsize::new(0);
+    let killed = AtomicBool::new(false);
+    // The deadline backstop keeps a failed kill (or a fate-share that
+    // never lands) from spinning the hammers forever inside the scope —
+    // the post-join checks then fail loudly instead of the case hanging.
+    let hammer_deadline = Instant::now() + Duration::from_secs(60);
+    let stop = || {
+        Instant::now() >= hammer_deadline
+            || (killed.load(Ordering::SeqCst) && db.is_shard_crashed(victim))
+    };
+    let observe = |attempt: &PairAttempt| {
+        if attempt.acked {
+            acked_count.fetch_add(1, Ordering::SeqCst);
+        }
+    };
+    let (depth_reached, (history1, attempts1), (history2, attempts2)) =
+        std::thread::scope(|scope| {
+            let watcher = scope.spawn(|| {
+                let deadline = Instant::now() + Duration::from_secs(30);
+                while acked_count.load(Ordering::SeqCst) < case.kill_after_acked
+                    && Instant::now() < deadline
+                {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                // Kill even on deadline expiry — the hammers only stop once
+                // the kill lands — but report whether the case's committed
+                // depth was actually reached so the sweep can fail loudly
+                // instead of silently testing a shallower history.
+                let reached = acked_count.load(Ordering::SeqCst) >= case.kill_after_acked;
+                let result = db.kill_shard_storage(victim);
+                killed.store(true, Ordering::SeqCst);
+                (reached, result)
+            });
+            let h2 =
+                scope.spawn(|| hammer_pair_tagged_observed(&db, pair2, b"pk2", &stop, &|_| {}));
+            let r1 = hammer_pair_tagged_observed(&db, pair1, b"pk1", &stop, &observe);
+            let (reached, kill_result) = watcher.join().expect("watcher panicked");
+            kill_result.expect("kill failed");
+            (reached, r1, h2.join().expect("hammer thread panicked"))
+        });
+    history.extend(history1);
+    history.extend(history2);
+    if !depth_reached {
+        return Err(violation(format!(
+            "only {} acknowledged commits before the kill deadline (case needs {})",
+            acked_count.load(Ordering::SeqCst),
+            case.kill_after_acked
+        )));
+    }
+
+    // The SIGKILL must surface as storage faults that fate-share into a
+    // shard crash; the other shards are untouched.
+    wait_for(
+        "the victim shard to fate-share the daemon kill into a crash",
+        Duration::from_secs(20),
+        &|| db.is_shard_crashed(victim),
+    )?;
+    for shard in 0..db.shards() {
+        if shard != victim && db.is_shard_crashed(shard) {
+            return Err(violation(format!(
+                "shard {shard} crashed but only {victim}'s daemon was killed"
+            )));
+        }
+    }
+
+    // Respawn the daemon (same data dir, new process) and recover the
+    // shard through the ordinary WAL recovery path.
+    db.respawn_shard_storage(victim)?;
+    let pid_after = db
+        .storage_daemon_pid(victim)
+        .ok_or_else(|| violation("respawned daemon has no pid".into()))?;
+    if pid_after == pid_before {
+        return Err(violation("respawn did not produce a new process".into()));
+    }
+    let report = db.recover_shard(victim)?;
+
+    let observed1 = read_pair(&db, pair1, &mut history)?;
+    let observed2 = read_pair(&db, pair2, &mut history)?;
+    classify_hammered(&case.name, "pair 1", &observed1, &old1, &attempts1).map_err(violation)?;
+    classify_hammered(&case.name, "pair 2", &observed2, &old2, &attempts2).map_err(violation)?;
+
+    // Recovery idempotence: crash and recover once more, fault-free.
+    db.crash_shard(victim);
+    db.recover_shard(victim)?;
+    let observed1_again = read_pair(&db, pair1, &mut history)?;
+    let observed2_again = read_pair(&db, pair2, &mut history)?;
+    if observed1_again != observed1 || observed2_again != observed2 {
+        return Err(violation(format!(
+            "recovery not idempotent: {observed1:?}/{observed2:?} then \
+             {observed1_again:?}/{observed2_again:?}"
+        )));
+    }
+
+    check_serializable(&history)
+        .map_err(|violations| violation(format!("history not serializable: {violations:?}")))?;
+
+    let drain_deadline = Instant::now() + Duration::from_secs(10);
+    while db.pending_decisions() != 0 && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    if db.pending_decisions() != 0 {
+        return Err(violation(format!(
+            "{} 2PC decisions never retired",
+            db.pending_decisions()
+        )));
+    }
+
+    db.shutdown();
+    Ok(ProcKillReport {
+        name: case.name.clone(),
+        in_doubt: report.in_doubt,
+        replayed_commits: report.replayed_commits,
+        acked: [
+            attempts1.iter().filter(|a| a.acked).count(),
+            attempts2.iter().filter(|a| a.acked).count(),
+        ],
+        attempts: [attempts1.len(), attempts2.len()],
+        pids: (pid_before, pid_after),
+    })
+}

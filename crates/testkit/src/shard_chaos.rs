@@ -37,7 +37,7 @@
 use crate::history::{check_serializable, tag_value, History, TxnRecord};
 use obladi_common::config::ShardConfig;
 use obladi_common::error::{ObladiError, Result};
-use obladi_common::types::{Key, Value};
+use obladi_common::types::{Key, TxnId, Value};
 use obladi_shard::ShardedDb;
 use obladi_storage::wal::WalRecordKind;
 use obladi_storage::{CrashOp, CrashPoint, FaultPlan, FaultyStore, InMemoryStore, UntrustedStore};
@@ -185,6 +185,47 @@ pub fn open_faulty_deployment(seed: u64) -> Result<FaultyDeployment> {
         .collect();
     let db = ShardedDb::open_with_stores(config, stores)?;
     Ok(FaultyDeployment { db, faults })
+}
+
+/// Commits `body` through the front door with retries on retryable
+/// aborts (jittered so the retry de-phases from the pipelined epoch
+/// rhythm), returning the transaction id it committed under.  The shared
+/// retry idiom of the sharded tests — a cross-shard commit can abort
+/// retryably whenever its shards' pipeline phases are incompatible.
+pub fn commit_with_retries<T>(
+    db: &ShardedDb,
+    mut body: impl FnMut(&mut obladi_shard::ShardedTxn<'_>) -> Result<T>,
+) -> Result<TxnId> {
+    let mut last_err = None;
+    let mut jitter_state = 0x7e57_3a11u64;
+    for attempt in 0..100 {
+        if attempt > 0 {
+            jitter_state = jitter_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            std::thread::sleep(Duration::from_millis(1 + (jitter_state >> 33) % 7));
+        }
+        let mut txn = db.begin()?;
+        match body(&mut txn) {
+            Ok(_) => {}
+            Err(err) if err.is_retryable() => {
+                last_err = Some(err);
+                continue;
+            }
+            Err(err) => return Err(err),
+        }
+        let id = txn.id();
+        match txn.commit() {
+            Ok(outcome) if outcome.is_committed() => return Ok(id),
+            Ok(_) => continue,
+            Err(err) if err.is_retryable() => {
+                last_err = Some(err);
+                continue;
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    Err(last_err.unwrap_or(ObladiError::Internal("commit retries exhausted".into())))
 }
 
 /// Finds two keys the deployment routes to different shards.
@@ -453,6 +494,19 @@ pub fn hammer_pair_tagged(
     tag: &[u8],
     stop: &dyn Fn() -> bool,
 ) -> (History, Vec<PairAttempt>) {
+    hammer_pair_tagged_observed(db, pair, tag, stop, &|_| {})
+}
+
+/// [`hammer_pair_tagged`] with an observer called after every attempt —
+/// the process-kill chaos harness uses it to trigger the `SIGKILL` after a
+/// chosen number of acknowledged commits.
+pub fn hammer_pair_tagged_observed(
+    db: &ShardedDb,
+    pair: (Key, Key),
+    tag: &[u8],
+    stop: &dyn Fn() -> bool,
+    on_attempt: &dyn Fn(&PairAttempt),
+) -> (History, Vec<PairAttempt>) {
     let (a, b) = pair;
     let mut history = History::new();
     let mut attempts = Vec::new();
@@ -493,11 +547,13 @@ pub fn hammer_pair_tagged(
             record.abort();
         }
         history.push(record);
-        attempts.push(PairAttempt {
+        let attempt = PairAttempt {
             value_a,
             value_b,
             acked,
-        });
+        };
+        on_attempt(&attempt);
+        attempts.push(attempt);
     }
     (history, attempts)
 }
@@ -507,7 +563,7 @@ pub fn hammer_pair_tagged(
 /// epoch), and no acknowledged attempt may be newer than it (acknowledged
 /// implies durable, and durability is in epoch order).  Returns the index
 /// of the visible attempt (`None` = seed).
-fn classify_hammered(
+pub(crate) fn classify_hammered(
     name: &str,
     pair_name: &str,
     observed: &(Option<Value>, Option<Value>),

@@ -1,0 +1,299 @@
+//! Socket address abstraction: Unix-domain and TCP endpoints behind one
+//! type, parsed from `unix:/path/to.sock` / `tcp:host:port` strings.
+//!
+//! The proxy↔storage boundary is deliberately transport-agnostic: a
+//! same-machine deployment wants Unix sockets (no port allocation, file
+//! permissions as access control), a multi-machine deployment wants TCP.
+//! Everything above this module sees only [`SocketSpec`], [`Listener`] and
+//! [`Stream`].
+
+use obladi_common::error::{ObladiError, Result};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// An endpoint the storage daemon listens on / the proxy connects to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocketSpec {
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+    /// A TCP `host:port` endpoint.
+    Tcp(String),
+}
+
+impl SocketSpec {
+    /// Parses `unix:/path` or `tcp:host:port`.
+    pub fn parse(text: &str) -> Result<SocketSpec> {
+        if let Some(path) = text.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err(ObladiError::Config("empty unix socket path".into()));
+            }
+            #[cfg(not(unix))]
+            return Err(ObladiError::Config(
+                "unix sockets are not available on this platform".into(),
+            ));
+            #[cfg(unix)]
+            return Ok(SocketSpec::Unix(PathBuf::from(path)));
+        }
+        if let Some(addr) = text.strip_prefix("tcp:") {
+            if addr.is_empty() {
+                return Err(ObladiError::Config("empty tcp address".into()));
+            }
+            return Ok(SocketSpec::Tcp(addr.to_string()));
+        }
+        Err(ObladiError::Config(format!(
+            "storage address {text:?} must start with unix: or tcp:"
+        )))
+    }
+}
+
+impl fmt::Display for SocketSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocketSpec::Unix(path) => write!(f, "unix:{}", path.display()),
+            SocketSpec::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// A bound listening socket.
+pub enum Listener {
+    /// Unix-domain listener.
+    #[cfg(unix)]
+    Unix(UnixListener),
+    /// TCP listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds `spec`.  A stale Unix socket file left by a killed daemon is
+    /// unlinked first; `tcp:host:0` binds an ephemeral port (read the real
+    /// one back with [`Listener::local_spec`]).
+    pub fn bind(spec: &SocketSpec) -> Result<Listener> {
+        match spec {
+            #[cfg(unix)]
+            SocketSpec::Unix(path) => {
+                if path.exists() {
+                    let _ = std::fs::remove_file(path);
+                }
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent).map_err(|err| {
+                            ObladiError::Storage(format!(
+                                "cannot create socket dir {}: {err}",
+                                parent.display()
+                            ))
+                        })?;
+                    }
+                }
+                let listener = UnixListener::bind(path).map_err(|err| {
+                    ObladiError::Storage(format!("cannot bind {}: {err}", path.display()))
+                })?;
+                Ok(Listener::Unix(listener))
+            }
+            SocketSpec::Tcp(addr) => {
+                let listener = TcpListener::bind(addr).map_err(|err| {
+                    ObladiError::Storage(format!("cannot bind tcp:{addr}: {err}"))
+                })?;
+                Ok(Listener::Tcp(listener))
+            }
+        }
+    }
+
+    /// The actually-bound endpoint (resolves ephemeral TCP ports).
+    pub fn local_spec(&self) -> Result<SocketSpec> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(listener) => {
+                let addr = listener.local_addr().map_err(io_storage)?;
+                let path = addr
+                    .as_pathname()
+                    .ok_or_else(|| ObladiError::Storage("unix listener has no pathname".into()))?;
+                Ok(SocketSpec::Unix(path.to_path_buf()))
+            }
+            Listener::Tcp(listener) => {
+                let addr = listener.local_addr().map_err(io_storage)?;
+                Ok(SocketSpec::Tcp(addr.to_string()))
+            }
+        }
+    }
+
+    /// Switches the listener to non-blocking accepts (the accept loop polls
+    /// a shutdown flag between attempts).
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(listener) => listener.set_nonblocking(nonblocking),
+            Listener::Tcp(listener) => listener.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Accepts one connection, if one is pending.
+    pub fn accept(&self) -> io::Result<Stream> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(listener) => listener.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(listener) => listener.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }),
+        }
+    }
+
+    /// Removes the socket file of a Unix listener (listener teardown).
+    pub fn cleanup(&self) {
+        #[cfg(unix)]
+        if let Listener::Unix(listener) = self {
+            if let Ok(addr) = listener.local_addr() {
+                if let Some(path) = addr.as_pathname() {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+        }
+    }
+}
+
+/// A connected bidirectional byte stream.
+pub enum Stream {
+    /// Unix-domain stream.
+    #[cfg(unix)]
+    Unix(UnixStream),
+    /// TCP stream.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Connects to `spec`, bounding the TCP connect by `timeout` (a
+    /// blackholed host must fail within the caller's deadline, not the
+    /// kernel's ~2-minute SYN timeout; Unix connects are local filesystem
+    /// operations and resolve immediately either way).
+    pub fn connect(spec: &SocketSpec, timeout: Duration) -> io::Result<Stream> {
+        match spec {
+            #[cfg(unix)]
+            SocketSpec::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+            SocketSpec::Tcp(addr) => {
+                use std::net::ToSocketAddrs;
+                let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::AddrNotAvailable,
+                        format!("tcp:{addr} resolved to no addresses"),
+                    )
+                })?;
+                let stream = TcpStream::connect_timeout(&resolved, timeout)?;
+                let _ = stream.set_nodelay(true);
+                Ok(Stream::Tcp(stream))
+            }
+        }
+    }
+
+    /// Clones the underlying handle (reader/writer split).
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(stream) => stream.try_clone().map(Stream::Unix),
+            Stream::Tcp(stream) => stream.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    /// Sets the read timeout (used by server loops to poll shutdown flags).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(stream) => stream.set_read_timeout(timeout),
+            Stream::Tcp(stream) => stream.set_read_timeout(timeout),
+        }
+    }
+
+    /// Shuts down both directions, waking any thread blocked on the stream.
+    pub fn shutdown(&self) {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(stream) => {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+            Stream::Tcp(stream) => {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(stream) => stream.read(buf),
+            Stream::Tcp(stream) => stream.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(stream) => stream.write(buf),
+            Stream::Tcp(stream) => stream.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(stream) => stream.flush(),
+            Stream::Tcp(stream) => stream.flush(),
+        }
+    }
+}
+
+fn io_storage(err: io::Error) -> ObladiError {
+    ObladiError::Storage(err.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parse_and_display_round_trip() {
+        let spec = SocketSpec::parse("tcp:127.0.0.1:9999").unwrap();
+        assert_eq!(spec.to_string(), "tcp:127.0.0.1:9999");
+        #[cfg(unix)]
+        {
+            let spec = SocketSpec::parse("unix:/tmp/obladi.sock").unwrap();
+            assert_eq!(spec.to_string(), "unix:/tmp/obladi.sock");
+        }
+        assert!(SocketSpec::parse("http://nope").is_err());
+        assert!(SocketSpec::parse("unix:").is_err());
+        assert!(SocketSpec::parse("tcp:").is_err());
+    }
+
+    #[test]
+    fn tcp_ephemeral_bind_reports_real_port() {
+        let listener = Listener::bind(&SocketSpec::parse("tcp:127.0.0.1:0").unwrap()).unwrap();
+        let spec = listener.local_spec().unwrap();
+        match &spec {
+            SocketSpec::Tcp(addr) => assert!(!addr.ends_with(":0"), "got {addr}"),
+            #[cfg(unix)]
+            SocketSpec::Unix(_) => panic!("bound tcp, got unix"),
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_bind_unlinks_stale_socket() {
+        let path =
+            std::env::temp_dir().join(format!("obladi-addr-test-{}.sock", std::process::id()));
+        let spec = SocketSpec::Unix(path.clone());
+        let first = Listener::bind(&spec).unwrap();
+        drop(first); // leaves the socket file behind, like a kill -9 would
+        assert!(path.exists());
+        let second = Listener::bind(&spec).unwrap();
+        second.cleanup();
+        assert!(!path.exists());
+    }
+}

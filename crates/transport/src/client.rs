@@ -1,0 +1,491 @@
+//! The client side of the storage RPC: [`RemoteStore`], an
+//! [`UntrustedStore`] whose every method ships a framed request to an
+//! `obladi-stored` daemon and waits for the matching response.
+//!
+//! # Pipelining and batched submission
+//!
+//! The ORAM executor issues many storage requests concurrently from a
+//! worker pool, and the paper's whole batching architecture exists to
+//! amortise round trips — so the client must not serialise one request per
+//! round trip.  A [`RemoteStore`] multiplexes all callers onto **one
+//! connection**:
+//!
+//! * each caller registers its request id, hands the encoded frame to the
+//!   *writer thread* and blocks on a private channel;
+//! * the writer drains every frame queued at that moment into a single
+//!   buffered write and flushes **once** per drain — concurrent callers
+//!   share flushes (and, on TCP, packets), which is the measured
+//!   `requests / flushes > 1` batching the benchmark asserts;
+//! * a *reader thread* decodes response frames and wakes each caller by
+//!   request id, so responses interleave freely with in-flight requests.
+//!
+//! # Failure model
+//!
+//! The daemon is untrusted *and* killable: any I/O error collapses the
+//! whole connection — every in-flight caller gets a `Storage` error (the
+//! proxy fate-shares storage faults into a crash + WAL recovery, so
+//! "half-failed" batches must not linger).  The next call attempts exactly
+//! one reconnect; while the daemon is down that fails fast, and once the
+//! supervisor has respawned it the same `RemoteStore` transparently
+//! reattaches — which is what lets recovery replay the WAL over the very
+//! handle that watched the daemon die.
+
+use crate::addr::{SocketSpec, Stream};
+use crate::frame::{
+    encode_frame, encode_hello, parse_hello, Frame, FrameDecoder, HELLO_LEN, PROTOCOL_VERSION,
+};
+use bytes::Bytes;
+use obladi_common::error::{ObladiError, Result};
+use obladi_common::types::{BucketId, Version};
+use obladi_storage::traits::{BucketSnapshot, StoreStats};
+use obladi_storage::{StoreRequest, StoreResponse, UntrustedStore};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Client-side transport counters, cumulative across reconnects.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Requests submitted to the wire.
+    pub requests: u64,
+    /// Responses received and matched to a caller.
+    pub responses: u64,
+    /// Socket flushes issued by the writer (one per drained batch).
+    pub flushes: u64,
+    /// Connections (re-)established, the first included.
+    pub connects: u64,
+}
+
+impl TransportStats {
+    /// Mean requests per flush — the pipelining/batching factor.  `1.0`
+    /// means every request paid its own flush; larger means concurrent
+    /// callers shared round-trip submissions.
+    pub fn requests_per_flush(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.flushes as f64
+        }
+    }
+}
+
+/// Bound on one socket connect attempt.  `live()` holds the connection
+/// mutex across a mid-run reconnect, so this is also the longest every
+/// executor thread on the shard can be stalled behind an unreachable
+/// daemon — keep it well under the request timeout.
+const SOCKET_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    responses: AtomicU64,
+    flushes: AtomicU64,
+    connects: AtomicU64,
+}
+
+type PendingMap = Mutex<HashMap<u64, mpsc::Sender<Result<StoreResponse>>>>;
+
+/// One live connection: writer queue, pending-response map, and the means
+/// to tear it all down.
+struct LiveConn {
+    tx: crossbeam::channel::Sender<Frame>,
+    pending: Arc<PendingMap>,
+    dead: Arc<AtomicBool>,
+    stream: Stream,
+}
+
+impl LiveConn {
+    fn close(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        self.stream.shutdown();
+        fail_all(&self.pending, "connection closed");
+    }
+}
+
+fn fail_all(pending: &PendingMap, why: &str) {
+    let mut map = pending.lock();
+    for (_, waiter) in map.drain() {
+        let _ = waiter.send(Err(ObladiError::Storage(format!(
+            "storage daemon connection lost: {why}"
+        ))));
+    }
+}
+
+/// An [`UntrustedStore`] served by a storage daemon across a socket.
+pub struct RemoteStore {
+    spec: SocketSpec,
+    conn: Mutex<Option<Arc<LiveConn>>>,
+    next_id: AtomicU64,
+    /// Arc-shared with the writer/reader threads, which may outlive the
+    /// store by the instants it takes them to observe a teardown.
+    counters: Arc<Counters>,
+    request_timeout: Duration,
+}
+
+impl RemoteStore {
+    /// Connects to the daemon at `spec`, retrying until `ready_timeout`
+    /// elapses (a freshly spawned daemon needs a moment to bind).
+    pub fn connect(spec: SocketSpec, ready_timeout: Duration) -> Result<RemoteStore> {
+        let store = RemoteStore {
+            spec,
+            conn: Mutex::new(None),
+            next_id: AtomicU64::new(1),
+            counters: Arc::new(Counters::default()),
+            request_timeout: Duration::from_secs(60),
+        };
+        let deadline = Instant::now() + ready_timeout;
+        loop {
+            match store.establish() {
+                Ok(conn) => {
+                    *store.conn.lock() = Some(conn);
+                    return Ok(store);
+                }
+                Err(err) => {
+                    if Instant::now() >= deadline {
+                        return Err(ObladiError::Storage(format!(
+                            "cannot reach storage daemon at {}: {err}",
+                            store.spec
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    /// The daemon's endpoint.
+    pub fn spec(&self) -> &SocketSpec {
+        &self.spec
+    }
+
+    /// Cumulative transport counters.
+    pub fn transport_stats(&self) -> TransportStats {
+        TransportStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            responses: self.counters.responses.load(Ordering::Relaxed),
+            flushes: self.counters.flushes.load(Ordering::Relaxed),
+            connects: self.counters.connects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Probes daemon liveness, returning its protocol version.
+    pub fn ping(&self) -> Result<u16> {
+        match self.call(StoreRequest::Ping)? {
+            StoreResponse::Pong(version) => Ok(version),
+            other => Err(unexpected("ping", &other)),
+        }
+    }
+
+    /// Asks the daemon to shut down gracefully (it acknowledges, flushes
+    /// its durable state and exits).
+    pub fn shutdown_server(&self) -> Result<()> {
+        match self.call(StoreRequest::Shutdown)? {
+            StoreResponse::Unit => Ok(()),
+            other => Err(unexpected("shutdown", &other)),
+        }
+    }
+
+    /// Drops the current connection (the next call reconnects).  Lets a
+    /// supervisor force a clean reattach after respawning the daemon.
+    pub fn disconnect(&self) {
+        if let Some(conn) = self.conn.lock().take() {
+            conn.close();
+        }
+    }
+
+    /// Opens a socket, performs the version handshake and spawns the
+    /// writer/reader threads.
+    fn establish(&self) -> Result<Arc<LiveConn>> {
+        let mut stream = Stream::connect(&self.spec, SOCKET_CONNECT_TIMEOUT)
+            .map_err(|err| ObladiError::Storage(format!("connect {}: {err}", self.spec)))?;
+        stream
+            .write_all(&encode_hello(PROTOCOL_VERSION))
+            .map_err(|err| ObladiError::Storage(format!("handshake send: {err}")))?;
+        stream
+            .flush()
+            .map_err(|err| ObladiError::Storage(format!("handshake flush: {err}")))?;
+        let mut hello = [0u8; HELLO_LEN];
+        stream
+            .read_exact(&mut hello)
+            .map_err(|err| ObladiError::Storage(format!("handshake recv: {err}")))?;
+        let server_version = parse_hello(&hello)?;
+        if server_version != PROTOCOL_VERSION {
+            return Err(ObladiError::Codec(format!(
+                "protocol version mismatch: client speaks {PROTOCOL_VERSION}, server speaks \
+                 {server_version}"
+            )));
+        }
+
+        let pending: Arc<PendingMap> = Arc::new(Mutex::new(HashMap::new()));
+        let dead = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = crossbeam::channel::unbounded::<Frame>();
+
+        // Writer: drain everything queued right now into one buffered
+        // write, flush once — the batching the bench measures.
+        let mut write_half = stream
+            .try_clone()
+            .map_err(|err| ObladiError::Storage(format!("stream clone: {err}")))?;
+        let writer_dead = dead.clone();
+        let writer_pending = pending.clone();
+        let writer_counters = self.counters.clone();
+        std::thread::Builder::new()
+            .name("obladi-rpc-writer".into())
+            .spawn(move || {
+                let mut buf = Vec::with_capacity(16 * 1024);
+                while let Ok(first) = rx.recv() {
+                    buf.clear();
+                    encode_frame(&mut buf, &first);
+                    while let Some(next) = rx.try_recv() {
+                        encode_frame(&mut buf, &next);
+                    }
+                    if write_half
+                        .write_all(&buf)
+                        .and_then(|_| write_half.flush())
+                        .is_err()
+                    {
+                        writer_dead.store(true, Ordering::SeqCst);
+                        fail_all(&writer_pending, "write failed");
+                        return;
+                    }
+                    writer_counters.flushes.fetch_add(1, Ordering::Relaxed);
+                }
+                // Sender dropped: connection is being torn down.
+            })
+            .map_err(|err| ObladiError::Storage(format!("spawn writer: {err}")))?;
+
+        // Reader: decode frames, wake waiters by id.
+        let mut read_half = stream
+            .try_clone()
+            .map_err(|err| ObladiError::Storage(format!("stream clone: {err}")))?;
+        let reader_dead = dead.clone();
+        let reader_pending = pending.clone();
+        let reader_counters = self.counters.clone();
+        std::thread::Builder::new()
+            .name("obladi-rpc-reader".into())
+            .spawn(move || {
+                let mut decoder = FrameDecoder::new();
+                let mut chunk = [0u8; 64 * 1024];
+                let why = loop {
+                    let n = match read_half.read(&mut chunk) {
+                        Ok(0) => break "peer closed".to_string(),
+                        Ok(n) => n,
+                        Err(err) => break err.to_string(),
+                    };
+                    decoder.extend(&chunk[..n]);
+                    loop {
+                        match decoder.next_frame() {
+                            Ok(Some(frame)) => {
+                                let waiter = reader_pending.lock().remove(&frame.id);
+                                if let Some(waiter) = waiter {
+                                    reader_counters.responses.fetch_add(1, Ordering::Relaxed);
+                                    let _ = waiter.send(
+                                        StoreResponse::decode(&frame.payload)
+                                            .and_then(StoreResponse::into_result),
+                                    );
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(err) => {
+                                reader_dead.store(true, Ordering::SeqCst);
+                                fail_all(&reader_pending, &err.to_string());
+                                return;
+                            }
+                        }
+                    }
+                };
+                reader_dead.store(true, Ordering::SeqCst);
+                fail_all(&reader_pending, &why);
+            })
+            .map_err(|err| ObladiError::Storage(format!("spawn reader: {err}")))?;
+
+        self.counters.connects.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::new(LiveConn {
+            tx,
+            pending,
+            dead,
+            stream,
+        }))
+    }
+
+    /// The current live connection, reconnecting once if it has died.
+    fn live(&self) -> Result<Arc<LiveConn>> {
+        let mut guard = self.conn.lock();
+        if let Some(conn) = guard.as_ref() {
+            if !conn.dead.load(Ordering::SeqCst) {
+                return Ok(conn.clone());
+            }
+            conn.close();
+            *guard = None;
+        }
+        let conn = self.establish()?;
+        *guard = Some(conn.clone());
+        Ok(conn)
+    }
+
+    /// Ships one request and blocks for its response.
+    fn call(&self, request: StoreRequest) -> Result<StoreResponse> {
+        let conn = self.live()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = Frame::for_message(id, request.encode())?;
+        let (tx, rx) = mpsc::channel();
+        conn.pending.lock().insert(id, tx);
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        if conn.tx.send(frame).is_err() {
+            conn.pending.lock().remove(&id);
+            return Err(ObladiError::Storage(
+                "storage daemon connection lost: writer gone".into(),
+            ));
+        }
+        // Close the register/collapse race: if the reader declared the
+        // connection dead between our liveness check and the insert above,
+        // its fail_all may have drained the map *before* our waiter was in
+        // it — and a first write into a dead TCP socket can still succeed
+        // into the kernel buffer, so nothing else would ever wake us.  If
+        // our entry is still present on a dead connection, fail it
+        // ourselves; if it is gone, fail_all owned it and recv() below
+        // returns promptly.
+        if conn.dead.load(Ordering::SeqCst) && conn.pending.lock().remove(&id).is_some() {
+            return Err(ObladiError::Storage(
+                "storage daemon connection lost: died while request was in flight".into(),
+            ));
+        }
+        match rx.recv_timeout(self.request_timeout) {
+            Ok(result) => result,
+            Err(_) => {
+                conn.pending.lock().remove(&id);
+                conn.close();
+                Err(ObladiError::Storage(format!(
+                    "storage request {id} timed out after {:?}",
+                    self.request_timeout
+                )))
+            }
+        }
+    }
+}
+
+impl Drop for RemoteStore {
+    fn drop(&mut self) {
+        self.disconnect();
+    }
+}
+
+fn unexpected(what: &str, got: &StoreResponse) -> ObladiError {
+    ObladiError::Storage(format!("unexpected response to {what}: {got:?}"))
+}
+
+impl UntrustedStore for RemoteStore {
+    fn read_slot(&self, bucket: BucketId, slot: u32) -> Result<Bytes> {
+        match self.call(StoreRequest::ReadSlot { bucket, slot })? {
+            StoreResponse::Slot(data) => Ok(data),
+            other => Err(unexpected("read_slot", &other)),
+        }
+    }
+
+    fn read_bucket(&self, bucket: BucketId) -> Result<BucketSnapshot> {
+        match self.call(StoreRequest::ReadBucket { bucket })? {
+            StoreResponse::Bucket(snapshot) => Ok(snapshot),
+            other => Err(unexpected("read_bucket", &other)),
+        }
+    }
+
+    fn write_bucket(&self, bucket: BucketId, slots: Vec<Bytes>) -> Result<Version> {
+        match self.call(StoreRequest::WriteBucket { bucket, slots })? {
+            StoreResponse::Version(version) => Ok(version),
+            other => Err(unexpected("write_bucket", &other)),
+        }
+    }
+
+    fn bucket_version(&self, bucket: BucketId) -> Result<Version> {
+        match self.call(StoreRequest::BucketVersion { bucket })? {
+            StoreResponse::Version(version) => Ok(version),
+            other => Err(unexpected("bucket_version", &other)),
+        }
+    }
+
+    fn revert_bucket(&self, bucket: BucketId, version: Version) -> Result<()> {
+        match self.call(StoreRequest::RevertBucket { bucket, version })? {
+            StoreResponse::Unit => Ok(()),
+            other => Err(unexpected("revert_bucket", &other)),
+        }
+    }
+
+    fn put_meta(&self, key: &str, value: Bytes) -> Result<()> {
+        let request = StoreRequest::PutMeta {
+            key: key.to_string(),
+            value,
+        };
+        match self.call(request)? {
+            StoreResponse::Unit => Ok(()),
+            other => Err(unexpected("put_meta", &other)),
+        }
+    }
+
+    fn get_meta(&self, key: &str) -> Result<Option<Bytes>> {
+        let request = StoreRequest::GetMeta {
+            key: key.to_string(),
+        };
+        match self.call(request)? {
+            StoreResponse::MetaValue(value) => Ok(value),
+            other => Err(unexpected("get_meta", &other)),
+        }
+    }
+
+    fn append_log(&self, record: Bytes) -> Result<u64> {
+        match self.call(StoreRequest::AppendLog { record })? {
+            StoreResponse::LogSeq(seq) => Ok(seq),
+            other => Err(unexpected("append_log", &other)),
+        }
+    }
+
+    fn read_log_from(&self, from: u64) -> Result<Vec<(u64, Bytes)>> {
+        // The server pages large logs (a single frame must stay inside the
+        // decoder's bound); follow the truncation flag until drained.
+        let mut all = Vec::new();
+        let mut next = from;
+        loop {
+            match self.call(StoreRequest::ReadLogFrom { from: next })? {
+                StoreResponse::LogRecords { records, truncated } => {
+                    let last_seq = records.last().map(|(seq, _)| *seq);
+                    all.extend(records);
+                    match (truncated, last_seq) {
+                        (true, Some(last_seq)) => next = last_seq + 1,
+                        // A truncated-but-empty page would loop forever;
+                        // treat it as the server's final word.
+                        _ => return Ok(all),
+                    }
+                }
+                other => return Err(unexpected("read_log_from", &other)),
+            }
+        }
+    }
+
+    fn truncate_log(&self, up_to: u64) -> Result<()> {
+        match self.call(StoreRequest::TruncateLog { up_to })? {
+            StoreResponse::Unit => Ok(()),
+            other => Err(unexpected("truncate_log", &other)),
+        }
+    }
+
+    fn truncate_log_tail(&self, from: u64) -> Result<()> {
+        match self.call(StoreRequest::TruncateLogTail { from })? {
+            StoreResponse::Unit => Ok(()),
+            other => Err(unexpected("truncate_log_tail", &other)),
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        match self.call(StoreRequest::Stats) {
+            Ok(StoreResponse::Stats(stats)) => stats,
+            // The trait's stats() is infallible; a dead daemon reports
+            // zeros rather than poisoning a stats scrape.
+            _ => StoreStats::default(),
+        }
+    }
+
+    fn reset_stats(&self) {
+        let _ = self.call(StoreRequest::ResetStats);
+    }
+}

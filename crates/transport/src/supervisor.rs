@@ -1,0 +1,310 @@
+//! Supervision of `obladi-stored` daemon processes: spawn, readiness,
+//! graceful stop, abrupt kill, respawn.
+//!
+//! A [`StorageSupervisor`] owns one daemon per shard, each with its own
+//! data directory (the durable op-log) and socket.  It exists for two
+//! customers:
+//!
+//! * `ShardedDb` with `StorageBackend::RemoteSpawned` — production-shaped
+//!   deployments where each shard's ORAM pipeline runs against its own
+//!   out-of-process storage server;
+//! * the chaos harness — [`StorageSupervisor::kill`] is a genuine
+//!   `SIGKILL` (no flush, no handshake), and [`StorageSupervisor::respawn`]
+//!   restarts the daemon over the *same* data directory, which is what
+//!   forces the op-log replay + proxy WAL recovery path the acceptance
+//!   test asserts.
+
+use crate::addr::SocketSpec;
+use crate::client::RemoteStore;
+use obladi_common::error::{ObladiError, Result};
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Environment variable overriding the daemon binary location.
+pub const STORED_BIN_ENV: &str = "OBLADI_STORED_BIN";
+
+/// How long to wait for a spawned daemon to answer a ping.
+const READY_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Finds the `obladi-stored` binary: the [`STORED_BIN_ENV`] override
+/// first, then next to the current executable and its ancestors (which
+/// covers `target/{debug,release}` for tests, benches and examples alike).
+pub fn locate_stored_binary() -> Result<PathBuf> {
+    if let Ok(path) = std::env::var(STORED_BIN_ENV) {
+        let path = PathBuf::from(path);
+        if path.is_file() {
+            return Ok(path);
+        }
+        return Err(ObladiError::Config(format!(
+            "{STORED_BIN_ENV}={} does not exist",
+            path.display()
+        )));
+    }
+    let name = if cfg!(windows) {
+        "obladi-stored.exe"
+    } else {
+        "obladi-stored"
+    };
+    if let Ok(exe) = std::env::current_exe() {
+        let mut dir = exe.parent();
+        for _ in 0..3 {
+            if let Some(d) = dir {
+                let candidate = d.join(name);
+                if candidate.is_file() {
+                    return Ok(candidate);
+                }
+                dir = d.parent();
+            }
+        }
+    }
+    Err(ObladiError::Config(format!(
+        "cannot locate the obladi-stored binary; build it with \
+         `cargo build -p obladi-transport` or point {STORED_BIN_ENV} at it"
+    )))
+}
+
+struct DaemonSlot {
+    spec: SocketSpec,
+    data_dir: PathBuf,
+    child: Option<Child>,
+}
+
+/// Owns and supervises one storage daemon per shard.
+pub struct StorageSupervisor {
+    binary: PathBuf,
+    base_dir: PathBuf,
+    owns_base_dir: bool,
+    slots: Vec<Mutex<DaemonSlot>>,
+}
+
+/// Distinguishes concurrently created supervisors within one process.
+static SUPERVISOR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl StorageSupervisor {
+    /// Spawns `count` daemons under a fresh temporary base directory.
+    pub fn spawn(count: usize) -> Result<StorageSupervisor> {
+        // Nanosecond timestamp in the name: pids recycle, and a stale
+        // directory left by a killed test process must never be mistaken
+        // for this deployment's (its op-logs would replay foreign state).
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        let base = std::env::temp_dir().join(format!(
+            "obladi-stored-{}-{}-{nanos:x}",
+            std::process::id(),
+            SUPERVISOR_SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        StorageSupervisor::spawn_in(&base, count, true)
+    }
+
+    /// Spawns `count` daemons under `base_dir` (kept on drop unless
+    /// `owns_base_dir`; an owned directory is wiped first — a *fresh*
+    /// deployment must not inherit whatever a previous occupant of the
+    /// path left behind).
+    pub fn spawn_in(
+        base_dir: &Path,
+        count: usize,
+        owns_base_dir: bool,
+    ) -> Result<StorageSupervisor> {
+        let binary = locate_stored_binary()?;
+        if owns_base_dir && base_dir.exists() {
+            let _ = std::fs::remove_dir_all(base_dir);
+        }
+        std::fs::create_dir_all(base_dir).map_err(|err| {
+            ObladiError::Storage(format!(
+                "cannot create supervisor dir {}: {err}",
+                base_dir.display()
+            ))
+        })?;
+        let mut supervisor = StorageSupervisor {
+            binary,
+            base_dir: base_dir.to_path_buf(),
+            owns_base_dir,
+            slots: Vec::with_capacity(count),
+        };
+        for index in 0..count {
+            let data_dir = base_dir.join(format!("shard{index}"));
+            let spec = daemon_spec(base_dir, index)?;
+            supervisor.slots.push(Mutex::new(DaemonSlot {
+                spec,
+                data_dir,
+                child: None,
+            }));
+            supervisor.respawn(index)?;
+        }
+        Ok(supervisor)
+    }
+
+    /// Number of supervised daemons.
+    pub fn count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The endpoint daemon `index` listens on.
+    pub fn addr(&self, index: usize) -> SocketSpec {
+        self.slots[index].lock().spec.clone()
+    }
+
+    /// Daemon `index`'s data directory (holds its durable op-log).
+    pub fn data_dir(&self, index: usize) -> PathBuf {
+        self.slots[index].lock().data_dir.clone()
+    }
+
+    /// The daemon's OS process id, if it is currently running.
+    pub fn pid(&self, index: usize) -> Option<u32> {
+        self.slots[index].lock().child.as_ref().map(Child::id)
+    }
+
+    /// Kills daemon `index` abruptly (`SIGKILL`): no flush, no goodbye.
+    /// Acknowledged operations must nevertheless survive, courtesy of the
+    /// durable op-log.
+    pub fn kill(&self, index: usize) -> Result<()> {
+        let mut slot = self.slots[index].lock();
+        match slot.child.as_mut() {
+            Some(child) => {
+                child
+                    .kill()
+                    .map_err(|err| ObladiError::Storage(format!("kill daemon {index}: {err}")))?;
+                let _ = child.wait();
+                slot.child = None;
+                Ok(())
+            }
+            None => Err(ObladiError::Storage(format!(
+                "daemon {index} is not running"
+            ))),
+        }
+    }
+
+    /// (Re)spawns daemon `index` over its existing data directory and
+    /// waits until it answers a ping.
+    pub fn respawn(&self, index: usize) -> Result<()> {
+        let mut slot = self.slots[index].lock();
+        if let Some(child) = slot.child.as_mut() {
+            if child.try_wait().ok().flatten().is_none() {
+                return Err(ObladiError::Storage(format!(
+                    "daemon {index} is still running; kill or stop it first"
+                )));
+            }
+            slot.child = None;
+        }
+        let log_path = slot.data_dir.join("daemon.log");
+        std::fs::create_dir_all(&slot.data_dir)
+            .map_err(|err| ObladiError::Storage(format!("cannot create daemon data dir: {err}")))?;
+        let log = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&log_path)
+            .map_err(|err| ObladiError::Storage(format!("cannot open daemon log: {err}")))?;
+        let child = Command::new(&self.binary)
+            .arg("--listen")
+            .arg(slot.spec.to_string())
+            .arg("--data")
+            .arg(&slot.data_dir)
+            .stdin(Stdio::null())
+            .stdout(Stdio::from(log.try_clone().map_err(|err| {
+                ObladiError::Storage(format!("cannot clone daemon log handle: {err}"))
+            })?))
+            .stderr(Stdio::from(log))
+            .spawn()
+            .map_err(|err| {
+                ObladiError::Storage(format!("cannot spawn {}: {err}", self.binary.display()))
+            })?;
+        slot.child = Some(child);
+        let spec = slot.spec.clone();
+        drop(slot);
+        self.wait_ready(index, &spec)
+    }
+
+    /// Stops daemon `index` gracefully: a `Shutdown` request, then a
+    /// bounded wait, then `SIGKILL` as the fallback.
+    pub fn stop(&self, index: usize) {
+        // Nothing to do for a daemon that is already gone (killed, or a
+        // second stop from Drop after an explicit stop_all) — connecting
+        // to its stale socket would just burn the retry deadline.
+        {
+            let mut slot = self.slots[index].lock();
+            match slot.child.as_mut() {
+                None => return,
+                Some(child) => {
+                    if child.try_wait().ok().flatten().is_some() {
+                        slot.child = None;
+                        return;
+                    }
+                }
+            }
+        }
+        let spec = self.addr(index);
+        if let Ok(client) = RemoteStore::connect(spec, Duration::from_millis(500)) {
+            let _ = client.shutdown_server();
+        }
+        let mut slot = self.slots[index].lock();
+        if let Some(mut child) = slot.child.take() {
+            let deadline = std::time::Instant::now() + Duration::from_secs(3);
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if std::time::Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stops every daemon gracefully.
+    pub fn stop_all(&self) {
+        for index in 0..self.slots.len() {
+            self.stop(index);
+        }
+    }
+
+    fn wait_ready(&self, index: usize, spec: &SocketSpec) -> Result<()> {
+        let probe = RemoteStore::connect(spec.clone(), READY_TIMEOUT).map_err(|err| {
+            ObladiError::Storage(format!("daemon {index} never became ready: {err}"))
+        })?;
+        probe.ping().map_err(|err| {
+            ObladiError::Storage(format!("daemon {index} failed its readiness ping: {err}"))
+        })?;
+        Ok(())
+    }
+}
+
+impl Drop for StorageSupervisor {
+    fn drop(&mut self) {
+        self.stop_all();
+        if self.owns_base_dir {
+            let _ = std::fs::remove_dir_all(&self.base_dir);
+        }
+    }
+}
+
+/// The per-daemon endpoint: a Unix socket in the base directory.  Spawned
+/// supervision needs a *stable* address across kill/respawn cycles, which
+/// an ephemeral TCP port cannot give; non-Unix platforms should run the
+/// daemons themselves on fixed ports and use `StorageBackend::RemoteAddr`.
+fn daemon_spec(base_dir: &Path, index: usize) -> Result<SocketSpec> {
+    #[cfg(unix)]
+    {
+        Ok(SocketSpec::Unix(
+            base_dir.join(format!("shard{index}.sock")),
+        ))
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = (base_dir, index);
+        Err(ObladiError::Config(
+            "RemoteSpawned storage needs unix sockets; use RemoteAddr with fixed tcp: \
+             addresses on this platform"
+                .into(),
+        ))
+    }
+}

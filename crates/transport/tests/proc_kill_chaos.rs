@@ -1,0 +1,63 @@
+//! Process-kill chaos through the sharded front door: `kill -9` one
+//! shard's `obladi-stored` daemon mid-epoch, respawn it, recover the
+//! shard, and assert the full oracle battery (all-or-nothing,
+//! acknowledged-implies-durable, recovery idempotence, serializability,
+//! 2PC decision drain).
+//!
+//! A fast smoke case runs in the default tier; the full schedule (kill
+//! depths × victim sides) is `#[ignore]`d for the release chaos job
+//! (`cargo test --release -- --ignored`).
+
+use obladi_testkit::{proc_kill_schedule, run_proc_kill_case};
+use obladi_transport::STORED_BIN_ENV;
+
+fn set_stored_bin() {
+    std::env::set_var(STORED_BIN_ENV, env!("CARGO_BIN_EXE_obladi-stored"));
+}
+
+/// One representative case: the daemon dies after the first acknowledged
+/// cross-shard commit, with both hammered pairs hot through the victim.
+#[test]
+fn storage_daemon_kill9_smoke() {
+    set_stored_bin();
+    let schedule = proc_kill_schedule();
+    let case = schedule
+        .iter()
+        .find(|case| case.kill_after_acked == 1 && !case.victim_second)
+        .expect("schedule has the smoke case");
+    let report = run_proc_kill_case(case, 0xD1E5_0001).unwrap();
+    assert!(
+        report.attempts[0] + report.attempts[1] > 0,
+        "hammers never attempted anything: {report:?}"
+    );
+    assert_ne!(report.pids.0, report.pids.1, "respawn must change the pid");
+}
+
+/// The full sweep: every kill depth on either side of the pair.
+#[test]
+#[ignore = "full process-kill sweep; run with --ignored in the release chaos job"]
+fn storage_daemon_kill9_sweep() {
+    set_stored_bin();
+    let mut failures = Vec::new();
+    for (index, case) in proc_kill_schedule().iter().enumerate() {
+        match run_proc_kill_case(case, 0xD1E5_1000 + index as u64) {
+            Ok(report) => {
+                println!(
+                    "[{}] acked={:?} attempts={:?} in_doubt={} replayed={} pids={:?}",
+                    report.name,
+                    report.acked,
+                    report.attempts,
+                    report.in_doubt,
+                    report.replayed_commits,
+                    report.pids
+                );
+            }
+            Err(err) => failures.push(format!("{}: {err}", case.name)),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "failed cases:\n{}",
+        failures.join("\n")
+    );
+}

@@ -1,0 +1,104 @@
+//! Lifecycle tests of the real `obladi-stored` daemon binary: spawn,
+//! serve, graceful shutdown, `kill -9`, respawn over the same data
+//! directory — asserting that every acknowledged operation survives the
+//! kill via op-log replay.
+//!
+//! These tests live in `crates/transport` so `CARGO_BIN_EXE_obladi-stored`
+//! guarantees cargo built the daemon before running them.
+
+use bytes::Bytes;
+use obladi_storage::UntrustedStore;
+use obladi_transport::{RemoteStore, StorageSupervisor, STORED_BIN_ENV};
+use std::time::Duration;
+
+/// Points the supervisor at the binary cargo just built, wherever the
+/// test process runs from.
+fn set_stored_bin() {
+    std::env::set_var(STORED_BIN_ENV, env!("CARGO_BIN_EXE_obladi-stored"));
+}
+
+#[test]
+fn daemon_serves_and_shuts_down_gracefully() {
+    set_stored_bin();
+    let supervisor = StorageSupervisor::spawn(1).unwrap();
+    let client = RemoteStore::connect(supervisor.addr(0), Duration::from_secs(10)).unwrap();
+    client
+        .write_bucket(1, vec![Bytes::from_static(b"hello daemon")])
+        .unwrap();
+    assert_eq!(&client.read_slot(1, 0).unwrap()[..], b"hello daemon");
+    supervisor.stop(0);
+    assert!(
+        client.read_slot(1, 0).is_err(),
+        "a stopped daemon must not answer"
+    );
+}
+
+#[test]
+fn acknowledged_writes_survive_kill_minus_nine() {
+    set_stored_bin();
+    let supervisor = StorageSupervisor::spawn(1).unwrap();
+    let client = RemoteStore::connect(supervisor.addr(0), Duration::from_secs(10)).unwrap();
+
+    // Acknowledged state of every mutating kind.
+    client
+        .write_bucket(7, vec![Bytes::from_static(b"v1")])
+        .unwrap();
+    client
+        .write_bucket(7, vec![Bytes::from_static(b"v2")])
+        .unwrap();
+    client.revert_bucket(7, 1).unwrap();
+    client
+        .put_meta("checkpoint", Bytes::from_static(b"ckpt"))
+        .unwrap();
+    assert_eq!(client.append_log(Bytes::from_static(b"wal-0")).unwrap(), 0);
+    assert_eq!(client.append_log(Bytes::from_static(b"wal-1")).unwrap(), 1);
+    client.truncate_log(1).unwrap();
+
+    let pid_before = supervisor.pid(0).expect("daemon running");
+    supervisor.kill(0).unwrap();
+    assert!(
+        client.read_slot(7, 0).is_err(),
+        "a SIGKILLed daemon must surface as a storage fault"
+    );
+
+    supervisor.respawn(0).unwrap();
+    let pid_after = supervisor.pid(0).expect("daemon respawned");
+    assert_ne!(pid_before, pid_after, "respawn must be a new process");
+
+    // The same client reattaches; every acknowledged operation is back.
+    assert_eq!(&client.read_slot(7, 0).unwrap()[..], b"v1");
+    assert_eq!(client.bucket_version(7).unwrap(), 1);
+    assert_eq!(
+        client.get_meta("checkpoint").unwrap(),
+        Some(Bytes::from_static(b"ckpt"))
+    );
+    let log = client.read_log_from(0).unwrap();
+    assert_eq!(log.len(), 1);
+    assert_eq!(log[0].0, 1);
+    assert_eq!(&log[0].1[..], b"wal-1");
+    // Sequence numbers continue from the replayed history.
+    assert_eq!(client.append_log(Bytes::from_static(b"wal-2")).unwrap(), 2);
+    supervisor.stop_all();
+}
+
+#[test]
+fn kill_respawn_cycles_accumulate_state() {
+    set_stored_bin();
+    let supervisor = StorageSupervisor::spawn(1).unwrap();
+    let client = RemoteStore::connect(supervisor.addr(0), Duration::from_secs(10)).unwrap();
+    for round in 0u64..3 {
+        client
+            .write_bucket(round, vec![Bytes::from(vec![round as u8])])
+            .unwrap();
+        supervisor.kill(0).unwrap();
+        supervisor.respawn(0).unwrap();
+        for earlier in 0..=round {
+            assert_eq!(
+                client.read_slot(earlier, 0).unwrap(),
+                Bytes::from(vec![earlier as u8]),
+                "round {round}: bucket {earlier} lost"
+            );
+        }
+    }
+    supervisor.stop_all();
+}

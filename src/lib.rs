@@ -18,6 +18,7 @@
 //! | [`oram`] | Ring ORAM and the batched/parallel executor |
 //! | [`core`] | the Obladi proxy: MVTSO, epochs, durability, baselines |
 //! | [`shard`] | sharded scale-out: N proxy+ORAM pipelines behind one front door |
+//! | [`transport`] | framed RPC to out-of-process storage + the `obladi-stored` daemon |
 //! | [`workloads`] | TPC-C, SmallBank, FreeHealth, YCSB and the load driver |
 //!
 //! ## Quick start
@@ -52,12 +53,13 @@ pub use obladi_crypto as crypto;
 pub use obladi_oram as oram;
 pub use obladi_shard as shard;
 pub use obladi_storage as storage;
+pub use obladi_transport as transport;
 pub use obladi_workloads as workloads;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
-    pub use obladi_common::config::ShardConfig;
     pub use obladi_common::config::{BackendKind, EpochConfig, ObladiConfig, OramConfig};
+    pub use obladi_common::config::{ShardConfig, StorageBackend};
     pub use obladi_common::error::{ObladiError, Result};
     pub use obladi_common::types::{Key, TxnOutcome, Value};
     pub use obladi_core::{

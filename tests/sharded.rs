@@ -3,7 +3,6 @@
 //! by the testkit oracle), and single-shard crash / recovery behind the
 //! front door.
 
-use obladi::common::types::TxnId;
 use obladi::prelude::*;
 use obladi_testkit::cross_shard_pair;
 use obladi_testkit::history::{check_serializable, tag_value, History, TxnRecord};
@@ -19,43 +18,8 @@ fn sharded_config(shards: usize) -> ShardConfig {
 }
 
 /// Commits `body` with retries on retryable aborts, returning the
-/// transaction id it committed under.
-fn commit_with_retries(
-    db: &ShardedDb,
-    mut body: impl FnMut(&mut ShardedTxn<'_>) -> Result<()>,
-) -> Result<TxnId> {
-    let mut last_err = None;
-    let mut jitter = obladi::common::rng::DetRng::new(0x7e57_3a11);
-    for attempt in 0..100 {
-        if attempt > 0 {
-            // A jittered pause gives a fresh epoch a moment to open and
-            // de-phases the retry from the pipelined epoch rhythm (a
-            // cross-shard read needs every touched shard outside its
-            // deciding window at once).
-            std::thread::sleep(Duration::from_millis(1 + jitter.below(7)));
-        }
-        let mut txn = db.begin()?;
-        match body(&mut txn) {
-            Ok(()) => {}
-            Err(err) if err.is_retryable() => {
-                last_err = Some(err);
-                continue;
-            }
-            Err(err) => return Err(err),
-        }
-        let id = txn.id();
-        match txn.commit() {
-            Ok(outcome) if outcome.is_committed() => return Ok(id),
-            Ok(_) => continue,
-            Err(err) if err.is_retryable() => {
-                last_err = Some(err);
-                continue;
-            }
-            Err(err) => return Err(err),
-        }
-    }
-    Err(last_err.unwrap_or(ObladiError::Internal("retries exhausted".into())))
-}
+/// transaction id it committed under (shared testkit helper).
+use obladi_testkit::shard_chaos::commit_with_retries;
 
 #[test]
 fn cross_shard_transaction_commits_and_reads_back() {
@@ -358,5 +322,22 @@ fn sharded_front_door_runs_the_generic_execute_api() {
         })
         .unwrap();
     assert_eq!(value, Some(vec![7, 7]));
+    db.shutdown();
+}
+
+#[test]
+fn per_shard_executor_pool_sizing_reaches_each_shard() {
+    // The ROADMAP's "per-shard OS threads" item, first half: one shard can
+    // run a bigger ORAM executor pool than its neighbour.
+    let config = sharded_config(2).with_executor_threads_per_shard(vec![2, 5]);
+    let db = ShardedDb::open(config).unwrap();
+    assert_eq!(db.shard(0).config().epoch.executor_threads, 2);
+    assert_eq!(db.shard(1).config().epoch.executor_threads, 5);
+    // The asymmetric deployment still serves transactions on both shards.
+    let pair = obladi_testkit::cross_shard_pair(&db);
+    let mut history = obladi_testkit::history::History::new();
+    let committed =
+        obladi_testkit::shard_chaos::write_pair_tagged(&db, pair, &mut history, 100, &|| false);
+    assert!(committed.is_some(), "cross-shard commit failed");
     db.shutdown();
 }
