@@ -14,7 +14,9 @@ use crate::opts::BenchOpts;
 use crate::profiles::StorageProfile;
 use obladi_common::config::{ObladiConfig, ShardConfig};
 use obladi_shard::ShardedDb;
-use obladi_workloads::{run_deployment, YcsbConfig, YcsbWorkload};
+use obladi_workloads::{
+    run_deployment, SmallBankConfig, SmallBankWorkload, Workload, YcsbConfig, YcsbWorkload,
+};
 use std::time::Duration;
 
 /// Shard counts swept by the experiment (1 = unsharded baseline topology).
@@ -43,18 +45,72 @@ fn workload(opts: &BenchOpts, ops_per_txn: usize) -> YcsbWorkload {
     })
 }
 
+/// Runs one mix × shard-count cell against the shared Memory storage
+/// profile, printing the row.
+fn run_scaleout_cell<W: Workload>(opts: &BenchOpts, mix: &str, workload: &W, shards: usize) {
+    let clients = opts.clients.max(32);
+    let config = ShardConfig {
+        shards,
+        shard: shard_template(opts),
+        ..ShardConfig::default()
+    };
+    let built = StorageProfile::Memory
+        .build(shards, opts.seed)
+        .expect("memory profile cannot fail");
+    let db = match ShardedDb::open_with_stores(config, built.stores.clone()) {
+        Ok(db) => db,
+        Err(err) => {
+            print_row(&[
+                mix.to_string(),
+                format!("obladi-{shards}shards"),
+                format!("failed: {err}"),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+            return;
+        }
+    };
+    let (label, stats) = run_deployment(&db, workload, clients, opts.duration, opts.seed)
+        .expect("workload setup failed");
+    let sharded = db.stats();
+    let total = stats.committed + stats.aborted;
+    let abort_rate = if total == 0 {
+        0.0
+    } else {
+        stats.aborted as f64 / total as f64
+    };
+    let cross_share = if sharded.committed == 0 {
+        0.0
+    } else {
+        sharded.cross_shard_committed as f64 / sharded.committed as f64
+    };
+    print_row(&[
+        mix.to_string(),
+        label,
+        fmt1(stats.throughput()),
+        format!("{abort_rate:.3}"),
+        format!("{cross_share:.3}"),
+        sharded.global_epochs.to_string(),
+    ]);
+    db.shutdown();
+}
+
 /// Runs the shard-count sweep, printing committed throughput, abort rate
 /// and the share of committed transactions that spanned several shards.
 ///
-/// Two YCSB mixes are swept.  Single-key transactions model the
-/// partition-friendly traffic sharding exists for: each transaction runs
-/// entirely on one shard, so independent epoch pipelines multiply capacity.
-/// Four-key transactions are the adversarial mix: a uniform router makes
-/// nearly every transaction cross-shard, exposing the cost of the global
-/// epoch barrier and the unanimous commit vote.
+/// Two YCSB mixes plus a SmallBank mix are swept.  Single-key YCSB
+/// transactions model the partition-friendly traffic sharding exists for:
+/// each transaction runs entirely on one shard, so independent epoch
+/// pipelines multiply capacity.  Four-key YCSB is the adversarial mix: a
+/// uniform router makes nearly every transaction cross-shard, exposing the
+/// cost of the global epoch barrier and the unanimous commit vote.
+/// SmallBank sits between them — realistic short transactions over
+/// checking/savings account pairs (2–4 keys, hotspot-skewed), the first
+/// step on the ROADMAP's "scale-out benchmarking depth" item.
 pub fn run_fig_shard(opts: &BenchOpts) {
     print_header(
-        "Shard scale-out — YCSB throughput vs shard count",
+        "Shard scale-out — YCSB + SmallBank throughput vs shard count",
         &[
             "mix",
             "deployment",
@@ -64,69 +120,31 @@ pub fn run_fig_shard(opts: &BenchOpts) {
             "global_epochs",
         ],
     );
-    // Closed-loop clients must outnumber one shard's per-epoch commit
-    // capacity, or the clients (not the pipeline) are the bottleneck and
-    // every topology measures the same.
-    let clients = opts.clients.max(32);
     for (mix, ops_per_txn) in [("1key", 1usize), ("4key", 4)] {
         let workload = workload(opts, ops_per_txn);
         for shards in SHARD_COUNTS {
-            let config = ShardConfig {
-                shards,
-                shard: shard_template(opts),
-                ..ShardConfig::default()
-            };
-            let built = StorageProfile::Memory
-                .build(shards, opts.seed)
-                .expect("memory profile cannot fail");
-            let db = match ShardedDb::open_with_stores(config, built.stores.clone()) {
-                Ok(db) => db,
-                Err(err) => {
-                    print_row(&[
-                        mix.to_string(),
-                        format!("obladi-{shards}shards"),
-                        format!("failed: {err}"),
-                        "-".to_string(),
-                        "-".to_string(),
-                        "-".to_string(),
-                    ]);
-                    continue;
-                }
-            };
-            let (label, stats) = run_deployment(&db, &workload, clients, opts.duration, opts.seed)
-                .expect("workload setup failed");
-            let sharded = db.stats();
-            let total = stats.committed + stats.aborted;
-            let abort_rate = if total == 0 {
-                0.0
-            } else {
-                stats.aborted as f64 / total as f64
-            };
-            let cross_share = if sharded.committed == 0 {
-                0.0
-            } else {
-                sharded.cross_shard_committed as f64 / sharded.committed as f64
-            };
-            print_row(&[
-                mix.to_string(),
-                label,
-                fmt1(stats.throughput()),
-                format!("{abort_rate:.3}"),
-                format!("{cross_share:.3}"),
-                sharded.global_epochs.to_string(),
-            ]);
-            db.shutdown();
+            run_scaleout_cell(opts, mix, &workload, shards);
         }
+    }
+    let smallbank = SmallBankWorkload::new(SmallBankConfig {
+        num_accounts: if opts.full { 1_024 } else { 256 },
+        hotspot_fraction: 0.1,
+        hotspot_probability: 0.25,
+    });
+    for shards in SHARD_COUNTS {
+        run_scaleout_cell(opts, "smallbank", &smallbank, shards);
     }
 }
 
 /// Storage shapes swept by the pipeline experiment (from the shared
-/// [`StorageProfile`] catalogue).  The uniform shapes measure the
-/// pipeline's cost side (the ORAM client serialises a shard's own reads
-/// against its own write-back, so homogeneous shards gain little period);
-/// the skewed shape measures its win side: one slow shard holds the
-/// rendezvous open, and at depth 2 the fast shards' next-epoch reads run
-/// inside that window instead of parking.
+/// [`StorageProfile`] catalogue).  The skewed shape measures the barrier
+/// pipeline's win (one slow shard holds the rendezvous open; at depth 2
+/// the fast shards' next-epoch reads run inside that window), and — with
+/// the split ORAM client — the uniform-latency and remote-socket shapes
+/// now measure the *write-back* overlap: every shard's epoch `N` flush
+/// round-trips (most expensive over the spawned `obladi-stored` daemons)
+/// run while its own epoch `N+1` reads execute, instead of serializing
+/// behind one client lock.
 fn pipeline_profiles() -> Vec<StorageProfile> {
     vec![
         StorageProfile::Memory,
@@ -135,6 +153,7 @@ fn pipeline_profiles() -> Vec<StorageProfile> {
             shard: 2,
             read_latency: Duration::from_millis(2),
         },
+        StorageProfile::RemoteSocket,
     ]
 }
 

@@ -33,6 +33,25 @@ pub enum ObladiError {
     },
     /// The proxy is currently crashed / not serving requests.
     ProxyUnavailable,
+    /// A cross-shard transaction's legs could not align on one epoch
+    /// rendezvous: the shard offers no epoch deciding at the rendezvous the
+    /// transaction's first leg fixed.  A *liveness* retry, not a data
+    /// conflict — the caller should re-stamp and try again (the pipeline
+    /// phases drift back into compatibility within an epoch or two).  The
+    /// conflicting generations are attached so callers and tests can
+    /// distinguish this from real conflicts and reason about the drift.
+    PipelineIncompatible {
+        /// Shard whose leg could not open.
+        shard: usize,
+        /// The rendezvous class the transaction's first leg fixed
+        /// (0 = the shards' next rendezvous, 1 = the one after).
+        round_class: u8,
+        /// The shard's executing epoch generation at stamping time.
+        exec_generation: u64,
+        /// The shard's open deciding epoch generation at stamping time,
+        /// if any.
+        deciding_generation: Option<u64>,
+    },
     /// Recovery could not complete, e.g. because the write-ahead log is
     /// corrupt or the trusted counter disagrees with storage.
     Recovery(String),
@@ -56,6 +75,17 @@ impl fmt::Display for ObladiError {
                 write!(f, "stash overflow: {len} blocks exceeds maximum {max}")
             }
             ObladiError::ProxyUnavailable => write!(f, "proxy unavailable (crashed)"),
+            ObladiError::PipelineIncompatible {
+                shard,
+                round_class,
+                exec_generation,
+                deciding_generation,
+            } => write!(
+                f,
+                "pipeline phases incompatible (liveness retry): shard {shard} offers no epoch \
+                 deciding at rendezvous class {round_class} (executing generation \
+                 {exec_generation}, deciding generation {deciding_generation:?})"
+            ),
             ObladiError::Recovery(msg) => write!(f, "recovery failed: {msg}"),
             ObladiError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             ObladiError::Codec(msg) => write!(f, "encoding error: {msg}"),
@@ -72,8 +102,18 @@ impl ObladiError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            ObladiError::TxnAborted(_) | ObladiError::BatchFull(_) | ObladiError::ProxyUnavailable
+            ObladiError::TxnAborted(_)
+                | ObladiError::BatchFull(_)
+                | ObladiError::ProxyUnavailable
+                | ObladiError::PipelineIncompatible { .. }
         )
+    }
+
+    /// Returns `true` for a pure *liveness* retry: nothing conflicted, the
+    /// deployment's pipeline phases were merely misaligned for this
+    /// transaction's rendezvous.  Subset of [`ObladiError::is_retryable`].
+    pub fn is_liveness_retry(&self) -> bool {
+        matches!(self, ObladiError::PipelineIncompatible { .. })
     }
 }
 

@@ -28,7 +28,7 @@ use obladi_common::error::{ObladiError, Result};
 use obladi_common::types::{EpochId, Key, TxnId, Value};
 use obladi_crypto::{Envelope, KeyMaterial, SealedBlock, Sha256};
 use obladi_oram::client::{PathLogger, SlotRead};
-use obladi_oram::{ExecOptions, MetaDelta, OramMeta, RingOram};
+use obladi_oram::{CheckpointSource, ExecOptions, MetaDelta, OramMeta, RingOram};
 use obladi_storage::wal::{WalRecord, WalRecordKind, WriteAheadLog};
 use obladi_storage::{TrustedCounter, UntrustedStore};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -349,7 +349,13 @@ impl DurabilityManager {
     /// Checkpoints the proxy metadata for `epoch` and marks the epoch
     /// durable.  Every `checkpoint_every`-th epoch writes a full checkpoint,
     /// others write deltas.
-    pub fn commit_epoch(&self, epoch: EpochId, oram: &mut RingOram) -> Result<()> {
+    ///
+    /// `oram` is whichever half of the client can produce checkpoints: the
+    /// monolithic [`RingOram`] facade (recovery replay) or the proxy's
+    /// [`obladi_oram::WritebackEngine`], whose checkpoint methods quiesce
+    /// the concurrent read plane first so the delta can never capture a
+    /// block that is physically in flight and findable nowhere.
+    pub fn commit_epoch(&self, epoch: EpochId, oram: &mut dyn CheckpointSource) -> Result<()> {
         if !self.enabled {
             return Ok(());
         }
@@ -358,14 +364,14 @@ impl DurabilityManager {
         // epoch refreshes the base.
         let full = epoch == 1 || epoch.is_multiple_of(self.checkpoint_every as u64);
         if full {
-            let payload = oram.checkpoint_full();
+            let payload = oram.checkpoint_full()?;
             let sealed = self
                 .envelope
                 .seal(LOC_FULL, epoch, &payload, payload.len())?;
             self.wal
                 .append(WalRecordKind::CheckpointFull, epoch, &sealed.bytes)?;
         } else {
-            let delta = oram.checkpoint_delta(self.max_position_delta);
+            let delta = oram.checkpoint_delta(self.max_position_delta)?;
             let payload = delta.encode();
             let sealed = self
                 .envelope
@@ -641,12 +647,26 @@ impl DurabilityManager {
     }
 }
 
-impl PathLogger for DurabilityManager {
-    fn log_reads(&self, reads: &[SlotRead]) -> Result<()> {
+impl DurabilityManager {
+    /// A [`PathLogger`] whose records are tagged with an explicit epoch.
+    ///
+    /// With the split client, the read plane logs epoch `N+1`'s paths while
+    /// the write-back engine concurrently logs epoch `N`'s eviction paths —
+    /// a single shared "current epoch" register would let the two threads
+    /// mislabel each other's records.  Each epoch thread instead carries its
+    /// own tagged logger; the WAL's epoch-ordering rule still bounds how far
+    /// ahead either may run.
+    pub fn logger_for(&self, epoch: EpochId) -> EpochPathLogger<'_> {
+        EpochPathLogger {
+            manager: self,
+            epoch,
+        }
+    }
+
+    fn log_reads_for_epoch(&self, epoch: EpochId, reads: &[SlotRead]) -> Result<()> {
         if !self.enabled || reads.is_empty() {
             return Ok(());
         }
-        let epoch = self.current_epoch.load(Ordering::SeqCst);
         let payload = SlotRead::encode_list(reads);
         let sealed = self
             .envelope
@@ -654,6 +674,25 @@ impl PathLogger for DurabilityManager {
         self.wal
             .append(WalRecordKind::PathLog, epoch, &sealed.bytes)?;
         Ok(())
+    }
+}
+
+/// A [`PathLogger`] bound to one epoch (see
+/// [`DurabilityManager::logger_for`]).
+pub struct EpochPathLogger<'a> {
+    manager: &'a DurabilityManager,
+    epoch: EpochId,
+}
+
+impl PathLogger for EpochPathLogger<'_> {
+    fn log_reads(&self, reads: &[SlotRead]) -> Result<()> {
+        self.manager.log_reads_for_epoch(self.epoch, reads)
+    }
+}
+
+impl PathLogger for DurabilityManager {
+    fn log_reads(&self, reads: &[SlotRead]) -> Result<()> {
+        self.log_reads_for_epoch(self.current_epoch.load(Ordering::SeqCst), reads)
     }
 }
 

@@ -37,7 +37,7 @@ use obladi_common::config::ObladiConfig;
 use obladi_common::error::{ObladiError, Result};
 use obladi_common::types::{AbortReason, EpochId, Key, TxnId, TxnOutcome, Value};
 use obladi_crypto::KeyMaterial;
-use obladi_oram::{ExecOptions, RingOram};
+use obladi_oram::{ExecOptions, OramReader, RingOram, WritebackEngine};
 use obladi_storage::{build_backend, TrustedCounter, UntrustedStore};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::{HashMap, HashSet};
@@ -109,6 +109,28 @@ pub trait EpochGate: Send + Sync {
     /// epoch `N+1` fire while epoch `N`'s `permit_commits` call is still in
     /// flight; instrumented gates use this to prove the overlap.
     fn read_batch_starting(&self, epoch: EpochId) {
+        let _ = epoch;
+    }
+
+    /// Called (with no proxy locks held) right after a read batch of
+    /// `epoch` has executed and its values registered.  Together with
+    /// [`EpochGate::write_back_starting`] / [`EpochGate::write_back_finished`]
+    /// this lets an instrumented gate prove that a whole epoch `N+1` read
+    /// batch started *and completed* while epoch `N`'s write-back was still
+    /// in flight — the overlap the split ORAM client exists for.
+    fn read_batch_finished(&self, epoch: EpochId) {
+        let _ = epoch;
+    }
+
+    /// Called just before the decider hands epoch `N`'s write batch, flush
+    /// and checkpoint to the write-back engine.
+    fn write_back_starting(&self, epoch: EpochId) {
+        let _ = epoch;
+    }
+
+    /// Called once epoch `N`'s write-back (including the checkpoint) has
+    /// completed successfully, before its outcomes publish.
+    fn write_back_finished(&self, epoch: EpochId) {
         let _ = epoch;
     }
 
@@ -231,7 +253,15 @@ struct ProxyInner {
     keys: KeyMaterial,
     store: Arc<dyn UntrustedStore>,
     durability: DurabilityManager,
-    oram: Mutex<Option<RingOram>>,
+    /// The ORAM client's read plane, driven only by the epoch executor.
+    /// With the split client the executor and decider no longer contend on
+    /// one `&mut` client: epoch `N+1`'s read batches genuinely overlap
+    /// epoch `N`'s write-back I/O, coordinated inside the shared client
+    /// state (see `obladi_oram::split`).
+    reader: Mutex<Option<OramReader>>,
+    /// The ORAM client's write-back engine, driven only by the epoch
+    /// decider (and by recovery).
+    engine: Mutex<Option<WritebackEngine>>,
     state: Mutex<ProxyState>,
     /// Wakes client threads waiting for read results or commit outcomes.
     client_wakeup: Condvar,
@@ -300,6 +330,7 @@ impl ObladiDb {
             fast_init: config.oram.num_objects > 50_000,
         };
         let oram = RingOram::new(config.oram, &keys, store.clone(), exec, config.seed)?;
+        let (reader, engine) = oram.split();
         durability.set_current_epoch(1);
 
         let inner = Arc::new(ProxyInner {
@@ -307,7 +338,8 @@ impl ObladiDb {
             keys,
             store,
             durability,
-            oram: Mutex::new(Some(oram)),
+            reader: Mutex::new(Some(reader)),
+            engine: Mutex::new(Some(engine)),
             state: Mutex::new(ProxyState::new(1, 0)),
             client_wakeup: Condvar::new(),
             driver_wakeup: Condvar::new(),
@@ -352,7 +384,7 @@ impl ObladiDb {
 
     /// ORAM statistics snapshot (physical requests, evictions, …).
     pub fn oram_stats(&self) -> Option<obladi_oram::OramStats> {
-        self.inner.oram.lock().as_ref().map(|o| o.stats())
+        self.inner.reader.lock().as_ref().map(|r| r.stats())
     }
 
     /// Begins a transaction.
@@ -547,9 +579,20 @@ impl ObladiDb {
             self.inner.config.seed,
             resolve,
         )?;
-        *self.inner.oram.lock() = Some(oram);
+        let (new_reader, new_engine) = oram.split();
         {
+            // The fresh halves are installed *inside* the state-lock (and
+            // therefore `lives`) critical section, mirroring the wipe in
+            // `crash_inner_guarded`: a stale guarded self-crash — a decider
+            // surfacing a pre-crash I/O failure right now — either runs
+            // before this section (wiping the old, already-empty slots) or
+            // after it, where the bumped life token makes it a no-op.
+            // Installing the halves first and bumping `lives` later would
+            // leave a window where the stale crash wipes the freshly
+            // recovered client on a proxy about to be marked healthy.
             let mut state = self.inner.state.lock();
+            *self.inner.reader.lock() = Some(new_reader);
+            *self.inner.engine.lock() = Some(new_engine);
             let generation = state.exec.generation + 1;
             let outcomes_carry = std::mem::take(&mut state.outcomes);
             *state = ProxyState::new(next_epoch, generation);
@@ -999,8 +1042,8 @@ fn epoch_executor(inner: Arc<ProxyInner>) {
                 break;
             }
             // The life token is sampled per batch, right before the I/O it
-            // guards: a batch failure always runs against the ORAM instance
-            // of the life sampled here (the batch holds the ORAM lock, so a
+            // guards: a batch failure always runs against the read plane of
+            // the life sampled here (the batch holds the reader lock, so a
             // recovery cannot swap the client mid-batch), which makes the
             // stale-failure check in `self_crash` exact.
             let life = inner.lives.load(Ordering::SeqCst);
@@ -1161,11 +1204,13 @@ fn crash_inner_guarded(inner: &Arc<ProxyInner>, life: Option<u64>) {
     // state-lock (and therefore `lives`) critical section: if it happened
     // after the lock dropped, a recovery interleaving in that window could
     // install a fresh ORAM only to have this stale wipe destroy it on a
-    // proxy already marked un-crashed.  Nothing holds the ORAM lock while
-    // acquiring the state lock, so the nesting cannot deadlock (it can wait
-    // for an in-flight write-back to finish, which is fine — the crashed
-    // flag is already set).
-    *inner.oram.lock() = None;
+    // proxy already marked un-crashed.  Nothing holds the reader or engine
+    // lock while acquiring the state lock, so the nesting cannot deadlock
+    // (it can wait for an in-flight read batch or write-back to finish,
+    // which is fine — the crashed flag is already set, and the split
+    // client's internal waits all terminate without external help).
+    *inner.reader.lock() = None;
+    *inner.engine.lock() = None;
     drop(state);
     inner.client_wakeup.notify_all();
     inner.driver_wakeup.notify_all();
@@ -1220,14 +1265,16 @@ fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
     requests.resize(batch_size, None);
 
     let values = {
-        let mut oram_guard = inner.oram.lock();
-        let oram = oram_guard.as_mut().ok_or(ObladiError::ProxyUnavailable)?;
-        // Path logs are tagged with the epoch under the ORAM lock: the
-        // decider tags its write-back with the *deciding* epoch through the
-        // same lock, so concurrent epochs cannot mislabel each other's
-        // records.
-        inner.durability.set_current_epoch(epoch);
-        oram.read_batch(&requests, &inner.durability)?
+        let mut reader_guard = inner.reader.lock();
+        let reader = reader_guard.as_mut().ok_or(ObladiError::ProxyUnavailable)?;
+        // The logger carries this epoch explicitly: the decider's write-back
+        // logs the *deciding* epoch's paths concurrently through its own
+        // tagged logger, so the two threads cannot mislabel each other's
+        // records.  The read plane only contends with the engine on the
+        // split client's internal state lock — its physical reads overlap
+        // the engine's write-back I/O in time.
+        let logger = inner.durability.logger_for(epoch);
+        reader.read_batch(&requests, &logger)?
     };
 
     {
@@ -1246,6 +1293,9 @@ fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
     }
     drop(state);
     inner.client_wakeup.notify_all();
+    if let Some(gate) = &gate {
+        gate.read_batch_finished(epoch);
+    }
     Ok(())
 }
 
@@ -1360,18 +1410,29 @@ fn decide_epoch(inner: &Arc<ProxyInner>, epoch: EpochId, generation: u64) -> Res
 
     // Phase 2 (no state lock held): apply the write batch (padded to its
     // fixed size), flush all buffered bucket writes, then checkpoint (§8
-    // ordering).  The ORAM lock serialises this against the executor's
-    // concurrent read batches for the next epoch; the WAL's epoch-ordering
-    // rule guarantees that none of the next epoch's records is acknowledged
-    // ahead of this decision's.  If this fails, the epoch's transactions
-    // are reported as aborted (epoch fate sharing).
+    // ordering) — all on the write-back engine half of the split client.
+    // The executor's concurrent read batches for the next epoch run on the
+    // read plane meanwhile: the two halves coordinate inside the shared
+    // client state (limbo keys, the write fence), so this entire phase —
+    // the eviction round-trips, the bucket flush, the checkpoint append —
+    // overlaps the next epoch's read I/O instead of blocking it behind one
+    // client lock.  The WAL's epoch-ordering rule still guarantees that
+    // none of the next epoch's records is acknowledged ahead of this
+    // decision's.  If this fails, the epoch's transactions are reported as
+    // aborted (epoch fate sharing).
     let io_result = (|| -> Result<()> {
-        let mut oram_guard = inner.oram.lock();
-        let oram = oram_guard.as_mut().ok_or(ObladiError::ProxyUnavailable)?;
-        inner.durability.set_current_epoch(epoch);
-        oram.write_batch_padded(&writes, write_capacity, &inner.durability)?;
-        oram.flush_writes(&inner.durability)?;
-        inner.durability.commit_epoch(epoch, oram)?;
+        let mut engine_guard = inner.engine.lock();
+        let engine = engine_guard.as_mut().ok_or(ObladiError::ProxyUnavailable)?;
+        if let Some(gate) = &gate {
+            gate.write_back_starting(epoch);
+        }
+        let logger = inner.durability.logger_for(epoch);
+        engine.write_batch_padded(&writes, write_capacity, &logger)?;
+        engine.flush_writes(&logger)?;
+        inner.durability.commit_epoch(epoch, engine)?;
+        if let Some(gate) = &gate {
+            gate.write_back_finished(epoch);
+        }
         Ok(())
     })();
 

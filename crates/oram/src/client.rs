@@ -1,8 +1,14 @@
-//! The Ring ORAM client and Obladi's batched / parallel executor (§4, §6.3, §7).
+//! The Ring ORAM client facade and Obladi's batched / parallel executor
+//! (§4, §6.3, §7).
 //!
-//! [`RingOram`] owns all client-side state (position map, per-bucket
-//! metadata, stash) and talks to an [`UntrustedStore`].  It exposes the
-//! batch-oriented interface the Obladi proxy needs:
+//! The client implementation lives in [`crate::split`]: a concurrent
+//! **read plane** ([`crate::split::OramReader`]) and a background
+//! **write-back engine** ([`crate::split::WritebackEngine`]) sharing the
+//! versioned client state (position map, per-bucket metadata, stash,
+//! buffered-bucket overlay) behind one fine-grained lock.  [`RingOram`]
+//! composes the two halves back into the original single-threaded client
+//! surface — the batch-oriented interface the Obladi proxy's recovery path,
+//! the baselines and the benchmarks use:
 //!
 //! * [`RingOram::read_batch`] — executes one read batch: a metadata-only
 //!   planning pass chooses exactly one slot per non-buffered bucket on each
@@ -18,7 +24,11 @@
 //!   back to storage, once per bucket (write deduplication), which is the
 //!   only moment physical writes happen;
 //! * [`RingOram::access`] — a sequential single-operation interface used by
-//!   the non-batched baseline of Figure 10a.
+//!   the non-batched baseline of Figure 10a;
+//! * [`RingOram::split`] — hands the two halves to a caller that wants to
+//!   drive them from separate threads (the pipelined proxy: its executor
+//!   thread owns the read plane, its decider thread the write-back engine,
+//!   so epoch `N+1`'s reads overlap epoch `N`'s write-back I/O).
 //!
 //! Two deliberate deviations from canonical Ring ORAM, both documented in
 //! DESIGN.md, keep the batched implementation tractable without changing the
@@ -29,19 +39,15 @@
 //! buffer instead of being physically re-read (the paper's "reads are served
 //! locally from the buffered buckets", §7).
 
-use crate::block::Block;
-use crate::bucket::BucketMeta;
 use crate::codec::{Decoder, Encoder};
 use crate::metadata::{MetaDelta, OramMeta};
-use crate::pool::ThreadPool;
+use crate::split::{from_meta_split, new_split, CheckpointSource, OramReader, WritebackEngine};
 use crate::tree::TreeGeometry;
 use obladi_common::config::OramConfig;
-use obladi_common::error::{ObladiError, Result};
-use obladi_common::rng::DetRng;
-use obladi_common::types::{BucketId, Key, Leaf, Value, Version};
-use obladi_crypto::{Envelope, KeyMaterial};
+use obladi_common::error::Result;
+use obladi_common::types::{BucketId, Key, Value, Version};
+use obladi_crypto::KeyMaterial;
 use obladi_storage::UntrustedStore;
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// How the executor runs physical I/O and write-back.
@@ -200,45 +206,12 @@ impl PathLogger for NoopPathLogger {
     }
 }
 
-/// Where an access will obtain its target block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TargetSource {
-    /// The block arrives in the physical read at this index.
-    Physical(usize),
-    /// The block is already in the stash.
-    Stash,
-    /// The block sits in an epoch-buffered bucket.
-    Buffered(BucketId),
-    /// The key does not exist (or the request is a padding dummy).
-    Absent,
-}
-
-/// Per-request plan produced by the metadata pass.
-#[derive(Debug, Clone)]
-struct OpPlan {
-    key: Option<Key>,
-    new_leaf: Leaf,
-    exists: bool,
-    target: TargetSource,
-}
-
-/// The Ring ORAM client plus Obladi's batched executor.
+/// The Ring ORAM client: the read plane and write-back engine composed back
+/// into a single-threaded handle.
 pub struct RingOram {
-    config: OramConfig,
-    geometry: TreeGeometry,
-    store: Arc<dyn UntrustedStore>,
-    envelope: Envelope,
+    reader: OramReader,
+    engine: WritebackEngine,
     options: ExecOptions,
-    pool: ThreadPool,
-    meta: OramMeta,
-    /// Buckets logically rewritten this epoch, awaiting flush: real blocks
-    /// placed in each (metadata lives in `meta.buckets`).
-    buffer: HashMap<BucketId, Vec<Block>>,
-    /// Buckets that ran out of valid dummy slots and need an early
-    /// reshuffle before they can be accessed again.
-    needs_reshuffle: HashSet<BucketId>,
-    rng: DetRng,
-    stats: OramStats,
 }
 
 impl RingOram {
@@ -251,24 +224,12 @@ impl RingOram {
         options: ExecOptions,
         seed: u64,
     ) -> Result<Self> {
-        config.validate()?;
-        let mut rng = DetRng::new(seed ^ 0x0ead_cafe);
-        let meta = OramMeta::new(config, &mut rng);
-        let mut oram = RingOram {
-            config,
-            geometry: TreeGeometry::new(&config),
-            store,
-            envelope: Envelope::new(keys),
-            pool: ThreadPool::new(if options.parallel { options.threads } else { 1 }),
+        let (reader, engine) = new_split(config, keys, store, options, seed)?;
+        Ok(RingOram {
+            reader,
+            engine,
             options,
-            meta,
-            buffer: HashMap::new(),
-            needs_reshuffle: HashSet::new(),
-            rng,
-            stats: OramStats::default(),
-        };
-        oram.init_tree()?;
-        Ok(oram)
+        })
     }
 
     /// Restores a client from previously checkpointed metadata without
@@ -280,121 +241,78 @@ impl RingOram {
         options: ExecOptions,
         seed: u64,
     ) -> Self {
-        let config = meta.config;
+        let (reader, engine) = from_meta_split(meta, keys, store, options, seed);
         RingOram {
-            config,
-            geometry: TreeGeometry::new(&config),
-            store,
-            envelope: Envelope::new(keys),
-            pool: ThreadPool::new(if options.parallel { options.threads } else { 1 }),
+            reader,
+            engine,
             options,
-            meta,
-            buffer: HashMap::new(),
-            needs_reshuffle: HashSet::new(),
-            rng: DetRng::new(seed ^ 0x5eed_0bad),
-            stats: OramStats::default(),
         }
+    }
+
+    /// Splits the client into its two concurrently drivable halves.  The
+    /// pipelined proxy hands the read plane to its epoch executor and the
+    /// write-back engine to its epoch decider; the halves share the
+    /// versioned client state, so all invariants keep holding while epoch
+    /// `N+1`'s reads overlap epoch `N`'s write-back I/O.  The engine gets
+    /// its own worker pool here (the facade shares one) so flush I/O never
+    /// queues behind the read plane's fetches.
+    pub fn split(self) -> (OramReader, WritebackEngine) {
+        let mut engine = self.engine;
+        engine.use_private_pool();
+        (self.reader, engine)
     }
 
     /// The tree configuration.
     pub fn config(&self) -> &OramConfig {
-        &self.config
+        self.reader.config()
     }
 
     /// The tree geometry helper.
     pub fn geometry(&self) -> TreeGeometry {
-        self.geometry
+        self.reader.geometry()
     }
 
     /// Operation counters.
     pub fn stats(&self) -> OramStats {
-        let mut stats = self.stats;
-        stats.stash_peak = self.meta.stash.peak() as u64;
-        stats
+        self.reader.stats()
     }
 
     /// Resets the operation counters (between benchmark phases).
     pub fn reset_stats(&mut self) {
-        self.stats = OramStats::default();
+        self.reader.reset_stats();
     }
 
     /// Current stash occupancy.
     pub fn stash_len(&self) -> usize {
-        self.meta.stash.len()
+        self.reader.stash_len()
     }
 
     /// Number of buckets currently buffered locally (awaiting flush).
     pub fn buffered_buckets(&self) -> usize {
-        self.buffer.len()
+        self.engine.buffered_buckets()
     }
 
     /// Access to the underlying store (for stats in benches).
     pub fn store(&self) -> &Arc<dyn UntrustedStore> {
-        &self.store
+        self.reader.store()
     }
 
-    /// Borrows the client metadata (tests and durability).
-    pub fn meta(&self) -> &OramMeta {
-        &self.meta
+    /// A snapshot of the client metadata (tests and diagnostics).
+    pub fn meta_snapshot(&self) -> OramMeta {
+        self.engine.meta_snapshot()
     }
 
-    /// Produces a delta checkpoint of the client metadata.
-    pub fn checkpoint_delta(&mut self, max_position_delta: usize) -> MetaDelta {
-        self.meta.take_delta(max_position_delta)
+    /// Produces a delta checkpoint of the client metadata.  Fails if the
+    /// read plane is poisoned (a fetched target block was lost in flight;
+    /// see [`CheckpointSource`]).
+    pub fn checkpoint_delta(&mut self, max_position_delta: usize) -> Result<MetaDelta> {
+        CheckpointSource::checkpoint_delta(&mut self.engine, max_position_delta)
     }
 
-    /// Produces a full checkpoint of the client metadata.
-    pub fn checkpoint_full(&self) -> Vec<u8> {
-        self.meta.encode_full()
-    }
-
-    // ------------------------------------------------------------------
-    // Initialisation
-    // ------------------------------------------------------------------
-
-    fn init_tree(&mut self) -> Result<()> {
-        // The tree is written unconditionally: a freshly constructed client
-        // has fresh permutations and an empty position map, so any blocks a
-        // previous client left on this store are unreadable garbage to it.
-        // Re-initialising keeps the client metadata and the storage contents
-        // consistent (a recovering proxy that wants to *keep* storage
-        // contents uses `from_meta` with checkpointed metadata instead).
-        let slots_per_bucket = self.config.slots_per_bucket() as usize;
-        let capacity = Block::padded_capacity(self.config.block_size);
-        let encrypt = self.options.encrypt;
-        let envelope = self.envelope.clone();
-        let fast = self.options.fast_init;
-
-        let buckets: Vec<BucketId> = self.geometry.all_buckets().collect();
-        let store = self.store.clone();
-        let results: Vec<Result<(BucketId, Version)>> = self.pool.map(buckets, move |bucket| {
-            let slots: Vec<bytes::Bytes> = if fast {
-                let sealed =
-                    seal_block(&envelope, encrypt, bucket, 0, 1, &Block::dummy(), capacity)?;
-                vec![sealed; slots_per_bucket]
-            } else {
-                let mut slots = Vec::with_capacity(slots_per_bucket);
-                for slot in 0..slots_per_bucket {
-                    slots.push(seal_block(
-                        &envelope,
-                        encrypt,
-                        bucket,
-                        slot as u32,
-                        1,
-                        &Block::dummy(),
-                        capacity,
-                    )?);
-                }
-                slots
-            };
-            let version = store.write_bucket(bucket, slots)?;
-            Ok((bucket, version))
-        });
-        for result in results {
-            let (bucket, version) = result?;
-            self.meta.buckets[bucket as usize].version = version;
-        }
-        Ok(())
+    /// Produces a full checkpoint of the client metadata.  Fails if the
+    /// read plane is poisoned (see [`CheckpointSource`]).
+    pub fn checkpoint_full(&self) -> Result<Vec<u8>> {
+        CheckpointSource::checkpoint_full(&self.engine)
     }
 
     // ------------------------------------------------------------------
@@ -408,35 +326,12 @@ impl RingOram {
         requests: &[Option<Key>],
         logger: &dyn PathLogger,
     ) -> Result<Vec<Option<Value>>> {
-        // Phase 1: metadata pass — choose slots, collect physical reads.
-        let mut physical: Vec<SlotRead> = Vec::new();
-        let mut plans: Vec<OpPlan> = Vec::with_capacity(requests.len());
-        for request in requests {
-            let plan = self.plan_access(*request, &mut physical)?;
-            plans.push(plan);
-        }
-
-        // Phase 2: log then issue the physical reads.
-        logger.log_reads(&physical)?;
-        let targets: HashSet<usize> = plans
-            .iter()
-            .filter_map(|p| match p.target {
-                TargetSource::Physical(idx) => Some(idx),
-                _ => None,
-            })
-            .collect();
-        let raw = self.fetch_slots(&physical, &targets)?;
-
-        // Phase 3: ingest values and move target blocks to the stash.
-        let mut results = Vec::with_capacity(requests.len());
-        for plan in &plans {
-            results.push(self.ingest_access(plan, &raw)?);
-        }
-
-        // Phase 4: run any evictions / reshuffles that have come due.
-        self.run_pending_maintenance(logger)?;
+        let results = self.reader.read_batch(requests, logger)?;
+        // Run any evictions / reshuffles that have come due, exactly where
+        // the monolithic client ran them.
+        self.engine.run_pending_maintenance(logger)?;
         if !self.options.deferred_writes {
-            self.flush_writes(logger)?;
+            self.engine.flush_writes(logger)?;
         }
         Ok(results)
     }
@@ -445,7 +340,7 @@ impl RingOram {
     /// of each object goes directly to the stash; no physical reads are
     /// issued, but the eviction schedule still advances.
     pub fn write_batch(&mut self, writes: &[(Key, Value)], logger: &dyn PathLogger) -> Result<()> {
-        self.write_batch_padded(writes, writes.len(), logger)
+        self.engine.write_batch(writes, logger)
     }
 
     /// Like [`RingOram::write_batch`], but pads the batch to `padded_to`
@@ -458,69 +353,13 @@ impl RingOram {
         padded_to: usize,
         logger: &dyn PathLogger,
     ) -> Result<()> {
-        // Validate every value first so a single oversized value cannot
-        // leave the batch half-applied.
-        for (key, value) in writes {
-            if value.len() > self.config.block_size {
-                return Err(ObladiError::Codec(format!(
-                    "value for key {key} of {} bytes exceeds block size {}",
-                    value.len(),
-                    self.config.block_size
-                )));
-            }
-        }
-        for (key, value) in writes {
-            self.dummiless_write(*key, value.clone())?;
-            // Interleave evictions with large write batches so the stash
-            // stays within its canonical Ring ORAM bound even when the
-            // write batch is larger than `A`.
-            if self.meta.access_count.is_multiple_of(self.config.a as u64) {
-                self.run_pending_maintenance(logger)?;
-            }
-        }
-        // Padded (dummy) writes contribute to the access count only.
-        let padding = padded_to.saturating_sub(writes.len()) as u64;
-        self.meta.access_count += padding;
-        self.stats.logical_writes += padding;
-        self.run_pending_maintenance(logger)?;
-        if !self.options.deferred_writes {
-            self.flush_writes(logger)?;
-        }
-        Ok(())
+        self.engine.write_batch_padded(writes, padded_to, logger)
     }
 
     /// Seals and writes every buffered bucket back to storage (one write per
     /// bucket — the last version wins) and clears the buffer.
-    pub fn flush_writes(&mut self, _logger: &dyn PathLogger) -> Result<()> {
-        if self.buffer.is_empty() {
-            return Ok(());
-        }
-        let capacity = Block::padded_capacity(self.config.block_size);
-        let encrypt = self.options.encrypt;
-        let envelope = self.envelope.clone();
-        let store = self.store.clone();
-
-        let mut jobs: Vec<(BucketId, BucketMeta, Vec<Block>)> =
-            Vec::with_capacity(self.buffer.len());
-        for (bucket, blocks) in self.buffer.drain() {
-            jobs.push((bucket, self.meta.buckets[bucket as usize].clone(), blocks));
-        }
-        jobs.sort_by_key(|(b, _, _)| *b);
-
-        let results: Vec<Result<(BucketId, Version)>> =
-            self.pool.map(jobs, move |(bucket, meta, blocks)| {
-                let slots =
-                    build_bucket_slots(&envelope, encrypt, bucket, &meta, &blocks, capacity)?;
-                let version = store.write_bucket(bucket, slots)?;
-                Ok((bucket, version))
-            });
-        for result in results {
-            let (bucket, version) = result?;
-            self.meta.buckets[bucket as usize].version = version;
-            self.meta.mark_bucket_dirty(bucket);
-            self.stats.physical_writes += 1;
-        }
-        Ok(())
+    pub fn flush_writes(&mut self, logger: &dyn PathLogger) -> Result<()> {
+        self.engine.flush_writes(logger)
     }
 
     /// Convenience sequential interface: a single read or write, with
@@ -552,616 +391,39 @@ impl RingOram {
     // ------------------------------------------------------------------
 
     /// Re-issues a previously logged set of physical reads, discarding the
-    /// results.  Recovery replays the read paths of the aborted epoch so the
-    /// adversary observes a deterministic pattern (§8).
+    /// results.  Recovery replays the logged paths of the aborted epoch so
+    /// the adversary observes a deterministic pattern (§8).
     pub fn replay_reads(&mut self, reads: &[SlotRead]) -> Result<()> {
-        // Results (and MAC failures) are deliberately ignored: the buckets
-        // may have moved on since the log was written; only the access
-        // pattern matters.
-        let store = self.store.clone();
-        let _ = self.pool.map(reads.to_vec(), move |read| {
-            let _ = store.read_slot(read.bucket, read.slot);
-        });
-        self.stats.physical_reads += reads.len() as u64;
-        Ok(())
+        self.engine.replay_reads(reads)
     }
 
     /// Reverts every bucket on storage to the version recorded in the client
     /// metadata (shadow paging, §8).  Used by recovery to discard bucket
     /// writes from an epoch that did not commit.
     pub fn revert_storage_to_meta(&self) -> Result<()> {
-        for bucket in self.geometry.all_buckets() {
-            let expected = self.meta.buckets[bucket as usize].version;
-            let current = self.store.bucket_version(bucket)?;
-            if current != expected {
-                self.store.revert_bucket(bucket, expected)?;
-            }
-        }
-        Ok(())
+        self.engine.revert_storage_to_meta()
     }
 
     /// Discards all epoch-local buffered state (aborting the epoch).
     pub fn discard_buffered(&mut self) {
-        self.buffer.clear();
-    }
-
-    // ------------------------------------------------------------------
-    // Planning & ingestion
-    // ------------------------------------------------------------------
-
-    fn plan_access(
-        &mut self,
-        request: Option<Key>,
-        physical: &mut Vec<SlotRead>,
-    ) -> Result<OpPlan> {
-        self.stats.logical_reads += 1;
-        self.meta.access_count += 1;
-
-        let num_leaves = self.geometry.num_leaves();
-        let (key, exists, old_leaf) = match request {
-            Some(key) => match self.meta.position.get(key) {
-                Some(leaf) => (Some(key), true, leaf),
-                None => (Some(key), false, self.rng.below(num_leaves)),
-            },
-            None => (None, false, self.rng.below(num_leaves)),
-        };
-        let new_leaf = self.rng.below(num_leaves);
-
-        // Remap immediately; the block itself moves to the stash at ingest.
-        if exists {
-            if let Some(k) = key {
-                self.meta.position.set(k, new_leaf);
-                self.meta.stash.remap(k, new_leaf);
-            }
-        }
-
-        let mut target = if exists {
-            if self.meta.stash.contains(key.expect("exists implies key")) {
-                TargetSource::Stash
-            } else {
-                TargetSource::Absent // refined below if found in the tree
-            }
-        } else {
-            TargetSource::Absent
-        };
-
-        for &bucket in &self.geometry.path(old_leaf) {
-            let is_buffered = self.buffer.contains_key(&bucket);
-            let meta = &mut self.meta.buckets[bucket as usize];
-            let key_slot = match (key, exists) {
-                (Some(k), true) => meta.find_key(k),
-                _ => None,
-            };
-
-            if is_buffered {
-                // Served locally from the buffered bucket; no physical read.
-                self.stats.buffered_reads += 1;
-                if key_slot.is_some() && matches!(target, TargetSource::Absent) {
-                    target = TargetSource::Buffered(bucket);
-                }
-                continue;
-            }
-
-            if let Some(logical) = key_slot {
-                if matches!(target, TargetSource::Absent) {
-                    let slot = meta.mark_read(logical);
-                    meta.clear_real(logical);
-                    let version = meta.version;
-                    self.meta.mark_bucket_dirty(bucket);
-                    physical.push(SlotRead {
-                        bucket,
-                        slot,
-                        version,
-                    });
-                    target = TargetSource::Physical(physical.len() - 1);
-                    if self.meta.buckets[bucket as usize].needs_early_reshuffle() {
-                        self.needs_reshuffle.insert(bucket);
-                    }
-                    continue;
-                }
-            }
-
-            // Dummy read from this bucket.
-            match meta.pick_valid_dummy(&mut self.rng) {
-                Some(logical) => {
-                    let slot = meta.mark_read(logical);
-                    let version = meta.version;
-                    self.meta.mark_bucket_dirty(bucket);
-                    physical.push(SlotRead {
-                        bucket,
-                        slot,
-                        version,
-                    });
-                    if self.meta.buckets[bucket as usize].needs_early_reshuffle() {
-                        self.needs_reshuffle.insert(bucket);
-                    }
-                }
-                None => {
-                    // The bucket has no valid dummies left; it will be
-                    // reshuffled during maintenance.  Skipping the physical
-                    // read here is the recovery action canonical Ring ORAM
-                    // avoids by reshuffling earlier.
-                    self.needs_reshuffle.insert(bucket);
-                }
-            }
-        }
-
-        Ok(OpPlan {
-            key,
-            new_leaf,
-            exists,
-            target,
-        })
-    }
-
-    fn ingest_access(&mut self, plan: &OpPlan, raw: &[Option<Block>]) -> Result<Option<Value>> {
-        let key = match plan.key {
-            Some(key) if plan.exists => key,
-            // Padding request or a read of a key that has never been
-            // written: nothing to ingest.
-            _ => return Ok(None),
-        };
-
-        let value: Option<Value> = match plan.target {
-            TargetSource::Physical(idx) => {
-                let block = raw
-                    .get(idx)
-                    .and_then(|b| b.clone())
-                    .ok_or_else(|| ObladiError::Internal("missing physical target block".into()))?;
-                if block.key != key {
-                    return Err(ObladiError::Integrity(format!(
-                        "expected block for key {key}, found {}",
-                        block.key
-                    )));
-                }
-                Some(block.value)
-            }
-            TargetSource::Stash => self.meta.stash.get(key).map(|(_, v)| v.clone()),
-            TargetSource::Buffered(bucket) => {
-                let blocks = self.buffer.get_mut(&bucket).ok_or_else(|| {
-                    ObladiError::Internal(format!("buffered bucket {bucket} vanished"))
-                })?;
-                match blocks.iter().position(|b| b.key == key) {
-                    Some(pos) => {
-                        let block = blocks.remove(pos);
-                        // The block leaves the buffered bucket and moves to
-                        // the stash (same as leaving the tree).
-                        if let Some(logical) = self.meta.buckets[bucket as usize].find_key(key) {
-                            self.meta.buckets[bucket as usize].clear_real(logical);
-                            self.meta.mark_bucket_dirty(bucket);
-                        }
-                        Some(block.value)
-                    }
-                    None => None,
-                }
-            }
-            TargetSource::Absent => None,
-        };
-
-        match value {
-            Some(v) => {
-                self.meta
-                    .stash
-                    .insert(key, plan.new_leaf, v.clone(), self.config.max_stash)?;
-                Ok(Some(v))
-            }
-            None => Ok(None),
-        }
-    }
-
-    fn dummiless_write(&mut self, key: Key, value: Value) -> Result<()> {
-        if value.len() > self.config.block_size {
-            return Err(ObladiError::Codec(format!(
-                "value of {} bytes exceeds block size {}",
-                value.len(),
-                self.config.block_size
-            )));
-        }
-        self.stats.logical_writes += 1;
-        self.meta.access_count += 1;
-
-        let new_leaf = self.rng.below(self.geometry.num_leaves());
-        let old_leaf = self.meta.position.set(key, new_leaf);
-
-        // Remove any stale copy so at most one copy of the key exists.
-        if let Some(old_leaf) = old_leaf {
-            if self.meta.stash.remove(key).is_none() {
-                for &bucket in &self.geometry.path(old_leaf) {
-                    let meta = &mut self.meta.buckets[bucket as usize];
-                    if let Some(logical) = meta.find_key(key) {
-                        meta.clear_real(logical);
-                        self.meta.mark_bucket_dirty(bucket);
-                        if let Some(blocks) = self.buffer.get_mut(&bucket) {
-                            blocks.retain(|b| b.key != key);
-                        }
-                        break;
-                    }
-                }
-            }
-        }
-
-        self.meta
-            .stash
-            .insert(key, new_leaf, value, self.config.max_stash)?;
-        Ok(())
-    }
-
-    // ------------------------------------------------------------------
-    // Evictions, early reshuffles and write-back
-    // ------------------------------------------------------------------
-
-    fn run_pending_maintenance(&mut self, logger: &dyn PathLogger) -> Result<()> {
-        // Evictions owed: one per `A` logical accesses.
-        let owed = self.meta.access_count / self.config.a as u64;
-        while self.meta.evict_count < owed {
-            let target = self.geometry.evict_target(self.meta.evict_count);
-            self.evict_path(target, logger)?;
-            self.meta.evict_count += 1;
-            self.stats.evictions += 1;
-        }
-        // Early reshuffles for exhausted buckets.
-        let pending: Vec<BucketId> = {
-            let mut v: Vec<BucketId> = self.needs_reshuffle.drain().collect();
-            v.sort_unstable();
-            v
-        };
-        for bucket in pending {
-            // A bucket freshly rewritten by an eviction no longer needs it.
-            if self.buffer.contains_key(&bucket)
-                || !self.meta.buckets[bucket as usize].needs_early_reshuffle()
-            {
-                continue;
-            }
-            self.early_reshuffle(bucket, logger)?;
-            self.stats.early_reshuffles += 1;
-        }
-        Ok(())
-    }
-
-    fn evict_path(&mut self, target_leaf: Leaf, logger: &dyn PathLogger) -> Result<()> {
-        let path = self.geometry.path(target_leaf);
-
-        // ----- Read phase -----
-        let mut physical: Vec<SlotRead> = Vec::new();
-        let mut expected_real: Vec<usize> = Vec::new();
-        for &bucket in &path {
-            if let Some(blocks) = self.buffer.remove(&bucket) {
-                // The bucket's current contents live locally; pull them back
-                // into the stash without physical reads.
-                self.stats.buffered_reads += 1;
-                for block in blocks {
-                    self.ingest_evicted_block(block)?;
-                }
-                let meta = &mut self.meta.buckets[bucket as usize];
-                for logical in 0..meta.z() {
-                    meta.clear_real(logical);
-                }
-                continue;
-            }
-            let meta = &mut self.meta.buckets[bucket as usize];
-            let reals = meta.valid_reals();
-            let real_count = reals.len();
-            for logical in reals {
-                let slot = meta.mark_read(logical);
-                let version = meta.version;
-                physical.push(SlotRead {
-                    bucket,
-                    slot,
-                    version,
-                });
-                expected_real.push(physical.len() - 1);
-            }
-            // Pad to Z reads with valid dummies, as canonical Ring ORAM does.
-            let dummies_needed = (meta.z()).saturating_sub(real_count);
-            for _ in 0..dummies_needed {
-                match meta.pick_valid_dummy(&mut self.rng) {
-                    Some(logical) => {
-                        let slot = meta.mark_read(logical);
-                        let version = meta.version;
-                        physical.push(SlotRead {
-                            bucket,
-                            slot,
-                            version,
-                        });
-                    }
-                    None => break,
-                }
-            }
-            self.meta.mark_bucket_dirty(bucket);
-        }
-
-        logger.log_reads(&physical)?;
-        let targets: HashSet<usize> = expected_real.iter().copied().collect();
-        let raw = self.fetch_slots(&physical, &targets)?;
-        for idx in expected_real {
-            if let Some(Some(block)) = raw.get(idx).cloned() {
-                self.ingest_evicted_block(block)?;
-            }
-        }
-
-        // ----- Write phase (deepest bucket first) -----
-        for &bucket in path.iter().rev() {
-            let level = self.geometry.level_of(bucket);
-            let geometry = self.geometry;
-            let eligible = self
-                .meta
-                .stash
-                .eligible_for(|leaf| geometry.bucket_at(leaf, level) == bucket);
-            let chosen: Vec<Key> = eligible.into_iter().take(self.config.z as usize).collect();
-            let mut placed: Vec<Block> = Vec::with_capacity(chosen.len());
-            for key in chosen {
-                if let Some((leaf, value)) = self.meta.stash.remove(key) {
-                    placed.push(Block::real(key, leaf, value));
-                }
-            }
-            self.rewrite_bucket(bucket, placed)?;
-        }
-        Ok(())
-    }
-
-    fn early_reshuffle(&mut self, bucket: BucketId, logger: &dyn PathLogger) -> Result<()> {
-        // Read the remaining valid real blocks of the bucket.
-        let mut physical: Vec<SlotRead> = Vec::new();
-        {
-            let meta = &mut self.meta.buckets[bucket as usize];
-            let reals = meta.valid_reals();
-            let real_count = reals.len();
-            for logical in reals {
-                let slot = meta.mark_read(logical);
-                let version = meta.version;
-                physical.push(SlotRead {
-                    bucket,
-                    slot,
-                    version,
-                });
-            }
-            let dummies_needed = meta.z().saturating_sub(real_count);
-            for _ in 0..dummies_needed {
-                match meta.pick_valid_dummy(&mut self.rng) {
-                    Some(logical) => {
-                        let slot = meta.mark_read(logical);
-                        let version = meta.version;
-                        physical.push(SlotRead {
-                            bucket,
-                            slot,
-                            version,
-                        });
-                    }
-                    None => break,
-                }
-            }
-        }
-        self.meta.mark_bucket_dirty(bucket);
-        logger.log_reads(&physical)?;
-        // Every read that corresponds to a real slot is a target.
-        let targets: HashSet<usize> = (0..physical.len()).collect();
-        let raw = self.fetch_slots(&physical, &targets)?;
-        for block in raw.into_iter().flatten() {
-            if !block.is_dummy() {
-                self.ingest_evicted_block(block)?;
-            }
-        }
-
-        // Re-place eligible stash blocks into the bucket (this includes the
-        // blocks just read, whose paths necessarily pass through it).
-        let level = self.geometry.level_of(bucket);
-        let geometry = self.geometry;
-        let eligible = self
-            .meta
-            .stash
-            .eligible_for(|leaf| geometry.bucket_at(leaf, level) == bucket);
-        let chosen: Vec<Key> = eligible.into_iter().take(self.config.z as usize).collect();
-        let mut placed = Vec::with_capacity(chosen.len());
-        for key in chosen {
-            if let Some((leaf, value)) = self.meta.stash.remove(key) {
-                placed.push(Block::real(key, leaf, value));
-            }
-        }
-        self.rewrite_bucket(bucket, placed)?;
-        Ok(())
-    }
-
-    /// Installs fresh metadata for a logically rewritten bucket and either
-    /// buffers or immediately writes its contents.
-    fn rewrite_bucket(&mut self, bucket: BucketId, blocks: Vec<Block>) -> Result<()> {
-        let assignment: Vec<(Key, Leaf)> = blocks.iter().map(|b| (b.key, b.leaf)).collect();
-        self.meta.buckets[bucket as usize].rewrite(&assignment, &mut self.rng);
-        self.meta.mark_bucket_dirty(bucket);
-        self.needs_reshuffle.remove(&bucket);
-
-        if self.options.deferred_writes {
-            self.buffer.insert(bucket, blocks);
-            return Ok(());
-        }
-
-        let capacity = Block::padded_capacity(self.config.block_size);
-        let meta = self.meta.buckets[bucket as usize].clone();
-        let slots = build_bucket_slots(
-            &self.envelope,
-            self.options.encrypt,
-            bucket,
-            &meta,
-            &blocks,
-            capacity,
-        )?;
-        let version = self.store.write_bucket(bucket, slots)?;
-        self.meta.buckets[bucket as usize].version = version;
-        self.stats.physical_writes += 1;
-        Ok(())
-    }
-
-    /// Puts a block read during eviction back into the stash, discarding it
-    /// if it is stale (superseded by a dummiless write in this epoch).
-    fn ingest_evicted_block(&mut self, block: Block) -> Result<()> {
-        if block.is_dummy() {
-            return Ok(());
-        }
-        if self.meta.stash.contains(block.key) {
-            // A newer version already lives in the stash.
-            return Ok(());
-        }
-        match self.meta.position.get(block.key) {
-            Some(leaf) if leaf == block.leaf => {
-                self.meta.stash.insert(
-                    block.key,
-                    block.leaf,
-                    block.value,
-                    self.config.max_stash,
-                )?;
-                Ok(())
-            }
-            // Stale copy (remapped since) or deleted key: drop it.
-            _ => Ok(()),
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Physical I/O
-    // ------------------------------------------------------------------
-
-    /// Fetches the given slots.  Only indices in `targets` are decrypted;
-    /// dummy reads are fetched (for obliviousness) but their payloads are
-    /// discarded.
-    fn fetch_slots(
-        &mut self,
-        reads: &[SlotRead],
-        targets: &HashSet<usize>,
-    ) -> Result<Vec<Option<Block>>> {
-        self.stats.physical_reads += reads.len() as u64;
-        if reads.is_empty() {
-            return Ok(Vec::new());
-        }
-        let envelope = self.envelope.clone();
-        let encrypt = self.options.encrypt;
-        let store = self.store.clone();
-        let jobs: Vec<(usize, SlotRead, bool)> = reads
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (i, *r, targets.contains(&i)))
-            .collect();
-
-        let run = move |(idx, read, is_target): (usize, SlotRead, bool)| -> Result<(usize, Option<Block>)> {
-            let bytes = store.read_slot(read.bucket, read.slot)?;
-            if !is_target {
-                return Ok((idx, None));
-            }
-            let block = open_block(&envelope, encrypt, read, &bytes)?;
-            Ok((idx, Some(block)))
-        };
-
-        let results: Vec<Result<(usize, Option<Block>)>> = if self.options.parallel {
-            self.pool.map(jobs, run)
-        } else {
-            jobs.into_iter().map(run).collect()
-        };
-
-        let mut out: Vec<Option<Block>> = vec![None; reads.len()];
-        for result in results {
-            let (idx, block) = result?;
-            out[idx] = block;
-        }
-        Ok(out)
+        self.engine.discard_buffered()
     }
 }
 
-/// Seals a block for `(bucket, slot)` at `version`.
-fn seal_block(
-    envelope: &Envelope,
-    encrypt: bool,
-    bucket: BucketId,
-    slot: u32,
-    version: Version,
-    block: &Block,
-    capacity: usize,
-) -> Result<bytes::Bytes> {
-    let plain = block.encode();
-    if encrypt {
-        let location = slot_location(bucket, slot);
-        let sealed = envelope.seal(location, version, &plain, capacity)?;
-        Ok(bytes::Bytes::from(sealed.bytes))
-    } else {
-        // Unencrypted mode still pads to a fixed size so dummy and real
-        // slots remain the same length on storage.
-        let mut padded = Vec::with_capacity(capacity + 4);
-        padded.extend_from_slice(&(plain.len() as u32).to_le_bytes());
-        padded.extend_from_slice(&plain);
-        padded.resize(capacity + 4, 0);
-        Ok(bytes::Bytes::from(padded))
+impl CheckpointSource for RingOram {
+    fn checkpoint_full(&self) -> Result<Vec<u8>> {
+        RingOram::checkpoint_full(self)
     }
-}
 
-/// Opens a slot payload fetched from storage.
-fn open_block(
-    envelope: &Envelope,
-    encrypt: bool,
-    read: SlotRead,
-    bytes: &bytes::Bytes,
-) -> Result<Block> {
-    if encrypt {
-        let location = slot_location(read.bucket, read.slot);
-        let sealed = obladi_crypto::SealedBlock {
-            bytes: bytes.to_vec(),
-        };
-        let plain = envelope.open(location, read.version, &sealed)?;
-        Block::decode(&plain)
-    } else {
-        if bytes.len() < 4 {
-            return Err(ObladiError::Codec("slot payload too short".into()));
-        }
-        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
-        if bytes.len() < 4 + len {
-            return Err(ObladiError::Codec("slot payload truncated".into()));
-        }
-        Block::decode(&bytes[4..4 + len])
+    fn checkpoint_delta(&mut self, max_position_delta: usize) -> Result<MetaDelta> {
+        RingOram::checkpoint_delta(self, max_position_delta)
     }
-}
-
-/// Builds the full physical slot array of a bucket from its metadata and the
-/// real blocks placed in it.
-fn build_bucket_slots(
-    envelope: &Envelope,
-    encrypt: bool,
-    bucket: BucketId,
-    meta: &BucketMeta,
-    blocks: &[Block],
-    capacity: usize,
-) -> Result<Vec<bytes::Bytes>> {
-    let total = meta.perm.len();
-    let next_version = meta.version + 1;
-    let by_key: HashMap<Key, &Block> = blocks.iter().map(|b| (b.key, b)).collect();
-    let dummy = Block::dummy();
-    let mut slots: Vec<bytes::Bytes> = vec![bytes::Bytes::new(); total];
-    for logical in 0..total {
-        let physical = meta.perm[logical] as usize;
-        let block: &Block = if logical < meta.z() {
-            match &meta.real[logical] {
-                Some((key, _)) => by_key.get(key).copied().unwrap_or(&dummy),
-                None => &dummy,
-            }
-        } else {
-            &dummy
-        };
-        slots[physical] = seal_block(
-            envelope,
-            encrypt,
-            bucket,
-            physical as u32,
-            next_version,
-            block,
-            capacity,
-        )?;
-    }
-    Ok(slots)
-}
-
-/// Location tag binding a sealed slot to its bucket and physical position.
-fn slot_location(bucket: BucketId, slot: u32) -> u64 {
-    (bucket << 12) | slot as u64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obladi_common::rng::DetRng;
     use obladi_storage::InMemoryStore;
 
     fn new_oram(num_objects: u64, options: ExecOptions) -> RingOram {
@@ -1412,7 +674,7 @@ mod tests {
         oram.write_batch(&writes, &NoopPathLogger).unwrap();
         oram.flush_writes(&NoopPathLogger).unwrap();
 
-        let checkpoint = oram.checkpoint_full();
+        let checkpoint = oram.checkpoint_full().unwrap();
         let store = oram.store().clone();
         let keys = KeyMaterial::for_tests(1);
         drop(oram);
@@ -1423,6 +685,55 @@ mod tests {
             let result = recovered.read_batch(&[Some(k)], &NoopPathLogger).unwrap();
             assert_eq!(result[0], Some(value(k + 7)), "key {k} after restore");
         }
+    }
+
+    #[test]
+    fn checkpoint_refuses_to_capture_a_lost_in_flight_block() {
+        use obladi_storage::{FaultPlan, FaultyStore};
+        // A read batch plans a physical target (the block leaves its bucket
+        // metadata), then the fetch fails: the value never reaches the
+        // stash.  A checkpoint of that state would lose the key durably —
+        // the client must refuse until it is rebuilt.
+        let config = OramConfig::small_for_tests(64);
+        let keys = KeyMaterial::for_tests(1);
+        let faulty = Arc::new(FaultyStore::new(
+            Arc::new(InMemoryStore::new()),
+            FaultPlan::none(),
+            5,
+        ));
+        let mut oram = RingOram::new(
+            config,
+            &keys,
+            faulty.clone() as Arc<dyn UntrustedStore>,
+            ExecOptions::parallel(2),
+            31,
+        )
+        .unwrap();
+        let writes: Vec<(Key, Value)> = (0..32).map(|k| (k, value(k))).collect();
+        oram.write_batch(&writes, &NoopPathLogger).unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+        assert!(oram.checkpoint_full().is_ok(), "healthy client checkpoints");
+
+        // Pick a key the evictions placed in the tree (not a stash hit):
+        // only a *physical* target can be lost in flight.
+        let meta = oram.meta_snapshot();
+        let victim = (0..32u64)
+            .find(|&k| !meta.stash.contains(k))
+            .expect("at least one key must have been evicted into the tree");
+        faulty.set_plan(FaultPlan::fail_after(0));
+        assert!(
+            oram.read_batch(&[Some(victim)], &NoopPathLogger).is_err(),
+            "the injected storage outage must surface"
+        );
+        faulty.set_plan(FaultPlan::none());
+        assert!(
+            oram.checkpoint_full().is_err(),
+            "a checkpoint must not capture the lost in-flight block"
+        );
+        assert!(
+            oram.checkpoint_delta(16).is_err(),
+            "delta checkpoints must refuse too"
+        );
     }
 
     #[test]

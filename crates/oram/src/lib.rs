@@ -12,9 +12,15 @@
 //! * [`metadata`] — aggregate client state plus full/delta checkpoints;
 //! * [`pool`] — the worker pool used for intra- and inter-request
 //!   parallelism;
-//! * [`client`] — [`client::RingOram`], the batched executor with dummiless
-//!   writes, epoch-local bucket buffering (delayed visibility), early
-//!   reshuffles, path logging hooks and recovery support.
+//! * [`split`] — the split client: [`split::OramReader`] (the concurrent
+//!   read plane) and [`split::WritebackEngine`] (the background write-back
+//!   engine), sharing the versioned client state behind one fine-grained
+//!   lock so a proxy can overlap one epoch's reads with the previous
+//!   epoch's write-back I/O;
+//! * [`client`] — [`client::RingOram`], the single-threaded facade over the
+//!   split halves: the batched executor with dummiless writes, epoch-local
+//!   bucket buffering (delayed visibility), early reshuffles, path logging
+//!   hooks and recovery support.
 //!
 //! See DESIGN.md at the repository root for how these pieces map onto the
 //! sections of the paper and for the two documented deviations from
@@ -29,6 +35,7 @@ pub mod codec;
 pub mod metadata;
 pub mod pool;
 pub mod position_map;
+pub mod split;
 pub mod stash;
 pub mod tree;
 
@@ -38,5 +45,6 @@ pub use client::{ExecOptions, NoopPathLogger, OramStats, PathLogger, RingOram, S
 pub use metadata::{MetaDelta, OramMeta};
 pub use pool::ThreadPool;
 pub use position_map::PositionMap;
+pub use split::{CheckpointSource, OramReader, WritebackEngine};
 pub use stash::Stash;
 pub use tree::TreeGeometry;

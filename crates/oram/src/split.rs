@@ -1,0 +1,1344 @@
+//! The split ORAM client: a concurrent read plane and a write-back engine.
+//!
+//! The original `RingOram` was one `&mut self` state machine, so a proxy
+//! that wanted epoch `N+1`'s read batches to overlap epoch `N`'s write-back
+//! could not have it: both serialized on the one client lock, and the
+//! write-back's physical round-trips (the expensive part, especially over a
+//! remote `obladi-stored` daemon) blocked every read planned behind them.
+//!
+//! This module splits the client into two cooperating halves that share the
+//! versioned client state ([`OramMeta`], the buffered-bucket overlay, the
+//! eviction schedule) behind one *fine-grained* lock:
+//!
+//! * [`OramReader`] — the **read plane**.  It serves `read_batch` by
+//!   planning slot selections against the current metadata + buffered-bucket
+//!   overlay (cheap, in-memory, under the lock), issuing the physical reads
+//!   with the lock *released*, and ingesting the fetched blocks afterwards.
+//!   It never rewrites a bucket and never writes storage.
+//! * [`WritebackEngine`] — the **write-back engine**.  It owns dummiless
+//!   `write_batch`es, the eviction/early-reshuffle schedule, `flush_writes`
+//!   (the only moment bucket writes reach storage) and checkpoint
+//!   production.  Its physical reads and writes also run outside the lock.
+//!
+//! Because every metadata mutation happens under the shared lock while all
+//! physical I/O happens outside it, a reader batch and an engine write-back
+//! genuinely overlap in time.  Three small protocols keep the interleavings
+//! safe:
+//!
+//! * **Limbo keys.**  When the engine plans an eviction it marks the real
+//!   blocks it is about to pull out of the tree as *in limbo*: they are
+//!   physically in flight towards the stash and findable nowhere.  A reader
+//!   batch that requests a limbo key parks on the shared condvar until the
+//!   engine's ingest lands (at which point the key is in the stash and the
+//!   read resolves locally).
+//! * **The write fence.**  Before the engine issues the physical writes of
+//!   a flush (or takes a checkpoint), it raises a fence, waits for in-flight
+//!   reader fetches to drain, and drops the fence *before* the writes go
+//!   out.  A fetch planned before a bucket entered the buffered overlay
+//!   could otherwise race that bucket's write and fail freshness
+//!   verification; a fetch planned after the fence is safe by construction —
+//!   buckets still awaiting their write are served from the overlay (no
+//!   physical read), and a bucket leaves the overlay only *after* its write
+//!   landed and its version advanced, atomically under the lock.
+//! * **Plan-time resolution.**  Reads whose target lives in the stash or in
+//!   a buffered bucket capture the value at plan time, under the lock, so
+//!   no concurrent eviction can whisk the block away between plan and
+//!   ingest.
+//!
+//! The two halves are driven by at most one thread each (the proxy's epoch
+//! executor and epoch decider); the protocols above assume no more.  The
+//! caller must also keep concurrently written and read key sets disjoint —
+//! the Obladi proxy guarantees this with its carry-pending set (a read of a
+//! key the deciding epoch wrote parks until the decision publishes).
+//!
+//! [`RingOram`](crate::client::RingOram) remains as a thin facade composing
+//! the two halves for sequential callers (baselines, recovery, tests); its
+//! behaviour — including RNG consumption order, and therefore the physical
+//! access sequence — is unchanged from the monolithic client.
+
+use crate::block::Block;
+use crate::bucket::BucketMeta;
+use crate::client::{ExecOptions, OramStats, PathLogger, SlotRead};
+use crate::metadata::{MetaDelta, OramMeta};
+use crate::pool::ThreadPool;
+use crate::tree::TreeGeometry;
+use obladi_common::config::OramConfig;
+use obladi_common::error::{ObladiError, Result};
+use obladi_common::rng::DetRng;
+use obladi_common::types::{BucketId, Key, Leaf, Value, Version};
+use obladi_crypto::{Envelope, KeyMaterial};
+use obladi_storage::UntrustedStore;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Produces the encrypted-checkpoint payloads durability logs at the end of
+/// every epoch.  Implemented by the monolithic facade and by the write-back
+/// engine (which quiesces the read plane first, so a checkpoint can never
+/// capture a block that is physically in flight and findable nowhere).
+///
+/// Both methods fail when the read plane is *poisoned*: a read batch with
+/// physical target blocks failed between plan and ingest, so a block that
+/// was cleared from its bucket never reached the stash and the live
+/// metadata no longer accounts for it.  Persisting that state would lose a
+/// committed key durably; refusing makes the epoch fail instead, and the
+/// proxy's fate-sharing crash + recovery rebuilds a clean client from the
+/// last durable checkpoint.
+pub trait CheckpointSource {
+    /// Serialises the complete client state (full checkpoint).
+    fn checkpoint_full(&self) -> Result<Vec<u8>>;
+    /// Produces a delta checkpoint and clears the dirty sets.
+    fn checkpoint_delta(&mut self, max_position_delta: usize) -> Result<MetaDelta>;
+}
+
+/// All shared mutable client state, behind the one fine-grained lock.
+struct SharedState {
+    meta: OramMeta,
+    /// Buckets logically rewritten this epoch, awaiting flush: real blocks
+    /// placed in each (metadata lives in `meta.buckets`).
+    buffer: HashMap<BucketId, Vec<Block>>,
+    /// Buckets that ran out of valid dummy slots and need an early
+    /// reshuffle before they can be accessed again.
+    needs_reshuffle: HashSet<BucketId>,
+    rng: DetRng,
+    stats: OramStats,
+    /// Keys whose blocks the engine is physically pulling towards the stash
+    /// (mid-eviction / mid-reshuffle).  Readers wait for them.
+    limbo: HashSet<Key>,
+    /// Reader fetch operations in flight (planned, not yet ingested).
+    reader_fetches: usize,
+    /// While raised, no new reader fetch may begin (flush / checkpoint
+    /// quiescence — see the module docs).
+    write_fence: bool,
+    /// Set when a read batch with physical targets failed between plan and
+    /// ingest: a block left its bucket and never reached the stash, so the
+    /// metadata is missing a live value.  Checkpoints refuse to persist
+    /// this state (see [`CheckpointSource`]); only rebuilding the client —
+    /// the proxy's crash + recovery path — clears it.
+    poisoned: bool,
+}
+
+struct SharedOram {
+    state: Mutex<SharedState>,
+    cond: Condvar,
+}
+
+/// The immutable half of the client every handle shares.
+#[derive(Clone)]
+struct OramCore {
+    config: OramConfig,
+    geometry: TreeGeometry,
+    store: Arc<dyn UntrustedStore>,
+    envelope: Envelope,
+    options: ExecOptions,
+    shared: Arc<SharedOram>,
+}
+
+/// Where a planned access resolves its value.
+enum Target {
+    /// The block arrives in the physical read at this index.
+    Physical(usize),
+    /// Resolved at plan time (stash hit, buffered-bucket hit, or absent /
+    /// padding) — no value will arrive from storage.
+    Ready(Option<Value>),
+}
+
+/// Per-request plan produced by the metadata pass.
+struct OpPlan {
+    key: Option<Key>,
+    new_leaf: Leaf,
+    target: Target,
+}
+
+/// Builds a fresh split client and initialises the tree on storage.
+pub(crate) fn new_split(
+    config: OramConfig,
+    keys: &KeyMaterial,
+    store: Arc<dyn UntrustedStore>,
+    options: ExecOptions,
+    seed: u64,
+) -> Result<(OramReader, WritebackEngine)> {
+    config.validate()?;
+    let mut rng = DetRng::new(seed ^ 0x0ead_cafe);
+    let meta = OramMeta::new(config, &mut rng);
+    let (reader, engine) = from_parts(meta, keys, store, options, rng);
+    engine.init_tree()?;
+    Ok((reader, engine))
+}
+
+/// Restores a split client from checkpointed metadata (crash recovery).
+pub(crate) fn from_meta_split(
+    meta: OramMeta,
+    keys: &KeyMaterial,
+    store: Arc<dyn UntrustedStore>,
+    options: ExecOptions,
+    seed: u64,
+) -> (OramReader, WritebackEngine) {
+    from_parts(meta, keys, store, options, DetRng::new(seed ^ 0x5eed_0bad))
+}
+
+fn from_parts(
+    meta: OramMeta,
+    keys: &KeyMaterial,
+    store: Arc<dyn UntrustedStore>,
+    options: ExecOptions,
+    rng: DetRng,
+) -> (OramReader, WritebackEngine) {
+    let config = meta.config;
+    let core = OramCore {
+        config,
+        geometry: TreeGeometry::new(&config),
+        store,
+        envelope: Envelope::new(keys),
+        options,
+        shared: Arc::new(SharedOram {
+            state: Mutex::new(SharedState {
+                meta,
+                buffer: HashMap::new(),
+                needs_reshuffle: HashSet::new(),
+                rng,
+                stats: OramStats::default(),
+                limbo: HashSet::new(),
+                reader_fetches: 0,
+                write_fence: false,
+                poisoned: false,
+            }),
+            cond: Condvar::new(),
+        }),
+    };
+    // One worker pool, shared: the sequential facade drives the two halves
+    // from a single thread, so a second pool would just double the idle OS
+    // threads of every client (recovery, baselines, tests).  The pipelined
+    // proxy, whose halves genuinely run concurrently, gives the engine its
+    // own pool at `RingOram::split` time so flush I/O and read fetches
+    // never queue behind each other.
+    let pool = Arc::new(ThreadPool::new(pool_size(&options)));
+    let reader = OramReader {
+        core: core.clone(),
+        pool: pool.clone(),
+    };
+    let engine = WritebackEngine { core, pool };
+    (reader, engine)
+}
+
+// ----------------------------------------------------------------------
+// Shared helpers (sealing, opening, fetching)
+// ----------------------------------------------------------------------
+
+/// Seals a block for `(bucket, slot)` at `version`.
+pub(crate) fn seal_block(
+    envelope: &Envelope,
+    encrypt: bool,
+    bucket: BucketId,
+    slot: u32,
+    version: Version,
+    block: &Block,
+    capacity: usize,
+) -> Result<bytes::Bytes> {
+    let plain = block.encode();
+    if encrypt {
+        let location = slot_location(bucket, slot);
+        let sealed = envelope.seal(location, version, &plain, capacity)?;
+        Ok(bytes::Bytes::from(sealed.bytes))
+    } else {
+        // Unencrypted mode still pads to a fixed size so dummy and real
+        // slots remain the same length on storage.
+        let mut padded = Vec::with_capacity(capacity + 4);
+        padded.extend_from_slice(&(plain.len() as u32).to_le_bytes());
+        padded.extend_from_slice(&plain);
+        padded.resize(capacity + 4, 0);
+        Ok(bytes::Bytes::from(padded))
+    }
+}
+
+/// Opens a slot payload fetched from storage.
+fn open_block(
+    envelope: &Envelope,
+    encrypt: bool,
+    read: SlotRead,
+    bytes: &bytes::Bytes,
+) -> Result<Block> {
+    if encrypt {
+        let location = slot_location(read.bucket, read.slot);
+        let sealed = obladi_crypto::SealedBlock {
+            bytes: bytes.to_vec(),
+        };
+        let plain = envelope.open(location, read.version, &sealed)?;
+        Block::decode(&plain)
+    } else {
+        if bytes.len() < 4 {
+            return Err(ObladiError::Codec("slot payload too short".into()));
+        }
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        if bytes.len() < 4 + len {
+            return Err(ObladiError::Codec("slot payload truncated".into()));
+        }
+        Block::decode(&bytes[4..4 + len])
+    }
+}
+
+/// Builds the full physical slot array of a bucket from its metadata and the
+/// real blocks placed in it.
+fn build_bucket_slots(
+    envelope: &Envelope,
+    encrypt: bool,
+    bucket: BucketId,
+    meta: &BucketMeta,
+    blocks: &[Block],
+    capacity: usize,
+) -> Result<Vec<bytes::Bytes>> {
+    let total = meta.perm.len();
+    let next_version = meta.version + 1;
+    let by_key: HashMap<Key, &Block> = blocks.iter().map(|b| (b.key, b)).collect();
+    let dummy = Block::dummy();
+    let mut slots: Vec<bytes::Bytes> = vec![bytes::Bytes::new(); total];
+    for logical in 0..total {
+        let physical = meta.perm[logical] as usize;
+        let block: &Block = if logical < meta.z() {
+            match &meta.real[logical] {
+                Some((key, _)) => by_key.get(key).copied().unwrap_or(&dummy),
+                None => &dummy,
+            }
+        } else {
+            &dummy
+        };
+        slots[physical] = seal_block(
+            envelope,
+            encrypt,
+            bucket,
+            physical as u32,
+            next_version,
+            block,
+            capacity,
+        )?;
+    }
+    Ok(slots)
+}
+
+/// Location tag binding a sealed slot to its bucket and physical position.
+fn slot_location(bucket: BucketId, slot: u32) -> u64 {
+    (bucket << 12) | slot as u64
+}
+
+impl OramCore {
+    /// Fetches the given slots with no lock held.  Only indices in
+    /// `targets` are decrypted; dummy reads are fetched (for obliviousness)
+    /// but their payloads are discarded.  The caller accounts
+    /// `stats.physical_reads`.
+    fn fetch_slots(
+        &self,
+        pool: &ThreadPool,
+        reads: &[SlotRead],
+        targets: &HashSet<usize>,
+    ) -> Result<Vec<Option<Block>>> {
+        if reads.is_empty() {
+            return Ok(Vec::new());
+        }
+        let envelope = self.envelope.clone();
+        let encrypt = self.options.encrypt;
+        let store = self.store.clone();
+        let jobs: Vec<(usize, SlotRead, bool)> = reads
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, *r, targets.contains(&i)))
+            .collect();
+
+        let run = move |(idx, read, is_target): (usize, SlotRead, bool)| -> Result<(usize, Option<Block>)> {
+            let bytes = store.read_slot(read.bucket, read.slot)?;
+            if !is_target {
+                return Ok((idx, None));
+            }
+            let block = open_block(&envelope, encrypt, read, &bytes)?;
+            Ok((idx, Some(block)))
+        };
+
+        let results: Vec<Result<(usize, Option<Block>)>> = if self.options.parallel {
+            pool.map(jobs, run)
+        } else {
+            jobs.into_iter().map(run).collect()
+        };
+
+        let mut out: Vec<Option<Block>> = vec![None; reads.len()];
+        for result in results {
+            let (idx, block) = result?;
+            out[idx] = block;
+        }
+        Ok(out)
+    }
+
+    /// Common accessors used by both halves and the facade.
+    fn stats(&self) -> OramStats {
+        let state = self.shared.state.lock();
+        let mut stats = state.stats;
+        stats.stash_peak = state.meta.stash.peak() as u64;
+        stats
+    }
+
+    fn reset_stats(&self) {
+        self.shared.state.lock().stats = OramStats::default();
+    }
+
+    fn stash_len(&self) -> usize {
+        self.shared.state.lock().meta.stash.len()
+    }
+
+    fn buffered_buckets(&self) -> usize {
+        self.shared.state.lock().buffer.len()
+    }
+}
+
+// ----------------------------------------------------------------------
+// The read plane
+// ----------------------------------------------------------------------
+
+/// Worker-pool size for the given options.
+fn pool_size(options: &ExecOptions) -> usize {
+    if options.parallel {
+        options.threads
+    } else {
+        1
+    }
+}
+
+/// The concurrent read plane of the split client (see the module docs).
+pub struct OramReader {
+    core: OramCore,
+    pool: Arc<ThreadPool>,
+}
+
+impl OramReader {
+    /// The tree configuration.
+    pub fn config(&self) -> &OramConfig {
+        &self.core.config
+    }
+
+    /// The tree geometry helper.
+    pub fn geometry(&self) -> TreeGeometry {
+        self.core.geometry
+    }
+
+    /// Operation counters (shared with the engine).
+    pub fn stats(&self) -> OramStats {
+        self.core.stats()
+    }
+
+    /// Resets the shared operation counters.
+    pub fn reset_stats(&mut self) {
+        self.core.reset_stats()
+    }
+
+    /// Current stash occupancy.
+    pub fn stash_len(&self) -> usize {
+        self.core.stash_len()
+    }
+
+    /// Access to the underlying store (stats in benches).
+    pub fn store(&self) -> &Arc<dyn UntrustedStore> {
+        &self.core.store
+    }
+
+    /// Executes one read batch.  `requests[i] == None` denotes a padding
+    /// (dummy) request that reads a uniformly random path.
+    ///
+    /// The metadata pass runs under the shared lock; the physical reads run
+    /// with it released, so an engine write-back in flight on another thread
+    /// overlaps them in time.
+    pub fn read_batch(
+        &mut self,
+        requests: &[Option<Key>],
+        logger: &dyn PathLogger,
+    ) -> Result<Vec<Option<Value>>> {
+        // Phase 1 (locked): wait out limbo keys and the write fence, then
+        // plan every request — slot choices, position remaps and plan-time
+        // value capture are atomic with respect to the engine.
+        let (plans, physical) = {
+            let mut state = self.core.shared.state.lock();
+            loop {
+                let blocked = state.write_fence
+                    || requests
+                        .iter()
+                        .filter_map(|r| *r)
+                        .any(|k| state.limbo.contains(&k));
+                if !blocked {
+                    break;
+                }
+                self.core.shared.cond.wait(&mut state);
+            }
+            let mut physical: Vec<SlotRead> = Vec::new();
+            let mut plans: Vec<OpPlan> = Vec::with_capacity(requests.len());
+            for request in requests {
+                plans.push(plan_access(
+                    &self.core,
+                    &mut state,
+                    *request,
+                    &mut physical,
+                )?);
+            }
+            state.stats.physical_reads += physical.len() as u64;
+            // Register the fetch *before* releasing the lock so the engine's
+            // fence drain cannot miss it.
+            state.reader_fetches += 1;
+            (plans, physical)
+        };
+
+        // Phase 2 (unlocked): log, then issue the physical reads.
+        let targets: HashSet<usize> = plans
+            .iter()
+            .filter_map(|p| match p.target {
+                Target::Physical(idx) => Some(idx),
+                _ => None,
+            })
+            .collect();
+        let fetched = (|| -> Result<Vec<Option<Block>>> {
+            logger.log_reads(&physical)?;
+            self.core.fetch_slots(&self.pool, &physical, &targets)
+        })();
+
+        // Phase 3 (locked): deregister the fetch on *every* path — the
+        // engine's fence drain must never wait on a fetch that has already
+        // failed — then ingest the target blocks into the stash.
+        let mut state = self.core.shared.state.lock();
+        state.reader_fetches -= 1;
+        self.core.shared.cond.notify_all();
+        let result = (|state: &mut SharedState| -> Result<Vec<Option<Value>>> {
+            let raw = fetched?;
+            let mut results = Vec::with_capacity(requests.len());
+            for plan in plans {
+                match plan.target {
+                    Target::Ready(value) => results.push(value),
+                    Target::Physical(idx) => {
+                        let key = plan.key.expect("physical targets carry a key");
+                        let block = raw.get(idx).and_then(|b| b.clone()).ok_or_else(|| {
+                            ObladiError::Internal("missing physical target block".into())
+                        })?;
+                        if block.key != key {
+                            return Err(ObladiError::Integrity(format!(
+                                "expected block for key {key}, found {}",
+                                block.key
+                            )));
+                        }
+                        // A concurrent dummiless write of the key would have
+                        // left a newer version in the stash; never clobber it
+                        // (the proxy's carry set rules this out, but the
+                        // guard costs nothing and keeps the invariant local).
+                        if !state.meta.stash.contains(key) {
+                            state.meta.stash.insert(
+                                key,
+                                plan.new_leaf,
+                                block.value.clone(),
+                                self.core.config.max_stash,
+                            )?;
+                        }
+                        results.push(Some(block.value));
+                    }
+                }
+            }
+            Ok(results)
+        })(&mut state);
+        if result.is_err() && !targets.is_empty() {
+            // A physical target block was cleared from its bucket at plan
+            // time and never reached the stash: the live metadata no longer
+            // accounts for it.  Poison the client so a concurrent engine
+            // checkpoint cannot persist the loss durably before the
+            // caller's fate-sharing crash lands (see [`CheckpointSource`]).
+            state.poisoned = true;
+        }
+        result
+    }
+}
+
+/// Plans one access under the shared lock: remaps the key, chooses exactly
+/// one slot per non-buffered bucket on the path, and resolves stash /
+/// buffered targets to their values immediately.
+fn plan_access(
+    core: &OramCore,
+    state: &mut SharedState,
+    request: Option<Key>,
+    physical: &mut Vec<SlotRead>,
+) -> Result<OpPlan> {
+    state.stats.logical_reads += 1;
+    state.meta.access_count += 1;
+
+    let num_leaves = core.geometry.num_leaves();
+    let (key, exists, old_leaf) = match request {
+        Some(key) => match state.meta.position.get(key) {
+            Some(leaf) => (Some(key), true, leaf),
+            None => (Some(key), false, state.rng.below(num_leaves)),
+        },
+        None => (None, false, state.rng.below(num_leaves)),
+    };
+    let new_leaf = state.rng.below(num_leaves);
+
+    // Remap immediately; the block itself moves to the stash at ingest (or
+    // right here, for stash / buffered targets).
+    if exists {
+        if let Some(k) = key {
+            state.meta.position.set(k, new_leaf);
+            state.meta.stash.remap(k, new_leaf);
+        }
+    }
+
+    let mut target = if exists {
+        let k = key.expect("exists implies key");
+        if state.meta.stash.contains(k) {
+            Target::Ready(state.meta.stash.get(k).map(|(_, v)| v.clone()))
+        } else {
+            Target::Ready(None) // refined below if found in the tree
+        }
+    } else {
+        Target::Ready(None)
+    };
+    let mut resolved = matches!(target, Target::Ready(Some(_)));
+
+    for &bucket in &core.geometry.path(old_leaf) {
+        let is_buffered = state.buffer.contains_key(&bucket);
+        let meta = &mut state.meta.buckets[bucket as usize];
+        let key_slot = match (key, exists) {
+            (Some(k), true) => meta.find_key(k),
+            _ => None,
+        };
+
+        if is_buffered {
+            // Served locally from the buffered bucket; no physical read.
+            state.stats.buffered_reads += 1;
+            if let Some(logical) = key_slot {
+                if !resolved {
+                    // Extract the block *now*, under the lock: it leaves the
+                    // buffered bucket and moves to the stash, exactly as if
+                    // it had left the tree.
+                    let k = key.expect("key_slot implies key");
+                    state.meta.buckets[bucket as usize].clear_real(logical);
+                    state.meta.mark_bucket_dirty(bucket);
+                    let value = state.buffer.get_mut(&bucket).and_then(|blocks| {
+                        blocks
+                            .iter()
+                            .position(|b| b.key == k)
+                            .map(|pos| blocks.remove(pos).value)
+                    });
+                    if let Some(value) = value {
+                        state.meta.stash.insert(
+                            k,
+                            new_leaf,
+                            value.clone(),
+                            core.config.max_stash,
+                        )?;
+                        target = Target::Ready(Some(value));
+                    }
+                    resolved = true;
+                }
+            }
+            continue;
+        }
+
+        if let Some(logical) = key_slot {
+            if !resolved {
+                let slot = meta.mark_read(logical);
+                meta.clear_real(logical);
+                let version = meta.version;
+                state.meta.mark_bucket_dirty(bucket);
+                physical.push(SlotRead {
+                    bucket,
+                    slot,
+                    version,
+                });
+                target = Target::Physical(physical.len() - 1);
+                resolved = true;
+                if state.meta.buckets[bucket as usize].needs_early_reshuffle() {
+                    state.needs_reshuffle.insert(bucket);
+                }
+                continue;
+            }
+        }
+
+        // Dummy read from this bucket.
+        match state.meta.buckets[bucket as usize].pick_valid_dummy(&mut state.rng) {
+            Some(logical) => {
+                let meta = &mut state.meta.buckets[bucket as usize];
+                let slot = meta.mark_read(logical);
+                let version = meta.version;
+                state.meta.mark_bucket_dirty(bucket);
+                physical.push(SlotRead {
+                    bucket,
+                    slot,
+                    version,
+                });
+                if state.meta.buckets[bucket as usize].needs_early_reshuffle() {
+                    state.needs_reshuffle.insert(bucket);
+                }
+            }
+            None => {
+                // The bucket has no valid dummies left; it will be
+                // reshuffled during the engine's next maintenance pass.
+                // Skipping the physical read here is the recovery action
+                // canonical Ring ORAM avoids by reshuffling earlier.
+                state.needs_reshuffle.insert(bucket);
+            }
+        }
+    }
+
+    Ok(OpPlan {
+        key,
+        new_leaf,
+        target,
+    })
+}
+
+// ----------------------------------------------------------------------
+// The write-back engine
+// ----------------------------------------------------------------------
+
+/// The background write-back engine of the split client (see the module
+/// docs): dummiless writes, evictions, early reshuffles, flush, checkpoint
+/// production and recovery support.
+pub struct WritebackEngine {
+    core: OramCore,
+    pool: Arc<ThreadPool>,
+}
+
+impl WritebackEngine {
+    /// Replaces the shared worker pool with a private one, so a caller
+    /// driving the two halves from separate threads (the pipelined proxy)
+    /// never queues its flush I/O behind the read plane's fetches.
+    pub(crate) fn use_private_pool(&mut self) {
+        self.pool = Arc::new(ThreadPool::new(pool_size(&self.core.options)));
+    }
+
+    /// The tree configuration.
+    pub fn config(&self) -> &OramConfig {
+        &self.core.config
+    }
+
+    /// The tree geometry helper.
+    pub fn geometry(&self) -> TreeGeometry {
+        self.core.geometry
+    }
+
+    /// Operation counters (shared with the reader).
+    pub fn stats(&self) -> OramStats {
+        self.core.stats()
+    }
+
+    /// Current stash occupancy.
+    pub fn stash_len(&self) -> usize {
+        self.core.stash_len()
+    }
+
+    /// Number of buckets currently buffered locally (awaiting flush).
+    pub fn buffered_buckets(&self) -> usize {
+        self.core.buffered_buckets()
+    }
+
+    /// Access to the underlying store.
+    pub fn store(&self) -> &Arc<dyn UntrustedStore> {
+        &self.core.store
+    }
+
+    /// A snapshot of the client metadata (tests and diagnostics).
+    pub fn meta_snapshot(&self) -> OramMeta {
+        self.core.shared.state.lock().meta.clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Initialisation
+    // ------------------------------------------------------------------
+
+    fn init_tree(&self) -> Result<()> {
+        // The tree is written unconditionally: a freshly constructed client
+        // has fresh permutations and an empty position map, so any blocks a
+        // previous client left on this store are unreadable garbage to it.
+        let slots_per_bucket = self.core.config.slots_per_bucket() as usize;
+        let capacity = Block::padded_capacity(self.core.config.block_size);
+        let encrypt = self.core.options.encrypt;
+        let envelope = self.core.envelope.clone();
+        let fast = self.core.options.fast_init;
+
+        let buckets: Vec<BucketId> = self.core.geometry.all_buckets().collect();
+        let store = self.core.store.clone();
+        let results: Vec<Result<(BucketId, Version)>> = self.pool.map(buckets, move |bucket| {
+            let slots: Vec<bytes::Bytes> = if fast {
+                let sealed =
+                    seal_block(&envelope, encrypt, bucket, 0, 1, &Block::dummy(), capacity)?;
+                vec![sealed; slots_per_bucket]
+            } else {
+                let mut slots = Vec::with_capacity(slots_per_bucket);
+                for slot in 0..slots_per_bucket {
+                    slots.push(seal_block(
+                        &envelope,
+                        encrypt,
+                        bucket,
+                        slot as u32,
+                        1,
+                        &Block::dummy(),
+                        capacity,
+                    )?);
+                }
+                slots
+            };
+            let version = store.write_bucket(bucket, slots)?;
+            Ok((bucket, version))
+        });
+        let mut state = self.core.shared.state.lock();
+        for result in results {
+            let (bucket, version) = result?;
+            state.meta.buckets[bucket as usize].version = version;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    /// Applies a write batch using dummiless writes (§6.3): the new version
+    /// of each object goes directly to the stash; no physical reads are
+    /// issued, but the eviction schedule still advances.
+    pub fn write_batch(&mut self, writes: &[(Key, Value)], logger: &dyn PathLogger) -> Result<()> {
+        self.write_batch_padded(writes, writes.len(), logger)
+    }
+
+    /// Like [`WritebackEngine::write_batch`], but pads the batch to
+    /// `padded_to` logical writes so the eviction schedule is independent of
+    /// how many real writes the epoch produced (§6.2).
+    pub fn write_batch_padded(
+        &mut self,
+        writes: &[(Key, Value)],
+        padded_to: usize,
+        logger: &dyn PathLogger,
+    ) -> Result<()> {
+        // Validate every value first so a single oversized value cannot
+        // leave the batch half-applied.
+        for (key, value) in writes {
+            if value.len() > self.core.config.block_size {
+                return Err(ObladiError::Codec(format!(
+                    "value for key {key} of {} bytes exceeds block size {}",
+                    value.len(),
+                    self.core.config.block_size
+                )));
+            }
+        }
+        let a = self.core.config.a as u64;
+        for (key, value) in writes {
+            let run_maintenance = {
+                let mut state = self.core.shared.state.lock();
+                dummiless_write(&self.core, &mut state, *key, value.clone())?;
+                // Interleave evictions with large write batches so the
+                // stash stays within its canonical Ring ORAM bound even
+                // when the write batch is larger than `A`.
+                state.meta.access_count.is_multiple_of(a)
+            };
+            if run_maintenance {
+                self.run_pending_maintenance(logger)?;
+            }
+        }
+        {
+            // Padded (dummy) writes contribute to the access count only.
+            let mut state = self.core.shared.state.lock();
+            let padding = padded_to.saturating_sub(writes.len()) as u64;
+            state.meta.access_count += padding;
+            state.stats.logical_writes += padding;
+        }
+        self.run_pending_maintenance(logger)?;
+        if !self.core.options.deferred_writes {
+            self.flush_writes(logger)?;
+        }
+        Ok(())
+    }
+
+    /// Seals and writes every buffered bucket back to storage (one write per
+    /// bucket — the last version wins) and clears the buffer.
+    ///
+    /// Issues the physical writes with the shared lock released; the write
+    /// fence drains in-flight reader fetches first, and buckets leave the
+    /// buffered overlay only after their write has landed, so concurrent
+    /// reader batches stay consistent throughout (see the module docs).
+    pub fn flush_writes(&mut self, _logger: &dyn PathLogger) -> Result<()> {
+        let jobs: Vec<(BucketId, BucketMeta, Vec<Block>)> = {
+            let mut state = self.core.shared.state.lock();
+            if state.buffer.is_empty() {
+                return Ok(());
+            }
+            self.drain_reader_fetches(&mut state);
+            let mut jobs: Vec<(BucketId, BucketMeta, Vec<Block>)> = state
+                .buffer
+                .iter()
+                .map(|(bucket, blocks)| {
+                    (
+                        *bucket,
+                        state.meta.buckets[*bucket as usize].clone(),
+                        blocks.clone(),
+                    )
+                })
+                .collect();
+            jobs.sort_by_key(|(b, _, _)| *b);
+            jobs
+        };
+
+        let capacity = Block::padded_capacity(self.core.config.block_size);
+        let encrypt = self.core.options.encrypt;
+        let envelope = self.core.envelope.clone();
+        let store = self.core.store.clone();
+        let results: Vec<Result<(BucketId, Version)>> =
+            self.pool.map(jobs, move |(bucket, meta, blocks)| {
+                let slots =
+                    build_bucket_slots(&envelope, encrypt, bucket, &meta, &blocks, capacity)?;
+                let version = store.write_bucket(bucket, slots)?;
+                Ok((bucket, version))
+            });
+
+        let mut state = self.core.shared.state.lock();
+        for result in results {
+            let (bucket, version) = result?;
+            state.meta.buckets[bucket as usize].version = version;
+            state.meta.mark_bucket_dirty(bucket);
+            state.buffer.remove(&bucket);
+            state.stats.physical_writes += 1;
+        }
+        self.core.shared.cond.notify_all();
+        Ok(())
+    }
+
+    /// Raises the write fence and waits until no reader fetch is in flight,
+    /// then drops the fence.  Fetches planned after this point are safe
+    /// against the caller's imminent bucket writes (buffered buckets are
+    /// served from the overlay until their write lands) or checkpoint (no
+    /// block is mid-air).
+    fn drain_reader_fetches(&self, state: &mut parking_lot::MutexGuard<'_, SharedState>) {
+        state.write_fence = true;
+        while state.reader_fetches > 0 {
+            self.core.shared.cond.wait(state);
+        }
+        state.write_fence = false;
+        self.core.shared.cond.notify_all();
+    }
+
+    // ------------------------------------------------------------------
+    // Evictions, early reshuffles
+    // ------------------------------------------------------------------
+
+    /// Runs every eviction and early reshuffle that has come due.  The
+    /// proxy's decider drives this once per epoch (right before the flush);
+    /// the facade drives it at the monolithic client's points (after every
+    /// read batch and interleaved with large write batches).
+    pub fn run_pending_maintenance(&mut self, logger: &dyn PathLogger) -> Result<()> {
+        loop {
+            // Evictions owed: one per `A` logical accesses.
+            let next_target = {
+                let state = self.core.shared.state.lock();
+                let owed = state.meta.access_count / self.core.config.a as u64;
+                if state.meta.evict_count < owed {
+                    Some(self.core.geometry.evict_target(state.meta.evict_count))
+                } else {
+                    None
+                }
+            };
+            match next_target {
+                Some(target) => {
+                    self.evict_path(target, logger)?;
+                    let mut state = self.core.shared.state.lock();
+                    state.meta.evict_count += 1;
+                    state.stats.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        // Early reshuffles for exhausted buckets.
+        let pending: Vec<BucketId> = {
+            let mut state = self.core.shared.state.lock();
+            let mut v: Vec<BucketId> = state.needs_reshuffle.drain().collect();
+            v.sort_unstable();
+            v
+        };
+        for bucket in pending {
+            // A bucket freshly rewritten by an eviction no longer needs it.
+            let skip = {
+                let state = self.core.shared.state.lock();
+                state.buffer.contains_key(&bucket)
+                    || !state.meta.buckets[bucket as usize].needs_early_reshuffle()
+            };
+            if skip {
+                continue;
+            }
+            self.early_reshuffle(bucket, logger)?;
+            let mut state = self.core.shared.state.lock();
+            state.stats.early_reshuffles += 1;
+        }
+        Ok(())
+    }
+
+    fn evict_path(&mut self, target_leaf: Leaf, logger: &dyn PathLogger) -> Result<()> {
+        let path = self.core.geometry.path(target_leaf);
+
+        // ----- Read phase (planned under the lock) -----
+        let (physical, expected_real, limbo_keys) = {
+            let mut state = self.core.shared.state.lock();
+            let state = &mut *state;
+            let mut physical: Vec<SlotRead> = Vec::new();
+            let mut expected_real: Vec<usize> = Vec::new();
+            let mut limbo_keys: Vec<Key> = Vec::new();
+            for &bucket in &path {
+                if let Some(blocks) = state.buffer.remove(&bucket) {
+                    // The bucket's current contents live locally; pull them
+                    // back into the stash without physical reads.
+                    state.stats.buffered_reads += 1;
+                    for block in blocks {
+                        ingest_evicted_block(&self.core, state, block)?;
+                    }
+                    let meta = &mut state.meta.buckets[bucket as usize];
+                    for logical in 0..meta.z() {
+                        meta.clear_real(logical);
+                    }
+                    continue;
+                }
+                let meta = &mut state.meta.buckets[bucket as usize];
+                let reals = meta.valid_reals();
+                let real_count = reals.len();
+                for logical in reals {
+                    if let Some((key, _)) = meta.real[logical] {
+                        limbo_keys.push(key);
+                    }
+                    let slot = meta.mark_read(logical);
+                    let version = meta.version;
+                    physical.push(SlotRead {
+                        bucket,
+                        slot,
+                        version,
+                    });
+                    expected_real.push(physical.len() - 1);
+                }
+                // Pad to Z reads with valid dummies, as canonical Ring ORAM
+                // does.
+                let dummies_needed = (meta.z()).saturating_sub(real_count);
+                for _ in 0..dummies_needed {
+                    match meta.pick_valid_dummy(&mut state.rng) {
+                        Some(logical) => {
+                            let slot = meta.mark_read(logical);
+                            let version = meta.version;
+                            physical.push(SlotRead {
+                                bucket,
+                                slot,
+                                version,
+                            });
+                        }
+                        None => break,
+                    }
+                }
+                state.meta.mark_bucket_dirty(bucket);
+            }
+            // The real blocks are now physically in flight towards the
+            // stash and findable nowhere; readers must wait for them.
+            for key in &limbo_keys {
+                state.limbo.insert(*key);
+            }
+            state.stats.physical_reads += physical.len() as u64;
+            (physical, expected_real, limbo_keys)
+        };
+
+        // ----- Physical reads (lock released) -----
+        let targets: HashSet<usize> = expected_real.iter().copied().collect();
+        let fetched = (|| -> Result<Vec<Option<Block>>> {
+            logger.log_reads(&physical)?;
+            self.core.fetch_slots(&self.pool, &physical, &targets)
+        })();
+
+        // ----- Ingest + write phase (one critical section, so no reader
+        // ever observes the gap between a block entering the stash and its
+        // bucket being rewritten) -----
+        let mut state = self.core.shared.state.lock();
+        for key in &limbo_keys {
+            state.limbo.remove(key);
+        }
+        self.core.shared.cond.notify_all();
+        let raw = fetched?;
+        let state = &mut *state;
+        for idx in expected_real {
+            if let Some(Some(block)) = raw.get(idx).cloned() {
+                ingest_evicted_block(&self.core, state, block)?;
+            }
+        }
+
+        // Write phase (deepest bucket first).
+        for &bucket in path.iter().rev() {
+            let level = self.core.geometry.level_of(bucket);
+            let geometry = self.core.geometry;
+            let eligible = state
+                .meta
+                .stash
+                .eligible_for(|leaf| geometry.bucket_at(leaf, level) == bucket);
+            let chosen: Vec<Key> = eligible
+                .into_iter()
+                .take(self.core.config.z as usize)
+                .collect();
+            let mut placed: Vec<Block> = Vec::with_capacity(chosen.len());
+            for key in chosen {
+                if let Some((leaf, value)) = state.meta.stash.remove(key) {
+                    placed.push(Block::real(key, leaf, value));
+                }
+            }
+            rewrite_bucket(&self.core, state, bucket, placed)?;
+        }
+        Ok(())
+    }
+
+    fn early_reshuffle(&mut self, bucket: BucketId, logger: &dyn PathLogger) -> Result<()> {
+        // Read the remaining valid real blocks of the bucket.
+        let (physical, limbo_keys) = {
+            let mut state = self.core.shared.state.lock();
+            let state = &mut *state;
+            let mut physical: Vec<SlotRead> = Vec::new();
+            let mut limbo_keys: Vec<Key> = Vec::new();
+            {
+                let meta = &mut state.meta.buckets[bucket as usize];
+                let reals = meta.valid_reals();
+                let real_count = reals.len();
+                for logical in reals {
+                    if let Some((key, _)) = meta.real[logical] {
+                        limbo_keys.push(key);
+                    }
+                    let slot = meta.mark_read(logical);
+                    let version = meta.version;
+                    physical.push(SlotRead {
+                        bucket,
+                        slot,
+                        version,
+                    });
+                }
+                let dummies_needed = meta.z().saturating_sub(real_count);
+                for _ in 0..dummies_needed {
+                    match meta.pick_valid_dummy(&mut state.rng) {
+                        Some(logical) => {
+                            let slot = meta.mark_read(logical);
+                            let version = meta.version;
+                            physical.push(SlotRead {
+                                bucket,
+                                slot,
+                                version,
+                            });
+                        }
+                        None => break,
+                    }
+                }
+            }
+            state.meta.mark_bucket_dirty(bucket);
+            for key in &limbo_keys {
+                state.limbo.insert(*key);
+            }
+            state.stats.physical_reads += physical.len() as u64;
+            (physical, limbo_keys)
+        };
+
+        // Every read that corresponds to a real slot is a target.
+        let targets: HashSet<usize> = (0..physical.len()).collect();
+        let fetched = (|| -> Result<Vec<Option<Block>>> {
+            logger.log_reads(&physical)?;
+            self.core.fetch_slots(&self.pool, &physical, &targets)
+        })();
+
+        let mut state = self.core.shared.state.lock();
+        for key in &limbo_keys {
+            state.limbo.remove(key);
+        }
+        self.core.shared.cond.notify_all();
+        let raw = fetched?;
+        let state = &mut *state;
+        for block in raw.into_iter().flatten() {
+            if !block.is_dummy() {
+                ingest_evicted_block(&self.core, state, block)?;
+            }
+        }
+
+        // Re-place eligible stash blocks into the bucket (this includes the
+        // blocks just read, whose paths necessarily pass through it).
+        let level = self.core.geometry.level_of(bucket);
+        let geometry = self.core.geometry;
+        let eligible = state
+            .meta
+            .stash
+            .eligible_for(|leaf| geometry.bucket_at(leaf, level) == bucket);
+        let chosen: Vec<Key> = eligible
+            .into_iter()
+            .take(self.core.config.z as usize)
+            .collect();
+        let mut placed = Vec::with_capacity(chosen.len());
+        for key in chosen {
+            if let Some((leaf, value)) = state.meta.stash.remove(key) {
+                placed.push(Block::real(key, leaf, value));
+            }
+        }
+        rewrite_bucket(&self.core, state, bucket, placed)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery support
+    // ------------------------------------------------------------------
+
+    /// Re-issues a previously logged set of physical reads, discarding the
+    /// results (recovery replays the aborted epoch's access pattern, §8).
+    pub fn replay_reads(&mut self, reads: &[SlotRead]) -> Result<()> {
+        let store = self.core.store.clone();
+        let _ = self.pool.map(reads.to_vec(), move |read| {
+            let _ = store.read_slot(read.bucket, read.slot);
+        });
+        self.core.shared.state.lock().stats.physical_reads += reads.len() as u64;
+        Ok(())
+    }
+
+    /// Reverts every bucket on storage to the version recorded in the client
+    /// metadata (shadow paging, §8).
+    pub fn revert_storage_to_meta(&self) -> Result<()> {
+        let versions: Vec<(BucketId, Version)> = {
+            let state = self.core.shared.state.lock();
+            self.core
+                .geometry
+                .all_buckets()
+                .map(|bucket| (bucket, state.meta.buckets[bucket as usize].version))
+                .collect()
+        };
+        for (bucket, expected) in versions {
+            let current = self.core.store.bucket_version(bucket)?;
+            if current != expected {
+                self.core.store.revert_bucket(bucket, expected)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Discards all epoch-local buffered state (aborting the epoch).
+    pub fn discard_buffered(&mut self) {
+        self.core.shared.state.lock().buffer.clear();
+    }
+}
+
+/// The error a poisoned client's checkpoint attempts fail with.
+fn poisoned_error() -> ObladiError {
+    ObladiError::Integrity(
+        "ORAM read plane is poisoned: a fetched target block was lost in flight, so a \
+         checkpoint would persist metadata missing a live value; the client must be \
+         rebuilt (crash + recovery)"
+            .into(),
+    )
+}
+
+impl CheckpointSource for WritebackEngine {
+    /// Serialises the complete client state.  Quiesces the read plane
+    /// first — a checkpoint taken while a reader fetch is in flight would
+    /// capture a block that is findable nowhere (cleared from its bucket,
+    /// not yet in the stash) — and refuses if a past fetch *failed* and
+    /// left exactly that hole behind permanently (the poison flag; see
+    /// [`CheckpointSource`]).
+    fn checkpoint_full(&self) -> Result<Vec<u8>> {
+        let mut state = self.core.shared.state.lock();
+        self.drain_reader_fetches(&mut state);
+        if state.poisoned {
+            return Err(poisoned_error());
+        }
+        Ok(state.meta.encode_full())
+    }
+
+    fn checkpoint_delta(&mut self, max_position_delta: usize) -> Result<MetaDelta> {
+        let mut state = self.core.shared.state.lock();
+        self.drain_reader_fetches(&mut state);
+        if state.poisoned {
+            return Err(poisoned_error());
+        }
+        Ok(state.meta.take_delta(max_position_delta))
+    }
+}
+
+/// A dummiless write (§6.3) under the shared lock.
+fn dummiless_write(core: &OramCore, state: &mut SharedState, key: Key, value: Value) -> Result<()> {
+    if value.len() > core.config.block_size {
+        return Err(ObladiError::Codec(format!(
+            "value of {} bytes exceeds block size {}",
+            value.len(),
+            core.config.block_size
+        )));
+    }
+    state.stats.logical_writes += 1;
+    state.meta.access_count += 1;
+
+    let new_leaf = state.rng.below(core.geometry.num_leaves());
+    let old_leaf = state.meta.position.set(key, new_leaf);
+
+    // Remove any stale copy so at most one copy of the key exists.
+    if let Some(old_leaf) = old_leaf {
+        if state.meta.stash.remove(key).is_none() {
+            for &bucket in &core.geometry.path(old_leaf) {
+                let meta = &mut state.meta.buckets[bucket as usize];
+                if let Some(logical) = meta.find_key(key) {
+                    meta.clear_real(logical);
+                    state.meta.mark_bucket_dirty(bucket);
+                    if let Some(blocks) = state.buffer.get_mut(&bucket) {
+                        blocks.retain(|b| b.key != key);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    state
+        .meta
+        .stash
+        .insert(key, new_leaf, value, core.config.max_stash)?;
+    Ok(())
+}
+
+/// Installs fresh metadata for a logically rewritten bucket and either
+/// buffers or immediately writes its contents.  Runs under the shared lock;
+/// the immediate-write mode (deferred_writes = false) is only exercised by
+/// the sequential facade, which has no concurrent reader to block.
+fn rewrite_bucket(
+    core: &OramCore,
+    state: &mut SharedState,
+    bucket: BucketId,
+    blocks: Vec<Block>,
+) -> Result<()> {
+    let assignment: Vec<(Key, Leaf)> = blocks.iter().map(|b| (b.key, b.leaf)).collect();
+    state.meta.buckets[bucket as usize].rewrite(&assignment, &mut state.rng);
+    state.meta.mark_bucket_dirty(bucket);
+    state.needs_reshuffle.remove(&bucket);
+
+    if core.options.deferred_writes {
+        state.buffer.insert(bucket, blocks);
+        return Ok(());
+    }
+
+    let capacity = Block::padded_capacity(core.config.block_size);
+    let meta = state.meta.buckets[bucket as usize].clone();
+    let slots = build_bucket_slots(
+        &core.envelope,
+        core.options.encrypt,
+        bucket,
+        &meta,
+        &blocks,
+        capacity,
+    )?;
+    let version = core.store.write_bucket(bucket, slots)?;
+    state.meta.buckets[bucket as usize].version = version;
+    state.stats.physical_writes += 1;
+    Ok(())
+}
+
+/// Puts a block read during eviction back into the stash, discarding it if
+/// it is stale (superseded by a dummiless write or remapped since).
+fn ingest_evicted_block(core: &OramCore, state: &mut SharedState, block: Block) -> Result<()> {
+    if block.is_dummy() {
+        return Ok(());
+    }
+    if state.meta.stash.contains(block.key) {
+        // A newer version already lives in the stash.
+        return Ok(());
+    }
+    match state.meta.position.get(block.key) {
+        Some(leaf) if leaf == block.leaf => {
+            state
+                .meta
+                .stash
+                .insert(block.key, block.leaf, block.value, core.config.max_stash)?;
+            Ok(())
+        }
+        // Stale copy (remapped since) or deleted key: drop it.
+        _ => Ok(()),
+    }
+}

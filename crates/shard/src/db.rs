@@ -469,17 +469,7 @@ impl<'db> ShardedTxn<'db> {
             let class = *self
                 .round_class
                 .get_or_insert(u8::from(deciding_gen.is_some() && !for_write));
-            let target = match (class, deciding_gen) {
-                (0, Some(deciding)) => deciding,
-                (0, None) | (1, Some(_)) => exec_gen,
-                _ => {
-                    return Err(ObladiError::TxnAborted(format!(
-                        "shard {shard} has no epoch deciding at this transaction's rendezvous \
-                         ({})",
-                        AbortReason::EpochEnd
-                    )));
-                }
-            };
+            let target = select_leg_target(shard, class, exec_gen, deciding_gen)?;
             // The generation check runs inside the shard's own state lock,
             // atomically with its epoch rollover: a leg can never open in a
             // later epoch than its timestamp was sampled against, and no
@@ -699,6 +689,36 @@ impl Drop for ShardedTxn<'_> {
     }
 }
 
+/// Picks the epoch generation a leg on `shard` must open in so it decides
+/// at the transaction's fixed rendezvous (`class`), given the shard's
+/// sampled target generations.
+///
+/// `(1, None)` is the known cross-shard liveness gap: the transaction's
+/// first leg landed in a *sealed* shard's executing epoch (class 1 — it
+/// needed fetch power), but this shard was *unsealed* at stamping time, so
+/// none of its epochs decides at that later rendezvous.  Nothing
+/// conflicted; the caller just has to retry once the phases drift back
+/// into alignment.  The typed [`ObladiError::PipelineIncompatible`] — with
+/// the conflicting generations attached — lets callers and tests tell this
+/// liveness retry apart from real conflicts (and from capacity aborts).
+fn select_leg_target(
+    shard: usize,
+    class: u8,
+    exec_generation: u64,
+    deciding_generation: Option<u64>,
+) -> Result<u64> {
+    match (class, deciding_generation) {
+        (0, Some(deciding)) => Ok(deciding),
+        (0, None) | (1, Some(_)) => Ok(exec_generation),
+        _ => Err(ObladiError::PipelineIncompatible {
+            shard,
+            round_class: class,
+            exec_generation,
+            deciding_generation,
+        }),
+    }
+}
+
 /// Attaches the shard index to an error message for diagnosis.
 trait CloneForReport {
     fn clone_for_report(&self, shard: usize) -> ObladiError;
@@ -712,5 +732,47 @@ impl CloneForReport for ObladiError {
             }
             other => other.clone(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leg_targets_align_on_one_rendezvous() {
+        // Class 0 composes with every shard: a sealed shard contributes its
+        // deciding epoch, an unsealed one its executing epoch.
+        assert_eq!(select_leg_target(0, 0, 7, Some(6)).unwrap(), 6);
+        assert_eq!(select_leg_target(0, 0, 7, None).unwrap(), 7);
+        // Class 1 needs the sealed shard's executing epoch.
+        assert_eq!(select_leg_target(0, 1, 7, Some(6)).unwrap(), 7);
+    }
+
+    #[test]
+    fn incompatible_phases_surface_as_a_typed_liveness_retry() {
+        let err = select_leg_target(2, 1, 9, None).unwrap_err();
+        match &err {
+            ObladiError::PipelineIncompatible {
+                shard,
+                round_class,
+                exec_generation,
+                deciding_generation,
+            } => {
+                assert_eq!((*shard, *round_class), (2, 1));
+                assert_eq!(*exec_generation, 9);
+                assert_eq!(*deciding_generation, None);
+            }
+            other => panic!("expected PipelineIncompatible, got {other:?}"),
+        }
+        assert!(err.is_retryable(), "liveness retries must stay retryable");
+        assert!(err.is_liveness_retry());
+        // Real conflicts are NOT liveness retries.
+        assert!(!ObladiError::TxnAborted("write-write conflict".into()).is_liveness_retry());
+        let msg = err.to_string();
+        assert!(
+            msg.contains("shard 2") && msg.contains("generation 9"),
+            "the conflicting generations must be in the message: {msg}"
+        );
     }
 }

@@ -1,0 +1,233 @@
+//! The split ORAM client's acceptance test: with the read plane and the
+//! write-back engine on separate threads, an epoch `N+1` read batch starts
+//! *and completes* while epoch `N`'s write-back — the eviction round-trips,
+//! the bucket flush and the checkpoint, stretched here by write-latency-bound
+//! storage — is still in flight.  PR 3's pipelined barrier could only overlap
+//! the rendezvous and decision I/O; the write-back stayed serialized behind
+//! the one `&mut` ORAM client, which is exactly what the split removes.
+//!
+//! The depth-1 control shows the converse: with the pipeline disabled, no
+//! next-epoch batch may even *start* inside the previous epoch's write-back
+//! window.
+
+use obladi_common::config::ObladiConfig;
+use obladi_common::types::{EpochId, TxnId};
+use obladi_core::proxy::{CandidateSource, EpochGate, ObladiDb, TxnPreparer};
+use obladi_crypto::KeyMaterial;
+use obladi_shard::{EpochCoordinator, ShardGate};
+use obladi_storage::{InMemoryStore, LatencyStore, TrustedCounter, UntrustedStore};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn config(seed: u64, depth: u32) -> ObladiConfig {
+    let mut config = ObladiConfig::small_for_tests(256);
+    config.epoch.batch_interval = Duration::from_millis(1);
+    config.epoch.pipeline_depth = depth;
+    config.seed = seed;
+    config
+}
+
+/// A store whose *writes* are slow: reads (the plane we want to keep hot)
+/// cost nothing, while every bucket write-back pays a real round-trip.
+fn write_latency_store(mean: Duration, seed: u64) -> Arc<dyn UntrustedStore> {
+    let mut profile = obladi_common::latency::LatencyProfile::for_backend(
+        obladi_common::config::BackendKind::Dummy,
+    );
+    profile.write = obladi_common::latency::LatencyModel::with_mean(mean);
+    profile.read = obladi_common::latency::LatencyModel::with_mean(Duration::ZERO);
+    Arc::new(LatencyStore::new(
+        Arc::new(InMemoryStore::new()),
+        profile,
+        seed,
+    ))
+}
+
+/// Timestamped gate events of one shard.
+#[derive(Default)]
+struct GateTrace {
+    /// Write-back window per epoch: `write_back_starting` →
+    /// `write_back_finished`.
+    write_backs: Vec<(EpochId, Instant, Option<Instant>)>,
+    /// Read-batch spans per epoch: `read_batch_starting` →
+    /// `read_batch_finished` (batches run sequentially on the executor, so
+    /// starts and finishes pair up in order).
+    batch_starts: Vec<(EpochId, Instant)>,
+    batch_finishes: Vec<(EpochId, Instant)>,
+}
+
+impl GateTrace {
+    /// Pairs up starts and finishes into per-epoch batch spans.  The
+    /// executor is a single thread, so within one epoch the i-th recorded
+    /// finish belongs to the i-th recorded start.
+    fn batch_spans(&self) -> Vec<(EpochId, Instant, Instant)> {
+        let mut spans = Vec::new();
+        let epochs: std::collections::BTreeSet<EpochId> =
+            self.batch_starts.iter().map(|(e, _)| *e).collect();
+        for epoch in epochs {
+            let starts = self.batch_starts.iter().filter(|(e, _)| *e == epoch);
+            let finishes = self.batch_finishes.iter().filter(|(e, _)| *e == epoch);
+            for (&(_, start), &(_, finish)) in starts.zip(finishes) {
+                if finish >= start {
+                    spans.push((epoch, start, finish));
+                }
+            }
+        }
+        spans
+    }
+}
+
+/// Wraps a [`ShardGate`], timestamping write-back windows and batch spans.
+struct InstrumentedGate {
+    inner: ShardGate,
+    trace: Arc<Mutex<GateTrace>>,
+}
+
+impl EpochGate for InstrumentedGate {
+    fn permit_commits(
+        &self,
+        epoch: EpochId,
+        candidates: CandidateSource,
+        preparer: TxnPreparer,
+    ) -> Vec<TxnId> {
+        self.inner.permit_commits(epoch, candidates, preparer)
+    }
+
+    fn read_batch_starting(&self, epoch: EpochId) {
+        self.trace.lock().batch_starts.push((epoch, Instant::now()));
+    }
+
+    fn read_batch_finished(&self, epoch: EpochId) {
+        self.trace
+            .lock()
+            .batch_finishes
+            .push((epoch, Instant::now()));
+    }
+
+    fn write_back_starting(&self, epoch: EpochId) {
+        self.trace
+            .lock()
+            .write_backs
+            .push((epoch, Instant::now(), None));
+    }
+
+    fn write_back_finished(&self, epoch: EpochId) {
+        let mut trace = self.trace.lock();
+        if let Some(entry) = trace
+            .write_backs
+            .iter_mut()
+            .rev()
+            .find(|(e, _, end)| *e == epoch && end.is_none())
+        {
+            entry.2 = Some(Instant::now());
+        }
+    }
+
+    fn epoch_durable(&self, epoch: EpochId, committed: &[TxnId]) {
+        self.inner.epoch_durable(epoch, committed);
+    }
+
+    fn epoch_finalized(&self, epoch: EpochId) {
+        self.inner.epoch_finalized(epoch);
+    }
+
+    fn proxy_crashed(&self) {
+        self.inner.proxy_crashed();
+    }
+
+    fn proxy_recovered(&self) {
+        self.inner.proxy_recovered();
+    }
+
+    fn proxy_stopping(&self) {
+        self.inner.proxy_stopping();
+    }
+}
+
+/// Builds a 2-shard deployment over write-latency-bound storage, runs it
+/// for `epochs` global epochs, and returns each shard's trace.
+fn run_deployment(depth: u32, write_latency: Duration, epochs: u64) -> Vec<Arc<Mutex<GateTrace>>> {
+    let coordinator = Arc::new(EpochCoordinator::new(2));
+    let mut shards = Vec::new();
+    let mut traces = Vec::new();
+    for index in 0..2usize {
+        let store = write_latency_store(write_latency, index as u64 + 31);
+        let db = ObladiDb::open_with(
+            config(index as u64 + 21, depth),
+            store,
+            TrustedCounter::new(),
+            KeyMaterial::for_tests(index as u64 + 21),
+        )
+        .unwrap();
+        let trace = Arc::new(Mutex::new(GateTrace::default()));
+        db.set_epoch_gate(Arc::new(InstrumentedGate {
+            inner: ShardGate::new(coordinator.clone(), index),
+            trace: trace.clone(),
+        }));
+        shards.push(db);
+        traces.push(trace);
+    }
+
+    // Idle epochs still run padded read batches, advance the eviction
+    // schedule and flush the resulting buffered buckets, so every epoch has
+    // a real write-back window without any client traffic.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while coordinator.global_epoch() < epochs {
+        assert!(
+            Instant::now() < deadline,
+            "deployment never completed {epochs} global epochs"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for shard in &shards {
+        shard.shutdown();
+    }
+    traces
+}
+
+/// The acceptance assertion: at depth 2 some epoch `N+1` read batch starts
+/// *and finishes* strictly inside epoch `N`'s write-back window.
+#[test]
+fn next_epoch_read_batch_completes_inside_previous_write_back() {
+    let traces = run_deployment(2, Duration::from_millis(3), 6);
+    let mut contained = 0usize;
+    for trace in &traces {
+        let trace = trace.lock();
+        let spans = trace.batch_spans();
+        for &(epoch, wb_start, wb_end) in &trace.write_backs {
+            let Some(wb_end) = wb_end else { continue };
+            for &(batch_epoch, start, finish) in &spans {
+                if batch_epoch == epoch + 1 && start > wb_start && finish < wb_end {
+                    contained += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        contained > 0,
+        "no epoch N+1 read batch completed inside epoch N's write-back window; \
+         the ORAM client's read plane is still serialized behind the write-back engine"
+    );
+}
+
+/// The depth-1 control: with the pipeline disabled the executor cannot even
+/// *start* a next-epoch batch until the previous epoch's write-back (and
+/// publish) completed — zero overlap, by construction.
+#[test]
+fn depth_one_never_overlaps_the_write_back_window() {
+    let traces = run_deployment(1, Duration::from_millis(1), 6);
+    for trace in &traces {
+        let trace = trace.lock();
+        for &(epoch, wb_start, wb_end) in &trace.write_backs {
+            let Some(wb_end) = wb_end else { continue };
+            for &(batch_epoch, start) in &trace.batch_starts {
+                assert!(
+                    !(batch_epoch == epoch + 1 && start > wb_start && start < wb_end),
+                    "depth 1 must not overlap: an epoch {} batch started inside epoch \
+                     {epoch}'s write-back window",
+                    epoch + 1
+                );
+            }
+        }
+    }
+}

@@ -26,6 +26,10 @@ pub enum CrashOp {
     AnyLogAppend,
     /// Any `write_bucket`.
     BucketWrite,
+    /// Any `read_slot` — the only way to land a crash *inside* an ORAM
+    /// read phase (an eviction's path reads, a read batch's fetches),
+    /// which issues no log appends or bucket writes of its own.
+    SlotRead,
     /// Any fallible storage operation.
     AnyOp,
 }
@@ -153,6 +157,7 @@ pub struct FaultyStore {
 enum OpClass {
     LogAppend(Option<u8>),
     BucketWrite,
+    SlotRead,
     Other,
 }
 
@@ -240,6 +245,7 @@ impl FaultyStore {
             CrashOp::LogAppendKind(k) => matches!(op, OpClass::LogAppend(Some(kind)) if kind == k),
             CrashOp::AnyLogAppend => matches!(op, OpClass::LogAppend(_)),
             CrashOp::BucketWrite => matches!(op, OpClass::BucketWrite),
+            CrashOp::SlotRead => matches!(op, OpClass::SlotRead),
             CrashOp::AnyOp => true,
         };
         if matches {
@@ -275,7 +281,7 @@ impl FaultyStore {
 
 impl UntrustedStore for FaultyStore {
     fn read_slot(&self, bucket: BucketId, slot: u32) -> Result<Bytes> {
-        self.check_crash_point(OpClass::Other)?;
+        self.check_crash_point(OpClass::SlotRead)?;
         self.check_hard_failure()?;
         let serve_stale = {
             let probability = self.plan.lock().stale_read_prob;

@@ -91,6 +91,116 @@ impl InMemoryStore {
     pub fn log_len(&self) -> usize {
         self.log.lock().len()
     }
+
+    /// Serialises the complete store state — buckets *with their retained
+    /// version history* (recovery reverts through it), the meta map, the
+    /// log with its original sequence numbers, and the sequence counter —
+    /// into a deterministic byte string.  [`crate::disk::DurableStore`]
+    /// uses this for op-log compaction: a snapshot replaces the replay of
+    /// every mutation that preceded it.
+    pub fn export_snapshot(&self) -> Vec<u8> {
+        let buckets = self.buckets.read();
+        let meta = self.meta.read();
+        let log = self.log.lock();
+        let mut out = Vec::with_capacity(1024);
+        let put_bytes = |out: &mut Vec<u8>, data: &[u8]| {
+            out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+            out.extend_from_slice(data);
+        };
+
+        let mut bucket_ids: Vec<BucketId> = buckets.keys().copied().collect();
+        bucket_ids.sort_unstable();
+        out.extend_from_slice(&(bucket_ids.len() as u64).to_le_bytes());
+        for id in bucket_ids {
+            let versioned = &buckets[&id];
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&(versioned.versions.len() as u32).to_le_bytes());
+            for (version, slots) in &versioned.versions {
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&(slots.len() as u32).to_le_bytes());
+                for slot in slots {
+                    put_bytes(&mut out, slot);
+                }
+            }
+        }
+
+        let mut meta_keys: Vec<&String> = meta.keys().collect();
+        meta_keys.sort();
+        out.extend_from_slice(&(meta_keys.len() as u64).to_le_bytes());
+        for key in meta_keys {
+            put_bytes(&mut out, key.as_bytes());
+            put_bytes(&mut out, &meta[key]);
+        }
+
+        out.extend_from_slice(&(log.len() as u64).to_le_bytes());
+        for (seq, record) in log.iter() {
+            out.extend_from_slice(&seq.to_le_bytes());
+            put_bytes(&mut out, record);
+        }
+        out.extend_from_slice(&self.next_log_seq.load(Ordering::SeqCst).to_le_bytes());
+        out
+    }
+
+    /// Rebuilds a store from the output of
+    /// [`InMemoryStore::export_snapshot`].  Statistics start at zero.
+    pub fn import_snapshot(bytes: &[u8]) -> Result<InMemoryStore> {
+        let corrupt = || ObladiError::Codec("store snapshot truncated".into());
+        let mut at = 0usize;
+        let mut take = |n: usize| -> Result<&[u8]> {
+            let slice = bytes.get(at..at + n).ok_or_else(corrupt)?;
+            at += n;
+            Ok(slice)
+        };
+        let store = InMemoryStore::new();
+        {
+            let mut buckets = store.buckets.write();
+            let bucket_count = u64::from_le_bytes(take(8)?.try_into().unwrap()) as usize;
+            for _ in 0..bucket_count {
+                let id = u64::from_le_bytes(take(8)?.try_into().unwrap());
+                let nversions = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+                let mut versioned = VersionedBucket::default();
+                for _ in 0..nversions {
+                    let version = u64::from_le_bytes(take(8)?.try_into().unwrap());
+                    let nslots = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+                    let mut slots = Vec::with_capacity(nslots.min(1 << 16));
+                    for _ in 0..nslots {
+                        let len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+                        slots.push(Bytes::copy_from_slice(take(len)?));
+                    }
+                    versioned.versions.push((version, slots));
+                }
+                buckets.insert(id, versioned);
+            }
+        }
+        {
+            let mut meta = store.meta.write();
+            let meta_count = u64::from_le_bytes(take(8)?.try_into().unwrap()) as usize;
+            for _ in 0..meta_count {
+                let key_len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+                let key = String::from_utf8(take(key_len)?.to_vec())
+                    .map_err(|_| ObladiError::Codec("snapshot meta key not UTF-8".into()))?;
+                let value_len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+                meta.insert(key, Bytes::copy_from_slice(take(value_len)?));
+            }
+        }
+        {
+            let mut log = store.log.lock();
+            let log_count = u64::from_le_bytes(take(8)?.try_into().unwrap()) as usize;
+            for _ in 0..log_count {
+                let seq = u64::from_le_bytes(take(8)?.try_into().unwrap());
+                let len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+                log.insert(seq, Bytes::copy_from_slice(take(len)?));
+            }
+        }
+        let next_seq = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        store.next_log_seq.store(next_seq, Ordering::SeqCst);
+        if at != bytes.len() {
+            return Err(ObladiError::Codec(
+                "store snapshot has trailing bytes".into(),
+            ));
+        }
+        Ok(store)
+    }
 }
 
 impl UntrustedStore for InMemoryStore {
@@ -371,6 +481,50 @@ mod tests {
         let snap = store.read_bucket(42).unwrap();
         assert_eq!(snap.version, 0);
         assert!(snap.slots.is_empty());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let store = InMemoryStore::new();
+        store.write_bucket(3, slots(1, 2)).unwrap();
+        store.write_bucket(3, slots(2, 2)).unwrap();
+        store.write_bucket(9, slots(7, 1)).unwrap();
+        store.put_meta("ckpt", Bytes::from_static(b"meta")).unwrap();
+        store.append_log(Bytes::from_static(b"r0")).unwrap();
+        store.append_log(Bytes::from_static(b"r1")).unwrap();
+        store.truncate_log(1).unwrap();
+
+        let restored = InMemoryStore::import_snapshot(&store.export_snapshot()).unwrap();
+        assert_eq!(restored.bucket_version(3).unwrap(), 2);
+        assert_eq!(&restored.read_slot(3, 0).unwrap()[..], &[2, 0]);
+        // Version history survives: reverting still works after restore.
+        restored.revert_bucket(3, 1).unwrap();
+        assert_eq!(&restored.read_slot(3, 0).unwrap()[..], &[1, 0]);
+        assert_eq!(
+            restored.get_meta("ckpt").unwrap(),
+            Some(Bytes::from_static(b"meta"))
+        );
+        let log = restored.read_log_from(0).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].0, 1);
+        // Sequence numbers continue where the snapshot left off.
+        assert_eq!(restored.append_log(Bytes::from_static(b"r2")).unwrap(), 2);
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected() {
+        let store = InMemoryStore::new();
+        store.write_bucket(1, slots(1, 2)).unwrap();
+        let bytes = store.export_snapshot();
+        let mut truncated = bytes.clone();
+        truncated.truncate(bytes.len() - 3);
+        assert!(InMemoryStore::import_snapshot(&truncated).is_err());
+        let mut padded = bytes;
+        padded.extend_from_slice(&[0; 64]);
+        assert!(
+            InMemoryStore::import_snapshot(&padded).is_err(),
+            "trailing bytes must be rejected"
+        );
     }
 
     #[test]

@@ -463,6 +463,37 @@ pub fn overlap_crash_schedule() -> Vec<OverlapCrashCase> {
             victim_second,
             trigger: CrashPoint::after_log_kind(prepare, CrashOp::BucketWrite, 4),
         });
+        // Split-client write-back overlap points: with the ORAM client's
+        // read plane and write-back engine on separate threads, the
+        // decider's eviction reads and flush bucket writes run *while* the
+        // next epoch's read batches are physically in flight.  The
+        // slot-read points land inside an ORAM read phase of the overlap
+        // window — the engine's eviction fetches (limbo keys set) or the
+        // read plane's batch fetches, whichever the outage hits first —
+        // which no log-append or bucket-write trigger can reach; the
+        // bucket-write points fault the engine's first and a deep flush
+        // write.  All must fate-share into an idempotent two-epoch
+        // recovery.
+        cases.push(OverlapCrashCase {
+            name: leak_name(format!("engine-eviction-reads-vs-next-reads/{side}")),
+            victim_second,
+            trigger: CrashPoint::after_log_kind(prepare, CrashOp::SlotRead, 3),
+        });
+        cases.push(OverlapCrashCase {
+            name: leak_name(format!("deep-overlap-slot-reads/{side}")),
+            victim_second,
+            trigger: CrashPoint::after_log_kind(prepare, CrashOp::SlotRead, 40),
+        });
+        cases.push(OverlapCrashCase {
+            name: leak_name(format!("writeback-engine-first-flush-write/{side}")),
+            victim_second,
+            trigger: CrashPoint::after_log_kind(prepare, CrashOp::BucketWrite, 1),
+        });
+        cases.push(OverlapCrashCase {
+            name: leak_name(format!("writeback-engine-deep-flush/{side}")),
+            victim_second,
+            trigger: CrashPoint::after_log_kind(prepare, CrashOp::BucketWrite, 9),
+        });
         cases.push(OverlapCrashCase {
             name: leak_name(format!("decided-next-epoch-in-doubt/{side}")),
             victim_second,

@@ -24,10 +24,15 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: obladi-stored --listen <unix:PATH|tcp:HOST:PORT> --data <DIR>\n\
+        "usage: obladi-stored --listen <unix:PATH|tcp:HOST:PORT> --data <DIR> \
+         [--compact-every N]\n\
          \n\
          Serves the Obladi untrusted-storage RPC from a durable op-log\n\
-         rooted at DIR.  Exits on a client shutdown request."
+         rooted at DIR.  Every N acknowledged mutations (default {}, 0 =\n\
+         never; also settable via OBLADI_STORED_COMPACT_EVERY) the op-log\n\
+         is compacted into a checksummed state snapshot, bounding respawn\n\
+         replay cost.  Exits on a client shutdown request.",
+        obladi_storage::disk::DEFAULT_COMPACT_EVERY
     );
     std::process::exit(2);
 }
@@ -35,11 +40,22 @@ fn usage() -> ! {
 fn main() -> ExitCode {
     let mut listen: Option<String> = None;
     let mut data: Option<PathBuf> = None;
+    let mut compact_every = std::env::var("OBLADI_STORED_COMPACT_EVERY")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(obladi_storage::disk::DEFAULT_COMPACT_EVERY);
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--listen" => listen = args.next(),
             "--data" => data = args.next().map(PathBuf::from),
+            "--compact-every" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => compact_every = n,
+                None => {
+                    eprintln!("obladi-stored: --compact-every needs a number");
+                    usage();
+                }
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("obladi-stored: unknown argument {other:?}");
@@ -58,7 +74,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (store, replay) = match DurableStore::open(&data) {
+    let (store, replay) = match DurableStore::open_with_options(&data, compact_every) {
         Ok(opened) => opened,
         Err(err) => {
             eprintln!(
@@ -82,10 +98,11 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "obladi-stored: serving {} from {} ({} ops replayed)",
+        "obladi-stored: serving {} from {} ({} ops replayed on snapshot generation {})",
         handle.spec(),
         data.display(),
-        replay.records
+        replay.records,
+        replay.snapshot_generation
     );
     handle.wait();
     println!("obladi-stored: shut down cleanly");

@@ -77,6 +77,11 @@ pub struct StorageSupervisor {
     binary: PathBuf,
     base_dir: PathBuf,
     owns_base_dir: bool,
+    /// Op-log snapshot cadence passed to every (re)spawned daemon as
+    /// `--compact-every` (`None` = the daemon's default).  Held here so a
+    /// respawn after `kill -9` runs with the same cadence the original
+    /// did — tests must not steer this through process-global env state.
+    compact_every: Option<u64>,
     slots: Vec<Mutex<DaemonSlot>>,
 }
 
@@ -84,21 +89,35 @@ pub struct StorageSupervisor {
 static SUPERVISOR_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl StorageSupervisor {
-    /// Spawns `count` daemons under a fresh temporary base directory.
-    pub fn spawn(count: usize) -> Result<StorageSupervisor> {
-        // Nanosecond timestamp in the name: pids recycle, and a stale
-        // directory left by a killed test process must never be mistaken
-        // for this deployment's (its op-logs would replay foreign state).
+    /// A fresh, unique temporary base directory.  Nanosecond timestamp in
+    /// the name: pids recycle, and a stale directory left by a killed test
+    /// process must never be mistaken for this deployment's (its op-logs
+    /// would replay foreign state).
+    fn fresh_base_dir() -> PathBuf {
         let nanos = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_nanos())
             .unwrap_or(0);
-        let base = std::env::temp_dir().join(format!(
+        std::env::temp_dir().join(format!(
             "obladi-stored-{}-{}-{nanos:x}",
             std::process::id(),
             SUPERVISOR_SEQ.fetch_add(1, Ordering::SeqCst)
-        ));
-        StorageSupervisor::spawn_in(&base, count, true)
+        ))
+    }
+
+    /// Spawns `count` daemons under a fresh temporary base directory.
+    pub fn spawn(count: usize) -> Result<StorageSupervisor> {
+        StorageSupervisor::spawn_in(&StorageSupervisor::fresh_base_dir(), count, true)
+    }
+
+    /// Like [`StorageSupervisor::spawn`], with an explicit op-log snapshot
+    /// cadence for every daemon (`0` disables compaction).
+    pub fn spawn_with_compaction(count: usize, compact_every: u64) -> Result<StorageSupervisor> {
+        let base = StorageSupervisor::fresh_base_dir();
+        let mut supervisor = StorageSupervisor::prepare(&base, count, true)?;
+        supervisor.compact_every = Some(compact_every);
+        supervisor.spawn_all(count)?;
+        Ok(supervisor)
     }
 
     /// Spawns `count` daemons under `base_dir` (kept on drop unless
@@ -110,6 +129,13 @@ impl StorageSupervisor {
         count: usize,
         owns_base_dir: bool,
     ) -> Result<StorageSupervisor> {
+        let mut supervisor = StorageSupervisor::prepare(base_dir, count, owns_base_dir)?;
+        supervisor.spawn_all(count)?;
+        Ok(supervisor)
+    }
+
+    /// Builds the supervisor and its slot table without spawning anything.
+    fn prepare(base_dir: &Path, count: usize, owns_base_dir: bool) -> Result<StorageSupervisor> {
         let binary = locate_stored_binary()?;
         if owns_base_dir && base_dir.exists() {
             let _ = std::fs::remove_dir_all(base_dir);
@@ -124,6 +150,7 @@ impl StorageSupervisor {
             binary,
             base_dir: base_dir.to_path_buf(),
             owns_base_dir,
+            compact_every: None,
             slots: Vec::with_capacity(count),
         };
         for index in 0..count {
@@ -134,9 +161,16 @@ impl StorageSupervisor {
                 data_dir,
                 child: None,
             }));
-            supervisor.respawn(index)?;
         }
         Ok(supervisor)
+    }
+
+    /// First spawn of every slot (after [`StorageSupervisor::prepare`]).
+    fn spawn_all(&mut self, count: usize) -> Result<()> {
+        for index in 0..count {
+            self.respawn(index)?;
+        }
+        Ok(())
     }
 
     /// Number of supervised daemons.
@@ -199,11 +233,18 @@ impl StorageSupervisor {
             .append(true)
             .open(&log_path)
             .map_err(|err| ObladiError::Storage(format!("cannot open daemon log: {err}")))?;
-        let child = Command::new(&self.binary)
+        let mut command = Command::new(&self.binary);
+        command
             .arg("--listen")
             .arg(slot.spec.to_string())
             .arg("--data")
-            .arg(&slot.data_dir)
+            .arg(&slot.data_dir);
+        if let Some(compact_every) = self.compact_every {
+            command
+                .arg("--compact-every")
+                .arg(compact_every.to_string());
+        }
+        let child = command
             .stdin(Stdio::null())
             .stdout(Stdio::from(log.try_clone().map_err(|err| {
                 ObladiError::Storage(format!("cannot clone daemon log handle: {err}"))

@@ -85,12 +85,32 @@ fn overlapping_epoch_crash_smoke() {
 }
 
 #[test]
-#[ignore = "overlapping-epoch crash sweep (~8 deployments); run via the chaos CI job"]
+fn writeback_engine_crash_smoke() {
+    // Fast tier of the split-client crash points: a slot-read outage inside
+    // the decide/execute overlap window — the engine's eviction fetches
+    // (limbo keys in flight) or the read plane's batch fetches, whichever
+    // the outage hits first — and require the same invariant battery to
+    // hold through the two-epoch recovery.
+    let schedule = overlap_crash_schedule();
+    let case = schedule
+        .iter()
+        .find(|case| case.name == "engine-eviction-reads-vs-next-reads/first")
+        .expect("the overlap schedule names the split-client cases");
+    let report = run_overlap_crash_case(case, 0x5B11).unwrap_or_else(|err| panic!("{err}"));
+    assert!(
+        report.attempts.iter().sum::<usize>() > 0,
+        "the hammers never drove a transaction: {report:?}"
+    );
+}
+
+#[test]
+#[ignore = "overlapping-epoch crash sweep (~16 deployments); run via the chaos CI job"]
 fn every_overlapping_epoch_crash_point_recovers_cleanly() {
     let schedule = overlap_crash_schedule();
     assert!(
-        schedule.len() >= 8,
-        "the overlap sweep must cover at least 8 crash points, got {}",
+        schedule.len() >= 16,
+        "the overlap sweep must cover at least 16 crash points (incl. the split-client \
+         slot-read and flush-write points), got {}",
         schedule.len()
     );
     let mut two_epoch_replays = 0u32;
