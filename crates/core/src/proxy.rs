@@ -310,12 +310,20 @@ impl ObladiDb {
         keys: KeyMaterial,
     ) -> Result<ObladiDb> {
         let mut config = config;
-        // The stash must be able to absorb a whole epoch's worth of targets
-        // between evictions plus the write batch (the executor runs
-        // maintenance at batch boundaries), so raise a too-small bound.
-        // With a pipelined barrier up to `pipeline_depth` epochs of reads
-        // can be in flight before the oldest epoch's write batch lands.
-        let stash_floor = config.epoch.pipeline_depth.max(1) as usize
+        // The stash must absorb everything that can accumulate between the
+        // engine's maintenance passes.  With the split client the executor
+        // *never* runs maintenance after a read batch (the monolithic
+        // facade did): every eviction owed by an epoch's read accesses is
+        // deferred to the decider's write-back, so the deciding epoch's
+        // read targets sit in the stash for its whole write-back window in
+        // addition to the up-to-`pipeline_depth` epochs of reads the
+        // pipelined barrier allows in flight.  Hence one extra epoch of
+        // read headroom over the pre-split bound, plus the write batch and
+        // an eviction-path margin.  A stash overflow mid-plan poisons the
+        // client (checkpoints refuse, the proxy fate-shares and recovers),
+        // so an undersized bound costs availability, never durability —
+        // but raise it here regardless.
+        let stash_floor = (config.epoch.pipeline_depth.max(1) as usize + 1)
             * config.epoch.reads_per_epoch()
             + config.epoch.write_batch_size
             + 4 * config.oram.z as usize;

@@ -110,11 +110,17 @@ struct SharedState {
     /// While raised, no new reader fetch may begin (flush / checkpoint
     /// quiescence — see the module docs).
     write_fence: bool,
-    /// Set when a read batch with physical targets failed between plan and
-    /// ingest: a block left its bucket and never reached the stash, so the
-    /// metadata is missing a live value.  Checkpoints refuse to persist
-    /// this state (see [`CheckpointSource`]); only rebuilding the client —
-    /// the proxy's crash + recovery path — clears it.
+    /// Set when an operation failed after destructive metadata mutation:
+    /// a read batch with physical targets failed between plan and ingest
+    /// (or mid-plan, after an earlier request in the batch cleared its
+    /// target), or an eviction / early reshuffle failed after pulling real
+    /// blocks out of their buckets.  In every case a live value may no
+    /// longer be accounted for anywhere in the metadata.  Checkpoints
+    /// refuse to persist this state (see [`CheckpointSource`]) and every
+    /// other operation fail-stops too (see [`check_poisoned`] — the *other*
+    /// plane's thread must not keep planning against the corrupted
+    /// metadata); only rebuilding the client — the proxy's crash + recovery
+    /// path — clears it.
     poisoned: bool,
 }
 
@@ -454,6 +460,11 @@ impl OramReader {
         let (plans, physical) = {
             let mut state = self.core.shared.state.lock();
             loop {
+                // Re-checked after every wakeup: a concurrent engine
+                // failure may poison the client while this batch is parked,
+                // and planning against the corrupted metadata could
+                // double-read consumed slots (see [`check_poisoned`]).
+                check_poisoned(&state)?;
                 let blocked = state.write_fence
                     || requests
                         .iter()
@@ -467,12 +478,29 @@ impl OramReader {
             let mut physical: Vec<SlotRead> = Vec::new();
             let mut plans: Vec<OpPlan> = Vec::with_capacity(requests.len());
             for request in requests {
-                plans.push(plan_access(
-                    &self.core,
-                    &mut state,
-                    *request,
-                    &mut physical,
-                )?);
+                match plan_access(&self.core, &mut state, *request, &mut physical) {
+                    Ok(plan) => plans.push(plan),
+                    Err(err) => {
+                        // Planning failed mid-batch (a buffered-hit stash
+                        // insert overflowed).  The failing request loses
+                        // nothing — the stash retains the block beyond its
+                        // bound — but any *earlier* plan that chose a
+                        // physical target has already cleared its block
+                        // from the bucket metadata, and the fetch that
+                        // would carry it to the stash will never be issued
+                        // (the batch aborts before `reader_fetches` is even
+                        // registered).  Poison the client so a concurrent
+                        // engine checkpoint cannot persist the loss durably
+                        // (see [`CheckpointSource`]).
+                        if plans
+                            .iter()
+                            .any(|p| matches!(p.target, Target::Physical(_)))
+                        {
+                            state.poisoned = true;
+                        }
+                        return Err(err);
+                    }
+                }
             }
             state.stats.physical_reads += physical.len() as u64;
             // Register the fetch *before* releasing the lock so the engine's
@@ -501,14 +529,16 @@ impl OramReader {
         state.reader_fetches -= 1;
         self.core.shared.cond.notify_all();
         let result = (|state: &mut SharedState| -> Result<Vec<Option<Value>>> {
-            let raw = fetched?;
+            let mut raw = fetched?;
             let mut results = Vec::with_capacity(requests.len());
             for plan in plans {
                 match plan.target {
                     Target::Ready(value) => results.push(value),
                     Target::Physical(idx) => {
                         let key = plan.key.expect("physical targets carry a key");
-                        let block = raw.get(idx).and_then(|b| b.clone()).ok_or_else(|| {
+                        // Each physical index is targeted by exactly one
+                        // plan, so the block can be moved out, not cloned.
+                        let block = raw.get_mut(idx).and_then(|b| b.take()).ok_or_else(|| {
                             ObladiError::Internal("missing physical target block".into())
                         })?;
                         if block.key != key {
@@ -820,6 +850,7 @@ impl WritebackEngine {
         for (key, value) in writes {
             let run_maintenance = {
                 let mut state = self.core.shared.state.lock();
+                check_poisoned(&state)?;
                 dummiless_write(&self.core, &mut state, *key, value.clone())?;
                 // Interleave evictions with large write batches so the
                 // stash stays within its canonical Ring ORAM bound even
@@ -854,6 +885,7 @@ impl WritebackEngine {
     pub fn flush_writes(&mut self, _logger: &dyn PathLogger) -> Result<()> {
         let jobs: Vec<(BucketId, BucketMeta, Vec<Block>)> = {
             let mut state = self.core.shared.state.lock();
+            check_poisoned(&state)?;
             if state.buffer.is_empty() {
                 return Ok(());
             }
@@ -924,6 +956,7 @@ impl WritebackEngine {
             // Evictions owed: one per `A` logical accesses.
             let next_target = {
                 let state = self.core.shared.state.lock();
+                check_poisoned(&state)?;
                 let owed = state.meta.access_count / self.core.config.a as u64;
                 if state.meta.evict_count < owed {
                     Some(self.core.geometry.evict_target(state.meta.evict_count))
@@ -981,7 +1014,15 @@ impl WritebackEngine {
                     // back into the stash without physical reads.
                     state.stats.buffered_reads += 1;
                     for block in blocks {
-                        ingest_evicted_block(&self.core, state, block)?;
+                        if let Err(err) = ingest_evicted_block(&self.core, state, block) {
+                            // The bucket's blocks just left the buffered
+                            // overlay and the ingest failed part-way; the
+                            // live metadata can no longer be trusted to
+                            // account for every value, so checkpoints must
+                            // refuse it (see [`CheckpointSource`]).
+                            state.poisoned = true;
+                            return Err(err);
+                        }
                     }
                     let meta = &mut state.meta.buckets[bucket as usize];
                     for logical in 0..meta.z() {
@@ -989,40 +1030,8 @@ impl WritebackEngine {
                     }
                     continue;
                 }
-                let meta = &mut state.meta.buckets[bucket as usize];
-                let reals = meta.valid_reals();
-                let real_count = reals.len();
-                for logical in reals {
-                    if let Some((key, _)) = meta.real[logical] {
-                        limbo_keys.push(key);
-                    }
-                    let slot = meta.mark_read(logical);
-                    let version = meta.version;
-                    physical.push(SlotRead {
-                        bucket,
-                        slot,
-                        version,
-                    });
-                    expected_real.push(physical.len() - 1);
-                }
-                // Pad to Z reads with valid dummies, as canonical Ring ORAM
-                // does.
-                let dummies_needed = (meta.z()).saturating_sub(real_count);
-                for _ in 0..dummies_needed {
-                    match meta.pick_valid_dummy(&mut state.rng) {
-                        Some(logical) => {
-                            let slot = meta.mark_read(logical);
-                            let version = meta.version;
-                            physical.push(SlotRead {
-                                bucket,
-                                slot,
-                                version,
-                            });
-                        }
-                        None => break,
-                    }
-                }
-                state.meta.mark_bucket_dirty(bucket);
+                let reals = plan_bucket_reads(state, bucket, &mut physical, &mut limbo_keys);
+                expected_real.extend(reals);
             }
             // The real blocks are now physically in flight towards the
             // stash and findable nowhere; readers must wait for them.
@@ -1048,35 +1057,31 @@ impl WritebackEngine {
             state.limbo.remove(key);
         }
         self.core.shared.cond.notify_all();
-        let raw = fetched?;
-        let state = &mut *state;
-        for idx in expected_real {
-            if let Some(Some(block)) = raw.get(idx).cloned() {
-                ingest_evicted_block(&self.core, state, block)?;
-            }
-        }
-
-        // Write phase (deepest bucket first).
-        for &bucket in path.iter().rev() {
-            let level = self.core.geometry.level_of(bucket);
-            let geometry = self.core.geometry;
-            let eligible = state
-                .meta
-                .stash
-                .eligible_for(|leaf| geometry.bucket_at(leaf, level) == bucket);
-            let chosen: Vec<Key> = eligible
-                .into_iter()
-                .take(self.core.config.z as usize)
-                .collect();
-            let mut placed: Vec<Block> = Vec::with_capacity(chosen.len());
-            for key in chosen {
-                if let Some((leaf, value)) = state.meta.stash.remove(key) {
-                    placed.push(Block::real(key, leaf, value));
+        let result = (|state: &mut SharedState| -> Result<()> {
+            let mut raw = fetched?;
+            for idx in expected_real {
+                // Each index is visited once; move the block out, no clone.
+                if let Some(block) = raw.get_mut(idx).and_then(|b| b.take()) {
+                    ingest_evicted_block(&self.core, state, block)?;
                 }
             }
-            rewrite_bucket(&self.core, state, bucket, placed)?;
+
+            // Write phase (deepest bucket first).
+            for &bucket in path.iter().rev() {
+                place_eligible_blocks(&self.core, state, bucket)?;
+            }
+            Ok(())
+        })(&mut state);
+        if result.is_err() {
+            // Real blocks were pulled out of their buckets (their limbo
+            // entries are gone and their slots consumed) or out of the
+            // stash for a rewrite that never landed.  Poison so that
+            // checkpoints refuse this state outright — the refusal must
+            // hold on its own and not depend on the caller aborting before
+            // its next checkpoint (an implicit thread-topology invariant).
+            state.poisoned = true;
         }
-        Ok(())
+        result
     }
 
     fn early_reshuffle(&mut self, bucket: BucketId, logger: &dyn PathLogger) -> Result<()> {
@@ -1086,39 +1091,7 @@ impl WritebackEngine {
             let state = &mut *state;
             let mut physical: Vec<SlotRead> = Vec::new();
             let mut limbo_keys: Vec<Key> = Vec::new();
-            {
-                let meta = &mut state.meta.buckets[bucket as usize];
-                let reals = meta.valid_reals();
-                let real_count = reals.len();
-                for logical in reals {
-                    if let Some((key, _)) = meta.real[logical] {
-                        limbo_keys.push(key);
-                    }
-                    let slot = meta.mark_read(logical);
-                    let version = meta.version;
-                    physical.push(SlotRead {
-                        bucket,
-                        slot,
-                        version,
-                    });
-                }
-                let dummies_needed = meta.z().saturating_sub(real_count);
-                for _ in 0..dummies_needed {
-                    match meta.pick_valid_dummy(&mut state.rng) {
-                        Some(logical) => {
-                            let slot = meta.mark_read(logical);
-                            let version = meta.version;
-                            physical.push(SlotRead {
-                                bucket,
-                                slot,
-                                version,
-                            });
-                        }
-                        None => break,
-                    }
-                }
-            }
-            state.meta.mark_bucket_dirty(bucket);
+            plan_bucket_reads(state, bucket, &mut physical, &mut limbo_keys);
             for key in &limbo_keys {
                 state.limbo.insert(*key);
             }
@@ -1138,34 +1111,28 @@ impl WritebackEngine {
             state.limbo.remove(key);
         }
         self.core.shared.cond.notify_all();
-        let raw = fetched?;
-        let state = &mut *state;
-        for block in raw.into_iter().flatten() {
-            if !block.is_dummy() {
-                ingest_evicted_block(&self.core, state, block)?;
+        let result = (|state: &mut SharedState| -> Result<()> {
+            let raw = fetched?;
+            for block in raw.into_iter().flatten() {
+                if !block.is_dummy() {
+                    ingest_evicted_block(&self.core, state, block)?;
+                }
             }
-        }
 
-        // Re-place eligible stash blocks into the bucket (this includes the
-        // blocks just read, whose paths necessarily pass through it).
-        let level = self.core.geometry.level_of(bucket);
-        let geometry = self.core.geometry;
-        let eligible = state
-            .meta
-            .stash
-            .eligible_for(|leaf| geometry.bucket_at(leaf, level) == bucket);
-        let chosen: Vec<Key> = eligible
-            .into_iter()
-            .take(self.core.config.z as usize)
-            .collect();
-        let mut placed = Vec::with_capacity(chosen.len());
-        for key in chosen {
-            if let Some((leaf, value)) = state.meta.stash.remove(key) {
-                placed.push(Block::real(key, leaf, value));
-            }
+            // Re-place eligible stash blocks into the bucket (this includes
+            // the blocks just read, whose paths necessarily pass through
+            // it).
+            place_eligible_blocks(&self.core, state, bucket)?;
+            Ok(())
+        })(&mut state);
+        if result.is_err() {
+            // Same reasoning as [`WritebackEngine::evict_path`]: real
+            // blocks left their bucket (or the stash) without landing
+            // anywhere durable-able, so checkpoints must refuse this state
+            // regardless of what the caller does next.
+            state.poisoned = true;
         }
-        rewrite_bucket(&self.core, state, bucket, placed)?;
-        Ok(())
+        result
     }
 
     // ------------------------------------------------------------------
@@ -1209,14 +1176,27 @@ impl WritebackEngine {
     }
 }
 
-/// The error a poisoned client's checkpoint attempts fail with.
+/// The error every operation on a poisoned client fails with.
 fn poisoned_error() -> ObladiError {
     ObladiError::Integrity(
-        "ORAM read plane is poisoned: a fetched target block was lost in flight, so a \
-         checkpoint would persist metadata missing a live value; the client must be \
-         rebuilt (crash + recovery)"
+        "ORAM client is poisoned: a failed operation left a live value unaccounted for \
+         in the metadata; reads, writes, maintenance and checkpoints are all refused \
+         until the client is rebuilt (crash + recovery)"
             .into(),
     )
+}
+
+/// Fails if the client is poisoned (see [`SharedState::poisoned`]).  Every
+/// operational surface — reads, writes, flush, maintenance, checkpoints —
+/// calls this, so the refusal is self-contained: it does not depend on the
+/// thread that observed the original failure aborting before another
+/// thread touches the corrupted metadata (planning against it could
+/// double-read consumed slots or fetch stale layouts).
+fn check_poisoned(state: &SharedState) -> Result<()> {
+    if state.poisoned {
+        return Err(poisoned_error());
+    }
+    Ok(())
 }
 
 impl CheckpointSource for WritebackEngine {
@@ -1229,18 +1209,14 @@ impl CheckpointSource for WritebackEngine {
     fn checkpoint_full(&self) -> Result<Vec<u8>> {
         let mut state = self.core.shared.state.lock();
         self.drain_reader_fetches(&mut state);
-        if state.poisoned {
-            return Err(poisoned_error());
-        }
+        check_poisoned(&state)?;
         Ok(state.meta.encode_full())
     }
 
     fn checkpoint_delta(&mut self, max_position_delta: usize) -> Result<MetaDelta> {
         let mut state = self.core.shared.state.lock();
         self.drain_reader_fetches(&mut state);
-        if state.poisoned {
-            return Err(poisoned_error());
-        }
+        check_poisoned(&state)?;
         Ok(state.meta.take_delta(max_position_delta))
     }
 }
@@ -1282,6 +1258,74 @@ fn dummiless_write(core: &OramCore, state: &mut SharedState, key: Key, value: Va
         .stash
         .insert(key, new_leaf, value, core.config.max_stash)?;
     Ok(())
+}
+
+/// Plans a full-bucket maintenance read (every valid real slot plus dummy
+/// padding to `Z` reads, as canonical Ring ORAM does) and marks the bucket
+/// dirty.  The reals' keys are appended to `limbo_keys` — the caller
+/// registers them so readers wait for the in-flight blocks — and the
+/// returned indices locate the real reads within `physical`.  Shared by
+/// [`WritebackEngine::evict_path`] and [`WritebackEngine::early_reshuffle`].
+fn plan_bucket_reads(
+    state: &mut SharedState,
+    bucket: BucketId,
+    physical: &mut Vec<SlotRead>,
+    limbo_keys: &mut Vec<Key>,
+) -> Vec<usize> {
+    let meta = &mut state.meta.buckets[bucket as usize];
+    let reals = meta.valid_reals();
+    let real_count = reals.len();
+    let mut real_indices = Vec::with_capacity(real_count);
+    for logical in reals {
+        if let Some((key, _)) = meta.real[logical] {
+            limbo_keys.push(key);
+        }
+        let slot = meta.mark_read(logical);
+        let version = meta.version;
+        physical.push(SlotRead {
+            bucket,
+            slot,
+            version,
+        });
+        real_indices.push(physical.len() - 1);
+    }
+    let dummies_needed = meta.z().saturating_sub(real_count);
+    for _ in 0..dummies_needed {
+        match meta.pick_valid_dummy(&mut state.rng) {
+            Some(logical) => {
+                let slot = meta.mark_read(logical);
+                let version = meta.version;
+                physical.push(SlotRead {
+                    bucket,
+                    slot,
+                    version,
+                });
+            }
+            None => break,
+        }
+    }
+    state.meta.mark_bucket_dirty(bucket);
+    real_indices
+}
+
+/// Moves up to `Z` eligible stash blocks into `bucket` and installs the
+/// rewritten bucket (buffered or written through, per the exec options).
+/// Shared by the eviction write phase and the early-reshuffle re-place.
+fn place_eligible_blocks(core: &OramCore, state: &mut SharedState, bucket: BucketId) -> Result<()> {
+    let level = core.geometry.level_of(bucket);
+    let geometry = core.geometry;
+    let eligible = state
+        .meta
+        .stash
+        .eligible_for(|leaf| geometry.bucket_at(leaf, level) == bucket);
+    let chosen: Vec<Key> = eligible.into_iter().take(core.config.z as usize).collect();
+    let mut placed: Vec<Block> = Vec::with_capacity(chosen.len());
+    for key in chosen {
+        if let Some((leaf, value)) = state.meta.stash.remove(key) {
+            placed.push(Block::real(key, leaf, value));
+        }
+    }
+    rewrite_bucket(core, state, bucket, placed)
 }
 
 /// Installs fresh metadata for a logically rewritten bucket and either
@@ -1340,5 +1384,122 @@ fn ingest_evicted_block(core: &OramCore, state: &mut SharedState, block: Block) 
         }
         // Stale copy (remapped since) or deleted key: drop it.
         _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::NoopPathLogger;
+    use obladi_common::config::OramConfig;
+    use obladi_storage::InMemoryStore;
+
+    const KEY_A: Key = 7;
+    const KEY_B: Key = 9;
+
+    fn open(max_stash: usize) -> (OramReader, WritebackEngine) {
+        let config = OramConfig::small_for_tests(64).with_max_stash(max_stash);
+        let keys = KeyMaterial::for_tests(1);
+        let store: Arc<dyn UntrustedStore> = Arc::new(InMemoryStore::new());
+        let options = ExecOptions {
+            parallel: false,
+            threads: 1,
+            deferred_writes: true,
+            encrypt: false,
+            fast_init: false,
+        };
+        new_split(config, &keys, store, options, 1).expect("client must open")
+    }
+
+    /// Stages the exact mid-batch failure the poison flag guards against:
+    /// `KEY_B` lives in a *buffered* root bucket with the stash already at
+    /// its bound, so a read of `KEY_B` must overflow at plan time.  With
+    /// `with_physical_target`, `KEY_A` additionally lives in the tree (the
+    /// deepest bucket on leaf 0's path), so a batch that plans `KEY_A`
+    /// first clears a physical target before `KEY_B`'s plan fails.
+    fn stage_plan_overflow(engine: &WritebackEngine, with_physical_target: bool) {
+        let geometry = engine.geometry();
+        let max = engine.core.config.max_stash;
+        let mut guard = engine.core.shared.state.lock();
+        let state = &mut *guard;
+        if with_physical_target {
+            let bucket_a = *geometry.path(0).last().expect("path is never empty");
+            state.meta.buckets[bucket_a as usize].rewrite(&[(KEY_A, 0)], &mut state.rng);
+            state.meta.position.set(KEY_A, 0);
+        }
+        let root = geometry.path(1)[0];
+        state.meta.buckets[root as usize].rewrite(&[(KEY_B, 1)], &mut state.rng);
+        state.meta.position.set(KEY_B, 1);
+        state
+            .buffer
+            .insert(root, vec![Block::real(KEY_B, 1, vec![0xBB])]);
+        for i in 0..max {
+            state
+                .meta
+                .stash
+                .insert(1_000 + i as Key, 0, Vec::new(), max)
+                .expect("filling the stash exactly to its bound cannot overflow");
+        }
+    }
+
+    #[test]
+    fn plan_failure_after_cleared_target_poisons_checkpoints() {
+        let (mut reader, mut engine) = open(8);
+        stage_plan_overflow(&engine, true);
+        // KEY_A plans first and clears its block from the deepest bucket;
+        // KEY_B's buffered hit then overflows the stash, aborting the batch
+        // before KEY_A's fetch is ever issued.
+        let err = reader
+            .read_batch(&[Some(KEY_A), Some(KEY_B)], &NoopPathLogger)
+            .expect_err("the buffered hit must overflow the stash");
+        assert!(
+            matches!(err, ObladiError::StashOverflow { .. }),
+            "expected a stash overflow, got {err:?}"
+        );
+        // KEY_A is now cleared from its bucket and present in neither the
+        // stash nor any fetch in flight: persisting this state would lose
+        // it durably, so both checkpoint forms must refuse.
+        let full = engine
+            .checkpoint_full()
+            .expect_err("checkpoint must refuse");
+        assert!(full.to_string().contains("poisoned"), "got {full}");
+        let delta = engine
+            .checkpoint_delta(8)
+            .expect_err("delta checkpoint must refuse");
+        assert!(delta.to_string().contains("poisoned"), "got {delta}");
+        // The refusal is self-contained: *every* operational surface
+        // fail-stops, not just checkpoints — the other plane's thread must
+        // not keep planning against the corrupted metadata.
+        let read = reader
+            .read_batch(&[Some(KEY_A)], &NoopPathLogger)
+            .expect_err("reads must refuse a poisoned client");
+        assert!(read.to_string().contains("poisoned"), "got {read}");
+        let write = engine
+            .write_batch(&[(KEY_A, vec![1])], &NoopPathLogger)
+            .expect_err("writes must refuse a poisoned client");
+        assert!(write.to_string().contains("poisoned"), "got {write}");
+        let flush = engine
+            .flush_writes(&NoopPathLogger)
+            .expect_err("flush must refuse a poisoned client");
+        assert!(flush.to_string().contains("poisoned"), "got {flush}");
+    }
+
+    #[test]
+    fn plan_failure_without_cleared_target_stays_checkpointable() {
+        let (mut reader, engine) = open(8);
+        stage_plan_overflow(&engine, false);
+        let err = reader
+            .read_batch(&[Some(KEY_B)], &NoopPathLogger)
+            .expect_err("the buffered hit must overflow the stash");
+        assert!(
+            matches!(err, ObladiError::StashOverflow { .. }),
+            "expected a stash overflow, got {err:?}"
+        );
+        // Nothing was lost: the stash retains the block past its bound, so
+        // the client state is consistent (if over-full) and checkpoints may
+        // proceed.
+        engine
+            .checkpoint_full()
+            .expect("no physical target was cleared, so the client is not poisoned");
     }
 }

@@ -47,6 +47,14 @@
 //!   ignored (and cleaned up);
 //! * the whole compaction runs under the mutation lock, so no operation
 //!   can be acknowledged into the superseded log after its snapshot.
+//!
+//! A compaction that *fails* mid-way wedges the store like an append
+//! failure does — the log cut-over may not have happened, and appending
+//! past it could lose acknowledged mutations at the next boot.  The
+//! mutation that triggered an automatic compaction is still acknowledged
+//! with `Ok` (it was durably logged before the compaction began; a crash
+//! at any point replays it), so callers never see a durable write reported
+//! as failed.
 
 use crate::memory::InMemoryStore;
 use crate::proto::StoreRequest;
@@ -100,11 +108,17 @@ pub struct DurableStore {
     /// Mutations between snapshots (0 = never compact).
     compact_every: u64,
     /// Set when an op-log append fails after its mutation was applied in
-    /// memory: the two are now divergent, and serving *anything* from the
-    /// divergent state could acknowledge data a restart will not rebuild.
-    /// A wedged store fail-stops every operation until the process
-    /// restarts and replays the log (losing only unacknowledged work).
+    /// memory (the two are now divergent, and serving *anything* from the
+    /// divergent state could acknowledge data a restart will not rebuild)
+    /// or when a post-mutation compaction fails (the log cut-over may not
+    /// have happened, so acknowledging further mutations into a superseded
+    /// log would lose them at the next boot).  A wedged store fail-stops
+    /// every operation until the process restarts and replays the log
+    /// (losing only unacknowledged work).
     wedged: std::sync::atomic::AtomicBool,
+    /// Why the store wedged; included in every subsequent operation's
+    /// error so the root cause is not lost behind the fail-stop.
+    wedge_reason: parking_lot::Mutex<Option<String>>,
 }
 
 /// What [`DurableStore::open`] found on disk.
@@ -265,6 +279,7 @@ impl DurableStore {
             dir: dir.to_path_buf(),
             compact_every,
             wedged: std::sync::atomic::AtomicBool::new(false),
+            wedge_reason: parking_lot::Mutex::new(None),
         };
         // Clean up op-logs of other generations: a kill between the
         // snapshot rename and the old log's removal leaves one behind, and
@@ -289,7 +304,14 @@ impl DurableStore {
     pub fn compact_now(&self) -> Result<()> {
         let mut oplog = self.oplog.write();
         self.check_wedged()?;
-        self.compact_locked(&mut oplog)
+        if let Err(err) = self.compact_locked(&mut oplog) {
+            // Same hazard as the automatic path: the snapshot may have
+            // been renamed into place without the log cut-over, so further
+            // acknowledgements into the superseded log would be lost.
+            self.wedge(format!("explicit compaction failed: {err}"));
+            return Err(err);
+        }
+        Ok(())
     }
 
     /// Writes a checksummed state snapshot superseding the current op-log
@@ -401,7 +423,7 @@ impl DurableStore {
         if let Err(err) = written {
             // Memory is now ahead of disk; wedge so the divergent state can
             // never be observed or acknowledged (see the `wedged` field).
-            self.wedged.store(true, std::sync::atomic::Ordering::SeqCst);
+            self.wedge(format!("op-log append failed: {err}"));
             return Err(err);
         }
         oplog.since_snapshot += 1;
@@ -410,23 +432,40 @@ impl DurableStore {
                 // A failed compaction may have renamed the new snapshot
                 // into place without cutting over the log; continuing to
                 // acknowledge into the superseded log would lose those
-                // mutations at the next boot.  Wedge (the mutation itself
-                // is durable — only *future* work is refused).
-                self.wedged.store(true, std::sync::atomic::Ordering::SeqCst);
-                return Err(err);
+                // mutations at the next boot, so wedge.  The *triggering*
+                // mutation, however, is already durable — it was appended
+                // above, and a half-finished compaction leaves either the
+                // old snapshot + log pair or the renamed new snapshot
+                // (which folds it in) intact — so acknowledge it with
+                // `Ok`: an `Err` here would tell the caller a durably
+                // applied write failed, inviting a double-apply after the
+                // respawn replays it.  The compaction failure surfaces on
+                // every subsequent operation via the wedge reason.
+                self.wedge(format!(
+                    "compaction failed after a durably logged mutation: {err}"
+                ));
             }
         }
         Ok(value)
     }
 
+    /// Fail-stops the store, recording why (see the `wedged` field).
+    fn wedge(&self, reason: String) {
+        *self.wedge_reason.lock() = Some(reason);
+        self.wedged.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
     /// Fails if the store has wedged (see the `wedged` field).
     fn check_wedged(&self) -> Result<()> {
         if self.wedged.load(std::sync::atomic::Ordering::SeqCst) {
-            return Err(ObladiError::Storage(
-                "durable store is wedged after an op-log write failure; restart the daemon \
-                 to replay the log"
-                    .into(),
-            ));
+            let reason = self
+                .wedge_reason
+                .lock()
+                .clone()
+                .unwrap_or_else(|| "op-log write failure".into());
+            return Err(ObladiError::Storage(format!(
+                "durable store is wedged ({reason}); restart the daemon to replay the log"
+            )));
         }
         Ok(())
     }
