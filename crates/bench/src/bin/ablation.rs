@@ -3,4 +3,5 @@
 fn main() {
     let opts = obladi_bench::BenchOpts::from_args();
     obladi_bench::ablation::run_ablation(&opts);
+    obladi_bench::harness::write_metrics_out(&opts);
 }

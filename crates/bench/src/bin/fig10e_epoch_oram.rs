@@ -2,4 +2,5 @@
 fn main() {
     let opts = obladi_bench::BenchOpts::from_args();
     obladi_bench::fig10::run_fig10e(&opts);
+    obladi_bench::harness::write_metrics_out(&opts);
 }

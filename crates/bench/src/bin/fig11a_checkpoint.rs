@@ -2,4 +2,5 @@
 fn main() {
     let opts = obladi_bench::BenchOpts::from_args();
     obladi_bench::fig11::run_fig11a(&opts);
+    obladi_bench::harness::write_metrics_out(&opts);
 }

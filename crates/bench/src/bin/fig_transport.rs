@@ -5,4 +5,5 @@
 fn main() {
     let opts = obladi_bench::BenchOpts::from_args();
     obladi_bench::fig_transport::run_fig_transport(&opts);
+    obladi_bench::harness::write_metrics_out(&opts);
 }

@@ -9,10 +9,11 @@
 //! both the scaling win (independent epoch pipelines) and the new costs
 //! (the global epoch barrier, cross-shard commit votes).
 
-use crate::harness::{fmt1, print_header, print_row};
+use crate::harness::{fmt1, print_header, print_row, write_metrics_out};
 use crate::opts::BenchOpts;
 use crate::profiles::StorageProfile;
 use obladi_common::config::{ObladiConfig, ShardConfig};
+use obladi_obs::HistogramSnapshot;
 use obladi_shard::ShardedDb;
 use obladi_workloads::{
     run_deployment, SmallBankConfig, SmallBankWorkload, Workload, YcsbConfig, YcsbWorkload,
@@ -22,7 +23,7 @@ use std::time::Duration;
 /// Shard counts swept by the experiment (1 = unsharded baseline topology).
 pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-fn shard_template(opts: &BenchOpts) -> ObladiConfig {
+pub(crate) fn shard_template(opts: &BenchOpts) -> ObladiConfig {
     let mut config = ObladiConfig::small_for_tests(if opts.full { 8_192 } else { 2_048 });
     // YCSB rows (64-byte values plus row framing) must fit one ORAM block.
     config.oram.block_size = 192;
@@ -166,6 +167,44 @@ struct PipelineCell {
     abort_rate: f64,
     global_epochs: u64,
     epoch_period_ms: f64,
+    /// Per-stage time attribution: `(metric, snapshot)` for every pipeline
+    /// phase histogram this cell exercised (proxy phases, split-client
+    /// waits, the global epoch period).
+    phases: Vec<(String, HistogramSnapshot)>,
+    /// Abort causes aggregated across shards: `(cause_label, count)`.
+    abort_causes: Vec<(String, u64)>,
+}
+
+/// Histogram prefixes that constitute the cell's per-stage attribution.
+const PHASE_PREFIXES: [&str; 3] = ["proxy.phase.", "oram.split.", "shard.epoch."];
+
+/// Named phase histograms plus aggregated `(cause, count)` abort totals.
+type CellAttribution = (Vec<(String, HistogramSnapshot)>, Vec<(String, u64)>);
+
+/// Extracts this cell's phase histograms and abort-cause counters from a
+/// registry snapshot taken after the cell ran (the registry is reset before
+/// each cell, so everything in the snapshot belongs to it).  Abort counters
+/// are named `shard.{index}.abort.{cause}`; they are summed across shards
+/// so the breakdown is by cause.
+fn attribute_cell(snapshot: &obladi_obs::RegistrySnapshot) -> CellAttribution {
+    let phases: Vec<(String, HistogramSnapshot)> = snapshot
+        .histograms
+        .iter()
+        .filter(|(name, h)| h.count > 0 && PHASE_PREFIXES.iter().any(|p| name.starts_with(p)))
+        .cloned()
+        .collect();
+    let mut causes: Vec<(String, u64)> = Vec::new();
+    for (name, count) in &snapshot.counters {
+        let Some(cause) = name.split(".abort.").nth(1) else {
+            continue;
+        };
+        match causes.iter_mut().find(|(c, _)| c == cause) {
+            Some((_, total)) => *total += count,
+            None => causes.push((cause.to_string(), *count)),
+        }
+    }
+    causes.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    (phases, causes)
 }
 
 /// Sweeps storage latency profiles at pipeline depth 1 (stop-the-world
@@ -191,18 +230,34 @@ pub fn run_fig_shard_pipeline(opts: &BenchOpts) {
     // Read-only isolates the pipeline's headline win (reads keep flowing
     // while a decision is in flight, instead of aborting in the parked
     // window); the 50/50 mix also shows its cost (reads of keys the
-    // deciding epoch wrote pin to the pre-decision snapshot and wait).
-    for (mix, read_proportion) in [("read", 1.0f64), ("rw50", 0.5)] {
+    // deciding epoch wrote pin to the pre-decision snapshot and wait);
+    // 4-key transactions are almost always cross-shard on 3 shards, so
+    // xshard4 attributes the cross-shard gap (gate waits, unanimous-vote
+    // aborts) stage by stage.
+    for (mix, read_proportion, ops_per_txn) in [
+        ("read", 1.0f64, 1usize),
+        ("rw50", 0.5, 1),
+        ("xshard4", 0.5, 4),
+    ] {
+        if !opts.mix_selected(mix) {
+            continue;
+        }
         let workload = YcsbWorkload::new(YcsbConfig {
             num_keys: if opts.full { 4_096 } else { 1_024 },
             read_proportion,
-            ops_per_txn: 1,
+            ops_per_txn,
             zipf_theta: 0.6,
             value_size: 64,
         });
         for profile in pipeline_profiles() {
             let profile_name = profile.name();
+            if !opts.profile_selected(&profile_name) {
+                continue;
+            }
             for depth in [1u32, 2] {
+                // Each cell's snapshot must attribute only its own time.
+                obladi_obs::global().reset();
+                obladi_obs::trace::global().reset();
                 let mut config = ShardConfig {
                     shards,
                     shard: shard_template(opts),
@@ -250,6 +305,11 @@ pub fn run_fig_shard_pipeline(opts: &BenchOpts) {
                     sharded.global_epochs.to_string(),
                     format!("{epoch_period_ms:.2}"),
                 ]);
+                db.shutdown();
+                built.shutdown();
+                // Snapshot after shutdown so final write-backs and
+                // checkpoints land in the cell they belong to.
+                let (phases, abort_causes) = attribute_cell(&obladi_obs::global().snapshot());
                 cells.push(PipelineCell {
                     profile: profile_name.clone(),
                     mix,
@@ -258,13 +318,16 @@ pub fn run_fig_shard_pipeline(opts: &BenchOpts) {
                     abort_rate,
                     global_epochs: sharded.global_epochs,
                     epoch_period_ms,
+                    phases,
+                    abort_causes,
                 });
-                db.shutdown();
-                built.shutdown();
             }
         }
     }
     write_pipeline_json(opts, &cells);
+    // The registry still holds the last cell's data; `--metrics-out`
+    // captures it (CI's smoke step runs a single-cell sweep).
+    write_metrics_out(opts);
 }
 
 /// Records the sweep as `BENCH_shard_pipeline.json` (hand-formatted: the
@@ -289,7 +352,7 @@ fn write_pipeline_json(opts: &BenchOpts, cells: &[PipelineCell]) {
         json.push_str(&format!(
             "    {{\"profile\": \"{}\", \"mix\": \"{}\", \"pipeline_depth\": {}, \
              \"committed_per_s\": {:.1}, \"abort_rate\": {:.3}, \"global_epochs\": {}, \
-             \"epoch_period_ms\": {period}}}{comma}\n",
+             \"epoch_period_ms\": {period},\n",
             cell.profile,
             cell.mix,
             cell.depth,
@@ -297,6 +360,32 @@ fn write_pipeline_json(opts: &BenchOpts, cells: &[PipelineCell]) {
             cell.abort_rate,
             cell.global_epochs,
         ));
+        // Per-stage time attribution: where the cell's milliseconds went.
+        json.push_str("     \"phases\": {");
+        for (i, (name, h)) in cell.phases.iter().enumerate() {
+            let comma = if i + 1 == cell.phases.len() { "" } else { "," };
+            json.push_str(&format!(
+                "\n       \"{name}\": {{\"count\": {}, \"total_ms\": {:.1}, \"mean_us\": {:.1}, \
+                 \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}{comma}",
+                h.count,
+                h.sum as f64 / 1000.0,
+                h.mean(),
+                h.p50(),
+                h.p99(),
+                h.max,
+            ));
+        }
+        json.push_str("},\n");
+        json.push_str("     \"abort_causes\": {");
+        for (i, (cause, count)) in cell.abort_causes.iter().enumerate() {
+            let comma = if i + 1 == cell.abort_causes.len() {
+                ""
+            } else {
+                ","
+            };
+            json.push_str(&format!("\"{cause}\": {count}{comma}"));
+        }
+        json.push_str(&format!("}}}}{comma}\n"));
     }
     json.push_str("  ]\n}\n");
     let path = "BENCH_shard_pipeline.json";

@@ -26,6 +26,20 @@ pub fn fmt1(v: f64) -> String {
     format!("{v:.1}")
 }
 
+/// Dumps the global metrics registry as JSON to `--metrics-out <path>`, if
+/// the flag was given.  Every benchmark binary calls this after its run so
+/// any experiment's instrumentation can be captured without code changes.
+pub fn write_metrics_out(opts: &BenchOpts) {
+    let Some(path) = opts.metrics_out.as_deref() else {
+        return;
+    };
+    let json = obladi_obs::report::render_json(&obladi_obs::global().snapshot(), 0);
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote metrics snapshot to {path}"),
+        Err(err) => eprintln!("could not write metrics snapshot {path}: {err}"),
+    }
+}
+
 /// Builds a latency-wrapped in-memory store for a backend kind.
 pub fn build_store(kind: BackendKind, opts: &BenchOpts) -> Arc<dyn UntrustedStore> {
     let profile = LatencyProfile::for_backend(kind).scaled(opts.latency_scale);

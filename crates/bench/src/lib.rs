@@ -22,6 +22,7 @@ pub mod fig11;
 pub mod fig_shard;
 pub mod fig_transport;
 pub mod harness;
+pub mod obs_overhead;
 pub mod opts;
 pub mod profiles;
 

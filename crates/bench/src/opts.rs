@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 /// Options controlling benchmark scale.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BenchOpts {
     /// Run the full-scale configuration (larger trees, longer windows,
     /// unscaled latencies).  Default is a quick mode that preserves shape.
@@ -17,6 +17,14 @@ pub struct BenchOpts {
     pub clients: usize,
     /// Random seed.
     pub seed: u64,
+    /// Write the full metrics-registry snapshot (JSON) to this path after
+    /// the run.
+    pub metrics_out: Option<String>,
+    /// Restrict sweeps to storage profiles whose name contains this
+    /// substring (CI smoke cells).
+    pub profile: Option<String>,
+    /// Restrict sweeps to the named workload mix (CI smoke cells).
+    pub mix: Option<String>,
 }
 
 impl BenchOpts {
@@ -35,6 +43,24 @@ impl BenchOpts {
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
+                "--metrics-out" => {
+                    if let Some(v) = args.get(i + 1) {
+                        opts.metrics_out = Some(v.clone());
+                        i += 1;
+                    }
+                }
+                "--profile" => {
+                    if let Some(v) = args.get(i + 1) {
+                        opts.profile = Some(v.clone());
+                        i += 1;
+                    }
+                }
+                "--mix" => {
+                    if let Some(v) = args.get(i + 1) {
+                        opts.mix = Some(v.clone());
+                        i += 1;
+                    }
+                }
                 "--full" => {
                     opts.full = true;
                     opts.latency_scale = 1.0;
@@ -72,6 +98,18 @@ impl BenchOpts {
         opts
     }
 
+    /// Whether `profile_name` passes the `--profile` substring filter.
+    pub fn profile_selected(&self, profile_name: &str) -> bool {
+        self.profile
+            .as_deref()
+            .is_none_or(|want| profile_name.contains(want))
+    }
+
+    /// Whether `mix_name` passes the `--mix` filter (exact match).
+    pub fn mix_selected(&self, mix_name: &str) -> bool {
+        self.mix.as_deref().is_none_or(|want| mix_name == want)
+    }
+
     /// A very small configuration used by smoke tests of the harness itself.
     pub fn smoke() -> Self {
         BenchOpts {
@@ -80,6 +118,9 @@ impl BenchOpts {
             duration: Duration::from_millis(300),
             clients: 2,
             seed: 7,
+            metrics_out: None,
+            profile: None,
+            mix: None,
         }
     }
 }
@@ -92,6 +133,9 @@ impl Default for BenchOpts {
             duration: Duration::from_secs(3),
             clients: 16,
             seed: 42,
+            metrics_out: None,
+            profile: None,
+            mix: None,
         }
     }
 }

@@ -115,6 +115,27 @@ impl ObladiError {
     pub fn is_liveness_retry(&self) -> bool {
         matches!(self, ObladiError::PipelineIncompatible { .. })
     }
+
+    /// A stable, low-cardinality label for the variant, suitable as a
+    /// metric-name suffix (e.g. `shard.abort.pipeline_incompatible`).
+    /// Deliberately drops the per-instance payload so counters keyed by it
+    /// stay bounded.
+    pub fn cause_label(&self) -> &'static str {
+        match self {
+            ObladiError::Storage(_) => "storage",
+            ObladiError::Integrity(_) => "integrity",
+            ObladiError::KeyNotFound(_) => "key_not_found",
+            ObladiError::TxnAborted(_) => "txn_aborted",
+            ObladiError::BatchFull(_) => "batch_full",
+            ObladiError::StashOverflow { .. } => "stash_overflow",
+            ObladiError::ProxyUnavailable => "proxy_unavailable",
+            ObladiError::PipelineIncompatible { .. } => "pipeline_incompatible",
+            ObladiError::Recovery(_) => "recovery",
+            ObladiError::Config(_) => "config",
+            ObladiError::Codec(_) => "codec",
+            ObladiError::Internal(_) => "internal",
+        }
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +158,36 @@ mod tests {
         assert!(ObladiError::ProxyUnavailable.is_retryable());
         assert!(!ObladiError::KeyNotFound(3).is_retryable());
         assert!(!ObladiError::Integrity("bad mac".into()).is_retryable());
+    }
+
+    #[test]
+    fn cause_labels_are_stable_and_distinct() {
+        let errors = [
+            ObladiError::Storage("s".into()),
+            ObladiError::Integrity("i".into()),
+            ObladiError::KeyNotFound(1),
+            ObladiError::TxnAborted("t".into()),
+            ObladiError::BatchFull("b".into()),
+            ObladiError::StashOverflow { len: 1, max: 1 },
+            ObladiError::ProxyUnavailable,
+            ObladiError::PipelineIncompatible {
+                shard: 0,
+                round_class: 0,
+                exec_generation: 1,
+                deciding_generation: None,
+            },
+            ObladiError::Recovery("r".into()),
+            ObladiError::Config("c".into()),
+            ObladiError::Codec("c".into()),
+            ObladiError::Internal("i".into()),
+        ];
+        let labels: std::collections::HashSet<&str> =
+            errors.iter().map(|e| e.cause_label()).collect();
+        assert_eq!(labels.len(), errors.len());
+        // Labels must be metric-name safe: lowercase + underscores.
+        for label in labels {
+            assert!(label.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
     }
 
     #[test]

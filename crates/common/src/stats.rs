@@ -5,58 +5,159 @@
 //! second) and latency (average and tail).  [`LatencyRecorder`] collects raw
 //! samples and computes percentiles; [`RunStats`] summarises a whole run.
 
+use std::sync::OnceLock;
 use std::time::Duration;
 
+/// Default number of samples a [`LatencyRecorder`] retains.  Beyond this
+/// the recorder switches to reservoir sampling: memory stays bounded, the
+/// mean and max stay exact (they are tracked separately over *all*
+/// samples), and percentiles become a uniform-sample estimate.
+pub const DEFAULT_SAMPLE_CAPACITY: usize = 1 << 16;
+
 /// Collects latency samples and derives summary statistics.
-#[derive(Debug, Clone, Default)]
+///
+/// Memory is bounded: up to `capacity` samples are retained verbatim;
+/// once full, each new sample enters the reservoir with probability
+/// `capacity / seen` (Algorithm R), displacing a uniformly chosen
+/// retained one.  [`LatencyRecorder::samples_dropped`] counts how many
+/// samples are no longer individually retained.  Percentile queries sort
+/// the retained samples once and reuse the sorted view until the next
+/// mutation.
+#[derive(Debug, Clone)]
 pub struct LatencyRecorder {
     samples_us: Vec<u64>,
+    capacity: usize,
+    /// Total samples ever recorded (including merged-in ones).
+    seen: u64,
+    /// Exact sum over all `seen` samples.
+    sum_us: u128,
+    /// Exact maximum over all `seen` samples.
+    max_us: u64,
+    /// xorshift64 state for reservoir displacement — deterministic, so
+    /// runs are reproducible without a rand dependency.
+    rng: u64,
+    /// Lazily sorted copy of `samples_us`; reset by every mutation.
+    sorted: OnceLock<Vec<u64>>,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LatencyRecorder {
-    /// Creates an empty recorder.
+    /// Creates an empty recorder with the default retention capacity.
     pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_SAMPLE_CAPACITY)
+    }
+
+    /// Creates an empty recorder retaining at most `capacity` samples.
+    pub fn with_capacity(capacity: usize) -> Self {
         LatencyRecorder {
             samples_us: Vec::new(),
+            capacity: capacity.max(1),
+            seen: 0,
+            sum_us: 0,
+            max_us: 0,
+            rng: 0x9E37_79B9_7F4A_7C15,
+            sorted: OnceLock::new(),
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    fn observe_us(&mut self, us: u64) {
+        self.sorted = OnceLock::new();
+        self.seen += 1;
+        self.sum_us += us as u128;
+        self.max_us = self.max_us.max(us);
+        if self.samples_us.len() < self.capacity {
+            self.samples_us.push(us);
+        } else {
+            // Algorithm R: keep the new sample with probability
+            // capacity/seen; either way one sample (the evicted or the new)
+            // is no longer individually retained.
+            let j = (self.next_rand() % self.seen) as usize;
+            if j < self.capacity {
+                self.samples_us[j] = us;
+            }
         }
     }
 
     /// Records one latency sample.
     pub fn record(&mut self, latency: Duration) {
-        self.samples_us.push(latency.as_micros() as u64);
+        self.observe_us(latency.as_micros() as u64);
     }
 
-    /// Number of samples recorded.
+    /// Number of samples recorded (including ones the bounded reservoir no
+    /// longer retains individually).
     pub fn len(&self) -> usize {
-        self.samples_us.len()
+        self.seen as usize
     }
 
     /// Whether no samples have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples_us.is_empty()
+        self.seen == 0
     }
 
-    /// Merges another recorder's samples into this one.
+    /// Samples recorded but no longer individually retained (the reservoir
+    /// displaced them).  Zero until `capacity` is exceeded.
+    pub fn samples_dropped(&self) -> u64 {
+        self.seen - self.samples_us.len() as u64
+    }
+
+    /// Merges another recorder's samples into this one.  The mean and max
+    /// stay exact; the merged reservoir re-samples the other's retained
+    /// values.
     pub fn merge(&mut self, other: &LatencyRecorder) {
-        self.samples_us.extend_from_slice(&other.samples_us);
+        self.sorted = OnceLock::new();
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+        for &us in &other.samples_us {
+            self.seen += 1;
+            if self.samples_us.len() < self.capacity {
+                self.samples_us.push(us);
+            } else {
+                let j = (self.next_rand() % self.seen) as usize;
+                if j < self.capacity {
+                    self.samples_us[j] = us;
+                }
+            }
+        }
+        // Samples the other recorder had already dropped still count
+        // toward the total (their sum and max were merged above).
+        self.seen += other.samples_dropped();
     }
 
-    /// Mean latency, or zero if empty.
+    /// Mean latency over *all* recorded samples, or zero if empty.
     pub fn mean(&self) -> Duration {
-        if self.samples_us.is_empty() {
+        if self.seen == 0 {
             return Duration::ZERO;
         }
-        let sum: u64 = self.samples_us.iter().sum();
-        Duration::from_micros(sum / self.samples_us.len() as u64)
+        Duration::from_micros((self.sum_us / self.seen as u128) as u64)
     }
 
-    /// The `p`-th percentile latency (`0.0 <= p <= 100.0`), or zero if empty.
+    /// The `p`-th percentile latency (`0.0 <= p <= 100.0`), or zero if
+    /// empty.  Exact while all samples are retained; a uniform-sample
+    /// estimate once the reservoir has displaced some.  The sorted view is
+    /// built on first use and reused until the next mutation.
     pub fn percentile(&self, p: f64) -> Duration {
         if self.samples_us.is_empty() {
             return Duration::ZERO;
         }
-        let mut sorted = self.samples_us.clone();
-        sorted.sort_unstable();
+        let sorted = self.sorted.get_or_init(|| {
+            let mut sorted = self.samples_us.clone();
+            sorted.sort_unstable();
+            sorted
+        });
         let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
         Duration::from_micros(sorted[rank.min(sorted.len() - 1)])
     }
@@ -71,9 +172,9 @@ impl LatencyRecorder {
         self.percentile(99.0)
     }
 
-    /// Maximum latency observed.
+    /// Maximum latency observed (exact even when samples were dropped).
     pub fn max(&self) -> Duration {
-        Duration::from_micros(self.samples_us.iter().copied().max().unwrap_or(0))
+        Duration::from_micros(self.max_us)
     }
 }
 
@@ -178,6 +279,56 @@ mod tests {
         assert!(r.p99() >= Duration::from_millis(98));
         assert_eq!(r.max(), Duration::from_millis(100));
         assert_eq!(r.mean(), Duration::from_micros(50500));
+    }
+
+    #[test]
+    fn percentile_cache_invalidates_on_record_and_merge() {
+        let mut r = LatencyRecorder::new();
+        r.record(Duration::from_millis(10));
+        assert_eq!(r.median(), Duration::from_millis(10));
+        // A later record must not serve the stale sorted view.
+        r.record(Duration::from_millis(30));
+        r.record(Duration::from_millis(30));
+        assert_eq!(r.median(), Duration::from_millis(30));
+        let mut other = LatencyRecorder::new();
+        for _ in 0..4 {
+            other.record(Duration::from_millis(1));
+        }
+        r.merge(&other);
+        // [1, 1, 1, 1, 10, 30, 30]: the median must see the merged samples.
+        assert_eq!(r.median(), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn bounded_capacity_drops_but_keeps_mean_and_max_exact() {
+        let mut r = LatencyRecorder::with_capacity(16);
+        for us in 1..=1000u64 {
+            r.record(Duration::from_micros(us));
+        }
+        assert_eq!(r.len(), 1000);
+        assert_eq!(r.samples_dropped(), 1000 - 16);
+        assert_eq!(r.max(), Duration::from_micros(1000));
+        assert_eq!(r.mean(), Duration::from_micros(500));
+        // Percentiles come from the 16 retained samples: still inside the
+        // observed range and ordered.
+        assert!(r.median() >= Duration::from_micros(1));
+        assert!(r.median() <= Duration::from_micros(1000));
+        assert!(r.percentile(0.0) <= r.median() && r.median() <= r.percentile(100.0));
+    }
+
+    #[test]
+    fn merge_accounts_for_samples_the_source_dropped() {
+        let mut a = LatencyRecorder::with_capacity(8);
+        for us in 1..=100u64 {
+            a.record(Duration::from_micros(us));
+        }
+        let mut b = LatencyRecorder::new();
+        b.merge(&a);
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.mean(), a.mean());
+        assert_eq!(b.max(), a.max());
+        // b retains only what a retained; the rest count as dropped.
+        assert_eq!(b.samples_dropped(), a.samples_dropped());
     }
 
     #[test]

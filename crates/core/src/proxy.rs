@@ -43,7 +43,7 @@ use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Produces the proxy's current commit candidates: the transactions that
 /// have requested commit and fit the epoch's write-batch capacity, each
@@ -1037,6 +1037,7 @@ fn epoch_executor(inner: Arc<ProxyInner>) {
         let reserved = read_batches.div_ceil(2);
         for batch_index in 0..read_batches {
             if batch_index + reserved >= read_batches {
+                let hold_started = Instant::now();
                 let mut state = inner.state.lock();
                 while state.deciding.is_some()
                     && !inner.shutdown.load(Ordering::SeqCst)
@@ -1044,6 +1045,10 @@ fn epoch_executor(inner: Arc<ProxyInner>) {
                 {
                     inner.driver_wakeup.wait(&mut state);
                 }
+                drop(state);
+                obladi_obs::global()
+                    .histogram("proxy.phase.slot_wait_us")
+                    .record_duration(hold_started.elapsed());
             }
             wait_for_batch(&inner);
             if inner.shutdown.load(Ordering::SeqCst) || inner.crashed.load(Ordering::SeqCst) {
@@ -1071,6 +1076,7 @@ fn epoch_executor(inner: Arc<ProxyInner>) {
         }
 
         // ---- Hand the epoch to the decider and roll over. ----
+        let rollover_started = Instant::now();
         let mut state = inner.state.lock();
         // Bounded depth: at most one epoch may be deciding.
         while state.deciding.is_some()
@@ -1079,6 +1085,9 @@ fn epoch_executor(inner: Arc<ProxyInner>) {
         {
             inner.driver_wakeup.wait(&mut state);
         }
+        obladi_obs::global()
+            .histogram("proxy.phase.slot_wait_us")
+            .record_duration(rollover_started.elapsed());
         if inner.shutdown.load(Ordering::SeqCst) || inner.crashed.load(Ordering::SeqCst) {
             continue;
         }
@@ -1096,6 +1105,7 @@ fn epoch_executor(inner: Arc<ProxyInner>) {
             active_txns: snapshot.active_txns,
             closed: false,
         });
+        obladi_obs::global().gauge("proxy.pipeline.deciding").set(1);
         drop(state);
         inner.decider_wakeup.notify_all();
         // Readers parked on batches of the snapshotted epoch must wake and
@@ -1104,6 +1114,7 @@ fn epoch_executor(inner: Arc<ProxyInner>) {
         if inner.config.epoch.pipeline_depth <= 1 {
             // Depth 1: stop-the-world barrier semantics — no batch of the
             // next epoch executes until the decision has fully published.
+            let barrier_started = Instant::now();
             let mut state = inner.state.lock();
             while state.deciding.is_some()
                 && !inner.shutdown.load(Ordering::SeqCst)
@@ -1111,6 +1122,10 @@ fn epoch_executor(inner: Arc<ProxyInner>) {
             {
                 inner.driver_wakeup.wait(&mut state);
             }
+            drop(state);
+            obladi_obs::global()
+                .histogram("proxy.phase.slot_wait_us")
+                .record_duration(barrier_started.elapsed());
         }
     }
 }
@@ -1208,6 +1223,9 @@ fn crash_inner_guarded(inner: &Arc<ProxyInner>, life: Option<u64>) {
     let outcomes_carry = std::mem::take(&mut state.outcomes);
     *state = ProxyState::new(epoch, generation);
     state.outcomes = outcomes_carry;
+    obladi_obs::global().counter("proxy.crashes").inc();
+    obladi_obs::global().gauge("proxy.pipeline.deciding").set(0);
+    obladi_obs::trace::global().record("proxy.crash", epoch, 0);
     // Volatile ORAM client state is lost.  The wipe happens *inside* the
     // state-lock (and therefore `lives`) critical section: if it happened
     // after the lock dropped, a recovery interleaving in that window could
@@ -1245,8 +1263,10 @@ fn wait_for_batch(inner: &Arc<ProxyInner>) {
 }
 
 fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
+    let obs = obladi_obs::global();
     let batch_size = inner.config.epoch.read_batch_size;
     // Take up to `b_read` pending keys (deduplicated at enqueue time).
+    let plan_started = Instant::now();
     let (epoch, keys): (EpochId, Vec<Key>) = {
         let mut state = inner.state.lock();
         let take = state.exec.pending_fetch.len().min(batch_size);
@@ -1258,6 +1278,8 @@ fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
         state.exec.batches_issued += 1;
         (state.exec.epoch, keys)
     };
+    obs.histogram("proxy.phase.read_plan_us")
+        .record_duration(plan_started.elapsed());
 
     // Overlap instrumentation: with pipelining this fires for epoch N+1
     // while epoch N's permit_commits call may still be in flight.
@@ -1273,6 +1295,8 @@ fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
     requests.resize(batch_size, None);
 
     let values = {
+        let _span = obladi_obs::trace::global().span("proxy.read_fetch", epoch);
+        let fetch_timer = obs.histogram("proxy.phase.read_fetch_us");
         let mut reader_guard = inner.reader.lock();
         let reader = reader_guard.as_mut().ok_or(ObladiError::ProxyUnavailable)?;
         // The logger carries this epoch explicitly: the decider's write-back
@@ -1282,7 +1306,7 @@ fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
         // split client's internal state lock — its physical reads overlap
         // the engine's write-back I/O in time.
         let logger = inner.durability.logger_for(epoch);
-        reader.read_batch(&requests, &logger)?
+        fetch_timer.time(|| reader.read_batch(&requests, &logger))?
     };
 
     {
@@ -1292,6 +1316,7 @@ fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
         stats.padded_reads += (batch_size - keys.len()) as u64;
     }
 
+    let ingest_started = Instant::now();
     let mut state = inner.state.lock();
     if state.exec.epoch == epoch {
         for (key, value) in keys.iter().zip(values) {
@@ -1300,6 +1325,8 @@ fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
         }
     }
     drop(state);
+    obs.histogram("proxy.phase.read_ingest_us")
+        .record_duration(ingest_started.elapsed());
     inner.client_wakeup.notify_all();
     if let Some(gate) = &gate {
         gate.read_batch_finished(epoch);
@@ -1311,6 +1338,8 @@ fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
 /// slot.  Runs on the decider thread; the executor is meanwhile free to run
 /// the next epoch's read batches.
 fn decide_epoch(inner: &Arc<ProxyInner>, epoch: EpochId, generation: u64) -> Result<()> {
+    let obs = obladi_obs::global();
+    let tracer = obladi_obs::trace::global();
     let write_capacity = inner.config.epoch.write_batch_size;
     let gate = inner.epoch_gate.lock().clone();
 
@@ -1353,12 +1382,20 @@ fn decide_epoch(inner: &Arc<ProxyInner>, epoch: EpochId, generation: u64) -> Res
                         _ => return Err(ObladiError::ProxyUnavailable),
                     }
                 };
-                for (txn, writes) in gathered {
-                    prep_inner.durability.prepare_txn(epoch, txn, &writes)?;
-                }
-                Ok(())
+                // Prepare I/O is timed apart from the enclosing gate wait:
+                // the WAL appends are this proxy's own cost, the rest of the
+                // rendezvous is time spent waiting on peers.
+                let prepare_timer = obladi_obs::global().histogram("proxy.phase.prepare_io_us");
+                prepare_timer.time(|| {
+                    for (txn, writes) in gathered {
+                        prep_inner.durability.prepare_txn(epoch, txn, &writes)?;
+                    }
+                    Ok(())
+                })
             });
-            let permits = gate.permit_commits(epoch, candidates, preparer);
+            let _span = tracer.span("proxy.gate_wait", epoch);
+            let gate_timer = obs.histogram("proxy.phase.gate_wait_us");
+            let permits = gate_timer.time(|| gate.permit_commits(epoch, candidates, preparer));
             Some(permits.into_iter().collect())
         }
     };
@@ -1369,6 +1406,7 @@ fn decide_epoch(inner: &Arc<ProxyInner>, epoch: EpochId, generation: u64) -> Res
     // requested commit since then live in the *next* epoch.  Outcomes are
     // only published (phase 3) after the epoch is durable, so delayed
     // visibility is preserved.
+    let decide_started = Instant::now();
     let (writes, outcomes) = {
         let mut state = inner.state.lock();
         let Some(deciding) = state
@@ -1415,6 +1453,8 @@ fn decide_epoch(inner: &Arc<ProxyInner>, epoch: EpochId, generation: u64) -> Res
         }
         (writes, outcomes)
     };
+    obs.histogram("proxy.phase.decide_us")
+        .record_duration(decide_started.elapsed());
 
     // Phase 2 (no state lock held): apply the write batch (padded to its
     // fixed size), flush all buffered bucket writes, then checkpoint (§8
@@ -1429,15 +1469,19 @@ fn decide_epoch(inner: &Arc<ProxyInner>, epoch: EpochId, generation: u64) -> Res
     // decision's.  If this fails, the epoch's transactions are reported as
     // aborted (epoch fate sharing).
     let io_result = (|| -> Result<()> {
+        let _span = tracer.span("proxy.write_back", epoch);
         let mut engine_guard = inner.engine.lock();
         let engine = engine_guard.as_mut().ok_or(ObladiError::ProxyUnavailable)?;
         if let Some(gate) = &gate {
             gate.write_back_starting(epoch);
         }
         let logger = inner.durability.logger_for(epoch);
-        engine.write_batch_padded(&writes, write_capacity, &logger)?;
-        engine.flush_writes(&logger)?;
-        inner.durability.commit_epoch(epoch, engine)?;
+        obs.histogram("proxy.phase.write_back_us").time(|| {
+            engine.write_batch_padded(&writes, write_capacity, &logger)?;
+            engine.flush_writes(&logger)
+        })?;
+        obs.histogram("proxy.phase.checkpoint_us")
+            .time(|| inner.durability.commit_epoch(epoch, engine))?;
         if let Some(gate) = &gate {
             gate.write_back_finished(epoch);
         }
@@ -1447,6 +1491,7 @@ fn decide_epoch(inner: &Arc<ProxyInner>, epoch: EpochId, generation: u64) -> Res
     // Phase 3: publish outcomes (downgraded to aborts if the write-back or
     // checkpoint failed), resolve the carry set, free the pipeline slot and
     // wake everyone.
+    let publish_started = Instant::now();
     let mut state = inner.state.lock();
     let slot_live = matches!(
         state.deciding.as_ref(),
@@ -1454,6 +1499,7 @@ fn decide_epoch(inner: &Arc<ProxyInner>, epoch: EpochId, generation: u64) -> Res
     );
     if slot_live {
         state.deciding = None;
+        obs.gauge("proxy.pipeline.deciding").set(0);
     }
     let mut durably_committed: Vec<TxnId> = Vec::new();
     let mut aborted_count = 0u64;
@@ -1495,6 +1541,10 @@ fn decide_epoch(inner: &Arc<ProxyInner>, epoch: EpochId, generation: u64) -> Res
         stats.aborted += aborted_count;
         stats.real_writes += writes.len() as u64;
     }
+    obs.counter("proxy.epochs").inc();
+    obs.counter("proxy.txn.committed")
+        .add(durably_committed.len() as u64);
+    obs.counter("proxy.txn.aborted").add(aborted_count);
     inner.client_wakeup.notify_all();
     // The executor may be waiting for the freed slot.
     inner.driver_wakeup.notify_all();
@@ -1504,6 +1554,9 @@ fn decide_epoch(inner: &Arc<ProxyInner>, epoch: EpochId, generation: u64) -> Res
         }
         gate.epoch_finalized(epoch);
     }
+    obs.histogram("proxy.phase.publish_us")
+        .record_duration(publish_started.elapsed());
+    tracer.record("proxy.epoch_done", epoch, 0);
     io_result
 }
 

@@ -1,0 +1,555 @@
+//! The metrics registry: monotonic counters, gauges and log-bucketed
+//! histograms, all updatable from any thread with nothing but atomics on
+//! the hot path.
+//!
+//! # Design
+//!
+//! * **Counters** are striped across cache-line-padded atomic cells; each
+//!   thread hashes to one stripe, so concurrent increments from the epoch
+//!   executor, the decider and a pool of client threads do not bounce one
+//!   cache line between cores.  Reads sum the stripes — exact once the
+//!   writers' increments have landed (each increment is a single atomic
+//!   `fetch_add`, so a snapshot taken mid-hammer sees a value between 0 and
+//!   the true total, never garbage, and the final total is exact).
+//! * **Gauges** are a single atomic `i64` (`set`/`add`); they track levels
+//!   (pipeline occupancy, epoch period) rather than rates.
+//! * **Histograms** bucket values by their binary magnitude (one bucket per
+//!   power of two), which makes recording a single `fetch_add` and keeps
+//!   percentile queries O(64).  A reported percentile is the *upper bound*
+//!   of the bucket holding the true order statistic, so it brackets the
+//!   exact value within one bucket width — good enough to attribute an
+//!   epoch's milliseconds to phases, at a fraction of the cost of keeping
+//!   raw samples.
+//!
+//! Handle types (`Counter`, `Gauge`, `Histogram`) are cheap `Arc`s handed
+//! out by [`MetricsRegistry::counter`] & co.  Instrumented hot paths
+//! resolve their handles once at construction time and touch only atomics
+//! afterwards; cold paths (abort accounting) may look handles up by name
+//! per event.  A process-wide kill switch ([`crate::set_enabled`]) turns
+//! every record into a single relaxed load + branch, which is what the
+//! overhead-budget bench cell compares against.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of counter stripes.  Power of two; enough that a handful of
+/// pipeline threads rarely share a stripe.
+const STRIPES: usize = 16;
+
+/// Process-wide recording switch (see [`crate::set_enabled`]).
+pub(crate) static ENABLED: AtomicBool = AtomicBool::new(true);
+
+#[inline]
+fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One cache line worth of counter cell, so stripes never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedCell(AtomicU64);
+
+thread_local! {
+    /// Each thread's stripe index, assigned round-robin at first use.
+    static THREAD_STRIPE: usize = {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        (NEXT.fetch_add(1, Ordering::Relaxed) as usize) % STRIPES
+    };
+}
+
+#[inline]
+fn stripe() -> usize {
+    THREAD_STRIPE.with(|s| *s)
+}
+
+/// A monotonic counter striped over padded atomic cells.
+#[derive(Default)]
+pub struct CounterInner {
+    cells: [PaddedCell; STRIPES],
+}
+
+/// Shared handle to a registered counter.
+pub type Counter = Arc<CounterInner>;
+
+impl CounterInner {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.cells[stripe()].0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total across all stripes.
+    pub fn get(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+
+    fn reset(&self) {
+        for cell in &self.cells {
+            cell.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A gauge: an instantaneous level set or adjusted by its owner.
+#[derive(Default)]
+pub struct GaugeInner {
+    value: AtomicI64,
+}
+
+/// Shared handle to a registered gauge.
+pub type Gauge = Arc<GaugeInner>;
+
+impl GaugeInner {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adjusts the gauge by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if enabled() {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of histogram buckets: bucket `b` holds values whose binary
+/// magnitude is `b` (bucket 0 holds only zero, bucket 1 holds 1, bucket 2
+/// holds 2–3, bucket `b` holds `2^(b-1)..2^b - 1`), covering all of `u64`.
+const BUCKETS: usize = 65;
+
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `b` — what percentile queries report.
+#[inline]
+fn bucket_upper(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// A log-bucketed histogram of `u64` values (conventionally microseconds).
+pub struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Shared handle to a registered histogram.
+pub type Histogram = Arc<HistogramInner>;
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HistogramInner {
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !enabled() {
+            return;
+        }
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// Times `body` and records its wall-clock duration in microseconds.
+    #[inline]
+    pub fn time<T>(&self, body: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
+        let result = body();
+        self.record_duration(start.elapsed());
+        result
+    }
+
+    /// A consistent-enough snapshot for reporting: bucket counts are read
+    /// once each; a concurrent recorder may straddle the reads, so the
+    /// snapshot's count is monotone but not atomic with `sum`/`max`.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Per-bucket counts (see [`HistogramInner`] for the bucket layout).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `p`-th percentile (`0.0..=100.0`), reported as the upper bound
+    /// of the bucket containing that order statistic — the true value lies
+    /// within one bucket width below the returned value.  Zero when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen > rank {
+                // Never report past the observed maximum: the top bucket's
+                // upper bound can be far above it.
+                return bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The process-wide (or per-test) registry mapping names to metrics.
+///
+/// Registration takes a short write lock; handle lookup by name takes a
+/// read lock; everything after that is atomics.  Names are flat strings —
+/// the convention across the workspace is `layer.scope.metric`, e.g.
+/// `proxy.phase.gate_wait_us` or `shard.abort.pipeline_incompatible`.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<HashMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry (tests; production code uses
+    /// [`crate::global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it if absent.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(Metric::Counter(c)) = self.lookup(name) {
+            return c;
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(CounterInner::default())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it if absent.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(Metric::Gauge(g)) = self.lookup(name) {
+            return g;
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(GaugeInner::default())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it if
+    /// absent.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(Metric::Histogram(h)) = self.lookup(name) {
+            return h;
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(HistogramInner::default())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<Metric> {
+        self.metrics.read().get(name).map(|m| match m {
+            Metric::Counter(c) => Metric::Counter(c.clone()),
+            Metric::Gauge(g) => Metric::Gauge(g.clone()),
+            Metric::Histogram(h) => Metric::Histogram(h.clone()),
+        })
+    }
+
+    /// Zeroes every registered metric, keeping registrations (and
+    /// outstanding handles) intact.  Benchmark sweeps call this between
+    /// cells so each cell's snapshot attributes only its own time.
+    pub fn reset(&self) {
+        let metrics = self.metrics.read();
+        for metric in metrics.values() {
+            match metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// A point-in-time snapshot of every registered metric, sorted by
+    /// name.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let metrics = self.metrics.read();
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Point-in-time view of a whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// `(name, total)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, level)` pairs, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` pairs, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    /// Counter total by exact name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Gauge level by exact name (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Histogram snapshot by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_exactly() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("test.count");
+        for _ in 0..1000 {
+            c.inc();
+        }
+        c.add(500);
+        assert_eq!(c.get(), 1500);
+        assert_eq!(registry.snapshot().counter("test.count"), 1500);
+    }
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let registry = MetricsRegistry::new();
+        registry.counter("a").add(3);
+        registry.counter("a").add(4);
+        assert_eq!(registry.counter("a").get(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        registry.gauge("x");
+        registry.counter("x");
+    }
+
+    #[test]
+    fn gauge_tracks_level() {
+        let registry = MetricsRegistry::new();
+        let g = registry.gauge("test.level");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_by_magnitude() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_percentiles_bracket_within_one_bucket() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("test.lat_us");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.max, 1000);
+        // p50's true value is ~500; the bucket holding it spans 256..=511.
+        let p50 = snap.p50();
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        assert!(p50 >= 500, "upper bound must bracket from above");
+        // p100 is clamped to the observed max, not the bucket bound.
+        assert_eq!(snap.percentile(100.0), 1000);
+        assert!((snap.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let snap = HistogramInner::default().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.p99(), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles_live() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("r.c");
+        let h = registry.histogram("r.h");
+        c.add(10);
+        h.record(10);
+        registry.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.snapshot().count, 0);
+        c.add(2);
+        assert_eq!(registry.snapshot().counter("r.c"), 2);
+    }
+
+    #[test]
+    fn timing_helper_records_a_sample() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("t.h");
+        let out = h.time(|| 42);
+        assert_eq!(out, 42);
+        assert_eq!(h.snapshot().count, 1);
+    }
+}

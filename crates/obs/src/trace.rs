@@ -1,0 +1,265 @@
+//! The epoch/txn span tracer: a bounded, per-thread ring of typed events.
+//!
+//! Every instrumented phase of the pipeline (a read batch, a gate
+//! rendezvous, a write-back, a wedge) can drop a [`TraceEvent`] here:
+//! *what* happened (`kind`), *which epoch* it belonged to, *when* it ended
+//! and *how long* it took.  Events are written to a per-thread ring buffer
+//! — the writer takes an uncontended `parking_lot` mutex on its own ring,
+//! never a shared one — and the oldest events are dropped under pressure
+//! (with an explicit drop counter), so tracing a minutes-long soak run
+//! costs bounded memory and the tail of the trace always covers the
+//! moments before a failure.
+//!
+//! [`SpanTracer::events`] merges all threads' rings into one time-ordered
+//! view; [`crate::report`] renders the tail next to the metric tables, so
+//! a chaos-sweep failure dump shows *what the pipeline was doing* when the
+//! oracle tripped, not just the totals.
+
+use crate::metrics::ENABLED;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Default events retained per writer thread.
+pub const DEFAULT_THREAD_CAPACITY: usize = 2048;
+
+/// One recorded span: a typed event with its epoch and duration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Microseconds since the tracer was created, measured at record time
+    /// (the span's *end*).
+    pub at_us: u64,
+    /// Static label of the span kind, e.g. `"proxy.gate_wait"`.
+    pub kind: &'static str,
+    /// The epoch (or other sequence number) the span belonged to.
+    pub epoch: u64,
+    /// Span duration in microseconds (0 for point events).
+    pub dur_us: u64,
+}
+
+struct ThreadRing {
+    events: Mutex<VecDeque<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+/// The tracer: per-thread ring writers behind one registration list.
+pub struct SpanTracer {
+    /// Process-unique identity; keys the thread-local ring cache (a
+    /// pointer address would collide once a dropped tracer's allocation is
+    /// reused).
+    id: u64,
+    started: Instant,
+    capacity: usize,
+    rings: Mutex<Vec<Arc<ThreadRing>>>,
+}
+
+thread_local! {
+    /// This thread's ring per tracer identity.  A thread touching several
+    /// tracers (tests) keeps one ring per tracer.
+    static THREAD_RINGS: std::cell::RefCell<Vec<(u64, Arc<ThreadRing>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl Default for SpanTracer {
+    fn default() -> Self {
+        Self::new(DEFAULT_THREAD_CAPACITY)
+    }
+}
+
+impl SpanTracer {
+    /// Creates a tracer retaining up to `capacity` events per writer
+    /// thread.
+    pub fn new(capacity: usize) -> Self {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+        SpanTracer {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            started: Instant::now(),
+            capacity: capacity.max(1),
+            rings: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn thread_ring(&self) -> Arc<ThreadRing> {
+        let id = self.id;
+        THREAD_RINGS.with(|rings| {
+            let mut rings = rings.borrow_mut();
+            if let Some((_, ring)) = rings.iter().find(|(tracer, _)| *tracer == id) {
+                return ring.clone();
+            }
+            let ring = Arc::new(ThreadRing {
+                events: Mutex::new(VecDeque::with_capacity(self.capacity.min(64))),
+                dropped: AtomicU64::new(0),
+            });
+            self.rings.lock().push(ring.clone());
+            rings.push((id, ring.clone()));
+            ring
+        })
+    }
+
+    /// Records a completed span of `dur_us` microseconds ending now.
+    #[inline]
+    pub fn record(&self, kind: &'static str, epoch: u64, dur_us: u64) {
+        if !ENABLED.load(Ordering::Relaxed) {
+            return;
+        }
+        let at_us = self.started.elapsed().as_micros() as u64;
+        let ring = self.thread_ring();
+        let mut events = ring.events.lock();
+        if events.len() >= self.capacity {
+            events.pop_front();
+            ring.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(TraceEvent {
+            at_us,
+            kind,
+            epoch,
+            dur_us,
+        });
+    }
+
+    /// Starts a span; the guard records it (with its measured duration)
+    /// when dropped.
+    #[inline]
+    pub fn span(&self, kind: &'static str, epoch: u64) -> SpanGuard<'_> {
+        SpanGuard {
+            tracer: self,
+            kind,
+            epoch,
+            started: Instant::now(),
+        }
+    }
+
+    /// All retained events across threads, merged in time order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let rings = self.rings.lock();
+        let mut all: Vec<TraceEvent> = Vec::new();
+        for ring in rings.iter() {
+            all.extend(ring.events.lock().iter().cloned());
+        }
+        all.sort_by_key(|e| e.at_us);
+        all
+    }
+
+    /// Total events dropped (oldest-first) across all writer threads.
+    pub fn dropped(&self) -> u64 {
+        self.rings
+            .lock()
+            .iter()
+            .map(|r| r.dropped.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Clears every ring and the drop counters (bench cells).
+    pub fn reset(&self) {
+        let rings = self.rings.lock();
+        for ring in rings.iter() {
+            ring.events.lock().clear();
+            ring.dropped.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Records its span on drop (see [`SpanTracer::span`]).
+pub struct SpanGuard<'a> {
+    tracer: &'a SpanTracer,
+    kind: &'static str,
+    epoch: u64,
+    started: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.tracer.record(
+            self.kind,
+            self.epoch,
+            self.started.elapsed().as_micros() as u64,
+        );
+    }
+}
+
+/// The process-wide tracer used by the pipeline's instrumentation points.
+pub fn global() -> &'static SpanTracer {
+    static GLOBAL: OnceLock<SpanTracer> = OnceLock::new();
+    GLOBAL.get_or_init(SpanTracer::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_merge_in_time_order() {
+        let tracer = SpanTracer::new(16);
+        tracer.record("a", 1, 10);
+        tracer.record("b", 1, 20);
+        tracer.record("c", 2, 0);
+        let events = tracer.events();
+        assert_eq!(events.len(), 3);
+        assert!(events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        assert_eq!(events[0].kind, "a");
+        assert_eq!(events[2].epoch, 2);
+        assert_eq!(tracer.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_under_pressure() {
+        let tracer = SpanTracer::new(4);
+        for i in 0..10u64 {
+            tracer.record("e", i, 0);
+        }
+        let events = tracer.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(tracer.dropped(), 6);
+        // The tail survives, the head was dropped.
+        assert_eq!(events.last().unwrap().epoch, 9);
+        assert_eq!(events.first().unwrap().epoch, 6);
+    }
+
+    #[test]
+    fn span_guard_records_duration() {
+        let tracer = SpanTracer::new(16);
+        {
+            let _span = tracer.span("work", 7);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let events = tracer.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "work");
+        assert_eq!(events[0].epoch, 7);
+        assert!(events[0].dur_us >= 1000, "dur = {}", events[0].dur_us);
+    }
+
+    #[test]
+    fn many_threads_write_concurrently() {
+        let tracer = Arc::new(SpanTracer::new(64));
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let tracer = tracer.clone();
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        tracer.record("t", t * 1000 + i, i);
+                    }
+                });
+            }
+        });
+        // 8 threads × 100 events, capped at 64 per thread.
+        let events = tracer.events();
+        assert_eq!(events.len(), 8 * 64);
+        assert_eq!(tracer.dropped(), 8 * 36);
+    }
+
+    #[test]
+    fn reset_clears_rings() {
+        let tracer = SpanTracer::new(2);
+        for i in 0..5 {
+            tracer.record("x", i, 0);
+        }
+        tracer.reset();
+        assert!(tracer.events().is_empty());
+        assert_eq!(tracer.dropped(), 0);
+        tracer.record("y", 1, 1);
+        assert_eq!(tracer.events().len(), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property: the log-bucketed histogram's percentiles bracket the exact
+//! order statistics computed by `LatencyRecorder` over the same samples —
+//! never below the true value, never more than one bucket width (a factor
+//! of two) above it.
+
+use obladi_common::stats::LatencyRecorder;
+use obladi_obs::MetricsRegistry;
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_percentiles_bracket_exact_ones(
+        samples in prop::collection::vec(0u64..2_000_000, 1..300),
+        p in 0u32..=100,
+    ) {
+        let registry = MetricsRegistry::new();
+        let histogram = registry.histogram("bracket.us");
+        let mut exact = LatencyRecorder::new();
+        for &us in &samples {
+            histogram.record(us);
+            exact.record(Duration::from_micros(us));
+        }
+
+        let p = p as f64;
+        let truth = exact.percentile(p).as_micros() as u64;
+        let approx = histogram.snapshot().percentile(p);
+
+        // Upper bound of the true value's bucket, clamped like the
+        // histogram clamps to its observed max.
+        prop_assert!(
+            approx >= truth,
+            "histogram p{p} = {approx} fell below the exact {truth}"
+        );
+        if truth == 0 {
+            prop_assert_eq!(approx, 0);
+        } else {
+            prop_assert!(
+                approx <= truth.saturating_mul(2),
+                "histogram p{p} = {approx} more than one bucket above exact {truth}"
+            );
+        }
+    }
+
+    /// Mean and max are tracked exactly (not bucketed), so they must agree
+    /// with the recorder to within integer-division rounding.
+    #[test]
+    fn histogram_mean_and_max_are_exact(
+        samples in prop::collection::vec(0u64..2_000_000, 1..300),
+    ) {
+        let registry = MetricsRegistry::new();
+        let histogram = registry.histogram("exact.us");
+        let mut exact = LatencyRecorder::new();
+        for &us in &samples {
+            histogram.record(us);
+            exact.record(Duration::from_micros(us));
+        }
+        let snapshot = histogram.snapshot();
+        prop_assert_eq!(snapshot.max, exact.max().as_micros() as u64);
+        let mean_diff = (snapshot.mean() - exact.mean().as_micros() as f64).abs();
+        prop_assert!(mean_diff <= 1.0, "means diverged by {mean_diff}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Writers-vs-reader torture: N threads hammer counters and histograms
+//! while a reader snapshots mid-flight.  Counters must end exact, and
+//! every mid-flight histogram snapshot must be internally consistent and
+//! monotone in (count, sum) against the previous one.
+
+use obladi_obs::MetricsRegistry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const THREADS: u64 = 8;
+const OPS_PER_THREAD: u64 = 20_000;
+
+#[test]
+fn counters_exact_and_histograms_monotone_under_contention() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = registry.clone();
+            scope.spawn(move || {
+                let counter = registry.counter("torture.count");
+                let histogram = registry.histogram("torture.lat_us");
+                let gauge = registry.gauge("torture.level");
+                for i in 0..OPS_PER_THREAD {
+                    counter.inc();
+                    histogram.record(t * OPS_PER_THREAD + i + 1);
+                    gauge.set(i as i64);
+                }
+            });
+        }
+
+        // Reader: snapshot continuously while the writers run.  Histogram
+        // count/sum must never move backwards, every snapshot must be
+        // internally consistent, and counters must never exceed the final
+        // total.
+        let reader_registry = registry.clone();
+        let reader_done = done.clone();
+        let reader = scope.spawn(move || {
+            let mut last_count = 0u64;
+            let mut last_sum = 0u64;
+            let mut snapshots = 0u64;
+            while !reader_done.load(Ordering::Relaxed) {
+                let snapshot = reader_registry.snapshot();
+                if let Some(h) = snapshot.histogram("torture.lat_us") {
+                    assert!(
+                        h.count >= last_count,
+                        "count went backwards: {} -> {}",
+                        last_count,
+                        h.count
+                    );
+                    assert!(
+                        h.sum >= last_sum,
+                        "sum went backwards: {} -> {}",
+                        last_sum,
+                        h.sum
+                    );
+                    assert_eq!(h.count, h.buckets.iter().sum::<u64>());
+                    if h.count > 0 {
+                        assert!(h.p50() <= h.p99());
+                    }
+                    last_count = h.count;
+                    last_sum = h.sum;
+                }
+                let count = snapshot.counter("torture.count");
+                assert!(count <= THREADS * OPS_PER_THREAD);
+                snapshots += 1;
+            }
+            snapshots
+        });
+
+        // `scope` joins the writers when this closure returns, but the
+        // reader must stop first — so join the writers implicitly by
+        // waiting for the counter to hit its total, then release it.
+        let counter = registry.counter("torture.count");
+        while counter.get() < THREADS * OPS_PER_THREAD {
+            std::thread::yield_now();
+        }
+        done.store(true, Ordering::Relaxed);
+        let snapshots = reader.join().unwrap();
+        assert!(snapshots > 0);
+    });
+
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.counter("torture.count"), THREADS * OPS_PER_THREAD);
+    let h = snapshot.histogram("torture.lat_us").unwrap();
+    assert_eq!(h.count, THREADS * OPS_PER_THREAD);
+    // Sum of 1..=N over all threads' disjoint ranges.
+    let n = THREADS * OPS_PER_THREAD;
+    assert_eq!(h.sum, n * (n + 1) / 2);
+    assert_eq!(h.max, n);
+}

@@ -1,0 +1,31 @@
+//! The process-wide kill switch, exercised in its own test binary: the
+//! flag is global, so testing it alongside parallel exact-count tests
+//! would race.
+
+#[test]
+fn disabled_recording_is_a_no_op_everywhere() {
+    let registry = obladi_obs::MetricsRegistry::new();
+    let c = registry.counter("d.c");
+    let g = registry.gauge("d.g");
+    let h = registry.histogram("d.h");
+
+    obladi_obs::set_enabled(false);
+    assert!(!obladi_obs::is_enabled());
+    c.add(100);
+    g.set(9);
+    h.record(7);
+    obladi_obs::trace::global().record("while.disabled", 1, 5);
+    obladi_obs::set_enabled(true);
+    assert!(obladi_obs::is_enabled());
+
+    assert_eq!(c.get(), 0);
+    assert_eq!(g.get(), 0);
+    assert_eq!(h.snapshot().count, 0);
+    assert!(obladi_obs::trace::global()
+        .events()
+        .iter()
+        .all(|e| e.kind != "while.disabled"));
+
+    c.add(1);
+    assert_eq!(c.get(), 1);
+}

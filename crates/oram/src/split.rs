@@ -458,6 +458,7 @@ impl OramReader {
         // plan every request — slot choices, position remaps and plan-time
         // value capture are atomic with respect to the engine.
         let (plans, physical) = {
+            let park_started = std::time::Instant::now();
             let mut state = self.core.shared.state.lock();
             loop {
                 // Re-checked after every wakeup: a concurrent engine
@@ -475,6 +476,9 @@ impl OramReader {
                 }
                 self.core.shared.cond.wait(&mut state);
             }
+            obladi_obs::global()
+                .histogram("oram.split.limbo_park_us")
+                .record_duration(park_started.elapsed());
             let mut physical: Vec<SlotRead> = Vec::new();
             let mut plans: Vec<OpPlan> = Vec::with_capacity(requests.len());
             for request in requests {
@@ -935,12 +939,16 @@ impl WritebackEngine {
     /// served from the overlay until their write lands) or checkpoint (no
     /// block is mid-air).
     fn drain_reader_fetches(&self, state: &mut parking_lot::MutexGuard<'_, SharedState>) {
+        let drain_started = std::time::Instant::now();
         state.write_fence = true;
         while state.reader_fetches > 0 {
             self.core.shared.cond.wait(state);
         }
         state.write_fence = false;
         self.core.shared.cond.notify_all();
+        obladi_obs::global()
+            .histogram("oram.split.fence_drain_us")
+            .record_duration(drain_started.elapsed());
     }
 
     // ------------------------------------------------------------------

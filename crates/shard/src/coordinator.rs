@@ -70,6 +70,7 @@ use obladi_core::{CandidateSource, CommitCandidate, EpochGate, TxnPreparer};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// What the coordinator knows about a transaction's fate (presumed abort:
 /// only commit decisions are recorded).
@@ -123,6 +124,9 @@ struct CoordState {
     /// other entry point stays responsive while a latency-bound store
     /// absorbs the parallel prepare appends.
     deciding_round: Option<u64>,
+    /// When the previous round completed (feeds the epoch-period
+    /// histogram).
+    last_round_at: Option<Instant>,
     shutdown: bool,
 }
 
@@ -170,6 +174,7 @@ impl EpochCoordinator {
                 intake_in_flight: 0,
                 decision_pending: false,
                 deciding_round: None,
+                last_round_at: None,
                 shutdown: false,
             }),
             changed: Condvar::new(),
@@ -345,6 +350,9 @@ impl EpochCoordinator {
                 // This thread decides.  First drain in-flight commit bursts
                 // so no burst straddles the candidate sample.
                 state.deciding_round = Some(target);
+                obladi_obs::global()
+                    .gauge("shard.pipeline.decision_in_flight")
+                    .set(1);
                 state.decision_pending = true;
                 self.changed.notify_all();
                 while state.intake_in_flight > 0 && !state.shutdown {
@@ -353,6 +361,9 @@ impl EpochCoordinator {
                 if state.shutdown {
                     state.decision_pending = false;
                     state.deciding_round = None;
+                    obladi_obs::global()
+                        .gauge("shard.pipeline.decision_in_flight")
+                        .set(0);
                     break;
                 }
                 // Liveness may have changed while draining; re-check that
@@ -374,6 +385,9 @@ impl EpochCoordinator {
                     state.decision_pending = false;
                 }
                 state.deciding_round = None;
+                obladi_obs::global()
+                    .gauge("shard.pipeline.decision_in_flight")
+                    .set(0);
                 self.changed.notify_all();
                 continue;
             }
@@ -585,6 +599,14 @@ impl EpochCoordinator {
             state.permits.insert(shard, permits);
         }
         state.round += 1;
+        let obs = obladi_obs::global();
+        let now = Instant::now();
+        if let Some(previous) = state.last_round_at.replace(now) {
+            obs.histogram("shard.epoch.period_us")
+                .record_duration(now.duration_since(previous));
+        }
+        obs.gauge("shard.epoch.global").set(state.round as i64);
+        obladi_obs::trace::global().record("shard.round_decided", state.round, 0);
     }
 
     /// Shrinks `permitted` to its largest subset closed under `deps`: a

@@ -348,13 +348,17 @@ impl ShardedDb {
     }
 
     fn record_outcome(&self, outcome: &TxnOutcome, shards_touched: usize) {
+        let obs = obladi_obs::global();
         if outcome.is_committed() {
             self.committed.fetch_add(1, Ordering::SeqCst);
+            obs.counter("shard.txn.committed").inc();
             if shards_touched > 1 {
                 self.cross_shard_committed.fetch_add(1, Ordering::SeqCst);
+                obs.counter("shard.txn.cross_shard_committed").inc();
             }
         } else {
             self.aborted.fetch_add(1, Ordering::SeqCst);
+            obs.counter("shard.txn.aborted").inc();
         }
     }
 }
@@ -536,6 +540,9 @@ impl<'db> ShardedTxn<'db> {
                         && attempt < FRESH_LEG_RETRIES =>
                 {
                     attempt += 1;
+                    obladi_obs::global()
+                        .counter(&format!("shard.{shard}.retry.{}", err.cause_label()))
+                        .inc();
                     // The transaction is still virgin (no operation has
                     // observed or written anything), so it can restart from
                     // scratch: drop every opened leg, let the epoch roll
@@ -553,7 +560,12 @@ impl<'db> ShardedTxn<'db> {
                     self.targets = targets;
                     self.round_class = None;
                 }
-                Err(err) => break Err(err),
+                Err(err) => {
+                    obladi_obs::global()
+                        .counter(&format!("shard.{shard}.abort.{}", err.cause_label()))
+                        .inc();
+                    break Err(err);
+                }
             }
         };
         if result.is_err() {
@@ -620,7 +632,12 @@ impl<'db> ShardedTxn<'db> {
             for (index, mut leg) in legs {
                 match leg.request_commit() {
                     Ok(()) => awaiting.push((index, leg)),
-                    Err(err) => request_error = Some(err.clone_for_report(index)),
+                    Err(err) => {
+                        obladi_obs::global()
+                            .counter(&format!("shard.{index}.abort.{}", err.cause_label()))
+                            .inc();
+                        request_error = Some(err.clone_for_report(index));
+                    }
                 }
             }
         }

@@ -426,9 +426,15 @@ impl DurableStore {
             self.wedge(format!("op-log append failed: {err}"));
             return Err(err);
         }
+        let obs = obladi_obs::global();
+        obs.counter("daemon.oplog.appends").inc();
+        obs.counter("daemon.oplog.bytes").add(framed.len() as u64);
         oplog.since_snapshot += 1;
         if self.compact_every > 0 && oplog.since_snapshot >= self.compact_every {
-            if let Err(err) = self.compact_locked(&mut oplog) {
+            // Compactions run under the mutation lock, so their duration is
+            // a stall every queued mutation pays — worth a histogram.
+            let pause = obs.histogram("daemon.compaction.pause_us");
+            if let Err(err) = pause.time(|| self.compact_locked(&mut oplog)) {
                 // A failed compaction may have renamed the new snapshot
                 // into place without cutting over the log; continuing to
                 // acknowledge into the superseded log would lose those
@@ -451,6 +457,10 @@ impl DurableStore {
 
     /// Fail-stops the store, recording why (see the `wedged` field).
     fn wedge(&self, reason: String) {
+        obladi_obs::global().counter("daemon.wedges").inc();
+        // The reason string is unbounded, so it goes to the trace (typed
+        // event + the retained reason), not a metric name.
+        obladi_obs::trace::global().record("daemon.wedge", 0, 0);
         *self.wedge_reason.lock() = Some(reason);
         self.wedged.store(true, std::sync::atomic::Ordering::SeqCst);
     }

@@ -41,8 +41,17 @@ impl CrashRun {
 
     /// Verifies that every acknowledged write survived recovery and that no
     /// key whose writes were all unacknowledged has resurfaced with an
-    /// unacknowledged value.
+    /// unacknowledged value.  A violation dumps the process-wide obs report
+    /// so the failing sweep carries its own diagnosis.
     pub fn verify_durability(&self) -> std::result::Result<(), String> {
+        let result = self.verify_durability_inner();
+        if let Err(msg) = &result {
+            crate::dump_obs_report(&format!("crash point {}: {msg}", self.crash_point));
+        }
+        result
+    }
+
+    fn verify_durability_inner(&self) -> std::result::Result<(), String> {
         let expected = self.expected_state();
         for (key, value) in &expected {
             match read_with_retries(&self.db, *key, 20) {

@@ -52,3 +52,13 @@ pub use stats::{
     chi_square_critical, chi_square_uniform, is_plausibly_uniform, total_variation_distance,
 };
 pub use trace::{leaf_histogram_of, TraceRecorder};
+
+/// Dumps the process-wide observability report to stderr, labelled with the
+/// failing case.  The chaos harnesses call this the moment an invariant
+/// breaks, so a failing sweep ships its own diagnosis: phase timings,
+/// abort-cause counters and the trace tail of the epochs leading into the
+/// crash.
+pub fn dump_obs_report(context: &str) {
+    eprintln!("--- obs report at failure: {context} ---");
+    eprintln!("{}", obladi_obs::report());
+}

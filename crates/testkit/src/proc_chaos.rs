@@ -98,7 +98,10 @@ fn proc_kill_config(seed: u64) -> ShardConfig {
 
 /// Drives one process-kill case end to end (see the module docs).
 pub fn run_proc_kill_case(case: &ProcKillCase, seed: u64) -> Result<ProcKillReport> {
-    let violation = |msg: String| ObladiError::Internal(format!("[{}] {msg}", case.name));
+    let violation = |msg: String| {
+        crate::dump_obs_report(&case.name);
+        ObladiError::Internal(format!("[{}] {msg}", case.name))
+    };
     let db = ShardedDb::open(proc_kill_config(seed))?;
     let pair1 = cross_shard_pair(&db);
     let victim = if case.victim_second {

@@ -636,7 +636,10 @@ pub(crate) fn classify_hammered(
 /// recovery idempotence across both in-doubt epochs, serializability of the
 /// merged history, and full 2PC decision drain.
 pub fn run_overlap_crash_case(case: &OverlapCrashCase, seed: u64) -> Result<OverlapCrashReport> {
-    let violation = |msg: String| ObladiError::Internal(format!("[{}] {msg}", case.name));
+    let violation = |msg: String| {
+        crate::dump_obs_report(case.name);
+        ObladiError::Internal(format!("[{}] {msg}", case.name))
+    };
     let deployment = open_faulty_deployment(seed)?;
     let db = &deployment.db;
     let pair1 = cross_shard_pair(db);
@@ -727,7 +730,10 @@ pub fn run_overlap_crash_case(case: &OverlapCrashCase, seed: u64) -> Result<Over
 /// Drives one crash case end to end and checks every invariant (see the
 /// module docs).  Returns the observation report for extra assertions.
 pub fn run_shard_crash_case(case: &ShardCrashCase, seed: u64) -> Result<ShardCrashReport> {
-    let violation = |msg: String| ObladiError::Internal(format!("[{}] {msg}", case.name));
+    let violation = |msg: String| {
+        crate::dump_obs_report(case.name);
+        ObladiError::Internal(format!("[{}] {msg}", case.name))
+    };
     let deployment = open_faulty_deployment(seed)?;
     let db = &deployment.db;
     let pair = cross_shard_pair(db);

@@ -57,6 +57,10 @@ pub struct TransportStats {
     pub flushes: u64,
     /// Connections (re-)established, the first included.
     pub connects: u64,
+    /// Encoded frame bytes shipped to the daemon.
+    pub bytes_tx: u64,
+    /// Raw bytes received from the daemon.
+    pub bytes_rx: u64,
 }
 
 impl TransportStats {
@@ -70,6 +74,11 @@ impl TransportStats {
             self.requests as f64 / self.flushes as f64
         }
     }
+
+    /// Reconnects after the initial connection (kill/respawn survivals).
+    pub fn reconnects(&self) -> u64 {
+        self.connects.saturating_sub(1)
+    }
 }
 
 /// Bound on one socket connect attempt.  `live()` holds the connection
@@ -78,12 +87,44 @@ impl TransportStats {
 /// daemon — keep it well under the request timeout.
 const SOCKET_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
 
-#[derive(Default)]
+/// Raw transport counters plus handles into the process-wide metrics
+/// registry, resolved once per store so the hot paths never pay a
+/// registry lookup.
 struct Counters {
     requests: AtomicU64,
     responses: AtomicU64,
     flushes: AtomicU64,
     connects: AtomicU64,
+    bytes_tx: AtomicU64,
+    bytes_rx: AtomicU64,
+    obs_requests: obladi_obs::Counter,
+    obs_responses: obladi_obs::Counter,
+    obs_flushes: obladi_obs::Counter,
+    obs_connects: obladi_obs::Counter,
+    obs_bytes_tx: obladi_obs::Counter,
+    obs_bytes_rx: obladi_obs::Counter,
+    obs_batch_per_flush: obladi_obs::Histogram,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        let obs = obladi_obs::global();
+        Counters {
+            requests: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            connects: AtomicU64::new(0),
+            bytes_tx: AtomicU64::new(0),
+            bytes_rx: AtomicU64::new(0),
+            obs_requests: obs.counter("remote.requests"),
+            obs_responses: obs.counter("remote.responses"),
+            obs_flushes: obs.counter("remote.flushes"),
+            obs_connects: obs.counter("remote.connects"),
+            obs_bytes_tx: obs.counter("remote.bytes_tx"),
+            obs_bytes_rx: obs.counter("remote.bytes_rx"),
+            obs_batch_per_flush: obs.histogram("remote.batch_per_flush"),
+        }
+    }
 }
 
 type PendingMap = Mutex<HashMap<u64, mpsc::Sender<Result<StoreResponse>>>>;
@@ -168,6 +209,8 @@ impl RemoteStore {
             responses: self.counters.responses.load(Ordering::Relaxed),
             flushes: self.counters.flushes.load(Ordering::Relaxed),
             connects: self.counters.connects.load(Ordering::Relaxed),
+            bytes_tx: self.counters.bytes_tx.load(Ordering::Relaxed),
+            bytes_rx: self.counters.bytes_rx.load(Ordering::Relaxed),
         }
     }
 
@@ -238,8 +281,10 @@ impl RemoteStore {
                 while let Ok(first) = rx.recv() {
                     buf.clear();
                     encode_frame(&mut buf, &first);
+                    let mut drained = 1u64;
                     while let Some(next) = rx.try_recv() {
                         encode_frame(&mut buf, &next);
+                        drained += 1;
                     }
                     if write_half
                         .write_all(&buf)
@@ -251,6 +296,12 @@ impl RemoteStore {
                         return;
                     }
                     writer_counters.flushes.fetch_add(1, Ordering::Relaxed);
+                    writer_counters
+                        .bytes_tx
+                        .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                    writer_counters.obs_flushes.inc();
+                    writer_counters.obs_bytes_tx.add(buf.len() as u64);
+                    writer_counters.obs_batch_per_flush.record(drained);
                 }
                 // Sender dropped: connection is being torn down.
             })
@@ -274,6 +325,10 @@ impl RemoteStore {
                         Ok(n) => n,
                         Err(err) => break err.to_string(),
                     };
+                    reader_counters
+                        .bytes_rx
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    reader_counters.obs_bytes_rx.add(n as u64);
                     decoder.extend(&chunk[..n]);
                     loop {
                         match decoder.next_frame() {
@@ -281,6 +336,7 @@ impl RemoteStore {
                                 let waiter = reader_pending.lock().remove(&frame.id);
                                 if let Some(waiter) = waiter {
                                     reader_counters.responses.fetch_add(1, Ordering::Relaxed);
+                                    reader_counters.obs_responses.inc();
                                     let _ = waiter.send(
                                         StoreResponse::decode(&frame.payload)
                                             .and_then(StoreResponse::into_result),
@@ -302,6 +358,11 @@ impl RemoteStore {
             .map_err(|err| ObladiError::Storage(format!("spawn reader: {err}")))?;
 
         self.counters.connects.fetch_add(1, Ordering::Relaxed);
+        self.counters.obs_connects.inc();
+        if self.counters.connects.load(Ordering::Relaxed) > 1 {
+            obladi_obs::global().counter("remote.reconnects").inc();
+            obladi_obs::trace::global().record("remote.reconnect", 0, 0);
+        }
         Ok(Arc::new(LiveConn {
             tx,
             pending,
@@ -333,6 +394,7 @@ impl RemoteStore {
         let (tx, rx) = mpsc::channel();
         conn.pending.lock().insert(id, tx);
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters.obs_requests.inc();
         if conn.tx.send(frame).is_err() {
             conn.pending.lock().remove(&id);
             return Err(ObladiError::Storage(

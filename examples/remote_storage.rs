@@ -128,7 +128,31 @@ fn main() {
     }
     println!("all 8 committed values survived the kill -9");
 
-    // ---- 4. Clean shutdown: daemons exit on request. ----
+    // ---- 4. What the transport saw: the socket story in numbers. ----
+    // Every RemoteStore feeds the global metrics registry, so the whole
+    // kill/respawn episode is visible without plumbing stats by hand.
+    let snapshot = obladi::obs::global().snapshot();
+    println!("\ntransport counters across the episode:");
+    println!("  requests:   {}", snapshot.counter("remote.requests"));
+    println!("  responses:  {}", snapshot.counter("remote.responses"));
+    println!("  flushes:    {}", snapshot.counter("remote.flushes"));
+    println!("  reconnects: {}", snapshot.counter("remote.reconnects"));
+    println!("  bytes tx:   {}", snapshot.counter("remote.bytes_tx"));
+    println!("  bytes rx:   {}", snapshot.counter("remote.bytes_rx"));
+    if let Some(batch) = snapshot.histogram("remote.batch_per_flush") {
+        println!(
+            "  requests per flush: p50={} p99={} (pipelining depth the \
+             writer thread achieved)",
+            batch.p50(),
+            batch.p99()
+        );
+    }
+    assert!(
+        snapshot.counter("remote.reconnects") >= 1,
+        "the respawn must have shown up as a transport reconnect"
+    );
+
+    // ---- 5. Clean shutdown: daemons exit on request. ----
     db.shutdown();
     println!("deployment and daemons shut down cleanly");
 }

@@ -154,5 +154,44 @@ fn main() {
     assert_eq!(total, 800, "recovery must preserve every committed balance");
     println!("ledger still conserved at {total} after recovery");
 
+    // ---- 4. Observability: where did the time and the aborts go? ----
+    // Per-shard proxy statistics show the oblivious padding at work (every
+    // batch is padded to a fixed size regardless of load) …
+    let stats = db.stats();
+    println!("\nper-shard proxy statistics:");
+    for (shard, proxy) in stats.shards.iter().enumerate() {
+        println!(
+            "  shard {shard}: {} epochs, {} committed / {} aborted, \
+             {} real + {} padded read slots, {} real writes",
+            proxy.epochs,
+            proxy.committed,
+            proxy.aborted,
+            proxy.real_reads,
+            proxy.padded_reads,
+            proxy.real_writes
+        );
+    }
+    // … and the global metrics registry attributes milliseconds to pipeline
+    // phases and aborts to causes (`shard.{i}.abort.{cause}` counters).
+    let snapshot = obladi::obs::global().snapshot();
+    println!("pipeline phase timings (process-wide):");
+    for (name, h) in &snapshot.histograms {
+        if h.count > 0 && (name.starts_with("proxy.phase.") || name.starts_with("oram.split.")) {
+            println!(
+                "  {name}: n={} total={:.1}ms p50={}us p99={}us",
+                h.count,
+                h.sum as f64 / 1000.0,
+                h.p50(),
+                h.p99()
+            );
+        }
+    }
+    println!("abort causes:");
+    for (name, count) in &snapshot.counters {
+        if name.contains(".abort.") && *count > 0 {
+            println!("  {name}: {count}");
+        }
+    }
+
     db.shutdown();
 }

@@ -20,6 +20,7 @@
 //! | [`shard`] | sharded scale-out: N proxy+ORAM pipelines behind one front door |
 //! | [`transport`] | framed RPC to out-of-process storage + the `obladi-stored` daemon |
 //! | [`workloads`] | TPC-C, SmallBank, FreeHealth, YCSB and the load driver |
+//! | [`obs`] | zero-dependency metrics registry + epoch/txn span tracer |
 //!
 //! ## Quick start
 //!
@@ -50,6 +51,7 @@
 pub use obladi_common as common;
 pub use obladi_core as core;
 pub use obladi_crypto as crypto;
+pub use obladi_obs as obs;
 pub use obladi_oram as oram;
 pub use obladi_shard as shard;
 pub use obladi_storage as storage;
