@@ -493,6 +493,14 @@ pub struct ShardConfig {
     /// remains a single dedicated thread by design (its work is the ordered
     /// epoch decision, which does not fan out).
     pub executor_threads_per_shard: Vec<usize>,
+    /// Watchdog deadline for the cross-shard epoch barrier: a shard parked
+    /// at the rendezvous longer than this dumps barrier diagnostics to
+    /// stderr and converts the park into a typed, retryable
+    /// `BarrierStalled` error instead of hanging forever.  Generous by
+    /// default — it should only ever fire on a genuine liveness bug (a dead
+    /// shard that was never marked dead, a deadlocked prepare), never on a
+    /// merely slow epoch.
+    pub barrier_watchdog: Duration,
 }
 
 impl ShardConfig {
@@ -504,6 +512,7 @@ impl ShardConfig {
             shard: ObladiConfig::small_for_tests(objects_per_shard),
             storage: StorageBackend::InProcess,
             executor_threads_per_shard: Vec::new(),
+            barrier_watchdog: Duration::from_secs(15),
         }
     }
 
@@ -535,6 +544,13 @@ impl ShardConfig {
     /// [`ShardConfig::executor_threads_per_shard`]).
     pub fn with_executor_threads_per_shard(mut self, threads: Vec<usize>) -> Self {
         self.executor_threads_per_shard = threads;
+        self
+    }
+
+    /// Sets the cross-shard barrier watchdog deadline (see
+    /// [`ShardConfig::barrier_watchdog`]).
+    pub fn with_barrier_watchdog(mut self, deadline: Duration) -> Self {
+        self.barrier_watchdog = deadline;
         self
     }
 
@@ -570,6 +586,11 @@ impl ShardConfig {
                 self.shards
             )));
         }
+        if self.barrier_watchdog.is_zero() {
+            return Err(ObladiError::Config(
+                "barrier_watchdog must be non-zero".into(),
+            ));
+        }
         self.shard.validate()
     }
 }
@@ -581,6 +602,7 @@ impl Default for ShardConfig {
             shard: ObladiConfig::default(),
             storage: StorageBackend::InProcess,
             executor_threads_per_shard: Vec::new(),
+            barrier_watchdog: Duration::from_secs(30),
         }
     }
 }
@@ -656,6 +678,9 @@ mod tests {
         let mut bad = cfg.clone();
         bad.shards = 0;
         assert!(bad.validate().is_err());
+        let mut bad = cfg.clone();
+        bad.barrier_watchdog = Duration::ZERO;
+        assert!(bad.validate().is_err(), "zero watchdog must fail");
         ShardConfig::default().validate().unwrap();
     }
 

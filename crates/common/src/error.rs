@@ -52,6 +52,19 @@ pub enum ObladiError {
         /// if any.
         deciding_generation: Option<u64>,
     },
+    /// A shard waited at the cross-shard epoch barrier past the configured
+    /// watchdog deadline.  The park is converted into this typed, retryable
+    /// error (with barrier diagnostics dumped to stderr) instead of hanging
+    /// the client forever; like [`ObladiError::PipelineIncompatible`] it is
+    /// a *liveness* condition, not a data conflict.
+    BarrierStalled {
+        /// Shard that timed out waiting at the rendezvous.
+        shard: usize,
+        /// The global round the shard was waiting to decide.
+        round: u64,
+        /// How long the shard waited before giving up, in milliseconds.
+        waited_ms: u64,
+    },
     /// Recovery could not complete, e.g. because the write-ahead log is
     /// corrupt or the trusted counter disagrees with storage.
     Recovery(String),
@@ -86,6 +99,15 @@ impl fmt::Display for ObladiError {
                  deciding at rendezvous class {round_class} (executing generation \
                  {exec_generation}, deciding generation {deciding_generation:?})"
             ),
+            ObladiError::BarrierStalled {
+                shard,
+                round,
+                waited_ms,
+            } => write!(
+                f,
+                "epoch barrier stalled (liveness retry): shard {shard} waited {waited_ms} ms \
+                 for round {round} without the rendezvous completing"
+            ),
             ObladiError::Recovery(msg) => write!(f, "recovery failed: {msg}"),
             ObladiError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             ObladiError::Codec(msg) => write!(f, "encoding error: {msg}"),
@@ -106,6 +128,7 @@ impl ObladiError {
                 | ObladiError::BatchFull(_)
                 | ObladiError::ProxyUnavailable
                 | ObladiError::PipelineIncompatible { .. }
+                | ObladiError::BarrierStalled { .. }
         )
     }
 
@@ -113,7 +136,10 @@ impl ObladiError {
     /// deployment's pipeline phases were merely misaligned for this
     /// transaction's rendezvous.  Subset of [`ObladiError::is_retryable`].
     pub fn is_liveness_retry(&self) -> bool {
-        matches!(self, ObladiError::PipelineIncompatible { .. })
+        matches!(
+            self,
+            ObladiError::PipelineIncompatible { .. } | ObladiError::BarrierStalled { .. }
+        )
     }
 
     /// A stable, low-cardinality label for the variant, suitable as a
@@ -130,6 +156,7 @@ impl ObladiError {
             ObladiError::StashOverflow { .. } => "stash_overflow",
             ObladiError::ProxyUnavailable => "proxy_unavailable",
             ObladiError::PipelineIncompatible { .. } => "pipeline_incompatible",
+            ObladiError::BarrierStalled { .. } => "barrier_stalled",
             ObladiError::Recovery(_) => "recovery",
             ObladiError::Config(_) => "config",
             ObladiError::Codec(_) => "codec",
@@ -156,6 +183,13 @@ mod tests {
         assert!(ObladiError::TxnAborted("conflict".into()).is_retryable());
         assert!(ObladiError::BatchFull("read batch".into()).is_retryable());
         assert!(ObladiError::ProxyUnavailable.is_retryable());
+        let stalled = ObladiError::BarrierStalled {
+            shard: 0,
+            round: 7,
+            waited_ms: 1_500,
+        };
+        assert!(stalled.is_retryable());
+        assert!(stalled.is_liveness_retry());
         assert!(!ObladiError::KeyNotFound(3).is_retryable());
         assert!(!ObladiError::Integrity("bad mac".into()).is_retryable());
     }
@@ -175,6 +209,11 @@ mod tests {
                 round_class: 0,
                 exec_generation: 1,
                 deciding_generation: None,
+            },
+            ObladiError::BarrierStalled {
+                shard: 0,
+                round: 1,
+                waited_ms: 1,
             },
             ObladiError::Recovery("r".into()),
             ObladiError::Config("c".into()),

@@ -91,12 +91,19 @@ pub trait EpochGate: Send + Sync {
     /// about to permit on several shards.  Returns the set of transactions
     /// allowed to commit; every other commit-requested transaction aborts
     /// with a retryable reason.
+    ///
+    /// An `Err` — the barrier watchdog converting an indefinite park into
+    /// [`ObladiError::BarrierStalled`] — means the gate reached no decision
+    /// at all.  The proxy treats it as an *empty* permit set: every commit
+    /// candidate aborts retryably, the epoch finalises and the pipeline
+    /// keeps moving (the error is diagnostic, not fatal — it must not
+    /// fate-share into a crash).
     fn permit_commits(
         &self,
         epoch: EpochId,
         candidates: CandidateSource,
         preparer: TxnPreparer,
-    ) -> Vec<TxnId>;
+    ) -> Result<Vec<TxnId>>;
 
     /// Called after `epoch`'s outcomes have been published (durably when the
     /// epoch succeeded, as aborts when it failed).
@@ -217,6 +224,19 @@ struct DecidingEpoch {
     generation: u64,
     mvtso: MvtsoManager,
     active_txns: HashSet<TxnId>,
+    /// The *late-read batch*: keys deciding-epoch transactions asked to
+    /// read that missed the snapshot's version cache.  The executing
+    /// epoch's padded read batches carry them in their spare (padding)
+    /// slots — the ORAM still holds the pre-decision state the snapshot
+    /// read against, so a late fetch observes exactly what an in-epoch
+    /// fetch would have.  Swapping a real request into a slot that would
+    /// otherwise carry a dummy leaves the physical trace unchanged.
+    late_pending: Vec<Key>,
+    late_pending_set: HashSet<Key>,
+    late_in_flight: HashSet<Key>,
+    /// Late reads admitted so far (capacity enforcement: at most one
+    /// epoch's worth of reads may ride the next epoch's padding).
+    late_enqueued: usize,
     /// Set once the decision has been applied (the permit verdict folded in
     /// and the MVTSO finalized): from then on nothing can join the epoch.
     closed: bool,
@@ -708,32 +728,66 @@ impl ObladiTxn<'_> {
             if state.exec.generation != self.generation {
                 // A transaction that joined the *deciding* epoch (or was
                 // sealed into it) can still read values cached in that
-                // epoch's version chains; a miss cannot be fetched — the
-                // epoch's read batches are over — and aborts retryably,
-                // exactly as at the old stop-the-world barrier.  No
-                // `closed` check is needed to keep finalized-but-not-yet-
-                // durable values from leaking here: `finalize()` settles
-                // every transaction of the epoch, so once the decision has
-                // been applied this transaction is Aborted (or Committed)
-                // in the snapshot's MVTSO and `read` fails its
-                // `check_active` instead of returning a value.
-                if let Some(deciding) = state.deciding.as_mut() {
-                    if deciding.generation == self.generation {
-                        return match deciding.mvtso.read(self.id, key)? {
-                            ReadOutcome::Value { value, .. } => Ok(value),
+                // epoch's version chains.  A miss is routed through the
+                // epoch's late-read batch (the next epoch's padded batches
+                // carry it in their spare slots) while the decision is
+                // still open; once it has closed, or the batch is out of
+                // capacity, the read aborts retryably, exactly as at the
+                // old stop-the-world barrier.  No `closed` check is needed
+                // to keep finalized-but-not-yet-durable values from
+                // leaking here: `finalize()` settles every transaction of
+                // the epoch, so once the decision has been applied this
+                // transaction is Aborted (or Committed) in the snapshot's
+                // MVTSO and `read` fails its `check_active` instead of
+                // returning a value.
+                match state.deciding.as_mut() {
+                    Some(deciding) if deciding.generation == self.generation => {
+                        match deciding.mvtso.read(self.id, key)? {
+                            ReadOutcome::Value { value, .. } => return Ok(value),
                             ReadOutcome::NeedsFetch => {
-                                deciding.mvtso.abort(self.id, AbortReason::BatchFull);
-                                deciding.active_txns.remove(&self.id);
-                                self.finished = true;
-                                Err(ObladiError::BatchFull(format!(
-                                    "read of key {key} missed the cache of a deciding epoch"
-                                )))
+                                // Depth 1 keeps the strict barrier shape
+                                // (no batches run while an epoch decides),
+                                // so late reads exist only at depth >= 2.
+                                let config = &inner.config.epoch;
+                                let queued = deciding.late_pending_set.contains(&key)
+                                    || deciding.late_in_flight.contains(&key);
+                                let admissible = config.pipeline_depth >= 2
+                                    && !deciding.closed
+                                    && (queued
+                                        || deciding.late_enqueued < config.reads_per_epoch());
+                                if !admissible {
+                                    deciding.mvtso.abort(self.id, AbortReason::BatchFull);
+                                    deciding.active_txns.remove(&self.id);
+                                    self.finished = true;
+                                    obladi_obs::global()
+                                        .counter("proxy.late_read.declined")
+                                        .inc();
+                                    return Err(ObladiError::BatchFull(format!(
+                                        "read of key {key} missed the cache of a deciding epoch"
+                                    )));
+                                }
+                                if !queued {
+                                    deciding.late_pending.push(key);
+                                    deciding.late_pending_set.insert(key);
+                                    deciding.late_enqueued += 1;
+                                }
                             }
-                        };
+                        }
+                    }
+                    _ => {
+                        self.finished = true;
+                        return Err(ObladiError::TxnAborted(AbortReason::EpochEnd.to_string()));
                     }
                 }
-                self.finished = true;
-                return Err(ObladiError::TxnAborted(AbortReason::EpochEnd.to_string()));
+                // Enqueued (or already in flight): wake the executor —
+                // which may be parked in its hold-back loop — and wait for
+                // the fetched value to register, the decision to settle
+                // this transaction, or the slot to clear.
+                inner.driver_wakeup.notify_all();
+                inner
+                    .client_wakeup
+                    .wait_for(&mut state, Duration::from_secs(10));
+                continue;
             }
             match state.exec.mvtso.read(self.id, key)? {
                 ReadOutcome::Value { value, .. } => return Ok(value),
@@ -879,7 +933,15 @@ impl ObladiTxn<'_> {
         let mut state = inner.state.lock();
         self.finished = true;
         if state.exec.generation == self.generation {
-            state.exec.mvtso.request_commit(self.id)?;
+            let requested = state.exec.mvtso.request_commit(self.id);
+            if requested.is_err() {
+                // The client observes the failure as an error; the epoch's
+                // published outcome would never be collected, so drop the
+                // transaction from the active set now (outcomes are only
+                // published for still-active transactions).
+                state.exec.active_txns.remove(&self.id);
+            }
+            requested?;
         } else if let Some(deciding) = state.deciding.as_mut() {
             if deciding.generation == self.generation {
                 // The transaction's epoch has rolled out of execution but
@@ -1039,7 +1101,13 @@ fn epoch_executor(inner: Arc<ProxyInner>) {
             if batch_index + reserved >= read_batches {
                 let hold_started = Instant::now();
                 let mut state = inner.state.lock();
+                // The hold releases early when the deciding epoch has late
+                // reads queued: spending one of the reserved batches on
+                // them *is* the reservation's purpose — a deciding-epoch
+                // leg parked on an uncached key would otherwise wait out
+                // the entire gate rendezvous this very loop is parked on.
                 while state.deciding.is_some()
+                    && !late_reads_pending(&state)
                     && !inner.shutdown.load(Ordering::SeqCst)
                     && !inner.crashed.load(Ordering::SeqCst)
                 {
@@ -1103,6 +1171,10 @@ fn epoch_executor(inner: Arc<ProxyInner>) {
             generation: snapshot.generation,
             mvtso: snapshot.mvtso,
             active_txns: snapshot.active_txns,
+            late_pending: Vec::new(),
+            late_pending_set: HashSet::new(),
+            late_in_flight: HashSet::new(),
+            late_enqueued: 0,
             closed: false,
         });
         obladi_obs::global().gauge("proxy.pipeline.deciding").set(1);
@@ -1251,12 +1323,23 @@ fn crash_inner_guarded(inner: &Arc<ProxyInner>, life: Option<u64>) {
     }
 }
 
-/// Sleeps until the batch interval elapses or a full batch is queued.
+/// Whether the deciding epoch has late reads waiting for a batch's spare
+/// slots (only while the decision is still open — a closed epoch's queue
+/// is settled by its `finalize`, not by fetching).
+fn late_reads_pending(state: &ProxyState) -> bool {
+    state
+        .deciding
+        .as_ref()
+        .is_some_and(|deciding| !deciding.closed && !deciding.late_pending.is_empty())
+}
+
+/// Sleeps until the batch interval elapses, a full batch is queued, or the
+/// deciding epoch has late reads waiting to ride the batch's spare slots.
 fn wait_for_batch(inner: &Arc<ProxyInner>) {
     let interval = inner.config.epoch.batch_interval;
     let batch_size = inner.config.epoch.read_batch_size;
     let mut state = inner.state.lock();
-    if state.exec.pending_fetch.len() >= batch_size {
+    if state.exec.pending_fetch.len() >= batch_size || late_reads_pending(&state) {
         return;
     }
     inner.driver_wakeup.wait_for(&mut state, interval);
@@ -1267,7 +1350,7 @@ fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
     let batch_size = inner.config.epoch.read_batch_size;
     // Take up to `b_read` pending keys (deduplicated at enqueue time).
     let plan_started = Instant::now();
-    let (epoch, keys): (EpochId, Vec<Key>) = {
+    let (epoch, keys, late) = {
         let mut state = inner.state.lock();
         let take = state.exec.pending_fetch.len().min(batch_size);
         let keys: Vec<Key> = state.exec.pending_fetch.drain(..take).collect();
@@ -1275,8 +1358,29 @@ fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
             state.exec.pending_set.remove(key);
             state.exec.in_flight.insert(*key);
         }
+        // The batch's spare (padding) slots carry the deciding epoch's
+        // late reads.  The ORAM still holds the state that epoch read
+        // against (its write-back starts only after the decision), so a
+        // late fetch is indistinguishable from one the epoch issued in
+        // its own read phase — and a real request in a slot that would
+        // have carried a dummy leaves the physical trace unchanged.
+        let mut late: Option<(u64, Vec<Key>)> = None;
+        if let Some(deciding) = state.deciding.as_mut() {
+            if !deciding.closed && !deciding.late_pending.is_empty() {
+                let spare = batch_size - keys.len();
+                let take = deciding.late_pending.len().min(spare);
+                if take > 0 {
+                    let late_keys: Vec<Key> = deciding.late_pending.drain(..take).collect();
+                    for key in &late_keys {
+                        deciding.late_pending_set.remove(key);
+                        deciding.late_in_flight.insert(*key);
+                    }
+                    late = Some((deciding.generation, late_keys));
+                }
+            }
+        }
         state.exec.batches_issued += 1;
-        (state.exec.epoch, keys)
+        (state.exec.epoch, keys, late)
     };
     obs.histogram("proxy.phase.read_plan_us")
         .record_duration(plan_started.elapsed());
@@ -1290,8 +1394,12 @@ fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
 
     inner.durability.begin_read_batch();
 
-    // Pad the batch to its fixed size with dummy requests.
+    // Pad the batch to its fixed size with dummy requests; late reads of
+    // the deciding epoch ride what would otherwise be padding.
     let mut requests: Vec<Option<Key>> = keys.iter().copied().map(Some).collect();
+    if let Some((_, late_keys)) = &late {
+        requests.extend(late_keys.iter().copied().map(Some));
+    }
     requests.resize(batch_size, None);
 
     let values = {
@@ -1317,12 +1425,33 @@ fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
     }
 
     let ingest_started = Instant::now();
+    let mut values = values.into_iter();
+    let exec_values: Vec<Option<Value>> = values.by_ref().take(keys.len()).collect();
     let mut state = inner.state.lock();
     if state.exec.epoch == epoch {
-        for (key, value) in keys.iter().zip(values) {
+        for (key, value) in keys.iter().zip(exec_values) {
             state.exec.mvtso.register_base(*key, value);
             state.exec.in_flight.remove(key);
         }
+    }
+    if let Some((late_generation, late_keys)) = late {
+        let mut served = 0u64;
+        if let Some(deciding) = state.deciding.as_mut() {
+            if deciding.generation == late_generation {
+                for (key, value) in late_keys.iter().zip(values.take(late_keys.len())) {
+                    deciding.late_in_flight.remove(key);
+                    // A decision that closed while the fetch was in flight
+                    // already settled every reader; the value is stale
+                    // against nothing (the snapshot never changes), but
+                    // registering it would be pointless.
+                    if !deciding.closed {
+                        deciding.mvtso.register_base(*key, value);
+                        served += 1;
+                    }
+                }
+            }
+        }
+        obs.counter("proxy.late_read.served").add(served);
     }
     drop(state);
     obs.histogram("proxy.phase.read_ingest_us")
@@ -1395,8 +1524,23 @@ fn decide_epoch(inner: &Arc<ProxyInner>, epoch: EpochId, generation: u64) -> Res
             });
             let _span = tracer.span("proxy.gate_wait", epoch);
             let gate_timer = obs.histogram("proxy.phase.gate_wait_us");
-            let permits = gate_timer.time(|| gate.permit_commits(epoch, candidates, preparer));
-            Some(permits.into_iter().collect())
+            match gate_timer.time(|| gate.permit_commits(epoch, candidates, preparer)) {
+                Ok(permits) => Some(permits.into_iter().collect()),
+                Err(err) => {
+                    // The gate reached no decision (the barrier watchdog
+                    // fired).  Fate-sharing this into a crash would turn a
+                    // liveness hiccup into lost volatile state on a healthy
+                    // shard; instead the verdict is an empty permit set —
+                    // every candidate aborts retryably, the epoch finalises
+                    // and the pipeline keeps moving.
+                    obs.counter("proxy.gate.stalled").inc();
+                    eprintln!(
+                        "obladi: epoch gate failed for epoch {epoch} \
+                         (generation {generation}), aborting its candidates: {err}"
+                    );
+                    Some(HashSet::new())
+                }
+            }
         }
     };
 
@@ -1440,11 +1584,23 @@ fn decide_epoch(inner: &Arc<ProxyInner>, epoch: EpochId, generation: u64) -> Res
         deciding.closed = true;
         let writes = deciding.mvtso.committed_tail_writes();
 
+        // Outcomes are published only for transactions still in the
+        // epoch's active set: a transaction that already surfaced its
+        // abort to the client as an error (and was dropped from the set)
+        // has no one left to collect the outcome, and the entry would
+        // leak in the outcomes map forever.  (The crash path makes the
+        // same choice.)  Every committed transaction is necessarily still
+        // active — an error-aborted one can never reach `Committed`.
         let mut outcomes: Vec<(TxnId, TxnOutcome)> = Vec::new();
         for txn in &committed {
-            outcomes.push((*txn, TxnOutcome::Committed));
+            if deciding.active_txns.contains(txn) {
+                outcomes.push((*txn, TxnOutcome::Committed));
+            }
         }
         for txn in &aborted {
+            if !deciding.active_txns.contains(txn) {
+                continue;
+            }
             let reason = match deciding.mvtso.status(*txn) {
                 Some(TxnStatus::Aborted(reason)) => reason,
                 _ => AbortReason::EpochEnd,

@@ -65,12 +65,13 @@
 //! be cascade-aborted locally after the vote, so the coordinator denies it
 //! on every shard up front.
 
+use obladi_common::error::{ObladiError, Result};
 use obladi_common::types::{EpochId, TxnId};
 use obladi_core::{CandidateSource, CommitCandidate, EpochGate, TxnPreparer};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What the coordinator knows about a transaction's fate (presumed abort:
 /// only commit decisions are recorded).
@@ -157,9 +158,20 @@ impl CoordState {
 pub struct EpochCoordinator {
     state: Mutex<CoordState>,
     changed: Condvar,
+    /// Bounded-wait watchdog for the rendezvous: a shard parked in
+    /// [`EpochCoordinator::arrive`] past this deadline dumps barrier
+    /// diagnostics to stderr and returns a typed, retryable
+    /// [`ObladiError::BarrierStalled`] instead of hanging forever.
+    watchdog: Duration,
 }
 
 impl EpochCoordinator {
+    /// Default rendezvous watchdog: far beyond any healthy epoch (epochs
+    /// run in milliseconds), so it only ever fires on a genuine liveness
+    /// bug — a shard that died without being marked dead, a deadlocked
+    /// prepare.
+    pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
+
     /// Creates a coordinator for `shards` shards, all initially live.
     pub fn new(shards: usize) -> Self {
         EpochCoordinator {
@@ -178,7 +190,16 @@ impl EpochCoordinator {
                 shutdown: false,
             }),
             changed: Condvar::new(),
+            watchdog: Self::DEFAULT_WATCHDOG,
         }
+    }
+
+    /// Overrides the rendezvous watchdog deadline (tests use short ones to
+    /// reproduce the stalled-barrier shape deterministically; deployments
+    /// plumb `ShardConfig::barrier_watchdog` through here).
+    pub fn with_watchdog(mut self, deadline: Duration) -> Self {
+        self.watchdog = deadline;
+        self
     }
 
     /// Number of completed global epochs.
@@ -316,19 +337,29 @@ impl EpochCoordinator {
     /// marked dead gets an *empty* permit set: its crash is imminent, and
     /// committing locally after the deployment has already excluded its
     /// votes could make half of a cross-shard transaction durable.
+    ///
+    /// A shard parked here past the watchdog deadline withdraws its
+    /// arrival, dumps the barrier state and `obs::report()` to stderr and
+    /// returns [`ObladiError::BarrierStalled`] — a typed, retryable
+    /// liveness error.  Withdrawing the arrival matters: a rendezvous that
+    /// completes later must not sample the departed shard's stale
+    /// candidate closure.  The shard's epoch finalises with an empty
+    /// permit set (its candidates abort retryably) and it re-arrives for
+    /// the same round at its next epoch, so a transient stall heals on its
+    /// own.
     pub fn arrive(
         &self,
         shard: usize,
         candidates: CandidateSource,
         preparer: TxnPreparer,
-    ) -> Vec<TxnId> {
+    ) -> Result<Vec<TxnId>> {
         let mut state = self.state.lock();
         if state.shutdown {
             drop(state);
-            return candidates().into_iter().map(|c| c.txn).collect();
+            return Ok(candidates().into_iter().map(|c| c.txn).collect());
         }
         if !state.live[shard] {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         state.arrivals.insert(
             shard,
@@ -338,6 +369,8 @@ impl EpochCoordinator {
             },
         );
         let target = state.round + 1;
+        let arrived_at = Instant::now();
+        let deadline = arrived_at + self.watchdog;
 
         // Wait until this round is decided; the last arriver (or a waiter
         // woken by a liveness change that completed the barrier) performs
@@ -391,7 +424,11 @@ impl EpochCoordinator {
                 self.changed.notify_all();
                 continue;
             }
-            self.changed.wait(&mut state);
+            let now = Instant::now();
+            if now >= deadline {
+                return self.watchdog_fire(state, shard, target, arrived_at);
+            }
+            self.changed.wait_for(&mut state, deadline - now);
         }
 
         if state.round < target {
@@ -399,11 +436,53 @@ impl EpochCoordinator {
             // shard itself was marked dead mid-wait.
             if state.shutdown {
                 drop(state);
-                return candidates().into_iter().map(|c| c.txn).collect();
+                return Ok(candidates().into_iter().map(|c| c.txn).collect());
             }
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        state.permits.remove(&shard).unwrap_or_default()
+        Ok(state.permits.remove(&shard).unwrap_or_default())
+    }
+
+    /// The watchdog path of [`EpochCoordinator::arrive`]: withdraw the
+    /// shard's arrival, dump barrier diagnostics to stderr and surface the
+    /// park as a typed, retryable error.
+    fn watchdog_fire(
+        &self,
+        mut state: MutexGuard<'_, CoordState>,
+        shard: usize,
+        target: u64,
+        arrived_at: Instant,
+    ) -> Result<Vec<TxnId>> {
+        state.arrivals.remove(&shard);
+        let waited = arrived_at.elapsed();
+        let round = state.round;
+        let deciding_round = state.deciding_round;
+        let live: Vec<usize> = (0..state.live.len()).filter(|&s| state.live[s]).collect();
+        let mut arrived: Vec<usize> = state.arrivals.keys().copied().collect();
+        arrived.sort_unstable();
+        let missing: Vec<usize> = live
+            .iter()
+            .copied()
+            .filter(|s| *s != shard && !state.arrivals.contains_key(s))
+            .collect();
+        drop(state);
+        // A withdrawn arrival can change what the barrier is waiting for;
+        // make sure everyone re-evaluates.
+        self.changed.notify_all();
+        obladi_obs::global()
+            .counter("shard.coordinator.watchdog_fired")
+            .inc();
+        eprintln!(
+            "obladi: epoch-barrier watchdog fired: shard {shard} waited {waited:?} for round \
+             {target} (completed rounds {round}, deciding round {deciding_round:?}, live shards \
+             {live:?}, arrived {arrived:?}, missing {missing:?})"
+        );
+        eprintln!("{}", obladi_obs::report());
+        Err(ObladiError::BarrierStalled {
+            shard,
+            round: target,
+            waited_ms: waited.as_millis() as u64,
+        })
     }
 
     /// Samples every arrived shard's candidates and computes the tentative
@@ -668,7 +747,7 @@ impl EpochGate for ShardGate {
         _epoch: EpochId,
         candidates: CandidateSource,
         preparer: TxnPreparer,
-    ) -> Vec<TxnId> {
+    ) -> Result<Vec<TxnId>> {
         self.coordinator.arrive(self.shard, candidates, preparer)
     }
 
@@ -751,7 +830,9 @@ mod tests {
         let coordinator = EpochCoordinator::new(1);
         coordinator.register_participant(5, 0);
         assert_eq!(
-            coordinator.arrive(0, source(vec![5, 6]), prepare_ok()),
+            coordinator
+                .arrive(0, source(vec![5, 6]), prepare_ok())
+                .unwrap(),
             vec![5, 6]
         );
         assert_eq!(coordinator.global_epoch(), 1);
@@ -767,8 +848,10 @@ mod tests {
         coordinator.register_participant(11, 1);
 
         let c = coordinator.clone();
-        let other = thread::spawn(move || c.arrive(1, source(vec![11]), prepare_ok()));
-        let permits0 = coordinator.arrive(0, source(vec![10]), prepare_ok());
+        let other = thread::spawn(move || c.arrive(1, source(vec![11]), prepare_ok()).unwrap());
+        let permits0 = coordinator
+            .arrive(0, source(vec![10]), prepare_ok())
+            .unwrap();
         let permits1 = other.join().unwrap();
         assert!(
             permits0.is_empty(),
@@ -791,8 +874,13 @@ mod tests {
         let prepared = Arc::new(AtomicU64::new(0));
         let c = coordinator.clone();
         let counter = prepared.clone();
-        let other = thread::spawn(move || c.arrive(1, source(vec![7]), prepare_counting(counter)));
-        let permits0 = coordinator.arrive(0, source(vec![7]), prepare_counting(prepared.clone()));
+        let other = thread::spawn(move || {
+            c.arrive(1, source(vec![7]), prepare_counting(counter))
+                .unwrap()
+        });
+        let permits0 = coordinator
+            .arrive(0, source(vec![7]), prepare_counting(prepared.clone()))
+            .unwrap();
         let permits1 = other.join().unwrap();
         assert_eq!(permits0, vec![7]);
         assert_eq!(permits1, vec![7]);
@@ -830,8 +918,10 @@ mod tests {
         // Shard 1's WAL refuses the prepare append: the transaction must be
         // denied on both shards and no decision recorded.
         let c = coordinator.clone();
-        let other = thread::spawn(move || c.arrive(1, source(vec![21]), prepare_fail()));
-        let permits0 = coordinator.arrive(0, source(vec![21]), prepare_ok());
+        let other = thread::spawn(move || c.arrive(1, source(vec![21]), prepare_fail()).unwrap());
+        let permits0 = coordinator
+            .arrive(0, source(vec![21]), prepare_ok())
+            .unwrap();
         let permits1 = other.join().unwrap();
         assert!(permits0.is_empty(), "{permits0:?}");
         assert!(permits1.is_empty(), "{permits1:?}");
@@ -858,12 +948,15 @@ mod tests {
                 dep_source(vec![(32, vec![]), (33, vec![])]),
                 prepare_ok(),
             )
+            .unwrap()
         });
-        let permits0 = coordinator.arrive(
-            0,
-            dep_source(vec![(31, vec![]), (32, vec![31])]),
-            prepare_ok(),
-        );
+        let permits0 = coordinator
+            .arrive(
+                0,
+                dep_source(vec![(31, vec![]), (32, vec![31])]),
+                prepare_ok(),
+            )
+            .unwrap();
         let permits1 = other.join().unwrap();
         assert!(
             !permits0.contains(&31) && !permits1.contains(&31),
@@ -896,14 +989,16 @@ mod tests {
         });
 
         let c = coordinator.clone();
-        let early = thread::spawn(move || c.arrive(0, live_source, prepare_ok()));
+        let early = thread::spawn(move || c.arrive(0, live_source, prepare_ok()).unwrap());
         thread::sleep(Duration::from_millis(20));
         // The burst: request on both shards inside an intake window.
         {
             let _intake = coordinator.begin_commit_intake();
             requested.store(true, std::sync::atomic::Ordering::SeqCst);
         }
-        let permits1 = coordinator.arrive(1, source(vec![42]), prepare_ok());
+        let permits1 = coordinator
+            .arrive(1, source(vec![42]), prepare_ok())
+            .unwrap();
         let permits0 = early.join().unwrap();
         assert_eq!(permits0, vec![42], "decision must use a fresh sample");
         assert_eq!(permits1, vec![42]);
@@ -930,11 +1025,15 @@ mod tests {
 
         let decision_started = std::time::Instant::now();
         let c = coordinator.clone();
-        let other =
-            thread::spawn(move || c.arrive(1, source(vec![5]), prepare_slow(prepare_delay)));
+        let other = thread::spawn(move || {
+            c.arrive(1, source(vec![5]), prepare_slow(prepare_delay))
+                .unwrap()
+        });
         let c = coordinator.clone();
-        let decider =
-            thread::spawn(move || c.arrive(0, source(vec![5]), prepare_slow(prepare_delay)));
+        let decider = thread::spawn(move || {
+            c.arrive(0, source(vec![5]), prepare_slow(prepare_delay))
+                .unwrap()
+        });
 
         // Wait for the decision slot to be taken (sampling is in-memory and
         // quick; the rest of the slot's lifetime is the prepare I/O).
@@ -983,7 +1082,9 @@ mod tests {
         coordinator.set_live(1, false);
         // Shard 1 never arrives, yet the round completes; txn 9 touched the
         // dead shard and must not be permitted.
-        let permits = coordinator.arrive(0, source(vec![9]), prepare_ok());
+        let permits = coordinator
+            .arrive(0, source(vec![9]), prepare_ok())
+            .unwrap();
         assert!(permits.is_empty());
         assert_eq!(coordinator.global_epoch(), 1);
     }
@@ -992,7 +1093,7 @@ mod tests {
     fn marking_a_shard_dead_releases_a_blocked_round() {
         let coordinator = Arc::new(EpochCoordinator::new(2));
         let c = coordinator.clone();
-        let waiter = thread::spawn(move || c.arrive(0, source(vec![1]), prepare_ok()));
+        let waiter = thread::spawn(move || c.arrive(0, source(vec![1]), prepare_ok()).unwrap());
         // Let the waiter block, then kill the missing shard.
         thread::sleep(Duration::from_millis(20));
         coordinator.set_live(1, false);
@@ -1004,7 +1105,7 @@ mod tests {
     fn shutdown_releases_waiters_with_passthrough() {
         let coordinator = Arc::new(EpochCoordinator::new(2));
         let c = coordinator.clone();
-        let waiter = thread::spawn(move || c.arrive(0, source(vec![3]), prepare_ok()));
+        let waiter = thread::spawn(move || c.arrive(0, source(vec![3]), prepare_ok()).unwrap());
         thread::sleep(Duration::from_millis(20));
         coordinator.shutdown();
         assert_eq!(waiter.join().unwrap(), vec![3]);
@@ -1025,10 +1126,61 @@ mod tests {
         let coordinator = Arc::new(EpochCoordinator::new(2));
         for round in 1..=3u64 {
             let c = coordinator.clone();
-            let other = thread::spawn(move || c.arrive(1, source(vec![]), prepare_ok()));
-            coordinator.arrive(0, source(vec![]), prepare_ok());
+            let other = thread::spawn(move || c.arrive(1, source(vec![]), prepare_ok()).unwrap());
+            coordinator.arrive(0, source(vec![]), prepare_ok()).unwrap();
             other.join().unwrap();
             assert_eq!(coordinator.global_epoch(), round);
         }
+    }
+
+    #[test]
+    fn watchdog_converts_indefinite_park_into_typed_retryable_error() {
+        let coordinator =
+            Arc::new(EpochCoordinator::new(2).with_watchdog(Duration::from_millis(100)));
+        // Shard 1 never arrives: the park must end with a typed liveness
+        // error instead of hanging the caller forever.
+        let err = coordinator
+            .arrive(0, source(vec![5]), prepare_ok())
+            .expect_err("watchdog should fire while shard 1 is missing");
+        match &err {
+            ObladiError::BarrierStalled {
+                shard,
+                round,
+                waited_ms,
+            } => {
+                assert_eq!(*shard, 0);
+                assert_eq!(*round, 1, "the stalled shard was waiting on round 1");
+                assert!(*waited_ms >= 100, "waited {waited_ms} ms");
+            }
+            other => panic!("expected BarrierStalled, got {other:?}"),
+        }
+        assert!(err.is_retryable());
+        assert!(err.is_liveness_retry());
+        // The round never completed: the global epoch counter is untouched.
+        assert_eq!(coordinator.global_epoch(), 0);
+    }
+
+    #[test]
+    fn watchdog_withdraws_the_arrival_so_a_later_round_can_complete() {
+        let coordinator =
+            Arc::new(EpochCoordinator::new(2).with_watchdog(Duration::from_millis(80)));
+        coordinator
+            .arrive(0, source(vec![8]), prepare_ok())
+            .expect_err("first attempt must stall");
+        // Had the stale arrival (and its captured candidate source) been left
+        // behind, the re-arrival below would either deadlock on the occupied
+        // slot or decide round 1 against a closure from the abandoned call.
+        let c = coordinator.clone();
+        let other = thread::spawn(move || c.arrive(1, source(vec![]), prepare_ok()).unwrap());
+        let permits = coordinator
+            .arrive(0, source(vec![8]), prepare_ok())
+            .unwrap();
+        other.join().unwrap();
+        assert_eq!(
+            permits,
+            vec![8],
+            "re-arrival decides the same round cleanly"
+        );
+        assert_eq!(coordinator.global_epoch(), 1);
     }
 }

@@ -149,7 +149,8 @@ impl ShardedDb {
         }
         let keys = KeyMaterial::for_tests(config.shard.seed);
         let router = ShardRouter::new(&keys, config.shards);
-        let coordinator = Arc::new(EpochCoordinator::new(config.shards));
+        let coordinator =
+            Arc::new(EpochCoordinator::new(config.shards).with_watchdog(config.barrier_watchdog));
         let mut shards = Vec::with_capacity(config.shards);
         for (index, store) in stores.into_iter().enumerate() {
             let shard_config = config.shard_config(index);
@@ -226,11 +227,10 @@ impl ShardedDb {
         let (id, targets) = self.stamp();
         Ok(ShardedTxn {
             db: self,
-            id,
             targets,
-            round_class: None,
-            subs: (0..self.shards.len()).map(|_| None).collect(),
-            leg_ops: vec![0; self.shards.len()],
+            primary: LegPlan::new(id, self.shards.len()),
+            oplog: Vec::new(),
+            rebuilds: 0,
             finished: false,
         })
     }
@@ -400,6 +400,108 @@ impl KvDatabase for ShardedDb {
     }
 }
 
+/// One candidate *epoch-set* for a transaction: a global timestamp plus the
+/// per-shard legs opened against the epochs that decide at one rendezvous
+/// class.
+///
+/// A [`ShardedTxn`] drives one plan at a time.  When the live plan's
+/// epoch-set is contradicted mid-flight — a rendezvous one of its legs
+/// cannot join, a stale target generation, a declined late read, a lost
+/// commit vote — the transaction builds a *twin* plan under a fresh
+/// timestamp against freshly sampled generations and replays its operation
+/// log onto it, promoting the twin only if every replayed read observes
+/// exactly what the client already saw.  The contradicted epoch-set is
+/// *discarded* — rolled back and forgotten — rather than surfaced to the
+/// client as an abort.
+struct LegPlan<'db> {
+    /// The plan's own global MVTSO timestamp.
+    id: TxnId,
+    /// Which rendezvous the plan's legs decide at (see
+    /// [`select_leg_target`]); `None` until the first leg fixes it.
+    class: Option<u8>,
+    subs: Vec<Option<ObladiTxn<'db>>>,
+    /// Successful operations across all legs; while zero the plan is
+    /// *virgin* and the transaction may be restarted from scratch.
+    ops: u32,
+}
+
+impl<'db> LegPlan<'db> {
+    fn new(id: TxnId, shards: usize) -> LegPlan<'db> {
+        LegPlan {
+            id,
+            class: None,
+            subs: (0..shards).map(|_| None).collect(),
+            ops: 0,
+        }
+    }
+
+    /// A plan whose round class is pinned up front instead of chosen by
+    /// its first operation — used for twin rebuilds, which know the whole
+    /// shard footprint in advance and need the class that composes with
+    /// every shard.
+    fn pinned(id: TxnId, class: u8, shards: usize) -> LegPlan<'db> {
+        LegPlan {
+            id,
+            class: Some(class),
+            subs: (0..shards).map(|_| None).collect(),
+            ops: 0,
+        }
+    }
+
+    /// Returns the plan's leg on `shard`, opening it against the right
+    /// target generation if this is the first touch.
+    ///
+    /// The first leg fixes which rendezvous the plan decides at (its
+    /// *round class*); later legs must pick whichever of their shard's
+    /// target epochs decides at the same rendezvous.  Class 0 composes
+    /// with every shard and is chosen whenever the first operation
+    /// tolerates it: a write works fine in a deciding epoch, while a read
+    /// wants the executing epoch's full fetch power — worth paying class 1
+    /// (and its rendezvous mismatches) for.
+    fn leg(
+        &mut self,
+        db: &'db ShardedDb,
+        targets: &[(u64, Option<u64>)],
+        shard: usize,
+        for_write: bool,
+    ) -> Result<&mut ObladiTxn<'db>> {
+        if self.subs[shard].is_none() {
+            let (exec_gen, deciding_gen) = targets[shard];
+            let class = *self
+                .class
+                .get_or_insert(u8::from(deciding_gen.is_some() && !for_write));
+            let target = select_leg_target(shard, class, exec_gen, deciding_gen)?;
+            // The generation check runs inside the shard's own state lock,
+            // atomically with its epoch rollover: a leg can never open in a
+            // later epoch than its timestamp was sampled against, and no
+            // coordinator rendezvous is consulted — opening a leg does not
+            // block on an in-flight epoch decision.
+            let sub = db.shards[shard].begin_at_generation(self.id, target)?;
+            db.coordinator.register_participant(self.id, shard);
+            self.subs[shard] = Some(sub);
+        }
+        Ok(self.subs[shard].as_mut().expect("leg just installed"))
+    }
+
+    /// Rolls back every opened leg of this plan.
+    fn rollback_legs(&mut self) {
+        for sub in &mut self.subs {
+            if let Some(sub) = sub.take() {
+                sub.rollback();
+            }
+        }
+    }
+}
+
+/// One client-visible operation, recorded so a twin epoch-set can replay
+/// the transaction and prove it observes the same history.
+enum LoggedOp {
+    /// A read and the value the client saw.
+    Read(Key, Option<Value>),
+    /// A write and the value it installed.
+    Write(Key, Value),
+}
+
 /// A transaction spanning one or more shards of a [`ShardedDb`].
 ///
 /// # Timestamps and shard epochs
@@ -414,76 +516,178 @@ impl KvDatabase for ShardedDb {
 /// blocks on the (pipelined) epoch rendezvous.  A transaction that has not
 /// yet completed any operation is transparently re-stamped and retried when
 /// it trips that check (or any other retryable abort); one that has already
-/// observed or written data aborts and must be retried by the client.
+/// observed or written data rebuilds a twin epoch-set instead (below), and
+/// only aborts to the client when the twin cannot reproduce its history.
+///
+/// # Dual-epoch legs
+///
+/// The first operation fixes the live plan's round class adaptively: a
+/// read starting on a sealed shard takes class 1 (the shard's *executing*
+/// epoch — full fetch power), everything else takes class 0 (sealed shards
+/// contribute their deciding epochs, unsealed ones their executing epochs,
+/// so the class composes with every shard).  Either way the plan places a
+/// rendezvous bet the rest of the transaction can contradict: a class-1
+/// leg cannot open on an unsealed shard
+/// ([`ObladiError::PipelineIncompatible`]), while a class-0 leg in a
+/// deciding epoch races that epoch's decision, its reads riding the
+/// proxy's per-epoch late-read batch, which can *decline* once the spare
+/// batch capacity runs out.  A contradicted bet no longer aborts the
+/// client: the transaction re-stamps against freshly sampled generations
+/// and replays its operation log onto a *twin* epoch-set — writes verbatim
+/// and reads speculatively, each replayed read checked against the value
+/// the client already observed.  If the whole log replays identically the
+/// twin is promoted and the contradicted epoch-set is discarded; a
+/// divergent read means the observed history is no longer reproducible,
+/// and only then does the abort surface.
 pub struct ShardedTxn<'db> {
     db: &'db ShardedDb,
-    id: TxnId,
-    /// Per-shard target epochs sampled when `id` was drawn: the executing
-    /// generation plus the open deciding generation, if any.  A leg may
-    /// only open while its shard still hosts the chosen epoch.
+    /// Per-shard target epochs sampled when the live plan's timestamp was
+    /// drawn: the executing generation plus the open deciding generation,
+    /// if any.  A leg may only open while its shard still hosts the chosen
+    /// epoch.
     targets: Vec<(u64, Option<u64>)>,
-    /// Which rendezvous the transaction's legs decide at, fixed by the
-    /// first leg: `0` = the shards' next rendezvous (unsealed shards'
-    /// executing epochs and sealed shards' deciding epochs), `1` = the one
-    /// after (sealed shards' executing epochs).  All legs must share one
-    /// class or the unanimity vote would be split across two rendezvous and
-    /// could never pass.
-    round_class: Option<u8>,
-    subs: Vec<Option<ObladiTxn<'db>>>,
-    /// Successful operations per shard leg; while all are zero the
-    /// transaction may be transparently re-stamped after a retryable abort.
-    leg_ops: Vec<u32>,
+    /// The live epoch-set, the one [`ShardedTxn::commit`] drives; replaced
+    /// wholesale when a twin is promoted.
+    primary: LegPlan<'db>,
+    /// Every operation the client has completed, in order, with the values
+    /// it observed — the replay script for twin rebuilds.
+    oplog: Vec<LoggedOp>,
+    /// Twin rebuilds consumed (bounded per transaction).
+    rebuilds: u32,
     finished: bool,
 }
 
 impl<'db> ShardedTxn<'db> {
     /// The transaction's global MVTSO timestamp.
     ///
-    /// Stable once the transaction has completed its first operation; a
-    /// still-virgin transaction may be transparently re-stamped (see the
-    /// type-level docs), so record-keeping harnesses should sample the id
-    /// after the first successful read or write.
+    /// Stable once the transaction has completed its first operation *and*
+    /// kept its live epoch-set: a still-virgin transaction may be
+    /// transparently re-stamped, and a promoted twin plan carries its own
+    /// timestamp — so record-keeping harnesses should sample the id after
+    /// the transaction's outcome is known.
     pub fn id(&self) -> TxnId {
-        self.id
+        self.primary.id
     }
 
     /// The shards this transaction has touched so far.
     pub fn touched_shards(&self) -> Vec<usize> {
-        self.subs
+        self.primary
+            .subs
             .iter()
             .enumerate()
             .filter_map(|(index, sub)| sub.as_ref().map(|_| index))
             .collect()
     }
 
-    fn leg(&mut self, shard: usize, for_write: bool) -> Result<&mut ObladiTxn<'db>> {
-        if self.subs[shard].is_none() {
-            let (exec_gen, deciding_gen) = self.targets[shard];
-            // The first leg fixes which rendezvous the transaction decides
-            // at (its *round class*); later legs must pick whichever of
-            // their shard's target epochs decides at the same rendezvous —
-            // a sealed shard's deciding epoch for class 0 (reduced powers:
-            // cached reads and unfetched-key writes only), or its executing
-            // epoch for class 1.  An unsealed shard offers no class-1
-            // epoch, so class 0 composes with *every* shard and is chosen
-            // whenever the first operation tolerates it: a write works fine
-            // in a deciding epoch, while a read needs the executing epoch's
-            // fetch power — the only case worth paying class 1 (and its
-            // retryable mismatches) for.
-            let class = *self
-                .round_class
-                .get_or_insert(u8::from(deciding_gen.is_some() && !for_write));
-            let target = select_leg_target(shard, class, exec_gen, deciding_gen)?;
-            // The generation check runs inside the shard's own state lock,
-            // atomically with its epoch rollover: a leg can never open in a
-            // later epoch than its timestamp was sampled against, and no
-            // coordinator rendezvous is consulted — opening a leg does not
-            // block on an in-flight epoch decision.
-            let sub = self.db.shards[shard].begin_at_generation(self.id, target)?;
-            self.db.coordinator.register_participant(self.id, shard);
-            self.subs[shard] = Some(sub);
+    fn primary_leg(&mut self, shard: usize, for_write: bool) -> Result<&mut ObladiTxn<'db>> {
+        self.primary.leg(self.db, &self.targets, shard, for_write)
+    }
+
+    /// Maximum twin rebuilds per transaction: each rebuild replays the
+    /// whole operation log, so the budget bounds the amplification a
+    /// pathologically unlucky transaction can inflict on the read batches.
+    const TWIN_REBUILDS: u32 = 3;
+
+    /// Rebuilds the transaction as a *twin* epoch-set and promotes it.
+    ///
+    /// The twin is a distinct transaction as far as MVTSO and the
+    /// coordinator are concerned: a fresh timestamp drawn against freshly
+    /// sampled shard generations (sampling before drawing preserves the
+    /// [`ShardedDb::stamp`] ordering argument), with its round class
+    /// chosen against the transaction's known shard footprint.  The operation
+    /// log is replayed onto it — writes verbatim, reads speculatively, each
+    /// replayed read compared against the value the client already
+    /// observed.  Promotion happens only on *proven equivalence*: if every
+    /// replayed operation succeeds and every read matches, the twin *is*
+    /// the same transaction at a different serialization point, so it
+    /// replaces the contradicted primary epoch-set.  Any replay failure
+    /// discards the twin and leaves the primary untouched for the caller
+    /// to abort.
+    fn rebuild_twin(&mut self, pending_shard: Option<usize>) -> Result<()> {
+        let (id, targets) = self.db.stamp();
+        // Unlike a first operation, the rebuild knows the transaction's
+        // whole shard footprint, so the round class is picked against the
+        // freshly sampled generations of exactly the shards the replay
+        // will touch — the logged operations plus the shard of the
+        // operation whose failure triggered the rebuild (that one is not
+        // in the log yet, and ignoring it would re-trip the very
+        // contradiction being escaped): if every one of them is sealed,
+        // class 1 gives the twin full-power executing-epoch reads and a
+        // target that stays valid until the rendezvous after next; if any
+        // is unsealed, only class 0 composes, its deciding-epoch reads
+        // riding the late-read batch.
+        let all_sealed = self
+            .oplog
+            .iter()
+            .map(|logged| match logged {
+                LoggedOp::Read(key, _) | LoggedOp::Write(key, _) => self.db.router.route(*key),
+            })
+            .chain(pending_shard)
+            .all(|shard| targets[shard].1.is_some());
+        let class = u8::from(all_sealed);
+        let mut twin = LegPlan::pinned(id, class, self.db.shards.len());
+        obladi_obs::global().counter("shard.twin.rebuilt").inc();
+        let mut replay_error: Option<(&'static str, ObladiError)> = None;
+        for logged in &self.oplog {
+            let result = match logged {
+                LoggedOp::Read(key, observed) => {
+                    let shard = self.db.router.route(*key);
+                    match twin
+                        .leg(self.db, &targets, shard, false)
+                        .and_then(|leg| leg.read(*key))
+                    {
+                        Ok(value) if value == *observed => Ok(()),
+                        Ok(_) => Err((
+                            "read_divergence",
+                            ObladiError::TxnAborted(
+                                "twin replay observed a different value".into(),
+                            ),
+                        )),
+                        Err(err) => Err((err.cause_label(), err)),
+                    }
+                }
+                LoggedOp::Write(key, value) => {
+                    let shard = self.db.router.route(*key);
+                    twin.leg(self.db, &targets, shard, true)
+                        .and_then(|leg| leg.write(*key, value.clone()))
+                        .map_err(|err| (err.cause_label(), err))
+                }
+            };
+            if let Err(labelled) = result {
+                replay_error = Some(labelled);
+                break;
+            }
+            twin.ops += 1;
         }
-        Ok(self.subs[shard].as_mut().expect("leg just installed"))
+        if let Some((cause, err)) = replay_error {
+            twin.rollback_legs();
+            self.db.coordinator.forget_txn(twin.id);
+            obladi_obs::global()
+                .counter(&format!("shard.twin.discarded.{cause}"))
+                .inc();
+            return Err(err);
+        }
+        let mut losing = std::mem::replace(&mut self.primary, twin);
+        losing.rollback_legs();
+        self.db.coordinator.forget_txn(losing.id);
+        self.targets = targets;
+        obladi_obs::global().counter("shard.twin.promoted").inc();
+        Ok(())
+    }
+
+    /// Restarts a still-virgin transaction from scratch: every opened leg
+    /// is rolled back and forgotten, the epoch gets a chance to roll over,
+    /// and the transaction is re-stamped — a fresh timestamp drawn against
+    /// freshly re-sampled shard target generations.  Reusing the
+    /// generations captured at `begin` would trip the same stale-epoch
+    /// check forever.
+    fn restart_fresh(&mut self, shard: usize) {
+        self.primary.rollback_legs();
+        self.db.coordinator.forget_txn(self.primary.id);
+        self.db.shards[shard].wait_epoch_rollover(Duration::from_secs(2));
+        let (id, targets) = self.db.stamp();
+        self.primary = LegPlan::new(id, self.db.shards.len());
+        self.targets = targets;
     }
 
     /// Aborts every open leg and reports the transaction as aborted.
@@ -492,12 +696,8 @@ impl<'db> ShardedTxn<'db> {
             return;
         }
         self.finished = true;
-        for sub in &mut self.subs {
-            if let Some(sub) = sub.take() {
-                sub.rollback();
-            }
-        }
-        self.db.coordinator.forget_txn(self.id);
+        self.primary.rollback_legs();
+        self.db.coordinator.forget_txn(self.primary.id);
         self.db
             .record_outcome(&TxnOutcome::Aborted(AbortReason::UserRequested), 0);
     }
@@ -510,9 +710,11 @@ impl<'db> ShardedTxn<'db> {
     /// the driver parks at the rendezvous with its read batches exhausted —
     /// so a leg that happens to open in that window gets a `BatchFull` or
     /// epoch-end abort through no fault of the transaction.  A fresh leg can
-    /// be re-begun safely (same global timestamp, no state left behind); a
-    /// leg that already performed operations cannot, and the failure aborts
-    /// the whole transaction.
+    /// be re-begun safely (no state left behind); a plan that already
+    /// performed operations cannot restart, but the transaction can rebuild
+    /// itself as a twin epoch-set ([`ShardedTxn::rebuild_twin`]) and retry
+    /// the operation there.  Only when the twin cannot reproduce the
+    /// client's observed history does the abort reach the client.
     fn run_on_leg<T>(
         &mut self,
         key: Key,
@@ -528,37 +730,50 @@ impl<'db> ShardedTxn<'db> {
         let shard = self.db.router.route(key);
         let mut attempt = 0;
         let result = loop {
-            let result = self.leg(shard, for_write).and_then(|leg| op(leg, key));
+            let result = self
+                .primary_leg(shard, for_write)
+                .and_then(|leg| op(leg, key));
             match result {
                 Ok(value) => {
-                    self.leg_ops[shard] += 1;
+                    self.primary.ops += 1;
                     break Ok(value);
                 }
                 Err(err)
                     if err.is_retryable()
-                        && self.leg_ops.iter().all(|&ops| ops == 0)
+                        && self.primary.ops == 0
                         && attempt < FRESH_LEG_RETRIES =>
                 {
                     attempt += 1;
                     obladi_obs::global()
                         .counter(&format!("shard.{shard}.retry.{}", err.cause_label()))
                         .inc();
-                    // The transaction is still virgin (no operation has
-                    // observed or written anything), so it can restart from
-                    // scratch: drop every opened leg, let the epoch roll
-                    // over, and re-stamp with a fresh timestamp against the
-                    // shards' current epoch generations.
-                    for sub in &mut self.subs {
-                        if let Some(sub) = sub.take() {
-                            sub.rollback();
-                        }
+                    self.restart_fresh(shard);
+                }
+                Err(err) if err.is_retryable() && self.rebuilds < Self::TWIN_REBUILDS => {
+                    // The live epoch-set lost its rendezvous bet: a class-1
+                    // leg met an unsealed shard, a class-0 deciding leg's
+                    // late read declined or its epoch went stale.  Rebuild
+                    // the transaction as a twin epoch-set and re-run the
+                    // failed operation there; the rebuild succeeds only if
+                    // the twin reproduced every value the client observed.
+                    self.rebuilds += 1;
+                    obladi_obs::global()
+                        .counter(&format!("shard.{shard}.retry.{}", err.cause_label()))
+                        .inc();
+                    if matches!(err, ObladiError::BatchFull(_)) {
+                        // The shard's epoch has no spare read-batch budget
+                        // left; a twin stamped into the same congested
+                        // epoch would replay straight into the exhausted
+                        // batches.  Let the epoch roll over first so the
+                        // twin samples fresh capacity.
+                        self.db.shards[shard].wait_epoch_rollover(Duration::from_secs(2));
                     }
-                    self.db.coordinator.forget_txn(self.id);
-                    self.db.shards[shard].wait_epoch_rollover(std::time::Duration::from_secs(2));
-                    let (id, targets) = self.db.stamp();
-                    self.id = id;
-                    self.targets = targets;
-                    self.round_class = None;
+                    if self.rebuild_twin(Some(shard)).is_err() {
+                        obladi_obs::global()
+                            .counter(&format!("shard.{shard}.abort.{}", err.cause_label()))
+                            .inc();
+                        break Err(err);
+                    }
                 }
                 Err(err) => {
                     obladi_obs::global()
@@ -576,14 +791,23 @@ impl<'db> ShardedTxn<'db> {
         result
     }
 
-    /// Reads `key` from the shard that owns it.
+    /// Reads `key` from the shard that owns it, recording the observation
+    /// in the operation log.
     pub fn read(&mut self, key: Key) -> Result<Option<Value>> {
-        self.run_on_leg(key, false, |leg, key| leg.read(key))
+        let value = self.run_on_leg(key, false, |leg, key| leg.read(key))?;
+        self.oplog.push(LoggedOp::Read(key, value.clone()));
+        Ok(value)
     }
 
-    /// Writes `key` on the shard that owns it.
+    /// Writes `key` on the shard that owns it, recording the write in the
+    /// operation log.
     pub fn write(&mut self, key: Key, value: Value) -> Result<()> {
-        self.run_on_leg(key, true, move |leg, key| leg.write(key, value.clone()))
+        self.run_on_leg(key, true, {
+            let value = value.clone();
+            move |leg, key| leg.write(key, value.clone())
+        })?;
+        self.oplog.push(LoggedOp::Write(key, value));
+        Ok(())
     }
 
     /// Requests commit on every touched shard, waits for the coordinated
@@ -595,6 +819,23 @@ impl<'db> ShardedTxn<'db> {
     /// coordinator guarantees the legs agree — all commit in the same global
     /// epoch, or all abort.
     pub fn commit(mut self) -> Result<TxnOutcome> {
+        self.commit_inner()
+    }
+
+    /// Commits like [`ShardedTxn::commit`] but also reports the id the
+    /// transaction finally serialized under.
+    ///
+    /// A twin rebuild — mid-flight or inside the commit's own denied-vote
+    /// retry loop — moves the transaction to a fresh timestamp, so an id
+    /// sampled earlier can be stale by the time the decision lands.
+    /// History-recording harnesses must order committed writers by their
+    /// *actual* serialization point; this is the only way to learn it.
+    pub fn commit_reported(mut self) -> Result<(TxnId, TxnOutcome)> {
+        let outcome = self.commit_inner()?;
+        Ok((self.primary.id, outcome))
+    }
+
+    fn commit_inner(&mut self) -> Result<TxnOutcome> {
         if self.finished {
             return Err(ObladiError::TxnAborted(
                 "transaction already finished".into(),
@@ -602,77 +843,51 @@ impl<'db> ShardedTxn<'db> {
         }
         self.finished = true;
 
-        let legs: Vec<(usize, ObladiTxn<'db>)> = self
-            .subs
-            .iter_mut()
-            .enumerate()
-            .filter_map(|(index, sub)| sub.take().map(|sub| (index, sub)))
-            .collect();
-        let shards_touched = legs.len();
+        let shards_touched = self.primary.subs.iter().filter(|sub| sub.is_some()).count();
 
         // A transaction that touched nothing commits vacuously.
-        if legs.is_empty() {
-            self.db.coordinator.forget_txn(self.id);
+        if shards_touched == 0 {
+            self.db.coordinator.forget_txn(self.primary.id);
             let outcome = TxnOutcome::Committed;
             self.db.record_outcome(&outcome, 0);
             return Ok(outcome);
         }
 
-        // Phase 1: register the commit request on every leg, inside a
-        // commit-intake window so the whole burst is atomic with respect to
-        // the coordinator's epoch decision (no decision can observe half of
-        // it).  A request failure means the leg already aborted (conflict,
-        // cascading abort, crash); the gate will then deny the transaction
-        // everywhere, so we still collect the remaining outcomes to unpark
-        // cleanly.
-        let mut request_error: Option<ObladiError> = None;
-        let mut awaiting = Vec::with_capacity(legs.len());
+        let mut result = commit_plan(self.db, &mut self.primary);
+        self.db.coordinator.forget_txn(self.primary.id);
+
+        // A denied vote most often means the final legs' rendezvous
+        // contradicted the live epoch-set — typically a deciding epoch
+        // whose decision sampled its candidates before this commit request
+        // arrived.  The denial is authoritative and all-or-nothing, so the
+        // plan's fate is settled; but the *transaction* may still be
+        // salvageable: rebuild it as a twin epoch-set (replaying the log,
+        // validating every observed read) and drive the twin's two-phase
+        // commit at its own rendezvous instead of surfacing a liveness
+        // abort to the client.  A real conflict makes the replay diverge,
+        // so genuine aborts still surface.
+        while matches!(&result, Ok(outcome) if !outcome.is_committed())
+            && self.rebuilds < Self::TWIN_REBUILDS
         {
-            let _intake = self.db.coordinator.begin_commit_intake();
-            for (index, mut leg) in legs {
-                match leg.request_commit() {
-                    Ok(()) => awaiting.push((index, leg)),
-                    Err(err) => {
-                        obladi_obs::global()
-                            .counter(&format!("shard.{index}.abort.{}", err.cause_label()))
-                            .inc();
-                        request_error = Some(err.clone_for_report(index));
-                    }
-                }
+            self.rebuilds += 1;
+            if self.rebuild_twin(None).is_err() {
+                break;
             }
+            result = commit_plan(self.db, &mut self.primary);
+            self.db.coordinator.forget_txn(self.primary.id);
         }
 
-        // Phase 2: collect the coordinated outcomes.  The authoritative
-        // record of a cross-shard fate is the coordinator's decision log: a
-        // leg can only report `Committed` if the transaction was permitted,
-        // and the permit is all-or-nothing across shards, so any committed
-        // leg — or a still-pending commit decision, which covers the case
-        // where *every* participating leg crashed after the decision —
-        // means the transaction is (or will be, once recovery replays the
-        // durable prepares) committed everywhere.  Reporting an abort in
-        // those cases would be the lie.
-        let mut any_committed = false;
-        let mut abort: Option<TxnOutcome> = None;
-        for (_, leg) in awaiting {
-            match leg.await_outcome()? {
-                TxnOutcome::Committed => any_committed = true,
-                aborted @ TxnOutcome::Aborted(_) => abort = Some(aborted),
+        match result {
+            Ok(outcome) => {
+                self.db.record_outcome(&outcome, shards_touched);
+                Ok(outcome)
+            }
+            Err(err) => {
+                self.db
+                    .record_outcome(&TxnOutcome::Aborted(AbortReason::EpochEnd), shards_touched);
+                Err(err)
             }
         }
-        let outcome = if any_committed || self.db.coordinator.was_committed(self.id) {
-            TxnOutcome::Committed
-        } else {
-            abort.unwrap_or(TxnOutcome::Committed)
-        };
-        self.db.coordinator.forget_txn(self.id);
-
-        if let Some(err) = request_error {
-            self.db
-                .record_outcome(&TxnOutcome::Aborted(AbortReason::EpochEnd), shards_touched);
-            return Err(err);
-        }
-        self.db.record_outcome(&outcome, shards_touched);
-        Ok(outcome)
     }
 
     /// Consumes the transaction, committing it and mapping aborts to errors.
@@ -696,7 +911,7 @@ impl KvTransaction for ShardedTxn<'_> {
     }
 
     fn id(&self) -> u64 {
-        self.id
+        self.primary.id
     }
 }
 
@@ -706,19 +921,84 @@ impl Drop for ShardedTxn<'_> {
     }
 }
 
-/// Picks the epoch generation a leg on `shard` must open in so it decides
-/// at the transaction's fixed rendezvous (`class`), given the shard's
-/// sampled target generations.
+/// Drives one leg plan's two-phase commit against the coordinated epoch
+/// decision.
 ///
-/// `(1, None)` is the known cross-shard liveness gap: the transaction's
-/// first leg landed in a *sealed* shard's executing epoch (class 1 — it
-/// needed fetch power), but this shard was *unsealed* at stamping time, so
-/// none of its epochs decides at that later rendezvous.  Nothing
-/// conflicted; the caller just has to retry once the phases drift back
-/// into alignment.  The typed [`ObladiError::PipelineIncompatible`] — with
-/// the conflicting generations attached — lets callers and tests tell this
-/// liveness retry apart from real conflicts (and from capacity aborts).
-fn select_leg_target(
+/// Phase 1 registers the commit request on every leg inside a commit-intake
+/// window, so the whole burst is atomic with respect to the coordinator's
+/// epoch decision (no decision can observe half of it).  A request failure
+/// means the leg already aborted (conflict, cascading abort, crash); the
+/// gate will then deny the transaction everywhere, so the remaining
+/// outcomes are still collected to unpark cleanly before the error is
+/// returned.
+///
+/// Phase 2 collects the coordinated outcomes.  The authoritative record of
+/// a cross-shard fate is the coordinator's decision log: a leg can only
+/// report `Committed` if the transaction was permitted, and the permit is
+/// all-or-nothing across shards, so any committed leg — or a still-pending
+/// commit decision, which covers the case where *every* participating leg
+/// crashed after the decision — means the transaction is (or will be, once
+/// recovery replays the durable prepares) committed everywhere.  Reporting
+/// an abort in those cases would be the lie.
+fn commit_plan<'db>(db: &'db ShardedDb, plan: &mut LegPlan<'db>) -> Result<TxnOutcome> {
+    let legs: Vec<(usize, ObladiTxn<'db>)> = plan
+        .subs
+        .iter_mut()
+        .enumerate()
+        .filter_map(|(index, sub)| sub.take().map(|sub| (index, sub)))
+        .collect();
+
+    let mut request_error: Option<ObladiError> = None;
+    let mut awaiting = Vec::with_capacity(legs.len());
+    {
+        let _intake = db.coordinator.begin_commit_intake();
+        for (index, mut leg) in legs {
+            match leg.request_commit() {
+                Ok(()) => awaiting.push((index, leg)),
+                Err(err) => {
+                    obladi_obs::global()
+                        .counter(&format!("shard.{index}.abort.{}", err.cause_label()))
+                        .inc();
+                    request_error = Some(err.clone_for_report(index));
+                }
+            }
+        }
+    }
+
+    let mut any_committed = false;
+    let mut abort: Option<TxnOutcome> = None;
+    for (_, leg) in awaiting {
+        match leg.await_outcome()? {
+            TxnOutcome::Committed => any_committed = true,
+            aborted @ TxnOutcome::Aborted(_) => abort = Some(aborted),
+        }
+    }
+    if let Some(err) = request_error {
+        return Err(err);
+    }
+    if any_committed || db.coordinator.was_committed(plan.id) {
+        Ok(TxnOutcome::Committed)
+    } else {
+        Ok(abort.unwrap_or(TxnOutcome::Committed))
+    }
+}
+
+/// Picks the epoch generation a leg on `shard` must open in so it decides
+/// at its plan's fixed rendezvous (`class`), given the shard's sampled
+/// target generations.
+///
+/// Class 0 — the shards' next rendezvous — composes with *every* shard: a
+/// sealed shard contributes its deciding epoch, an unsealed one its
+/// executing epoch.  Class 1 — the rendezvous after — joins only a sealed
+/// shard's executing epoch, and `(1, None)` is its expected contradiction:
+/// an unsealed shard offers no epoch deciding at that later rendezvous.  A
+/// class-1 plan hitting that arm is not doomed — its opposite-class twin
+/// (which composes) takes over via promotion, and only when no twin is
+/// live does the error abort the transaction.  The typed
+/// [`ObladiError::PipelineIncompatible`] — with the conflicting
+/// generations attached — lets callers and tests tell this liveness
+/// condition apart from real conflicts (and from capacity aborts).
+pub fn select_leg_target(
     shard: usize,
     class: u8,
     exec_generation: u64,
@@ -791,5 +1071,40 @@ mod tests {
             msg.contains("shard 2") && msg.contains("generation 9"),
             "the conflicting generations must be in the message: {msg}"
         );
+    }
+
+    #[test]
+    fn virgin_retry_restamps_with_freshly_sampled_targets() {
+        let db = ShardedDb::open(ShardConfig::small_for_tests(2, 256)).unwrap();
+        let mut setup = db.begin().unwrap();
+        setup.write(7, vec![7]).unwrap();
+        assert!(setup.commit().unwrap().is_committed());
+
+        let mut txn = db.begin().unwrap();
+        let stale_id = txn.primary.id;
+        // Simulate the shard generations advancing out from under the
+        // transaction between `begin` and its first operation: poison every
+        // sampled target so the first leg-open trips the stale-generation
+        // check.  The transparent restart must re-sample `stamp_targets`
+        // fresh — re-deriving the leg plan from the poisoned generations
+        // would fail the same way on every attempt.
+        for target in &mut txn.targets {
+            *target = (u64::MAX, None);
+        }
+        assert_eq!(
+            txn.read(7).unwrap(),
+            Some(vec![7]),
+            "the restarted leg must serve the read"
+        );
+        assert!(
+            txn.primary.id > stale_id,
+            "restart must draw a fresh timestamp"
+        );
+        assert!(
+            txn.targets.iter().all(|&(exec, _)| exec != u64::MAX),
+            "restart must re-sample the shard targets, not reuse the stale ones"
+        );
+        assert!(txn.commit().unwrap().is_committed());
+        db.shutdown();
     }
 }

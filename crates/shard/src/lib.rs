@@ -48,6 +48,6 @@ pub mod oracle;
 pub mod router;
 
 pub use coordinator::{EpochCoordinator, ShardGate, TxnDecision};
-pub use db::{ShardedDb, ShardedStats, ShardedTxn};
+pub use db::{select_leg_target, ShardedDb, ShardedStats, ShardedTxn};
 pub use oracle::TimestampOracle;
 pub use router::ShardRouter;

@@ -1,0 +1,153 @@
+//! Regression test for the all-proxies-parked hang at the cross-shard
+//! epoch barrier.
+//!
+//! The observed failure shape: one shard's decider never returns from its
+//! epoch rendezvous, so every other shard's decider parks at
+//! `EpochCoordinator::arrive` waiting for it — forever.  With pipeline
+//! depth 2 each executor then drains its held-back read batches and parks
+//! too, and the whole deployment (clients included) hangs with no
+//! diagnostics.
+//!
+//! The deployment is assembled by hand (like `pipeline_overlap.rs`) so an
+//! instrumented gate can reproduce the shape deterministically: shard 1's
+//! gate blocks in `permit_commits` without ever arriving at the
+//! coordinator.  The barrier watchdog must convert shard 0's park into a
+//! typed, diagnosed failure — its epochs finalise with empty permit sets
+//! and its clients get retryable aborts — instead of hanging any test run
+//! indefinitely.
+
+use obladi_common::config::ObladiConfig;
+use obladi_common::error::Result;
+use obladi_common::types::{EpochId, TxnId};
+use obladi_core::proxy::{CandidateSource, EpochGate, ObladiDb, TxnPreparer};
+use obladi_crypto::KeyMaterial;
+use obladi_shard::{EpochCoordinator, ShardGate};
+use obladi_storage::{InMemoryStore, TrustedCounter};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A gate that parks its shard's decider until released, without ever
+/// arriving at the coordinator — the deterministic stand-in for a decider
+/// lost to a stuck prepare or a wedged storage daemon.
+struct ParkedGate {
+    inner: ShardGate,
+    released: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl EpochGate for ParkedGate {
+    fn permit_commits(
+        &self,
+        epoch: EpochId,
+        candidates: CandidateSource,
+        preparer: TxnPreparer,
+    ) -> Result<Vec<TxnId>> {
+        let (lock, condvar) = &*self.released;
+        let mut released = lock.lock();
+        while !*released {
+            condvar.wait(&mut released);
+        }
+        drop(released);
+        self.inner.permit_commits(epoch, candidates, preparer)
+    }
+
+    fn epoch_durable(&self, epoch: EpochId, committed: &[TxnId]) {
+        self.inner.epoch_durable(epoch, committed);
+    }
+
+    fn proxy_crashed(&self) {
+        self.inner.proxy_crashed();
+    }
+
+    fn proxy_recovered(&self) {
+        self.inner.proxy_recovered();
+    }
+
+    fn proxy_stopping(&self) {
+        self.inner.proxy_stopping();
+    }
+}
+
+#[test]
+fn stalled_rendezvous_surfaces_as_typed_retryable_aborts_not_a_hang() {
+    let coordinator = Arc::new(EpochCoordinator::new(2).with_watchdog(Duration::from_millis(250)));
+    let released = Arc::new((Mutex::new(false), Condvar::new()));
+
+    let mut config = ObladiConfig::small_for_tests(256);
+    config.epoch.batch_interval = Duration::from_millis(1);
+
+    let mut shards = Vec::new();
+    for index in 0..2usize {
+        let mut cfg = config.clone();
+        cfg.seed = index as u64 + 1;
+        let db = ObladiDb::open_with(
+            cfg,
+            Arc::new(InMemoryStore::new()),
+            TrustedCounter::new(),
+            KeyMaterial::for_tests(index as u64 + 1),
+        )
+        .unwrap();
+        if index == 1 {
+            db.set_epoch_gate(Arc::new(ParkedGate {
+                inner: ShardGate::new(coordinator.clone(), index),
+                released: released.clone(),
+            }));
+        } else {
+            db.set_epoch_gate(Arc::new(ShardGate::new(coordinator.clone(), index)));
+        }
+        shards.push(db);
+    }
+
+    let stalled_before = obladi_obs::global().counter("proxy.gate.stalled").get();
+    let fired_before = obladi_obs::global()
+        .counter("shard.coordinator.watchdog_fired")
+        .get();
+
+    // A client transaction on the healthy shard: its commit decision needs
+    // the rendezvous that shard 1 will never join.  Before the watchdog
+    // this call parked forever; now it must come back within a couple of
+    // watchdog periods as a plain retryable abort.
+    let started = Instant::now();
+    let mut txn = shards[0].begin().unwrap();
+    txn.write(1, vec![1]).unwrap();
+    txn.request_commit().unwrap();
+    let outcome = txn.await_outcome().unwrap();
+    let waited = started.elapsed();
+
+    assert!(
+        !outcome.is_committed(),
+        "no unanimous rendezvous ever completed, the commit cannot have been permitted"
+    );
+    assert!(
+        waited < Duration::from_secs(10),
+        "the watchdog must bound the barrier wait, but the client waited {waited:?}"
+    );
+    assert_eq!(
+        coordinator.global_epoch(),
+        0,
+        "no round can complete while shard 1 never arrives"
+    );
+    assert!(
+        obladi_obs::global()
+            .counter("shard.coordinator.watchdog_fired")
+            .get()
+            > fired_before,
+        "the barrier watchdog must have fired"
+    );
+    assert!(
+        obladi_obs::global().counter("proxy.gate.stalled").get() > stalled_before,
+        "the proxy must record the stalled gate instead of crashing or hanging"
+    );
+
+    // Release shard 1's parked decider before tearing down, or the shutdown
+    // join would inherit the very hang this test guards against.
+    coordinator.shutdown();
+    {
+        let (lock, condvar) = &*released;
+        *lock.lock() = true;
+        condvar.notify_all();
+    }
+    for shard in &shards {
+        shard.shutdown();
+    }
+}

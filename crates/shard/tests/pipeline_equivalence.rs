@@ -13,6 +13,7 @@
 //! go through the same serializability oracle `tests/sharded.rs` uses.
 
 use obladi_common::config::ShardConfig;
+use obladi_common::error::ObladiError;
 use obladi_common::rng::DetRng;
 use obladi_common::types::Key;
 use obladi_shard::ShardedDb;
@@ -28,13 +29,16 @@ enum Op {
     Write(Key),
 }
 
-/// Generates a deterministic workload: `txns` specs of 1–4 operations over
-/// a small hot key range that straddles the shards.
+/// Generates a deterministic workload: `txns` specs of 3–5 operations over
+/// a small hot key range that straddles the shards, so most transactions
+/// are multi-leg cross-shard and the pipelined runs exercise dual-epoch
+/// legs (adaptive round classes, late-read batches, and twin rebuilds on
+/// rendezvous contradictions).
 fn workload(seed: u64, txns: usize) -> Vec<Vec<Op>> {
     let mut rng = DetRng::new(seed ^ 0x9e3779b97f4a7c15);
     (0..txns)
         .map(|_| {
-            let ops = 1 + rng.below_usize(4);
+            let ops = 3 + rng.below_usize(3);
             (0..ops)
                 .map(|_| {
                     let key = rng.below(10);
@@ -59,8 +63,8 @@ fn run_workload(depth: u32, seed: u64, specs: &[Vec<Op>]) -> (Vec<Vec<Observatio
     let mut config = ShardConfig::small_for_tests(3, 1_024);
     config.shard.epoch.batch_interval = Duration::from_millis(1);
     // Each sequentially-dependent read consumes one read batch (§6.4), so
-    // R must cover a spec's worst case: pin read + 4 operation reads.
-    config.shard.epoch.read_batches = 8;
+    // R must cover a spec's worst case: pin read + 5 operation reads.
+    config.shard.epoch.read_batches = 12;
     config.shard.epoch.pipeline_depth = depth;
     config.shard.seed = seed;
     let db = ShardedDb::open(config).expect("deployment must open");
@@ -132,9 +136,12 @@ fn run_workload(depth: u32, seed: u64, specs: &[Vec<Op>]) -> (Vec<Vec<Observatio
                 std::thread::sleep(Duration::from_millis(2));
                 continue;
             }
-            match txn.commit() {
-                Ok(outcome) if outcome.is_committed() => {
-                    record.commit(id);
+            match txn.commit_reported() {
+                // Version order must use the id the transaction finally
+                // serialized under (a twin rebuild re-stamps it); the value
+                // tags keep the pinned id, which is what `writer_spec` maps.
+                Ok((final_id, outcome)) if outcome.is_committed() => {
+                    record.commit(final_id);
                     history.push(record);
                     writer_spec.insert(id, spec_index);
                     committed = Some(observations);
@@ -189,6 +196,59 @@ proptest! {
     fn pipeline_depths_are_semantically_equivalent(seed in 1u64..500) {
         if let Err(problem) = run_case(seed, 14) {
             return Err(TestCaseError::fail(problem));
+        }
+    }
+
+    /// `select_leg_target` over every round-class × generation combination:
+    /// class 0 composes with every shard (deciding epoch when sealed,
+    /// executing epoch otherwise), class 1 joins only a sealed shard's
+    /// executing epoch, and the single contradiction — class 1 over an
+    /// unsealed shard — surfaces as a typed `PipelineIncompatible` liveness
+    /// retry carrying the sampled generations.
+    #[test]
+    fn select_leg_target_covers_all_class_generation_combos(
+        shard in 0usize..8,
+        class in 0u8..=1,
+        exec in any::<u64>(),
+        sealed in any::<bool>(),
+        deciding_gen in any::<u64>(),
+    ) {
+        let deciding = if sealed { Some(deciding_gen) } else { None };
+        match obladi_shard::select_leg_target(shard, class, exec, deciding) {
+            Ok(target) => match (class, deciding) {
+                (0, Some(d)) => prop_assert_eq!(target, d),
+                (0, None) | (1, Some(_)) => prop_assert_eq!(target, exec),
+                _ => return Err(TestCaseError::fail(format!(
+                    "class {class} with deciding {deciding:?} must not pick a target"
+                ))),
+            },
+            Err(err) => {
+                prop_assert!(
+                    class == 1 && deciding.is_none(),
+                    "only class 1 over an unsealed shard may fail, got {err} for \
+                     class {} deciding {:?}",
+                    class,
+                    deciding
+                );
+                match &err {
+                    ObladiError::PipelineIncompatible {
+                        shard: s,
+                        round_class,
+                        exec_generation,
+                        deciding_generation,
+                    } => {
+                        prop_assert_eq!(*s, shard);
+                        prop_assert_eq!(*round_class, class);
+                        prop_assert_eq!(*exec_generation, exec);
+                        prop_assert_eq!(*deciding_generation, None);
+                    }
+                    other => return Err(TestCaseError::fail(format!(
+                        "expected PipelineIncompatible, got {other:?}"
+                    ))),
+                }
+                prop_assert!(err.is_retryable());
+                prop_assert!(err.is_liveness_retry());
+            }
         }
     }
 }

@@ -48,7 +48,7 @@ impl EpochGate for InstrumentedGate {
         epoch: EpochId,
         candidates: CandidateSource,
         preparer: TxnPreparer,
-    ) -> Vec<TxnId> {
+    ) -> obladi_common::error::Result<Vec<TxnId>> {
         let entered = Instant::now();
         let permits = self.inner.permit_commits(epoch, candidates, preparer);
         self.trace

@@ -89,7 +89,7 @@ impl EpochGate for InstrumentedGate {
         epoch: EpochId,
         candidates: CandidateSource,
         preparer: TxnPreparer,
-    ) -> Vec<TxnId> {
+    ) -> obladi_common::error::Result<Vec<TxnId>> {
         self.inner.permit_commits(epoch, candidates, preparer)
     }
 

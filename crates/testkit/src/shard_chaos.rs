@@ -293,9 +293,11 @@ pub fn write_pair_tagged(
             history.push(record);
             continue;
         }
-        match txn.commit() {
-            Ok(outcome) if outcome.is_committed() => {
-                record.commit(record.id);
+        match txn.commit_reported() {
+            // Order committed writers by the id the transaction finally
+            // serialized under — a twin rebuild may have re-stamped it.
+            Ok((final_id, outcome)) if outcome.is_committed() => {
+                record.commit(final_id);
                 history.push(record);
                 return Some((value_a, value_b));
             }
@@ -571,9 +573,15 @@ pub fn hammer_pair_tagged_observed(
             history.push(record);
             continue;
         }
-        let acked = matches!(txn.commit(), Ok(outcome) if outcome.is_committed());
-        if acked {
-            record.commit(record.id);
+        let committed_as = match txn.commit_reported() {
+            Ok((final_id, outcome)) if outcome.is_committed() => Some(final_id),
+            _ => None,
+        };
+        let acked = committed_as.is_some();
+        if let Some(final_id) = committed_as {
+            // The twin-rebuild machinery may have re-stamped the
+            // transaction; the final id is its version-order position.
+            record.commit(final_id);
         } else {
             record.abort();
         }

@@ -179,9 +179,13 @@ fn concurrent_cross_shard_history_is_serializable() {
                             continue;
                         }
 
-                        match txn.commit() {
-                            Ok(outcome) if outcome.is_committed() => {
-                                record.commit(record.id);
+                        match txn.commit_reported() {
+                            // The id the transaction finally serialized
+                            // under is the version-order timestamp: a twin
+                            // rebuild may have moved the transaction past
+                            // the id its value tags carry.
+                            Ok((final_id, outcome)) if outcome.is_committed() => {
+                                record.commit(final_id);
                                 history.lock().push(record);
                                 break;
                             }
