@@ -302,6 +302,39 @@ struct ProxyInner {
     lives: AtomicU64,
     stats: Mutex<ProxyStats>,
     epoch_gate: Mutex<Option<Arc<dyn EpochGate>>>,
+    /// Hands read batches to the pool of batch-runner threads so up to
+    /// `read_batches_in_flight` batches overlap their physical fetches
+    /// inside one epoch (the split client plans them in dispatch order
+    /// under its own lock, so the access pattern is unchanged).
+    read_dispatch: ReadDispatch,
+}
+
+/// The executor-to-runner handoff for read batches.
+struct ReadDispatch {
+    queue: Mutex<ReadQueue>,
+    cond: Condvar,
+}
+
+struct ReadQueue {
+    /// Batches dispatched but not yet picked up by a runner.
+    pending: usize,
+    /// Batches a runner is currently executing.
+    in_flight: usize,
+    /// Set at shutdown; runners exit, dispatch and drain stop blocking.
+    stop: bool,
+}
+
+impl ReadDispatch {
+    fn new() -> Self {
+        ReadDispatch {
+            queue: Mutex::new(ReadQueue {
+                pending: 0,
+                in_flight: 0,
+                stop: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
 }
 
 /// The Obladi database handle (the trusted proxy).
@@ -343,9 +376,13 @@ impl ObladiDb {
         // client (checkpoints refuse, the proxy fate-shares and recovers),
         // so an undersized bound costs availability, never durability —
         // but raise it here regardless.
+        // Each *extra* concurrently in-flight batch can additionally hold a
+        // batch's worth of planned-but-not-ingested blocks mid-air on top
+        // of the per-epoch accounting.
         let stash_floor = (config.epoch.pipeline_depth.max(1) as usize + 1)
             * config.epoch.reads_per_epoch()
             + config.epoch.write_batch_size
+            + config.epoch.read_batches_in_flight.saturating_sub(1) * config.epoch.read_batch_size
             + 4 * config.oram.z as usize;
         config.oram.max_stash = config.oram.max_stash.max(stash_floor);
         config.validate()?;
@@ -378,6 +415,7 @@ impl ObladiDb {
             lives: AtomicU64::new(0),
             stats: Mutex::new(ProxyStats::default()),
             epoch_gate: Mutex::new(None),
+            read_dispatch: ReadDispatch::new(),
         });
         let exec_inner = inner.clone();
         let executor = std::thread::Builder::new()
@@ -389,9 +427,18 @@ impl ObladiDb {
             .name("obladi-epoch-decider".into())
             .spawn(move || epoch_decider(decide_inner))
             .map_err(|e| ObladiError::Internal(format!("failed to spawn epoch decider: {e}")))?;
+        let mut threads = vec![executor, decider];
+        for i in 0..inner.config.epoch.read_batches_in_flight {
+            let runner_inner = inner.clone();
+            let runner = std::thread::Builder::new()
+                .name(format!("obladi-read-runner-{i}"))
+                .spawn(move || read_batch_runner(runner_inner))
+                .map_err(|e| ObladiError::Internal(format!("failed to spawn read runner: {e}")))?;
+            threads.push(runner);
+        }
         Ok(ObladiDb {
             inner,
-            threads: Mutex::new(vec![executor, decider]),
+            threads: Mutex::new(threads),
         })
     }
 
@@ -658,6 +705,11 @@ impl ObladiDb {
         self.inner.driver_wakeup.notify_all();
         self.inner.decider_wakeup.notify_all();
         self.inner.client_wakeup.notify_all();
+        {
+            let mut queue = self.inner.read_dispatch.queue.lock();
+            queue.stop = true;
+            self.inner.read_dispatch.cond.notify_all();
+        }
         for handle in self.threads.lock().drain(..) {
             let _ = handle.join();
         }
@@ -805,6 +857,24 @@ impl ObladiTxn<'_> {
                         // publishes — it registers committed carry values as
                         // this epoch's base versions and releases the rest
                         // for normal fetching.
+                        inner
+                            .client_wakeup
+                            .wait_for(&mut state, Duration::from_secs(10));
+                        continue;
+                    }
+                    let late_conflict = state.deciding.as_ref().is_some_and(|deciding| {
+                        deciding.late_pending_set.contains(&key)
+                            || deciding.late_in_flight.contains(&key)
+                    });
+                    if late_conflict {
+                        // The deciding epoch is fetching (or queued to
+                        // fetch) this key through its late-read batch;
+                        // admitting it here too could put the same key into
+                        // two concurrently in-flight batches, which the
+                        // split client forbids (pairwise-disjoint read
+                        // sets).  Once that fetch ingests — or the decision
+                        // publishes — the key admits normally, resolving
+                        // from the stash at plan time.
                         inner
                             .client_wakeup
                             .wait_for(&mut state, Duration::from_secs(10));
@@ -1106,6 +1176,10 @@ fn epoch_executor(inner: Arc<ProxyInner>) {
                 // them *is* the reservation's purpose — a deciding-epoch
                 // leg parked on an uncached key would otherwise wait out
                 // the entire gate rendezvous this very loop is parked on.
+                // The hold lasts until the slot *frees* (not merely until
+                // the decision closes): clients collect outcomes at publish
+                // and immediately issue dependent reads, which must still
+                // find batches in this epoch.
                 while state.deciding.is_some()
                     && !late_reads_pending(&state)
                     && !inner.shutdown.load(Ordering::SeqCst)
@@ -1122,23 +1196,14 @@ fn epoch_executor(inner: Arc<ProxyInner>) {
             if inner.shutdown.load(Ordering::SeqCst) || inner.crashed.load(Ordering::SeqCst) {
                 break;
             }
-            // The life token is sampled per batch, right before the I/O it
-            // guards: a batch failure always runs against the read plane of
-            // the life sampled here (the batch holds the reader lock, so a
-            // recovery cannot swap the client mid-batch), which makes the
-            // stale-failure check in `self_crash` exact.
-            let life = inner.lives.load(Ordering::SeqCst);
-            if let Err(err) = execute_read_batch(&inner) {
-                // Storage failure mid-epoch: the ORAM client's in-memory
-                // metadata may already have diverged from what the failed
-                // reads actually delivered, so continuing (and checkpointing
-                // that state in later epochs) would make the divergence
-                // durable.  Fate sharing treats the failure as a crash: drop
-                // all volatile state and wait for recovery (§8).
-                self_crash(&inner, life, &err);
+            if !dispatch_read_batch(&inner) {
                 break;
             }
         }
+        // Every batch of this epoch must land before the rollover: a batch
+        // registers its fetched values against the epoch it planned in, so
+        // none may straddle the snapshot.
+        drain_read_batches(&inner);
         if inner.shutdown.load(Ordering::SeqCst) || inner.crashed.load(Ordering::SeqCst) {
             continue;
         }
@@ -1198,6 +1263,101 @@ fn epoch_executor(inner: Arc<ProxyInner>) {
             obladi_obs::global()
                 .histogram("proxy.phase.slot_wait_us")
                 .record_duration(barrier_started.elapsed());
+        }
+    }
+}
+
+/// Dispatches one read batch to the runner pool.  Returns `false` if the
+/// proxy is stopping or crashed.
+///
+/// Overlap is demand-gated: a second batch is dispatched while the first
+/// is still in flight only when a full batch of keys is already queued (or
+/// the deciding epoch has late reads waiting) — that backlog is exactly
+/// the case where overlapping the physical fetches hides storage latency.
+/// With less than a full batch pending, dispatch falls back to the old
+/// one-at-a-time rhythm: the next batch plans only after the previous one
+/// has ingested, so a chain of dependent reads (read → ingest → next read)
+/// catches one batch per link instead of watching the whole epoch's batch
+/// budget burn in a few Δ intervals and aborting `BatchFull`.
+fn dispatch_read_batch(inner: &Arc<ProxyInner>) -> bool {
+    let full_cap = inner.config.epoch.read_batches_in_flight;
+    let batch_size = inner.config.epoch.read_batch_size;
+    loop {
+        let backlog = {
+            let state = inner.state.lock();
+            state.exec.pending_fetch.len() >= batch_size || late_reads_pending(&state)
+        };
+        let cap = if backlog { full_cap } else { 1 };
+        let mut queue = inner.read_dispatch.queue.lock();
+        if queue.stop || inner.crashed.load(Ordering::SeqCst) {
+            return false;
+        }
+        if queue.pending + queue.in_flight < cap {
+            queue.pending += 1;
+            inner.read_dispatch.cond.notify_all();
+            return true;
+        }
+        // Re-sample the backlog once a slot frees or after a short nap —
+        // demand may have built up while the in-flight batch fetched.
+        inner
+            .read_dispatch
+            .cond
+            .wait_for(&mut queue, Duration::from_millis(1));
+    }
+}
+
+/// Blocks until every dispatched read batch has completed (or the proxy is
+/// stopping).  The executor calls this before the epoch rollover; failed
+/// batches finish their fate-sharing crash before they count as drained,
+/// so the executor's crash check right after is conclusive.
+fn drain_read_batches(inner: &Arc<ProxyInner>) {
+    let mut queue = inner.read_dispatch.queue.lock();
+    while queue.pending + queue.in_flight > 0 && !queue.stop {
+        inner.read_dispatch.cond.wait(&mut queue);
+    }
+}
+
+/// One read-batch runner thread: executes the batches the epoch executor
+/// dispatches, so up to `read_batches_in_flight` batches overlap their
+/// physical fetches inside one epoch.  Plans still serialize (briefly) on
+/// the split client's state lock in dispatch order; only the storage
+/// round-trips overlap.
+fn read_batch_runner(inner: Arc<ProxyInner>) {
+    loop {
+        {
+            let mut queue = inner.read_dispatch.queue.lock();
+            while queue.pending == 0 && !queue.stop {
+                inner.read_dispatch.cond.wait(&mut queue);
+            }
+            if queue.stop {
+                return;
+            }
+            queue.pending -= 1;
+            queue.in_flight += 1;
+        }
+        // The life token is sampled right before the I/O it guards: the
+        // batch runs against the reader it clones under the reader lock,
+        // and the clone keeps that client alive for the whole batch even
+        // if a recovery swaps in a fresh one meanwhile — so a failure here
+        // always belongs to the life sampled here, making the stale-failure
+        // check in `self_crash` exact.
+        let life = inner.lives.load(Ordering::SeqCst);
+        let result = execute_read_batch(&inner);
+        if let Err(err) = result {
+            // Storage failure mid-epoch: the ORAM client's in-memory
+            // metadata may already have diverged from what the failed
+            // reads actually delivered, so continuing (and checkpointing
+            // that state in later epochs) would make the divergence
+            // durable.  Fate sharing treats the failure as a crash: drop
+            // all volatile state and wait for recovery (§8).  The crash
+            // completes before the batch counts as drained (below), so the
+            // executor's post-drain crash check is conclusive.
+            self_crash(&inner, life, &err);
+        }
+        {
+            let mut queue = inner.read_dispatch.queue.lock();
+            queue.in_flight -= 1;
+            inner.read_dispatch.cond.notify_all();
         }
     }
 }
@@ -1313,6 +1473,8 @@ fn crash_inner_guarded(inner: &Arc<ProxyInner>, life: Option<u64>) {
     inner.client_wakeup.notify_all();
     inner.driver_wakeup.notify_all();
     inner.decider_wakeup.notify_all();
+    // The executor may be parked waiting for a free dispatch slot.
+    inner.read_dispatch.cond.notify_all();
     // Tell the gate (if any) with no proxy locks held: an external epoch
     // coordinator must stop waiting for this proxy at the rendezvous, or a
     // self-inflicted crash (storage-fault fate sharing) would stall every
@@ -1365,17 +1527,36 @@ fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
         // its own read phase — and a real request in a slot that would
         // have carried a dummy leaves the physical trace unchanged.
         let mut late: Option<(u64, Vec<Key>)> = None;
+        let state = &mut *state;
         if let Some(deciding) = state.deciding.as_mut() {
             if !deciding.closed && !deciding.late_pending.is_empty() {
                 let spare = batch_size - keys.len();
-                let take = deciding.late_pending.len().min(spare);
-                if take > 0 {
-                    let late_keys: Vec<Key> = deciding.late_pending.drain(..take).collect();
-                    for key in &late_keys {
-                        deciding.late_pending_set.remove(key);
-                        deciding.late_in_flight.insert(*key);
+                if spare > 0 {
+                    // A late key the executing epoch is itself fetching (or
+                    // has queued) is deferred, not dropped: concurrently
+                    // in-flight batches must never carry the same key twice
+                    // (the split client requires pairwise-disjoint read
+                    // sets), and once the executing epoch's fetch ingests,
+                    // a later batch resolves the deferred key from the
+                    // stash at plan time.
+                    let mut late_keys: Vec<Key> = Vec::with_capacity(spare);
+                    let mut deferred: Vec<Key> = Vec::new();
+                    for key in deciding.late_pending.drain(..) {
+                        if late_keys.len() < spare
+                            && !state.exec.pending_set.contains(&key)
+                            && !state.exec.in_flight.contains(&key)
+                        {
+                            deciding.late_pending_set.remove(&key);
+                            deciding.late_in_flight.insert(key);
+                            late_keys.push(key);
+                        } else {
+                            deferred.push(key);
+                        }
                     }
-                    late = Some((deciding.generation, late_keys));
+                    deciding.late_pending = deferred;
+                    if !late_keys.is_empty() {
+                        late = Some((deciding.generation, late_keys));
+                    }
                 }
             }
         }
@@ -1405,14 +1586,22 @@ fn execute_read_batch(inner: &Arc<ProxyInner>) -> Result<()> {
     let values = {
         let _span = obladi_obs::trace::global().span("proxy.read_fetch", epoch);
         let fetch_timer = obs.histogram("proxy.phase.read_fetch_us");
-        let mut reader_guard = inner.reader.lock();
-        let reader = reader_guard.as_mut().ok_or(ObladiError::ProxyUnavailable)?;
+        // Clone the reader out of the lock: the read plane is `Clone` (all
+        // clones share the client state), so concurrent runners never
+        // serialize on this proxy-level lock — their batches overlap inside
+        // the split client, which plans each under its own lock and runs
+        // the physical fetches lock-free.  The clone also keeps the client
+        // alive for the whole batch even if a crash wipes the slot.
+        let reader = inner
+            .reader
+            .lock()
+            .as_ref()
+            .ok_or(ObladiError::ProxyUnavailable)?
+            .clone();
         // The logger carries this epoch explicitly: the decider's write-back
         // logs the *deciding* epoch's paths concurrently through its own
         // tagged logger, so the two threads cannot mislabel each other's
-        // records.  The read plane only contends with the engine on the
-        // split client's internal state lock — its physical reads overlap
-        // the engine's write-back I/O in time.
+        // records.
         let logger = inner.durability.logger_for(epoch);
         fetch_timer.time(|| reader.read_batch(&requests, &logger))?
     };
@@ -1611,6 +1800,11 @@ fn decide_epoch(inner: &Arc<ProxyInner>, epoch: EpochId, generation: u64) -> Res
     };
     obs.histogram("proxy.phase.decide_us")
         .record_duration(decide_started.elapsed());
+    // The epoch just closed: the executor's reserved-batch hold releases at
+    // `closed` (the batches it frees overlap the write-back below), and
+    // readers parked on this epoch's late slots must re-check.
+    inner.driver_wakeup.notify_all();
+    inner.client_wakeup.notify_all();
 
     // Phase 2 (no state lock held): apply the write batch (padded to its
     // fixed size), flush all buffered bucket writes, then checkpoint (§8

@@ -32,6 +32,7 @@ pub mod block;
 pub mod bucket;
 pub mod client;
 pub mod codec;
+mod generations;
 pub mod metadata;
 pub mod pool;
 pub mod position_map;
@@ -45,6 +46,6 @@ pub use client::{ExecOptions, NoopPathLogger, OramStats, PathLogger, RingOram, S
 pub use metadata::{MetaDelta, OramMeta};
 pub use pool::ThreadPool;
 pub use position_map::PositionMap;
-pub use split::{CheckpointSource, OramReader, WritebackEngine};
+pub use split::{CheckpointSource, OramReader, PinnedGeneration, WritebackEngine};
 pub use stash::Stash;
 pub use tree::TreeGeometry;

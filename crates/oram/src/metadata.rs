@@ -16,6 +16,7 @@ use obladi_common::error::{ObladiError, Result};
 use obladi_common::rng::DetRng;
 use obladi_common::types::{BucketId, Key, Leaf};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// All client-side Ring ORAM state.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,8 +25,12 @@ pub struct OramMeta {
     pub config: OramConfig,
     /// Key → leaf map.
     pub position: PositionMap,
-    /// Per-bucket metadata, indexed by bucket id.
-    pub buckets: Vec<BucketMeta>,
+    /// Per-bucket metadata, indexed by bucket id.  Buckets are shared
+    /// copy-on-write: a generation snapshot holds the old `Arc` while the
+    /// live state mutates through [`OramMeta::bucket_mut`], so pinning a
+    /// snapshot costs one pointer per since-modified bucket, not a tree
+    /// clone.
+    pub buckets: Vec<Arc<BucketMeta>>,
     /// The client stash.
     pub stash: Stash,
     /// Number of logical accesses performed (reads + writes); evictions are
@@ -42,7 +47,7 @@ impl OramMeta {
     pub fn new(config: OramConfig, rng: &mut DetRng) -> Self {
         let num_buckets = config.num_buckets() as usize;
         let buckets = (0..num_buckets)
-            .map(|_| BucketMeta::fresh(config.z, config.s, rng))
+            .map(|_| Arc::new(BucketMeta::fresh(config.z, config.s, rng)))
             .collect();
         OramMeta {
             config,
@@ -58,6 +63,13 @@ impl OramMeta {
     /// Marks a bucket's metadata as modified since the last checkpoint.
     pub fn mark_bucket_dirty(&mut self, bucket: BucketId) {
         self.dirty_buckets.insert(bucket);
+    }
+
+    /// Mutable access to one bucket's metadata, copy-on-write: if a
+    /// generation snapshot still shares the bucket's `Arc`, the bucket is
+    /// cloned first so the snapshot keeps observing its frozen state.
+    pub fn bucket_mut(&mut self, bucket: BucketId) -> &mut BucketMeta {
+        Arc::make_mut(&mut self.buckets[bucket as usize])
     }
 
     /// Number of dirty buckets.
@@ -88,6 +100,27 @@ impl OramMeta {
             bucket.encode(&mut enc);
         }
         enc.finish()
+    }
+
+    /// Assembles metadata from already-reconstructed parts (generation
+    /// materialization; see `crate::generations`).
+    pub(crate) fn from_snapshot_parts(
+        config: OramConfig,
+        position: PositionMap,
+        buckets: Vec<Arc<BucketMeta>>,
+        stash: Stash,
+        access_count: u64,
+        evict_count: u64,
+    ) -> Self {
+        OramMeta {
+            config,
+            position,
+            buckets,
+            stash,
+            access_count,
+            evict_count,
+            dirty_buckets: HashSet::new(),
+        }
     }
 
     /// Restores state from a full checkpoint.
@@ -122,7 +155,7 @@ impl OramMeta {
         }
         let mut buckets = Vec::with_capacity(bucket_count);
         for _ in 0..bucket_count {
-            buckets.push(BucketMeta::decode(&mut dec)?);
+            buckets.push(Arc::new(BucketMeta::decode(&mut dec)?));
         }
         dec.expect_end()?;
         Ok(OramMeta {
@@ -145,7 +178,7 @@ impl OramMeta {
         dirty.sort_unstable();
         let buckets = dirty
             .iter()
-            .map(|&b| (b, self.buckets[b as usize].clone()))
+            .map(|&b| (b, (*self.buckets[b as usize]).clone()))
             .collect();
         MetaDelta {
             access_count: self.access_count,
@@ -165,7 +198,7 @@ impl OramMeta {
         self.evict_count = delta.evict_count;
         self.position.apply_delta(&delta.position_delta);
         for (bucket, meta) in &delta.buckets {
-            self.buckets[*bucket as usize] = meta.clone();
+            self.buckets[*bucket as usize] = Arc::new(meta.clone());
         }
         self.stash = delta.stash.clone();
     }
@@ -294,7 +327,7 @@ mod tests {
         meta.position.set(4, 2);
         meta.position.set(9, 1);
         meta.stash.insert(9, 1, vec![5; 8], 100).unwrap();
-        meta.buckets[0].real[0] = Some((4, 2));
+        meta.bucket_mut(0).real[0] = Some((4, 2));
         meta.access_count = 17;
         meta.evict_count = 2;
 
@@ -313,7 +346,7 @@ mod tests {
         let mut replica = meta.clone();
 
         meta.position.set(1, 3);
-        meta.buckets[2].real[0] = Some((1, 3));
+        meta.bucket_mut(2).real[0] = Some((1, 3));
         meta.mark_bucket_dirty(2);
         meta.stash.insert(5, 0, vec![1], 100).unwrap();
         meta.access_count = 9;
@@ -346,7 +379,7 @@ mod tests {
     fn locate_key_distinguishes_stash_bucket_missing() {
         let mut meta = small_meta();
         meta.stash.insert(10, 0, vec![], 100).unwrap();
-        meta.buckets[1].real[0] = Some((11, 0));
+        meta.bucket_mut(1).real[0] = Some((11, 0));
         assert_eq!(meta.locate_key(10, &[0, 1]), KeyLocation::Stash);
         assert_eq!(meta.locate_key(11, &[0, 1]), KeyLocation::Bucket(1));
         assert_eq!(meta.locate_key(12, &[0, 1]), KeyLocation::Missing);

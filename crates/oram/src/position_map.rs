@@ -52,6 +52,12 @@ impl PositionMap {
         self.positions.remove(&key)
     }
 
+    /// Clears dirty tracking without producing a delta (used when a cloned
+    /// map is a read-only snapshot whose dirtiness is meaningless).
+    pub(crate) fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
     /// Whether `key` exists.
     pub fn contains(&self, key: Key) -> bool {
         self.positions.contains_key(&key)

@@ -74,7 +74,7 @@ fn open_split(seed: u64) -> (OramReader, WritebackEngine) {
 /// Drives the schedule with the reader and engine on two concurrent
 /// threads, returning each epoch's read observations.
 fn run_concurrent(seed: u64, plans: &[EpochPlan]) -> Vec<Vec<Option<Value>>> {
-    let (mut reader, mut engine) = open_split(seed);
+    let (reader, mut engine) = open_split(seed);
     let mut observations = Vec::with_capacity(plans.len());
     for (epoch, plan) in plans.iter().enumerate() {
         let writes: Vec<(Key, Value)> = plan
@@ -195,7 +195,7 @@ fn concurrent_stress_preserves_every_value() {
 
     // Final sweep through a fresh concurrent run, then read back everything
     // sequentially on the reader and compare against the model's end state.
-    let (mut reader, mut engine) = open_split(seed ^ 0xabc);
+    let (reader, mut engine) = open_split(seed ^ 0xabc);
     let mut model: HashMap<Key, Value> = HashMap::new();
     for (epoch, plan) in plans.iter().enumerate() {
         let writes: Vec<(Key, Value)> = plan

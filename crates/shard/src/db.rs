@@ -32,6 +32,7 @@ use obladi_core::{KvDatabase, KvTransaction};
 use obladi_crypto::KeyMaterial;
 use obladi_storage::{build_backend, TrustedCounter, UntrustedStore};
 use obladi_transport::{RemoteStore, SocketSpec, StorageSupervisor};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -502,6 +503,62 @@ enum LoggedOp {
     Write(Key, Value),
 }
 
+/// What a twin replay must do for one logged read.
+#[derive(Debug, PartialEq)]
+enum ReplayRead {
+    /// The key was already fetched — or written — earlier in this same
+    /// replay; the read must observe exactly this value.  No fetch.
+    Cached(Option<Value>),
+    /// First touch of the key: fetch through the twin's leg, validate,
+    /// then [`ReplayCache::note_fetched`] the result.
+    NeedsFetch,
+}
+
+/// Deduplicates repeated touches of one key inside a single twin replay.
+///
+/// A transaction that read the same key `n` times logs `n` reads, but the
+/// twin needs only one physical fetch: within one MVTSO transaction every
+/// re-read observes the first fetch (or the transaction's own latest
+/// write), so replaying the fetch `n` times would spend `n` read-batch
+/// slots to learn a value the replay already holds — and those slots are
+/// scarcest exactly when twins are being rebuilt, since a declined
+/// late-read batch is a common rebuild trigger.  The cache binds each key
+/// to the value the replay has proven for it: fetched values via
+/// [`ReplayCache::note_fetched`], the transaction's own writes via
+/// [`ReplayCache::note_write`] (read-your-writes — a logged read after a
+/// logged write must observe the write, not the base version).
+struct ReplayCache {
+    seen: HashMap<Key, Option<Value>>,
+}
+
+impl ReplayCache {
+    fn new() -> Self {
+        Self {
+            seen: HashMap::new(),
+        }
+    }
+
+    /// How a logged read of `key` replays: served from the cache, or a
+    /// first-touch fetch.
+    fn check_read(&self, key: Key) -> ReplayRead {
+        match self.seen.get(&key) {
+            Some(value) => ReplayRead::Cached(value.clone()),
+            None => ReplayRead::NeedsFetch,
+        }
+    }
+
+    /// Records the value a first-touch fetch returned for `key`.
+    fn note_fetched(&mut self, key: Key, value: Option<Value>) {
+        self.seen.insert(key, value);
+    }
+
+    /// Records a replayed write: later logged reads of `key` must observe
+    /// this value (read-your-writes).
+    fn note_write(&mut self, key: Key, value: Value) {
+        self.seen.insert(key, Some(value));
+    }
+}
+
 /// A transaction spanning one or more shards of a [`ShardedDb`].
 ///
 /// # Timestamps and shard epochs
@@ -628,14 +685,25 @@ impl<'db> ShardedTxn<'db> {
         let mut twin = LegPlan::pinned(id, class, self.db.shards.len());
         obladi_obs::global().counter("shard.twin.rebuilt").inc();
         let mut replay_error: Option<(&'static str, ObladiError)> = None;
+        // Repeated touches of one key replay against the cache instead of
+        // re-fetching: the first touch fetches (or writes) through a real
+        // leg, every later logged read of that key validates against the
+        // value the replay already proved — one batch slot per distinct
+        // key, not per logged read.
+        let mut cache = ReplayCache::new();
         for logged in &self.oplog {
             let result = match logged {
                 LoggedOp::Read(key, observed) => {
-                    let shard = self.db.router.route(*key);
-                    match twin
-                        .leg(self.db, &targets, shard, false)
-                        .and_then(|leg| leg.read(*key))
-                    {
+                    let replayed = match cache.check_read(*key) {
+                        ReplayRead::Cached(value) => Ok(value),
+                        ReplayRead::NeedsFetch => {
+                            let shard = self.db.router.route(*key);
+                            twin.leg(self.db, &targets, shard, false)
+                                .and_then(|leg| leg.read(*key))
+                                .inspect(|value| cache.note_fetched(*key, value.clone()))
+                        }
+                    };
+                    match replayed {
                         Ok(value) if value == *observed => Ok(()),
                         Ok(_) => Err((
                             "read_divergence",
@@ -650,6 +718,7 @@ impl<'db> ShardedTxn<'db> {
                     let shard = self.db.router.route(*key);
                     twin.leg(self.db, &targets, shard, true)
                         .and_then(|leg| leg.write(*key, value.clone()))
+                        .inspect(|_| cache.note_write(*key, value.clone()))
                         .map_err(|err| (err.cause_label(), err))
                 }
             };
@@ -1035,6 +1104,47 @@ impl CloneForReport for ObladiError {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn twin_replay_fetches_each_key_once() {
+        // Replay script: the client read key 1 twice, wrote it, re-read it
+        // (observing its own write), and read key 2 — five logged ops, but
+        // only the two first touches may cost a fetch.
+        let value = |byte: u8| Value::from(vec![byte]);
+        let log = [
+            LoggedOp::Read(1, Some(value(10))),
+            LoggedOp::Read(1, Some(value(10))),
+            LoggedOp::Write(1, value(20)),
+            LoggedOp::Read(1, Some(value(20))),
+            LoggedOp::Read(2, None),
+        ];
+        let mut cache = ReplayCache::new();
+        let mut fetches = 0;
+        for logged in &log {
+            match logged {
+                LoggedOp::Read(key, observed) => {
+                    let replayed = match cache.check_read(*key) {
+                        ReplayRead::Cached(value) => value,
+                        ReplayRead::NeedsFetch => {
+                            fetches += 1;
+                            // Deterministic stand-in for the leg fetch: the
+                            // value the client originally observed.
+                            cache.note_fetched(*key, observed.clone());
+                            observed.clone()
+                        }
+                    };
+                    assert_eq!(&replayed, observed, "replay must revalidate");
+                }
+                LoggedOp::Write(key, value) => cache.note_write(*key, value.clone()),
+            }
+        }
+        assert_eq!(fetches, 2, "one fetch per distinct key, not per read");
+        // Read-your-writes: after the write, the cache serves the written
+        // value, not the fetched one.
+        assert_eq!(cache.check_read(1), ReplayRead::Cached(Some(value(20))));
+        assert_eq!(cache.check_read(2), ReplayRead::Cached(None));
+        assert_eq!(cache.check_read(3), ReplayRead::NeedsFetch);
+    }
 
     #[test]
     fn leg_targets_align_on_one_rendezvous() {
