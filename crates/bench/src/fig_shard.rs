@@ -9,15 +9,18 @@
 //! both the scaling win (independent epoch pipelines) and the new costs
 //! (the global epoch barrier, cross-shard commit votes).
 
-use crate::harness::{fmt1, print_header, print_row, write_metrics_out};
+use crate::harness::{fmt1, print_header, print_row, write_metrics_out, write_trace_out};
 use crate::opts::BenchOpts;
 use crate::profiles::StorageProfile;
 use obladi_common::config::{ObladiConfig, ShardConfig};
+use obladi_obs::audit::AuditRing;
 use obladi_obs::HistogramSnapshot;
 use obladi_shard::ShardedDb;
+use obladi_storage::{RecordingStore, UntrustedStore};
 use obladi_workloads::{
     run_deployment, SmallBankConfig, SmallBankWorkload, Workload, YcsbConfig, YcsbWorkload,
 };
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Shard counts swept by the experiment (1 = unsharded baseline topology).
@@ -227,17 +230,22 @@ pub fn run_fig_shard_pipeline(opts: &BenchOpts) {
     let clients = opts.clients.max(16);
     let shards = 3usize;
     let mut cells: Vec<PipelineCell> = Vec::new();
+    // Every store is wrapped in the adversary-view recorder; the ring is
+    // reset per cell so `--trace-out` captures the final cell's trace.
+    let audit_ring = Arc::new(AuditRing::default());
     // Read-only isolates the pipeline's headline win (reads keep flowing
     // while a decision is in flight, instead of aborting in the parked
     // window); the 50/50 mix also shows its cost (reads of keys the
     // deciding epoch wrote pin to the pre-decision snapshot and wait);
     // 4-key transactions are almost always cross-shard on 3 shards, so
     // xshard4 attributes the cross-shard gap (gate waits, unanimous-vote
-    // aborts) stage by stage.
-    for (mix, read_proportion, ops_per_txn) in [
-        ("read", 1.0f64, 1usize),
-        ("rw50", 0.5, 1),
-        ("xshard4", 0.5, 4),
+    // aborts) stage by stage; zipf is read-only under heavy key skew
+    // (θ = 0.95), the contrast workload for the obliviousness auditor.
+    for (mix, read_proportion, ops_per_txn, zipf_theta) in [
+        ("read", 1.0f64, 1usize, 0.6f64),
+        ("rw50", 0.5, 1, 0.6),
+        ("xshard4", 0.5, 4, 0.6),
+        ("zipf", 1.0, 1, 0.95),
     ] {
         if !opts.mix_selected(mix) {
             continue;
@@ -246,7 +254,7 @@ pub fn run_fig_shard_pipeline(opts: &BenchOpts) {
             num_keys: if opts.full { 4_096 } else { 1_024 },
             read_proportion,
             ops_per_txn,
-            zipf_theta: 0.6,
+            zipf_theta,
             value_size: 64,
         });
         for profile in pipeline_profiles() {
@@ -258,6 +266,7 @@ pub fn run_fig_shard_pipeline(opts: &BenchOpts) {
                 // Each cell's snapshot must attribute only its own time.
                 obladi_obs::global().reset();
                 obladi_obs::trace::global().reset();
+                audit_ring.reset();
                 let mut config = ShardConfig {
                     shards,
                     shard: shard_template(opts),
@@ -267,7 +276,19 @@ pub fn run_fig_shard_pipeline(opts: &BenchOpts) {
                 let built = profile
                     .build(shards, opts.seed)
                     .expect("in-process profiles cannot fail");
-                let db = match ShardedDb::open_with_stores(config, built.stores.clone()) {
+                let stores: Vec<Arc<dyn UntrustedStore>> = built
+                    .stores
+                    .iter()
+                    .enumerate()
+                    .map(|(index, store)| {
+                        Arc::new(RecordingStore::new(
+                            store.clone(),
+                            audit_ring.clone(),
+                            index as u32,
+                        )) as Arc<dyn UntrustedStore>
+                    })
+                    .collect();
+                let db = match ShardedDb::open_with_stores(config, stores) {
                     Ok(db) => db,
                     Err(err) => {
                         print_row(&[
@@ -305,6 +326,11 @@ pub fn run_fig_shard_pipeline(opts: &BenchOpts) {
                     sharded.global_epochs.to_string(),
                     format!("{epoch_period_ms:.2}"),
                 ]);
+                // Pull `daemon.*` metrics from any remote stores into the
+                // local registry (as `daemon.{shard}.*`) while the
+                // connections are still open, so `--metrics-out` unifies
+                // cross-process telemetry.
+                db.publish_daemon_metrics();
                 db.shutdown();
                 built.shutdown();
                 // Snapshot after shutdown so final write-backs and
@@ -326,8 +352,10 @@ pub fn run_fig_shard_pipeline(opts: &BenchOpts) {
     }
     write_pipeline_json(opts, &cells);
     // The registry still holds the last cell's data; `--metrics-out`
-    // captures it (CI's smoke step runs a single-cell sweep).
+    // captures it (CI's smoke step runs a single-cell sweep), and the
+    // audit ring holds the last cell's adversary-view trace.
     write_metrics_out(opts);
+    write_trace_out(opts, &audit_ring);
 }
 
 /// Records the sweep as `BENCH_shard_pipeline.json` (hand-formatted: the

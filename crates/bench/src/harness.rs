@@ -40,6 +40,20 @@ pub fn write_metrics_out(opts: &BenchOpts) {
     }
 }
 
+/// Dumps a recorded adversary-view trace as JSON to `--trace-out <path>`,
+/// if the flag was given.  Bins that install the trace recorder call this
+/// with the ring of their final (or only) cell.
+pub fn write_trace_out(opts: &BenchOpts, ring: &obladi_obs::audit::AuditRing) {
+    let Some(path) = opts.trace_out.as_deref() else {
+        return;
+    };
+    let json = obladi_obs::audit::render_audit_json(&ring.ops(), ring.dropped(), 0);
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote adversary-view trace to {path}"),
+        Err(err) => eprintln!("could not write adversary-view trace {path}: {err}"),
+    }
+}
+
 /// Builds a latency-wrapped in-memory store for a backend kind.
 pub fn build_store(kind: BackendKind, opts: &BenchOpts) -> Arc<dyn UntrustedStore> {
     let profile = LatencyProfile::for_backend(kind).scaled(opts.latency_scale);

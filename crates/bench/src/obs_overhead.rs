@@ -11,8 +11,11 @@ use crate::harness::{fmt1, print_header, print_row, write_metrics_out};
 use crate::opts::BenchOpts;
 use crate::profiles::StorageProfile;
 use obladi_common::config::ShardConfig;
+use obladi_obs::audit::AuditRing;
 use obladi_shard::ShardedDb;
+use obladi_storage::{RecordingStore, UntrustedStore};
 use obladi_workloads::{run_deployment, YcsbConfig, YcsbWorkload};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Interleaved rounds per arm.
@@ -34,7 +37,18 @@ fn run_round(opts: &BenchOpts, duration: Duration, enabled: bool) -> f64 {
     let built = StorageProfile::Memory
         .build(1, opts.seed)
         .expect("memory profile cannot fail");
-    let db = ShardedDb::open_with_stores(config, built.stores.clone())
+    // The adversary-view recorder rides on the same kill switch, so the
+    // budget measured here covers it too: the enabled arm records every
+    // physical op into the ring, the disabled arm early-returns.
+    let ring = Arc::new(AuditRing::default());
+    let stores: Vec<Arc<dyn UntrustedStore>> = built
+        .stores
+        .iter()
+        .map(|store| {
+            Arc::new(RecordingStore::new(store.clone(), ring.clone(), 0)) as Arc<dyn UntrustedStore>
+        })
+        .collect();
+    let db = ShardedDb::open_with_stores(config, stores)
         .expect("single-shard memory deployment cannot fail");
     let workload = YcsbWorkload::new(YcsbConfig {
         num_keys: 1_024,

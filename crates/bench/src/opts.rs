@@ -20,6 +20,9 @@ pub struct BenchOpts {
     /// Write the full metrics-registry snapshot (JSON) to this path after
     /// the run.
     pub metrics_out: Option<String>,
+    /// Write the adversary-view access trace (JSON) to this path after the
+    /// run, for bins that install the trace recorder.
+    pub trace_out: Option<String>,
     /// Restrict sweeps to storage profiles whose name contains this
     /// substring (CI smoke cells).
     pub profile: Option<String>,
@@ -46,6 +49,12 @@ impl BenchOpts {
                 "--metrics-out" => {
                     if let Some(v) = args.get(i + 1) {
                         opts.metrics_out = Some(v.clone());
+                        i += 1;
+                    }
+                }
+                "--trace-out" => {
+                    if let Some(v) = args.get(i + 1) {
+                        opts.trace_out = Some(v.clone());
                         i += 1;
                     }
                 }
@@ -119,6 +128,7 @@ impl BenchOpts {
             clients: 2,
             seed: 7,
             metrics_out: None,
+            trace_out: None,
             profile: None,
             mix: None,
         }
@@ -134,6 +144,7 @@ impl Default for BenchOpts {
             clients: 16,
             seed: 42,
             metrics_out: None,
+            trace_out: None,
             profile: None,
             mix: None,
         }
@@ -179,6 +190,19 @@ mod tests {
         assert_eq!(opts.duration, Duration::from_secs(9));
         assert_eq!(opts.clients, 4);
         assert_eq!(opts.seed, 123);
+    }
+
+    #[test]
+    fn output_paths_parse() {
+        let opts = BenchOpts::from_slice(&s(&[
+            "bench",
+            "--metrics-out",
+            "m.json",
+            "--trace-out",
+            "t.json",
+        ]));
+        assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(opts.trace_out.as_deref(), Some("t.json"));
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   [`trace::TraceEvent`]s (what, which epoch, how long), merged on
 //!   demand.  The tail of the trace is dumped by [`report`] next to the
 //!   metric tables when a chaos sweep fails.
+//! * [`audit`] — the adversary-view trace: a bounded ring of what
+//!   untrusted storage observes (op kind, address, sealed lengths, frame
+//!   sizes, timing) plus the differential auditor that asserts two
+//!   workloads produced indistinguishable trace shapes.
 //!
 //! Naming convention: flat dotted strings, `layer.scope.metric` —
 //! `proxy.phase.gate_wait_us`, `shard.abort.pipeline_incompatible`,
@@ -22,10 +26,12 @@
 //! ([`set_enabled`]) so the overhead bench can A/B the instrumented
 //! binary against itself.
 
+pub mod audit;
 pub mod metrics;
 pub mod report;
 pub mod trace;
 
+pub use audit::{AuditKind, AuditOp, AuditRing, AuditTolerances, AuditVerdict, TraceShape};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
 };

@@ -46,6 +46,8 @@ pub use client::{ExecOptions, NoopPathLogger, OramStats, PathLogger, RingOram, S
 pub use metadata::{MetaDelta, OramMeta};
 pub use pool::ThreadPool;
 pub use position_map::PositionMap;
-pub use split::{CheckpointSource, OramReader, PinnedGeneration, WritebackEngine};
+pub use split::{
+    set_leak_skip_dummy_pads, CheckpointSource, OramReader, PinnedGeneration, WritebackEngine,
+};
 pub use stash::Stash;
 pub use tree::TreeGeometry;

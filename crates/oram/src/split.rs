@@ -82,8 +82,24 @@ use obladi_crypto::{Envelope, KeyMaterial};
 use obladi_storage::UntrustedStore;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Test-only leak injection for the obliviousness auditor's mutation
+/// check: when set, read batches *skip* the uniform dummy path that every
+/// padding request must issue, so the number of physical reads per batch
+/// follows real occupancy — the classic fixed-size-batch violation the
+/// adversary-view auditor exists to catch.  Never set outside tests and
+/// the `fig_trace_audit --mutate` harness.
+static LEAK_SKIP_DUMMY_PADS: AtomicBool = AtomicBool::new(false);
+
+/// Arms or disarms the dummy-pad leak (see [`LEAK_SKIP_DUMMY_PADS`]).
+/// Process-global on purpose: the harness flips it around a whole
+/// workload cell, not per client.
+pub fn set_leak_skip_dummy_pads(enabled: bool) {
+    LEAK_SKIP_DUMMY_PADS.store(enabled, Ordering::SeqCst);
+}
 
 /// Produces the encrypted-checkpoint payloads durability logs at the end of
 /// every epoch.  Implemented by the monolithic facade and by the write-back
@@ -764,6 +780,16 @@ impl OramReader {
             let mut undo: Vec<TargetUndo> = Vec::new();
             let mut plans: Vec<OpPlan> = Vec::with_capacity(requests.len());
             for request in requests {
+                if request.is_none() && LEAK_SKIP_DUMMY_PADS.load(Ordering::Relaxed) {
+                    // Injected leak: the pad resolves without touching
+                    // storage instead of reading a uniform random path.
+                    plans.push(OpPlan {
+                        key: None,
+                        new_leaf: 0,
+                        target: Target::Ready(None),
+                    });
+                    continue;
+                }
                 match plan_access(&self.core, &mut state, *request, &mut physical, &mut undo) {
                     Ok(plan) => plans.push(plan),
                     Err(err) => {

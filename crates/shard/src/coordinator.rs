@@ -478,6 +478,14 @@ impl EpochCoordinator {
              {live:?}, arrived {arrived:?}, missing {missing:?})"
         );
         eprintln!("{}", obladi_obs::report());
+        // The metrics report samples totals; the span-trace tail shows the
+        // *sequence* of epoch phases leading into the stall, which is what
+        // post-hoc diagnosis actually needs.
+        eprintln!("--- span trace tail (json) ---");
+        eprintln!(
+            "{}",
+            obladi_obs::report::render_trace_json(&obladi_obs::trace::global().events(), 0)
+        );
         Err(ObladiError::BarrierStalled {
             shard,
             round: target,

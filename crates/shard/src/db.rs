@@ -76,6 +76,10 @@ pub struct ShardedDb {
     /// Owns the `obladi-stored` daemon processes when the deployment was
     /// opened with [`StorageBackend::RemoteSpawned`].
     supervisor: Option<StorageSupervisor>,
+    /// Per-shard store handles, retained for operational scrapes
+    /// ([`ShardedDb::publish_daemon_metrics`]) after the pipelines have
+    /// consumed them.
+    stores: Vec<Arc<dyn UntrustedStore>>,
 }
 
 impl ShardedDb {
@@ -153,10 +157,15 @@ impl ShardedDb {
         let coordinator =
             Arc::new(EpochCoordinator::new(config.shards).with_watchdog(config.barrier_watchdog));
         let mut shards = Vec::with_capacity(config.shards);
-        for (index, store) in stores.into_iter().enumerate() {
+        for (index, store) in stores.iter().enumerate() {
             let shard_config = config.shard_config(index);
             let shard_keys = KeyMaterial::for_tests(shard_config.seed);
-            let db = ObladiDb::open_with(shard_config, store, TrustedCounter::new(), shard_keys)?;
+            let db = ObladiDb::open_with(
+                shard_config,
+                store.clone(),
+                TrustedCounter::new(),
+                shard_keys,
+            )?;
             db.set_epoch_gate(Arc::new(ShardGate::new(coordinator.clone(), index)));
             shards.push(db);
         }
@@ -170,6 +179,7 @@ impl ShardedDb {
             aborted: AtomicU64::new(0),
             cross_shard_committed: AtomicU64::new(0),
             supervisor: None,
+            stores,
         })
     }
 
@@ -203,6 +213,44 @@ impl ShardedDb {
     /// some shard never made a voted transaction durable).
     pub fn pending_decisions(&self) -> usize {
         self.coordinator.pending_decisions()
+    }
+
+    /// Pulls each storage daemon's own telemetry over the RPC transport
+    /// and publishes it into this process's registry, namespaced
+    /// `daemon.{shard}.{metric}`, so `--metrics-out` dumps stop silently
+    /// omitting the daemon side on remote profiles.  Histograms arrive as
+    /// wire summaries and land as `.count` / `.sum` / `.max` gauges.
+    /// In-process stores contribute nothing (their metrics already live
+    /// here); unreachable daemons are skipped.
+    pub fn publish_daemon_metrics(&self) {
+        let registry = obladi_obs::global();
+        for (index, store) in self.stores.iter().enumerate() {
+            let Some(metrics) = store.daemon_metrics() else {
+                continue;
+            };
+            let local = |name: &str| {
+                let rest = name.strip_prefix("daemon.").unwrap_or(name);
+                format!("daemon.{index}.{rest}")
+            };
+            for (name, total) in &metrics.counters {
+                registry.gauge(&local(name)).set(*total as i64);
+            }
+            for (name, level) in &metrics.gauges {
+                registry.gauge(&local(name)).set(*level);
+            }
+            for (name, histogram) in &metrics.histograms {
+                let base = local(name);
+                registry
+                    .gauge(&format!("{base}.count"))
+                    .set(histogram.count as i64);
+                registry
+                    .gauge(&format!("{base}.sum"))
+                    .set(histogram.sum as i64);
+                registry
+                    .gauge(&format!("{base}.max"))
+                    .set(histogram.max as i64);
+            }
+        }
     }
 
     /// Aggregated statistics snapshot.

@@ -177,6 +177,10 @@ impl UntrustedStore for LatencyStore {
     fn reset_stats(&self) {
         self.inner.reset_stats()
     }
+
+    fn daemon_metrics(&self) -> Option<crate::proto::WireMetrics> {
+        self.inner.daemon_metrics()
+    }
 }
 
 #[cfg(test)]

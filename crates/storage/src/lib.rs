@@ -19,7 +19,10 @@
 //! * [`proto`] — the wire schema of every store operation, shared by the
 //!   `obladi-transport` RPC layer and the `obladi-stored` daemon's op-log;
 //! * [`disk::DurableStore`] — the daemon-side crash-safe store (in-memory
-//!   state rebuilt from a checksummed, torn-tail-tolerant op-log).
+//!   state rebuilt from a checksummed, torn-tail-tolerant op-log);
+//! * [`audit::RecordingStore`] — the adversary-view tap: records what an
+//!   observer of this boundary sees (op kinds, addresses, sealed payload
+//!   lengths, wire frame sizes) for the obliviousness auditor.
 //!
 //! Everything stored here is opaque bytes: encryption, MACs and padding are
 //! applied by the proxy (`obladi-crypto::Envelope`) *before* data reaches
@@ -27,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod counter;
 pub mod disk;
 pub mod faulty;
@@ -36,12 +40,15 @@ pub mod proto;
 pub mod traits;
 pub mod wal;
 
+pub use audit::RecordingStore;
 pub use counter::TrustedCounter;
 pub use disk::{DurableStore, ReplaySummary};
 pub use faulty::{CrashOp, CrashPoint, FaultPlan, FaultyStore};
 pub use latency::LatencyStore;
 pub use memory::InMemoryStore;
-pub use proto::{StoreRequest, StoreResponse, WireError, WireErrorKind};
+pub use proto::{
+    StoreRequest, StoreResponse, WireError, WireErrorKind, WireHistogram, WireMetrics,
+};
 pub use traits::{BucketSnapshot, StoreStats, UntrustedStore};
 pub use wal::WriteAheadLog;
 

@@ -102,6 +102,10 @@ pub enum StoreRequest {
     /// Graceful daemon shutdown: the server acknowledges, flushes its
     /// durable state and exits.
     Shutdown,
+    /// Scrape of the daemon's own telemetry (`daemon.*` metrics), so
+    /// remote-profile `--metrics-out` dumps can merge what each storage
+    /// process observed instead of silently omitting it.
+    MetricsSnapshot,
 }
 
 impl StoreRequest {
@@ -124,6 +128,7 @@ impl StoreRequest {
             StoreRequest::ResetStats => 0x0D,
             StoreRequest::Ping => 0x0E,
             StoreRequest::Shutdown => 0x0F,
+            StoreRequest::MetricsSnapshot => 0x10,
         }
     }
 
@@ -175,7 +180,8 @@ impl StoreRequest {
             StoreRequest::Stats
             | StoreRequest::ResetStats
             | StoreRequest::Ping
-            | StoreRequest::Shutdown => {}
+            | StoreRequest::Shutdown
+            | StoreRequest::MetricsSnapshot => {}
         }
         buf
     }
@@ -231,6 +237,7 @@ impl StoreRequest {
             0x0D => StoreRequest::ResetStats,
             0x0E => StoreRequest::Ping,
             0x0F => StoreRequest::Shutdown,
+            0x10 => StoreRequest::MetricsSnapshot,
             other => {
                 return Err(ObladiError::Codec(format!(
                     "unknown store request opcode 0x{other:02X}"
@@ -273,8 +280,36 @@ pub enum StoreResponse {
     Stats(StoreStats),
     /// Liveness reply carrying the daemon's protocol version (`ping`).
     Pong(u16),
+    /// The daemon's own telemetry (`metrics_snapshot`).
+    Metrics(WireMetrics),
     /// The operation failed on the server; carries the re-hydratable error.
     Err(WireError),
+}
+
+/// A flattened histogram for the wire: the summary fields of the obs
+/// crate's histogram snapshot, without the bucket layout (which is an
+/// implementation detail of the recording process).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireHistogram {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+/// A daemon's telemetry, flattened for the wire.  Name/value lists rather
+/// than a fixed struct so the daemon can grow metrics without a protocol
+/// bump; the proxy namespaces them per shard on arrival.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireMetrics {
+    /// `(name, total)` counter pairs.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, level)` gauge pairs.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, summary)` histogram pairs.
+    pub histograms: Vec<(String, WireHistogram)>,
 }
 
 /// A storage-server error flattened for the wire and re-hydrated client
@@ -354,6 +389,7 @@ impl StoreResponse {
             StoreResponse::LogRecords { .. } => 0x87,
             StoreResponse::Stats(_) => 0x88,
             StoreResponse::Pong(_) => 0x89,
+            StoreResponse::Metrics(_) => 0x8A,
             StoreResponse::Err(_) => 0xFF,
         }
     }
@@ -399,6 +435,25 @@ impl StoreResponse {
             }
             StoreResponse::Pong(version) => {
                 buf.extend_from_slice(&version.to_le_bytes());
+            }
+            StoreResponse::Metrics(metrics) => {
+                put_u32(&mut buf, metrics.counters.len() as u32);
+                for (name, total) in &metrics.counters {
+                    put_bytes(&mut buf, name.as_bytes());
+                    put_u64(&mut buf, *total);
+                }
+                put_u32(&mut buf, metrics.gauges.len() as u32);
+                for (name, level) in &metrics.gauges {
+                    put_bytes(&mut buf, name.as_bytes());
+                    put_u64(&mut buf, *level as u64);
+                }
+                put_u32(&mut buf, metrics.histograms.len() as u32);
+                for (name, histogram) in &metrics.histograms {
+                    put_bytes(&mut buf, name.as_bytes());
+                    put_u64(&mut buf, histogram.count);
+                    put_u64(&mut buf, histogram.sum);
+                    put_u64(&mut buf, histogram.max);
+                }
             }
             StoreResponse::Err(err) => {
                 buf.push(err.kind_tag());
@@ -462,6 +517,38 @@ impl StoreResponse {
                 bytes_written: reader.u64()?,
             }),
             0x89 => StoreResponse::Pong(reader.u16()?),
+            0x8A => {
+                let count = reader.list_len(12)?;
+                let mut counters = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let name = reader.string()?;
+                    counters.push((name, reader.u64()?));
+                }
+                let count = reader.list_len(12)?;
+                let mut gauges = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let name = reader.string()?;
+                    gauges.push((name, reader.u64()? as i64));
+                }
+                let count = reader.list_len(28)?;
+                let mut histograms = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let name = reader.string()?;
+                    histograms.push((
+                        name,
+                        WireHistogram {
+                            count: reader.u64()?,
+                            sum: reader.u64()?,
+                            max: reader.u64()?,
+                        },
+                    ));
+                }
+                StoreResponse::Metrics(WireMetrics {
+                    counters,
+                    gauges,
+                    histograms,
+                })
+            }
             0xFF => {
                 let kind = WireError::kind_from_tag(reader.u8()?)?;
                 let message = reader.string()?;
@@ -627,6 +714,7 @@ mod tests {
             StoreRequest::ResetStats,
             StoreRequest::Ping,
             StoreRequest::Shutdown,
+            StoreRequest::MetricsSnapshot,
         ]
     }
 
@@ -655,6 +743,22 @@ mod tests {
                 bytes_written: 6,
             }),
             StoreResponse::Pong(1),
+            StoreResponse::Metrics(WireMetrics {
+                counters: vec![
+                    ("daemon.oplog.appends".into(), 17),
+                    ("daemon.wedges".into(), 0),
+                ],
+                gauges: vec![("daemon.oplog.bytes".into(), -3)],
+                histograms: vec![(
+                    "daemon.compaction.pause_us".into(),
+                    WireHistogram {
+                        count: 2,
+                        sum: 900,
+                        max: 750,
+                    },
+                )],
+            }),
+            StoreResponse::Metrics(WireMetrics::default()),
             StoreResponse::Err(WireError {
                 kind: WireErrorKind::Storage,
                 message: "bucket 3 has never been written".into(),
@@ -691,8 +795,8 @@ mod tests {
         for response in all_responses() {
             seen.insert(response.opcode());
         }
-        // MetaValue appears twice in the fixture list.
-        assert_eq!(seen.len(), all_responses().len() - 1);
+        // MetaValue and Metrics each appear twice in the fixture list.
+        assert_eq!(seen.len(), all_responses().len() - 2);
     }
 
     #[test]
@@ -750,5 +854,6 @@ mod tests {
         assert_eq!(mutating, 6);
         assert!(!StoreRequest::Stats.is_mutation());
         assert!(!StoreRequest::Ping.is_mutation());
+        assert!(!StoreRequest::MetricsSnapshot.is_mutation());
     }
 }

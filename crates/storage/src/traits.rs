@@ -145,6 +145,16 @@ pub trait UntrustedStore: Send + Sync {
 
     /// Resets the operation counters (between benchmark phases).
     fn reset_stats(&self);
+
+    /// Telemetry of the *process* hosting this store, when that process
+    /// is not the caller's (the `obladi-stored` daemon records
+    /// `daemon.*` metrics into its own registry, invisible to the proxy).
+    /// In-process stores have nothing to add — their instrumentation
+    /// already lands in the caller's registry — so the default is `None`.
+    /// Wrappers should forward to their inner store.
+    fn daemon_metrics(&self) -> Option<crate::proto::WireMetrics> {
+        None
+    }
 }
 
 #[cfg(test)]

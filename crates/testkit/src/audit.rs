@@ -1,0 +1,169 @@
+//! The obliviousness oracle over adversary-view traces.
+//!
+//! `obladi_obs::audit` owns the trace format and the differential
+//! comparison; this module packages what a *test* needs on top of it:
+//! building a deployment whose stores record into one shared ring,
+//! reducing recorded runs to [`TraceShape`]s, asserting a whole set of
+//! contrasting workloads is pairwise indistinguishable, and the
+//! positional check that slot reads spread over the tree identically —
+//! a real request in a batch must be placed exactly like a dummy pad
+//! (§9's "the adversary sees a fixed sequence of uniformly chosen
+//! paths").
+
+use obladi_obs::audit::{compare, AuditKind, AuditOp, AuditRing, AuditTolerances, TraceShape};
+use obladi_storage::{InMemoryStore, RecordingStore, UntrustedStore};
+use std::sync::Arc;
+
+/// Builds `shards` in-memory stores that all record into one fresh ring
+/// (store ids are shard indices), for
+/// [`ShardedDb::open_with_stores`](obladi_shard::ShardedDb).
+pub fn recording_stores(shards: usize) -> (Vec<Arc<dyn UntrustedStore>>, Arc<AuditRing>) {
+    let ring = Arc::new(AuditRing::default());
+    let stores = (0..shards)
+        .map(|index| {
+            Arc::new(RecordingStore::new(
+                Arc::new(InMemoryStore::new()),
+                ring.clone(),
+                index as u32,
+            )) as Arc<dyn UntrustedStore>
+        })
+        .collect();
+    (stores, ring)
+}
+
+/// Histogram of slot reads over tree levels (root = 0).  Every ORAM read
+/// touches one slot per level of a uniformly chosen path, so the level
+/// profile is a workload-independent constant — a skipped dummy or a
+/// data-dependent path choice bends it.
+pub fn level_profile(ops: &[AuditOp]) -> Vec<u64> {
+    let mut counts: Vec<u64> = Vec::new();
+    for op in ops {
+        if op.kind != AuditKind::ReadSlot {
+            continue;
+        }
+        let level = (63 - (op.addr + 1).leading_zeros() as u64) as usize;
+        if counts.len() <= level {
+            counts.resize(level + 1, 0);
+        }
+        counts[level] += 1;
+    }
+    counts
+}
+
+/// Pairwise-compares every shape against every other, returning all
+/// failure lines (empty means the whole set is indistinguishable).
+/// Beyond the shape comparison, the slot-read *level profiles* of each
+/// pair must agree in total-variation distance — the positional check
+/// that real and dummy reads land on the tree identically.
+pub fn cross_check(
+    shapes: &[(TraceShape, Vec<u64>)],
+    tol: &AuditTolerances,
+    max_tvd: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for i in 0..shapes.len() {
+        for j in i + 1..shapes.len() {
+            let (a, profile_a) = &shapes[i];
+            let (b, profile_b) = &shapes[j];
+            let verdict = compare(a, b, tol);
+            for failure in verdict.failures {
+                failures.push(format!("{} vs {}: {}", a.label, b.label, failure));
+            }
+            if !profile_a.is_empty() || !profile_b.is_empty() {
+                let tvd = crate::stats::total_variation_distance(profile_a, profile_b);
+                if tvd > max_tvd {
+                    failures.push(format!(
+                        "{} vs {}: slot-read level profiles diverge (tvd {tvd:.3} > \
+                         {max_tvd:.3}) — reads are not positionally uniform",
+                        a.label, b.label
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Panicking wrapper over [`cross_check`] for direct use in tests.
+pub fn assert_trace_indistinguishable(
+    shapes: &[(TraceShape, Vec<u64>)],
+    tol: &AuditTolerances,
+    max_tvd: f64,
+) {
+    let failures = cross_check(shapes, tol, max_tvd);
+    assert!(
+        failures.is_empty(),
+        "adversary-view traces are distinguishable:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_op(bucket: u64) -> AuditOp {
+        AuditOp {
+            at_us: 0,
+            store: 0,
+            kind: AuditKind::ReadSlot,
+            addr: bucket,
+            payload_len: 64,
+            req_frame: 26,
+            resp_frame: 82,
+        }
+    }
+
+    #[test]
+    fn level_profile_counts_heap_levels() {
+        // Root (level 0), both level-1 buckets, one level-2 bucket.
+        let ops = vec![read_op(0), read_op(1), read_op(2), read_op(3)];
+        let profile = level_profile(&ops);
+        assert_eq!(profile, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn level_profile_ignores_other_kinds() {
+        let mut op = read_op(0);
+        op.kind = AuditKind::AppendLog;
+        assert!(level_profile(&[op]).is_empty());
+    }
+
+    #[test]
+    fn cross_check_flags_bent_level_profiles() {
+        // Same shape, but one trace reads only the root: positionally
+        // distinguishable even though counts and lengths agree.
+        let flat: Vec<AuditOp> = (0..300).map(|i| read_op(i % 7)).collect();
+        let bent: Vec<AuditOp> = (0..300).map(|_| read_op(0)).collect();
+        let shapes = vec![
+            (
+                TraceShape::from_ops("flat", &flat, 1_000_000, 10),
+                level_profile(&flat),
+            ),
+            (
+                TraceShape::from_ops("bent", &bent, 1_000_000, 10),
+                level_profile(&bent),
+            ),
+        ];
+        let failures = cross_check(&shapes, &AuditTolerances::default(), 0.1);
+        assert!(
+            failures.iter().any(|f| f.contains("level profiles")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn cross_check_accepts_identical_sets() {
+        let ops: Vec<AuditOp> = (0..300).map(|i| read_op(i % 7)).collect();
+        let shapes: Vec<(TraceShape, Vec<u64>)> = ["a", "b", "c"]
+            .iter()
+            .map(|label| {
+                (
+                    TraceShape::from_ops(label, &ops, 1_000_000, 10),
+                    level_profile(&ops),
+                )
+            })
+            .collect();
+        assert_trace_indistinguishable(&shapes, &AuditTolerances::default(), 0.05);
+    }
+}

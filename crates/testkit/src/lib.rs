@@ -14,6 +14,9 @@
 //!   the path-uniformity and bucket-invariant checks of §4/§9;
 //! * [`stats`] — chi-square uniformity and total-variation distance used to
 //!   compare adversary-visible traces across workloads;
+//! * [`audit`] — the obliviousness oracle over `obladi_obs::audit`
+//!   adversary-view traces: recording deployments, trace-shape reduction
+//!   and the pairwise differential indistinguishability assertion;
 //! * [`chaos`] — a crash-point injection harness for the epoch fate-sharing
 //!   durability guarantee of §8;
 //! * [`shard_chaos`] — a deterministic crash-schedule explorer for the
@@ -27,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod chaos;
 pub mod history;
 pub mod proc_chaos;
@@ -35,6 +39,7 @@ pub mod shard_chaos;
 pub mod stats;
 pub mod trace;
 
+pub use audit::{assert_trace_indistinguishable, cross_check, level_profile, recording_stores};
 pub use chaos::{put_acknowledged, read_with_retries, run_script_with_crash, CrashRun};
 pub use history::{
     check_serializable, parse_tag, tag_value, History, HistoryOp, SerializabilityReport, TxnRecord,
@@ -61,4 +66,11 @@ pub use trace::{leaf_histogram_of, TraceRecorder};
 pub fn dump_obs_report(context: &str) {
     eprintln!("--- obs report at failure: {context} ---");
     eprintln!("{}", obladi_obs::report());
+    // The text report shows only the trace tail's summary; the full ring
+    // as JSON makes the failing run's phase sequence machine-grepable.
+    eprintln!("--- span trace (json): {context} ---");
+    eprintln!(
+        "{}",
+        obladi_obs::report::render_trace_json(&obladi_obs::trace::global().events(), 0)
+    );
 }

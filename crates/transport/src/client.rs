@@ -222,6 +222,14 @@ impl RemoteStore {
         }
     }
 
+    /// Scrapes the daemon's own telemetry (`daemon.*` metrics).
+    pub fn metrics_snapshot(&self) -> Result<obladi_storage::WireMetrics> {
+        match self.call(StoreRequest::MetricsSnapshot)? {
+            StoreResponse::Metrics(metrics) => Ok(metrics),
+            other => Err(unexpected("metrics_snapshot", &other)),
+        }
+    }
+
     /// Asks the daemon to shut down gracefully (it acknowledges, flushes
     /// its durable state and exits).
     pub fn shutdown_server(&self) -> Result<()> {
@@ -549,5 +557,11 @@ impl UntrustedStore for RemoteStore {
 
     fn reset_stats(&self) {
         let _ = self.call(StoreRequest::ResetStats);
+    }
+
+    fn daemon_metrics(&self) -> Option<obladi_storage::WireMetrics> {
+        // Best-effort: a daemon that predates the request (or is down)
+        // simply contributes nothing to the merged dump.
+        self.metrics_snapshot().ok()
     }
 }

@@ -24,7 +24,9 @@ use crate::frame::{
     encode_frame, encode_hello, parse_hello, Frame, FrameDecoder, HELLO_LEN, PROTOCOL_VERSION,
 };
 use obladi_common::error::{ObladiError, Result};
-use obladi_storage::{StoreRequest, StoreResponse, UntrustedStore, WireError};
+use obladi_storage::{
+    StoreRequest, StoreResponse, UntrustedStore, WireError, WireHistogram, WireMetrics,
+};
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -193,6 +195,13 @@ fn serve_connection(mut stream: Stream, store: Arc<dyn UntrustedStore>, stop: Ar
                 Ok(Some(frame)) => {
                     let (response, shutdown) = execute(&store, &frame);
                     let payload = response.encode();
+                    // Adversary-view tap: this pair of frames is exactly
+                    // what the network just carried.
+                    obladi_storage::audit::record_server_op(
+                        frame.opcode,
+                        &frame.payload,
+                        payload.len(),
+                    );
                     let reply = Frame {
                         id: frame.id,
                         opcode: payload[0],
@@ -276,8 +285,44 @@ fn execute(store: &Arc<dyn UntrustedStore>, frame: &Frame) -> (StoreResponse, bo
         }
         StoreRequest::Ping => StoreResponse::Pong(PROTOCOL_VERSION),
         StoreRequest::Shutdown => return (StoreResponse::Unit, true),
+        StoreRequest::MetricsSnapshot => StoreResponse::Metrics(daemon_metrics_snapshot()),
     };
     (response, false)
+}
+
+/// Scrapes this process's registry down to the daemon's own telemetry.
+/// The filter lives server side on purpose: in-thread test servers share
+/// the harness process's registry, and answering with everything would
+/// mirror the whole proxy registry back per shard.
+fn daemon_metrics_snapshot() -> WireMetrics {
+    let snapshot = obladi_obs::global().snapshot();
+    WireMetrics {
+        counters: snapshot
+            .counters
+            .into_iter()
+            .filter(|(name, _)| name.starts_with("daemon."))
+            .collect(),
+        gauges: snapshot
+            .gauges
+            .into_iter()
+            .filter(|(name, _)| name.starts_with("daemon."))
+            .collect(),
+        histograms: snapshot
+            .histograms
+            .into_iter()
+            .filter(|(name, _)| name.starts_with("daemon."))
+            .map(|(name, histogram)| {
+                (
+                    name,
+                    WireHistogram {
+                        count: histogram.count,
+                        sum: histogram.sum,
+                        max: histogram.max,
+                    },
+                )
+            })
+            .collect(),
+    }
 }
 
 fn result_to_response(result: Result<StoreResponse>) -> StoreResponse {

@@ -165,3 +165,41 @@ fn kill_respawn_cycles_accumulate_state() {
     }
     supervisor.stop_all();
 }
+
+/// The cross-process telemetry satellite: a real daemon must answer
+/// `MetricsSnapshot` with its own `daemon.*` registry slice (op-log
+/// appends land there on every mutation), and the `UntrustedStore`
+/// default hook must surface the same thing.
+#[test]
+fn daemon_reports_metrics_over_the_wire() {
+    set_stored_bin();
+    let supervisor = StorageSupervisor::spawn(1).unwrap();
+    let client = RemoteStore::connect(supervisor.addr(0), Duration::from_secs(10)).unwrap();
+    client
+        .write_bucket(3, vec![Bytes::from_static(b"metered")])
+        .unwrap();
+    client.append_log(Bytes::from_static(b"wal")).unwrap();
+
+    let metrics = client.metrics_snapshot().unwrap();
+    let appends = metrics
+        .counters
+        .iter()
+        .find(|(name, _)| name == "daemon.oplog.appends")
+        .map(|(_, count)| *count)
+        .unwrap_or(0);
+    assert!(appends >= 2, "expected oplog appends, got {metrics:?}");
+    assert!(
+        metrics
+            .counters
+            .iter()
+            .chain(metrics.counters.iter())
+            .all(|(name, _)| name.starts_with("daemon.")),
+        "daemon must only export its daemon.* slice: {metrics:?}"
+    );
+
+    let via_trait = client.daemon_metrics().expect("trait hook must surface");
+    assert!(via_trait
+        .counters
+        .iter()
+        .any(|(name, _)| name == "daemon.oplog.appends"));
+}

@@ -1,0 +1,59 @@
+//! Wire-level indistinguishability properties: on the socket, a slot read
+//! for a *real* block and one for a *dummy* pad must be byte-for-byte the
+//! same length — request and response — for arbitrary addresses and
+//! arbitrary (equal-length) sealed contents.  The sealed blocks of one
+//! tree level share a fixed ciphertext size, so equal payload length is
+//! exactly what the encryption layer guarantees; this pins down that the
+//! framing layer adds nothing data-dependent on top.
+
+use bytes::Bytes;
+use obladi_storage::{StoreRequest, StoreResponse};
+use obladi_transport::frame::{encode_frame, Frame};
+use proptest::prelude::*;
+
+/// Total on-the-wire size of a message: 4-byte length prefix plus the
+/// header-and-payload frame body.
+fn wire_len(id: u64, payload: &[u8]) -> usize {
+    let frame = Frame {
+        id,
+        opcode: payload[0],
+        payload: Bytes::from(payload.to_vec()),
+    };
+    let mut wire = Vec::new();
+    encode_frame(&mut wire, &frame);
+    wire.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Slot-read *requests* are one fixed wire size regardless of which
+    /// bucket and slot they target: address values must not modulate
+    /// frame length (no varint-style leakage).
+    #[test]
+    fn slot_read_requests_are_fixed_size(
+        bucket_a in any::<u64>(), slot_a in any::<u32>(),
+        bucket_b in any::<u64>(), slot_b in any::<u32>(),
+        id_a in any::<u64>(), id_b in any::<u64>(),
+    ) {
+        let real = StoreRequest::ReadSlot { bucket: bucket_a, slot: slot_a }.encode();
+        let dummy = StoreRequest::ReadSlot { bucket: bucket_b, slot: slot_b }.encode();
+        prop_assert_eq!(wire_len(id_a, &real), wire_len(id_b, &dummy));
+    }
+
+    /// Slot-read *responses* carrying equal-length sealed blocks are one
+    /// wire size for arbitrary contents: a response serving a real block
+    /// is indistinguishable by length from one serving a dummy pad.
+    #[test]
+    fn equal_length_slot_responses_are_indistinguishable(
+        real in prop::collection::vec(any::<u8>(), 1..512),
+        dummy_byte in any::<u8>(),
+        id_a in any::<u64>(), id_b in any::<u64>(),
+    ) {
+        let dummy = vec![dummy_byte; real.len()];
+        let real_payload = StoreResponse::Slot(Bytes::from(real)).encode();
+        let dummy_payload = StoreResponse::Slot(Bytes::from(dummy)).encode();
+        prop_assert_eq!(real_payload.len(), dummy_payload.len());
+        prop_assert_eq!(wire_len(id_a, &real_payload), wire_len(id_b, &dummy_payload));
+    }
+}
