@@ -13,6 +13,7 @@ use crate::harness::{fmt1, print_header, print_row, write_metrics_out, write_tra
 use crate::opts::BenchOpts;
 use crate::profiles::StorageProfile;
 use obladi_common::config::{ObladiConfig, ShardConfig};
+use obladi_common::stats::LatencyRecorder;
 use obladi_obs::audit::AuditRing;
 use obladi_obs::HistogramSnapshot;
 use obladi_shard::ShardedDb;
@@ -170,6 +171,9 @@ struct PipelineCell {
     abort_rate: f64,
     global_epochs: u64,
     epoch_period_ms: f64,
+    /// Client-observed commit latency (commit request → acknowledged
+    /// outcome) over the cell's committed transactions.
+    commit_latency: LatencyRecorder,
     /// Per-stage time attribution: `(metric, snapshot)` for every pipeline
     /// phase histogram this cell exercised (proxy phases, split-client
     /// waits, the global epoch period).
@@ -225,6 +229,7 @@ pub fn run_fig_shard_pipeline(opts: &BenchOpts) {
             "abort_rate",
             "global_epochs",
             "epoch_period_ms",
+            "commit_p50_ms",
         ],
     );
     let clients = opts.clients.max(16);
@@ -263,10 +268,12 @@ pub fn run_fig_shard_pipeline(opts: &BenchOpts) {
                 continue;
             }
             for depth in [1u32, 2] {
-                // Each cell's snapshot must attribute only its own time.
+                // Each cell's snapshot must attribute only its own time,
+                // and the commit-latency recorder only its own commits.
                 obladi_obs::global().reset();
                 obladi_obs::trace::global().reset();
                 audit_ring.reset();
+                let _ = obladi_common::stats::take_commit_latencies();
                 let mut config = ShardConfig {
                     shards,
                     shard: shard_template(opts),
@@ -299,12 +306,14 @@ pub fn run_fig_shard_pipeline(opts: &BenchOpts) {
                             "-".into(),
                             "-".into(),
                             "-".into(),
+                            "-".into(),
                         ]);
                         continue;
                     }
                 };
                 let (_, stats) = run_deployment(&db, &workload, clients, opts.duration, opts.seed)
                     .expect("workload setup failed");
+                let commit_latency = obladi_common::stats::take_commit_latencies();
                 let sharded = db.stats();
                 let total = stats.committed + stats.aborted;
                 let abort_rate = if total == 0 {
@@ -325,6 +334,7 @@ pub fn run_fig_shard_pipeline(opts: &BenchOpts) {
                     format!("{abort_rate:.3}"),
                     sharded.global_epochs.to_string(),
                     format!("{epoch_period_ms:.2}"),
+                    format!("{:.2}", commit_latency.median().as_secs_f64() * 1000.0),
                 ]);
                 // Pull `daemon.*` metrics from any remote stores into the
                 // local registry (as `daemon.{shard}.*`) while the
@@ -344,6 +354,7 @@ pub fn run_fig_shard_pipeline(opts: &BenchOpts) {
                     abort_rate,
                     global_epochs: sharded.global_epochs,
                     epoch_period_ms,
+                    commit_latency,
                     phases,
                     abort_causes,
                 });
@@ -377,10 +388,22 @@ fn write_pipeline_json(opts: &BenchOpts, cells: &[PipelineCell]) {
         } else {
             "null".to_string()
         };
+        // Client-observed commit latency; `null` for a cell that committed
+        // nothing (a zeroed distribution would read as "instant").
+        let commit_ms = if cell.commit_latency.is_empty() {
+            "null".to_string()
+        } else {
+            format!(
+                "{{\"p50\": {:.2}, \"p99\": {:.2}, \"max\": {:.2}}}",
+                cell.commit_latency.median().as_secs_f64() * 1000.0,
+                cell.commit_latency.p99().as_secs_f64() * 1000.0,
+                cell.commit_latency.max().as_secs_f64() * 1000.0,
+            )
+        };
         json.push_str(&format!(
             "    {{\"profile\": \"{}\", \"mix\": \"{}\", \"pipeline_depth\": {}, \
              \"committed_per_s\": {:.1}, \"abort_rate\": {:.3}, \"global_epochs\": {}, \
-             \"epoch_period_ms\": {period},\n",
+             \"epoch_period_ms\": {period}, \"commit_latency_ms\": {commit_ms},\n",
             cell.profile,
             cell.mix,
             cell.depth,

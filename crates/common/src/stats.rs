@@ -8,6 +8,8 @@
 use std::sync::OnceLock;
 use std::time::Duration;
 
+use parking_lot::Mutex;
+
 /// Default number of samples a [`LatencyRecorder`] retains.  Beyond this
 /// the recorder switches to reservoir sampling: memory stays bounded, the
 /// mean and max stay exact (they are tracked separately over *all*
@@ -253,6 +255,27 @@ impl Default for RunStats {
     }
 }
 
+/// Process-global recorder for client-observed commit latency: the wall
+/// clock from a transaction's commit request to its acknowledged outcome.
+/// The front doors record into it from every client thread; the benchmark
+/// harness drains it per measurement cell with [`take_commit_latencies`].
+static COMMIT_LATENCY: Mutex<Option<LatencyRecorder>> = Mutex::new(None);
+
+/// Records one client-observed commit latency sample into the process-global
+/// recorder.
+pub fn record_commit_latency(latency: Duration) {
+    COMMIT_LATENCY
+        .lock()
+        .get_or_insert_with(LatencyRecorder::new)
+        .record(latency);
+}
+
+/// Drains the process-global commit-latency recorder, returning everything
+/// recorded since the previous drain (an empty recorder if nothing was).
+pub fn take_commit_latencies() -> LatencyRecorder {
+    COMMIT_LATENCY.lock().take().unwrap_or_default()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +369,17 @@ mod tests {
         assert_eq!(a.committed, 30);
         assert_eq!(a.aborted, 3);
         assert_eq!(a.elapsed, Duration::from_secs(2));
+    }
+
+    #[test]
+    fn global_commit_latency_recorder_drains() {
+        record_commit_latency(Duration::from_millis(3));
+        record_commit_latency(Duration::from_millis(5));
+        let drained = take_commit_latencies();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained.max(), Duration::from_millis(5));
+        // A drain resets the global recorder.
+        assert!(take_commit_latencies().is_empty());
     }
 
     #[test]

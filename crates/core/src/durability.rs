@@ -41,6 +41,7 @@ const LOC_PATH_LOG: u64 = 0xA001;
 const LOC_DELTA: u64 = 0xA002;
 const LOC_FULL: u64 = 0xA003;
 const LOC_PREPARE: u64 = 0xA004;
+const LOC_DECISION: u64 = 0xA005;
 
 /// A 2PC prepare record whose epoch never became durable: the shard voted
 /// to commit `txn` and crashed before its epoch commit, so only the
@@ -68,6 +69,10 @@ pub struct RecoveredTxns {
 /// Outcome of resolving the prepare records: the merged write set of the
 /// committed in-doubt transactions plus the ids to acknowledge.
 type ResolvedInDoubt = (Vec<(Key, Value)>, RecoveredTxns);
+
+/// A decoded epoch decision record: the committed transaction ids and the
+/// epoch's merged write set.
+type DecodedDecision = (Vec<TxnId>, Vec<(Key, Value)>);
 
 fn encode_writes(writes: &[(Key, Value)]) -> Vec<u8> {
     let mut out = Vec::with_capacity(4 + writes.len() * 16);
@@ -235,6 +240,128 @@ impl DurabilityManager {
         Ok(())
     }
 
+    /// Durably logs the epoch's commit decision: the committed transaction
+    /// ids plus the epoch's merged committed write set, sealed and appended
+    /// to the WAL *after* the verdict but *before* write-back and the
+    /// checkpoint run.  Once this record is durable, the decider may
+    /// acknowledge the epoch's write transactions to their clients: a crash
+    /// anywhere in the remaining tail is survivable because
+    /// [`DurabilityManager::recover_resolving`] replays the decided epoch
+    /// from this record alone, without consulting the coordinator.
+    ///
+    /// The envelope is sealed at `(LOC_DECISION, epoch)` with the epoch
+    /// additionally bound inside the sealed plaintext and the body covered
+    /// by a SHA-256 digest, mirroring [`DurabilityManager::prepare_txn`]'s
+    /// defence against frame tampering by a malicious store.
+    pub fn decision_durable(
+        &self,
+        epoch: EpochId,
+        committed: &[TxnId],
+        writes: &[(Key, Value)],
+    ) -> Result<()> {
+        if !self.enabled {
+            return Ok(());
+        }
+        let mut body = Vec::with_capacity(4 + committed.len() * 8);
+        body.extend_from_slice(&(committed.len() as u32).to_le_bytes());
+        for txn in committed {
+            body.extend_from_slice(&txn.to_le_bytes());
+        }
+        body.extend_from_slice(&encode_writes(writes));
+        let digest = Sha256::digest(&body);
+        let mut plain = Vec::with_capacity(8 + 32 + body.len());
+        plain.extend_from_slice(&epoch.to_le_bytes());
+        plain.extend_from_slice(&digest);
+        plain.extend_from_slice(&body);
+        let sealed = self
+            .envelope
+            .seal(LOC_DECISION, epoch, &plain, plain.len())?;
+        self.wal
+            .append(WalRecordKind::Decision, epoch, &sealed.bytes)?;
+        Ok(())
+    }
+
+    /// Opens and verifies one decision record, returning the committed
+    /// transaction ids and the epoch's merged write set.
+    fn decode_decision(&self, record: &WalRecord) -> Result<DecodedDecision> {
+        let sealed = SealedBlock {
+            bytes: record.payload.to_vec(),
+        };
+        let plain = self.envelope.open(LOC_DECISION, record.epoch, &sealed)?;
+        if plain.len() < 40 {
+            return Err(ObladiError::Codec("decision payload too short".into()));
+        }
+        let sealed_epoch = u64::from_le_bytes(plain[..8].try_into().unwrap());
+        if sealed_epoch != record.epoch {
+            return Err(ObladiError::Integrity(format!(
+                "decision record: clear epoch {} contradicts sealed epoch {sealed_epoch} (frame \
+                 tampering)",
+                record.epoch
+            )));
+        }
+        let (digest, body) = plain[8..].split_at(32);
+        if Sha256::digest(body) != digest {
+            return Err(ObladiError::Integrity(format!(
+                "decision record for epoch {} fails its digest",
+                record.epoch
+            )));
+        }
+        if body.len() < 4 {
+            return Err(ObladiError::Codec("decision id section truncated".into()));
+        }
+        let count = u32::from_le_bytes(body[..4].try_into().unwrap()) as usize;
+        let ids_end = 4usize
+            .checked_add(
+                count
+                    .checked_mul(8)
+                    .ok_or_else(|| ObladiError::Codec("decision id count overflows".into()))?,
+            )
+            .ok_or_else(|| ObladiError::Codec("decision id count overflows".into()))?;
+        let ids_bytes = body
+            .get(4..ids_end)
+            .ok_or_else(|| ObladiError::Codec("decision id section truncated".into()))?;
+        let committed = ids_bytes
+            .chunks_exact(8)
+            .map(|chunk| u64::from_le_bytes(chunk.try_into().unwrap()))
+            .collect();
+        let writes = decode_writes(&body[ids_end..])?;
+        Ok((committed, writes))
+    }
+
+    /// Finds the deciding epoch's durable commit decision, if one reached
+    /// the WAL before the crash.  A garbled decision record at the log tail
+    /// is a torn append — the acknowledgements it would have authorised
+    /// never happened, so presumed abort is correct — and is retired like a
+    /// torn prepare; anywhere else it poisons recovery.
+    fn find_decision(
+        &self,
+        records: &[WalRecord],
+        epoch: EpochId,
+        report: &mut RecoveryReport,
+    ) -> Result<Option<DecodedDecision>> {
+        let last_seq = records.last().map(|r| r.seq);
+        let mut found = None;
+        for record in records
+            .iter()
+            .filter(|r| r.kind == WalRecordKind::Decision && r.epoch == epoch)
+        {
+            match self.decode_decision(record) {
+                Ok(decision) => found = Some(decision),
+                Err(_) if Some(record.seq) == last_seq => {
+                    self.wal.truncate_tail(record.seq)?;
+                    report.dropped_records += 1;
+                }
+                Err(err) => {
+                    return Err(ObladiError::Recovery(format!(
+                        "undecodable decision record {} amid later valid records: {err}",
+                        record.seq
+                    )))
+                }
+            }
+        }
+        Ok(found)
+    }
+
     /// Opens and verifies one prepare record.
     fn decode_prepare(&self, record: &WalRecord) -> Result<InDoubtTxn> {
         if record.payload.len() < 8 {
@@ -324,18 +451,7 @@ impl DurabilityManager {
         }
         report.replayed_commits = committed.len() as u64;
 
-        // Prepares at or below the durable frontier are settled on this
-        // shard, but the crash may have landed *between* the epoch commit
-        // and the coordinator's durability acknowledgement — without a
-        // re-acknowledgement such a decision would stay pinned forever.
-        // Undecodable stale records are inert and skipped.
-        let mut stale_prepared: Vec<TxnId> = records
-            .iter()
-            .filter(|r| r.kind == WalRecordKind::Prepare && r.epoch <= durable_epochs)
-            .filter_map(|record| self.decode_prepare(record).ok().map(|p| p.txn))
-            .collect();
-        stale_prepared.sort_unstable();
-        stale_prepared.dedup();
+        let stale_prepared = self.stale_prepared(records, durable_epochs);
 
         Ok((
             merged.into_iter().collect(),
@@ -344,6 +460,22 @@ impl DurabilityManager {
                 stale_prepared,
             },
         ))
+    }
+
+    /// Prepares at or below the durable frontier are settled on this shard,
+    /// but the crash may have landed *between* the epoch commit and the
+    /// coordinator's durability acknowledgement — without a
+    /// re-acknowledgement such a decision would stay pinned forever.
+    /// Undecodable stale records are inert and skipped.
+    fn stale_prepared(&self, records: &[WalRecord], durable_epochs: EpochId) -> Vec<TxnId> {
+        let mut stale_prepared: Vec<TxnId> = records
+            .iter()
+            .filter(|r| r.kind == WalRecordKind::Prepare && r.epoch <= durable_epochs)
+            .filter_map(|record| self.decode_prepare(record).ok().map(|p| p.txn))
+            .collect();
+        stale_prepared.sort_unstable();
+        stale_prepared.dedup();
+        stale_prepared
     }
 
     /// Checkpoints the proxy metadata for `epoch` and marks the epoch
@@ -615,12 +747,40 @@ impl DurabilityManager {
         if !self.enabled {
             return Ok(RecoveredTxns::default());
         }
+        let aborted_epoch = durable_epochs + 1;
+        // Decision-record first: if the deciding epoch's commit decision
+        // reached the WAL, the epoch's outcome and merged write set are
+        // known locally — the clients it acknowledged must see their writes
+        // survive, so the epoch is replayed without consulting the
+        // coordinator (whose in-memory decision may meanwhile have
+        // retired).  The epoch's prepare records are subsumed: every
+        // committed id is reported as replayed, so the caller's durability
+        // acknowledgement covers them.
+        let decision = self
+            .find_decision(records, aborted_epoch, report)?
+            .filter(|(committed, _)| !committed.is_empty());
+        if let Some((committed, writes)) = decision {
+            report.in_doubt = records
+                .iter()
+                .filter(|r| r.kind == WalRecordKind::Prepare && r.epoch > durable_epochs)
+                .count() as u64;
+            report.replayed_commits = committed.len() as u64;
+            self.set_current_epoch(aborted_epoch);
+            let capacity = self.write_batch_size.max(writes.len());
+            oram.write_batch_padded(&writes, capacity, self)?;
+            oram.flush_writes(self)?;
+            self.commit_epoch(aborted_epoch, oram)?;
+            report.recovered_epoch = aborted_epoch;
+            return Ok(RecoveredTxns {
+                replayed: committed,
+                stale_prepared: self.stale_prepared(records, durable_epochs),
+            });
+        }
         let (writes, recovered) =
             self.resolve_in_doubt(records, durable_epochs, resolve, report)?;
         if recovered.replayed.is_empty() {
             return Ok(recovered);
         }
-        let aborted_epoch = durable_epochs + 1;
         // Replay the coordinator-committed write set exactly as the crashed
         // epoch would have written it — padded to the fixed write-batch size
         // so the recovery trace matches a normal epoch's — then make the
@@ -953,6 +1113,84 @@ mod tests {
         assert_eq!(next_epoch, 3);
         let result = again.read_batch(&[Some(5)], &NoopPathLogger).unwrap();
         assert_eq!(result[0], Some(b"commit".to_vec()));
+    }
+
+    #[test]
+    fn decided_epoch_replays_from_its_decision_record_alone() {
+        let (manager, mut oram, _store) = setup(true);
+        manager.set_current_epoch(1);
+        oram.write_batch(&[(1, vec![0xAA; 8])], &manager).unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+        manager.commit_epoch(1, &mut oram).unwrap();
+
+        // Epoch 2: txn 80 prepares, the decision record lands, and the
+        // crash hits before write-back/checkpoint — the window in which the
+        // client has already been acknowledged.
+        manager.set_current_epoch(2);
+        let writes = vec![(5u64, b"acked".to_vec()), (6, b"kept".to_vec())];
+        manager.prepare_txn(2, 80, &writes).unwrap();
+        manager.decision_durable(2, &[80], &writes).unwrap();
+        let config = *oram.config();
+        drop(oram);
+
+        // The resolver pleads ignorance: the decision record alone must
+        // carry the replay (a restarted coordinator has no memory).
+        let (mut recovered, next_epoch, report, resolved) = manager
+            .recover_resolving(config, &keys(), ExecOptions::default(), 61, &|_| false)
+            .unwrap();
+        assert_eq!(report.replayed_commits, 1);
+        assert_eq!(resolved.replayed, vec![80]);
+        assert_eq!(next_epoch, 3, "the decided epoch is durable after replay");
+        assert_eq!(manager.counter().epoch(), 2);
+        for (key, expected) in [(5u64, b"acked".to_vec()), (6, b"kept".to_vec())] {
+            let result = recovered.read_batch(&[Some(key)], &NoopPathLogger).unwrap();
+            assert_eq!(result[0], Some(expected), "key {key}");
+            recovered.flush_writes(&NoopPathLogger).unwrap();
+        }
+
+        // Idempotence: a second crash + recovery finds the decision at or
+        // below the durable frontier and replays nothing.
+        drop(recovered);
+        let (mut again, next_epoch, report, resolved) = manager
+            .recover_resolving(config, &keys(), ExecOptions::default(), 62, &|_| false)
+            .unwrap();
+        assert_eq!(report.replayed_commits, 0);
+        assert!(resolved.replayed.is_empty());
+        assert_eq!(next_epoch, 3);
+        let result = again.read_batch(&[Some(5)], &NoopPathLogger).unwrap();
+        assert_eq!(result[0], Some(b"acked".to_vec()));
+    }
+
+    #[test]
+    fn torn_decision_tail_is_retired_and_presumed_aborted() {
+        // A garbled decision record at the log tail is a torn append: the
+        // acknowledgements it would have authorised never happened, so the
+        // epoch stays aborted and the fragment is physically retired.
+        let (manager, mut oram, store) = setup(true);
+        manager.set_current_epoch(1);
+        oram.write_batch(&[(1, vec![1; 8])], &manager).unwrap();
+        oram.flush_writes(&NoopPathLogger).unwrap();
+        manager.commit_epoch(1, &mut oram).unwrap();
+        manager.set_current_epoch(2);
+        let wal = WriteAheadLog::new(store);
+        wal.append(WalRecordKind::Decision, 2, &[0xEE; 48]).unwrap();
+        let config = *oram.config();
+        drop(oram);
+
+        let (recovered, next_epoch, report, resolved) = manager
+            .recover_resolving(config, &keys(), ExecOptions::default(), 63, &|_| true)
+            .unwrap();
+        assert_eq!(report.dropped_records, 1);
+        assert_eq!(report.replayed_commits, 0);
+        assert!(resolved.replayed.is_empty());
+        assert_eq!(next_epoch, 2, "presumed abort leaves the epoch aborted");
+        drop(recovered);
+
+        // The fragment must be gone: a later recovery sees a clean log.
+        let (_again, _next, report, _) = manager
+            .recover_resolving(config, &keys(), ExecOptions::default(), 64, &|_| true)
+            .unwrap();
+        assert_eq!(report.dropped_records, 0);
     }
 
     #[test]

@@ -738,7 +738,12 @@ impl KvDatabase for ObladiDb {
         let result = body(&mut txn);
         match result {
             Ok(value) => {
+                // Client-observed commit latency: from the commit request to
+                // the acknowledged outcome (decision instant, decision
+                // durability or publish — whichever ack wave applied).
+                let commit_started = Instant::now();
                 txn.commit()?;
+                obladi_common::stats::record_commit_latency(commit_started.elapsed());
                 Ok(value)
             }
             Err(err) => {
@@ -1026,9 +1031,26 @@ impl ObladiTxn<'_> {
         Ok(())
     }
 
-    /// Blocks until the epoch of a previously requested commit ends and
-    /// returns the decision. Call after [`ObladiTxn::request_commit`].
+    /// Blocks until the transaction's outcome is acknowledged and returns
+    /// the decision.  Call after [`ObladiTxn::request_commit`].  Aborts and
+    /// dependency-free read-only commits surface at their epoch's decision
+    /// instant, write commits once the epoch's decision record is durable,
+    /// and everything else (durability disabled, decision-log fallback) at
+    /// publish time.
     pub fn await_outcome(self) -> Result<TxnOutcome> {
+        let parked = Instant::now();
+        let result = self.await_outcome_parked();
+        obladi_obs::global()
+            .histogram("proxy.phase.commit_wait_us")
+            .record_duration(parked.elapsed());
+        result
+    }
+
+    /// The parked wait loop behind [`ObladiTxn::await_outcome`], timed
+    /// separately so commit parking is attributable on its own in
+    /// `--metrics-out` dumps (`proxy.phase.commit_wait_us`) rather than
+    /// disappearing between the executor's `slot_wait_us` sites.
+    fn await_outcome_parked(self) -> Result<TxnOutcome> {
         let inner = &self.db.inner;
         let mut state = inner.state.lock();
         loop {
@@ -1736,11 +1758,23 @@ fn decide_epoch(inner: &Arc<ProxyInner>, epoch: EpochId, generation: u64) -> Res
     // Phase 1 (under the state lock): apply the verdict to the snapshot and
     // decide commits.  The epoch rollover already happened when the
     // executor snapshotted this epoch, so transactions that began or
-    // requested commit since then live in the *next* epoch.  Outcomes are
-    // only published (phase 3) after the epoch is durable, so delayed
-    // visibility is preserved.
+    // requested commit since then live in the *next* epoch.  No outcome
+    // surfaces before this decision instant — after the epoch closed — so
+    // delayed visibility is preserved; *when* each outcome surfaces depends
+    // on what it needs to stay truthful:
+    //
+    //   - aborts and dependency-free read-only commits are acknowledged
+    //     here, at the decision instant (an abort is exactly what recovery
+    //     would presume; a read-only transaction without same-epoch read
+    //     dependencies observed only already-durable base versions);
+    //   - the remaining commits are acknowledged once the decision record
+    //     is durable in the WAL (phase 1.5) — before write-back and
+    //     checkpoint, which recovery replays from that record alone;
+    //   - with durability disabled there is no decision record to lean on,
+    //     so every outcome waits for publish (phase 3), as before.
+    let early_ack = inner.durability.enabled();
     let decide_started = Instant::now();
-    let (writes, outcomes) = {
+    let (writes, committed, mut held, mut publish, aborted_count, mut acked_commits) = {
         let mut state = inner.state.lock();
         let Some(deciding) = state
             .deciding
@@ -1769,42 +1803,150 @@ fn decide_epoch(inner: &Arc<ProxyInner>, epoch: EpochId, generation: u64) -> Res
         // a no-op.)
         enforce_write_capacity(&mut deciding.mvtso, write_capacity);
 
+        // Sample which candidates are read-only and dependency-free while
+        // they are still commit-requested: `finalize` below consumes the
+        // dependency bookkeeping.
+        let mut decision_ackable: HashSet<TxnId> = HashSet::new();
+        if early_ack {
+            for candidate in deciding.mvtso.commit_candidates() {
+                if candidate.deps.is_empty() && deciding.mvtso.write_set(candidate.txn).is_empty() {
+                    decision_ackable.insert(candidate.txn);
+                }
+            }
+        }
+
         let (committed, aborted) = deciding.mvtso.finalize();
         deciding.closed = true;
         let writes = deciding.mvtso.committed_tail_writes();
 
-        // Outcomes are published only for transactions still in the
+        // Outcomes are acknowledged only for transactions still in the
         // epoch's active set: a transaction that already surfaced its
         // abort to the client as an error (and was dropped from the set)
         // has no one left to collect the outcome, and the entry would
         // leak in the outcomes map forever.  (The crash path makes the
         // same choice.)  Every committed transaction is necessarily still
         // active — an error-aborted one can never reach `Committed`.
-        let mut outcomes: Vec<(TxnId, TxnOutcome)> = Vec::new();
+        let committed: Vec<TxnId> = committed
+            .into_iter()
+            .filter(|txn| deciding.active_txns.contains(txn))
+            .collect();
+        let mut ack_now: Vec<(TxnId, TxnOutcome)> = Vec::new();
+        let mut held: Vec<TxnId> = Vec::new();
+        let mut publish: Vec<(TxnId, TxnOutcome)> = Vec::new();
+        let mut acked_commits = 0u64;
         for txn in &committed {
-            if deciding.active_txns.contains(txn) {
-                outcomes.push((*txn, TxnOutcome::Committed));
+            if decision_ackable.contains(txn) {
+                acked_commits += 1;
+                ack_now.push((*txn, TxnOutcome::Committed));
+            } else if early_ack {
+                held.push(*txn);
+            } else {
+                publish.push((*txn, TxnOutcome::Committed));
             }
         }
+        let mut aborted_count = 0u64;
         for txn in &aborted {
             if !deciding.active_txns.contains(txn) {
                 continue;
             }
+            aborted_count += 1;
             let reason = match deciding.mvtso.status(*txn) {
                 Some(TxnStatus::Aborted(reason)) => reason,
                 _ => AbortReason::EpochEnd,
             };
-            outcomes.push((*txn, TxnOutcome::Aborted(reason)));
+            if early_ack {
+                ack_now.push((*txn, TxnOutcome::Aborted(reason)));
+            } else {
+                publish.push((*txn, TxnOutcome::Aborted(reason)));
+            }
         }
-        (writes, outcomes)
+        // First ack wave, at the decision instant.  An acknowledged
+        // transaction leaves the active set so a later crash cannot
+        // overwrite its truthful outcome with `Aborted(Crash)`.
+        for (txn, _) in &ack_now {
+            deciding.active_txns.remove(txn);
+        }
+        if acked_commits > 0 {
+            obs.counter("proxy.commit.acked_at_decision")
+                .add(acked_commits);
+        }
+        for (txn, outcome) in ack_now {
+            state.outcomes.insert(txn, outcome);
+        }
+        (
+            writes,
+            committed,
+            held,
+            publish,
+            aborted_count,
+            acked_commits,
+        )
     };
     obs.histogram("proxy.phase.decide_us")
         .record_duration(decide_started.elapsed());
     // The epoch just closed: the executor's reserved-batch hold releases at
     // `closed` (the batches it frees overlap the write-back below), and
-    // readers parked on this epoch's late slots must re-check.
+    // readers parked on this epoch's late slots must re-check.  The
+    // first-wave acknowledgements ride the same wakeup.
     inner.driver_wakeup.notify_all();
     inner.client_wakeup.notify_all();
+
+    // Phase 1.5: write transactions are acknowledged as soon as the commit
+    // decision is durable.  The decision record (committed set + merged
+    // writes) lands in the WAL *before* write-back and checkpoint run;
+    // recovery replays a decided epoch from that record alone, so
+    // acked-implies-durable holds by construction.  If the append fails
+    // nothing has been acknowledged yet: the held transactions fall back to
+    // the publish path and fate-share whatever phase 2 decides.
+    if !held.is_empty() {
+        let decision_result = obs.histogram("proxy.phase.decision_log_us").time(|| {
+            inner
+                .durability
+                .decision_durable(epoch, &committed, &writes)
+        });
+        match decision_result {
+            Ok(()) => {
+                let mut state = inner.state.lock();
+                if let Some(deciding) = state
+                    .deciding
+                    .as_mut()
+                    .filter(|deciding| deciding.generation == generation)
+                {
+                    held.retain(|txn| deciding.active_txns.remove(txn));
+                } else {
+                    // A crash wiped the slot after the decision was already
+                    // appended: the crash path has published an (ambiguous)
+                    // `Aborted(Crash)` for every parked waiter, and recovery
+                    // will still replay the decision record.
+                    held.clear();
+                }
+                if !held.is_empty() {
+                    acked_commits += held.len() as u64;
+                    obs.counter("proxy.commit.acked_at_durable")
+                        .add(held.len() as u64);
+                    for txn in held.drain(..) {
+                        state.outcomes.insert(txn, TxnOutcome::Committed);
+                    }
+                    drop(state);
+                    inner.client_wakeup.notify_all();
+                }
+            }
+            Err(err) => {
+                eprintln!(
+                    "obladi: decision log append failed for epoch {epoch}, \
+                     falling back to publish-time acks: {err}"
+                );
+                publish.extend(held.drain(..).map(|txn| (txn, TxnOutcome::Committed)));
+            }
+        }
+    }
+    // Every outcome that will ever be acknowledged ahead of publish has
+    // been by now; commit visibility closes here unless a remainder is
+    // still parked for phase 3.
+    if publish.is_empty() {
+        obs.histogram("proxy.phase.commit_visible_us")
+            .record_duration(decide_started.elapsed());
+    }
 
     // Phase 2 (no state lock held): apply the write batch (padded to its
     // fixed size), flush all buffered bucket writes, then checkpoint (§8
@@ -1838,9 +1980,10 @@ fn decide_epoch(inner: &Arc<ProxyInner>, epoch: EpochId, generation: u64) -> Res
         Ok(())
     })();
 
-    // Phase 3: publish outcomes (downgraded to aborts if the write-back or
-    // checkpoint failed), resolve the carry set, free the pipeline slot and
-    // wake everyone.
+    // Phase 3: publish the remaining outcomes (downgraded to aborts if the
+    // write-back or checkpoint failed — outcomes acknowledged early stay
+    // truthful regardless: their commits replay from the decision record),
+    // resolve the carry set, free the pipeline slot and wake everyone.
     let publish_started = Instant::now();
     let mut state = inner.state.lock();
     let slot_live = matches!(
@@ -1851,20 +1994,22 @@ fn decide_epoch(inner: &Arc<ProxyInner>, epoch: EpochId, generation: u64) -> Res
         state.deciding = None;
         obs.gauge("proxy.pipeline.deciding").set(0);
     }
-    let mut durably_committed: Vec<TxnId> = Vec::new();
-    let mut aborted_count = 0u64;
-    for (txn, outcome) in outcomes {
+    let late_publish = !publish.is_empty();
+    let mut publish_commits = 0u64;
+    for (txn, outcome) in publish {
         let outcome = if io_result.is_ok() {
             outcome
         } else {
             TxnOutcome::Aborted(AbortReason::Crash)
         };
         if outcome.is_committed() {
-            durably_committed.push(txn);
-        } else {
-            aborted_count += 1;
+            publish_commits += 1;
         }
         state.outcomes.insert(txn, outcome);
+    }
+    if publish_commits > 0 {
+        obs.counter("proxy.commit.acked_at_publish")
+            .add(publish_commits);
     }
     if slot_live && io_result.is_ok() {
         // Carry resolution: the epoch's committed writes are durable now,
@@ -1883,24 +2028,38 @@ fn decide_epoch(inner: &Arc<ProxyInner>, epoch: EpochId, generation: u64) -> Res
         state.carry_pending.clear();
     }
     drop(state);
+    if late_publish {
+        obs.histogram("proxy.phase.commit_visible_us")
+            .record_duration(decide_started.elapsed());
+    }
 
+    // When the epoch's I/O failed, the early-acknowledged commits are the
+    // only ones that stay committed (their decision record replays at
+    // recovery); everything held for publish was downgraded above.
+    let committed_count = if io_result.is_ok() {
+        committed.len() as u64
+    } else {
+        acked_commits
+    };
+    let aborted_total = aborted_count + (committed.len() as u64 - committed_count);
     {
         let mut stats = inner.stats.lock();
         stats.epochs += 1;
-        stats.committed += durably_committed.len() as u64;
-        stats.aborted += aborted_count;
+        stats.committed += committed_count;
+        stats.aborted += aborted_total;
         stats.real_writes += writes.len() as u64;
     }
     obs.counter("proxy.epochs").inc();
-    obs.counter("proxy.txn.committed")
-        .add(durably_committed.len() as u64);
-    obs.counter("proxy.txn.aborted").add(aborted_count);
+    obs.counter("proxy.txn.committed").add(committed_count);
+    obs.counter("proxy.txn.aborted").add(aborted_total);
     inner.client_wakeup.notify_all();
     // The executor may be waiting for the freed slot.
     inner.driver_wakeup.notify_all();
     if let Some(gate) = &gate {
         if io_result.is_ok() {
-            gate.epoch_durable(epoch, &durably_committed);
+            // The full committed set — early-acknowledged and published
+            // alike — retires at the coordinator here.
+            gate.epoch_durable(epoch, &committed);
         }
         gate.epoch_finalized(epoch);
     }

@@ -1,0 +1,200 @@
+//! Early commit acknowledgement: read-only fast acks (ISSUE 10).
+//!
+//! A read-only transaction with no same-epoch dependencies is acknowledged
+//! at the epoch's decision instant — before the epoch's write-back and
+//! checkpoint run.  This differential test proves the ordering with an
+//! instrumented [`EpochGate`] that *parks* the write-back of the epoch
+//! containing the probe transaction: if the acknowledgement depended on the
+//! checkpoint (the old publish-time behaviour), `commit()` could never
+//! return while the park is in force.  Storage is latency-bound so the
+//! write-back window is physically wide even without the park.
+//!
+//! The depth-1 control runs the identical probe with the pipeline disabled:
+//! the fast ack comes from the decision/durable-tail split, not from epoch
+//! pipelining, so it must hold at depth 1 too.
+
+use obladi_common::config::{BackendKind, ObladiConfig};
+use obladi_common::latency::{LatencyModel, LatencyProfile};
+use obladi_common::types::{EpochId, TxnId};
+use obladi_core::{CandidateSource, EpochGate, ObladiDb, TxnPreparer};
+use obladi_crypto::KeyMaterial;
+use obladi_storage::{InMemoryStore, LatencyStore, TrustedCounter};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Permits every candidate, and parks the write-back of the epoch whose
+/// commit candidates included the registered probe transaction until the
+/// test releases it.  `write_back_finished` epochs are logged so the test
+/// can assert the probe's epoch had *not* checkpointed when its commit was
+/// acknowledged.
+#[derive(Default)]
+struct HoldWriteBackGate {
+    /// The transaction whose epoch should have its write-back parked.
+    target: Mutex<Option<TxnId>>,
+    /// The epoch whose candidates included the target.
+    held_epoch: Mutex<Option<EpochId>>,
+    /// Epochs whose write-back (incl. checkpoint) completed.
+    finished: Mutex<Vec<EpochId>>,
+    released: AtomicBool,
+    wakeup: Condvar,
+}
+
+impl HoldWriteBackGate {
+    fn arm(&self, txn: TxnId) {
+        *self.target.lock() = Some(txn);
+    }
+
+    /// Clears a stale hold after an aborted probe attempt so the parked
+    /// write-back (if any) resumes and the pipeline drains for a retry.
+    fn disarm(&self) {
+        *self.target.lock() = None;
+        let mut held = self.held_epoch.lock();
+        *held = None;
+        self.wakeup.notify_all();
+    }
+
+    fn release(&self) {
+        self.released.store(true, Ordering::SeqCst);
+        self.wakeup.notify_all();
+    }
+}
+
+impl EpochGate for HoldWriteBackGate {
+    fn permit_commits(
+        &self,
+        epoch: EpochId,
+        candidates: CandidateSource,
+        _preparer: TxnPreparer,
+    ) -> obladi_common::error::Result<Vec<TxnId>> {
+        let sampled = candidates();
+        let target = *self.target.lock();
+        if let Some(target) = target {
+            if sampled.iter().any(|candidate| candidate.txn == target) {
+                *self.held_epoch.lock() = Some(epoch);
+            }
+        }
+        Ok(sampled.into_iter().map(|candidate| candidate.txn).collect())
+    }
+
+    fn write_back_starting(&self, epoch: EpochId) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut held = self.held_epoch.lock();
+        while *held == Some(epoch)
+            && !self.released.load(Ordering::SeqCst)
+            && Instant::now() < deadline
+        {
+            self.wakeup.wait_for(&mut held, Duration::from_millis(100));
+        }
+    }
+
+    fn write_back_finished(&self, epoch: EpochId) {
+        self.finished.lock().push(epoch);
+    }
+
+    fn proxy_stopping(&self) {
+        self.release();
+    }
+
+    fn proxy_crashed(&self) {
+        self.release();
+    }
+}
+
+/// Opens a proxy at the given pipeline depth over latency-bound storage
+/// with the hold gate installed.
+fn open_gated(depth: u32, seed: u64) -> (ObladiDb, Arc<HoldWriteBackGate>) {
+    let mut config = ObladiConfig::small_for_tests(2_048);
+    config.epoch.pipeline_depth = depth;
+    config.epoch.batch_interval = Duration::from_millis(2);
+    config.seed = seed;
+    let mut profile = LatencyProfile::for_backend(BackendKind::Server);
+    profile.read = LatencyModel::with_mean(Duration::from_micros(20));
+    profile.write = LatencyModel::with_mean(Duration::from_micros(200));
+    let store: Arc<dyn obladi_storage::UntrustedStore> = Arc::new(LatencyStore::new(
+        Arc::new(InMemoryStore::new()),
+        profile,
+        seed,
+    ));
+    let db = ObladiDb::open_with(
+        config,
+        store,
+        TrustedCounter::new(),
+        KeyMaterial::for_tests(seed),
+    )
+    .expect("open over latency-bound storage");
+    let gate = Arc::new(HoldWriteBackGate::default());
+    db.set_epoch_gate(gate.clone());
+    (db, gate)
+}
+
+fn run_probe(depth: u32, seed: u64) {
+    let (db, gate) = open_gated(depth, seed);
+
+    // Seed a committed base version so the probe's read is dependency-free.
+    let seeded = (0..50).any(|_| {
+        let mut txn = match db.begin() {
+            Ok(txn) => txn,
+            Err(_) => return false,
+        };
+        if txn.write(1, b"base".to_vec()).is_err() {
+            return false;
+        }
+        txn.commit().map(|o| o.is_committed()).unwrap_or(false)
+    });
+    assert!(seeded, "could not seed the base version");
+
+    // Drive the read-only probe until one commits.  Each attempt arms the
+    // gate with the probe's id; the epoch that samples it as a commit
+    // candidate has its write-back parked, so the only way `commit()` can
+    // return `Committed` below is the decision-instant acknowledgement.
+    let mut committed_epoch = None;
+    for _ in 0..50 {
+        let mut txn = match db.begin() {
+            Ok(txn) => txn,
+            Err(_) => continue,
+        };
+        gate.arm(txn.id());
+        match txn.read(1) {
+            Ok(Some(value)) => assert_eq!(value, b"base".to_vec()),
+            _ => {
+                gate.disarm();
+                continue;
+            }
+        }
+        match txn.commit() {
+            Ok(outcome) if outcome.is_committed() => {
+                committed_epoch = *gate.held_epoch.lock();
+                break;
+            }
+            _ => gate.disarm(),
+        }
+    }
+    let epoch = committed_epoch.expect("the read-only probe never committed");
+
+    // The acknowledgement arrived while the probe epoch's write-back was
+    // still parked: its checkpoint cannot have completed.
+    let finished = gate.finished.lock().clone();
+    assert!(
+        !finished.contains(&epoch),
+        "depth {depth}: epoch {epoch} checkpointed before the read-only ack \
+         (finished: {finished:?})"
+    );
+
+    gate.release();
+    db.shutdown();
+}
+
+#[test]
+fn read_only_ack_precedes_the_checkpoint_at_depth_two() {
+    run_probe(2, 0xEA2);
+}
+
+/// Depth-1 control: the fast ack is a property of the decision/durable-tail
+/// split, not of the pipelined barrier, so it must hold with the pipeline
+/// disabled as well.
+#[test]
+fn read_only_ack_precedes_the_checkpoint_at_depth_one() {
+    run_probe(1, 0xEA1);
+}

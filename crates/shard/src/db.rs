@@ -433,7 +433,11 @@ impl KvDatabase for ShardedDb {
         let mut txn = self.begin()?;
         match body(&mut txn) {
             Ok(value) => {
+                // Client-observed commit latency: from the commit request to
+                // the slowest leg's acknowledged outcome.
+                let commit_started = std::time::Instant::now();
                 let outcome = txn.commit()?;
+                obladi_common::stats::record_commit_latency(commit_started.elapsed());
                 obladi_core::api::outcome_to_result(outcome)?;
                 Ok(value)
             }

@@ -44,16 +44,20 @@ fn run_case(seed: u64, victim_second: bool, crash_during_replay: bool) -> Result
     let voted = write_pair_tagged(db, pair, &mut history, 100, &move || {
         stop_fault.has_tripped()
     });
-    if !fault.has_tripped() {
-        return Err("crash trigger never fired".into());
-    }
     let voted = voted.ok_or_else(|| "voted transaction was not acknowledged".to_string())?;
+    // The commit is acknowledged at decision durability — *before* the
+    // epoch-commit append the trigger arms on — so the acknowledgement can
+    // win the race against the trip; wait for the crash to land instead of
+    // sampling the trigger at the instant of the ack.
     wait_for(
         "the victim shard to self-crash",
         Duration::from_secs(20),
         &|| db.is_shard_crashed(victim),
     )
     .map_err(|e| e.to_string())?;
+    if !fault.has_tripped() {
+        return Err("crash trigger never fired".into());
+    }
 
     // First recovery — optionally crashed *during* the in-doubt replay, at
     // the exact point where the replayed epoch would become durable.

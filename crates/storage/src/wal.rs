@@ -47,6 +47,12 @@ pub enum WalRecordKind {
     /// can finish (or presume aborted) a voted transaction whose epoch never
     /// became durable.
     Prepare,
+    /// The epoch's commit decision — committed transaction ids plus the
+    /// merged committed write set — logged *before* write-back and the
+    /// checkpoint so write transactions can be acknowledged at decision
+    /// durability rather than at the checkpoint tail.  Recovery replays a
+    /// decided epoch's writes from this record alone.
+    Decision,
 }
 
 impl WalRecordKind {
@@ -58,6 +64,7 @@ impl WalRecordKind {
             WalRecordKind::EpochCommit => 4,
             WalRecordKind::EarlyReshuffle => 5,
             WalRecordKind::Prepare => 6,
+            WalRecordKind::Decision => 7,
         }
     }
 
@@ -75,6 +82,7 @@ impl WalRecordKind {
             4 => WalRecordKind::EpochCommit,
             5 => WalRecordKind::EarlyReshuffle,
             6 => WalRecordKind::Prepare,
+            7 => WalRecordKind::Decision,
             other => {
                 return Err(ObladiError::Codec(format!(
                     "unknown WAL record kind {other}"
@@ -95,6 +103,16 @@ pub struct WalRecord {
     pub epoch: u64,
     /// Opaque payload (usually an encrypted envelope).
     pub payload: Bytes,
+}
+
+/// What [`WriteAheadLog::check_order`] decided about one append.
+enum Admission {
+    /// The record is in order and may be appended.
+    Append,
+    /// A stale path artifact (path log / early reshuffle) for an epoch at
+    /// or below the durable frontier: semantically a no-op, silently
+    /// dropped rather than refused.
+    DropStale,
 }
 
 /// Sequenced, typed write-ahead log on top of an [`UntrustedStore`].
@@ -131,13 +149,13 @@ impl WriteAheadLog {
     /// only advances after the commit marker's append *succeeds* (a refused
     /// or failed append must leave the retry path open), in
     /// [`WriteAheadLog::append`].
-    fn check_order(&self, kind: WalRecordKind, epoch: u64) -> Result<()> {
+    fn check_order(&self, kind: WalRecordKind, epoch: u64) -> Result<Admission> {
         let frontier = self.commit_frontier.lock();
         let Some(durable) = *frontier else {
             // Unknown frontier (raw WAL uses, adversarial test harnesses):
             // it is learned from the first successful commit marker, and
             // nothing is enforced until then.
-            return Ok(());
+            return Ok(Admission::Append);
         };
         let refuse = |why: &str| {
             Err(ObladiError::Storage(format!(
@@ -155,7 +173,8 @@ impl WriteAheadLog {
             }
             WalRecordKind::CheckpointDelta
             | WalRecordKind::CheckpointFull
-            | WalRecordKind::Prepare => {
+            | WalRecordKind::Prepare
+            | WalRecordKind::Decision => {
                 if epoch != durable + 1 {
                     return refuse("is not the epoch immediately above the frontier");
                 }
@@ -164,22 +183,44 @@ impl WriteAheadLog {
             // executing epoch of the bounded pipeline), never further.
             WalRecordKind::PathLog | WalRecordKind::EarlyReshuffle => {
                 if epoch <= durable {
-                    return refuse("is at or below the durable frontier");
+                    // A path artifact for an epoch at or below the frontier
+                    // is a straggler: a read-batch thread from a previous
+                    // proxy life racing a recovery that already committed
+                    // its epoch (Decision-first replay advances the
+                    // frontier past epochs whose decision record was
+                    // durable at crash time).  The epoch is durably
+                    // committed and recovery never replays a committed
+                    // epoch's paths, so the record is dead weight either
+                    // way — drop it instead of erroring, which would crash
+                    // the healthy new life sharing this store.
+                    return Ok(Admission::DropStale);
                 }
                 if epoch > durable + 2 {
                     return refuse("runs more than the pipeline depth ahead of the frontier");
                 }
             }
         }
-        Ok(())
+        Ok(Admission::Append)
     }
+
+    /// Sequence number reported for appends that were silently dropped as
+    /// stale (a path artifact for an epoch at or below the durable
+    /// frontier); no record with this sequence number ever exists.
+    pub const DROPPED_SEQ: u64 = u64::MAX;
 
     /// Appends a record, returning its sequence number.  Refuses appends
     /// that violate the epoch ordering rule (see the module docs) — the
     /// record is never acknowledged, so the caller must treat the epoch as
-    /// failed rather than assume durability.
+    /// failed rather than assume durability.  One exception: a path log or
+    /// early-reshuffle record for an epoch *at or below* the durable
+    /// frontier is a harmless straggler (the epoch is durably committed
+    /// and its paths are never replayed), so it is dropped without error
+    /// and [`WriteAheadLog::DROPPED_SEQ`] is returned.
     pub fn append(&self, kind: WalRecordKind, epoch: u64, payload: &[u8]) -> Result<u64> {
-        self.check_order(kind, epoch)?;
+        match self.check_order(kind, epoch)? {
+            Admission::Append => {}
+            Admission::DropStale => return Ok(Self::DROPPED_SEQ),
+        }
         let mut framed = BytesMut::with_capacity(1 + 8 + payload.len());
         framed.extend_from_slice(&[kind.to_byte()]);
         framed.extend_from_slice(&epoch.to_le_bytes());
@@ -354,6 +395,7 @@ mod tests {
             WalRecordKind::CheckpointFull,
             WalRecordKind::EarlyReshuffle,
             WalRecordKind::Prepare,
+            WalRecordKind::Decision,
             WalRecordKind::EpochCommit,
         ];
         let wal = wal();
@@ -430,6 +472,7 @@ mod tests {
         // Epoch 5's decision artifacts may not be acknowledged ahead of
         // epoch 4's decision.
         assert!(wal.append(WalRecordKind::Prepare, 5, b"early").is_err());
+        assert!(wal.append(WalRecordKind::Decision, 5, b"early").is_err());
         assert!(wal
             .append(WalRecordKind::CheckpointDelta, 5, b"early")
             .is_err());
@@ -438,6 +481,7 @@ mod tests {
         assert!(wal.append(WalRecordKind::EpochCommit, 3, b"").is_err());
         // The deciding epoch (frontier + 1) is exactly what is allowed.
         assert!(wal.append(WalRecordKind::Prepare, 4, b"vote").is_ok());
+        assert!(wal.append(WalRecordKind::Decision, 4, b"decided").is_ok());
         assert!(wal
             .append(WalRecordKind::CheckpointDelta, 4, b"ckpt")
             .is_ok());
@@ -455,12 +499,42 @@ mod tests {
         // epoch (frontier + 1) is still in flight...
         assert!(wal.append(WalRecordKind::PathLog, 11, b"deciding").is_ok());
         assert!(wal.append(WalRecordKind::PathLog, 12, b"executing").is_ok());
-        // ...but nothing may run further ahead, or land behind the frontier.
+        // ...but nothing may run further ahead; stale path artifacts (at or
+        // below the frontier) are dropped rather than refused.
         assert!(wal.append(WalRecordKind::PathLog, 13, b"too far").is_err());
-        assert!(wal.append(WalRecordKind::PathLog, 10, b"stale").is_err());
+        assert_eq!(
+            wal.append(WalRecordKind::PathLog, 10, b"stale").unwrap(),
+            WriteAheadLog::DROPPED_SEQ
+        );
         assert!(wal
             .append(WalRecordKind::EarlyReshuffle, 13, b"too far")
             .is_err());
+    }
+
+    #[test]
+    fn stale_path_log_after_commit_marker_is_dropped_not_refused() {
+        // A straggler read batch from a pre-crash proxy life can append a
+        // path log for an epoch the new life already recovered as durably
+        // committed.  The append must succeed without landing in the log —
+        // erroring would crash the healthy new life.
+        let wal = wal();
+        wal.append(WalRecordKind::PathLog, 1, b"live").unwrap();
+        wal.append(WalRecordKind::EpochCommit, 1, b"").unwrap();
+        let before = wal.read_from(0).unwrap().len();
+        assert_eq!(
+            wal.append(WalRecordKind::PathLog, 1, b"straggler").unwrap(),
+            WriteAheadLog::DROPPED_SEQ
+        );
+        assert_eq!(
+            wal.append(WalRecordKind::EarlyReshuffle, 1, b"straggler")
+                .unwrap(),
+            WriteAheadLog::DROPPED_SEQ
+        );
+        let records = wal.read_from(0).unwrap();
+        assert_eq!(records.len(), before, "dropped records must not be written");
+        assert!(records
+            .iter()
+            .all(|r| r.payload.as_ref() != b"straggler".as_slice()));
     }
 
     #[test]

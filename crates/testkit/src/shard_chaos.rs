@@ -8,15 +8,18 @@
 //! 1. append the `Prepare{txn, epoch, write set}` record to the WAL (the
 //!    vote becomes durable),
 //! 2. the coordinator decides and permits the transaction,
-//! 3. the shard writes its epoch's bucket write-back,
-//! 4. appends the epoch checkpoint,
-//! 5. appends the epoch-commit marker (the epoch — and the transaction's
-//!    half — becomes durable),
-//! 6. publishes the outcome.
+//! 3. appends the epoch's `Decision` record (committed set + merged
+//!    writes) and *acknowledges* the commit to parked clients,
+//! 4. the shard writes its epoch's bucket write-back,
+//! 5. appends the epoch checkpoint,
+//! 6. appends the epoch-commit marker (the epoch's durable tail),
+//! 7. publishes the remaining outcomes.
 //!
-//! A crash between step 1 and step 5 on one participant, with the peers
-//! completing step 5, is exactly the window the durable-prepare protocol
-//! exists for.  [`crash_schedule`] enumerates a [`CrashPoint`] for every
+//! A crash between step 1 and step 6 on one participant, with the peers
+//! completing step 6, is exactly the window the durable-prepare protocol
+//! exists for — and a crash after step 3 is the window the early
+//! acknowledgement leans on: the ack has been handed out, so recovery
+//! *must* replay the decided epoch from the decision record alone.  [`crash_schedule`] enumerates a [`CrashPoint`] for every
 //! interleaving boundary (on either participant), and
 //! [`run_shard_crash_case`] drives a 2-of-3-shard transaction into the
 //! chosen point using a [`FaultyStore`] trigger, recovers the victim, and
@@ -94,11 +97,12 @@ pub struct ShardCrashReport {
     pub pending_decisions_after: usize,
 }
 
-/// The crash schedule: every prepare/vote/write-back/checkpoint/commit
+/// The crash schedule: every prepare/decision/write-back/checkpoint/commit
 /// interleaving boundary, on either participant of a 2-of-3-shard
-/// transaction, plus the post-durability point.  Twelve distinct points.
+/// transaction, plus the post-durability point.  Sixteen distinct points.
 pub fn crash_schedule() -> Vec<ShardCrashCase> {
     let prepare = WalRecordKind::Prepare.tag();
+    let decision = WalRecordKind::Decision.tag();
     let epoch_commit = WalRecordKind::EpochCommit.tag();
     let mut cases = Vec::new();
     for victim_second in [false, true] {
@@ -126,6 +130,31 @@ pub fn crash_schedule() -> Vec<ShardCrashCase> {
             victim_second,
             trigger: Some(CrashPoint::after_log_kind(
                 prepare,
+                CrashOp::AnyLogAppend,
+                1,
+            )),
+            expected: Expected::Commit,
+        });
+        // The early-acknowledgement windows: the epoch's decision record is
+        // durable — the commit has been acknowledged to the client — but
+        // the crash eats the write-back (first case) or lands before the
+        // checkpoint tail (second case).  Recovery must replay the decided
+        // epoch from the decision record so the acked writes survive.
+        cases.push(ShardCrashCase {
+            name: leak_name(format!("acked-before-write-back/{side}")),
+            victim_second,
+            trigger: Some(CrashPoint::after_log_kind(
+                decision,
+                CrashOp::BucketWrite,
+                1,
+            )),
+            expected: Expected::Commit,
+        });
+        cases.push(ShardCrashCase {
+            name: leak_name(format!("acked-before-checkpoint/{side}")),
+            victim_second,
+            trigger: Some(CrashPoint::after_log_kind(
+                decision,
                 CrashOp::AnyLogAppend,
                 1,
             )),
@@ -784,6 +813,18 @@ pub fn run_shard_crash_case(case: &ShardCrashCase, seed: u64) -> Result<ShardCra
             if new.is_none() {
                 return Err(violation("post-durability case never committed".into()));
             }
+            // The acknowledgement leads the epoch's durable tail now
+            // (decision-durability ack), so "after full durability" has to
+            // wait for the tail to drain: once two further global epochs
+            // have published, the acked epoch's commit record is durable by
+            // WAL order (a later epoch's records are only accepted behind
+            // its predecessor's frontier).
+            let settled = db.stats().global_epochs + 2;
+            wait_for(
+                "the acked epoch's durable tail",
+                Duration::from_secs(10),
+                &|| db.stats().global_epochs >= settled,
+            )?;
             db.crash_shard(victim);
             true
         }

@@ -55,6 +55,21 @@ fn crash_between_vote_and_commit_record_is_finished_by_recovery() {
 }
 
 #[test]
+fn crash_after_early_ack_before_write_back_replays_the_decision() {
+    // The early-acknowledgement window: the epoch's decision record is
+    // durable — the commit has been acknowledged to the parked client —
+    // but the crash eats the write-back.  Recovery must replay the decided
+    // epoch from the decision record alone so the acked writes survive.
+    let report = run_case_by_name("acked-before-write-back/second", 0xDEC1);
+    assert!(report.committed_visible, "{report:?}");
+    assert!(report.tripped, "{report:?}");
+    assert!(
+        report.replayed_commits >= 1,
+        "recovery must replay the decided epoch: {report:?}"
+    );
+}
+
+#[test]
 fn crash_after_full_durability_changes_nothing() {
     let report = run_case_by_name("after-durable-commit/first", 0xCAFE);
     assert!(report.acknowledged_commit, "{report:?}");
@@ -131,12 +146,13 @@ fn every_overlapping_epoch_crash_point_recovers_cleanly() {
 }
 
 #[test]
-#[ignore = "full crash-point sweep (~12 deployments); run via the chaos CI job"]
+#[ignore = "full crash-point sweep (~16 deployments); run via the chaos CI job"]
 fn every_crash_point_recovers_to_an_all_or_nothing_outcome() {
     let schedule = crash_schedule();
     assert!(
-        schedule.len() >= 8,
-        "the sweep must cover at least 8 distinct crash points, got {}",
+        schedule.len() >= 16,
+        "the sweep must cover at least 16 distinct crash points (incl. the \
+         early-acknowledgement windows), got {}",
         schedule.len()
     );
     for (index, case) in schedule.iter().enumerate() {
